@@ -1,0 +1,58 @@
+//! Figure 13 micro-benchmark: a sequential query batch with the latching
+//! machinery enabled versus disabled — the pure administration overhead of
+//! concurrency control.
+
+use aidx_core::{ConcurrentCracker, LatchProtocol};
+use aidx_storage::generate_unique_shuffled;
+use aidx_workload::WorkloadGenerator;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+const ROWS: usize = 200_000;
+const QUERIES: usize = 64;
+
+fn run_batch(protocol: LatchProtocol, values: &[i64]) {
+    let queries = WorkloadGenerator::new(
+        ROWS as u64,
+        0.0001,
+        aidx_core::Aggregate::Sum,
+        7,
+    )
+    .generate(QUERIES);
+    let idx = ConcurrentCracker::from_values(values.to_vec(), protocol);
+    for q in &queries {
+        idx.sum(q.low, q.high);
+    }
+}
+
+fn bench_cc_overhead(c: &mut Criterion) {
+    let values = generate_unique_shuffled(ROWS, 3);
+    let mut group = c.benchmark_group("fig13_cc_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.bench_function("latching_enabled_piece", |b| {
+        b.iter_batched(
+            || values.clone(),
+            |v| run_batch(LatchProtocol::Piece, &v),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("latching_enabled_column", |b| {
+        b.iter_batched(
+            || values.clone(),
+            |v| run_batch(LatchProtocol::Column, &v),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("latching_disabled", |b| {
+        b.iter_batched(
+            || values.clone(),
+            |v| run_batch(LatchProtocol::None, &v),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc_overhead);
+criterion_main!(benches);

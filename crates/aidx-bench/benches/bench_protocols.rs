@@ -1,0 +1,44 @@
+//! Figure 14 / Figure 12 micro-benchmark: a multi-client sum workload under
+//! column latches versus piece latches (and the scan/sort baselines).
+
+use aidx_core::{Aggregate, LatchProtocol};
+use aidx_workload::{Approach, ExperimentConfig, run_experiment};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const ROWS: usize = 200_000;
+const QUERIES: usize = 64;
+const CLIENTS: usize = 4;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_protocols_4_clients_sum");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for (label, approach) in [
+        ("scan", Approach::Scan),
+        ("sort", Approach::Sort),
+        ("crack_column_latch", Approach::Crack(LatchProtocol::Column)),
+        ("crack_piece_latch", Approach::Crack(LatchProtocol::Piece)),
+        (
+            "crack_piece_latch_skip_on_contention",
+            Approach::CrackSkipOnContention(LatchProtocol::Piece),
+        ),
+        ("adaptive_merge", Approach::AdaptiveMerge { run_size: 16_384 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = ExperimentConfig::new(approach)
+                    .rows(ROWS)
+                    .queries(QUERIES)
+                    .clients(CLIENTS)
+                    .selectivity(0.01)
+                    .aggregate(Aggregate::Sum);
+                run_experiment(&config)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

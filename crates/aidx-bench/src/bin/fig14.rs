@@ -1,0 +1,61 @@
+//! Figure 14: column vs. piece latches for count (Q1) and sum (Q2) queries
+//! across selectivities and client counts.
+//!
+//! Prints one table per panel (a)–(d): total time for the whole query
+//! sequence as the number of concurrent clients grows, one column per
+//! selectivity.
+//!
+//! Run: `cargo run -p aidx-bench --release --bin fig14`
+//! (set `AIDX_QUERIES`/`AIDX_ROWS` to rescale; the full paper-scale sweep is
+//! expensive).
+
+use aidx_bench::{print_table, scaled_params, BENCH_ROWS_DEFAULT};
+use aidx_core::{Aggregate, LatchProtocol};
+use aidx_workload::{run_experiment, Approach, ExperimentConfig};
+
+fn main() {
+    let (rows, queries) = scaled_params(BENCH_ROWS_DEFAULT, 128);
+    let selectivities = [0.0001, 0.001, 0.01, 0.1, 0.5, 0.9];
+    let clients_list = [1usize, 2, 4, 8, 16, 32];
+    println!("Figure 14 — column vs piece latches, {rows} rows, {queries} queries per run\n");
+
+    let panels = [
+        ("(a) Count query, column latch", Aggregate::Count, LatchProtocol::Column),
+        ("(b) Count query, piece latch", Aggregate::Count, LatchProtocol::Piece),
+        ("(c) Sum query, column latch", Aggregate::Sum, LatchProtocol::Column),
+        ("(d) Sum query, piece latch", Aggregate::Sum, LatchProtocol::Piece),
+    ];
+
+    let mut header: Vec<String> = vec!["clients".to_string()];
+    header.extend(selectivities.iter().map(|s| format!("sel {}%", s * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    for (title, aggregate, protocol) in panels {
+        let mut rows_out = Vec::new();
+        for &clients in &clients_list {
+            let mut row = vec![clients.to_string()];
+            for &sel in &selectivities {
+                let config = ExperimentConfig::new(Approach::Crack(protocol))
+                    .rows(rows)
+                    .queries(queries)
+                    .clients(clients)
+                    .selectivity(sel)
+                    .aggregate(aggregate);
+                let run = run_experiment(&config);
+                row.push(format!("{:.3}", run.wall_clock.as_secs_f64()));
+            }
+            rows_out.push(row);
+        }
+        print_table(
+            &format!("Figure 14{title}: total time (seconds)"),
+            &header_refs,
+            &rows_out,
+        );
+    }
+    println!(
+        "Expected shape: with column latches, total time stays roughly flat as clients are added\n\
+         (no parallelism is exploited) and grows with lower selectivity for sum queries; with piece\n\
+         latches, total time drops with added clients because cracking and aggregation of different\n\
+         pieces proceed in parallel — most visibly for sum queries (panels c vs d)."
+    );
+}

@@ -1,0 +1,74 @@
+//! Figure 15: per-query breakdown of waiting time vs. index-refinement time.
+//!
+//! Runs the sum workload (50% selectivity) with 8 concurrent clients under
+//! piece latches and prints, for every completed query, the time spent
+//! waiting for latches and the time spent physically refining (cracking)
+//! the index. Both series decay as the workload evolves.
+//!
+//! Run: `cargo run -p aidx-bench --release --bin fig15`
+
+use aidx_bench::{scaled_params, BENCH_QUERIES_DEFAULT, BENCH_ROWS_DEFAULT};
+use aidx_core::{Aggregate, LatchProtocol};
+use aidx_workload::{run_experiment, Approach, ExperimentConfig};
+
+fn main() {
+    let (rows, queries) = scaled_params(BENCH_ROWS_DEFAULT, BENCH_QUERIES_DEFAULT);
+    let clients = 8usize;
+    println!(
+        "Figure 15 — per-query breakdown, {rows} rows, {queries} sum queries, 50% selectivity, \
+         {clients} clients, piece latches\n"
+    );
+
+    let config = ExperimentConfig::new(Approach::Crack(LatchProtocol::Piece))
+        .rows(rows)
+        .queries(queries)
+        .clients(clients)
+        .selectivity(0.5)
+        .aggregate(Aggregate::Sum);
+    let run = run_experiment(&config);
+
+    // per_query is ordered client by client; interleave them back into an
+    // approximate arrival order (query i of every client happened in the
+    // same "round") so the printed sequence matches the figure's x-axis.
+    let per_client = run.per_query.len() / clients;
+    println!("query\trefinement (s)\twait (s)");
+    for round in 0..per_client {
+        for client in 0..clients {
+            let idx = client * per_client + round;
+            let m = &run.per_query[idx];
+            println!(
+                "{}\t{:.6}\t{:.6}",
+                round * clients + client + 1,
+                m.crack_time.as_secs_f64(),
+                m.wait_time.as_secs_f64()
+            );
+        }
+    }
+
+    let third = run.per_query.len() / 3;
+    let mut ordered: Vec<_> = Vec::new();
+    for round in 0..per_client {
+        for client in 0..clients {
+            ordered.push(&run.per_query[client * per_client + round]);
+        }
+    }
+    let early: f64 = ordered[..third].iter().map(|m| m.wait_time.as_secs_f64()).sum();
+    let late: f64 = ordered[ordered.len() - third..]
+        .iter()
+        .map(|m| m.wait_time.as_secs_f64())
+        .sum();
+    println!(
+        "\nSummary: total refinement {:.3}s, total wait {:.3}s, conflicts {}; \
+         wait time in the first third of the sequence {:.3}s vs last third {:.3}s.",
+        run.total_crack_time().as_secs_f64(),
+        run.total_wait_time().as_secs_f64(),
+        run.total_conflicts(),
+        early,
+        late,
+    );
+    println!(
+        "Expected shape: both series start high (the first queries crack and wait on huge pieces)\n\
+         and decay continuously; the wait-time curve tracks the refinement-time curve because one\n\
+         query's crack time is another query's wait time (paper, Section 6.3)."
+    );
+}

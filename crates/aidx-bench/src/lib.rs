@@ -1,0 +1,70 @@
+//! # aidx-bench — the figure-by-figure benchmark harness
+//!
+//! One binary per figure of the paper's evaluation section (run with
+//! `cargo run -p aidx-bench --release --bin figNN`) plus Criterion
+//! micro-benchmarks (run with `cargo bench`). Each binary prints the same
+//! series the paper plots, as tab-separated text, so results can be compared
+//! shape-for-shape with the published figures; `EXPERIMENTS.md` records one
+//! such run.
+//!
+//! All binaries accept the environment variables `AIDX_ROWS` and
+//! `AIDX_QUERIES` to override the (scaled-down) defaults; set
+//! `AIDX_ROWS=100000000 AIDX_QUERIES=1024` to reproduce the paper's original
+//! scale if you have the memory and patience.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Default row count for figure binaries (paper: 100 000 000).
+pub const BENCH_ROWS_DEFAULT: usize = 1_000_000;
+
+/// Default query count for figure binaries (paper: 1024).
+pub const BENCH_QUERIES_DEFAULT: usize = 256;
+
+/// Reads `AIDX_ROWS` / `AIDX_QUERIES` overrides, falling back to the given
+/// defaults.
+pub fn scaled_params(default_rows: usize, default_queries: usize) -> (usize, usize) {
+    let rows = std::env::var("AIDX_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_rows);
+    let queries = std::env::var("AIDX_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_queries);
+    (rows, queries)
+}
+
+/// Formats a duration as fractional milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints a tab-separated header followed by rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_formats_milliseconds() {
+        assert_eq!(ms(Duration::from_millis(12)), "12.000");
+        assert_eq!(ms(Duration::from_micros(1500)), "1.500");
+    }
+
+    #[test]
+    fn scaled_params_fall_back_to_defaults() {
+        std::env::remove_var("AIDX_ROWS");
+        std::env::remove_var("AIDX_QUERIES");
+        assert_eq!(scaled_params(10, 20), (10, 20));
+    }
+}

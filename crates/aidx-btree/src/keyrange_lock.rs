@@ -1,0 +1,218 @@
+//! Key-range locking on separator keys (Sections 3.2 and 4.3).
+//!
+//! Hierarchical locking inside a B-tree locks key ranges identified by
+//! separator keys: a lock on separator `s` covers all keys in `[s, s')`
+//! where `s'` is the next separator. In a partitioned B-tree with an
+//! artificial leading key field, a "generic" lock on the partition prefix
+//! locks an entire partition (the paper cites Tandem's generic locks).
+//!
+//! [`KeyRangeLockTable`] maintains the separator set for one index and maps
+//! key-range lock requests onto the shared [`LockManager`], so user
+//! transactions' range locks and the system transactions' conflict checks
+//! use one compatibility matrix.
+
+use aidx_latch::lockmgr::{LockError, LockManager, LockMode, LockResource, TxnId};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Key-range locking for one index, layered over a shared lock manager.
+#[derive(Debug)]
+pub struct KeyRangeLockTable {
+    index_name: String,
+    separators: BTreeSet<i64>,
+    manager: Arc<LockManager>,
+}
+
+impl KeyRangeLockTable {
+    /// Creates a key-range lock table for `index_name`. The separator set
+    /// starts with `i64::MIN` so every key falls into some range.
+    pub fn new(index_name: impl Into<String>, manager: Arc<LockManager>) -> Self {
+        let mut separators = BTreeSet::new();
+        separators.insert(i64::MIN);
+        KeyRangeLockTable {
+            index_name: index_name.into(),
+            separators,
+            manager,
+        }
+    }
+
+    /// The index this table guards.
+    pub fn index_name(&self) -> &str {
+        &self.index_name
+    }
+
+    /// Registers a new separator key (e.g. after a node split or a crack).
+    /// Finer separators mean finer lock granularity — the incremental-locking
+    /// effect of Section 3.2.
+    pub fn add_separator(&mut self, key: i64) {
+        self.separators.insert(key);
+    }
+
+    /// Number of separator keys (number of lockable ranges).
+    pub fn separator_count(&self) -> usize {
+        self.separators.len()
+    }
+
+    /// The separator key of the range containing `key`.
+    pub fn separator_for(&self, key: i64) -> i64 {
+        *self
+            .separators
+            .range(..=key)
+            .next_back()
+            .expect("separator set always contains i64::MIN")
+    }
+
+    /// The resource a lock on `key`'s range maps to.
+    pub fn resource_for(&self, key: i64) -> LockResource {
+        LockResource::KeyRange {
+            index: self.index_name.clone(),
+            low: self.separator_for(key),
+        }
+    }
+
+    /// Tries to lock the key range containing `key` for `txn` in `mode`.
+    pub fn try_lock_key(&self, txn: TxnId, key: i64, mode: LockMode) -> Result<(), LockError> {
+        self.manager.try_lock(txn, self.resource_for(key), mode)
+    }
+
+    /// Tries to lock every range overlapping `[low, high)` for `txn`.
+    /// On conflict, already-acquired locks are left in place (the caller
+    /// releases everything at transaction end, as usual).
+    pub fn try_lock_range(
+        &self,
+        txn: TxnId,
+        low: i64,
+        high: i64,
+        mode: LockMode,
+    ) -> Result<usize, LockError> {
+        let mut locked = 0;
+        for sep in self.separators_overlapping(low, high) {
+            self.manager.try_lock(
+                txn,
+                LockResource::KeyRange {
+                    index: self.index_name.clone(),
+                    low: sep,
+                },
+                mode,
+            )?;
+            locked += 1;
+        }
+        Ok(locked)
+    }
+
+    /// True if some other transaction holds a conflicting lock on any range
+    /// overlapping `[low, high)` — the check a system transaction performs
+    /// before refining that key range.
+    pub fn conflicts_in_range(&self, txn: TxnId, low: i64, high: i64, mode: LockMode) -> bool {
+        self.separators_overlapping(low, high).into_iter().any(|sep| {
+            self.manager.holds_conflicting(
+                txn,
+                &LockResource::KeyRange {
+                    index: self.index_name.clone(),
+                    low: sep,
+                },
+                mode,
+            )
+        })
+    }
+
+    /// Releases all locks held by `txn` (on every resource of the shared
+    /// manager, as a transaction-end action).
+    pub fn release_all(&self, txn: TxnId) -> usize {
+        self.manager.release_all(txn)
+    }
+
+    fn separators_overlapping(&self, low: i64, high: i64) -> Vec<i64> {
+        if low >= high {
+            return Vec::new();
+        }
+        let first = self.separator_for(low);
+        self.separators
+            .range(first..)
+            .take_while(|&&s| s < high || s == first)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> KeyRangeLockTable {
+        let mut t = KeyRangeLockTable::new("idx", Arc::new(LockManager::new()));
+        for s in [0, 100, 200, 300] {
+            t.add_separator(s);
+        }
+        t
+    }
+
+    #[test]
+    fn separator_lookup() {
+        let t = table();
+        assert_eq!(t.index_name(), "idx");
+        assert_eq!(t.separator_count(), 5); // i64::MIN plus four
+        assert_eq!(t.separator_for(-50), i64::MIN);
+        assert_eq!(t.separator_for(0), 0);
+        assert_eq!(t.separator_for(150), 100);
+        assert_eq!(t.separator_for(5000), 300);
+    }
+
+    #[test]
+    fn lock_same_range_conflicts() {
+        let t = table();
+        t.try_lock_key(1, 150, LockMode::Exclusive).unwrap();
+        // Same range (100..200) conflicts.
+        assert!(t.try_lock_key(2, 199, LockMode::Shared).is_err());
+        // A different range does not.
+        t.try_lock_key(2, 250, LockMode::Exclusive).unwrap();
+        t.release_all(1);
+        t.try_lock_key(2, 199, LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn range_lock_covers_all_overlapping_separators() {
+        let t = table();
+        let locked = t.try_lock_range(1, 50, 250, LockMode::Shared).unwrap();
+        // Ranges starting at 0, 100, 200 overlap [50, 250).
+        assert_eq!(locked, 3);
+        // A writer on any of them conflicts.
+        assert!(t.try_lock_key(2, 210, LockMode::Exclusive).is_err());
+        // Outside the locked span it does not.
+        t.try_lock_key(2, 350, LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn conflicts_in_range_checks_without_acquiring() {
+        let t = table();
+        t.try_lock_key(1, 150, LockMode::Exclusive).unwrap();
+        assert!(t.conflicts_in_range(2, 0, 300, LockMode::Shared));
+        assert!(!t.conflicts_in_range(2, 200, 300, LockMode::Shared));
+        // The check itself acquired nothing: txn 2 can still lock 200..300.
+        t.try_lock_key(2, 250, LockMode::Exclusive).unwrap();
+        // And the owning transaction never conflicts with itself on the
+        // range it holds.
+        assert!(!t.conflicts_in_range(1, 100, 200, LockMode::Exclusive));
+    }
+
+    #[test]
+    fn finer_separators_reduce_false_conflicts() {
+        let coarse = KeyRangeLockTable::new("c", Arc::new(LockManager::new()));
+        coarse.try_lock_key(1, 10, LockMode::Exclusive).unwrap();
+        // With only the MIN separator, everything is one range: conflict.
+        assert!(coarse.try_lock_key(2, 1_000_000, LockMode::Exclusive).is_err());
+
+        let mut fine = KeyRangeLockTable::new("f", Arc::new(LockManager::new()));
+        fine.add_separator(1000);
+        fine.try_lock_key(1, 10, LockMode::Exclusive).unwrap();
+        // The refined separator set isolates the two keys: no conflict.
+        fine.try_lock_key(2, 1_000_000, LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn empty_range_locks_nothing() {
+        let t = table();
+        assert_eq!(t.try_lock_range(1, 50, 50, LockMode::Shared).unwrap(), 0);
+        assert!(!t.conflicts_in_range(1, 10, 5, LockMode::Exclusive));
+    }
+}

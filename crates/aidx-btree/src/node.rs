@@ -1,0 +1,81 @@
+//! B-tree nodes.
+//!
+//! The tree is stored in an arena (`Vec<Node>`) and nodes reference each
+//! other through [`NodeId`] indices, which keeps the implementation free of
+//! unsafe code and plays well with the latch-per-node instrumentation the
+//! concurrency experiments attach to it.
+//!
+//! Leaves are singly linked left-to-right so that range scans — the access
+//! pattern of both adaptive merging and the full-index baseline — can stream
+//! across leaf boundaries without descending from the root again.
+
+/// Index of a node inside the tree's arena.
+pub type NodeId = usize;
+
+/// A B-tree node: either an internal router node or a leaf.
+#[derive(Debug, Clone)]
+pub enum Node<K, V> {
+    /// Internal node: `keys[i]` separates `children[i]` (keys `< keys[i]`)
+    /// from `children[i + 1]` (keys `>= keys[i]`).
+    Internal {
+        /// Separator keys, sorted ascending.
+        keys: Vec<K>,
+        /// Child node ids; always `keys.len() + 1` entries.
+        children: Vec<NodeId>,
+    },
+    /// Leaf node: aligned key/value arrays plus a link to the next leaf.
+    Leaf {
+        /// Keys, sorted ascending.
+        keys: Vec<K>,
+        /// Values aligned with `keys`.
+        values: Vec<V>,
+        /// The next leaf to the right, if any.
+        next: Option<NodeId>,
+    },
+}
+
+impl<K, V> Node<K, V> {
+    /// Creates an empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: None,
+        }
+    }
+
+    /// True if this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of keys stored in the node.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } => keys.len(),
+            Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_leaf_properties() {
+        let n: Node<i64, u32> = Node::empty_leaf();
+        assert!(n.is_leaf());
+        assert_eq!(n.key_count(), 0);
+    }
+
+    #[test]
+    fn internal_node_key_count() {
+        let n: Node<i64, u32> = Node::Internal {
+            keys: vec![10, 20],
+            children: vec![0, 1, 2],
+        };
+        assert!(!n.is_leaf());
+        assert_eq!(n.key_count(), 2);
+    }
+}

@@ -1,0 +1,531 @@
+//! A from-scratch B-tree (B+-tree variant) with linked leaves.
+//!
+//! This is the storage structure underneath the partitioned B-tree of
+//! Section 4. It is an ordered map: unique keys, values stored only in the
+//! leaves, leaves linked left-to-right for range scans. The partitioned
+//! B-tree obtains "partitions" purely by prefixing keys with an artificial
+//! leading partition identifier — no catalog entries, exactly as the paper
+//! describes — so uniqueness of the composite key is guaranteed by including
+//! the row id as the final component.
+//!
+//! Deletion uses the pragmatic "lazy" approach common in production systems
+//! (and compatible with the paper's ghost/pseudo-deleted record discussion
+//! in Section 3.1): entries are removed from their leaf immediately, but
+//! underfull nodes are not eagerly merged. The tree therefore never grows in
+//! height because of deletions and all ordering invariants are preserved;
+//! space is reclaimed when an entire leaf becomes empty and unreachable.
+
+use crate::node::{Node, NodeId};
+
+/// Default maximum number of keys per node.
+pub const DEFAULT_ORDER: usize = 64;
+
+/// An ordered map implemented as a B+-tree with linked leaves.
+#[derive(Debug, Clone)]
+pub struct BTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: NodeId,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BTree<K, V> {
+    /// Creates an empty tree with the default node order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree with `order` maximum keys per node (min 4).
+    pub fn with_order(order: usize) -> Self {
+        let order = order.max(4);
+        BTree {
+            nodes: vec![Node::empty_leaf()],
+            root: 0,
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum keys per node.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    cur = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Inserts `key → value`. Returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let root = self.root;
+        let (old, split) = self.insert_rec(root, key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+        old
+    }
+
+    fn insert_rec(&mut self, node: NodeId, key: K, value: V) -> (Option<V>, Option<(K, NodeId)>) {
+        if self.nodes[node].is_leaf() {
+            let order = self.order;
+            let (old, overflow) = match &mut self.nodes[node] {
+                Node::Leaf { keys, values, .. } => {
+                    let pos = keys.partition_point(|k| k < &key);
+                    if pos < keys.len() && keys[pos] == key {
+                        (Some(std::mem::replace(&mut values[pos], value)), false)
+                    } else {
+                        keys.insert(pos, key);
+                        values.insert(pos, value);
+                        (None, keys.len() > order)
+                    }
+                }
+                Node::Internal { .. } => unreachable!("is_leaf was checked"),
+            };
+            let split = overflow.then(|| self.split_leaf(node));
+            (old, split)
+        } else {
+            let (child_idx, child) = match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|sep| sep <= &key);
+                    (idx, children[idx])
+                }
+                Node::Leaf { .. } => unreachable!("is_leaf was checked"),
+            };
+            let (old, child_split) = self.insert_rec(child, key, value);
+            let mut overflow = false;
+            if let Some((sep, right)) = child_split {
+                if let Node::Internal { keys, children } = &mut self.nodes[node] {
+                    keys.insert(child_idx, sep);
+                    children.insert(child_idx + 1, right);
+                    overflow = keys.len() > self.order;
+                }
+            }
+            let split = overflow.then(|| self.split_internal(node));
+            (old, split)
+        }
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> (K, NodeId) {
+        let new_id = self.nodes.len();
+        let (sep, right) = match &mut self.nodes[node] {
+            Node::Leaf { keys, values, next } => {
+                let mid = keys.len() / 2;
+                let right_keys: Vec<K> = keys.split_off(mid);
+                let right_values: Vec<V> = values.split_off(mid);
+                let right_next = *next;
+                *next = Some(new_id);
+                let sep = right_keys[0].clone();
+                (
+                    sep,
+                    Node::Leaf {
+                        keys: right_keys,
+                        values: right_values,
+                        next: right_next,
+                    },
+                )
+            }
+            Node::Internal { .. } => unreachable!("split_leaf on internal node"),
+        };
+        self.nodes.push(right);
+        (sep, new_id)
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> (K, NodeId) {
+        let new_id = self.nodes.len();
+        let (sep, right) = match &mut self.nodes[node] {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let right_keys: Vec<K> = keys.split_off(mid + 1);
+                let sep = keys.pop().expect("internal node must have a separator to promote");
+                let right_children: Vec<NodeId> = children.split_off(mid + 1);
+                (
+                    sep,
+                    Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                )
+            }
+            Node::Leaf { .. } => unreachable!("split_internal on leaf"),
+        };
+        self.nodes.push(right);
+        (sep, new_id)
+    }
+
+    /// Finds the leaf that would contain `key`, returning its id.
+    fn find_leaf(&self, key: &K) -> NodeId {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { .. } => return cur,
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|sep| sep <= key);
+                    cur = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Looks up the value stored under `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        if let Node::Leaf { keys, values, .. } = &self.nodes[leaf] {
+            match keys.binary_search(key) {
+                Ok(pos) => Some(&values[pos]),
+                Err(_) => None,
+            }
+        } else {
+            unreachable!("find_leaf returned an internal node")
+        }
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if present. Nodes are not
+    /// rebalanced (lazy deletion); ordering invariants are preserved.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let leaf = self.find_leaf(key);
+        if let Node::Leaf { keys, values, .. } = &mut self.nodes[leaf] {
+            match keys.binary_search(key) {
+                Ok(pos) => {
+                    keys.remove(pos);
+                    let v = values.remove(pos);
+                    self.len -= 1;
+                    Some(v)
+                }
+                Err(_) => None,
+            }
+        } else {
+            unreachable!("find_leaf returned an internal node")
+        }
+    }
+
+    /// Collects all entries with `low <= key < high`, in key order.
+    pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if low >= high || self.len == 0 {
+            return out;
+        }
+        let mut leaf = self.find_leaf(low);
+        loop {
+            let (keys, values, next) = match &self.nodes[leaf] {
+                Node::Leaf { keys, values, next } => (keys, values, next),
+                _ => unreachable!(),
+            };
+            let start = keys.partition_point(|k| k < low);
+            for i in start..keys.len() {
+                if &keys[i] >= high {
+                    return out;
+                }
+                out.push((keys[i].clone(), values[i].clone()));
+            }
+            match next {
+                Some(n) => leaf = *n,
+                None => return out,
+            }
+        }
+    }
+
+    /// Removes and returns all entries with `low <= key < high`, in key
+    /// order. This is the extraction primitive adaptive merging uses to move
+    /// records out of initial partitions.
+    pub fn remove_range(&mut self, low: &K, high: &K) -> Vec<(K, V)> {
+        let extracted = self.range(low, high);
+        for (k, _) in &extracted {
+            let removed = self.remove(k);
+            debug_assert!(removed.is_some(), "entry vanished during remove_range");
+        }
+        extracted
+    }
+
+    /// All entries in key order (full scan through the leaf chain).
+    pub fn iter_all(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        // Find the leftmost leaf.
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { .. } => break,
+                Node::Internal { children, .. } => cur = children[0],
+            }
+        }
+        loop {
+            let (keys, values, next) = match &self.nodes[cur] {
+                Node::Leaf { keys, values, next } => (keys, values, next),
+                _ => unreachable!(),
+            };
+            for i in 0..keys.len() {
+                out.push((keys[i].clone(), values[i].clone()));
+            }
+            match next {
+                Some(n) => cur = *n,
+                None => return out,
+            }
+        }
+    }
+
+    /// The smallest key, if any.
+    pub fn min_key(&self) -> Option<K> {
+        self.iter_all().first().map(|(k, _)| k.clone())
+    }
+
+    /// The greatest key, if any.
+    pub fn max_key(&self) -> Option<K> {
+        self.iter_all().last().map(|(k, _)| k.clone())
+    }
+
+    /// Verifies the structural invariants: key order inside nodes, separator
+    /// correctness, and that the leaf chain enumerates exactly the tree's
+    /// entries in order. Returns `true` when all hold.
+    pub fn check_invariants(&self) -> bool {
+        fn check_node<K: Ord + Clone, V: Clone>(
+            tree: &BTree<K, V>,
+            node: NodeId,
+            lower: Option<&K>,
+            upper: Option<&K>,
+        ) -> Result<usize, ()> {
+            match &tree.nodes[node] {
+                Node::Leaf { keys, values, .. } => {
+                    if keys.len() != values.len() {
+                        return Err(());
+                    }
+                    if !keys.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(());
+                    }
+                    for k in keys {
+                        if lower.is_some_and(|lo| k < lo) || upper.is_some_and(|hi| k >= hi) {
+                            return Err(());
+                        }
+                    }
+                    Ok(keys.len())
+                }
+                Node::Internal { keys, children } => {
+                    if children.len() != keys.len() + 1 || keys.is_empty() {
+                        return Err(());
+                    }
+                    if !keys.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(());
+                    }
+                    let mut count = 0;
+                    for (i, &child) in children.iter().enumerate() {
+                        let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
+                        let hi = if i == keys.len() { upper } else { Some(&keys[i]) };
+                        count += check_node(tree, child, lo, hi)?;
+                    }
+                    Ok(count)
+                }
+            }
+        }
+        let counted = match check_node(self, self.root, None, None) {
+            Ok(c) => c,
+            Err(()) => return false,
+        };
+        if counted != self.len {
+            return false;
+        }
+        // The leaf chain must produce the same entries in sorted order.
+        let all = self.iter_all();
+        all.len() == self.len && all.windows(2).all(|w| w[0].0 < w[1].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BTree<i64, u32> = BTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.get(&5), None);
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+        assert!(t.range(&0, &10).is_empty());
+        assert!(t.check_invariants());
+        assert_eq!(t.order(), DEFAULT_ORDER);
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = BTree::with_order(4);
+        assert_eq!(t.insert(5, "a"), None);
+        assert_eq!(t.insert(3, "b"), None);
+        assert_eq!(t.insert(5, "c"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&5), Some(&"c"));
+        assert_eq!(t.get(&3), Some(&"b"));
+        assert_eq!(t.get(&4), None);
+        assert!(t.contains_key(&3));
+        assert!(!t.contains_key(&99));
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn many_inserts_ascending_and_descending() {
+        for order in [4, 8, 64] {
+            let mut t = BTree::with_order(order);
+            for i in 0..500i64 {
+                t.insert(i, i * 10);
+            }
+            for i in (500..1000i64).rev() {
+                t.insert(i, i * 10);
+            }
+            assert_eq!(t.len(), 1000);
+            assert!(t.check_invariants(), "invariants failed for order {order}");
+            assert!(t.height() > 1);
+            for i in 0..1000i64 {
+                assert_eq!(t.get(&i), Some(&(i * 10)));
+            }
+            assert_eq!(t.min_key(), Some(0));
+            assert_eq!(t.max_key(), Some(999));
+        }
+    }
+
+    #[test]
+    fn range_queries_match_reference() {
+        let mut t = BTree::with_order(6);
+        let mut reference = std::collections::BTreeMap::new();
+        let mut x: i64 = 7;
+        for _ in 0..400 {
+            x = (x * 48271) % 99991;
+            t.insert(x, x + 1);
+            reference.insert(x, x + 1);
+        }
+        assert!(t.check_invariants());
+        for (low, high) in [(0, 99991), (500, 700), (90000, 99991), (50, 49), (3, 3)] {
+            let got = t.range(&low, &high);
+            let expected: Vec<(i64, i64)> = if low < high {
+                reference.range(low..high).map(|(&k, &v)| (k, v)).collect()
+            } else {
+                Vec::new()
+            };
+            assert_eq!(got, expected, "range [{low},{high})");
+        }
+    }
+
+    #[test]
+    fn iter_all_is_sorted_and_complete() {
+        let mut t = BTree::with_order(4);
+        for i in [5i64, 1, 9, 3, 7, 2, 8, 6, 4, 0] {
+            t.insert(i, ());
+        }
+        let keys: Vec<i64> = t.iter_all().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_and_lazy_deletion_preserve_invariants() {
+        let mut t = BTree::with_order(4);
+        for i in 0..200i64 {
+            t.insert(i, i);
+        }
+        for i in (0..200i64).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert_eq!(t.remove(&0), None);
+        assert_eq!(t.len(), 100);
+        assert!(t.check_invariants());
+        for i in 0..200i64 {
+            assert_eq!(t.get(&i).is_some(), i % 2 == 1);
+        }
+        // Range scans skip removed entries.
+        let got = t.range(&0, &10);
+        assert_eq!(got, vec![(1, 1), (3, 3), (5, 5), (7, 7), (9, 9)]);
+    }
+
+    #[test]
+    fn remove_range_extracts_in_order() {
+        let mut t = BTree::with_order(4);
+        for i in 0..50i64 {
+            t.insert(i, i * 2);
+        }
+        let extracted = t.remove_range(&10, &20);
+        assert_eq!(extracted.len(), 10);
+        assert_eq!(extracted[0], (10, 20));
+        assert_eq!(extracted[9], (19, 38));
+        assert_eq!(t.len(), 40);
+        assert!(t.range(&10, &20).is_empty());
+        assert!(t.check_invariants());
+        // Removing an empty range does nothing.
+        assert!(t.remove_range(&30, &30).is_empty());
+        assert!(t.remove_range(&25, &20).is_empty());
+        assert_eq!(t.len(), 40);
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let mut t = BTree::with_order(4);
+        for i in 0..100i64 {
+            t.insert(i, ());
+        }
+        let all = t.remove_range(&0, &100);
+        assert_eq!(all.len(), 100);
+        assert!(t.is_empty());
+        assert!(t.check_invariants());
+        for i in 0..100i64 {
+            t.insert(i, ());
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn composite_keys_work() {
+        // The partitioned B-tree uses (partition, key, rowid) tuples.
+        let mut t: BTree<(u32, i64, u32), ()> = BTree::with_order(8);
+        for p in 0..4u32 {
+            for k in 0..50i64 {
+                t.insert((p, k, (p * 100) as u32 + k as u32), ());
+            }
+        }
+        assert_eq!(t.len(), 200);
+        // Range over a single partition.
+        let part1 = t.range(&(1, i64::MIN, 0), &(2, i64::MIN, 0));
+        assert_eq!(part1.len(), 50);
+        assert!(part1.iter().all(|((p, _, _), _)| *p == 1));
+        // Range over a key interval inside a partition.
+        let sub = t.range(&(2, 10, 0), &(2, 20, 0));
+        assert_eq!(sub.len(), 10);
+        assert!(t.check_invariants());
+    }
+}

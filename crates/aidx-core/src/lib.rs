@@ -1,0 +1,45 @@
+//! # aidx-core — concurrency control for adaptive indexing
+//!
+//! This crate is the reproduction of the core contribution of *Concurrency
+//! Control for Adaptive Indexing* (Graefe, Halim, Idreos, Kuno, Manegold,
+//! PVLDB 5(7), 2012): making index refinement that happens as a side effect
+//! of read-only queries safe — and cheap — under concurrency.
+//!
+//! The two observations the paper builds on:
+//!
+//! 1. Adaptive indexing changes only the **physical structure** of an index,
+//!    never its logical contents, so short-term latches (plus small system
+//!    transactions) suffice; transactional locks are never acquired, only
+//!    respected.
+//! 2. The pieces created by cracking are a natural, **adaptive lock
+//!    granularity**: as the workload refines the index, latched regions
+//!    shrink and conflicts decay.
+//!
+//! Main types:
+//!
+//! * [`ConcurrentCracker`] — a cracker index shared by concurrent query
+//!   threads, with column-latch, piece-latch, or latch-free protocols
+//!   ([`LatchProtocol`]), conflict avoidance ([`RefinementPolicy`]), bound
+//!   re-evaluation after wake-up, and middle-first waiter scheduling.
+//! * [`ConcurrentAdaptiveMerge`] — concurrency control for adaptive merging
+//!   over a partitioned B-tree, with instantly-committing merge steps that
+//!   respect user-transaction key-range locks.
+//! * [`QueryMetrics`] / [`RunMetrics`] — the wait/refinement/conflict
+//!   breakdown the paper's evaluation reports (Figures 13–15).
+//! * [`SharedCrackerArray`] — the latch-mediated shared cracker array.
+
+#![warn(missing_docs)]
+
+pub mod concurrent_index;
+pub mod merge_concurrent;
+pub mod metrics;
+pub mod piece_registry;
+pub mod protocol;
+pub mod shared_array;
+
+pub use concurrent_index::ConcurrentCracker;
+pub use merge_concurrent::ConcurrentAdaptiveMerge;
+pub use metrics::{QueryMetrics, RunMetrics};
+pub use piece_registry::PieceLatchRegistry;
+pub use protocol::{Aggregate, LatchProtocol, RefinementPolicy};
+pub use shared_array::SharedCrackerArray;

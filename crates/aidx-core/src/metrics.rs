@@ -1,0 +1,192 @@
+//! Per-query and per-run metrics.
+//!
+//! The evaluation section of the paper reports, besides end-to-end times,
+//! the *breakdown* of where a query's time goes: how long it waited for
+//! latches versus how long it spent refining the index (Figure 15), how many
+//! conflicts occurred, and how much administration overhead concurrency
+//! control added (Figure 13). Every query executed through `aidx-core`
+//! returns a [`QueryMetrics`] carrying exactly those numbers, and
+//! [`RunMetrics`] aggregates them across a workload.
+
+use std::time::Duration;
+
+/// Timing and conflict breakdown of one executed query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryMetrics {
+    /// Wall-clock time of the whole query.
+    pub total: Duration,
+    /// Time spent waiting to acquire latches (write latches for cracking and
+    /// read latches for aggregation) — the "wait time" series of Figure 15.
+    pub wait_time: Duration,
+    /// Time spent physically reorganising the index under write latches —
+    /// the "index refinement" series of Figure 15.
+    pub crack_time: Duration,
+    /// Time spent computing the aggregate under read latches.
+    pub aggregate_time: Duration,
+    /// Number of crack (partitioning) steps performed.
+    pub cracks_performed: u32,
+    /// Number of latch acquisitions that had to wait (conflicts).
+    pub conflicts: u32,
+    /// Number of optional refinements skipped because of contention
+    /// (conflict avoidance) or early termination.
+    pub refinements_skipped: u32,
+    /// Number of qualifying tuples (the query's logical result size).
+    pub result_count: u64,
+}
+
+impl QueryMetrics {
+    /// Adds another query's numbers into this one (used for aggregation).
+    pub fn accumulate(&mut self, other: &QueryMetrics) {
+        self.total += other.total;
+        self.wait_time += other.wait_time;
+        self.crack_time += other.crack_time;
+        self.aggregate_time += other.aggregate_time;
+        self.cracks_performed += other.cracks_performed;
+        self.conflicts += other.conflicts;
+        self.refinements_skipped += other.refinements_skipped;
+        self.result_count += other.result_count;
+    }
+}
+
+/// Aggregated metrics of a whole query sequence (one experiment run).
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Per-query metrics in execution order (order of completion for
+    /// concurrent runs).
+    pub per_query: Vec<QueryMetrics>,
+    /// Wall-clock time of the whole run (as perceived by the last client to
+    /// finish, which is what the paper plots).
+    pub wall_clock: Duration,
+}
+
+impl RunMetrics {
+    /// Creates an empty run record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queries recorded.
+    pub fn query_count(&self) -> usize {
+        self.per_query.len()
+    }
+
+    /// Sum of all per-query metrics.
+    pub fn totals(&self) -> QueryMetrics {
+        let mut total = QueryMetrics::default();
+        for q in &self.per_query {
+            total.accumulate(q);
+        }
+        total
+    }
+
+    /// Throughput in queries per second over the wall-clock time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_clock.is_zero() {
+            return 0.0;
+        }
+        self.per_query.len() as f64 / self.wall_clock.as_secs_f64()
+    }
+
+    /// Mean per-query total time.
+    pub fn mean_query_time(&self) -> Duration {
+        if self.per_query.is_empty() {
+            return Duration::ZERO;
+        }
+        self.totals().total / self.per_query.len() as u32
+    }
+
+    /// Running average of per-query time after each query (Figure 11b).
+    pub fn running_average(&self) -> Vec<Duration> {
+        let mut out = Vec::with_capacity(self.per_query.len());
+        let mut acc = Duration::ZERO;
+        for (i, q) in self.per_query.iter().enumerate() {
+            acc += q.total;
+            out.push(acc / (i as u32 + 1));
+        }
+        out
+    }
+
+    /// Total number of latch conflicts across the run.
+    pub fn total_conflicts(&self) -> u64 {
+        self.per_query.iter().map(|q| q.conflicts as u64).sum()
+    }
+
+    /// Total time spent waiting for latches across the run.
+    pub fn total_wait_time(&self) -> Duration {
+        self.per_query.iter().map(|q| q.wait_time).sum()
+    }
+
+    /// Total time spent refining (cracking) across the run.
+    pub fn total_crack_time(&self) -> Duration {
+        self.per_query.iter().map(|q| q.crack_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(total_ms: u64, wait_ms: u64, crack_ms: u64, conflicts: u32) -> QueryMetrics {
+        QueryMetrics {
+            total: Duration::from_millis(total_ms),
+            wait_time: Duration::from_millis(wait_ms),
+            crack_time: Duration::from_millis(crack_ms),
+            aggregate_time: Duration::ZERO,
+            cracks_performed: 2,
+            conflicts,
+            refinements_skipped: 0,
+            result_count: 10,
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_all_fields() {
+        let mut a = metrics(10, 2, 3, 1);
+        a.accumulate(&metrics(20, 4, 5, 2));
+        assert_eq!(a.total, Duration::from_millis(30));
+        assert_eq!(a.wait_time, Duration::from_millis(6));
+        assert_eq!(a.crack_time, Duration::from_millis(8));
+        assert_eq!(a.cracks_performed, 4);
+        assert_eq!(a.conflicts, 3);
+        assert_eq!(a.result_count, 20);
+    }
+
+    #[test]
+    fn run_metrics_aggregation() {
+        let mut run = RunMetrics::new();
+        run.per_query.push(metrics(10, 1, 2, 1));
+        run.per_query.push(metrics(30, 3, 4, 0));
+        run.wall_clock = Duration::from_millis(40);
+        assert_eq!(run.query_count(), 2);
+        assert_eq!(run.totals().total, Duration::from_millis(40));
+        assert_eq!(run.mean_query_time(), Duration::from_millis(20));
+        assert_eq!(run.total_conflicts(), 1);
+        assert_eq!(run.total_wait_time(), Duration::from_millis(4));
+        assert_eq!(run.total_crack_time(), Duration::from_millis(6));
+        let qps = run.throughput_qps();
+        assert!((qps - 50.0).abs() < 1e-9, "2 queries / 0.04 s = 50 qps, got {qps}");
+    }
+
+    #[test]
+    fn running_average_matches_definition() {
+        let mut run = RunMetrics::new();
+        run.per_query.push(metrics(10, 0, 0, 0));
+        run.per_query.push(metrics(30, 0, 0, 0));
+        run.per_query.push(metrics(20, 0, 0, 0));
+        let avg = run.running_average();
+        assert_eq!(avg, vec![
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(20),
+        ]);
+    }
+
+    #[test]
+    fn empty_run_is_well_behaved() {
+        let run = RunMetrics::new();
+        assert_eq!(run.query_count(), 0);
+        assert_eq!(run.throughput_qps(), 0.0);
+        assert_eq!(run.mean_query_time(), Duration::ZERO);
+        assert!(run.running_average().is_empty());
+    }
+}

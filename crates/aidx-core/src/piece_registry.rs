@@ -1,0 +1,110 @@
+//! Registry of per-piece latches.
+//!
+//! Pieces are identified by their (stable) start position in the cracker
+//! array. The registry creates latches lazily the first time a piece is
+//! contended-for and shares a single statistics block across all of them so
+//! the harness can report column-wide conflict counts.
+
+use aidx_latch::ordered::OrderedWaitLatch;
+use aidx_latch::stats::{LatchStats, LatchStatsSnapshot};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lazily-populated map from piece start position to its latch.
+#[derive(Debug)]
+pub struct PieceLatchRegistry {
+    latches: Mutex<HashMap<usize, Arc<OrderedWaitLatch>>>,
+    stats: Arc<LatchStats>,
+}
+
+impl Default for PieceLatchRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PieceLatchRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        PieceLatchRegistry {
+            latches: Mutex::new(HashMap::new()),
+            stats: Arc::new(LatchStats::new()),
+        }
+    }
+
+    /// Returns the latch guarding the piece that starts at `piece_start`,
+    /// creating it on first use.
+    pub fn latch_for(&self, piece_start: usize) -> Arc<OrderedWaitLatch> {
+        let mut guard = self.latches.lock();
+        Arc::clone(
+            guard
+                .entry(piece_start)
+                .or_insert_with(|| Arc::new(OrderedWaitLatch::with_stats(Arc::clone(&self.stats)))),
+        )
+    }
+
+    /// Number of piece latches created so far.
+    pub fn latch_count(&self) -> usize {
+        self.latches.lock().len()
+    }
+
+    /// Merged statistics across all piece latches.
+    pub fn stats(&self) -> LatchStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn latches_are_created_lazily_and_shared() {
+        let reg = PieceLatchRegistry::new();
+        assert_eq!(reg.latch_count(), 0);
+        let a = reg.latch_for(0);
+        let b = reg.latch_for(0);
+        let c = reg.latch_for(10);
+        assert_eq!(reg.latch_count(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn stats_are_shared_across_piece_latches() {
+        let reg = PieceLatchRegistry::new();
+        {
+            let latch = reg.latch_for(0);
+            let _g = latch.acquire_write(5);
+        }
+        {
+            let latch = reg.latch_for(7);
+            let _g = latch.acquire_read();
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.write_acquisitions, 1);
+        assert_eq!(stats.read_acquisitions, 1);
+    }
+
+    #[test]
+    fn concurrent_latch_for_is_race_free() {
+        let reg = Arc::new(PieceLatchRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(thread::spawn(move || {
+                for p in 0..50usize {
+                    let latch = reg.latch_for(p);
+                    let _g = latch.acquire_write(p as i64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.latch_count(), 50);
+        assert_eq!(reg.stats().write_acquisitions, 8 * 50);
+    }
+}

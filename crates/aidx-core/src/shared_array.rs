@@ -1,0 +1,280 @@
+//! A cracker array shareable across threads under piece latches.
+//!
+//! The piece-latch protocol lets several threads reorganise *disjoint*
+//! position ranges of the same cracker array concurrently (Section 5.3).
+//! Rust's `&mut` aliasing rules cannot express "mutable access to a dynamic,
+//! latch-protected sub-range of one vector", so this module provides the one
+//! carefully-scoped piece of `unsafe` in the repository:
+//! [`SharedCrackerArray`] stores the value and row-id arrays in
+//! `UnsafeCell`s and exposes range-scoped operations whose safety contract
+//! is "the caller holds the piece latch covering that range in the required
+//! mode".
+//!
+//! # Safety contract
+//!
+//! * The arrays are allocated once and never grow or shrink, so element
+//!   addresses are stable and no operation can invalidate another range's
+//!   pointers.
+//! * A thread may call a mutating range operation (`crack_in_two_range`,
+//!   `sort_range`) only while holding the **write** latch of the piece that
+//!   covers the range.
+//! * A thread may call a reading range operation (`sum_range`,
+//!   `values_in_range`, `rowids_in_range`) only while holding the **read or
+//!   write** latch of the piece(s) covering the range.
+//! * Piece latches are managed by [`crate::concurrent_index::ConcurrentCracker`];
+//!   pieces never overlap, so latched ranges never overlap.
+//!
+//! Every method in this module is safe to *call* (not `unsafe fn`) because
+//! violating the contract cannot corrupt memory safety metadata — the ranges
+//! are bounds-checked — but it can produce torn reads of values being
+//! swapped. The contract is therefore enforced by the only caller,
+//! `ConcurrentCracker`, which is what the test suite exercises heavily under
+//! many threads.
+
+use aidx_storage::{Column, RowId};
+use std::cell::UnsafeCell;
+
+/// A fixed-size (value, row-id) pair of arrays with interior mutability,
+/// safe to share across threads when access is mediated by piece latches.
+#[derive(Debug)]
+pub struct SharedCrackerArray {
+    values: UnsafeCell<Box<[i64]>>,
+    rowids: UnsafeCell<Box<[RowId]>>,
+    len: usize,
+}
+
+// SAFETY: all concurrent access goes through range-scoped methods whose
+// callers serialise conflicting accesses with piece latches (see the module
+// documentation). The arrays themselves never reallocate.
+unsafe impl Sync for SharedCrackerArray {}
+unsafe impl Send for SharedCrackerArray {}
+
+impl SharedCrackerArray {
+    /// Builds the shared array as a copy of a base column.
+    pub fn from_column(column: &Column) -> Self {
+        Self::from_values(column.values().to_vec())
+    }
+
+    /// Builds the shared array from raw values; row ids are positional.
+    pub fn from_values(values: Vec<i64>) -> Self {
+        let len = values.len();
+        let rowids: Vec<RowId> = (0..len as RowId).collect();
+        SharedCrackerArray {
+            values: UnsafeCell::new(values.into_boxed_slice()),
+            rowids: UnsafeCell::new(rowids.into_boxed_slice()),
+            len,
+        }
+    }
+
+    /// Number of entries (fixed for the array's lifetime).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn values_ptr(&self) -> *mut i64 {
+        // SAFETY: the box itself is never replaced; we only hand out element
+        // pointers within range-scoped methods.
+        unsafe { (*self.values.get()).as_mut_ptr() }
+    }
+
+    fn rowids_ptr(&self) -> *mut RowId {
+        unsafe { (*self.rowids.get()).as_mut_ptr() }
+    }
+
+    /// Partitions `[start, end)` around `pivot` (values `< pivot` first) and
+    /// returns the split position. Caller must hold the write latch of the
+    /// piece covering the range.
+    pub fn crack_in_two_range(&self, start: usize, end: usize, pivot: i64) -> usize {
+        assert!(start <= end && end <= self.len, "crack range out of bounds");
+        let values = self.values_ptr();
+        let rowids = self.rowids_ptr();
+        let mut lo = start;
+        let mut hi = end;
+        // SAFETY: indices stay within [start, end) ⊆ [0, len); exclusive
+        // access to this range is guaranteed by the caller's write latch.
+        unsafe {
+            while lo < hi {
+                if *values.add(lo) < pivot {
+                    lo += 1;
+                } else {
+                    hi -= 1;
+                    std::ptr::swap(values.add(lo), values.add(hi));
+                    std::ptr::swap(rowids.add(lo), rowids.add(hi));
+                }
+            }
+        }
+        lo
+    }
+
+    /// Sum of the values in `[start, end)`. Caller must hold read or write
+    /// latches covering the range.
+    pub fn sum_range(&self, start: usize, end: usize) -> i128 {
+        assert!(start <= end && end <= self.len, "sum range out of bounds");
+        let values = self.values_ptr();
+        let mut acc: i128 = 0;
+        // SAFETY: bounds checked above; shared access guaranteed by latches.
+        unsafe {
+            for i in start..end {
+                acc += *values.add(i) as i128;
+            }
+        }
+        acc
+    }
+
+    /// Count of values in `[start, end)` that satisfy `low <= v < high`.
+    /// Used when a query skipped refinement and must filter a boundary piece
+    /// under a read latch.
+    pub fn count_filtered(&self, start: usize, end: usize, low: i64, high: i64) -> u64 {
+        assert!(start <= end && end <= self.len, "count range out of bounds");
+        let values = self.values_ptr();
+        let mut n = 0u64;
+        // SAFETY: bounds checked above; shared access guaranteed by latches.
+        unsafe {
+            for i in start..end {
+                let v = *values.add(i);
+                if v >= low && v < high {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Sum of values in `[start, end)` that satisfy `low <= v < high`.
+    pub fn sum_filtered(&self, start: usize, end: usize, low: i64, high: i64) -> i128 {
+        assert!(start <= end && end <= self.len, "sum range out of bounds");
+        let values = self.values_ptr();
+        let mut acc: i128 = 0;
+        // SAFETY: bounds checked above; shared access guaranteed by latches.
+        unsafe {
+            for i in start..end {
+                let v = *values.add(i);
+                if v >= low && v < high {
+                    acc += v as i128;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Copies the values in `[start, end)` out of the array. Caller must
+    /// hold read or write latches covering the range.
+    pub fn values_in_range(&self, start: usize, end: usize) -> Vec<i64> {
+        assert!(start <= end && end <= self.len, "read range out of bounds");
+        let values = self.values_ptr();
+        let mut out = Vec::with_capacity(end - start);
+        // SAFETY: bounds checked above; shared access guaranteed by latches.
+        unsafe {
+            for i in start..end {
+                out.push(*values.add(i));
+            }
+        }
+        out
+    }
+
+    /// Copies the row ids in `[start, end)` out of the array.
+    pub fn rowids_in_range(&self, start: usize, end: usize) -> Vec<RowId> {
+        assert!(start <= end && end <= self.len, "read range out of bounds");
+        let rowids = self.rowids_ptr();
+        let mut out = Vec::with_capacity(end - start);
+        // SAFETY: bounds checked above; shared access guaranteed by latches.
+        unsafe {
+            for i in start..end {
+                out.push(*rowids.add(i));
+            }
+        }
+        out
+    }
+
+    /// Snapshot of the whole array as (values, rowids). Only meaningful when
+    /// the caller can guarantee quiescence (tests, invariant checks).
+    pub fn snapshot(&self) -> (Vec<i64>, Vec<RowId>) {
+        (self.values_in_range(0, self.len), self.rowids_in_range(0, self.len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn construction_and_basic_reads() {
+        let arr = SharedCrackerArray::from_values(vec![5, 1, 9, 3]);
+        assert_eq!(arr.len(), 4);
+        assert!(!arr.is_empty());
+        assert_eq!(arr.values_in_range(0, 4), vec![5, 1, 9, 3]);
+        assert_eq!(arr.rowids_in_range(0, 4), vec![0, 1, 2, 3]);
+        assert_eq!(arr.sum_range(1, 3), 10);
+        assert_eq!(arr.count_filtered(0, 4, 3, 9), 2);
+        assert_eq!(arr.sum_filtered(0, 4, 3, 9), 8);
+        let col = Column::from_values("a", vec![7, 7]);
+        let arr = SharedCrackerArray::from_column(&col);
+        assert_eq!(arr.snapshot().0, vec![7, 7]);
+    }
+
+    #[test]
+    fn crack_in_two_range_partitions() {
+        let arr = SharedCrackerArray::from_values(vec![5, 1, 9, 3, 7, 2, 8, 6]);
+        let split = arr.crack_in_two_range(0, 8, 5);
+        let (values, rowids) = arr.snapshot();
+        assert_eq!(split, 3);
+        assert!(values[..split].iter().all(|&v| v < 5));
+        assert!(values[split..].iter().all(|&v| v >= 5));
+        // Pairs stay together.
+        let original = [5, 1, 9, 3, 7, 2, 8, 6];
+        for (i, &rid) in rowids.iter().enumerate() {
+            assert_eq!(values[i], original[rid as usize]);
+        }
+    }
+
+    #[test]
+    fn disjoint_ranges_can_be_cracked_concurrently() {
+        // Two threads crack disjoint halves of the same shared array; the
+        // result must be the same as doing it sequentially.
+        let n = 100_000usize;
+        let values: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % n as i64).collect();
+        let arr = Arc::new(SharedCrackerArray::from_values(values.clone()));
+        let mid = n / 2;
+        let a = Arc::clone(&arr);
+        let b = Arc::clone(&arr);
+        let pivot = (n / 4) as i64;
+        let t1 = thread::spawn(move || a.crack_in_two_range(0, mid, pivot));
+        let t2 = thread::spawn(move || b.crack_in_two_range(mid, n, pivot));
+        let s1 = t1.join().unwrap();
+        let s2 = t2.join().unwrap();
+        let (vals, _) = arr.snapshot();
+        assert!(vals[..s1].iter().all(|&v| v < pivot));
+        assert!(vals[s1..mid].iter().all(|&v| v >= pivot));
+        assert!(vals[mid..s2].iter().all(|&v| v < pivot));
+        assert!(vals[s2..].iter().all(|&v| v >= pivot));
+        // No values lost.
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let mut expected = values;
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_crack_panics() {
+        let arr = SharedCrackerArray::from_values(vec![1, 2, 3]);
+        arr.crack_in_two_range(0, 4, 2);
+    }
+
+    #[test]
+    fn empty_array() {
+        let arr = SharedCrackerArray::from_values(vec![]);
+        assert!(arr.is_empty());
+        assert_eq!(arr.len(), 0);
+        assert_eq!(arr.sum_range(0, 0), 0);
+        assert_eq!(arr.crack_in_two_range(0, 0, 5), 0);
+    }
+}

@@ -1,0 +1,531 @@
+//! A hierarchical lock manager.
+//!
+//! Adaptive indexing's structural refinements never acquire transactional
+//! locks of their own (Section 3.3): they run in system transactions that
+//! rely entirely on latches. They must, however, *respect* the locks held by
+//! concurrent user transactions — "it is required to verify that no
+//! concurrent user transaction holds conflicting locks". This module
+//! provides the lock manager that user transactions use and that system
+//! transactions consult for that verification.
+//!
+//! The design follows classical hierarchical (multi-granularity) locking
+//! (Section 3.2): resources form a containment hierarchy
+//! table → column → piece, intention modes (IS/IX) are acquired on the
+//! ancestors of an explicitly locked resource, and the standard
+//! compatibility matrix governs conflicts. Keys in a partitioned B-tree use
+//! the same machinery via [`LockResource::KeyRange`].
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Transaction identifier used by the lock manager.
+pub type TxnId = u64;
+
+/// Lock modes, in the classical multi-granularity repertoire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared: intends to lock descendants in S.
+    IntentionShared,
+    /// Intention exclusive: intends to lock descendants in X.
+    IntentionExclusive,
+    /// Shared: read access to the whole sub-tree.
+    Shared,
+    /// Shared + intention exclusive.
+    SharedIntentionExclusive,
+    /// Update: read now, may upgrade to exclusive later.
+    Update,
+    /// Exclusive: read/write access to the whole sub-tree.
+    Exclusive,
+}
+
+impl LockMode {
+    /// The standard compatibility matrix (Gray & Reuter; paper's Table 1
+    /// lists the mode families).
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IntentionShared, Exclusive) | (Exclusive, IntentionShared) => false,
+            (IntentionShared, _) | (_, IntentionShared) => true,
+            (IntentionExclusive, IntentionExclusive) => true,
+            (IntentionExclusive, Shared) | (Shared, IntentionExclusive) => false,
+            (IntentionExclusive, _) | (_, IntentionExclusive) => false,
+            (Shared, Shared) => true,
+            (Shared, Update) | (Update, Shared) => true,
+            (Shared, _) | (_, Shared) => false,
+            (SharedIntentionExclusive, _) | (_, SharedIntentionExclusive) => false,
+            (Update, Update) => false,
+            (Update, _) | (_, Update) => false,
+            (Exclusive, Exclusive) => false,
+        }
+    }
+
+    /// True if this mode is an intention mode.
+    pub fn is_intention(self) -> bool {
+        matches!(
+            self,
+            LockMode::IntentionShared | LockMode::IntentionExclusive
+        )
+    }
+
+    /// The intention mode to take on ancestors when locking a descendant in
+    /// `self`.
+    pub fn ancestor_intention(self) -> LockMode {
+        match self {
+            LockMode::Shared | LockMode::IntentionShared | LockMode::Update => {
+                LockMode::IntentionShared
+            }
+            LockMode::Exclusive
+            | LockMode::IntentionExclusive
+            | LockMode::SharedIntentionExclusive => LockMode::IntentionExclusive,
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockMode::IntentionShared => "IS",
+            LockMode::IntentionExclusive => "IX",
+            LockMode::Shared => "S",
+            LockMode::SharedIntentionExclusive => "SIX",
+            LockMode::Update => "U",
+            LockMode::Exclusive => "X",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A lockable resource in the table → column → piece hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LockResource {
+    /// A whole table.
+    Table(String),
+    /// One column of a table.
+    Column {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// One cracking piece of a column, identified by its piece id.
+    Piece {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Piece identifier (stable across re-cracks of other pieces).
+        piece: u64,
+    },
+    /// A key range inside a (partitioned) B-tree, identified by its lower
+    /// separator key.
+    KeyRange {
+        /// Index name.
+        index: String,
+        /// Lower separator key of the locked range.
+        low: i64,
+    },
+}
+
+impl LockResource {
+    /// The parent resource in the hierarchy, if any.
+    pub fn parent(&self) -> Option<LockResource> {
+        match self {
+            LockResource::Table(_) => None,
+            LockResource::Column { table, .. } => Some(LockResource::Table(table.clone())),
+            LockResource::Piece { table, column, .. } => Some(LockResource::Column {
+                table: table.clone(),
+                column: column.clone(),
+            }),
+            LockResource::KeyRange { index, .. } => Some(LockResource::Table(index.clone())),
+        }
+    }
+
+    /// The chain of ancestors from the root (table) down to the direct
+    /// parent of this resource.
+    pub fn ancestors(&self) -> Vec<LockResource> {
+        let mut chain = Vec::new();
+        let mut cur = self.parent();
+        while let Some(r) = cur {
+            cur = r.parent();
+            chain.push(r);
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// A single granted lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockRequest {
+    /// The transaction holding the lock.
+    pub txn: TxnId,
+    /// The mode it holds.
+    pub mode: LockMode,
+}
+
+#[derive(Debug, Default)]
+struct LockTable {
+    granted: HashMap<LockResource, Vec<LockRequest>>,
+}
+
+impl LockTable {
+    fn conflicts(&self, resource: &LockResource, txn: TxnId, mode: LockMode) -> bool {
+        self.granted
+            .get(resource)
+            .map(|holders| {
+                holders
+                    .iter()
+                    .any(|h| h.txn != txn && !h.mode.compatible_with(mode))
+            })
+            .unwrap_or(false)
+    }
+
+    fn grant(&mut self, resource: LockResource, txn: TxnId, mode: LockMode) {
+        let holders = self.granted.entry(resource).or_default();
+        if let Some(existing) = holders.iter_mut().find(|h| h.txn == txn && h.mode == mode) {
+            // Re-granting the identical lock is a no-op.
+            let _ = existing;
+            return;
+        }
+        holders.push(LockRequest { txn, mode });
+    }
+
+    fn release_all(&mut self, txn: TxnId) -> usize {
+        let mut released = 0;
+        self.granted.retain(|_, holders| {
+            let before = holders.len();
+            holders.retain(|h| h.txn != txn);
+            released += before - holders.len();
+            !holders.is_empty()
+        });
+        released
+    }
+}
+
+/// Errors returned by non-blocking lock operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The lock could not be granted because another transaction holds an
+    /// incompatible lock on the same resource.
+    Conflict {
+        /// The requested resource.
+        resource: LockResource,
+        /// The requested mode.
+        mode: LockMode,
+    },
+    /// A blocking acquisition timed out (used as a crude deadlock safeguard).
+    Timeout,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Conflict { resource, mode } => {
+                write!(f, "lock conflict on {resource:?} requesting {mode}")
+            }
+            LockError::Timeout => write!(f, "lock wait timed out"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// The lock manager: a shared table of granted locks plus wait/notify.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: Mutex<LockTable>,
+    released: Condvar,
+}
+
+impl LockManager {
+    /// Creates an empty lock manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to lock `resource` in `mode` for `txn` without waiting.
+    /// Ancestor intention locks are acquired automatically.
+    pub fn try_lock(
+        &self,
+        txn: TxnId,
+        resource: LockResource,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        let mut table = self.table.lock();
+        let intention = mode.ancestor_intention();
+        for ancestor in resource.ancestors() {
+            if table.conflicts(&ancestor, txn, intention) {
+                return Err(LockError::Conflict {
+                    resource: ancestor,
+                    mode: intention,
+                });
+            }
+        }
+        if table.conflicts(&resource, txn, mode) {
+            return Err(LockError::Conflict { resource, mode });
+        }
+        for ancestor in resource.ancestors() {
+            table.grant(ancestor, txn, intention);
+        }
+        table.grant(resource, txn, mode);
+        Ok(())
+    }
+
+    /// Locks `resource` in `mode` for `txn`, waiting up to `timeout`.
+    pub fn lock_with_timeout(
+        &self,
+        txn: TxnId,
+        resource: LockResource,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> Result<(), LockError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.try_lock(txn, resource.clone(), mode) {
+                Ok(()) => return Ok(()),
+                Err(LockError::Conflict { .. }) => {
+                    let mut table = self.table.lock();
+                    // Re-check under the same critical section as the wait to
+                    // avoid missing a release notification.
+                    if !table.conflicts(&resource, txn, mode) {
+                        continue;
+                    }
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Err(LockError::Timeout);
+                    }
+                    let wait = deadline - now;
+                    if self.released.wait_for(&mut table, wait).timed_out() {
+                        return Err(LockError::Timeout);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Releases every lock held by `txn`, returning how many were released.
+    pub fn release_all(&self, txn: TxnId) -> usize {
+        let released = self.table.lock().release_all(txn);
+        if released > 0 {
+            self.released.notify_all();
+        }
+        released
+    }
+
+    /// True if any transaction other than `txn` holds a lock on `resource`
+    /// that is incompatible with `mode`.
+    ///
+    /// This is the check a system transaction performs before latching: it
+    /// never acquires locks itself, but it must respect existing ones.
+    pub fn holds_conflicting(&self, txn: TxnId, resource: &LockResource, mode: LockMode) -> bool {
+        self.table.lock().conflicts(resource, txn, mode)
+    }
+
+    /// All locks currently granted on `resource` (diagnostic / tests).
+    pub fn holders(&self, resource: &LockResource) -> Vec<LockRequest> {
+        self.table
+            .lock()
+            .granted
+            .get(resource)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Total number of granted locks across all resources (diagnostic).
+    pub fn granted_count(&self) -> usize {
+        self.table
+            .lock()
+            .granted
+            .values()
+            .map(|v| v.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(table: &str, column: &str) -> LockResource {
+        LockResource::Column {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+
+    fn piece(table: &str, column: &str, p: u64) -> LockResource {
+        LockResource::Piece {
+            table: table.into(),
+            column: column.into(),
+            piece: p,
+        }
+    }
+
+    #[test]
+    fn compatibility_matrix_spot_checks() {
+        use LockMode::*;
+        // Diagonal.
+        assert!(IntentionShared.compatible_with(IntentionShared));
+        assert!(IntentionExclusive.compatible_with(IntentionExclusive));
+        assert!(Shared.compatible_with(Shared));
+        assert!(!SharedIntentionExclusive.compatible_with(SharedIntentionExclusive));
+        assert!(!Update.compatible_with(Update));
+        assert!(!Exclusive.compatible_with(Exclusive));
+        // Classic pairs.
+        assert!(Shared.compatible_with(IntentionShared));
+        assert!(!Shared.compatible_with(IntentionExclusive));
+        assert!(IntentionExclusive.compatible_with(IntentionShared));
+        assert!(!Exclusive.compatible_with(Shared));
+        assert!(!Exclusive.compatible_with(IntentionShared));
+        assert!(Update.compatible_with(Shared));
+        assert!(Shared.compatible_with(Update));
+        assert!(!Update.compatible_with(Exclusive));
+        assert!(!SharedIntentionExclusive.compatible_with(Shared));
+        assert!(IntentionShared.compatible_with(SharedIntentionExclusive));
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        use LockMode::*;
+        let modes = [
+            IntentionShared,
+            IntentionExclusive,
+            Shared,
+            SharedIntentionExclusive,
+            Update,
+            Exclusive,
+        ];
+        for a in modes {
+            for b in modes {
+                assert_eq!(
+                    a.compatible_with(b),
+                    b.compatible_with(a),
+                    "asymmetry between {a} and {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_chain_for_piece() {
+        let p = piece("r", "a", 3);
+        assert_eq!(
+            p.ancestors(),
+            vec![LockResource::Table("r".into()), col("r", "a")]
+        );
+        assert_eq!(LockResource::Table("r".into()).ancestors(), vec![]);
+        let kr = LockResource::KeyRange {
+            index: "idx".into(),
+            low: 5,
+        };
+        assert_eq!(kr.ancestors(), vec![LockResource::Table("idx".into())]);
+    }
+
+    #[test]
+    fn intention_locks_are_taken_on_ancestors() {
+        let mgr = LockManager::new();
+        mgr.try_lock(1, piece("r", "a", 0), LockMode::Exclusive).unwrap();
+        let table_holders = mgr.holders(&LockResource::Table("r".into()));
+        assert_eq!(table_holders.len(), 1);
+        assert_eq!(table_holders[0].mode, LockMode::IntentionExclusive);
+        let col_holders = mgr.holders(&col("r", "a"));
+        assert_eq!(col_holders[0].mode, LockMode::IntentionExclusive);
+        assert_eq!(mgr.granted_count(), 3);
+    }
+
+    #[test]
+    fn conflicting_lock_is_rejected() {
+        let mgr = LockManager::new();
+        mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
+        let err = mgr.try_lock(2, col("r", "a"), LockMode::Shared).unwrap_err();
+        assert!(matches!(err, LockError::Conflict { .. }));
+        // Same transaction re-locking is fine.
+        mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn hierarchical_conflict_via_ancestor() {
+        let mgr = LockManager::new();
+        // Txn 1 locks the whole column exclusively.
+        mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
+        // Txn 2 cannot lock a piece underneath it: the IX it needs on the
+        // column conflicts with the X held there.
+        let err = mgr
+            .try_lock(2, piece("r", "a", 7), LockMode::Shared)
+            .unwrap_err();
+        assert!(matches!(err, LockError::Conflict { .. }));
+    }
+
+    #[test]
+    fn compatible_descendant_locks_coexist() {
+        let mgr = LockManager::new();
+        mgr.try_lock(1, piece("r", "a", 1), LockMode::Exclusive).unwrap();
+        // A different piece can be locked by another transaction: intention
+        // modes on the shared ancestors are compatible.
+        mgr.try_lock(2, piece("r", "a", 2), LockMode::Exclusive).unwrap();
+        assert!(mgr.holds_conflicting(3, &piece("r", "a", 1), LockMode::Shared));
+        assert!(!mgr.holds_conflicting(3, &piece("r", "a", 3), LockMode::Shared));
+    }
+
+    #[test]
+    fn release_all_frees_resources() {
+        let mgr = LockManager::new();
+        mgr.try_lock(1, piece("r", "a", 1), LockMode::Exclusive).unwrap();
+        assert_eq!(mgr.release_all(1), 3);
+        assert_eq!(mgr.granted_count(), 0);
+        mgr.try_lock(2, col("r", "a"), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn holds_conflicting_respects_own_locks() {
+        let mgr = LockManager::new();
+        mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
+        // A system transaction running on behalf of txn 1 sees no conflict.
+        assert!(!mgr.holds_conflicting(1, &col("r", "a"), LockMode::Exclusive));
+        // Any other transaction does.
+        assert!(mgr.holds_conflicting(2, &col("r", "a"), LockMode::Shared));
+    }
+
+    #[test]
+    fn lock_with_timeout_times_out_under_conflict() {
+        let mgr = LockManager::new();
+        mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
+        let err = mgr
+            .lock_with_timeout(2, col("r", "a"), LockMode::Shared, Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, LockError::Timeout);
+    }
+
+    #[test]
+    fn lock_with_timeout_succeeds_after_release() {
+        use std::sync::Arc;
+        use std::thread;
+        let mgr = Arc::new(LockManager::new());
+        mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
+        let m2 = Arc::clone(&mgr);
+        let waiter = thread::spawn(move || {
+            m2.lock_with_timeout(2, col("r", "a"), LockMode::Shared, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mgr.release_all(1);
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LockMode::Shared.to_string(), "S");
+        assert_eq!(LockMode::Exclusive.to_string(), "X");
+        assert_eq!(LockMode::IntentionShared.to_string(), "IS");
+        assert_eq!(LockMode::IntentionExclusive.to_string(), "IX");
+        assert_eq!(LockMode::SharedIntentionExclusive.to_string(), "SIX");
+        assert_eq!(LockMode::Update.to_string(), "U");
+        let err = LockError::Conflict {
+            resource: LockResource::Table("r".into()),
+            mode: LockMode::Shared,
+        };
+        assert!(err.to_string().contains("conflict"));
+    }
+}

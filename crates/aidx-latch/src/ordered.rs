@@ -1,0 +1,507 @@
+//! Exclusive latch with a bound-sorted waiter queue and middle-first wake-up.
+//!
+//! Section 5.3 ("Optimizations") observes that when several queries wait for
+//! a write latch on the same cracking piece, the order in which they wake up
+//! matters: if the waiters run in bound order, each successive query finds
+//! its bound inside the piece the previous query just shrank, so the queue
+//! drains serially. If instead the query whose bound lies in the *middle* of
+//! the waiting bounds runs first, it splits the piece roughly in half and the
+//! remaining waiters fall into disjoint halves that can then proceed in
+//! parallel.
+//!
+//! [`OrderedWaitLatch`] implements that policy: write waiters register the
+//! crack bound they intend to apply; the queue is kept sorted by bound
+//! (insertion sort, as in the paper); and on release the waiter at the middle
+//! of the queue is granted the latch next. Readers (aggregation operators)
+//! are compatible with each other and are admitted whenever no writer holds
+//! the latch and no writer has already been chosen to run next.
+
+use crate::stats::{LatchStats, LatchStatsSnapshot};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Describes whether an acquisition was granted immediately or had to wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The latch was free (in the requested mode) when requested.
+    Immediate,
+    /// The caller waited for the given duration before being granted.
+    Waited(Duration),
+}
+
+impl WaitOutcome {
+    /// The time spent waiting (zero for [`WaitOutcome::Immediate`]).
+    pub fn wait_time(&self) -> Duration {
+        match self {
+            WaitOutcome::Immediate => Duration::ZERO,
+            WaitOutcome::Waited(d) => *d,
+        }
+    }
+
+    /// True if the acquisition had to wait.
+    pub fn contended(&self) -> bool {
+        matches!(self, WaitOutcome::Waited(_))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Free,
+    Shared(usize),
+    Exclusive,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    ticket: u64,
+    bound: i64,
+}
+
+#[derive(Debug)]
+struct State {
+    mode: Mode,
+    next_ticket: u64,
+    /// Write waiters, kept sorted by `bound` (insertion sort on arrival).
+    write_waiters: Vec<Waiter>,
+    /// Ticket of the write waiter chosen to run next, if any.
+    chosen: Option<u64>,
+}
+
+/// An exclusive/shared latch whose write waiters are woken middle-first.
+#[derive(Debug)]
+pub struct OrderedWaitLatch {
+    state: Mutex<State>,
+    condvar: Condvar,
+    stats: Arc<LatchStats>,
+}
+
+/// Guard for exclusive (cracking) access to the protected piece.
+#[derive(Debug)]
+pub struct OrderedWriteGuard<'a> {
+    latch: &'a OrderedWaitLatch,
+    outcome: WaitOutcome,
+    released: bool,
+}
+
+/// Guard for shared (aggregation) access to the protected piece.
+#[derive(Debug)]
+pub struct OrderedReadGuard<'a> {
+    latch: &'a OrderedWaitLatch,
+    outcome: WaitOutcome,
+    released: bool,
+}
+
+impl Default for OrderedWaitLatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrderedWaitLatch {
+    /// Creates a free latch.
+    pub fn new() -> Self {
+        OrderedWaitLatch {
+            state: Mutex::new(State {
+                mode: Mode::Free,
+                next_ticket: 0,
+                write_waiters: Vec::new(),
+                chosen: None,
+            }),
+            condvar: Condvar::new(),
+            stats: Arc::new(LatchStats::new()),
+        }
+    }
+
+    /// Creates a latch that reports into a shared statistics block.
+    pub fn with_stats(stats: Arc<LatchStats>) -> Self {
+        OrderedWaitLatch {
+            state: Mutex::new(State {
+                mode: Mode::Free,
+                next_ticket: 0,
+                write_waiters: Vec::new(),
+                chosen: None,
+            }),
+            condvar: Condvar::new(),
+            stats,
+        }
+    }
+
+    /// Acquires the latch exclusively on behalf of a crack at `bound`.
+    ///
+    /// If the latch is busy the caller is queued in bound order and woken
+    /// according to the middle-first policy.
+    pub fn acquire_write(&self, bound: i64) -> OrderedWriteGuard<'_> {
+        let mut state = self.state.lock();
+        if state.mode == Mode::Free && state.chosen.is_none() && state.write_waiters.is_empty() {
+            state.mode = Mode::Exclusive;
+            self.stats.record_write(false, Duration::ZERO);
+            return OrderedWriteGuard {
+                latch: self,
+                outcome: WaitOutcome::Immediate,
+                released: false,
+            };
+        }
+
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        // Insertion sort on bound, as described in the paper.
+        let pos = state
+            .write_waiters
+            .partition_point(|w| w.bound <= bound);
+        state.write_waiters.insert(pos, Waiter { ticket, bound });
+
+        let start = Instant::now();
+        loop {
+            // We may run if the latch is free and either we were chosen, or
+            // nobody was chosen yet (e.g. the holder released while the queue
+            // was empty and we enqueued just after).
+            let may_run = state.mode == Mode::Free
+                && match state.chosen {
+                    Some(t) => t == ticket,
+                    None => true,
+                };
+            if may_run {
+                state.mode = Mode::Exclusive;
+                state.chosen = None;
+                if let Some(idx) = state.write_waiters.iter().position(|w| w.ticket == ticket) {
+                    state.write_waiters.remove(idx);
+                }
+                let waited = start.elapsed();
+                self.stats.record_write(true, waited);
+                return OrderedWriteGuard {
+                    latch: self,
+                    outcome: WaitOutcome::Waited(waited),
+                    released: false,
+                };
+            }
+            self.condvar.wait(&mut state);
+        }
+    }
+
+    /// Attempts to acquire the latch exclusively without waiting.
+    ///
+    /// Used for conflict avoidance: a query that fails simply skips its
+    /// optional refinement.
+    pub fn try_acquire_write(&self) -> Option<OrderedWriteGuard<'_>> {
+        let mut state = self.state.lock();
+        if state.mode == Mode::Free && state.chosen.is_none() && state.write_waiters.is_empty() {
+            state.mode = Mode::Exclusive;
+            self.stats.record_write(false, Duration::ZERO);
+            Some(OrderedWriteGuard {
+                latch: self,
+                outcome: WaitOutcome::Immediate,
+                released: false,
+            })
+        } else {
+            self.stats.record_abandoned();
+            None
+        }
+    }
+
+    /// Acquires the latch in shared mode (aggregation over the piece).
+    pub fn acquire_read(&self) -> OrderedReadGuard<'_> {
+        let mut state = self.state.lock();
+        let admissible =
+            |s: &State| s.mode != Mode::Exclusive && s.chosen.is_none() && s.write_waiters.is_empty();
+        if admissible(&state) {
+            state.mode = match state.mode {
+                Mode::Free => Mode::Shared(1),
+                Mode::Shared(n) => Mode::Shared(n + 1),
+                Mode::Exclusive => unreachable!("admissible excludes Exclusive"),
+            };
+            self.stats.record_read(false, Duration::ZERO);
+            return OrderedReadGuard {
+                latch: self,
+                outcome: WaitOutcome::Immediate,
+                released: false,
+            };
+        }
+        let start = Instant::now();
+        loop {
+            if admissible(&state) {
+                state.mode = match state.mode {
+                    Mode::Free => Mode::Shared(1),
+                    Mode::Shared(n) => Mode::Shared(n + 1),
+                    Mode::Exclusive => unreachable!("admissible excludes Exclusive"),
+                };
+                let waited = start.elapsed();
+                self.stats.record_read(true, waited);
+                return OrderedReadGuard {
+                    latch: self,
+                    outcome: WaitOutcome::Waited(waited),
+                    released: false,
+                };
+            }
+            self.condvar.wait(&mut state);
+        }
+    }
+
+    /// Attempts a shared acquisition without waiting.
+    pub fn try_acquire_read(&self) -> Option<OrderedReadGuard<'_>> {
+        let mut state = self.state.lock();
+        if state.mode != Mode::Exclusive && state.chosen.is_none() && state.write_waiters.is_empty()
+        {
+            state.mode = match state.mode {
+                Mode::Free => Mode::Shared(1),
+                Mode::Shared(n) => Mode::Shared(n + 1),
+                Mode::Exclusive => unreachable!(),
+            };
+            self.stats.record_read(false, Duration::ZERO);
+            Some(OrderedReadGuard {
+                latch: self,
+                outcome: WaitOutcome::Immediate,
+                released: false,
+            })
+        } else {
+            self.stats.record_abandoned();
+            None
+        }
+    }
+
+    /// Number of write waiters currently queued (diagnostic).
+    pub fn queued_writers(&self) -> usize {
+        self.state.lock().write_waiters.len()
+    }
+
+    /// Snapshot of this latch's statistics.
+    pub fn stats(&self) -> LatchStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn release_write(&self) {
+        let mut state = self.state.lock();
+        debug_assert_eq!(state.mode, Mode::Exclusive);
+        state.mode = Mode::Free;
+        Self::choose_next(&mut state);
+        drop(state);
+        self.condvar.notify_all();
+    }
+
+    fn release_read(&self) {
+        let mut state = self.state.lock();
+        state.mode = match state.mode {
+            Mode::Shared(1) => Mode::Free,
+            Mode::Shared(n) => Mode::Shared(n - 1),
+            other => panic!("release_read with mode {other:?}"),
+        };
+        if state.mode == Mode::Free {
+            Self::choose_next(&mut state);
+        }
+        drop(state);
+        self.condvar.notify_all();
+    }
+
+    /// Picks the middle waiter (by bound order) as the next writer.
+    fn choose_next(state: &mut State) {
+        if state.chosen.is_none() && !state.write_waiters.is_empty() {
+            let mid = state.write_waiters.len() / 2;
+            state.chosen = Some(state.write_waiters[mid].ticket);
+        }
+    }
+}
+
+impl OrderedWriteGuard<'_> {
+    /// How this acquisition was granted.
+    pub fn outcome(&self) -> WaitOutcome {
+        self.outcome
+    }
+
+    /// Releases the latch early (before the guard is dropped).
+    pub fn release(mut self) {
+        self.release_inner();
+    }
+
+    fn release_inner(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.latch.release_write();
+        }
+    }
+}
+
+impl Drop for OrderedWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.release_inner();
+    }
+}
+
+impl OrderedReadGuard<'_> {
+    /// How this acquisition was granted.
+    pub fn outcome(&self) -> WaitOutcome {
+        self.outcome
+    }
+
+    /// Releases the latch early (before the guard is dropped).
+    pub fn release(mut self) {
+        self.release_inner();
+    }
+
+    fn release_inner(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.latch.release_read();
+        }
+    }
+}
+
+impl Drop for OrderedReadGuard<'_> {
+    fn drop(&mut self) {
+        self.release_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn immediate_write_acquisition() {
+        let latch = OrderedWaitLatch::new();
+        let g = latch.acquire_write(10);
+        assert_eq!(g.outcome(), WaitOutcome::Immediate);
+        assert_eq!(g.outcome().wait_time(), Duration::ZERO);
+        assert!(!g.outcome().contended());
+        drop(g);
+        assert_eq!(latch.stats().write_acquisitions, 1);
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let latch = OrderedWaitLatch::new();
+        let r1 = latch.acquire_read();
+        let r2 = latch.acquire_read();
+        assert!(latch.try_acquire_write().is_none());
+        drop(r1);
+        drop(r2);
+        let w = latch.try_acquire_write().unwrap();
+        assert!(latch.try_acquire_read().is_none());
+        drop(w);
+        assert!(latch.try_acquire_read().is_some());
+    }
+
+    #[test]
+    fn try_write_fails_while_held_and_counts_abandoned() {
+        let latch = OrderedWaitLatch::new();
+        let g = latch.acquire_write(0);
+        assert!(latch.try_acquire_write().is_none());
+        drop(g);
+        assert_eq!(latch.stats().abandoned, 1);
+    }
+
+    #[test]
+    fn waiting_writer_eventually_granted() {
+        let latch = Arc::new(OrderedWaitLatch::new());
+        let l2 = Arc::clone(&latch);
+        let g = latch.acquire_write(5);
+        let handle = thread::spawn(move || {
+            let g2 = l2.acquire_write(9);
+            assert!(g2.outcome().contended());
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(latch.queued_writers(), 1);
+        drop(g);
+        handle.join().unwrap();
+        assert_eq!(latch.stats().write_acquisitions, 2);
+        assert_eq!(latch.stats().write_conflicts, 1);
+    }
+
+    #[test]
+    fn middle_waiter_is_woken_first() {
+        // Hold the latch, queue five writers with bounds 20,30,50,70,90,
+        // then release and observe that the first waiter to run is the one
+        // with the median bound (50).
+        let latch = Arc::new(OrderedWaitLatch::new());
+        let order = Arc::new(PlMutex::new(Vec::<i64>::new()));
+        let holder = latch.acquire_write(0);
+
+        let mut handles = Vec::new();
+        for &bound in &[20i64, 30, 50, 70, 90] {
+            let latch = Arc::clone(&latch);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                let g = latch.acquire_write(bound);
+                order.lock().push(bound);
+                // Hold briefly so the queue cannot fully drain before all
+                // waiters have enqueued their observation.
+                thread::sleep(Duration::from_millis(5));
+                drop(g);
+            }));
+            // Ensure deterministic queue arrival order.
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(latch.queued_writers(), 5);
+        drop(holder);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock();
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], 50, "median-bound waiter must be granted first");
+    }
+
+    #[test]
+    fn readers_wait_while_writers_are_queued() {
+        // A queued writer blocks new readers (no writer starvation), and the
+        // reader proceeds after the writer finishes.
+        let latch = Arc::new(OrderedWaitLatch::new());
+        let holder = latch.acquire_write(1);
+        let l_writer = Arc::clone(&latch);
+        let writer = thread::spawn(move || {
+            let _g = l_writer.acquire_write(2);
+            thread::sleep(Duration::from_millis(10));
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert!(latch.try_acquire_read().is_none());
+        let l_reader = Arc::clone(&latch);
+        let reader = thread::spawn(move || {
+            let g = l_reader.acquire_read();
+            assert!(g.outcome().contended());
+        });
+        drop(holder);
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(latch.stats().read_acquisitions, 1);
+    }
+
+    #[test]
+    fn stress_many_threads_mixed_modes() {
+        let latch = Arc::new(OrderedWaitLatch::new());
+        let shared = Arc::new(PlMutex::new(0u64));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let latch = Arc::clone(&latch);
+            let shared = Arc::clone(&shared);
+            handles.push(thread::spawn(move || {
+                for i in 0..50 {
+                    if (t + i) % 3 == 0 {
+                        let _g = latch.acquire_write(i as i64);
+                        *shared.lock() += 1;
+                    } else {
+                        let _g = latch.acquire_read();
+                        let _ = *shared.lock();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All write-mode increments happened.
+        let expected: u64 = (0..8u64)
+            .map(|t| (0..50u64).filter(|i| (t + i) % 3 == 0).count() as u64)
+            .sum();
+        assert_eq!(*shared.lock(), expected);
+    }
+
+    #[test]
+    fn early_release_via_method() {
+        let latch = OrderedWaitLatch::new();
+        let g = latch.acquire_write(3);
+        g.release();
+        assert!(latch.try_acquire_write().is_some());
+    }
+}

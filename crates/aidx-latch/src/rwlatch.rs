@@ -1,0 +1,277 @@
+//! Instrumented read/write latches.
+//!
+//! [`RwLatch`] wraps a `parking_lot::RwLock` and records, per latch, the
+//! acquisition and conflict counters that the evaluation reports (Figures
+//! 13 and 15). A latch can optionally be disabled, in which case guards are
+//! handed out without any synchronisation — this is how the Figure 13
+//! experiment ("concurrency control enabled vs. disabled", sequential
+//! execution) measures pure administration overhead.
+//!
+//! Latches protect in-memory structures for short critical sections only;
+//! guards must not be held across query-plan operators other than the one
+//! that needs them (Section 5.1: a column is only touched for a brief part
+//! of the plan).
+
+use crate::stats::{LatchStats, LatchStatsSnapshot};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An instrumented read/write latch.
+///
+/// The latch owns no data; it guards an external structure by convention,
+/// exactly like a database latch guards a page or an in-memory index node.
+#[derive(Debug)]
+pub struct RwLatch {
+    name: String,
+    inner: RwLock<()>,
+    stats: Arc<LatchStats>,
+    enabled: bool,
+}
+
+/// Guard proving shared (read) access through an [`RwLatch`].
+#[derive(Debug)]
+pub struct RwLatchReadGuard<'a> {
+    _guard: Option<RwLockReadGuard<'a, ()>>,
+}
+
+/// Guard proving exclusive (write) access through an [`RwLatch`].
+#[derive(Debug)]
+pub struct RwLatchWriteGuard<'a> {
+    _guard: Option<RwLockWriteGuard<'a, ()>>,
+}
+
+impl RwLatch {
+    /// Creates a new enabled latch with its own statistics block.
+    pub fn new(name: impl Into<String>) -> Self {
+        RwLatch {
+            name: name.into(),
+            inner: RwLock::new(()),
+            stats: Arc::new(LatchStats::new()),
+            enabled: true,
+        }
+    }
+
+    /// Creates a latch that shares an externally owned statistics block
+    /// (e.g. one registered in a [`crate::stats::LatchStatsRegistry`]).
+    pub fn with_stats(name: impl Into<String>, stats: Arc<LatchStats>) -> Self {
+        RwLatch {
+            name: name.into(),
+            inner: RwLock::new(()),
+            stats,
+            enabled: true,
+        }
+    }
+
+    /// Creates a *disabled* latch: acquisitions always succeed immediately
+    /// and perform no synchronisation. Only sound for single-threaded runs;
+    /// used to measure concurrency-control administration overhead.
+    pub fn disabled(name: impl Into<String>) -> Self {
+        RwLatch {
+            name: name.into(),
+            inner: RwLock::new(()),
+            stats: Arc::new(LatchStats::new()),
+            enabled: false,
+        }
+    }
+
+    /// The latch's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this latch actually synchronises.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Acquires the latch in shared mode, blocking if necessary.
+    pub fn read(&self) -> RwLatchReadGuard<'_> {
+        if !self.enabled {
+            self.stats.record_read(false, Duration::ZERO);
+            return RwLatchReadGuard { _guard: None };
+        }
+        if let Some(guard) = self.inner.try_read() {
+            self.stats.record_read(false, Duration::ZERO);
+            return RwLatchReadGuard { _guard: Some(guard) };
+        }
+        let start = Instant::now();
+        let guard = self.inner.read();
+        self.stats.record_read(true, start.elapsed());
+        RwLatchReadGuard { _guard: Some(guard) }
+    }
+
+    /// Acquires the latch in exclusive mode, blocking if necessary.
+    pub fn write(&self) -> RwLatchWriteGuard<'_> {
+        if !self.enabled {
+            self.stats.record_write(false, Duration::ZERO);
+            return RwLatchWriteGuard { _guard: None };
+        }
+        if let Some(guard) = self.inner.try_write() {
+            self.stats.record_write(false, Duration::ZERO);
+            return RwLatchWriteGuard { _guard: Some(guard) };
+        }
+        let start = Instant::now();
+        let guard = self.inner.write();
+        self.stats.record_write(true, start.elapsed());
+        RwLatchWriteGuard { _guard: Some(guard) }
+    }
+
+    /// Attempts to acquire shared mode without waiting.
+    ///
+    /// Returns `None` (and counts an abandoned acquisition) if the latch is
+    /// currently held exclusively — the caller is expected to practice
+    /// conflict avoidance and simply skip its optional work.
+    pub fn try_read(&self) -> Option<RwLatchReadGuard<'_>> {
+        if !self.enabled {
+            self.stats.record_read(false, Duration::ZERO);
+            return Some(RwLatchReadGuard { _guard: None });
+        }
+        match self.inner.try_read() {
+            Some(guard) => {
+                self.stats.record_read(false, Duration::ZERO);
+                Some(RwLatchReadGuard { _guard: Some(guard) })
+            }
+            None => {
+                self.stats.record_abandoned();
+                None
+            }
+        }
+    }
+
+    /// Attempts to acquire exclusive mode without waiting.
+    pub fn try_write(&self) -> Option<RwLatchWriteGuard<'_>> {
+        if !self.enabled {
+            self.stats.record_write(false, Duration::ZERO);
+            return Some(RwLatchWriteGuard { _guard: None });
+        }
+        match self.inner.try_write() {
+            Some(guard) => {
+                self.stats.record_write(false, Duration::ZERO);
+                Some(RwLatchWriteGuard { _guard: Some(guard) })
+            }
+            None => {
+                self.stats.record_abandoned();
+                None
+            }
+        }
+    }
+
+    /// Snapshot of this latch's statistics.
+    pub fn stats(&self) -> LatchStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The shared statistics block (for registry-owned aggregation).
+    pub fn stats_handle(&self) -> Arc<LatchStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    #[test]
+    fn uncontended_acquisitions_do_not_count_conflicts() {
+        let latch = RwLatch::new("x");
+        {
+            let _r = latch.read();
+        }
+        {
+            let _w = latch.write();
+        }
+        let s = latch.stats();
+        assert_eq!(s.read_acquisitions, 1);
+        assert_eq!(s.write_acquisitions, 1);
+        assert_eq!(s.total_conflicts(), 0);
+    }
+
+    #[test]
+    fn multiple_readers_coexist() {
+        let latch = RwLatch::new("x");
+        let r1 = latch.read();
+        let r2 = latch.read();
+        assert!(latch.try_write().is_none());
+        drop(r1);
+        drop(r2);
+        assert!(latch.try_write().is_some());
+    }
+
+    #[test]
+    fn try_read_fails_under_writer_and_counts_abandoned() {
+        let latch = RwLatch::new("x");
+        let w = latch.write();
+        assert!(latch.try_read().is_none());
+        assert!(latch.try_write().is_none());
+        drop(w);
+        assert_eq!(latch.stats().abandoned, 2);
+        assert!(latch.try_read().is_some());
+    }
+
+    #[test]
+    fn disabled_latch_never_blocks() {
+        let latch = RwLatch::disabled("x");
+        assert!(!latch.is_enabled());
+        let _w1 = latch.write();
+        // A second "exclusive" acquisition succeeds because nothing is held.
+        let _w2 = latch.write();
+        let _r = latch.try_read().unwrap();
+        assert_eq!(latch.stats().write_acquisitions, 2);
+    }
+
+    #[test]
+    fn writer_excludes_readers_across_threads() {
+        let latch = Arc::new(RwLatch::new("x"));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let latch = Arc::clone(&latch);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    let _w = latch.write();
+                    // Non-atomic read-modify-write protected by the latch.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+        assert_eq!(latch.stats().write_acquisitions, 400);
+    }
+
+    #[test]
+    fn contended_write_records_wait_time() {
+        let latch = Arc::new(RwLatch::new("x"));
+        let l2 = Arc::clone(&latch);
+        let r = latch.read();
+        let handle = thread::spawn(move || {
+            let _w = l2.write(); // must wait for the reader
+        });
+        thread::sleep(Duration::from_millis(20));
+        drop(r);
+        handle.join().unwrap();
+        let s = latch.stats();
+        assert_eq!(s.write_acquisitions, 1);
+        assert_eq!(s.write_conflicts, 1);
+        assert!(s.wait_nanos > 0);
+    }
+
+    #[test]
+    fn shared_stats_block() {
+        let stats = Arc::new(LatchStats::new());
+        let a = RwLatch::with_stats("a", Arc::clone(&stats));
+        let b = RwLatch::with_stats("b", Arc::clone(&stats));
+        let _ = a.read();
+        let _ = b.read();
+        assert_eq!(stats.snapshot().read_acquisitions, 2);
+        assert_eq!(a.name(), "a");
+        assert_eq!(b.name(), "b");
+    }
+}

@@ -1,0 +1,275 @@
+//! System transactions.
+//!
+//! Adaptive indexing performs its structural refinements inside *system
+//! transactions* (Section 3.3 / 3.4): small transactions that run on behalf
+//! of the invoking thread, change only the physical representation of an
+//! index, commit instantly without forcing anything to stable storage, and
+//! are independent of the user transaction that happened to trigger them
+//! (a user-transaction rollback does not undo completed refinements).
+//!
+//! Two behaviours from the paper are modelled explicitly:
+//!
+//! * **Conflict avoidance** — refinement is optional, so under contention a
+//!   system transaction can simply be *abandoned* before doing any work.
+//! * **Adaptive early termination** — a system transaction can commit the
+//!   work it has already completed and leave the rest to a later query;
+//!   the outcome records how many planned steps were completed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lifecycle states of a system transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemTxnState {
+    /// The transaction is running.
+    Active,
+    /// The transaction committed (all or part of its planned work).
+    Committed,
+    /// The transaction was abandoned before doing any work.
+    Abandoned,
+}
+
+/// Summary of how a system transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemTxnOutcome {
+    /// Final state (committed or abandoned).
+    pub state: SystemTxnState,
+    /// Refinement steps that were planned when the transaction began.
+    pub planned_steps: u32,
+    /// Refinement steps actually completed and committed.
+    pub completed_steps: u32,
+}
+
+impl SystemTxnOutcome {
+    /// True if the transaction completed every planned step.
+    pub fn is_complete(&self) -> bool {
+        self.state == SystemTxnState::Committed && self.completed_steps == self.planned_steps
+    }
+
+    /// True if the transaction committed only a prefix of its planned work
+    /// (adaptive early termination).
+    pub fn terminated_early(&self) -> bool {
+        self.state == SystemTxnState::Committed && self.completed_steps < self.planned_steps
+    }
+}
+
+/// A small, instantly-committing transaction wrapping structural refinement.
+#[derive(Debug)]
+pub struct SystemTransaction {
+    id: u64,
+    state: SystemTxnState,
+    planned_steps: u32,
+    completed_steps: u32,
+    manager: Arc<SystemTxnCounters>,
+}
+
+impl SystemTransaction {
+    /// This transaction's id (unique per manager).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SystemTxnState {
+        self.state
+    }
+
+    /// Number of refinement steps planned at begin time.
+    pub fn planned_steps(&self) -> u32 {
+        self.planned_steps
+    }
+
+    /// Records that one planned refinement step completed.
+    ///
+    /// # Panics
+    /// Panics if the transaction is no longer active or if more steps are
+    /// recorded than were planned — both indicate a protocol bug.
+    pub fn complete_step(&mut self) {
+        assert_eq!(self.state, SystemTxnState::Active, "step on finished txn");
+        assert!(
+            self.completed_steps < self.planned_steps,
+            "more steps completed than planned"
+        );
+        self.completed_steps += 1;
+    }
+
+    /// Commits whatever work has been completed so far. Committing with
+    /// fewer completed than planned steps is adaptive early termination.
+    pub fn commit(mut self) -> SystemTxnOutcome {
+        assert_eq!(self.state, SystemTxnState::Active, "double finish");
+        self.state = SystemTxnState::Committed;
+        self.manager.committed.fetch_add(1, Ordering::Relaxed);
+        if self.completed_steps < self.planned_steps {
+            self.manager.early_terminated.fetch_add(1, Ordering::Relaxed);
+        }
+        self.manager
+            .steps_completed
+            .fetch_add(self.completed_steps as u64, Ordering::Relaxed);
+        SystemTxnOutcome {
+            state: SystemTxnState::Committed,
+            planned_steps: self.planned_steps,
+            completed_steps: self.completed_steps,
+        }
+    }
+
+    /// Abandons the transaction without performing any work (conflict
+    /// avoidance).
+    ///
+    /// # Panics
+    /// Panics if any step has already completed; completed structural work
+    /// should be committed instead (early termination), never rolled back.
+    pub fn abandon(mut self) -> SystemTxnOutcome {
+        assert_eq!(self.state, SystemTxnState::Active, "double finish");
+        assert_eq!(
+            self.completed_steps, 0,
+            "abandon after completing work; commit early instead"
+        );
+        self.state = SystemTxnState::Abandoned;
+        self.manager.abandoned.fetch_add(1, Ordering::Relaxed);
+        SystemTxnOutcome {
+            state: SystemTxnState::Abandoned,
+            planned_steps: self.planned_steps,
+            completed_steps: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SystemTxnCounters {
+    started: AtomicU64,
+    committed: AtomicU64,
+    abandoned: AtomicU64,
+    early_terminated: AtomicU64,
+    steps_completed: AtomicU64,
+}
+
+/// Statistics snapshot of a [`SystemTxnManager`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemTxnStats {
+    /// Transactions begun.
+    pub started: u64,
+    /// Transactions committed (fully or early-terminated).
+    pub committed: u64,
+    /// Transactions abandoned without work.
+    pub abandoned: u64,
+    /// Committed transactions that terminated early.
+    pub early_terminated: u64,
+    /// Total refinement steps committed across all transactions.
+    pub steps_completed: u64,
+}
+
+/// Factory and statistics aggregator for system transactions.
+#[derive(Debug, Default)]
+pub struct SystemTxnManager {
+    next_id: AtomicU64,
+    counters: Arc<SystemTxnCounters>,
+}
+
+impl SystemTxnManager {
+    /// Creates a new manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins a system transaction that plans to perform `planned_steps`
+    /// refinement steps.
+    pub fn begin(&self, planned_steps: u32) -> SystemTransaction {
+        self.counters.started.fetch_add(1, Ordering::Relaxed);
+        SystemTransaction {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            state: SystemTxnState::Active,
+            planned_steps,
+            completed_steps: 0,
+            manager: Arc::clone(&self.counters),
+        }
+    }
+
+    /// Snapshot of the manager's counters.
+    pub fn stats(&self) -> SystemTxnStats {
+        SystemTxnStats {
+            started: self.counters.started.load(Ordering::Relaxed),
+            committed: self.counters.committed.load(Ordering::Relaxed),
+            abandoned: self.counters.abandoned.load(Ordering::Relaxed),
+            early_terminated: self.counters.early_terminated.load(Ordering::Relaxed),
+            steps_completed: self.counters.steps_completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_commit_flow() {
+        let mgr = SystemTxnManager::new();
+        let mut txn = mgr.begin(2);
+        assert_eq!(txn.state(), SystemTxnState::Active);
+        assert_eq!(txn.planned_steps(), 2);
+        txn.complete_step();
+        txn.complete_step();
+        let outcome = txn.commit();
+        assert!(outcome.is_complete());
+        assert!(!outcome.terminated_early());
+        let stats = mgr.stats();
+        assert_eq!(stats.started, 1);
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.abandoned, 0);
+        assert_eq!(stats.early_terminated, 0);
+        assert_eq!(stats.steps_completed, 2);
+    }
+
+    #[test]
+    fn early_termination_commits_partial_work() {
+        let mgr = SystemTxnManager::new();
+        let mut txn = mgr.begin(2);
+        txn.complete_step();
+        let outcome = txn.commit();
+        assert!(!outcome.is_complete());
+        assert!(outcome.terminated_early());
+        assert_eq!(outcome.completed_steps, 1);
+        assert_eq!(mgr.stats().early_terminated, 1);
+        assert_eq!(mgr.stats().steps_completed, 1);
+    }
+
+    #[test]
+    fn abandon_without_work() {
+        let mgr = SystemTxnManager::new();
+        let txn = mgr.begin(2);
+        let outcome = txn.abandon();
+        assert_eq!(outcome.state, SystemTxnState::Abandoned);
+        assert_eq!(outcome.completed_steps, 0);
+        assert!(!outcome.is_complete());
+        assert!(!outcome.terminated_early());
+        assert_eq!(mgr.stats().abandoned, 1);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mgr = SystemTxnManager::new();
+        let a = mgr.begin(0);
+        let b = mgr.begin(0);
+        assert_ne!(a.id(), b.id());
+        a.commit();
+        b.commit();
+        assert_eq!(mgr.stats().started, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more steps completed than planned")]
+    fn too_many_steps_panics() {
+        let mgr = SystemTxnManager::new();
+        let mut txn = mgr.begin(1);
+        txn.complete_step();
+        txn.complete_step();
+    }
+
+    #[test]
+    #[should_panic(expected = "abandon after completing work")]
+    fn abandon_after_work_panics() {
+        let mgr = SystemTxnManager::new();
+        let mut txn = mgr.begin(1);
+        txn.complete_step();
+        let _ = txn.abandon();
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the latch and lock substrate.
+
+use aidx_latch::lockmgr::{LockManager, LockMode, LockResource};
+use aidx_latch::ordered::OrderedWaitLatch;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+fn arb_mode() -> impl Strategy<Value = LockMode> {
+    prop_oneof![
+        Just(LockMode::IntentionShared),
+        Just(LockMode::IntentionExclusive),
+        Just(LockMode::Shared),
+        Just(LockMode::SharedIntentionExclusive),
+        Just(LockMode::Update),
+        Just(LockMode::Exclusive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compatibility matrix is symmetric, IS is compatible with
+    /// everything except X, and X is compatible with nothing.
+    #[test]
+    fn lock_compatibility_matrix_properties(a in arb_mode(), b in arb_mode()) {
+        prop_assert_eq!(a.compatible_with(b), b.compatible_with(a));
+        if a == LockMode::Exclusive {
+            prop_assert!(!a.compatible_with(b));
+        }
+        if a == LockMode::IntentionShared && b != LockMode::Exclusive {
+            prop_assert!(a.compatible_with(b));
+        }
+        // Intention modes always map to an intention ancestor mode.
+        prop_assert!(a.ancestor_intention().is_intention());
+    }
+
+    /// Whatever sequence of piece locks different transactions acquire,
+    /// releasing everything a transaction holds brings the manager back to a
+    /// state where any single lock can be granted.
+    #[test]
+    fn lock_manager_release_restores_availability(
+        requests in prop::collection::vec((1u64..4, 0u64..6, arb_mode()), 1..40)
+    ) {
+        let mgr = LockManager::new();
+        for (txn, piece, mode) in &requests {
+            let resource = LockResource::Piece {
+                table: "r".into(),
+                column: "a".into(),
+                piece: *piece,
+            };
+            // Grants may fail under conflicts; that is fine.
+            let _ = mgr.try_lock(*txn, resource, *mode);
+        }
+        for txn in 1..4u64 {
+            mgr.release_all(txn);
+        }
+        prop_assert_eq!(mgr.granted_count(), 0);
+        // After a full release, an exclusive lock on anything succeeds.
+        prop_assert!(mgr
+            .try_lock(9, LockResource::Table("r".into()), LockMode::Exclusive)
+            .is_ok());
+    }
+
+    /// Two transactions never simultaneously hold incompatible locks on the
+    /// same resource.
+    #[test]
+    fn lock_manager_never_grants_incompatible_locks(
+        requests in prop::collection::vec((1u64..5, 0u64..4, arb_mode()), 1..60)
+    ) {
+        let mgr = LockManager::new();
+        for (txn, piece, mode) in &requests {
+            let resource = LockResource::Piece {
+                table: "r".into(),
+                column: "a".into(),
+                piece: *piece,
+            };
+            let _ = mgr.try_lock(*txn, resource, *mode);
+        }
+        for piece in 0..4u64 {
+            let resource = LockResource::Piece {
+                table: "r".into(),
+                column: "a".into(),
+                piece,
+            };
+            let holders = mgr.holders(&resource);
+            for x in &holders {
+                for y in &holders {
+                    if x.txn != y.txn {
+                        prop_assert!(
+                            x.mode.compatible_with(y.mode),
+                            "incompatible co-holders {x:?} and {y:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exclusive sections protected by the ordered-wait latch never overlap,
+/// regardless of how many threads contend for it.
+#[test]
+fn ordered_latch_mutual_exclusion_stress() {
+    let latch = Arc::new(OrderedWaitLatch::new());
+    let counter = Arc::new(parking_lot::Mutex::new((0u32, 0u32))); // (inside, max_inside)
+    let mut handles = Vec::new();
+    for t in 0..8i64 {
+        let latch = Arc::clone(&latch);
+        let counter = Arc::clone(&counter);
+        handles.push(thread::spawn(move || {
+            for i in 0..100 {
+                let _g = latch.acquire_write(t * 1000 + i);
+                {
+                    let mut c = counter.lock();
+                    c.0 += 1;
+                    c.1 = c.1.max(c.0);
+                }
+                {
+                    let mut c = counter.lock();
+                    c.0 -= 1;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let c = counter.lock();
+    assert_eq!(c.0, 0);
+    assert_eq!(c.1, 1, "write latch must be exclusive");
+    assert_eq!(latch.stats().write_acquisitions, 800);
+}

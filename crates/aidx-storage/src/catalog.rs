@@ -1,0 +1,143 @@
+//! The catalog: a thread-safe registry of tables.
+//!
+//! Section 5.3 of the paper describes a "global data structure that keeps
+//! track of which cracker indexes do exist"; the select operator latches it
+//! briefly to discover (or register) the cracker index for a column, then
+//! releases it before doing any real work. The [`Catalog`] plays the role of
+//! that global structure for base tables; the concurrency crate keeps its own
+//! registry for cracker indexes but follows the same brief-latch discipline.
+
+use crate::error::{StorageError, StorageResult};
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared, thread-safe registry of named tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            tables: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers a table. Fails if a table with the same name exists.
+    pub fn register_table(&self, table: Table) -> StorageResult<Arc<Table>> {
+        let mut guard = self.tables.write();
+        if guard.contains_key(table.name()) {
+            return Err(StorageError::TableAlreadyExists(table.name().to_string()));
+        }
+        let arc = Arc::new(table);
+        guard.insert(arc.name().to_string(), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Drops a table by name, returning it if it existed.
+    pub fn drop_table(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .write()
+            .remove(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use std::thread;
+
+    fn table_named(name: &str) -> Table {
+        let mut t = Table::new(name);
+        t.add_column(Column::from_values("a", vec![1, 2, 3])).unwrap();
+        t
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.register_table(table_named("r")).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.table("r").unwrap().row_count(), 3);
+        assert_eq!(
+            cat.table("missing").unwrap_err(),
+            StorageError::TableNotFound("missing".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let cat = Catalog::new();
+        cat.register_table(table_named("r")).unwrap();
+        assert_eq!(
+            cat.register_table(table_named("r")).unwrap_err(),
+            StorageError::TableAlreadyExists("r".into())
+        );
+    }
+
+    #[test]
+    fn drop_table_removes_it() {
+        let cat = Catalog::new();
+        cat.register_table(table_named("r")).unwrap();
+        let dropped = cat.drop_table("r").unwrap();
+        assert_eq!(dropped.name(), "r");
+        assert!(cat.is_empty());
+        assert!(cat.drop_table("r").is_err());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let cat = Catalog::new();
+        cat.register_table(table_named("zeta")).unwrap();
+        cat.register_table(table_named("alpha")).unwrap();
+        assert_eq!(cat.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_registration_is_safe() {
+        let cat = Arc::new(Catalog::new());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let cat = Arc::clone(&cat);
+            handles.push(thread::spawn(move || {
+                cat.register_table(table_named(&format!("t{i}"))).unwrap();
+                cat.table(&format!("t{i}")).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cat.len(), 8);
+    }
+}

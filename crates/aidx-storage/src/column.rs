@@ -1,0 +1,175 @@
+//! Dense integer columns.
+//!
+//! A [`Column`] is the unit of adaptive indexing: a densely populated array
+//! of 64-bit keys, positionally aligned with the other columns of its table
+//! (Figure 6 of the paper). Cracking never reorganises the base column —
+//! it builds an auxiliary copy (the *cracker array*, see `aidx-cracking`) —
+//! so the base column here is append-only and freely shareable.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::DataType;
+
+/// A row identifier: the position of a tuple within its table.
+///
+/// The paper's cracker arrays store (rowID, value) pairs; 32-bit row ids are
+/// sufficient for the 100 M row experiments and halve the auxiliary memory.
+pub type RowId = u32;
+
+/// A dense, append-only column of 64-bit integer keys.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    name: String,
+    data: Vec<i64>,
+}
+
+impl Column {
+    /// Creates an empty column with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty column with the given name and capacity.
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        Column {
+            name: name.into(),
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a column directly from a vector of keys (bulk load,
+    /// "data loaded directly, without sorting" as in Figure 2).
+    pub fn from_values(name: impl Into<String>, data: Vec<i64>) -> Self {
+        Column {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// The column's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column's physical type (always `Int64` for key columns).
+    pub fn data_type(&self) -> DataType {
+        DataType::Int64
+    }
+
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a single key.
+    pub fn append(&mut self, value: i64) {
+        self.data.push(value);
+    }
+
+    /// Appends many keys at once.
+    pub fn append_slice(&mut self, values: &[i64]) {
+        self.data.extend_from_slice(values);
+    }
+
+    /// Returns the key at `position`, or an error if out of bounds.
+    pub fn get(&self, position: usize) -> StorageResult<i64> {
+        self.data
+            .get(position)
+            .copied()
+            .ok_or(StorageError::PositionOutOfBounds {
+                position,
+                len: self.data.len(),
+            })
+    }
+
+    /// Borrow the whole column as a slice (bulk processing).
+    pub fn values(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Consumes the column and returns its backing vector.
+    pub fn into_values(self) -> Vec<i64> {
+        self.data
+    }
+
+    /// Minimum key in the column, if any.
+    pub fn min(&self) -> Option<i64> {
+        self.data.iter().copied().min()
+    }
+
+    /// Maximum key in the column, if any.
+    pub fn max(&self) -> Option<i64> {
+        self.data.iter().copied().max()
+    }
+
+    /// An iterator over `(RowId, value)` pairs, the shape a cracker array is
+    /// initialised from.
+    pub fn iter_with_rowids(&self) -> impl Iterator<Item = (RowId, i64)> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as RowId, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Column {
+        Column::from_values("a", vec![5, 1, 9, 3, 7])
+    }
+
+    #[test]
+    fn new_column_is_empty() {
+        let c = Column::new("a");
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.name(), "a");
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.min(), None);
+        assert_eq!(c.max(), None);
+    }
+
+    #[test]
+    fn append_and_get() {
+        let mut c = Column::with_capacity("a", 4);
+        c.append(10);
+        c.append_slice(&[20, 30]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Ok(10));
+        assert_eq!(c.get(2), Ok(30));
+        assert!(matches!(
+            c.get(3),
+            Err(StorageError::PositionOutOfBounds { position: 3, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn from_values_preserves_order() {
+        let c = sample();
+        assert_eq!(c.values(), &[5, 1, 9, 3, 7]);
+        assert_eq!(c.min(), Some(1));
+        assert_eq!(c.max(), Some(9));
+    }
+
+    #[test]
+    fn rowid_iteration_is_aligned() {
+        let c = sample();
+        let pairs: Vec<(RowId, i64)> = c.iter_with_rowids().collect();
+        assert_eq!(pairs, vec![(0, 5), (1, 1), (2, 9), (3, 3), (4, 7)]);
+    }
+
+    #[test]
+    fn into_values_round_trips() {
+        let c = sample();
+        assert_eq!(c.into_values(), vec![5, 1, 9, 3, 7]);
+    }
+}

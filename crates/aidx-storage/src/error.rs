@@ -1,0 +1,117 @@
+//! Error types shared by the storage layer.
+
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by catalog, table, and column operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with the given name was not found in the catalog.
+    TableNotFound(String),
+    /// A table with the given name already exists in the catalog.
+    TableAlreadyExists(String),
+    /// A column with the given name was not found in the table.
+    ColumnNotFound(String),
+    /// A column with the given name already exists in the table.
+    ColumnAlreadyExists(String),
+    /// Columns added to one table must all have the same length.
+    LengthMismatch {
+        /// Length the table expects (its current row count).
+        expected: usize,
+        /// Length of the offending column.
+        actual: usize,
+    },
+    /// A row position was outside the column bounds.
+    PositionOutOfBounds {
+        /// Requested position.
+        position: usize,
+        /// Column length.
+        len: usize,
+    },
+    /// The requested value does not match the column's data type.
+    TypeMismatch {
+        /// Type the column stores.
+        expected: crate::value::DataType,
+        /// Type that was supplied.
+        actual: crate::value::DataType,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableNotFound(name) => write!(f, "table not found: {name}"),
+            StorageError::TableAlreadyExists(name) => write!(f, "table already exists: {name}"),
+            StorageError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            StorageError::ColumnAlreadyExists(name) => {
+                write!(f, "column already exists: {name}")
+            }
+            StorageError::LengthMismatch { expected, actual } => {
+                write!(f, "column length mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::PositionOutOfBounds { position, len } => {
+                write!(f, "position {position} out of bounds for column of length {len}")
+            }
+            StorageError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected:?}, got {actual:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (StorageError::TableNotFound("r".into()), "table not found: r"),
+            (
+                StorageError::TableAlreadyExists("r".into()),
+                "table already exists: r",
+            ),
+            (StorageError::ColumnNotFound("a".into()), "column not found: a"),
+            (
+                StorageError::ColumnAlreadyExists("a".into()),
+                "column already exists: a",
+            ),
+            (
+                StorageError::LengthMismatch {
+                    expected: 3,
+                    actual: 4,
+                },
+                "column length mismatch: expected 3, got 4",
+            ),
+            (
+                StorageError::PositionOutOfBounds { position: 9, len: 3 },
+                "position 9 out of bounds for column of length 3",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+        let t = StorageError::TypeMismatch {
+            expected: DataType::Int64,
+            actual: DataType::Float64,
+        };
+        assert!(t.to_string().contains("type mismatch"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::TableNotFound("x".into()),
+            StorageError::TableNotFound("x".into())
+        );
+        assert_ne!(
+            StorageError::TableNotFound("x".into()),
+            StorageError::ColumnNotFound("x".into())
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # aidx-storage — in-memory column-store substrate
+//!
+//! This crate provides the storage substrate that the adaptive-indexing
+//! experiments of *Concurrency Control for Adaptive Indexing* (VLDB 2012)
+//! run on top of. The paper's implementation platform is MonetDB; the
+//! experiments only exercise a narrow slice of it — dense, aligned,
+//! fixed-width columns accessed by bulk operators (select, fetch,
+//! aggregate), exactly as sketched in Figure 6 of the paper. This crate
+//! reproduces that slice:
+//!
+//! * [`Column`] — a dense array of 64-bit integer keys, the unit that gets
+//!   cracked.
+//! * [`Table`] — a set of positionally aligned columns.
+//! * [`Catalog`] — a named registry of tables, the "global data structure"
+//!   the paper latches to discover whether a cracker index exists.
+//! * [`ops`] — operator-at-a-time bulk operators (`select_range`, `fetch`,
+//!   `sum`, `count`) mirroring the plan in Figure 6.
+//! * [`generator`] — the experiment data generator: a column of unique,
+//!   randomly-ordered integers (the paper uses 100 million of them).
+//!
+//! Everything is deliberately simple and allocation-conscious: columns are
+//! plain `Vec<i64>` plus aligned auxiliary vectors, and all operators work
+//! on slices so the cracking and concurrency crates can borrow pieces of a
+//! column without copying.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod generator;
+pub mod ops;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use column::{Column, RowId};
+pub use error::{StorageError, StorageResult};
+pub use generator::{generate_unique_shuffled, generate_with_duplicates, DataDistribution};
+pub use ops::{count, fetch, select_positions, select_range, sum};
+pub use table::Table;
+pub use value::{DataType, Value};

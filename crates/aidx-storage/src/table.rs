@@ -1,0 +1,169 @@
+//! Tables: named sets of positionally aligned columns.
+//!
+//! All columns of the same table are aligned so that "all attribute values
+//! of tuple *i* of table R appear in the i-th position in their respective
+//! column" (Section 5.1). The table enforces that alignment on insertion.
+
+use crate::column::Column;
+use crate::error::{StorageError, StorageResult};
+use std::collections::BTreeMap;
+
+/// A named collection of equally long, positionally aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    name: String,
+    columns: BTreeMap<String, Column>,
+    row_count: usize,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            columns: BTreeMap::new(),
+            row_count: 0,
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows (length every column must share).
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Adds a column. The first column fixes the table's row count; all
+    /// subsequent columns must have exactly that length.
+    pub fn add_column(&mut self, column: Column) -> StorageResult<()> {
+        if self.columns.contains_key(column.name()) {
+            return Err(StorageError::ColumnAlreadyExists(column.name().to_string()));
+        }
+        if self.columns.is_empty() {
+            self.row_count = column.len();
+        } else if column.len() != self.row_count {
+            return Err(StorageError::LengthMismatch {
+                expected: self.row_count,
+                actual: column.len(),
+            });
+        }
+        self.columns.insert(column.name().to_string(), column);
+        Ok(())
+    }
+
+    /// Returns a reference to the named column.
+    pub fn column(&self, name: &str) -> StorageResult<&Column> {
+        self.columns
+            .get(name)
+            .ok_or_else(|| StorageError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Returns a mutable reference to the named column.
+    ///
+    /// Note: mutating a column must not change its length; this accessor is
+    /// intended for bulk-load style appends before the table is shared.
+    pub fn column_mut(&mut self, name: &str) -> StorageResult<&mut Column> {
+        self.columns
+            .get_mut(name)
+            .ok_or_else(|| StorageError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Names of all columns in deterministic (sorted) order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// True if the table contains a column with this name.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.contains_key(name)
+    }
+
+    /// Returns the full tuple at `position`, one value per column, in
+    /// column-name order. Used by tests and examples, not by bulk operators.
+    pub fn tuple_at(&self, position: usize) -> StorageResult<Vec<i64>> {
+        if position >= self.row_count {
+            return Err(StorageError::PositionOutOfBounds {
+                position,
+                len: self.row_count,
+            });
+        }
+        self.columns.values().map(|c| c.get(position)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_column_table() -> Table {
+        let mut t = Table::new("r");
+        t.add_column(Column::from_values("a", vec![10, 20, 30])).unwrap();
+        t.add_column(Column::from_values("b", vec![1, 2, 3])).unwrap();
+        t
+    }
+
+    #[test]
+    fn add_and_lookup_columns() {
+        let t = two_column_table();
+        assert_eq!(t.name(), "r");
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.column("a").unwrap().values(), &[10, 20, 30]);
+        assert_eq!(t.column("b").unwrap().values(), &[1, 2, 3]);
+        assert!(t.has_column("a"));
+        assert!(!t.has_column("z"));
+        assert_eq!(t.column_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut t = two_column_table();
+        let err = t.add_column(Column::from_values("a", vec![0, 0, 0])).unwrap_err();
+        assert_eq!(err, StorageError::ColumnAlreadyExists("a".into()));
+    }
+
+    #[test]
+    fn misaligned_column_rejected() {
+        let mut t = two_column_table();
+        let err = t.add_column(Column::from_values("c", vec![0, 0])).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::LengthMismatch {
+                expected: 3,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn missing_column_lookup_fails() {
+        let t = two_column_table();
+        assert_eq!(
+            t.column("zz").unwrap_err(),
+            StorageError::ColumnNotFound("zz".into())
+        );
+    }
+
+    #[test]
+    fn tuple_reconstruction_is_positional() {
+        let t = two_column_table();
+        assert_eq!(t.tuple_at(1).unwrap(), vec![20, 2]);
+        assert!(t.tuple_at(3).is_err());
+    }
+
+    #[test]
+    fn column_mut_allows_bulk_load() {
+        let mut t = Table::new("r");
+        t.add_column(Column::new("a")).unwrap();
+        t.column_mut("a").unwrap().append_slice(&[1, 2, 3]);
+        assert_eq!(t.column("a").unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Minimal value and type system.
+//!
+//! Database cracking operates on fixed-width keys held in dense arrays; the
+//! paper's experiments use a single integer attribute. We therefore keep the
+//! type system deliberately small: 64-bit integers are the first-class key
+//! type that can be cracked, and a few auxiliary types exist so that tables
+//! can carry realistic payload columns in the examples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer — the crackable key type.
+    Int64,
+    /// 64-bit IEEE float, payload only.
+    Float64,
+    /// Boolean, payload only.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int64 => write!(f, "INT64"),
+            DataType::Float64 => write!(f, "FLOAT64"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A single value, used at API boundaries (point lookups, test assertions).
+///
+/// Bulk operators never materialise `Value`s; they work directly on the
+/// dense `i64` arrays for speed, as a column store would.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit integer value.
+    Int64(i64),
+    /// A 64-bit float value.
+    Float64(f64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The [`DataType`] of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Returns the contained integer, if this is an `Int64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained float, if this is a `Float64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_reports_its_type() {
+        assert_eq!(Value::Int64(3).data_type(), DataType::Int64);
+        assert_eq!(Value::Float64(1.5).data_type(), DataType::Float64);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Bool);
+    }
+
+    #[test]
+    fn accessors_only_match_their_variant() {
+        let v = Value::Int64(42);
+        assert_eq!(v.as_i64(), Some(42));
+        assert_eq!(v.as_f64(), None);
+        assert_eq!(v.as_bool(), None);
+
+        let f = Value::Float64(2.25);
+        assert_eq!(f.as_f64(), Some(2.25));
+        assert_eq!(f.as_i64(), None);
+
+        let b = Value::Bool(false);
+        assert_eq!(b.as_bool(), Some(false));
+        assert_eq!(b.as_i64(), None);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(7i64), Value::Int64(7));
+        assert_eq!(Value::from(0.5f64), Value::Float64(0.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int64(-3).to_string(), "-3");
+        assert_eq!(DataType::Int64.to_string(), "INT64");
+        assert_eq!(DataType::Float64.to_string(), "FLOAT64");
+        assert_eq!(DataType::Bool.to_string(), "BOOL");
+    }
+}

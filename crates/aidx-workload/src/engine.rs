@@ -1,0 +1,354 @@
+//! Query engines: the approaches compared by the evaluation.
+//!
+//! Every experiment arm is something that can answer a [`QuerySpec`] and
+//! report a [`QueryMetrics`] breakdown:
+//!
+//! * [`ScanEngine`] — plain full scans, no index at all.
+//! * [`SortEngine`] — full index built (by sorting) when the first query
+//!   arrives, binary search afterwards.
+//! * [`CrackEngine`] — adaptive indexing via the concurrent cracker of
+//!   `aidx-core`, under a chosen latch protocol and refinement policy.
+//! * [`MergeEngine`] — adaptive merging over the partitioned B-tree.
+//!
+//! All engines are `Send + Sync` so the multi-client runner can drive one
+//! shared instance from many threads, exactly like concurrent clients
+//! hitting one server process.
+
+use crate::query::QuerySpec;
+use aidx_core::{
+    Aggregate, ConcurrentAdaptiveMerge, ConcurrentCracker, LatchProtocol, QueryMetrics,
+    RefinementPolicy,
+};
+use aidx_cracking::{ScanBaseline, SortIndex};
+use aidx_latch::lockmgr::LockManager;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Something that can execute the experiment's queries.
+pub trait QueryEngine: Send + Sync {
+    /// Short, stable name used in reports ("scan", "sort", "crack", ...).
+    fn name(&self) -> &str;
+
+    /// Executes one query, returning its numeric result (the count for Q1,
+    /// the sum for Q2) and the per-query metrics breakdown.
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics);
+}
+
+/// The plain-scan baseline engine.
+#[derive(Debug)]
+pub struct ScanEngine {
+    scan: ScanBaseline,
+}
+
+impl ScanEngine {
+    /// Wraps a copy of the column values.
+    pub fn new(values: Vec<i64>) -> Self {
+        ScanEngine {
+            scan: ScanBaseline::from_values(values),
+        }
+    }
+}
+
+impl QueryEngine for ScanEngine {
+    fn name(&self) -> &str {
+        "scan"
+    }
+
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        let start = Instant::now();
+        let mut metrics = QueryMetrics::default();
+        let result = match query.aggregate {
+            Aggregate::Count => {
+                let c = self.scan.count(query.low, query.high);
+                metrics.result_count = c;
+                c as i128
+            }
+            Aggregate::Sum => {
+                metrics.result_count = self.scan.count(query.low, query.high);
+                self.scan.sum(query.low, query.high)
+            }
+        };
+        metrics.total = start.elapsed();
+        (result, metrics)
+    }
+}
+
+/// The full-index baseline engine: the complete sort happens lazily when the
+/// first query arrives (that query pays the build cost, as in Figure 11).
+#[derive(Debug)]
+pub struct SortEngine {
+    values: Vec<i64>,
+    index: RwLock<Option<Arc<SortIndex>>>,
+}
+
+impl SortEngine {
+    /// Wraps the column values; the index is built on first use.
+    pub fn new(values: Vec<i64>) -> Self {
+        SortEngine {
+            values,
+            index: RwLock::new(None),
+        }
+    }
+
+    fn index(&self) -> Arc<SortIndex> {
+        if let Some(idx) = self.index.read().as_ref() {
+            return Arc::clone(idx);
+        }
+        let mut guard = self.index.write();
+        if let Some(idx) = guard.as_ref() {
+            return Arc::clone(idx);
+        }
+        let built = Arc::new(SortIndex::build_from_values(self.values.clone()));
+        *guard = Some(Arc::clone(&built));
+        built
+    }
+
+    /// True once the full index has been built.
+    pub fn is_built(&self) -> bool {
+        self.index.read().is_some()
+    }
+}
+
+impl QueryEngine for SortEngine {
+    fn name(&self) -> &str {
+        "sort"
+    }
+
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        let start = Instant::now();
+        let mut metrics = QueryMetrics::default();
+        let index = self.index();
+        let result = match query.aggregate {
+            Aggregate::Count => {
+                let c = index.count(query.low, query.high);
+                metrics.result_count = c;
+                c as i128
+            }
+            Aggregate::Sum => {
+                metrics.result_count = index.count(query.low, query.high);
+                index.sum(query.low, query.high)
+            }
+        };
+        metrics.total = start.elapsed();
+        (result, metrics)
+    }
+}
+
+/// Adaptive indexing (database cracking) under concurrency control.
+#[derive(Debug)]
+pub struct CrackEngine {
+    cracker: ConcurrentCracker,
+    name: String,
+}
+
+impl CrackEngine {
+    /// Builds a cracking engine with the given latch protocol.
+    pub fn new(values: Vec<i64>, protocol: LatchProtocol) -> Self {
+        Self::with_policy(values, protocol, RefinementPolicy::Always)
+    }
+
+    /// Builds a cracking engine with an explicit refinement policy.
+    pub fn with_policy(values: Vec<i64>, protocol: LatchProtocol, policy: RefinementPolicy) -> Self {
+        CrackEngine {
+            cracker: ConcurrentCracker::from_values(values, protocol).with_policy(policy),
+            name: format!("crack-{protocol}"),
+        }
+    }
+
+    /// The underlying concurrent cracker (for post-run inspection).
+    pub fn cracker(&self) -> &ConcurrentCracker {
+        &self.cracker
+    }
+}
+
+impl QueryEngine for CrackEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        match query.aggregate {
+            Aggregate::Count => {
+                let (c, m) = self.cracker.count(query.low, query.high);
+                (c as i128, m)
+            }
+            Aggregate::Sum => self.cracker.sum(query.low, query.high),
+        }
+    }
+}
+
+/// Adaptive merging over a partitioned B-tree under concurrency control.
+#[derive(Debug)]
+pub struct MergeEngine {
+    merge: ConcurrentAdaptiveMerge,
+}
+
+impl MergeEngine {
+    /// Builds an adaptive-merging engine with the given run size.
+    pub fn new(values: Vec<i64>, run_size: usize) -> Self {
+        MergeEngine {
+            merge: ConcurrentAdaptiveMerge::build_from_values(
+                &values,
+                run_size,
+                Arc::new(LockManager::new()),
+            ),
+        }
+    }
+
+    /// The underlying concurrent adaptive-merging index.
+    pub fn index(&self) -> &ConcurrentAdaptiveMerge {
+        &self.merge
+    }
+}
+
+impl QueryEngine for MergeEngine {
+    fn name(&self) -> &str {
+        "adaptive-merge"
+    }
+
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        match query.aggregate {
+            Aggregate::Count => {
+                let (c, m) = self.merge.count(query.low, query.high);
+                (c as i128, m)
+            }
+            Aggregate::Sum => self.merge.sum(query.low, query.high),
+        }
+    }
+}
+
+/// A reference engine used by tests: recomputes every answer with a scan and
+/// checks another engine against it.
+#[derive(Debug)]
+pub struct CheckedEngine<E> {
+    inner: E,
+    reference: ScanBaseline,
+    mismatches: Mutex<Vec<QuerySpec>>,
+}
+
+impl<E: QueryEngine> CheckedEngine<E> {
+    /// Wraps `inner`, checking every result against a scan over `values`.
+    pub fn new(inner: E, values: Vec<i64>) -> Self {
+        CheckedEngine {
+            inner,
+            reference: ScanBaseline::from_values(values),
+            mismatches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Queries whose results disagreed with the reference scan.
+    pub fn mismatches(&self) -> Vec<QuerySpec> {
+        self.mismatches.lock().clone()
+    }
+}
+
+impl<E: QueryEngine> QueryEngine for CheckedEngine<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        let (result, metrics) = self.inner.execute(query);
+        let expected = match query.aggregate {
+            Aggregate::Count => self.reference.count(query.low, query.high) as i128,
+            Aggregate::Sum => self.reference.sum(query.low, query.high),
+        };
+        if result != expected {
+            self.mismatches.lock().push(*query);
+        }
+        (result, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shuffled(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| (i * 48271) % n as i64).collect()
+    }
+
+    fn engines(values: &[i64]) -> Vec<Box<dyn QueryEngine>> {
+        vec![
+            Box::new(ScanEngine::new(values.to_vec())),
+            Box::new(SortEngine::new(values.to_vec())),
+            Box::new(CrackEngine::new(values.to_vec(), LatchProtocol::Piece)),
+            Box::new(CrackEngine::new(values.to_vec(), LatchProtocol::Column)),
+            Box::new(MergeEngine::new(values.to_vec(), 256)),
+        ]
+    }
+
+    #[test]
+    fn all_engines_agree_on_results() {
+        let values = shuffled(2000);
+        let scan = ScanEngine::new(values.clone());
+        for engine in engines(&values) {
+            for q in [
+                QuerySpec::count(100, 700),
+                QuerySpec::sum(0, 2000),
+                QuerySpec::sum(1999, 2000),
+                QuerySpec::count(500, 100),
+            ] {
+                let (expected, _) = scan.execute(&q);
+                let (got, metrics) = engine.execute(&q);
+                assert_eq!(got, expected, "{} disagrees on {q:?}", engine.name());
+                assert_eq!(metrics.result_count, scan.execute(&q).1.result_count);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_names_are_stable() {
+        let values = shuffled(100);
+        assert_eq!(ScanEngine::new(values.clone()).name(), "scan");
+        assert_eq!(SortEngine::new(values.clone()).name(), "sort");
+        assert_eq!(
+            CrackEngine::new(values.clone(), LatchProtocol::Piece).name(),
+            "crack-piece"
+        );
+        assert_eq!(
+            CrackEngine::new(values.clone(), LatchProtocol::Column).name(),
+            "crack-column"
+        );
+        assert_eq!(MergeEngine::new(values, 10).name(), "adaptive-merge");
+    }
+
+    #[test]
+    fn sort_engine_builds_lazily_exactly_once() {
+        let engine = SortEngine::new(shuffled(1000));
+        assert!(!engine.is_built());
+        engine.execute(&QuerySpec::count(10, 20));
+        assert!(engine.is_built());
+        engine.execute(&QuerySpec::count(30, 40));
+        assert!(engine.is_built());
+    }
+
+    #[test]
+    fn crack_engine_exposes_its_cracker() {
+        let engine = CrackEngine::new(shuffled(500), LatchProtocol::Piece);
+        engine.execute(&QuerySpec::sum(100, 400));
+        assert!(engine.cracker().crack_count() >= 2);
+        assert!(engine.cracker().check_invariants());
+    }
+
+    #[test]
+    fn merge_engine_exposes_progress() {
+        let engine = MergeEngine::new(shuffled(500), 100);
+        engine.execute(&QuerySpec::count(0, 500));
+        assert!(engine.index().is_fully_merged());
+    }
+
+    #[test]
+    fn checked_engine_flags_no_mismatches_for_correct_engines() {
+        let values = shuffled(300);
+        let checked = CheckedEngine::new(
+            CrackEngine::new(values.clone(), LatchProtocol::Piece),
+            values,
+        );
+        for q in [QuerySpec::count(10, 200), QuerySpec::sum(50, 290)] {
+            checked.execute(&q);
+        }
+        assert!(checked.mismatches().is_empty());
+    }
+}

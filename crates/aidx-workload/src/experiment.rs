@@ -1,0 +1,252 @@
+//! Typed experiment configurations for the paper's figures.
+//!
+//! Each figure of the evaluation section is a sweep over a small set of
+//! parameters — approach, number of clients, selectivity, query type — run
+//! against the same data and the same query sequence. [`ExperimentConfig`]
+//! captures one cell of such a sweep and [`run_experiment`] executes it,
+//! so the `aidx-bench` figure binaries are thin loops over configs.
+//!
+//! The defaults are scaled down from the paper's 100 M-row table so the
+//! whole suite runs in seconds on a laptop or CI container; every harness
+//! accepts a row-count override to reproduce the original scale.
+
+use crate::engine::{CrackEngine, MergeEngine, QueryEngine, ScanEngine, SortEngine};
+use crate::generator::WorkloadGenerator;
+use crate::query::QuerySpec;
+use crate::runner::MultiClientRunner;
+use aidx_core::{Aggregate, LatchProtocol, RefinementPolicy, RunMetrics};
+use aidx_storage::generate_unique_shuffled;
+use std::sync::Arc;
+
+/// Default number of rows used by the figure harnesses (the paper uses
+/// 100 000 000; see DESIGN.md for the substitution rationale).
+pub const DEFAULT_ROWS: usize = 10_000_000;
+
+/// Default number of queries per run (the paper uses 1024).
+pub const DEFAULT_QUERIES: usize = 1024;
+
+/// Seed used for data generation unless overridden.
+pub const DEFAULT_DATA_SEED: u64 = 0xA1D1;
+
+/// Seed used for query generation unless overridden.
+pub const DEFAULT_QUERY_SEED: u64 = 0xC0FFEE;
+
+/// Which approach an experiment arm uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Plain scans, no index.
+    Scan,
+    /// Full index built with the first query (sort + binary search).
+    Sort,
+    /// Database cracking under the given latch protocol.
+    Crack(LatchProtocol),
+    /// Database cracking with conflict avoidance (skip refinement under
+    /// contention) — an extension arm used by the ablation bench.
+    CrackSkipOnContention(LatchProtocol),
+    /// Adaptive merging over a partitioned B-tree with the given run size.
+    AdaptiveMerge {
+        /// Records per initial sorted run.
+        run_size: usize,
+    },
+}
+
+impl Approach {
+    /// Stable label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            Approach::Scan => "scan".to_string(),
+            Approach::Sort => "sort".to_string(),
+            Approach::Crack(p) => format!("crack-{p}"),
+            Approach::CrackSkipOnContention(p) => format!("crack-{p}-skip"),
+            Approach::AdaptiveMerge { .. } => "adaptive-merge".to_string(),
+        }
+    }
+}
+
+/// One cell of an experiment sweep.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of rows in the generated column.
+    pub rows: usize,
+    /// Number of queries in the (shared) sequence.
+    pub queries: usize,
+    /// Number of concurrent clients replaying the sequence.
+    pub clients: usize,
+    /// Selectivity of every query (fraction of the key domain).
+    pub selectivity: f64,
+    /// Q1 (count) or Q2 (sum).
+    pub aggregate: Aggregate,
+    /// The approach under test.
+    pub approach: Approach,
+    /// Seed for the data permutation.
+    pub data_seed: u64,
+    /// Seed for the query sequence.
+    pub query_seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A config with the paper's defaults (scaled rows), ready to be
+    /// customised field by field.
+    pub fn new(approach: Approach) -> Self {
+        ExperimentConfig {
+            rows: DEFAULT_ROWS,
+            queries: DEFAULT_QUERIES,
+            clients: 1,
+            selectivity: 0.0001,
+            aggregate: Aggregate::Sum,
+            approach,
+            data_seed: DEFAULT_DATA_SEED,
+            query_seed: DEFAULT_QUERY_SEED,
+        }
+    }
+
+    /// Sets the number of rows (builder style).
+    pub fn rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Sets the number of queries (builder style).
+    pub fn queries(mut self, queries: usize) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// Sets the number of clients (builder style).
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Sets the selectivity (builder style).
+    pub fn selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivity = selectivity;
+        self
+    }
+
+    /// Sets the aggregate / query type (builder style).
+    pub fn aggregate(mut self, aggregate: Aggregate) -> Self {
+        self.aggregate = aggregate;
+        self
+    }
+
+    /// Generates the query sequence this config describes.
+    pub fn generate_queries(&self) -> Vec<QuerySpec> {
+        WorkloadGenerator::new(
+            self.rows as u64,
+            self.selectivity,
+            self.aggregate,
+            self.query_seed,
+        )
+        .generate(self.queries)
+    }
+
+    /// Builds the engine this config describes over freshly generated data.
+    pub fn build_engine(&self) -> Arc<dyn QueryEngine> {
+        let values = generate_unique_shuffled(self.rows, self.data_seed);
+        self.build_engine_with(values)
+    }
+
+    /// Builds the engine over caller-provided data (so a sweep can reuse one
+    /// generated column across arms).
+    pub fn build_engine_with(&self, values: Vec<i64>) -> Arc<dyn QueryEngine> {
+        match self.approach {
+            Approach::Scan => Arc::new(ScanEngine::new(values)),
+            Approach::Sort => Arc::new(SortEngine::new(values)),
+            Approach::Crack(protocol) => Arc::new(CrackEngine::new(values, protocol)),
+            Approach::CrackSkipOnContention(protocol) => Arc::new(CrackEngine::with_policy(
+                values,
+                protocol,
+                RefinementPolicy::SkipOnContention,
+            )),
+            Approach::AdaptiveMerge { run_size } => Arc::new(MergeEngine::new(values, run_size)),
+        }
+    }
+}
+
+/// Runs one experiment cell end to end: generate data, build the engine,
+/// generate the query sequence, replay it with the configured client count.
+pub fn run_experiment(config: &ExperimentConfig) -> RunMetrics {
+    let engine = config.build_engine();
+    run_experiment_with_engine(config, engine)
+}
+
+/// Runs one experiment cell against an already-built engine (lets sweeps
+/// reuse expensive data generation; note the engine's index state carries
+/// over, so callers should build a fresh engine per arm unless they
+/// explicitly want a warm index).
+pub fn run_experiment_with_engine(
+    config: &ExperimentConfig,
+    engine: Arc<dyn QueryEngine>,
+) -> RunMetrics {
+    let queries = config.generate_queries();
+    MultiClientRunner::new(config.clients).run(engine, &queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(approach: Approach) -> ExperimentConfig {
+        ExperimentConfig::new(approach)
+            .rows(5_000)
+            .queries(32)
+            .selectivity(0.01)
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Approach::Scan.label(), "scan");
+        assert_eq!(Approach::Sort.label(), "sort");
+        assert_eq!(Approach::Crack(LatchProtocol::Piece).label(), "crack-piece");
+        assert_eq!(
+            Approach::CrackSkipOnContention(LatchProtocol::Column).label(),
+            "crack-column-skip"
+        );
+        assert_eq!(Approach::AdaptiveMerge { run_size: 8 }.label(), "adaptive-merge");
+    }
+
+    #[test]
+    fn config_builders_set_fields() {
+        let c = tiny(Approach::Scan)
+            .clients(4)
+            .aggregate(Aggregate::Count);
+        assert_eq!(c.rows, 5_000);
+        assert_eq!(c.queries, 32);
+        assert_eq!(c.clients, 4);
+        assert_eq!(c.aggregate, Aggregate::Count);
+        assert_eq!(c.selectivity, 0.01);
+        assert_eq!(c.generate_queries().len(), 32);
+    }
+
+    #[test]
+    fn run_experiment_produces_metrics_for_every_approach() {
+        for approach in [
+            Approach::Scan,
+            Approach::Sort,
+            Approach::Crack(LatchProtocol::Piece),
+            Approach::Crack(LatchProtocol::Column),
+            Approach::CrackSkipOnContention(LatchProtocol::Piece),
+            Approach::AdaptiveMerge { run_size: 1024 },
+        ] {
+            let config = tiny(approach);
+            let run = run_experiment(&config);
+            assert_eq!(run.query_count(), 32, "{}", approach.label());
+            assert!(run.wall_clock > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn concurrent_experiment_counts_every_query_once() {
+        let config = tiny(Approach::Crack(LatchProtocol::Piece)).clients(4);
+        let run = run_experiment(&config);
+        assert_eq!(run.query_count(), 32);
+    }
+
+    #[test]
+    fn identical_configs_generate_identical_queries() {
+        let a = tiny(Approach::Scan).generate_queries();
+        let b = tiny(Approach::Sort).generate_queries();
+        assert_eq!(a, b, "every arm must replay the same query sequence");
+    }
+}

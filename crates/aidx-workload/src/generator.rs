@@ -1,0 +1,171 @@
+//! Workload generation.
+//!
+//! The evaluation runs sequences of random range queries with a fixed
+//! selectivity over a domain of unique integers (Section 6). The generator
+//! reproduces that, plus two extra access patterns (sequential sweep and
+//! skewed) used by the wider test suite and the stochastic-cracking
+//! comparison.
+
+use crate::query::{selectivity_to_width, QuerySpec};
+use aidx_core::Aggregate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Spatial pattern of the generated query ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Uniformly random range positions (the paper's workload).
+    Random,
+    /// Ranges sweep the domain left to right (adversarial for plain
+    /// cracking).
+    Sequential,
+    /// Range positions concentrated in the lowest 10% of the domain
+    /// (the paper's 90%-selectivity discussion notes this focusing effect).
+    SkewedLow,
+}
+
+/// Generator of query workloads over a key domain `[0, domain_size)`.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    domain_size: u64,
+    selectivity: f64,
+    aggregate: Aggregate,
+    pattern: AccessPattern,
+    seed: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for random queries of the given selectivity.
+    pub fn new(domain_size: u64, selectivity: f64, aggregate: Aggregate, seed: u64) -> Self {
+        WorkloadGenerator {
+            domain_size,
+            selectivity,
+            aggregate,
+            pattern: AccessPattern::Random,
+            seed,
+        }
+    }
+
+    /// Sets the access pattern (builder style).
+    pub fn with_pattern(mut self, pattern: AccessPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// The width each generated range will have.
+    pub fn range_width(&self) -> u64 {
+        selectivity_to_width(self.selectivity, self.domain_size)
+    }
+
+    /// Generates `n` queries. The same generator configuration and seed
+    /// always produce the same sequence, so every experiment arm (scan,
+    /// sort, crack; every client count) replays identical queries, as the
+    /// paper's methodology requires ("for every run we use exactly the same
+    /// queries and in the same order").
+    pub fn generate(&self, n: usize) -> Vec<QuerySpec> {
+        let width = self.range_width().min(self.domain_size.max(1));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let max_low = self.domain_size.saturating_sub(width);
+        (0..n)
+            .map(|i| {
+                let low = match self.pattern {
+                    AccessPattern::Random => {
+                        if max_low == 0 {
+                            0
+                        } else {
+                            rng.gen_range(0..=max_low)
+                        }
+                    }
+                    AccessPattern::Sequential => {
+                        if n <= 1 || max_low == 0 {
+                            0
+                        } else {
+                            (max_low as u128 * i as u128 / (n as u128 - 1)) as u64
+                        }
+                    }
+                    AccessPattern::SkewedLow => {
+                        let cap = (self.domain_size / 10).max(1).min(max_low.max(1));
+                        rng.gen_range(0..cap)
+                    }
+                };
+                let high = low + width;
+                QuerySpec {
+                    low: low as i64,
+                    high: high as i64,
+                    aggregate: self.aggregate,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_width() {
+        let g = WorkloadGenerator::new(1_000_000, 0.01, Aggregate::Count, 1);
+        let queries = g.generate(100);
+        assert_eq!(queries.len(), 100);
+        assert_eq!(g.range_width(), 10_000);
+        for q in &queries {
+            assert_eq!(q.width(), 10_000);
+            assert!(q.low >= 0);
+            assert!(q.high <= 1_000_000);
+            assert_eq!(q.aggregate, Aggregate::Count);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadGenerator::new(10_000, 0.1, Aggregate::Sum, 7).generate(50);
+        let b = WorkloadGenerator::new(10_000, 0.1, Aggregate::Sum, 7).generate(50);
+        let c = WorkloadGenerator::new(10_000, 0.1, Aggregate::Sum, 8).generate(50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sequential_pattern_sweeps_left_to_right() {
+        let g = WorkloadGenerator::new(10_000, 0.01, Aggregate::Count, 3)
+            .with_pattern(AccessPattern::Sequential);
+        let queries = g.generate(20);
+        assert!(queries.windows(2).all(|w| w[0].low <= w[1].low));
+        assert_eq!(queries.first().unwrap().low, 0);
+        assert_eq!(queries.last().unwrap().high, 10_000);
+    }
+
+    #[test]
+    fn skewed_pattern_stays_in_low_decile() {
+        let g = WorkloadGenerator::new(100_000, 0.0001, Aggregate::Sum, 5)
+            .with_pattern(AccessPattern::SkewedLow);
+        for q in g.generate(200) {
+            assert!(q.low < 10_000, "low {} outside the first decile", q.low);
+        }
+    }
+
+    #[test]
+    fn very_high_selectivity_clamps_to_domain() {
+        let g = WorkloadGenerator::new(1000, 0.9, Aggregate::Count, 2);
+        for q in g.generate(20) {
+            assert_eq!(q.width(), 900);
+            assert!(q.high <= 1000);
+        }
+        let g = WorkloadGenerator::new(1000, 5.0, Aggregate::Count, 2);
+        for q in g.generate(5) {
+            assert_eq!(q.width(), 1000);
+            assert_eq!(q.low, 0);
+        }
+    }
+
+    #[test]
+    fn tiny_domains_do_not_panic() {
+        let g = WorkloadGenerator::new(1, 0.5, Aggregate::Count, 0);
+        let qs = g.generate(3);
+        assert_eq!(qs.len(), 3);
+        let g = WorkloadGenerator::new(0, 0.5, Aggregate::Count, 0);
+        let qs = g.generate(3);
+        assert_eq!(qs.len(), 3);
+    }
+}

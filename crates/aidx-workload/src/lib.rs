@@ -1,0 +1,34 @@
+//! # aidx-workload — workload generation and the multi-client experiment runner
+//!
+//! Reproduces the experimental methodology of *Concurrency Control for
+//! Adaptive Indexing* (VLDB 2012), Section 6:
+//!
+//! * [`QuerySpec`] — the paper's Q1 (count) and Q2 (sum) range-query
+//!   templates, with selectivity expressed as a fraction of the key domain.
+//! * [`WorkloadGenerator`] — deterministic random / sequential / skewed
+//!   query sequences, identical across every experiment arm.
+//! * [`QueryEngine`] and its implementations — the approaches under test:
+//!   plain scan, full sort, cracking under column or piece latches, and
+//!   adaptive merging.
+//! * [`MultiClientRunner`] — replays one query sequence with N concurrent
+//!   clients against a shared engine and reports the wall-clock time of the
+//!   last client to finish, plus per-query metric breakdowns.
+//! * [`ExperimentConfig`] / [`run_experiment`] — one cell of a figure's
+//!   parameter sweep.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiment;
+pub mod generator;
+pub mod query;
+pub mod runner;
+
+pub use engine::{CheckedEngine, CrackEngine, MergeEngine, QueryEngine, ScanEngine, SortEngine};
+pub use experiment::{
+    run_experiment, run_experiment_with_engine, Approach, ExperimentConfig, DEFAULT_QUERIES,
+    DEFAULT_ROWS,
+};
+pub use generator::{AccessPattern, WorkloadGenerator};
+pub use query::{selectivity_to_width, QuerySpec};
+pub use runner::MultiClientRunner;

@@ -1,0 +1,157 @@
+//! The multi-client experiment runner.
+//!
+//! The paper's concurrency experiments fix a sequence of 1024 random queries
+//! and replay it with 1, 2, 4, 8, 16, and 32 concurrent clients; with `c`
+//! clients each client fires `1024 / c` of the queries, all clients start at
+//! the same time, and the reported time is "the time perceived by the last
+//! client to receive all answers for all its queries" (Section 6.2–6.3).
+//! [`MultiClientRunner`] reproduces exactly that protocol against any
+//! [`QueryEngine`].
+
+use crate::engine::QueryEngine;
+use crate::query::QuerySpec;
+use aidx_core::RunMetrics;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Replays a fixed query sequence with a configurable number of concurrent
+/// clients against a shared engine.
+#[derive(Debug, Clone)]
+pub struct MultiClientRunner {
+    clients: usize,
+}
+
+impl MultiClientRunner {
+    /// Creates a runner with `clients` concurrent clients (minimum 1).
+    pub fn new(clients: usize) -> Self {
+        MultiClientRunner {
+            clients: clients.max(1),
+        }
+    }
+
+    /// Number of concurrent clients.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Runs the query sequence to completion and collects metrics.
+    ///
+    /// The sequence is split round-robin into `clients` contiguous slices
+    /// (client `i` executes queries `i, i + c, i + 2c, ...`), each client
+    /// runs its slice serially on its own thread, and the wall-clock time is
+    /// measured from the common start to the completion of the last client.
+    pub fn run(&self, engine: Arc<dyn QueryEngine>, queries: &[QuerySpec]) -> RunMetrics {
+        if queries.is_empty() {
+            return RunMetrics::new();
+        }
+        if self.clients == 1 {
+            return self.run_sequential(engine.as_ref(), queries);
+        }
+
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(self.clients);
+        for client in 0..self.clients {
+            let engine = Arc::clone(&engine);
+            let slice: Vec<QuerySpec> = queries
+                .iter()
+                .skip(client)
+                .step_by(self.clients)
+                .copied()
+                .collect();
+            handles.push(thread::spawn(move || {
+                let mut collected = Vec::with_capacity(slice.len());
+                for q in &slice {
+                    let (_, metrics) = engine.execute(q);
+                    collected.push(metrics);
+                }
+                collected
+            }));
+        }
+        let mut run = RunMetrics::new();
+        for handle in handles {
+            run.per_query.extend(handle.join().expect("client thread panicked"));
+        }
+        run.wall_clock = start.elapsed();
+        run
+    }
+
+    fn run_sequential(&self, engine: &dyn QueryEngine, queries: &[QuerySpec]) -> RunMetrics {
+        let start = Instant::now();
+        let mut run = RunMetrics::new();
+        for q in queries {
+            let (_, metrics) = engine.execute(q);
+            run.per_query.push(metrics);
+        }
+        run.wall_clock = start.elapsed();
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CheckedEngine, CrackEngine, ScanEngine};
+    use crate::generator::WorkloadGenerator;
+    use aidx_core::{Aggregate, LatchProtocol};
+
+    fn shuffled(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| (i * 48271) % n as i64).collect()
+    }
+
+    #[test]
+    fn sequential_run_collects_one_metric_per_query() {
+        let values = shuffled(1000);
+        let queries = WorkloadGenerator::new(1000, 0.05, Aggregate::Count, 1).generate(20);
+        let runner = MultiClientRunner::new(1);
+        assert_eq!(runner.clients(), 1);
+        let run = runner.run(Arc::new(ScanEngine::new(values)), &queries);
+        assert_eq!(run.query_count(), 20);
+        assert!(run.wall_clock > std::time::Duration::ZERO);
+        assert!(run.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn empty_query_list_yields_empty_run() {
+        let runner = MultiClientRunner::new(4);
+        let run = runner.run(Arc::new(ScanEngine::new(shuffled(10))), &[]);
+        assert_eq!(run.query_count(), 0);
+    }
+
+    #[test]
+    fn zero_clients_is_clamped_to_one() {
+        assert_eq!(MultiClientRunner::new(0).clients(), 1);
+    }
+
+    #[test]
+    fn concurrent_clients_execute_every_query_correctly() {
+        let values = shuffled(5000);
+        let queries = WorkloadGenerator::new(5000, 0.02, Aggregate::Sum, 9).generate(64);
+        for clients in [2, 4, 8] {
+            let engine = Arc::new(CheckedEngine::new(
+                CrackEngine::new(values.clone(), LatchProtocol::Piece),
+                values.clone(),
+            ));
+            let run = MultiClientRunner::new(clients).run(engine.clone(), &queries);
+            assert_eq!(run.query_count(), 64, "{clients} clients");
+            assert!(engine.mismatches().is_empty(), "{clients} clients produced wrong answers");
+        }
+    }
+
+    #[test]
+    fn uneven_splits_cover_all_queries() {
+        let values = shuffled(300);
+        let queries = WorkloadGenerator::new(300, 0.1, Aggregate::Count, 4).generate(10);
+        // 10 queries across 3 clients: slices of 4, 3, 3.
+        let run = MultiClientRunner::new(3).run(Arc::new(ScanEngine::new(values)), &queries);
+        assert_eq!(run.query_count(), 10);
+    }
+
+    #[test]
+    fn more_clients_than_queries_still_works() {
+        let values = shuffled(100);
+        let queries = WorkloadGenerator::new(100, 0.1, Aggregate::Count, 4).generate(3);
+        let run = MultiClientRunner::new(8).run(Arc::new(ScanEngine::new(values)), &queries);
+        assert_eq!(run.query_count(), 3);
+    }
+}

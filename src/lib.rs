@@ -1,0 +1,83 @@
+//! # adaptive-indexing
+//!
+//! A from-scratch Rust reproduction of **“Concurrency Control for Adaptive
+//! Indexing”** (Goetz Graefe, Felix Halim, Stratos Idreos, Harumi Kuno,
+//! Stefan Manegold — PVLDB 5(7), 2012).
+//!
+//! Adaptive indexing builds and refines indexes incrementally, as a side
+//! effect of query processing: database cracking partitions a column a
+//! little further with every range query, adaptive merging merges the
+//! queried key ranges of sorted runs into a final partition. Because those
+//! refinements are *purely structural* — they never change the logical
+//! contents of the index — they can be coordinated with short-term latches
+//! and small system transactions instead of transactional locks, and the
+//! pieces created by refinement become an ever finer, workload-adaptive
+//! latching granularity.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`storage`] | column-store substrate (columns, tables, bulk operators, data generator) |
+//! | [`latch`] | instrumented latches, ordered wait queues, hierarchical lock manager, system transactions |
+//! | [`cracking`] | database cracking: cracker array, AVL table of contents, baselines, stochastic cracking |
+//! | [`btree`] | B+-tree, partitioned B-tree, adaptive merging, hybrid crack-sort, key-range locks |
+//! | [`core`] | **the paper's contribution**: concurrent cracker with column/piece latch protocols, conflict avoidance, metrics |
+//! | [`workload`] | Q1/Q2 workload generation, multi-client runner, experiment configs |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adaptive_indexing::prelude::*;
+//!
+//! // 1 million unique keys in random order (the paper uses 100 million).
+//! let values = generate_unique_shuffled(1_000_000, 42);
+//!
+//! // A cracker index shared by concurrent queries, latched per piece.
+//! let index = ConcurrentCracker::from_values(values, LatchProtocol::Piece);
+//!
+//! // Q2: sum over a range; the index refines itself as a side effect.
+//! let (sum, metrics) = index.sum(250_000, 260_000);
+//! assert!(sum > 0);
+//! assert_eq!(metrics.cracks_performed, 2);
+//!
+//! // The same range again: no refinement left to do.
+//! let (_, metrics) = index.sum(250_000, 260_000);
+//! assert_eq!(metrics.cracks_performed, 0);
+//! ```
+
+pub use aidx_btree as btree;
+pub use aidx_core as core;
+pub use aidx_cracking as cracking;
+pub use aidx_latch as latch;
+pub use aidx_storage as storage;
+pub use aidx_workload as workload;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use aidx_btree::{AdaptiveMergeIndex, HybridCrackSort, PartitionedBTree};
+    pub use aidx_core::{
+        Aggregate, ConcurrentAdaptiveMerge, ConcurrentCracker, LatchProtocol, QueryMetrics,
+        RefinementPolicy, RunMetrics,
+    };
+    pub use aidx_cracking::{CrackerIndex, ScanBaseline, SortIndex, StochasticCracker};
+    pub use aidx_latch::{LockManager, LockMode, LockResource};
+    pub use aidx_storage::{generate_unique_shuffled, Catalog, Column, Table};
+    pub use aidx_workload::{
+        run_experiment, Approach, ExperimentConfig, MultiClientRunner, QueryEngine, QuerySpec,
+        WorkloadGenerator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_work_together() {
+        let values = generate_unique_shuffled(10_000, 1);
+        let index = ConcurrentCracker::from_values(values, LatchProtocol::Piece);
+        let (count, _) = index.count(1000, 2000);
+        assert_eq!(count, 1000);
+    }
+}
