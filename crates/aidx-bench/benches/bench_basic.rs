@@ -64,8 +64,7 @@ fn bench_warmed_query(c: &mut Criterion) {
         b.iter(|| idx.count(50_000, 50_000 + width))
     });
     group.bench_function("concurrent_crack_piece_protocol", |b| {
-        let idx =
-            aidx_core::ConcurrentCracker::from_values(values.clone(), LatchProtocol::Piece);
+        let idx = aidx_core::ConcurrentCracker::from_values(values.clone(), LatchProtocol::Piece);
         for i in 0..10i64 {
             idx.count(i * 13_000, i * 13_000 + width);
         }

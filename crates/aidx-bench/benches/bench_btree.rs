@@ -58,7 +58,11 @@ fn bench_adaptive_indexes(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
     group.bench_function("adaptive_merge_build_runs", |b| {
-        b.iter(|| AdaptiveMergeIndex::build_from_values(&values, 8_192).stats().initial_runs)
+        b.iter(|| {
+            AdaptiveMergeIndex::build_from_values(&values, 8_192)
+                .stats()
+                .initial_runs
+        })
     });
     group.bench_function("adaptive_merge_query_sequence_32", |b| {
         b.iter_batched(

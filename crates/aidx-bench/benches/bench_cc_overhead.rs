@@ -11,13 +11,8 @@ const ROWS: usize = 200_000;
 const QUERIES: usize = 64;
 
 fn run_batch(protocol: LatchProtocol, values: &[i64]) {
-    let queries = WorkloadGenerator::new(
-        ROWS as u64,
-        0.0001,
-        aidx_core::Aggregate::Sum,
-        7,
-    )
-    .generate(QUERIES);
+    let queries =
+        WorkloadGenerator::new(ROWS as u64, 0.0001, aidx_core::Aggregate::Sum, 7).generate(QUERIES);
     let idx = ConcurrentCracker::from_values(values.to_vec(), protocol);
     for q in &queries {
         idx.sum(q.low, q.high);

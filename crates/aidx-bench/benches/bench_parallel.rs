@@ -1,0 +1,127 @@
+//! Parallel cracking scaling benchmark: serial `ConcurrentCracker` versus
+//! parallel-chunked and range-partitioned cracking, from 1 worker up to
+//! the available cores (and at least 4, so the scaling shape is visible
+//! even when a container under-reports its parallelism).
+//!
+//! For every arm the same query sequence runs against the same data with
+//! a single client, so the measured effect is intra-query parallelism:
+//! each query's refinement + aggregation work fanned out across workers.
+//! Every arm's answers are checked against the scan baseline; a mismatch
+//! aborts the bench.
+//!
+//! Environment overrides: `AIDX_ROWS` (default 1 000 000), `AIDX_QUERIES`
+//! (default 128), `AIDX_MAX_WORKERS` (default `max(cores, 4)`).
+//!
+//! Run with `cargo bench -p aidx-bench --bench bench_parallel`.
+
+use aidx_bench::{ms, print_table, scaled_params};
+use aidx_core::{Aggregate, LatchProtocol};
+use aidx_parallel::available_cores;
+use aidx_storage::generate_unique_shuffled;
+use aidx_workload::{Approach, ExperimentConfig, QueryEngine, QuerySpec, ScanEngine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Replays `queries` once, serially, against a fresh engine, returning the
+/// wall-clock time and the per-query answers. Cracking is stateful, so
+/// every arm must be timed on its first (refining) replay — callers build
+/// a fresh engine per arm.
+fn run_arm(engine: Arc<dyn QueryEngine>, queries: &[QuerySpec]) -> (Duration, Vec<i128>) {
+    let start = Instant::now();
+    let answers = queries.iter().map(|q| engine.execute(q).0).collect();
+    (start.elapsed(), answers)
+}
+
+fn main() {
+    let (rows, query_count) = scaled_params(1_000_000, 128);
+    let cores = available_cores();
+    let max_workers: usize = std::env::var("AIDX_MAX_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| cores.max(4));
+
+    println!("# bench_parallel: rows={rows} queries={query_count} cores={cores}");
+    println!();
+
+    let base = ExperimentConfig::new(Approach::Crack(LatchProtocol::Piece))
+        .rows(rows)
+        .queries(query_count)
+        .selectivity(0.001)
+        .aggregate(Aggregate::Sum);
+    let queries = base.generate_queries();
+    let values = generate_unique_shuffled(rows, 0xA1D1);
+
+    // Reference answers from the scan baseline.
+    let scan = ScanEngine::new(values.clone());
+    let expected: Vec<i128> = queries.iter().map(|q| scan.execute(q).0).collect();
+
+    // Serial baseline: the paper's concurrent cracker, piece latches.
+    let serial_engine = base.build_engine_with(values.clone());
+    let (serial_time, serial_answers) = run_arm(serial_engine, &queries);
+    assert_eq!(
+        serial_answers, expected,
+        "serial cracker diverged from scan"
+    );
+
+    let mut table = vec![vec![
+        "crack-piece (serial)".to_string(),
+        "1".to_string(),
+        ms(serial_time),
+        "1.00".to_string(),
+    ]];
+
+    let mut workers = 1usize;
+    let mut speedup_at_4_chunks = None;
+    while workers <= max_workers {
+        for approach in [
+            Approach::ParallelChunk {
+                chunks: workers,
+                protocol: LatchProtocol::Piece,
+            },
+            Approach::ParallelRange {
+                partitions: workers,
+            },
+        ] {
+            let label = approach.label();
+            let engine = ExperimentConfig::new(approach)
+                .rows(rows)
+                .queries(query_count)
+                .selectivity(0.001)
+                .aggregate(Aggregate::Sum)
+                .build_engine_with(values.clone());
+            let (time, answers) = run_arm(engine, &queries);
+            assert_eq!(answers, expected, "{label} diverged from scan");
+            let speedup = serial_time.as_secs_f64() / time.as_secs_f64();
+            if label.starts_with("parallel-chunk") && workers == 4 {
+                speedup_at_4_chunks = Some(speedup);
+            }
+            table.push(vec![
+                label,
+                workers.to_string(),
+                ms(time),
+                format!("{speedup:.2}"),
+            ]);
+        }
+        workers *= 2;
+    }
+
+    print_table(
+        "parallel cracking scaling (1 client, intra-query parallelism)",
+        &["arm", "workers", "wall_clock_ms", "speedup_vs_serial"],
+        &table,
+    );
+
+    println!("all parallel arms returned results identical to the scan baseline");
+    if let Some(speedup) = speedup_at_4_chunks {
+        println!(
+            "parallel-chunked speedup at 4 workers: {speedup:.2}x{}",
+            if cores < 4 {
+                " (machine exposes fewer than 4 cores; expect >1.5x on 4+ cores)"
+            } else if speedup > 1.5 {
+                " (target >1.5x: met)"
+            } else {
+                " (target >1.5x: NOT met)"
+            }
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! column latches versus piece latches (and the scan/sort baselines).
 
 use aidx_core::{Aggregate, LatchProtocol};
-use aidx_workload::{Approach, ExperimentConfig, run_experiment};
+use aidx_workload::{run_experiment, Approach, ExperimentConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const ROWS: usize = 200_000;
@@ -23,7 +23,10 @@ fn bench_protocols(c: &mut Criterion) {
             "crack_piece_latch_skip_on_contention",
             Approach::CrackSkipOnContention(LatchProtocol::Piece),
         ),
-        ("adaptive_merge", Approach::AdaptiveMerge { run_size: 16_384 }),
+        (
+            "adaptive_merge",
+            Approach::AdaptiveMerge { run_size: 16_384 },
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {

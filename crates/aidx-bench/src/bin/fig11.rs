@@ -7,8 +7,8 @@
 
 use aidx_bench::{ms, print_table, scaled_params};
 use aidx_core::Aggregate;
-use aidx_workload::{run_experiment, Approach, ExperimentConfig};
 use aidx_core::LatchProtocol;
+use aidx_workload::{run_experiment, Approach, ExperimentConfig};
 
 fn main() {
     let (rows, _) = scaled_params(aidx_bench::BENCH_ROWS_DEFAULT, 10);
@@ -21,12 +21,10 @@ fn main() {
         Approach::Sort,
         Approach::Crack(LatchProtocol::Piece),
     ];
-    let mut per_query_rows: Vec<Vec<String>> = (0..queries)
-        .map(|i| vec![(i + 1).to_string()])
-        .collect();
-    let mut running_rows: Vec<Vec<String>> = (0..queries)
-        .map(|i| vec![(i + 1).to_string()])
-        .collect();
+    let mut per_query_rows: Vec<Vec<String>> =
+        (0..queries).map(|i| vec![(i + 1).to_string()]).collect();
+    let mut running_rows: Vec<Vec<String>> =
+        (0..queries).map(|i| vec![(i + 1).to_string()]).collect();
 
     for approach in approaches {
         let config = ExperimentConfig::new(approach)

@@ -22,8 +22,14 @@ fn main() {
     let mut enabled_secs = 0.0f64;
     let mut disabled_secs = 0.0f64;
     for (label, approach) in [
-        ("enabled (piece latches)", Approach::Crack(LatchProtocol::Piece)),
-        ("disabled (no latching)", Approach::Crack(LatchProtocol::None)),
+        (
+            "enabled (piece latches)",
+            Approach::Crack(LatchProtocol::Piece),
+        ),
+        (
+            "disabled (no latching)",
+            Approach::Crack(LatchProtocol::None),
+        ),
     ] {
         let config = ExperimentConfig::new(approach)
             .rows(rows)

@@ -20,10 +20,26 @@ fn main() {
     println!("Figure 14 — column vs piece latches, {rows} rows, {queries} queries per run\n");
 
     let panels = [
-        ("(a) Count query, column latch", Aggregate::Count, LatchProtocol::Column),
-        ("(b) Count query, piece latch", Aggregate::Count, LatchProtocol::Piece),
-        ("(c) Sum query, column latch", Aggregate::Sum, LatchProtocol::Column),
-        ("(d) Sum query, piece latch", Aggregate::Sum, LatchProtocol::Piece),
+        (
+            "(a) Count query, column latch",
+            Aggregate::Count,
+            LatchProtocol::Column,
+        ),
+        (
+            "(b) Count query, piece latch",
+            Aggregate::Count,
+            LatchProtocol::Piece,
+        ),
+        (
+            "(c) Sum query, column latch",
+            Aggregate::Sum,
+            LatchProtocol::Column,
+        ),
+        (
+            "(d) Sum query, piece latch",
+            Aggregate::Sum,
+            LatchProtocol::Piece,
+        ),
     ];
 
     let mut header: Vec<String> = vec!["clients".to_string()];

@@ -52,7 +52,10 @@ fn main() {
             ordered.push(&run.per_query[client * per_client + round]);
         }
     }
-    let early: f64 = ordered[..third].iter().map(|m| m.wait_time.as_secs_f64()).sum();
+    let early: f64 = ordered[..third]
+        .iter()
+        .map(|m| m.wait_time.as_secs_f64())
+        .sum();
     let late: f64 = ordered[ordered.len() - third..]
         .iter()
         .map(|m| m.wait_time.as_secs_f64())

@@ -52,7 +52,6 @@ impl AdaptiveMergeIndex {
         let run_size = run_size.max(1);
         let mut tree = PartitionedBTree::new();
         let mut run_partitions = Vec::new();
-        let mut next_partition: PartitionId = FINAL_PARTITION + 1;
         for (chunk_idx, chunk) in values.chunks(run_size).enumerate() {
             let base = chunk_idx * run_size;
             let mut run: Vec<(i64, RowId)> = chunk
@@ -61,8 +60,7 @@ impl AdaptiveMergeIndex {
                 .map(|(i, &v)| (v, (base + i) as RowId))
                 .collect();
             run.sort_unstable();
-            let pid = next_partition;
-            next_partition += 1;
+            let pid = FINAL_PARTITION + 1 + chunk_idx as PartitionId;
             for (key, rowid) in run {
                 tree.insert(pid, key, rowid);
             }
@@ -169,7 +167,12 @@ mod tests {
         assert!(!idx.is_fully_merged());
         // Every run partition is sorted (scan_partition returns key order by
         // construction) and the runs together hold all records.
-        let total: usize = idx.tree().partitions().iter().map(|&p| idx.tree().partition_len(p)).sum();
+        let total: usize = idx
+            .tree()
+            .partitions()
+            .iter()
+            .map(|&p| idx.tree().partition_len(p))
+            .sum();
         assert_eq!(total, 100);
         assert!(idx.check_invariants());
     }
@@ -190,7 +193,11 @@ mod tests {
         let values = shuffled(500);
         let mut idx = AdaptiveMergeIndex::build_from_values(&values, 64);
         for (low, high) in [(100, 200), (0, 500), (499, 500), (250, 100), (490, 600)] {
-            assert_eq!(idx.count(low, high), ops::count(&values, low, high), "[{low},{high})");
+            assert_eq!(
+                idx.count(low, high),
+                ops::count(&values, low, high),
+                "[{low},{high})"
+            );
             assert_eq!(idx.sum(low, high), ops::sum(&values, low, high));
             assert!(idx.check_invariants());
         }

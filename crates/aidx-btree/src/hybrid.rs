@@ -295,7 +295,11 @@ mod tests {
         let values = shuffled(400);
         let mut idx = HybridCrackSort::build_from_values(&values, 64);
         for (low, high) in [(100, 200), (0, 400), (399, 400), (250, 100), (150, 160)] {
-            assert_eq!(idx.count(low, high), ops::count(&values, low, high), "[{low},{high})");
+            assert_eq!(
+                idx.count(low, high),
+                ops::count(&values, low, high),
+                "[{low},{high})"
+            );
             assert_eq!(idx.sum(low, high), ops::sum(&values, low, high));
             assert!(idx.check_invariants(), "invariants after [{low},{high})");
         }
@@ -314,12 +318,18 @@ mod tests {
         let d = 4i64; // 'd'
         let i = 9i64; // 'i'
         let out = idx.query_range(d, i + 1); // inclusive 'i' as in the figure
-        let letters: String = out.iter().map(|&(k, _)| (b'a' + (k as u8) - 1) as char).collect();
+        let letters: String = out
+            .iter()
+            .map(|&(k, _)| (b'a' + (k as u8) - 1) as char)
+            .collect();
         assert_eq!(letters, "deefghii");
         let f = 6i64;
         let m = 13i64;
         let out = idx.query_range(f, m + 1);
-        let letters: String = out.iter().map(|&(k, _)| (b'a' + (k as u8) - 1) as char).collect();
+        let letters: String = out
+            .iter()
+            .map(|&(k, _)| (b'a' + (k as u8) - 1) as char)
+            .collect();
         assert_eq!(letters, "fghiijklm");
         assert!(idx.check_invariants());
     }
@@ -332,7 +342,11 @@ mod tests {
         assert_eq!(idx.final_partition_len(), 100);
         let moved_before = idx.stats().records_moved;
         idx.count(100, 200);
-        assert_eq!(idx.stats().records_moved, moved_before, "repeat query moves nothing");
+        assert_eq!(
+            idx.stats().records_moved,
+            moved_before,
+            "repeat query moves nothing"
+        );
         idx.count(150, 250);
         assert_eq!(idx.final_partition_len(), 150);
         assert!(idx.check_invariants());
@@ -365,7 +379,10 @@ mod tests {
         let mut idx = HybridCrackSort::build_from_values(&values, 50);
         idx.count(40, 120);
         assert!(idx.stats().crack_steps > 0);
-        assert!(idx.stats().crack_steps <= 8, "at most two cracks per initial partition");
+        assert!(
+            idx.stats().crack_steps <= 8,
+            "at most two cracks per initial partition"
+        );
         assert_eq!(idx.stats().queries, 1);
     }
 

@@ -104,16 +104,18 @@ impl KeyRangeLockTable {
     /// overlapping `[low, high)` — the check a system transaction performs
     /// before refining that key range.
     pub fn conflicts_in_range(&self, txn: TxnId, low: i64, high: i64, mode: LockMode) -> bool {
-        self.separators_overlapping(low, high).into_iter().any(|sep| {
-            self.manager.holds_conflicting(
-                txn,
-                &LockResource::KeyRange {
-                    index: self.index_name.clone(),
-                    low: sep,
-                },
-                mode,
-            )
-        })
+        self.separators_overlapping(low, high)
+            .into_iter()
+            .any(|sep| {
+                self.manager.holds_conflicting(
+                    txn,
+                    &LockResource::KeyRange {
+                        index: self.index_name.clone(),
+                        low: sep,
+                    },
+                    mode,
+                )
+            })
     }
 
     /// Releases all locks held by `txn` (on every resource of the shared
@@ -200,13 +202,16 @@ mod tests {
         let coarse = KeyRangeLockTable::new("c", Arc::new(LockManager::new()));
         coarse.try_lock_key(1, 10, LockMode::Exclusive).unwrap();
         // With only the MIN separator, everything is one range: conflict.
-        assert!(coarse.try_lock_key(2, 1_000_000, LockMode::Exclusive).is_err());
+        assert!(coarse
+            .try_lock_key(2, 1_000_000, LockMode::Exclusive)
+            .is_err());
 
         let mut fine = KeyRangeLockTable::new("f", Arc::new(LockManager::new()));
         fine.add_separator(1000);
         fine.try_lock_key(1, 10, LockMode::Exclusive).unwrap();
         // The refined separator set isolates the two keys: no conflict.
-        fine.try_lock_key(2, 1_000_000, LockMode::Exclusive).unwrap();
+        fine.try_lock_key(2, 1_000_000, LockMode::Exclusive)
+            .unwrap();
     }
 
     #[test]

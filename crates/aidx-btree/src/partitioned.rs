@@ -191,13 +191,7 @@ impl PartitionedBTree {
     /// partition `to` — one *merge step*. Returns the number of records
     /// moved. Records keep their key and row id; only the artificial leading
     /// key field changes, so logical index contents are untouched.
-    pub fn move_range(
-        &mut self,
-        from: PartitionId,
-        to: PartitionId,
-        low: i64,
-        high: i64,
-    ) -> usize {
+    pub fn move_range(&mut self, from: PartitionId, to: PartitionId, low: i64, high: i64) -> usize {
         let records = self.remove_range_in_partition(from, low, high);
         let moved = records.len();
         for (key, rowid) in records {
@@ -314,7 +308,10 @@ mod tests {
             .into_iter()
             .map(|(k, _)| k)
             .collect();
-        assert_eq!(final_keys, (10..30).filter(|k| k % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(
+            final_keys,
+            (10..30).filter(|k| k % 2 == 0).collect::<Vec<_>>()
+        );
         assert!(t.check_invariants());
         // Moving the same range again moves nothing.
         assert_eq!(t.move_range(1, FINAL_PARTITION, 10, 30), 0);
@@ -348,7 +345,14 @@ mod tests {
     #[test]
     fn part_key_ordering_groups_by_partition_first() {
         assert!(PartKey::lower(1, i64::MAX) < PartKey::lower(2, i64::MIN));
-        assert!(PartKey::lower(1, 5) < PartKey { partition: 1, key: 5, rowid: 1 });
+        assert!(
+            PartKey::lower(1, 5)
+                < PartKey {
+                    partition: 1,
+                    key: 5,
+                    rowid: 1
+                }
+        );
         assert!(PartKey::partition_end(1) == PartKey::lower(2, i64::MIN));
     }
 }

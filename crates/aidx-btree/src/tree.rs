@@ -171,7 +171,9 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             Node::Internal { keys, children } => {
                 let mid = keys.len() / 2;
                 let right_keys: Vec<K> = keys.split_off(mid + 1);
-                let sep = keys.pop().expect("internal node must have a separator to promote");
+                let sep = keys
+                    .pop()
+                    .expect("internal node must have a separator to promote");
                 let right_children: Vec<NodeId> = children.split_off(mid + 1);
                 (
                     sep,
@@ -347,7 +349,11 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                     let mut count = 0;
                     for (i, &child) in children.iter().enumerate() {
                         let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
-                        let hi = if i == keys.len() { upper } else { Some(&keys[i]) };
+                        let hi = if i == keys.len() {
+                            upper
+                        } else {
+                            Some(&keys[i])
+                        };
                         count += check_node(tree, child, lo, hi)?;
                     }
                     Ok(count)
@@ -515,7 +521,7 @@ mod tests {
         let mut t: BTree<(u32, i64, u32), ()> = BTree::with_order(8);
         for p in 0..4u32 {
             for k in 0..50i64 {
-                t.insert((p, k, (p * 100) as u32 + k as u32), ());
+                t.insert((p, k, p * 100 + k as u32), ());
             }
         }
         assert_eq!(t.len(), 200);

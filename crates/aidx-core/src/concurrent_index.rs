@@ -215,13 +215,7 @@ impl ConcurrentCracker {
 
     // ----- column-latch (and latch-free) protocol ------------------------
 
-    fn run_column(
-        &self,
-        low: i64,
-        high: i64,
-        agg: Aggregate,
-        metrics: &mut QueryMetrics,
-    ) -> i128 {
+    fn run_column(&self, low: i64, high: i64, agg: Aggregate, metrics: &mut QueryMetrics) -> i128 {
         let latched = self.protocol != LatchProtocol::None;
 
         // Crack-select phase under the column write latch.
@@ -469,7 +463,11 @@ impl ConcurrentCracker {
         while pos < end {
             let latch = self.registry.latch_for(pos);
             let guard = latch.acquire_read();
-            Self::note_wait(metrics, guard.outcome().wait_time(), guard.outcome().contended());
+            Self::note_wait(
+                metrics,
+                guard.outcome().wait_time(),
+                guard.outcome().contended(),
+            );
             let piece_end = {
                 let toc = self.toc.lock();
                 toc.piece_end_after(pos).min(end)
@@ -519,8 +517,7 @@ impl ConcurrentCracker {
             return false;
         }
         for piece in toc.map.pieces() {
-            for pos in piece.start..piece.end {
-                let v = values[pos];
+            for &v in &values[piece.start..piece.end] {
                 if piece.low_value.is_some_and(|lo| v < lo) {
                     return false;
                 }
@@ -564,9 +561,17 @@ mod tests {
             let idx = ConcurrentCracker::from_values(values.clone(), protocol);
             for (low, high) in [(10, 2500), (100, 200), (0, 3000), (2999, 3000), (50, 40)] {
                 let (c, _) = idx.count(low, high);
-                assert_eq!(c, ops::count(&values, low, high), "{protocol} count [{low},{high})");
+                assert_eq!(
+                    c,
+                    ops::count(&values, low, high),
+                    "{protocol} count [{low},{high})"
+                );
                 let (s, _) = idx.sum(low, high);
-                assert_eq!(s, ops::sum(&values, low, high), "{protocol} sum [{low},{high})");
+                assert_eq!(
+                    s,
+                    ops::sum(&values, low, high),
+                    "{protocol} sum [{low},{high})"
+                );
             }
             assert!(idx.check_invariants(), "{protocol} invariants");
             assert_eq!(idx.len(), 3000);
@@ -619,7 +624,10 @@ mod tests {
     fn concurrent_counts_match_scan_piece_protocol() {
         let n = 20_000usize;
         let values = shuffled(n);
-        let idx = Arc::new(ConcurrentCracker::from_values(values.clone(), LatchProtocol::Piece));
+        let idx = Arc::new(ConcurrentCracker::from_values(
+            values.clone(),
+            LatchProtocol::Piece,
+        ));
         let values = Arc::new(values);
         let mut handles = Vec::new();
         for t in 0..8u64 {
@@ -645,7 +653,13 @@ mod tests {
         // All data still present.
         let mut snap = idx.snapshot_values();
         snap.sort_unstable();
-        assert_eq!(snap, (0..n as i64).map(|i| (i * 48271) % n as i64).collect::<Vec<_>>().tap_sorted());
+        assert_eq!(
+            snap,
+            (0..n as i64)
+                .map(|i| (i * 48271) % n as i64)
+                .collect::<Vec<_>>()
+                .tap_sorted()
+        );
     }
 
     #[test]

@@ -136,10 +136,12 @@ impl ConcurrentAdaptiveMerge {
         }
 
         // Refinement attempt (optional).
-        let refine_allowed = !self
-            .locks
-            .lock()
-            .conflicts_in_range(self.system_txn_id, low, high, LockMode::Exclusive);
+        let refine_allowed = !self.locks.lock().conflicts_in_range(
+            self.system_txn_id,
+            low,
+            high,
+            LockMode::Exclusive,
+        );
         if refine_allowed {
             let guard = match self.policy {
                 RefinementPolicy::Always => Some(self.latch.write()),
@@ -224,11 +226,8 @@ mod tests {
     #[test]
     fn sequential_queries_match_scan() {
         let values = shuffled(2000);
-        let idx = ConcurrentAdaptiveMerge::build_from_values(
-            &values,
-            256,
-            Arc::new(LockManager::new()),
-        );
+        let idx =
+            ConcurrentAdaptiveMerge::build_from_values(&values, 256, Arc::new(LockManager::new()));
         for (low, high) in [(100, 1500), (0, 2000), (1999, 2000), (500, 400)] {
             assert_eq!(idx.count(low, high).0, ops::count(&values, low, high));
             assert_eq!(idx.sum(low, high).0, ops::sum(&values, low, high));
@@ -253,11 +252,8 @@ mod tests {
     #[test]
     fn user_range_lock_blocks_refinement_but_not_answers() {
         let values = shuffled(1000);
-        let idx = ConcurrentAdaptiveMerge::build_from_values(
-            &values,
-            128,
-            Arc::new(LockManager::new()),
-        );
+        let idx =
+            ConcurrentAdaptiveMerge::build_from_values(&values, 128, Arc::new(LockManager::new()));
         assert!(idx.lock_user_range(1, 0, 1000));
         let merged_before = idx.merge_stats().records_merged;
         let (c, m) = idx.count(100, 300);
@@ -308,12 +304,8 @@ mod tests {
         let n = 5000usize;
         let values = Arc::new(shuffled(n));
         let idx = Arc::new(
-            ConcurrentAdaptiveMerge::build_from_values(
-                &values,
-                512,
-                Arc::new(LockManager::new()),
-            )
-            .with_policy(RefinementPolicy::SkipOnContention),
+            ConcurrentAdaptiveMerge::build_from_values(&values, 512, Arc::new(LockManager::new()))
+                .with_policy(RefinementPolicy::SkipOnContention),
         );
         let mut handles = Vec::new();
         for t in 0..6u64 {

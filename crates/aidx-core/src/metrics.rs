@@ -46,6 +46,28 @@ impl QueryMetrics {
         self.refinements_skipped += other.refinements_skipped;
         self.result_count += other.result_count;
     }
+
+    /// Merges the per-worker metrics of **one** query that was executed in
+    /// parallel across workers (chunks or range partitions) into a single
+    /// per-query record.
+    ///
+    /// Work counters (cracks, conflicts, skips, result sizes) and busy
+    /// times (wait / crack / aggregate) are *summed* — they measure total
+    /// work done on the query's behalf. `total` is the *maximum* of the
+    /// worker totals, i.e. the critical path: workers ran concurrently, so
+    /// summing their wall-clocks would overstate the query's latency.
+    /// Callers that know the true fan-out/fan-in wall-clock should
+    /// overwrite `total` with it afterwards.
+    pub fn merge_parallel<I: IntoIterator<Item = QueryMetrics>>(parts: I) -> QueryMetrics {
+        let mut merged = QueryMetrics::default();
+        let mut critical_path = Duration::ZERO;
+        for part in parts {
+            critical_path = critical_path.max(part.total);
+            merged.accumulate(&part);
+        }
+        merged.total = critical_path;
+        merged
+    }
 }
 
 /// Aggregated metrics of a whole query sequence (one experiment run).
@@ -152,6 +174,27 @@ mod tests {
     }
 
     #[test]
+    fn merge_parallel_sums_work_and_takes_critical_path() {
+        let merged = QueryMetrics::merge_parallel([
+            metrics(10, 2, 3, 1),
+            metrics(25, 4, 5, 0),
+            metrics(15, 1, 1, 2),
+        ]);
+        // Critical path, not sum: the workers ran concurrently.
+        assert_eq!(merged.total, Duration::from_millis(25));
+        // Work counters are summed across the workers.
+        assert_eq!(merged.wait_time, Duration::from_millis(7));
+        assert_eq!(merged.crack_time, Duration::from_millis(9));
+        assert_eq!(merged.cracks_performed, 6);
+        assert_eq!(merged.conflicts, 3);
+        assert_eq!(merged.result_count, 30);
+        // Degenerate cases.
+        assert_eq!(QueryMetrics::merge_parallel([]), QueryMetrics::default());
+        let single = QueryMetrics::merge_parallel([metrics(7, 1, 1, 0)]);
+        assert_eq!(single, metrics(7, 1, 1, 0));
+    }
+
+    #[test]
     fn run_metrics_aggregation() {
         let mut run = RunMetrics::new();
         run.per_query.push(metrics(10, 1, 2, 1));
@@ -164,7 +207,10 @@ mod tests {
         assert_eq!(run.total_wait_time(), Duration::from_millis(4));
         assert_eq!(run.total_crack_time(), Duration::from_millis(6));
         let qps = run.throughput_qps();
-        assert!((qps - 50.0).abs() < 1e-9, "2 queries / 0.04 s = 50 qps, got {qps}");
+        assert!(
+            (qps - 50.0).abs() < 1e-9,
+            "2 queries / 0.04 s = 50 qps, got {qps}"
+        );
     }
 
     #[test]
@@ -174,11 +220,14 @@ mod tests {
         run.per_query.push(metrics(30, 0, 0, 0));
         run.per_query.push(metrics(20, 0, 0, 0));
         let avg = run.running_average();
-        assert_eq!(avg, vec![
-            Duration::from_millis(10),
-            Duration::from_millis(20),
-            Duration::from_millis(20),
-        ]);
+        assert_eq!(
+            avg,
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(20),
+            ]
+        );
     }
 
     #[test]

@@ -194,7 +194,10 @@ impl SharedCrackerArray {
     /// Snapshot of the whole array as (values, rowids). Only meaningful when
     /// the caller can guarantee quiescence (tests, invariant checks).
     pub fn snapshot(&self) -> (Vec<i64>, Vec<RowId>) {
-        (self.values_in_range(0, self.len), self.rowids_in_range(0, self.len))
+        (
+            self.values_in_range(0, self.len),
+            self.rowids_in_range(0, self.len),
+        )
     }
 }
 

@@ -50,12 +50,15 @@ fn update_height<K, V>(node: &mut Box<Node<K, V>>) {
     node.height = 1 + height(&node.left).max(height(&node.right));
 }
 
-fn balance_factor<K, V>(node: &Box<Node<K, V>>) -> i32 {
+fn balance_factor<K, V>(node: &Node<K, V>) -> i32 {
     height(&node.left) - height(&node.right)
 }
 
 fn rotate_right<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
-    let mut new_root = node.left.take().expect("rotate_right requires a left child");
+    let mut new_root = node
+        .left
+        .take()
+        .expect("rotate_right requires a left child");
     node.left = new_root.right.take();
     update_height(&mut node);
     new_root.right = Some(node);
@@ -64,7 +67,10 @@ fn rotate_right<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
 }
 
 fn rotate_left<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
-    let mut new_root = node.right.take().expect("rotate_left requires a right child");
+    let mut new_root = node
+        .right
+        .take()
+        .expect("rotate_left requires a right child");
     node.right = new_root.left.take();
     update_height(&mut node);
     new_root.left = Some(node);
@@ -83,7 +89,12 @@ fn rebalance<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
         rotate_right(node)
     } else if bf < -1 {
         // Right-heavy.
-        if balance_factor(node.right.as_ref().expect("right-heavy implies right child")) > 0 {
+        if balance_factor(
+            node.right
+                .as_ref()
+                .expect("right-heavy implies right child"),
+        ) > 0
+        {
             node.right = Some(rotate_right(node.right.take().unwrap()));
         }
         rotate_left(node)
@@ -241,6 +252,7 @@ impl<K: Ord, V> AvlTree<K, V> {
     /// balance factors in `{-1, 0, 1}`. Returns `true` when all hold.
     /// Intended for tests and property checks.
     pub fn check_invariants(&self) -> bool {
+        #[allow(clippy::type_complexity)]
         fn check<K: Ord, V>(node: &Option<Box<Node<K, V>>>) -> Result<(i32, Option<(&K, &K)>), ()> {
             match node {
                 None => Ok((0, None)),
@@ -335,7 +347,10 @@ mod tests {
         let mut t = AvlTree::new();
         for i in 0..1024i64 {
             t.insert(i, i as usize);
-            assert!(t.check_invariants(), "invariants broken after inserting {i}");
+            assert!(
+                t.check_invariants(),
+                "invariants broken after inserting {i}"
+            );
         }
         assert_eq!(t.len(), 1024);
         // A perfectly balanced tree of 1024 nodes has height 11; AVL
@@ -395,7 +410,9 @@ mod tests {
         let mut x: i64 = 12345;
         for _ in 0..200 {
             // Small deterministic LCG to mix the insert order.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 1000;
             if !t.contains_key(&k) {
                 expected.push(k);

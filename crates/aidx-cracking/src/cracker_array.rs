@@ -112,7 +112,13 @@ impl CrackerArray {
     ///
     /// # Panics
     /// Panics if `low > high` or the range is invalid.
-    pub fn crack_in_three(&mut self, start: usize, end: usize, low: i64, high: i64) -> (usize, usize) {
+    pub fn crack_in_three(
+        &mut self,
+        start: usize,
+        end: usize,
+        low: i64,
+        high: i64,
+    ) -> (usize, usize) {
         assert!(low <= high, "inverted bounds");
         let p_low = self.crack_in_two(start, end, low);
         let p_high = self.crack_in_two(p_low, end, high);
@@ -214,7 +220,11 @@ mod tests {
         for i in 0..4 {
             let rid = arr.rowid_at(i) as usize;
             let original = [50, 10, 90, 30][rid];
-            assert_eq!(arr.value_at(i), original, "rowid must still identify its value");
+            assert_eq!(
+                arr.value_at(i),
+                original,
+                "rowid must still identify its value"
+            );
         }
     }
 
@@ -246,7 +256,9 @@ mod tests {
         let before = multiset(&arr);
         let (p_low, p_high) = arr.crack_in_three(0, arr.len(), 5, 12);
         assert!(arr.values()[..p_low].iter().all(|&v| v < 5));
-        assert!(arr.values()[p_low..p_high].iter().all(|&v| (5..12).contains(&v)));
+        assert!(arr.values()[p_low..p_high]
+            .iter()
+            .all(|&v| (5..12).contains(&v)));
         assert!(arr.values()[p_high..].iter().all(|&v| v >= 12));
         assert_eq!(multiset(&arr), before);
         assert_eq!(p_low, data.iter().filter(|&&v| v < 5).count());

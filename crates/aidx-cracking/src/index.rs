@@ -249,8 +249,16 @@ mod tests {
         let values = sample_values();
         let mut idx = CrackerIndex::from_values(values.clone());
         for (low, high) in [(4, 9), (6, 13), (1, 27), (10, 11), (20, 5)] {
-            assert_eq!(idx.count(low, high), ops::count(&values, low, high), "count {low}..{high}");
-            assert_eq!(idx.sum(low, high), ops::sum(&values, low, high), "sum {low}..{high}");
+            assert_eq!(
+                idx.count(low, high),
+                ops::count(&values, low, high),
+                "count {low}..{high}"
+            );
+            assert_eq!(
+                idx.sum(low, high),
+                ops::sum(&values, low, high),
+                "sum {low}..{high}"
+            );
         }
         assert!(idx.check_invariants());
     }

@@ -44,8 +44,8 @@ impl Piece {
     /// True if a crack at `value` would fall inside this piece (i.e. the
     /// value lies strictly between the piece's known bounds).
     pub fn contains_value(&self, value: i64) -> bool {
-        let above_low = self.low_value.map_or(true, |lo| value >= lo);
-        let below_high = self.high_value.map_or(true, |hi| value < hi);
+        let above_low = self.low_value.is_none_or(|lo| value >= lo);
+        let below_high = self.high_value.is_none_or(|hi| value < hi);
         above_low && below_high
     }
 }

@@ -90,6 +90,11 @@ impl StochasticCracker {
         &self.map
     }
 
+    /// The underlying cracker array (read-only).
+    pub fn array(&self) -> &CrackerArray {
+        &self.array
+    }
+
     /// Splits oversized pieces around `bound` at random pivots until the
     /// piece containing `bound` is smaller than the threshold, then cracks
     /// at `bound` itself. Returns the bound's position and positions touched.
@@ -211,7 +216,10 @@ mod tests {
         let values = data(10_000);
         let mut idx = StochasticCracker::with_threshold(values, 128, 7);
         idx.count(5000, 5100);
-        assert!(idx.random_cracks() > 0, "large initial piece must trigger random cracks");
+        assert!(
+            idx.random_cracks() > 0,
+            "large initial piece must trigger random cracks"
+        );
         assert!(idx.bound_cracks() >= 2);
         assert!(idx.check_invariants());
     }

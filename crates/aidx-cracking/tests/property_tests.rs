@@ -123,9 +123,9 @@ proptest! {
         prop_assert_eq!(avl.len(), reference.len());
         for p in probes {
             prop_assert_eq!(avl.get(&p), reference.get(&p));
-            let expected_floor = reference.range(..=p).next_back().map(|(k, v)| (k, v));
+            let expected_floor = reference.range(..=p).next_back();
             prop_assert_eq!(avl.floor(&p), expected_floor);
-            let expected_ceiling = reference.range((std::ops::Bound::Excluded(p), std::ops::Bound::Unbounded)).next().map(|(k, v)| (k, v));
+            let expected_ceiling = reference.range((std::ops::Bound::Excluded(p), std::ops::Bound::Unbounded)).next();
             prop_assert_eq!(avl.ceiling_exclusive(&p), expected_ceiling);
         }
         let avl_keys: Vec<i64> = avl.keys().into_iter().copied().collect();

@@ -336,12 +336,7 @@ impl LockManager {
 
     /// Total number of granted locks across all resources (diagnostic).
     pub fn granted_count(&self) -> usize {
-        self.table
-            .lock()
-            .granted
-            .values()
-            .map(|v| v.len())
-            .sum()
+        self.table.lock().granted.values().map(|v| v.len()).sum()
     }
 }
 
@@ -427,7 +422,8 @@ mod tests {
     #[test]
     fn intention_locks_are_taken_on_ancestors() {
         let mgr = LockManager::new();
-        mgr.try_lock(1, piece("r", "a", 0), LockMode::Exclusive).unwrap();
+        mgr.try_lock(1, piece("r", "a", 0), LockMode::Exclusive)
+            .unwrap();
         let table_holders = mgr.holders(&LockResource::Table("r".into()));
         assert_eq!(table_holders.len(), 1);
         assert_eq!(table_holders[0].mode, LockMode::IntentionExclusive);
@@ -440,7 +436,9 @@ mod tests {
     fn conflicting_lock_is_rejected() {
         let mgr = LockManager::new();
         mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
-        let err = mgr.try_lock(2, col("r", "a"), LockMode::Shared).unwrap_err();
+        let err = mgr
+            .try_lock(2, col("r", "a"), LockMode::Shared)
+            .unwrap_err();
         assert!(matches!(err, LockError::Conflict { .. }));
         // Same transaction re-locking is fine.
         mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
@@ -462,10 +460,12 @@ mod tests {
     #[test]
     fn compatible_descendant_locks_coexist() {
         let mgr = LockManager::new();
-        mgr.try_lock(1, piece("r", "a", 1), LockMode::Exclusive).unwrap();
+        mgr.try_lock(1, piece("r", "a", 1), LockMode::Exclusive)
+            .unwrap();
         // A different piece can be locked by another transaction: intention
         // modes on the shared ancestors are compatible.
-        mgr.try_lock(2, piece("r", "a", 2), LockMode::Exclusive).unwrap();
+        mgr.try_lock(2, piece("r", "a", 2), LockMode::Exclusive)
+            .unwrap();
         assert!(mgr.holds_conflicting(3, &piece("r", "a", 1), LockMode::Shared));
         assert!(!mgr.holds_conflicting(3, &piece("r", "a", 3), LockMode::Shared));
     }
@@ -473,7 +473,8 @@ mod tests {
     #[test]
     fn release_all_frees_resources() {
         let mgr = LockManager::new();
-        mgr.try_lock(1, piece("r", "a", 1), LockMode::Exclusive).unwrap();
+        mgr.try_lock(1, piece("r", "a", 1), LockMode::Exclusive)
+            .unwrap();
         assert_eq!(mgr.release_all(1), 3);
         assert_eq!(mgr.granted_count(), 0);
         mgr.try_lock(2, col("r", "a"), LockMode::Exclusive).unwrap();
@@ -494,7 +495,12 @@ mod tests {
         let mgr = LockManager::new();
         mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
         let err = mgr
-            .lock_with_timeout(2, col("r", "a"), LockMode::Shared, Duration::from_millis(30))
+            .lock_with_timeout(
+                2,
+                col("r", "a"),
+                LockMode::Shared,
+                Duration::from_millis(30),
+            )
             .unwrap_err();
         assert_eq!(err, LockError::Timeout);
     }

@@ -146,9 +146,7 @@ impl OrderedWaitLatch {
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         // Insertion sort on bound, as described in the paper.
-        let pos = state
-            .write_waiters
-            .partition_point(|w| w.bound <= bound);
+        let pos = state.write_waiters.partition_point(|w| w.bound <= bound);
         state.write_waiters.insert(pos, Waiter { ticket, bound });
 
         let start = Instant::now();
@@ -202,8 +200,9 @@ impl OrderedWaitLatch {
     /// Acquires the latch in shared mode (aggregation over the piece).
     pub fn acquire_read(&self) -> OrderedReadGuard<'_> {
         let mut state = self.state.lock();
-        let admissible =
-            |s: &State| s.mode != Mode::Exclusive && s.chosen.is_none() && s.write_waiters.is_empty();
+        let admissible = |s: &State| {
+            s.mode != Mode::Exclusive && s.chosen.is_none() && s.write_waiters.is_empty()
+        };
         if admissible(&state) {
             state.mode = match state.mode {
                 Mode::Free => Mode::Shared(1),

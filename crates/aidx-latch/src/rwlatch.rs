@@ -93,12 +93,16 @@ impl RwLatch {
         }
         if let Some(guard) = self.inner.try_read() {
             self.stats.record_read(false, Duration::ZERO);
-            return RwLatchReadGuard { _guard: Some(guard) };
+            return RwLatchReadGuard {
+                _guard: Some(guard),
+            };
         }
         let start = Instant::now();
         let guard = self.inner.read();
         self.stats.record_read(true, start.elapsed());
-        RwLatchReadGuard { _guard: Some(guard) }
+        RwLatchReadGuard {
+            _guard: Some(guard),
+        }
     }
 
     /// Acquires the latch in exclusive mode, blocking if necessary.
@@ -109,12 +113,16 @@ impl RwLatch {
         }
         if let Some(guard) = self.inner.try_write() {
             self.stats.record_write(false, Duration::ZERO);
-            return RwLatchWriteGuard { _guard: Some(guard) };
+            return RwLatchWriteGuard {
+                _guard: Some(guard),
+            };
         }
         let start = Instant::now();
         let guard = self.inner.write();
         self.stats.record_write(true, start.elapsed());
-        RwLatchWriteGuard { _guard: Some(guard) }
+        RwLatchWriteGuard {
+            _guard: Some(guard),
+        }
     }
 
     /// Attempts to acquire shared mode without waiting.
@@ -130,7 +138,9 @@ impl RwLatch {
         match self.inner.try_read() {
             Some(guard) => {
                 self.stats.record_read(false, Duration::ZERO);
-                Some(RwLatchReadGuard { _guard: Some(guard) })
+                Some(RwLatchReadGuard {
+                    _guard: Some(guard),
+                })
             }
             None => {
                 self.stats.record_abandoned();
@@ -148,7 +158,9 @@ impl RwLatch {
         match self.inner.try_write() {
             Some(guard) => {
                 self.stats.record_write(false, Duration::ZERO);
-                Some(RwLatchWriteGuard { _guard: Some(guard) })
+                Some(RwLatchWriteGuard {
+                    _guard: Some(guard),
+                })
             }
             None => {
                 self.stats.record_abandoned();

@@ -252,7 +252,8 @@ mod tests {
     fn registry_merged_snapshot_and_reset() {
         let reg = LatchStatsRegistry::new();
         reg.get_or_register("a").record_read(false, Duration::ZERO);
-        reg.get_or_register("b").record_write(true, Duration::from_nanos(9));
+        reg.get_or_register("b")
+            .record_write(true, Duration::from_nanos(9));
         let merged = reg.merged_snapshot();
         assert_eq!(merged.total_acquisitions(), 2);
         assert_eq!(merged.write_conflicts, 1);

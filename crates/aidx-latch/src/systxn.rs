@@ -100,7 +100,9 @@ impl SystemTransaction {
         self.state = SystemTxnState::Committed;
         self.manager.committed.fetch_add(1, Ordering::Relaxed);
         if self.completed_steps < self.planned_steps {
-            self.manager.early_terminated.fetch_add(1, Ordering::Relaxed);
+            self.manager
+                .early_terminated
+                .fetch_add(1, Ordering::Relaxed);
         }
         self.manager
             .steps_completed

@@ -1,0 +1,454 @@
+//! Range-partitioned parallel cracking.
+//!
+//! A one-time parallel range partition splits the column into `partitions`
+//! disjoint key ranges; each range is owned by a dedicated worker thread
+//! that cracks a private [`CrackerIndex`] **latch-free** — exclusive
+//! ownership replaces the paper's latch protocols entirely, the logical
+//! end point of "pieces as an adaptive latching granularity": partition
+//! boundaries are cracks chosen up front, and within a partition there is
+//! never a second writer. A router maps a query's `[low, high)` range to
+//! the partitions it overlaps, sends each owner a request over its
+//! channel, and sums the partial answers; partitions outside the query
+//! range are never touched (in contrast to chunked cracking, where every
+//! chunk participates in every query).
+//!
+//! Partition boundaries come from a deterministic sample of the data, so
+//! skewed key distributions still yield balanced partitions.
+
+use aidx_core::{Aggregate, QueryMetrics};
+use aidx_cracking::CrackerIndex;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A request routed to one partition owner.
+enum OwnerRequest {
+    /// Answer `agg` over `[low, high)` within the partition, cracking as a
+    /// side effect, and reply with `(partial value, metrics)`.
+    Query {
+        low: i64,
+        high: i64,
+        agg: Aggregate,
+        reply: Sender<(i128, QueryMetrics)>,
+    },
+    /// Run `check_invariants` on the partition index and reply.
+    Check { reply: Sender<bool> },
+}
+
+/// One partition owner: a worker thread with exclusive, latch-free access
+/// to the partition's cracker index.
+fn owner_loop(mut index: CrackerIndex, requests: &Receiver<OwnerRequest>) {
+    while let Ok(request) = requests.recv() {
+        match request {
+            OwnerRequest::Query {
+                low,
+                high,
+                agg,
+                reply,
+            } => {
+                let start = Instant::now();
+                let mut metrics = QueryMetrics::default();
+                // One crack-select resolves both bounds; the aggregate then
+                // reads the qualifying range directly (counts are purely
+                // positional, sums scan the range once).
+                let outcome = index.crack_select(low, high);
+                metrics.result_count = outcome.range.len() as u64;
+                metrics.cracks_performed = u32::from(outcome.cracks_performed);
+                let value = match agg {
+                    Aggregate::Count => outcome.range.len() as i128,
+                    Aggregate::Sum => index
+                        .array()
+                        .sum_range(outcome.range.start, outcome.range.end),
+                };
+                metrics.total = start.elapsed();
+                // The router may have given up only if the whole index was
+                // dropped mid-query; nothing useful to do with the error.
+                let _ = reply.send((value, metrics));
+            }
+            OwnerRequest::Check { reply } => {
+                let _ = reply.send(index.check_invariants());
+            }
+        }
+    }
+}
+
+/// A column range-partitioned across latch-free owner threads.
+pub struct RangePartitionedCracker {
+    /// `splits[i]` is the inclusive lower key bound of partition `i + 1`;
+    /// partition `0` starts at `i64::MIN`. Sorted ascending.
+    splits: Vec<i64>,
+    owners: Vec<Sender<OwnerRequest>>,
+    handles: Vec<JoinHandle<()>>,
+    partition_sizes: Vec<usize>,
+    len: usize,
+}
+
+impl RangePartitionedCracker {
+    /// Range-partitions `values` into `partitions` (clamped to
+    /// `1..=len.max(1)`) and spawns one owner thread per partition. The
+    /// partition pass itself runs in parallel: every builder thread scans
+    /// a stripe of the input and scatters values into per-partition
+    /// buckets, which are then concatenated per partition.
+    pub fn new(values: Vec<i64>, partitions: usize) -> Self {
+        let len = values.len();
+        let partitions = partitions.clamp(1, len.max(1));
+        let splits = choose_splits(&values, partitions);
+
+        // Parallel scatter: stripe the input across `partitions` builder
+        // threads; each produces one bucket vector per partition.
+        let stripes: Vec<&[i64]> = stripe_slices(&values, partitions);
+        let scattered: Vec<Vec<Vec<i64>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .into_iter()
+                .map(|stripe| {
+                    let splits = &splits;
+                    scope.spawn(move || {
+                        let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); partitions];
+                        for &v in stripe {
+                            buckets[partition_of(splits, v)].push(v);
+                        }
+                        buckets
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Parallel gather + owner spawn: concatenate each partition's
+        // buckets and hand the result to its dedicated owner thread.
+        let mut partition_values: Vec<Vec<i64>> = vec![Vec::new(); partitions];
+        std::thread::scope(|scope| {
+            let mut gather: Vec<_> = Vec::with_capacity(partitions);
+            let mut rest: &mut [Vec<i64>] = &mut partition_values;
+            let scattered = &scattered;
+            for p in 0..partitions {
+                let (head, tail) = rest.split_first_mut().unwrap();
+                rest = tail;
+                gather.push(scope.spawn(move || {
+                    let total: usize = scattered.iter().map(|b| b[p].len()).sum();
+                    head.reserve_exact(total);
+                    for buckets in scattered {
+                        head.extend_from_slice(&buckets[p]);
+                    }
+                }));
+            }
+            for h in gather {
+                h.join().unwrap();
+            }
+        });
+
+        let mut owners = Vec::with_capacity(partitions);
+        let mut handles = Vec::with_capacity(partitions);
+        let mut partition_sizes = Vec::with_capacity(partitions);
+        for (p, bucket) in partition_values.into_iter().enumerate() {
+            partition_sizes.push(bucket.len());
+            let (tx, rx) = channel();
+            let index = CrackerIndex::from_values(bucket);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("aidx-partition-{p}"))
+                    .spawn(move || owner_loop(index, &rx))
+                    .expect("failed to spawn partition owner"),
+            );
+            owners.push(tx);
+        }
+
+        RangePartitionedCracker {
+            splits,
+            owners,
+            handles,
+            partition_sizes,
+            len,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of partitions (== owner threads).
+    pub fn partition_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Entries per partition (diagnostic: balance check).
+    pub fn partition_sizes(&self) -> &[usize] {
+        &self.partition_sizes
+    }
+
+    /// The split keys between partitions (diagnostic).
+    pub fn splits(&self) -> &[i64] {
+        &self.splits
+    }
+
+    /// Q1: count of values in `[low, high)`.
+    pub fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
+        let (value, metrics) = self.route(low, high, Aggregate::Count);
+        (value as u64, metrics)
+    }
+
+    /// Q2: sum of values in `[low, high)`.
+    pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
+        self.route(low, high, Aggregate::Sum)
+    }
+
+    /// Routes one query to the owners of the partitions it overlaps and
+    /// merges their partial answers.
+    fn route(&self, low: i64, high: i64, agg: Aggregate) -> (i128, QueryMetrics) {
+        let start = Instant::now();
+        if low >= high || self.len == 0 {
+            let metrics = QueryMetrics {
+                total: start.elapsed(),
+                ..QueryMetrics::default()
+            };
+            return (0, metrics);
+        }
+
+        // Owners of [low, high): the partition holding `low` through the
+        // partition holding the last key below `high`.
+        let first = partition_of(&self.splits, low);
+        let last = partition_of(&self.splits, high - 1);
+
+        let (reply_tx, reply_rx) = channel();
+        for owner in &self.owners[first..=last] {
+            owner
+                .send(OwnerRequest::Query {
+                    low,
+                    high,
+                    agg,
+                    reply: reply_tx.clone(),
+                })
+                .expect("partition owner exited early");
+        }
+        drop(reply_tx);
+
+        let mut value: i128 = 0;
+        let mut parts = Vec::with_capacity(last - first + 1);
+        for _ in first..=last {
+            let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
+            value += partial;
+            parts.push(part_metrics);
+        }
+        let mut metrics = QueryMetrics::merge_parallel(parts);
+        metrics.total = start.elapsed();
+        (value, metrics)
+    }
+
+    /// Verifies every partition's piece/array consistency.
+    pub fn check_invariants(&self) -> bool {
+        let (reply_tx, reply_rx) = channel();
+        for owner in &self.owners {
+            owner
+                .send(OwnerRequest::Check {
+                    reply: reply_tx.clone(),
+                })
+                .expect("partition owner exited early");
+        }
+        drop(reply_tx);
+        (0..self.owners.len()).all(|_| reply_rx.recv().unwrap_or(false))
+    }
+}
+
+impl Drop for RangePartitionedCracker {
+    fn drop(&mut self) {
+        // Closing the request channels ends every owner loop.
+        self.owners.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for RangePartitionedCracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RangePartitionedCracker")
+            .field("len", &self.len)
+            .field("partitions", &self.owners.len())
+            .field("splits", &self.splits)
+            .field("partition_sizes", &self.partition_sizes)
+            .finish()
+    }
+}
+
+/// Index of the partition owning key `v`: the number of splits `<= v`.
+fn partition_of(splits: &[i64], v: i64) -> usize {
+    splits.partition_point(|&s| s <= v)
+}
+
+/// Picks `partitions - 1` split keys from a deterministic sample so the
+/// partitions are balanced even under skew. Returned keys are strictly
+/// increasing (duplicate quantiles are dropped, which merely merges
+/// neighbouring partitions for heavily duplicated data).
+fn choose_splits(values: &[i64], partitions: usize) -> Vec<i64> {
+    if partitions <= 1 || values.is_empty() {
+        return Vec::new();
+    }
+    const MAX_SAMPLE: usize = 4096;
+    let step = values.len().div_ceil(MAX_SAMPLE).max(1);
+    let mut sample: Vec<i64> = values.iter().step_by(step).copied().collect();
+    sample.sort_unstable();
+    let mut splits = Vec::with_capacity(partitions - 1);
+    for p in 1..partitions {
+        let q = sample[(p * sample.len() / partitions).min(sample.len() - 1)];
+        if splits.last() != Some(&q) {
+            splits.push(q);
+        }
+    }
+    splits
+}
+
+/// Splits `values` into `n` near-equal contiguous stripes.
+fn stripe_slices(values: &[i64], n: usize) -> Vec<&[i64]> {
+    let n = n.max(1);
+    let target = values.len().div_ceil(n).max(1);
+    let mut out = Vec::with_capacity(n);
+    let mut rest = values;
+    for _ in 0..n {
+        let take = target.min(rest.len());
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aidx_storage::ops;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn shuffled(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| (i * 48271) % n as i64).collect()
+    }
+
+    #[test]
+    fn results_match_scan_for_every_partition_count() {
+        let values = shuffled(5000);
+        for partitions in [1, 2, 4, 7] {
+            let idx = RangePartitionedCracker::new(values.clone(), partitions);
+            assert_eq!(idx.partition_count(), partitions);
+            assert_eq!(idx.len(), 5000);
+            for (low, high) in [(10, 4000), (100, 200), (0, 5000), (4999, 5000), (300, 100)] {
+                let (c, _) = idx.count(low, high);
+                assert_eq!(
+                    c,
+                    ops::count(&values, low, high),
+                    "{partitions} parts count"
+                );
+                let (s, _) = idx.sum(low, high);
+                assert_eq!(s, ops::sum(&values, low, high), "{partitions} parts sum");
+            }
+            assert!(idx.check_invariants(), "{partitions} parts");
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover_everything() {
+        let values = shuffled(10_000);
+        let idx = RangePartitionedCracker::new(values.clone(), 8);
+        assert_eq!(idx.partition_sizes().iter().sum::<usize>(), 10_000);
+        // Sampled quantiles over a uniform permutation: every partition
+        // within 3x of the ideal size.
+        let ideal = 10_000 / 8;
+        for &size in idx.partition_sizes() {
+            assert!(
+                size <= ideal * 3,
+                "unbalanced partition: {size} vs ideal {ideal}"
+            );
+        }
+        assert!(idx.splits().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn narrow_queries_touch_one_partition() {
+        let values = shuffled(8000);
+        let idx = RangePartitionedCracker::new(values.clone(), 4);
+        // A one-key query overlaps exactly one partition; its metrics come
+        // from a single owner, so at most 2 cracks happen.
+        let (c, m) = idx.count(100, 101);
+        assert_eq!(c, 1);
+        assert!(m.cracks_performed <= 2);
+    }
+
+    #[test]
+    fn skewed_data_still_balances() {
+        // All keys in a tiny range, heavily duplicated.
+        let values: Vec<i64> = (0..9000).map(|i| (i % 13) as i64).collect();
+        let idx = RangePartitionedCracker::new(values.clone(), 4);
+        for (low, high) in [(0, 13), (3, 7), (12, 13), (5, 5)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&values, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&values, low, high));
+        }
+        assert_eq!(idx.partition_sizes().iter().sum::<usize>(), 9000);
+    }
+
+    #[test]
+    fn empty_input_and_ranges() {
+        let idx = RangePartitionedCracker::new(vec![], 4);
+        assert!(idx.is_empty());
+        assert_eq!(idx.partition_count(), 1);
+        assert_eq!(idx.count(0, 10).0, 0);
+        let idx = RangePartitionedCracker::new(shuffled(100), 4);
+        assert_eq!(idx.count(50, 50).0, 0);
+        assert_eq!(idx.sum(70, 20).0, 0);
+    }
+
+    #[test]
+    fn concurrent_clients_get_correct_answers() {
+        let n = 20_000usize;
+        let values = shuffled(n);
+        let idx = Arc::new(RangePartitionedCracker::new(values.clone(), 4));
+        let values = Arc::new(values);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let idx = Arc::clone(&idx);
+            let values = Arc::clone(&values);
+            handles.push(thread::spawn(move || {
+                let mut seed = t * 104729 + 7;
+                for _ in 0..30 {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = (seed >> 17) as i64 % n as i64;
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let b = (seed >> 17) as i64 % n as i64;
+                    let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                    let (c, _) = idx.count(low, high);
+                    assert_eq!(c, ops::count(&values, low, high), "[{low},{high})");
+                    let (s, _) = idx.sum(low, high);
+                    assert_eq!(s, ops::sum(&values, low, high), "[{low},{high})");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn drop_joins_owner_threads() {
+        let idx = RangePartitionedCracker::new(shuffled(1000), 4);
+        idx.count(10, 500);
+        drop(idx); // must not hang or leak threads
+    }
+
+    #[test]
+    fn partition_of_routes_keys_to_split_ranges() {
+        let splits = vec![10, 20, 30];
+        assert_eq!(partition_of(&splits, i64::MIN), 0);
+        assert_eq!(partition_of(&splits, 9), 0);
+        assert_eq!(partition_of(&splits, 10), 1);
+        assert_eq!(partition_of(&splits, 19), 1);
+        assert_eq!(partition_of(&splits, 20), 2);
+        assert_eq!(partition_of(&splits, 30), 3);
+        assert_eq!(partition_of(&splits, i64::MAX), 3);
+    }
+}

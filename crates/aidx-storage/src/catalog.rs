@@ -79,7 +79,8 @@ mod tests {
 
     fn table_named(name: &str) -> Table {
         let mut t = Table::new(name);
-        t.add_column(Column::from_values("a", vec![1, 2, 3])).unwrap();
+        t.add_column(Column::from_values("a", vec![1, 2, 3]))
+            .unwrap();
         t
     }
 
@@ -121,7 +122,10 @@ mod tests {
         let cat = Catalog::new();
         cat.register_table(table_named("zeta")).unwrap();
         cat.register_table(table_named("alpha")).unwrap();
-        assert_eq!(cat.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(
+            cat.table_names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
     }
 
     #[test]

@@ -112,10 +112,7 @@ impl Column {
     /// An iterator over `(RowId, value)` pairs, the shape a cracker array is
     /// initialised from.
     pub fn iter_with_rowids(&self) -> impl Iterator<Item = (RowId, i64)> + '_ {
-        self.data
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (i as RowId, v))
+        self.data.iter().enumerate().map(|(i, &v)| (i as RowId, v))
     }
 }
 
@@ -148,7 +145,10 @@ mod tests {
         assert_eq!(c.get(2), Ok(30));
         assert!(matches!(
             c.get(3),
-            Err(StorageError::PositionOutOfBounds { position: 3, len: 3 })
+            Err(StorageError::PositionOutOfBounds {
+                position: 3,
+                len: 3
+            })
         ));
     }
 

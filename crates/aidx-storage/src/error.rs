@@ -49,10 +49,16 @@ impl fmt::Display for StorageError {
                 write!(f, "column already exists: {name}")
             }
             StorageError::LengthMismatch { expected, actual } => {
-                write!(f, "column length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected}, got {actual}"
+                )
             }
             StorageError::PositionOutOfBounds { position, len } => {
-                write!(f, "position {position} out of bounds for column of length {len}")
+                write!(
+                    f,
+                    "position {position} out of bounds for column of length {len}"
+                )
             }
             StorageError::TypeMismatch { expected, actual } => {
                 write!(f, "type mismatch: expected {expected:?}, got {actual:?}")
@@ -71,12 +77,18 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let cases: Vec<(StorageError, &str)> = vec![
-            (StorageError::TableNotFound("r".into()), "table not found: r"),
+            (
+                StorageError::TableNotFound("r".into()),
+                "table not found: r",
+            ),
             (
                 StorageError::TableAlreadyExists("r".into()),
                 "table already exists: r",
             ),
-            (StorageError::ColumnNotFound("a".into()), "column not found: a"),
+            (
+                StorageError::ColumnNotFound("a".into()),
+                "column not found: a",
+            ),
             (
                 StorageError::ColumnAlreadyExists("a".into()),
                 "column already exists: a",
@@ -89,7 +101,10 @@ mod tests {
                 "column length mismatch: expected 3, got 4",
             ),
             (
-                StorageError::PositionOutOfBounds { position: 9, len: 3 },
+                StorageError::PositionOutOfBounds {
+                    position: 9,
+                    len: 3,
+                },
                 "position 9 out of bounds for column of length 3",
             ),
         ];

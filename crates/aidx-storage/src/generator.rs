@@ -77,8 +77,14 @@ mod tests {
 
     #[test]
     fn unique_shuffled_is_deterministic_per_seed() {
-        assert_eq!(generate_unique_shuffled(100, 7), generate_unique_shuffled(100, 7));
-        assert_ne!(generate_unique_shuffled(100, 7), generate_unique_shuffled(100, 8));
+        assert_eq!(
+            generate_unique_shuffled(100, 7),
+            generate_unique_shuffled(100, 7)
+        );
+        assert_ne!(
+            generate_unique_shuffled(100, 7),
+            generate_unique_shuffled(100, 8)
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn sum_matches_manual() {
         assert_eq!(sum(&DATA, 3, 7), (5 + 3 + 6) as i128);
-        assert_eq!(sum(&DATA, 1, 10), DATA.iter().map(|&v| v as i128).sum::<i128>());
+        assert_eq!(
+            sum(&DATA, 1, 10),
+            DATA.iter().map(|&v| v as i128).sum::<i128>()
+        );
         assert_eq!(sum(&DATA, 10, 20), 0);
     }
 

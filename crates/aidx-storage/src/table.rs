@@ -105,8 +105,10 @@ mod tests {
 
     fn two_column_table() -> Table {
         let mut t = Table::new("r");
-        t.add_column(Column::from_values("a", vec![10, 20, 30])).unwrap();
-        t.add_column(Column::from_values("b", vec![1, 2, 3])).unwrap();
+        t.add_column(Column::from_values("a", vec![10, 20, 30]))
+            .unwrap();
+        t.add_column(Column::from_values("b", vec![1, 2, 3]))
+            .unwrap();
         t
     }
 
@@ -126,14 +128,18 @@ mod tests {
     #[test]
     fn duplicate_column_rejected() {
         let mut t = two_column_table();
-        let err = t.add_column(Column::from_values("a", vec![0, 0, 0])).unwrap_err();
+        let err = t
+            .add_column(Column::from_values("a", vec![0, 0, 0]))
+            .unwrap_err();
         assert_eq!(err, StorageError::ColumnAlreadyExists("a".into()));
     }
 
     #[test]
     fn misaligned_column_rejected() {
         let mut t = two_column_table();
-        let err = t.add_column(Column::from_values("c", vec![0, 0])).unwrap_err();
+        let err = t
+            .add_column(Column::from_values("c", vec![0, 0]))
+            .unwrap_err();
         assert_eq!(
             err,
             StorageError::LengthMismatch {

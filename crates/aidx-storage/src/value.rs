@@ -6,11 +6,10 @@
 //! type that can be cracked, and a few auxiliary types exist so that tables
 //! can carry realistic payload columns in the examples.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The physical type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer — the crackable key type.
     Int64,
@@ -34,7 +33,7 @@ impl fmt::Display for DataType {
 ///
 /// Bulk operators never materialise `Value`s; they work directly on the
 /// dense `i64` arrays for speed, as a column store would.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// A 64-bit integer value.
     Int64(i64),

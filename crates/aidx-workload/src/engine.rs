@@ -149,7 +149,11 @@ impl CrackEngine {
     }
 
     /// Builds a cracking engine with an explicit refinement policy.
-    pub fn with_policy(values: Vec<i64>, protocol: LatchProtocol, policy: RefinementPolicy) -> Self {
+    pub fn with_policy(
+        values: Vec<i64>,
+        protocol: LatchProtocol,
+        policy: RefinementPolicy,
+    ) -> Self {
         CrackEngine {
             cracker: ConcurrentCracker::from_values(values, protocol).with_policy(policy),
             name: format!("crack-{protocol}"),

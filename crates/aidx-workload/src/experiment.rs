@@ -12,6 +12,7 @@
 
 use crate::engine::{CrackEngine, MergeEngine, QueryEngine, ScanEngine, SortEngine};
 use crate::generator::WorkloadGenerator;
+use crate::parallel_engine::{ParallelChunkEngine, ParallelRangeEngine};
 use crate::query::QuerySpec;
 use crate::runner::MultiClientRunner;
 use aidx_core::{Aggregate, LatchProtocol, RefinementPolicy, RunMetrics};
@@ -48,6 +49,22 @@ pub enum Approach {
         /// Records per initial sorted run.
         run_size: usize,
     },
+    /// Parallel-chunked cracking: the column is split positionally into
+    /// per-core chunks, each cracked under `protocol`, and every query
+    /// fans out to all chunks (`aidx-parallel`).
+    ParallelChunk {
+        /// Number of chunks (0 = one per available core).
+        chunks: usize,
+        /// Chunk-local latch protocol.
+        protocol: LatchProtocol,
+    },
+    /// Range-partitioned latch-free parallel cracking: each worker owns a
+    /// disjoint key range; a router fans queries out to the overlapping
+    /// owners (`aidx-parallel`).
+    ParallelRange {
+        /// Number of partitions (0 = one per available core).
+        partitions: usize,
+    },
 }
 
 impl Approach {
@@ -59,7 +76,22 @@ impl Approach {
             Approach::Crack(p) => format!("crack-{p}"),
             Approach::CrackSkipOnContention(p) => format!("crack-{p}-skip"),
             Approach::AdaptiveMerge { .. } => "adaptive-merge".to_string(),
+            Approach::ParallelChunk { chunks, protocol } => {
+                format!("parallel-chunk-{protocol}-{}", effective_workers(*chunks))
+            }
+            Approach::ParallelRange { partitions } => {
+                format!("parallel-range-{}", effective_workers(*partitions))
+            }
         }
+    }
+}
+
+/// Resolves a worker-count knob: `0` means one worker per available core.
+fn effective_workers(requested: usize) -> usize {
+    if requested == 0 {
+        aidx_parallel::available_cores()
+    } else {
+        requested
     }
 }
 
@@ -160,6 +192,15 @@ impl ExperimentConfig {
                 RefinementPolicy::SkipOnContention,
             )),
             Approach::AdaptiveMerge { run_size } => Arc::new(MergeEngine::new(values, run_size)),
+            Approach::ParallelChunk { chunks, protocol } => Arc::new(ParallelChunkEngine::new(
+                values,
+                effective_workers(chunks),
+                protocol,
+            )),
+            Approach::ParallelRange { partitions } => Arc::new(ParallelRangeEngine::new(
+                values,
+                effective_workers(partitions),
+            )),
         }
     }
 }
@@ -203,14 +244,37 @@ mod tests {
             Approach::CrackSkipOnContention(LatchProtocol::Column).label(),
             "crack-column-skip"
         );
-        assert_eq!(Approach::AdaptiveMerge { run_size: 8 }.label(), "adaptive-merge");
+        assert_eq!(
+            Approach::AdaptiveMerge { run_size: 8 }.label(),
+            "adaptive-merge"
+        );
+        assert_eq!(
+            Approach::ParallelChunk {
+                chunks: 4,
+                protocol: LatchProtocol::Piece
+            }
+            .label(),
+            "parallel-chunk-piece-4"
+        );
+        assert_eq!(
+            Approach::ParallelRange { partitions: 8 }.label(),
+            "parallel-range-8"
+        );
+        // chunks = 0 resolves to the core count, which is at least 1.
+        assert!(
+            Approach::ParallelRange { partitions: 0 }
+                .label()
+                .strip_prefix("parallel-range-")
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+                >= 1
+        );
     }
 
     #[test]
     fn config_builders_set_fields() {
-        let c = tiny(Approach::Scan)
-            .clients(4)
-            .aggregate(Aggregate::Count);
+        let c = tiny(Approach::Scan).clients(4).aggregate(Aggregate::Count);
         assert_eq!(c.rows, 5_000);
         assert_eq!(c.queries, 32);
         assert_eq!(c.clients, 4);
@@ -228,6 +292,11 @@ mod tests {
             Approach::Crack(LatchProtocol::Column),
             Approach::CrackSkipOnContention(LatchProtocol::Piece),
             Approach::AdaptiveMerge { run_size: 1024 },
+            Approach::ParallelChunk {
+                chunks: 2,
+                protocol: LatchProtocol::Piece,
+            },
+            Approach::ParallelRange { partitions: 2 },
         ] {
             let config = tiny(approach);
             let run = run_experiment(&config);

@@ -8,8 +8,9 @@
 //! * [`WorkloadGenerator`] — deterministic random / sequential / skewed
 //!   query sequences, identical across every experiment arm.
 //! * [`QueryEngine`] and its implementations — the approaches under test:
-//!   plain scan, full sort, cracking under column or piece latches, and
-//!   adaptive merging.
+//!   plain scan, full sort, cracking under column or piece latches,
+//!   adaptive merging, and the multi-core parallel cracking arms of
+//!   `aidx-parallel` (chunked and range-partitioned).
 //! * [`MultiClientRunner`] — replays one query sequence with N concurrent
 //!   clients against a shared engine and reports the wall-clock time of the
 //!   last client to finish, plus per-query metric breakdowns.
@@ -21,6 +22,7 @@
 pub mod engine;
 pub mod experiment;
 pub mod generator;
+pub mod parallel_engine;
 pub mod query;
 pub mod runner;
 
@@ -30,5 +32,6 @@ pub use experiment::{
     DEFAULT_ROWS,
 };
 pub use generator::{AccessPattern, WorkloadGenerator};
+pub use parallel_engine::{ParallelChunkEngine, ParallelRangeEngine};
 pub use query::{selectivity_to_width, QuerySpec};
 pub use runner::MultiClientRunner;

@@ -1,0 +1,212 @@
+//! Query-engine adapters for the `aidx-parallel` subsystem.
+//!
+//! Wraps [`ChunkedCracker`] and [`RangePartitionedCracker`] as
+//! [`QueryEngine`]s so the parallel arms run under the exact same
+//! [`crate::MultiClientRunner`] protocol as scan / sort / crack / merge:
+//! N concurrent *clients* each fan their queries out across M *workers*,
+//! exercising parallelism both between and within queries.
+
+use crate::engine::QueryEngine;
+use crate::query::QuerySpec;
+use aidx_core::{Aggregate, LatchProtocol, QueryMetrics, RefinementPolicy};
+use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
+
+/// Parallel-chunked cracking as an experiment arm.
+#[derive(Debug)]
+pub struct ParallelChunkEngine {
+    index: ChunkedCracker,
+    name: String,
+}
+
+impl ParallelChunkEngine {
+    /// Builds the engine with `chunks` chunks cracked under the paper's
+    /// concurrency control (`protocol`, [`RefinementPolicy::Always`]).
+    pub fn new(values: Vec<i64>, chunks: usize, protocol: LatchProtocol) -> Self {
+        Self::with_backend(
+            values,
+            chunks,
+            ChunkBackend::Concurrent(protocol, RefinementPolicy::Always),
+        )
+    }
+
+    /// Builds the engine with an explicit per-chunk backend.
+    pub fn with_backend(values: Vec<i64>, chunks: usize, backend: ChunkBackend) -> Self {
+        let index = ChunkedCracker::new(values, chunks, backend);
+        let name = match backend {
+            ChunkBackend::Concurrent(protocol, RefinementPolicy::Always) => {
+                format!("parallel-chunk-{protocol}-{}", index.chunk_count())
+            }
+            ChunkBackend::Concurrent(protocol, RefinementPolicy::SkipOnContention) => {
+                format!("parallel-chunk-{protocol}-skip-{}", index.chunk_count())
+            }
+            ChunkBackend::Stochastic { .. } => {
+                format!("parallel-chunk-stochastic-{}", index.chunk_count())
+            }
+        };
+        ParallelChunkEngine { index, name }
+    }
+
+    /// The underlying chunked cracker (for post-run inspection).
+    pub fn index(&self) -> &ChunkedCracker {
+        &self.index
+    }
+}
+
+impl QueryEngine for ParallelChunkEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        match query.aggregate {
+            Aggregate::Count => {
+                let (c, m) = self.index.count(query.low, query.high);
+                (c as i128, m)
+            }
+            Aggregate::Sum => self.index.sum(query.low, query.high),
+        }
+    }
+}
+
+/// Range-partitioned latch-free cracking as an experiment arm.
+#[derive(Debug)]
+pub struct ParallelRangeEngine {
+    index: RangePartitionedCracker,
+    name: String,
+}
+
+impl ParallelRangeEngine {
+    /// Builds the engine with `partitions` latch-free partitions.
+    pub fn new(values: Vec<i64>, partitions: usize) -> Self {
+        let index = RangePartitionedCracker::new(values, partitions);
+        let name = format!("parallel-range-{}", index.partition_count());
+        ParallelRangeEngine { index, name }
+    }
+
+    /// The underlying range-partitioned cracker (for post-run inspection).
+    pub fn index(&self) -> &RangePartitionedCracker {
+        &self.index
+    }
+}
+
+impl QueryEngine for ParallelRangeEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        match query.aggregate {
+            Aggregate::Count => {
+                let (c, m) = self.index.count(query.low, query.high);
+                (c as i128, m)
+            }
+            Aggregate::Sum => self.index.sum(query.low, query.high),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CheckedEngine, ScanEngine};
+    use crate::generator::WorkloadGenerator;
+    use crate::runner::MultiClientRunner;
+    use std::sync::Arc;
+
+    fn shuffled(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| (i * 48271) % n as i64).collect()
+    }
+
+    #[test]
+    fn engine_names_encode_configuration() {
+        let values = shuffled(200);
+        assert_eq!(
+            ParallelChunkEngine::new(values.clone(), 4, LatchProtocol::Piece).name(),
+            "parallel-chunk-piece-4"
+        );
+        assert_eq!(
+            ParallelChunkEngine::with_backend(
+                values.clone(),
+                2,
+                ChunkBackend::Concurrent(LatchProtocol::Column, RefinementPolicy::SkipOnContention),
+            )
+            .name(),
+            "parallel-chunk-column-skip-2"
+        );
+        assert_eq!(
+            ParallelChunkEngine::with_backend(
+                values.clone(),
+                2,
+                ChunkBackend::Stochastic {
+                    piece_threshold: 64,
+                    seed: 1
+                },
+            )
+            .name(),
+            "parallel-chunk-stochastic-2"
+        );
+        assert_eq!(
+            ParallelRangeEngine::new(values, 4).name(),
+            "parallel-range-4"
+        );
+    }
+
+    #[test]
+    fn parallel_engines_agree_with_scan() {
+        let values = shuffled(3000);
+        let scan = ScanEngine::new(values.clone());
+        let engines: Vec<Box<dyn QueryEngine>> = vec![
+            Box::new(ParallelChunkEngine::new(
+                values.clone(),
+                4,
+                LatchProtocol::Piece,
+            )),
+            Box::new(ParallelRangeEngine::new(values.clone(), 4)),
+        ];
+        for engine in engines {
+            for q in [
+                QuerySpec::count(100, 700),
+                QuerySpec::sum(0, 3000),
+                QuerySpec::sum(2999, 3000),
+                QuerySpec::count(500, 100),
+            ] {
+                let (expected, em) = scan.execute(&q);
+                let (got, m) = engine.execute(&q);
+                assert_eq!(got, expected, "{} disagrees on {q:?}", engine.name());
+                assert_eq!(m.result_count, em.result_count, "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_client_runner_drives_parallel_engines() {
+        let values = shuffled(5000);
+        let queries = WorkloadGenerator::new(5000, 0.02, Aggregate::Sum, 9).generate(48);
+        let engine = Arc::new(CheckedEngine::new(
+            ParallelChunkEngine::new(values.clone(), 4, LatchProtocol::Piece),
+            values.clone(),
+        ));
+        let run = MultiClientRunner::new(4).run(engine.clone(), &queries);
+        assert_eq!(run.query_count(), 48);
+        assert!(engine.mismatches().is_empty());
+        let engine = Arc::new(CheckedEngine::new(
+            ParallelRangeEngine::new(values.clone(), 4),
+            values,
+        ));
+        let run = MultiClientRunner::new(4).run(engine.clone(), &queries);
+        assert_eq!(run.query_count(), 48);
+        assert!(engine.mismatches().is_empty());
+    }
+
+    #[test]
+    fn post_run_inspection_is_available() {
+        let values = shuffled(1000);
+        let chunked = ParallelChunkEngine::new(values.clone(), 2, LatchProtocol::Piece);
+        chunked.execute(&QuerySpec::sum(100, 900));
+        assert!(chunked.index().crack_count() >= 2);
+        let ranged = ParallelRangeEngine::new(values, 2);
+        ranged.execute(&QuerySpec::sum(100, 900));
+        assert_eq!(ranged.index().partition_count(), 2);
+        assert!(ranged.index().check_invariants());
+    }
+}

@@ -13,17 +13,15 @@
 //! selectivity of `s` maps exactly to a range width of `s * n` keys.
 
 use aidx_core::Aggregate;
-use serde::{Deserialize, Serialize};
 
 /// One range query against the indexed column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuerySpec {
     /// Inclusive lower bound of the range predicate.
     pub low: i64,
     /// Exclusive upper bound of the range predicate.
     pub high: i64,
     /// Which aggregate the query computes (Q1 = count, Q2 = sum).
-    #[serde(with = "aggregate_serde")]
     pub aggregate: Aggregate,
 }
 
@@ -63,6 +61,49 @@ impl QuerySpec {
         }
         (self.width() as f64 / domain_size as f64).min(1.0)
     }
+
+    /// Serialises the query as a single JSON object, e.g.
+    /// `{"low":3,"high":9,"aggregate":"sum"}` (hand-rolled: the workspace
+    /// builds offline, without serde).
+    pub fn to_json(&self) -> String {
+        let aggregate = match self.aggregate {
+            Aggregate::Count => "count",
+            Aggregate::Sum => "sum",
+        };
+        format!(
+            "{{\"low\":{},\"high\":{},\"aggregate\":\"{aggregate}\"}}",
+            self.low, self.high
+        )
+    }
+
+    /// Parses the format produced by [`QuerySpec::to_json`]. Returns `None`
+    /// on any structural or value error.
+    pub fn from_json(json: &str) -> Option<Self> {
+        let body = json.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut low = None;
+        let mut high = None;
+        let mut aggregate = None;
+        for field in body.split(',') {
+            let (key, value) = field.split_once(':')?;
+            match key.trim().trim_matches('"') {
+                "low" => low = Some(value.trim().parse().ok()?),
+                "high" => high = Some(value.trim().parse().ok()?),
+                "aggregate" => {
+                    aggregate = Some(match value.trim().trim_matches('"') {
+                        "count" => Aggregate::Count,
+                        "sum" => Aggregate::Sum,
+                        _ => return None,
+                    })
+                }
+                _ => return None,
+            }
+        }
+        Some(QuerySpec {
+            low: low?,
+            high: high?,
+            aggregate: aggregate?,
+        })
+    }
 }
 
 /// Converts a selectivity fraction into a predicate range width over a key
@@ -71,27 +112,6 @@ impl QuerySpec {
 pub fn selectivity_to_width(selectivity: f64, domain_size: u64) -> u64 {
     let clamped = selectivity.clamp(0.0, 1.0);
     ((domain_size as f64) * clamped).round().max(1.0) as u64
-}
-
-mod aggregate_serde {
-    use aidx_core::Aggregate;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(agg: &Aggregate, s: S) -> Result<S::Ok, S::Error> {
-        match agg {
-            Aggregate::Count => "count".serialize(s),
-            Aggregate::Sum => "sum".serialize(s),
-        }
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Aggregate, D::Error> {
-        let s = String::deserialize(d)?;
-        match s.as_str() {
-            "count" => Ok(Aggregate::Count),
-            "sum" => Ok(Aggregate::Sum),
-            other => Err(serde::de::Error::custom(format!("unknown aggregate {other}"))),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -126,26 +146,43 @@ mod tests {
         // 0.01% of 100 million keys = 10 000 keys.
         assert_eq!(selectivity_to_width(0.0001, 100_000_000), 10_000);
         assert_eq!(selectivity_to_width(0.1, 1000), 100);
-        assert_eq!(selectivity_to_width(0.0, 1000), 1, "width is at least one key");
-        assert_eq!(selectivity_to_width(2.0, 1000), 1000, "clamped to the domain");
+        assert_eq!(
+            selectivity_to_width(0.0, 1000),
+            1,
+            "width is at least one key"
+        );
+        assert_eq!(
+            selectivity_to_width(2.0, 1000),
+            1000,
+            "clamped to the domain"
+        );
     }
 
     #[test]
-    fn serde_round_trip() {
-        let q = QuerySpec::sum(3, 9);
-        let json = serde_json_like(&q);
-        assert!(json.contains("sum"));
-        let q1 = QuerySpec::count(1, 2);
-        assert!(serde_json_like(&q1).contains("count"));
+    fn json_round_trip() {
+        for q in [
+            QuerySpec::sum(3, 9),
+            QuerySpec::count(1, 2),
+            QuerySpec::sum(-10, 10),
+        ] {
+            let json = q.to_json();
+            assert_eq!(QuerySpec::from_json(&json), Some(q), "{json}");
+        }
+        assert!(QuerySpec::sum(3, 9).to_json().contains("\"sum\""));
+        assert!(QuerySpec::count(1, 2).to_json().contains("\"count\""));
     }
 
-    /// Tiny helper that serialises through serde's derived impl without
-    /// pulling in serde_json (not in the approved dependency set): we use
-    /// the `serde` test shim of `serde::Serialize` via format!-style debug.
-    fn serde_json_like(q: &QuerySpec) -> String {
-        // A minimal hand-rolled serializer would be overkill; instead verify
-        // the field mapping through the Serialize impl using `serde::Serialize`
-        // into a simple string via `ron`-like debug formatting.
-        format!("{q:?}").to_lowercase()
+    #[test]
+    fn json_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{}",
+            "{\"low\":1}",
+            "{\"low\":1,\"high\":2,\"aggregate\":\"avg\"}",
+            "{\"low\":x,\"high\":2,\"aggregate\":\"sum\"}",
+            "[1,2]",
+        ] {
+            assert_eq!(QuerySpec::from_json(bad), None, "{bad}");
+        }
     }
 }

@@ -70,7 +70,8 @@ impl MultiClientRunner {
         }
         let mut run = RunMetrics::new();
         for handle in handles {
-            run.per_query.extend(handle.join().expect("client thread panicked"));
+            run.per_query
+                .extend(handle.join().expect("client thread panicked"));
         }
         run.wall_clock = start.elapsed();
         run
@@ -134,7 +135,10 @@ mod tests {
             ));
             let run = MultiClientRunner::new(clients).run(engine.clone(), &queries);
             assert_eq!(run.query_count(), 64, "{clients} clients");
-            assert!(engine.mismatches().is_empty(), "{clients} clients produced wrong answers");
+            assert!(
+                engine.mismatches().is_empty(),
+                "{clients} clients produced wrong answers"
+            );
         }
     }
 

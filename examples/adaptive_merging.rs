@@ -18,11 +18,8 @@ fn main() {
     let values = generate_unique_shuffled(rows, 99);
 
     println!("building adaptive-merging index: {rows} keys, runs of {run_size}...");
-    let index = ConcurrentAdaptiveMerge::build_from_values(
-        &values,
-        run_size,
-        Arc::new(LockManager::new()),
-    );
+    let index =
+        ConcurrentAdaptiveMerge::build_from_values(&values, run_size, Arc::new(LockManager::new()));
     println!(
         "created {} sorted runs; final partition is empty\n",
         index.merge_stats().initial_runs

@@ -18,7 +18,9 @@ fn main() {
     let selectivity = 0.0001;
     let client_counts = [1usize, 2, 4, 8];
 
-    println!("data: {rows} unique keys; workload: {queries} random sum queries, 0.01% selectivity\n");
+    println!(
+        "data: {rows} unique keys; workload: {queries} random sum queries, 0.01% selectivity\n"
+    );
     let values = generate_unique_shuffled(rows, 7);
     let workload =
         WorkloadGenerator::new(rows as u64, selectivity, Aggregate::Sum, 11).generate(queries);

@@ -16,7 +16,9 @@ fn letters_to_keys(s: &str) -> Vec<i64> {
 }
 
 fn keys_to_letters(keys: &[i64]) -> String {
-    keys.iter().map(|&k| (b'a' + (k as u8) - 1) as char).collect()
+    keys.iter()
+        .map(|&k| (b'a' + (k as u8) - 1) as char)
+        .collect()
 }
 
 fn main() {
@@ -59,7 +61,11 @@ fn main() {
     );
     for (label, q) in [("d–i", q1), ("f–m", q2)] {
         let (low, high) = to_range(q);
-        let result: Vec<i64> = merging.query_range(low, high).iter().map(|&(k, _)| k).collect();
+        let result: Vec<i64> = merging
+            .query_range(low, high)
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
         println!(
             "query {label}: result '{}', final partition now holds {} letters \
              ({} records merged so far)",
@@ -78,7 +84,11 @@ fn main() {
     );
     for (label, q) in [("d–i", q1), ("f–m", q2)] {
         let (low, high) = to_range(q);
-        let result: Vec<i64> = hybrid.query_range(low, high).iter().map(|&(k, _)| k).collect();
+        let result: Vec<i64> = hybrid
+            .query_range(low, high)
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
         println!(
             "query {label}: result '{}', final partition now holds {} letters \
              ({} crack steps so far)",

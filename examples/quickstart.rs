@@ -23,11 +23,17 @@ fn main() {
     let crack = ConcurrentCracker::from_values(values.clone(), LatchProtocol::Piece);
 
     let width = (rows as f64 * selectivity) as i64;
-    let workload = WorkloadGenerator::new(rows as u64, selectivity, Aggregate::Count, 7)
-        .generate(queries);
+    let workload =
+        WorkloadGenerator::new(rows as u64, selectivity, Aggregate::Count, 7).generate(queries);
 
-    println!("\nper-query response time (count query, {:.0}% selectivity)", selectivity * 100.0);
-    println!("{:>5} {:>12} {:>12} {:>12}", "query", "scan", "sort", "crack");
+    println!(
+        "\nper-query response time (count query, {:.0}% selectivity)",
+        selectivity * 100.0
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}",
+        "query", "scan", "sort", "crack"
+    );
     for (i, q) in workload.iter().enumerate() {
         let t = Instant::now();
         let scan_result = scan.count(q.low, q.high);

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset of the `rand` 0.8 API this workspace uses:
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`], the [`Rng`]
+//! extension methods `gen_range`, `gen` and `gen_bool`, and
+//! [`prelude::SliceRandom::shuffle`]. The generator is SplitMix64 — not
+//! cryptographic, but fast, uniform enough for workload generation, and
+//! fully deterministic per seed (which is what the experiments require).
+//!
+//! Note: streams are **not** bit-compatible with the real `rand`'s
+//! `StdRng`; only determinism per seed is preserved.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit values.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `u64` convenience seeding is supported).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `gen_range` can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)` given `span = high - low`
+    /// expressed in the type's offset space.
+    fn sample_below(rng: &mut dyn FnMut() -> u64, low: Self, span: u128) -> Self;
+    /// Offset-space span of `[low, high)`.
+    fn span_exclusive(low: Self, high: Self) -> u128;
+    /// Offset-space span of `[low, high]`.
+    fn span_inclusive(low: Self, high: Self) -> u128;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_below(rng: &mut dyn FnMut() -> u64, low: Self, span: u128) -> Self {
+                debug_assert!(span > 0);
+                // Multiply-shift range reduction over a 128-bit product keeps
+                // the modulo bias negligible for any span that fits in u64;
+                // for wider spans fall back to plain modulo.
+                let offset = if span <= u64::MAX as u128 {
+                    ((rng)() as u128 * span) >> 64
+                } else {
+                    (((rng)() as u128) << 64 | (rng)() as u128) % span
+                };
+                // All offsets and results fit in i128: span < 2^65 and `low`
+                // is at most 64 bits, so the sum never overflows and the
+                // final cast back to the target type is value-preserving.
+                ((low as i128) + offset as i128) as $t
+            }
+            fn span_exclusive(low: Self, high: Self) -> u128 {
+                assert!(low < high, "gen_range called with empty range");
+                ((high as i128) - (low as i128)) as u128
+            }
+            fn span_inclusive(low: Self, high: Self) -> u128 {
+                assert!(low <= high, "gen_range called with empty range");
+                (((high as i128) - (low as i128)) as u128) + 1
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform! {
+    u8, u16, u32, u64, usize, i8, i16, i32, i64, isize,
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let span = T::span_exclusive(self.start, self.end);
+        T::sample_below(&mut || rng.next_u64(), self.start, span)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        let span = T::span_inclusive(start, end);
+        T::sample_below(&mut || rng.next_u64(), start, span)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`0..n` or `0..=n` style).
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Sample from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Shuffling of slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble once so adjacent seeds do not yield adjacent states.
+            let mut rng = StdRng {
+                state: seed ^ 0x5DEE_CE66_D123_4567,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// The commonly used re-exports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SampleRange, SampleUniform, SeedableRng, SliceRandom};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(0..10);
+            assert!(v < 10);
+            let w: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let x: usize = rng.gen_range(3..=7);
+            assert!((3..=7).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_wide_signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-1i64..i64::MAX);
+            assert!((-1..i64::MAX).contains(&v));
+            let w: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = w; // full domain: any value is in range
+            let x: u64 = rng.gen_range(0u64..=u64::MAX);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut data: Vec<i64> = (0..1000).collect();
+        data.shuffle(&mut rng);
+        assert_ne!(data, (0..1000).collect::<Vec<i64>>());
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn choose_picks_existing_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(data.contains(data.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`cracking`] | database cracking: cracker array, AVL table of contents, baselines, stochastic cracking |
 //! | [`btree`] | B+-tree, partitioned B-tree, adaptive merging, hybrid crack-sort, key-range locks |
 //! | [`core`] | **the paper's contribution**: concurrent cracker with column/piece latch protocols, conflict avoidance, metrics |
+//! | [`parallel`] | multi-core parallel cracking: per-core chunks, range-partitioned latch-free workers |
 //! | [`workload`] | Q1/Q2 workload generation, multi-client runner, experiment configs |
 //!
 //! ## Quick start
@@ -37,19 +38,31 @@
 //! let index = ConcurrentCracker::from_values(values, LatchProtocol::Piece);
 //!
 //! // Q2: sum over a range; the index refines itself as a side effect.
+//! // The keys are exactly 0..1_000_000, so the answer has a closed form.
 //! let (sum, metrics) = index.sum(250_000, 260_000);
-//! assert!(sum > 0);
-//! assert_eq!(metrics.cracks_performed, 2);
+//! assert_eq!(sum, (250_000..260_000i128).sum());
+//! assert!(metrics.cracks_performed > 0, "first query refines the index");
 //!
-//! // The same range again: no refinement left to do.
-//! let (_, metrics) = index.sum(250_000, 260_000);
+//! // The same range again: the bounds are already cracks, so no policy
+//! // performs further refinement.
+//! let (same, metrics) = index.sum(250_000, 260_000);
+//! assert_eq!(same, sum);
 //! assert_eq!(metrics.cracks_performed, 0);
+//!
+//! // Crack in parallel across 4 chunks instead: identical answers.
+//! let index = ChunkedCracker::new(
+//!     generate_unique_shuffled(1_000_000, 42),
+//!     4,
+//!     ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+//! );
+//! assert_eq!(index.sum(250_000, 260_000).0, sum);
 //! ```
 
 pub use aidx_btree as btree;
 pub use aidx_core as core;
 pub use aidx_cracking as cracking;
 pub use aidx_latch as latch;
+pub use aidx_parallel as parallel;
 pub use aidx_storage as storage;
 pub use aidx_workload as workload;
 
@@ -62,10 +75,13 @@ pub mod prelude {
     };
     pub use aidx_cracking::{CrackerIndex, ScanBaseline, SortIndex, StochasticCracker};
     pub use aidx_latch::{LockManager, LockMode, LockResource};
+    pub use aidx_parallel::{
+        available_cores, ChunkBackend, ChunkedCracker, RangePartitionedCracker, WorkerPool,
+    };
     pub use aidx_storage::{generate_unique_shuffled, Catalog, Column, Table};
     pub use aidx_workload::{
-        run_experiment, Approach, ExperimentConfig, MultiClientRunner, QueryEngine, QuerySpec,
-        WorkloadGenerator,
+        run_experiment, Approach, ExperimentConfig, MultiClientRunner, ParallelChunkEngine,
+        ParallelRangeEngine, QueryEngine, QuerySpec, WorkloadGenerator,
     };
 }
 
@@ -79,5 +95,19 @@ mod tests {
         let index = ConcurrentCracker::from_values(values, LatchProtocol::Piece);
         let (count, _) = index.count(1000, 2000);
         assert_eq!(count, 1000);
+    }
+
+    #[test]
+    fn facade_exposes_the_parallel_subsystem() {
+        let values = generate_unique_shuffled(10_000, 1);
+        let chunked = ChunkedCracker::new(
+            values.clone(),
+            2,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        );
+        assert_eq!(chunked.count(1000, 2000).0, 1000);
+        let ranged = RangePartitionedCracker::new(values, 2);
+        assert_eq!(ranged.count(1000, 2000).0, 1000);
+        assert!(available_cores() >= 1);
     }
 }

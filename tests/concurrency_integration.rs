@@ -36,7 +36,12 @@ fn all_approaches_return_identical_answers_sequentially() {
         let (expected, _) = scan.execute(q);
         for engine in &engines {
             let (got, _) = engine.execute(q);
-            assert_eq!(got, expected, "{} disagrees with scan on {q:?}", engine.name());
+            assert_eq!(
+                got,
+                expected,
+                "{} disagrees with scan on {q:?}",
+                engine.name()
+            );
         }
     }
 }
@@ -87,8 +92,14 @@ fn protocols_converge_to_the_same_index_state() {
         piece.execute(q);
         column.execute(q);
     }
-    assert_eq!(piece.cracker().crack_count(), column.cracker().crack_count());
-    assert_eq!(piece.cracker().piece_count(), column.cracker().piece_count());
+    assert_eq!(
+        piece.cracker().crack_count(),
+        column.cracker().crack_count()
+    );
+    assert_eq!(
+        piece.cracker().piece_count(),
+        column.cracker().piece_count()
+    );
     assert!(piece.cracker().check_invariants());
     assert!(column.cracker().check_invariants());
 }
@@ -120,12 +131,18 @@ fn conflicts_decay_over_the_query_sequence() {
     let mut early_crack = std::time::Duration::ZERO;
     let mut late_crack = std::time::Duration::ZERO;
     for slice in run.per_query.chunks(per_client) {
-        early_wait += slice[..third].iter().map(|m| m.wait_time).sum::<std::time::Duration>();
+        early_wait += slice[..third]
+            .iter()
+            .map(|m| m.wait_time)
+            .sum::<std::time::Duration>();
         late_wait += slice[slice.len() - third..]
             .iter()
             .map(|m| m.wait_time)
             .sum::<std::time::Duration>();
-        early_crack += slice[..third].iter().map(|m| m.crack_time).sum::<std::time::Duration>();
+        early_crack += slice[..third]
+            .iter()
+            .map(|m| m.crack_time)
+            .sum::<std::time::Duration>();
         late_crack += slice[slice.len() - third..]
             .iter()
             .map(|m| m.crack_time)
@@ -173,8 +190,12 @@ fn cracker_registered_through_catalog_and_queried() {
     let payload: Vec<i64> = (0..n as i64).map(|i| i * 2).collect();
 
     let mut table = Table::new("r");
-    table.add_column(Column::from_values("a", keys.clone())).unwrap();
-    table.add_column(Column::from_values("b", payload.clone())).unwrap();
+    table
+        .add_column(Column::from_values("a", keys.clone()))
+        .unwrap();
+    table
+        .add_column(Column::from_values("b", payload.clone()))
+        .unwrap();
     let catalog = Catalog::new();
     let table = catalog.register_table(table).unwrap();
 
@@ -197,7 +218,10 @@ fn adaptive_merge_and_cracking_agree_under_concurrency() {
         CrackEngine::new(values.clone(), LatchProtocol::Piece),
         values.clone(),
     ));
-    let merge = Arc::new(CheckedEngine::new(MergeEngine::new(values.clone(), 4096), values));
+    let merge = Arc::new(CheckedEngine::new(
+        MergeEngine::new(values.clone(), 4096),
+        values,
+    ));
     MultiClientRunner::new(4).run(crack.clone(), &queries);
     MultiClientRunner::new(4).run(merge.clone(), &queries);
     assert!(crack.mismatches().is_empty());

@@ -1,0 +1,155 @@
+//! Cross-engine parity: every `QueryEngine` arm — scan, sort, crack
+//! (column and piece latches, with and without conflict avoidance),
+//! adaptive merging, and the parallel arms of `aidx-parallel` — replays
+//! the same workload through `MultiClientRunner` and must produce
+//! identical per-query results.
+
+use adaptive_indexing::prelude::*;
+use aidx_core::{Aggregate, LatchProtocol, QueryMetrics};
+use aidx_workload::CheckedEngine;
+use std::sync::Arc;
+
+const ROWS: usize = 8_000;
+const QUERIES: usize = 64;
+
+fn values() -> Vec<i64> {
+    generate_unique_shuffled(ROWS, 7)
+}
+
+fn approaches() -> Vec<Approach> {
+    vec![
+        Approach::Scan,
+        Approach::Sort,
+        Approach::Crack(LatchProtocol::Column),
+        Approach::Crack(LatchProtocol::Piece),
+        Approach::CrackSkipOnContention(LatchProtocol::Piece),
+        Approach::AdaptiveMerge { run_size: 1024 },
+        Approach::ParallelChunk {
+            chunks: 3,
+            protocol: LatchProtocol::Piece,
+        },
+        Approach::ParallelChunk {
+            chunks: 4,
+            protocol: LatchProtocol::Column,
+        },
+        Approach::ParallelRange { partitions: 4 },
+    ]
+}
+
+/// An engine wrapper that records every (query, answer) pair so the runs
+/// of different engines can be compared query by query afterwards.
+struct RecordingEngine {
+    inner: Arc<dyn QueryEngine>,
+    log: std::sync::Mutex<Vec<(QuerySpec, i128)>>,
+}
+
+impl RecordingEngine {
+    fn new(inner: Arc<dyn QueryEngine>) -> Self {
+        RecordingEngine {
+            inner,
+            log: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    fn answers_in_query_order(&self, queries: &[QuerySpec]) -> Vec<i128> {
+        // Concurrent clients complete out of order; re-key by query. The
+        // workload generator may repeat a query spec, so consume matches.
+        let mut log = self.log.lock().unwrap().clone();
+        queries
+            .iter()
+            .map(|q| {
+                let pos = log
+                    .iter()
+                    .position(|(lq, _)| lq == q)
+                    .expect("query executed but not logged");
+                log.swap_remove(pos).1
+            })
+            .collect()
+    }
+}
+
+impl QueryEngine for RecordingEngine {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        let (answer, metrics) = self.inner.execute(query);
+        self.log.lock().unwrap().push((*query, answer));
+        (answer, metrics)
+    }
+}
+
+fn parity_run(aggregate: Aggregate, clients: usize) {
+    let shared_values = values();
+    let config = ExperimentConfig::new(Approach::Scan)
+        .rows(ROWS)
+        .queries(QUERIES)
+        .clients(clients)
+        .selectivity(0.02)
+        .aggregate(aggregate);
+    let queries = config.generate_queries();
+
+    let mut reference: Option<(String, Vec<i128>)> = None;
+    for approach in approaches() {
+        let engine = ExperimentConfig::new(approach)
+            .rows(ROWS)
+            .queries(QUERIES)
+            .clients(clients)
+            .selectivity(0.02)
+            .aggregate(aggregate)
+            .build_engine_with(shared_values.clone());
+        let label = engine.name().to_string();
+        let recording = Arc::new(RecordingEngine::new(engine));
+        let run = MultiClientRunner::new(clients).run(recording.clone(), &queries);
+        assert_eq!(run.query_count(), QUERIES, "{label}: lost queries");
+
+        let answers = recording.answers_in_query_order(&queries);
+        match &reference {
+            None => reference = Some((label, answers)),
+            Some((ref_label, expected)) => {
+                assert_eq!(
+                    &answers, expected,
+                    "{label} disagrees with {ref_label} ({aggregate:?}, {clients} clients)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_engines_agree_sequentially_on_counts() {
+    parity_run(Aggregate::Count, 1);
+}
+
+#[test]
+fn all_engines_agree_sequentially_on_sums() {
+    parity_run(Aggregate::Sum, 1);
+}
+
+#[test]
+fn all_engines_agree_with_four_concurrent_clients() {
+    parity_run(Aggregate::Sum, 4);
+    parity_run(Aggregate::Count, 4);
+}
+
+#[test]
+fn checked_engine_confirms_parallel_arms_under_concurrency() {
+    let shared_values = values();
+    let queries = WorkloadGenerator::new(ROWS as u64, 0.05, Aggregate::Sum, 21).generate(QUERIES);
+    let chunk_engine = Arc::new(CheckedEngine::new(
+        ParallelChunkEngine::new(shared_values.clone(), 4, LatchProtocol::Piece),
+        shared_values.clone(),
+    ));
+    let run = MultiClientRunner::new(8).run(chunk_engine.clone(), &queries);
+    assert_eq!(run.query_count(), QUERIES);
+    assert!(chunk_engine.mismatches().is_empty(), "chunked mismatches");
+
+    let range_engine = Arc::new(CheckedEngine::new(
+        ParallelRangeEngine::new(shared_values.clone(), 4),
+        shared_values,
+    ));
+    let run = MultiClientRunner::new(8).run(range_engine.clone(), &queries);
+    assert_eq!(run.query_count(), QUERIES);
+    assert!(range_engine.mismatches().is_empty(), "range mismatches");
+}
