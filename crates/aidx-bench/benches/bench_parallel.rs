@@ -18,7 +18,7 @@ use aidx_bench::{ms, print_table, scaled_params};
 use aidx_core::{Aggregate, LatchProtocol};
 use aidx_parallel::available_cores;
 use aidx_storage::generate_unique_shuffled;
-use aidx_workload::{Approach, ExperimentConfig, QueryEngine, QuerySpec, ScanEngine};
+use aidx_workload::{AdaptiveEngine, Approach, ExperimentConfig, QuerySpec, ScanEngine};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,9 +26,9 @@ use std::time::{Duration, Instant};
 /// wall-clock time and the per-query answers. Cracking is stateful, so
 /// every arm must be timed on its first (refining) replay — callers build
 /// a fresh engine per arm.
-fn run_arm(engine: Arc<dyn QueryEngine>, queries: &[QuerySpec]) -> (Duration, Vec<i128>) {
+fn run_arm(engine: Arc<dyn AdaptiveEngine>, queries: &[QuerySpec]) -> (Duration, Vec<i128>) {
     let start = Instant::now();
-    let answers = queries.iter().map(|q| engine.execute(q).0).collect();
+    let answers = queries.iter().map(|q| engine.select(q).0).collect();
     (start.elapsed(), answers)
 }
 
@@ -53,7 +53,7 @@ fn main() {
 
     // Reference answers from the scan baseline.
     let scan = ScanEngine::new(values.clone());
-    let expected: Vec<i128> = queries.iter().map(|q| scan.execute(q).0).collect();
+    let expected: Vec<i128> = queries.iter().map(|q| scan.select(q).0).collect();
 
     // Serial baseline: the paper's concurrent cracker, piece latches.
     let serial_engine = base.build_engine_with(values.clone());

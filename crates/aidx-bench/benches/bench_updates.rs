@@ -1,0 +1,91 @@
+//! Mixed read/write benchmark: the write-ratio sweep for the unified
+//! engine API.
+//!
+//! For every write ratio (0%, 1%, 10%, 50%) the same operation sequence —
+//! Q2 sum queries interleaved with single-key inserts and deletes — runs
+//! single-client against the serial cracker (piece latches), the
+//! parallel-chunked cracker, and the range-partitioned cracker. Every
+//! arm's per-operation answers are verified against a `BTreeMap` multiset
+//! oracle replay; a mismatch aborts the bench. Timing excludes the oracle,
+//! so the printed numbers are the engines' own.
+//!
+//! Environment overrides: `AIDX_ROWS` (default 1 000 000), `AIDX_QUERIES`
+//! (default 128), `AIDX_APPROACHES` (default
+//! `crack-piece,parallel-chunk-piece-4,parallel-range-4`).
+//!
+//! Run with `cargo bench -p aidx-bench --bench bench_updates`.
+
+use aidx_bench::{approaches_from_env, ms, print_table, scaled_params};
+use aidx_core::Aggregate;
+use aidx_storage::generate_unique_shuffled;
+use aidx_workload::{oracle_apply, ExperimentConfig, Operation};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Replays `ops` against the shared multiset oracle (`oracle_apply`, the
+/// same semantics `CheckedEngine` enforces in the tests) and returns the
+/// expected per-operation results.
+fn oracle_replay(values: &[i64], ops: &[Operation]) -> Vec<i128> {
+    let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+    for &v in values {
+        *oracle.entry(v).or_insert(0) += 1;
+    }
+    ops.iter()
+        .map(|&op| oracle_apply(&mut oracle, op))
+        .collect()
+}
+
+fn main() {
+    let (rows, op_count) = scaled_params(1_000_000, 128);
+    let approaches =
+        approaches_from_env(&["crack-piece", "parallel-chunk-piece-4", "parallel-range-4"]);
+    let write_ratios = [0.0, 0.01, 0.1, 0.5];
+
+    println!("# bench_updates: rows={rows} ops={op_count}");
+    println!();
+
+    let values = generate_unique_shuffled(rows, 0xA1D1);
+    let mut table = Vec::new();
+    for &write_ratio in &write_ratios {
+        let base = ExperimentConfig::new(aidx_workload::Approach::Scan)
+            .rows(rows)
+            .queries(op_count)
+            .selectivity(0.001)
+            .aggregate(Aggregate::Sum)
+            .write_ratio(write_ratio);
+        let ops = base.generate_operations();
+        let writes = ops.iter().filter(|op| op.is_write()).count();
+        let expected = oracle_replay(&values, &ops);
+
+        for &approach in &approaches {
+            let label = approach.label();
+            let engine = ExperimentConfig::new(approach)
+                .rows(rows)
+                .queries(op_count)
+                .selectivity(0.001)
+                .aggregate(Aggregate::Sum)
+                .write_ratio(write_ratio)
+                .build_engine_with(values.clone());
+            let start = Instant::now();
+            let answers: Vec<i128> = ops.iter().map(|&op| engine.execute(op).value).collect();
+            let elapsed = start.elapsed();
+            assert_eq!(
+                answers, expected,
+                "{label} diverged from the oracle at write ratio {write_ratio}"
+            );
+            table.push(vec![
+                format!("{:.0}%", write_ratio * 100.0),
+                writes.to_string(),
+                label,
+                ms(elapsed),
+            ]);
+        }
+    }
+
+    print_table(
+        "mixed read/write sweep (1 client, oracle-verified)",
+        &["write_ratio", "writes", "arm", "wall_clock_ms"],
+        &table,
+    );
+    println!("all arms returned results identical to the oracle at every write ratio");
+}

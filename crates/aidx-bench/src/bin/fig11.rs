@@ -4,11 +4,11 @@
 //! (a) per-query response time, (b) running average response time.
 //!
 //! Run: `cargo run -p aidx-bench --release --bin fig11`
+//! (`AIDX_APPROACHES=scan,crack-piece,...` overrides the arms).
 
-use aidx_bench::{ms, print_table, scaled_params};
+use aidx_bench::{approaches_from_env, ms, print_table, scaled_params, table_header};
 use aidx_core::Aggregate;
-use aidx_core::LatchProtocol;
-use aidx_workload::{run_experiment, Approach, ExperimentConfig};
+use aidx_workload::{run_experiment, ExperimentConfig};
 
 fn main() {
     let (rows, _) = scaled_params(aidx_bench::BENCH_ROWS_DEFAULT, 10);
@@ -16,11 +16,10 @@ fn main() {
     let selectivity = 0.10;
     println!("Figure 11 — basic performance, {rows} rows, {queries} serial count queries, 10% selectivity\n");
 
-    let approaches = [
-        Approach::Scan,
-        Approach::Sort,
-        Approach::Crack(LatchProtocol::Piece),
-    ];
+    let approaches = approaches_from_env(&["scan", "sort", "crack-piece"]);
+    let header = table_header("query", &approaches);
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
     let mut per_query_rows: Vec<Vec<String>> =
         (0..queries).map(|i| vec![(i + 1).to_string()]).collect();
     let mut running_rows: Vec<Vec<String>> =
@@ -44,12 +43,12 @@ fn main() {
 
     print_table(
         "Figure 11(a): response time per query (ms)",
-        &["query", "scan", "sort", "crack"],
+        &header_refs,
         &per_query_rows,
     );
     print_table(
         "Figure 11(b): running average response time (ms)",
-        &["query", "scan", "sort", "crack"],
+        &header_refs,
         &running_rows,
     );
     println!(

@@ -6,18 +6,17 @@
 //!
 //! Run: `cargo run -p aidx-bench --release --bin fig12`
 
-use aidx_bench::{print_table, scaled_params, BENCH_QUERIES_DEFAULT, BENCH_ROWS_DEFAULT};
-use aidx_core::{Aggregate, LatchProtocol};
-use aidx_workload::{run_experiment, Approach, ExperimentConfig};
+use aidx_bench::{
+    approaches_from_env, print_table, scaled_params, table_header, BENCH_QUERIES_DEFAULT,
+    BENCH_ROWS_DEFAULT,
+};
+use aidx_core::Aggregate;
+use aidx_workload::{run_experiment, ExperimentConfig};
 
 fn main() {
     let (rows, queries) = scaled_params(BENCH_ROWS_DEFAULT, BENCH_QUERIES_DEFAULT);
     let clients_list = [1usize, 2, 4, 8, 16, 32];
-    let approaches = [
-        Approach::Scan,
-        Approach::Sort,
-        Approach::Crack(LatchProtocol::Piece),
-    ];
+    let approaches = approaches_from_env(&["scan", "sort", "crack-piece"]);
     println!("Figure 12 — concurrency, {rows} rows, {queries} sum queries, 0.01% selectivity\n");
 
     let mut total_rows = Vec::new();
@@ -25,7 +24,7 @@ fn main() {
     for &clients in &clients_list {
         let mut total_row = vec![clients.to_string()];
         let mut tp_row = vec![clients.to_string()];
-        for approach in approaches {
+        for &approach in &approaches {
             let config = ExperimentConfig::new(approach)
                 .rows(rows)
                 .queries(queries)
@@ -40,14 +39,16 @@ fn main() {
         throughput_rows.push(tp_row);
     }
 
+    let header = table_header("clients", &approaches);
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     print_table(
         "Figure 12(a): total time for all queries (seconds)",
-        &["clients", "scan", "sort", "crack"],
+        &header_refs,
         &total_rows,
     );
     print_table(
         "Figure 12(b): throughput (queries/second)",
-        &["clients", "scan", "sort", "crack"],
+        &header_refs,
         &throughput_rows,
     );
     println!(

@@ -8,7 +8,7 @@
 //! Run: `cargo run -p aidx-bench --release --bin fig13`
 
 use aidx_bench::{print_table, scaled_params, BENCH_QUERIES_DEFAULT, BENCH_ROWS_DEFAULT};
-use aidx_core::{Aggregate, LatchProtocol};
+use aidx_core::Aggregate;
 use aidx_workload::{run_experiment, Approach, ExperimentConfig};
 
 fn main() {
@@ -21,16 +21,11 @@ fn main() {
     let mut rows_out = Vec::new();
     let mut enabled_secs = 0.0f64;
     let mut disabled_secs = 0.0f64;
-    for (label, approach) in [
-        (
-            "enabled (piece latches)",
-            Approach::Crack(LatchProtocol::Piece),
-        ),
-        (
-            "disabled (no latching)",
-            Approach::Crack(LatchProtocol::None),
-        ),
+    for (label, arm) in [
+        ("enabled (piece latches)", "crack-piece"),
+        ("disabled (no latching)", "crack-none"),
     ] {
+        let approach: Approach = arm.parse().expect("canonical arm label");
         let config = ExperimentConfig::new(approach)
             .rows(rows)
             .queries(queries)

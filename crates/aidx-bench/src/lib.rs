@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+use aidx_workload::Approach;
 use std::time::Duration;
 
 /// Default row count for figure binaries (paper: 100 000 000).
@@ -34,6 +35,33 @@ pub fn scaled_params(default_rows: usize, default_queries: usize) -> (usize, usi
         .and_then(|v| v.parse().ok())
         .unwrap_or(default_queries);
     (rows, queries)
+}
+
+/// Resolves the experiment arms for a figure binary: the comma-separated
+/// `AIDX_APPROACHES` override if set, otherwise `defaults` — both parsed
+/// through `Approach::from_str`, so every binary shares one spelling of
+/// every arm instead of repeating match-arm boilerplate.
+///
+/// # Panics
+/// Panics (with the offending label) on an unparsable approach, which is
+/// the right behaviour for a CLI harness fed a typo.
+pub fn approaches_from_env(defaults: &[&str]) -> Vec<Approach> {
+    let spec = std::env::var("AIDX_APPROACHES").unwrap_or_else(|_| defaults.join(","));
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|e| panic!("bad approach in AIDX_APPROACHES: {e}"))
+        })
+        .collect()
+}
+
+/// Builds a table header: `first` followed by one column per approach
+/// label (shared by the figure binaries so header layout has one owner).
+pub fn table_header(first: &str, approaches: &[Approach]) -> Vec<String> {
+    let mut header = vec![first.to_string()];
+    header.extend(approaches.iter().map(|a| a.label()));
+    header
 }
 
 /// Formats a duration as fractional milliseconds with three decimals.
@@ -66,5 +94,13 @@ mod tests {
         std::env::remove_var("AIDX_ROWS");
         std::env::remove_var("AIDX_QUERIES");
         assert_eq!(scaled_params(10, 20), (10, 20));
+    }
+
+    #[test]
+    fn approaches_parse_from_defaults() {
+        std::env::remove_var("AIDX_APPROACHES");
+        let arms = approaches_from_env(&["scan", "sort", "crack-piece"]);
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[2].label(), "crack-piece");
     }
 }

@@ -15,6 +15,13 @@
 use crate::partitioned::{PartitionId, PartitionedBTree, FINAL_PARTITION};
 use aidx_storage::{Column, RowId};
 
+/// The partition that newly inserted records land in. Inserts enter the
+/// partitioned B-tree exactly like a late-arriving run: the records are a
+/// valid part of the index immediately, and queries merge the qualifying
+/// key ranges into the final partition like any other run (Section 4's
+/// observation that updates reuse the merge machinery).
+pub const UPDATE_PARTITION: PartitionId = PartitionId::MAX - 1;
+
 /// Counters describing how far the adaptive merge index has converged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MergeStats {
@@ -27,6 +34,10 @@ pub struct MergeStats {
     pub records_merged: u64,
     /// Number of initial runs created by index initialisation.
     pub initial_runs: u32,
+    /// Rows inserted since initialisation.
+    pub inserts: u64,
+    /// Rows deleted since initialisation.
+    pub deletes: u64,
 }
 
 /// An adaptive-merging index over one column.
@@ -35,6 +46,7 @@ pub struct AdaptiveMergeIndex {
     tree: PartitionedBTree,
     run_partitions: Vec<PartitionId>,
     total_records: usize,
+    next_rowid: RowId,
     stats: MergeStats,
 }
 
@@ -71,6 +83,7 @@ impl AdaptiveMergeIndex {
             tree,
             run_partitions,
             total_records: values.len(),
+            next_rowid: values.len() as RowId,
             stats: MergeStats {
                 initial_runs,
                 ..MergeStats::default()
@@ -122,8 +135,50 @@ impl AdaptiveMergeIndex {
                     self.stats.records_merged += moved as u64;
                 }
             }
+            // Inserted records merge out of the update partition exactly
+            // like run records.
+            let moved = self
+                .tree
+                .move_range(UPDATE_PARTITION, FINAL_PARTITION, low, high);
+            if moved > 0 {
+                self.stats.merge_steps += 1;
+                self.stats.records_merged += moved as u64;
+            }
         }
         self.tree.range_in_partition(FINAL_PARTITION, low, high)
+    }
+
+    /// Inserts one row with the given key into the update partition,
+    /// returning its new row id. The row is immediately visible to queries
+    /// (a partitioned B-tree is a valid index at every merge state) and
+    /// migrates to the final partition when a query merges its key range.
+    pub fn insert(&mut self, key: i64) -> RowId {
+        let rowid = self.next_rowid;
+        self.next_rowid += 1;
+        self.tree.insert(UPDATE_PARTITION, key, rowid);
+        self.total_records += 1;
+        self.stats.inserts += 1;
+        rowid
+    }
+
+    /// Deletes every row whose key equals `key` — wherever it currently
+    /// lives (final partition, any run, or the update partition) — and
+    /// returns how many rows were removed.
+    pub fn delete(&mut self, key: i64) -> u64 {
+        let mut removed = self
+            .tree
+            .remove_key_in_partition(FINAL_PARTITION, key)
+            .len();
+        removed += self
+            .tree
+            .remove_key_in_partition(UPDATE_PARTITION, key)
+            .len();
+        for &pid in &self.run_partitions {
+            removed += self.tree.remove_key_in_partition(pid, key).len();
+        }
+        self.total_records -= removed;
+        self.stats.deletes += removed as u64;
+        removed as u64
     }
 
     /// Q1 (`count(*)`) with adaptive merging as a side effect.
@@ -260,6 +315,61 @@ mod tests {
         assert_eq!(idx.stats().records_merged, merged_after_first);
         idx.count(550, 650); // partial overlap: only 600..650 is new
         assert_eq!(idx.stats().records_merged, merged_after_first + 50);
+    }
+
+    #[test]
+    fn inserts_enter_the_update_partition_and_merge_out() {
+        let values = shuffled(200);
+        let mut idx = AdaptiveMergeIndex::build_from_values(&values, 50);
+        let rid = idx.insert(42);
+        assert_eq!(rid, 200);
+        idx.insert(42);
+        assert_eq!(idx.len(), 202);
+        assert_eq!(idx.tree().partition_len(UPDATE_PARTITION), 2);
+        // A query over the inserted key sees the new rows and merges them
+        // into the final partition.
+        assert_eq!(idx.count(42, 43), ops::count(&values, 42, 43) + 2);
+        assert_eq!(idx.tree().partition_len(UPDATE_PARTITION), 0);
+        assert_eq!(idx.stats().inserts, 2);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn delete_removes_rows_from_every_partition() {
+        let values = shuffled(300);
+        let mut idx = AdaptiveMergeIndex::build_from_values(&values, 64);
+        idx.count(100, 150); // move some rows into the final partition
+        idx.insert(120); // and one into the update partition
+                         // 120 now exists in the final partition (merged) and the update
+                         // partition; other keys still sit in their runs.
+        assert_eq!(idx.delete(120), 2);
+        assert_eq!(idx.delete(120), 0);
+        assert_eq!(idx.delete(250), 1, "run-resident key");
+        assert_eq!(idx.count(0, 300), 298);
+        assert_eq!(idx.stats().deletes, 3);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn full_merge_includes_inserted_rows() {
+        let mut idx = AdaptiveMergeIndex::build_from_values(&shuffled(100), 25);
+        idx.insert(1000);
+        idx.count(i64::MIN, i64::MAX);
+        assert!(idx.is_fully_merged());
+        assert_eq!(idx.final_partition_len(), 101);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn extreme_keys_insert_and_delete() {
+        let mut idx = AdaptiveMergeIndex::build_from_values(&shuffled(50), 10);
+        idx.insert(i64::MAX);
+        idx.insert(i64::MAX);
+        idx.insert(i64::MIN);
+        assert_eq!(idx.delete(i64::MAX), 2);
+        assert_eq!(idx.delete(i64::MIN), 1);
+        assert_eq!(idx.len(), 50);
+        assert!(idx.check_invariants());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod node;
 pub mod partitioned;
 pub mod tree;
 
-pub use adaptive_merge::{AdaptiveMergeIndex, MergeStats};
+pub use adaptive_merge::{AdaptiveMergeIndex, MergeStats, UPDATE_PARTITION};
 pub use hybrid::{HybridCrackSort, HybridStats};
 pub use keyrange_lock::KeyRangeLockTable;
 pub use node::{Node, NodeId};

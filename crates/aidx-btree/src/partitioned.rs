@@ -176,6 +176,32 @@ impl PartitionedBTree {
         }
         let lo = PartKey::lower(partition, low);
         let hi = PartKey::lower(partition, high);
+        self.remove_between(partition, lo, hi)
+    }
+
+    /// Removes and returns every record of `partition` whose key equals
+    /// `key` (the delete operation of the unified read/write engine API).
+    /// Unlike [`Self::remove_range_in_partition`] this covers the whole
+    /// key domain, including `i64::MAX`.
+    pub fn remove_key_in_partition(
+        &mut self,
+        partition: PartitionId,
+        key: i64,
+    ) -> Vec<(i64, RowId)> {
+        let lo = PartKey::lower(partition, key);
+        let hi = match key.checked_add(1) {
+            Some(next) => PartKey::lower(partition, next),
+            None => PartKey::partition_end(partition),
+        };
+        self.remove_between(partition, lo, hi)
+    }
+
+    fn remove_between(
+        &mut self,
+        partition: PartitionId,
+        lo: PartKey,
+        hi: PartKey,
+    ) -> Vec<(i64, RowId)> {
         let removed = self.tree.remove_range(&lo, &hi);
         if !removed.is_empty() {
             let count = self

@@ -29,6 +29,7 @@
 //!   while maximising concurrency.
 
 use crate::metrics::QueryMetrics;
+use crate::pending::PendingDelta;
 use crate::piece_registry::PieceLatchRegistry;
 use crate::protocol::{Aggregate, LatchProtocol, RefinementPolicy};
 use crate::shared_array::SharedCrackerArray;
@@ -97,8 +98,11 @@ pub struct ConcurrentCracker {
     protocol: LatchProtocol,
     policy: RefinementPolicy,
     systxn: SystemTxnManager,
+    delta: PendingDelta,
     queries: AtomicU64,
     cracks: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
 }
 
 impl ConcurrentCracker {
@@ -119,8 +123,11 @@ impl ConcurrentCracker {
             protocol,
             policy: RefinementPolicy::Always,
             systxn: SystemTxnManager::new(),
+            delta: PendingDelta::new(),
             queries: AtomicU64::new(0),
             cracks: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
         }
     }
 
@@ -130,14 +137,23 @@ impl ConcurrentCracker {
         self
     }
 
-    /// Number of indexed entries.
+    /// Number of entries in the fixed main array. Pending inserted rows and
+    /// tombstoned rows are *not* reflected here; see
+    /// [`ConcurrentCracker::logical_len`].
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
-    /// True if the index is empty.
+    /// True if the main array is empty.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Logical row count: main array plus pending inserts minus tombstoned
+    /// rows (both delta counters read in one consistent snapshot).
+    pub fn logical_len(&self) -> u64 {
+        let (pending, tombstoned) = self.delta.counters();
+        self.data.len() as u64 + pending - tombstoned
     }
 
     /// The latch protocol in use.
@@ -163,6 +179,26 @@ impl ConcurrentCracker {
     /// Total queries served so far.
     pub fn queries_served(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Total insert operations applied so far.
+    pub fn inserts_applied(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Total delete operations applied so far.
+    pub fn deletes_applied(&self) -> u64 {
+        self.deletes.load(Ordering::Relaxed)
+    }
+
+    /// Rows currently sitting in the pending-insert delta.
+    pub fn pending_inserts(&self) -> u64 {
+        self.delta.pending_inserts()
+    }
+
+    /// Main-array rows currently tombstoned (logically deleted).
+    pub fn tombstoned_rows(&self) -> u64 {
+        self.delta.tombstoned_rows()
     }
 
     /// Merged latch statistics: piece latches plus the column latch.
@@ -191,24 +227,129 @@ impl ConcurrentCracker {
         self.run_query(low, high, Aggregate::Sum)
     }
 
+    /// Inserts one row with the given key. The row lands in the pending
+    /// delta (the main cracker array has a fixed footprint) and is folded
+    /// into every subsequent query's answer.
+    pub fn insert(&self, value: i64) -> QueryMetrics {
+        let start = Instant::now();
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.delta.insert(value);
+        QueryMetrics {
+            inserts_applied: 1,
+            result_count: 1,
+            total: start.elapsed(),
+            ..QueryMetrics::default()
+        }
+    }
+
+    /// Deletes every row whose key equals `value`, returning how many rows
+    /// were removed. The index is first refined at the key's bounds under
+    /// the normal latch protocol (merge-on-crack: the delete performs —
+    /// and pays for — exactly the cracks a query for `[value, value + 1)`
+    /// would), which pins down the key's main-array multiplicity; then the
+    /// delta drops the key's pending inserts and raises its tombstone in
+    /// one atomic step, so concurrent selects see the whole delete or none
+    /// of it.
+    pub fn delete(&self, value: i64) -> (u64, QueryMetrics) {
+        let start = Instant::now();
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        let mut metrics = QueryMetrics {
+            deletes_applied: 1,
+            ..QueryMetrics::default()
+        };
+        // The main multiset is immutable, so this count is independent of
+        // any concurrent delta activity and safe to take before the delta
+        // step.
+        let main_occurrences = if self.data.is_empty() {
+            0
+        } else {
+            self.main_count_exact(value, value.checked_add(1), &mut metrics)
+        };
+        let (from_pending, newly) = self.delta.apply_delete(value, main_occurrences);
+        let removed = from_pending + newly;
+        metrics.result_count = removed;
+        metrics.total = start.elapsed();
+        (removed, metrics)
+    }
+
+    /// Exact positional count of main-array rows in `[low, high)` (or
+    /// `[low, +∞)` when `high` is `None`, the `low == i64::MAX` case).
+    /// Always refines the bounds into cracks — deletes are mandatory
+    /// writes, so conflict avoidance does not apply — which makes the
+    /// count purely positional, with no data access at all.
+    fn main_count_exact(&self, low: i64, high: Option<i64>, metrics: &mut QueryMetrics) -> u64 {
+        let a = self.force_bound(low, metrics);
+        let b = match high {
+            Some(h) => self.force_bound(h, metrics),
+            None => self.data.len(),
+        };
+        (b - a) as u64
+    }
+
+    /// Ensures a crack exists at `bound` under the active latch protocol,
+    /// blocking for latches even under [`RefinementPolicy::SkipOnContention`].
+    fn force_bound(&self, bound: i64, metrics: &mut QueryMetrics) -> usize {
+        match self.protocol {
+            LatchProtocol::Piece => {
+                match self.resolve_bound_piece_with(bound, RefinementPolicy::Always, metrics) {
+                    BoundResolution::Exact(pos) => pos,
+                    BoundResolution::SkippedInPiece(_) => {
+                        unreachable!("Always policy never skips refinement")
+                    }
+                }
+            }
+            LatchProtocol::Column | LatchProtocol::None => {
+                let guard = (self.protocol != LatchProtocol::None).then(|| {
+                    let g = self.column_latch.acquire_write(bound);
+                    Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
+                    g
+                });
+                let crack_start = Instant::now();
+                let (pos, cracked) = self.crack_bound_locked(bound);
+                if cracked {
+                    let mut txn = self.systxn.begin(1);
+                    txn.complete_step();
+                    txn.commit();
+                    metrics.crack_time += crack_start.elapsed();
+                    metrics.cracks_performed += 1;
+                    self.cracks.fetch_add(1, Ordering::Relaxed);
+                }
+                drop(guard);
+                pos
+            }
+        }
+    }
+
     fn run_query(&self, low: i64, high: i64, agg: Aggregate) -> (i128, QueryMetrics) {
         let start = Instant::now();
         self.queries.fetch_add(1, Ordering::Relaxed);
         let mut metrics = QueryMetrics::default();
-        if low >= high || self.data.is_empty() {
+        if low >= high {
             metrics.total = start.elapsed();
             return (0, metrics);
         }
-        let result = match self.protocol {
-            LatchProtocol::Piece => self.run_piece(low, high, agg, &mut metrics),
-            LatchProtocol::Column | LatchProtocol::None => {
-                self.run_column(low, high, agg, &mut metrics)
+        let main = if self.data.is_empty() {
+            0
+        } else {
+            match self.protocol {
+                LatchProtocol::Piece => self.run_piece(low, high, agg, &mut metrics),
+                LatchProtocol::Column | LatchProtocol::None => {
+                    self.run_column(low, high, agg, &mut metrics)
+                }
             }
+        };
+        // Fold in the pending delta: logical contents are always
+        // `main + pending inserts − tombstones`, and the main multiset is
+        // immutable, so one consistent delta snapshot suffices.
+        let adjust = self.delta.adjust(low, high);
+        let result = match agg {
+            Aggregate::Count => main + adjust.insert_count as i128 - adjust.tombstone_count as i128,
+            Aggregate::Sum => main + adjust.insert_sum - adjust.tombstone_sum,
         };
         metrics.total = start.elapsed();
         metrics.result_count = match agg {
             Aggregate::Count => result as u64,
-            Aggregate::Sum => metrics.result_count,
+            Aggregate::Sum => metrics.result_count + adjust.insert_count - adjust.tombstone_count,
         };
         (result, metrics)
     }
@@ -387,6 +528,18 @@ impl ConcurrentCracker {
     /// Ensures a crack exists at `bound`, latching only the piece that
     /// contains it. Implements bound re-evaluation after wake-up.
     fn resolve_bound_piece(&self, bound: i64, metrics: &mut QueryMetrics) -> BoundResolution {
+        self.resolve_bound_piece_with(bound, self.policy, metrics)
+    }
+
+    /// As [`Self::resolve_bound_piece`] but with an explicit refinement
+    /// policy, so writes can force refinement regardless of the index's
+    /// configured conflict avoidance.
+    fn resolve_bound_piece_with(
+        &self,
+        bound: i64,
+        policy: RefinementPolicy,
+        metrics: &mut QueryMetrics,
+    ) -> BoundResolution {
         loop {
             let piece = {
                 let toc = self.toc.lock();
@@ -397,7 +550,7 @@ impl ConcurrentCracker {
             };
             let latch = self.registry.latch_for(piece.start);
 
-            let guard = match self.policy {
+            let guard = match policy {
                 RefinementPolicy::Always => {
                     let g = latch.acquire_write(bound);
                     Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
@@ -765,6 +918,131 @@ mod tests {
         let stats = idx_col.latch_stats();
         assert!(stats.write_acquisitions >= 1);
         assert!(stats.read_acquisitions >= 1);
+    }
+
+    #[test]
+    fn inserts_and_deletes_adjust_answers_for_all_protocols() {
+        for protocol in protocols() {
+            let values = shuffled(2000);
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol);
+            // Warm the index with a query, then mutate.
+            idx.sum(100, 900);
+            let m = idx.insert(150);
+            assert_eq!(m.inserts_applied, 1);
+            idx.insert(150);
+            idx.insert(5000); // outside the original domain
+            let (removed, dm) = idx.delete(700);
+            assert_eq!(removed, 1, "{protocol}: 700 occurs once");
+            assert_eq!(dm.deletes_applied, 1);
+            assert_eq!(dm.result_count, 1);
+            // Oracle: the same edits applied to a plain vector.
+            let mut oracle = values.clone();
+            oracle.push(150);
+            oracle.push(150);
+            oracle.push(5000);
+            oracle.retain(|&v| v != 700);
+            for (low, high) in [(0, 2000), (100, 200), (699, 701), (140, 160), (4000, 6000)] {
+                assert_eq!(
+                    idx.count(low, high).0,
+                    ops::count(&oracle, low, high),
+                    "{protocol} count [{low},{high})"
+                );
+                assert_eq!(
+                    idx.sum(low, high).0,
+                    ops::sum(&oracle, low, high),
+                    "{protocol} sum [{low},{high})"
+                );
+            }
+            assert_eq!(idx.logical_len(), oracle.len() as u64);
+            assert_eq!(idx.inserts_applied(), 3);
+            assert_eq!(idx.deletes_applied(), 1);
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn repeated_and_missing_deletes_remove_nothing_extra() {
+        let idx = ConcurrentCracker::from_values(shuffled(500), LatchProtocol::Piece);
+        assert_eq!(idx.delete(42).0, 1);
+        assert_eq!(idx.delete(42).0, 0, "second delete finds nothing");
+        assert_eq!(idx.delete(100_000).0, 0, "absent key");
+        idx.insert(42);
+        assert_eq!(idx.count(42, 43).0, 1, "insert after delete survives");
+        assert_eq!(idx.delete(42).0, 1, "pending insert is reclaimed");
+        assert_eq!(idx.count(42, 43).0, 0);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn writes_into_an_initially_empty_index() {
+        for protocol in protocols() {
+            let idx = ConcurrentCracker::from_values(vec![], protocol);
+            idx.insert(3);
+            idx.insert(7);
+            idx.insert(7);
+            assert_eq!(idx.count(0, 10).0, 3, "{protocol}");
+            assert_eq!(idx.sum(0, 10).0, 17, "{protocol}");
+            assert_eq!(idx.delete(7).0, 2, "{protocol}");
+            assert_eq!(idx.count(0, 10).0, 1, "{protocol}");
+            assert_eq!(idx.logical_len(), 1);
+        }
+    }
+
+    #[test]
+    fn extreme_keys_can_be_inserted_and_deleted() {
+        let mut values = shuffled(100);
+        values.push(i64::MAX);
+        values.push(i64::MAX);
+        values.push(i64::MIN);
+        for protocol in protocols() {
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol);
+            assert_eq!(idx.delete(i64::MAX).0, 2, "{protocol}");
+            assert_eq!(idx.delete(i64::MIN).0, 1, "{protocol}");
+            assert_eq!(idx.count(i64::MIN, i64::MAX).0, 100, "{protocol}");
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_readers_and_writers_converge() {
+        // Writers insert values from a domain disjoint from the initial
+        // data and delete distinct initial values, so the final state is
+        // independent of the interleaving and can be checked exactly.
+        let n = 10_000usize;
+        let values = shuffled(n);
+        let idx = Arc::new(ConcurrentCracker::from_values(
+            values.clone(),
+            LatchProtocol::Piece,
+        ));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(thread::spawn(move || {
+                for i in 0..50u64 {
+                    let key = (n as u64 + t * 50 + i) as i64; // unique, disjoint
+                    idx.insert(key);
+                    let doomed = (t * 50 + i) as i64; // distinct initial value
+                    assert_eq!(idx.delete(doomed).0, 1);
+                    // Interleaved reads must never panic or corrupt.
+                    idx.sum(0, n as i64 / 2);
+                    idx.count(doomed, doomed + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Final state: initial values 0..200 gone, n..n+200 added.
+        let mut oracle = values;
+        oracle.retain(|&v| v >= 200);
+        oracle.extend(n as i64..(n + 200) as i64);
+        assert_eq!(idx.count(i64::MIN, i64::MAX).0, oracle.len() as u64);
+        assert_eq!(
+            idx.sum(i64::MIN, i64::MAX).0,
+            oracle.iter().map(|&v| v as i128).sum::<i128>()
+        );
+        assert_eq!(idx.logical_len(), oracle.len() as u64);
+        assert!(idx.check_invariants());
     }
 
     trait TapSorted {

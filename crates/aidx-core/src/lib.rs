@@ -24,6 +24,9 @@
 //! * [`ConcurrentAdaptiveMerge`] — concurrency control for adaptive merging
 //!   over a partitioned B-tree, with instantly-committing merge steps that
 //!   respect user-transaction key-range locks.
+//! * [`PendingDelta`] — the pending-update side structure (Section 4):
+//!   inserts and deletes reconciled with the cracked structure under the
+//!   same latch protocols, making every index read/write.
 //! * [`QueryMetrics`] / [`RunMetrics`] — the wait/refinement/conflict
 //!   breakdown the paper's evaluation reports (Figures 13–15).
 //! * [`SharedCrackerArray`] — the latch-mediated shared cracker array.
@@ -33,6 +36,7 @@
 pub mod concurrent_index;
 pub mod merge_concurrent;
 pub mod metrics;
+pub mod pending;
 pub mod piece_registry;
 pub mod protocol;
 pub mod shared_array;
@@ -40,6 +44,7 @@ pub mod shared_array;
 pub use concurrent_index::ConcurrentCracker;
 pub use merge_concurrent::ConcurrentAdaptiveMerge;
 pub use metrics::{QueryMetrics, RunMetrics};
+pub use pending::{DeltaAdjust, PendingDelta};
 pub use piece_registry::PieceLatchRegistry;
 pub use protocol::{Aggregate, LatchProtocol, RefinementPolicy};
 pub use shared_array::SharedCrackerArray;

@@ -30,21 +30,35 @@ pub struct QueryMetrics {
     /// Number of optional refinements skipped because of contention
     /// (conflict avoidance) or early termination.
     pub refinements_skipped: u32,
-    /// Number of qualifying tuples (the query's logical result size).
+    /// Number of insert operations applied by this operation (writes run
+    /// through the same engines as queries; see `Operation::Insert`).
+    pub inserts_applied: u32,
+    /// Number of delete operations applied by this operation.
+    pub deletes_applied: u32,
+    /// Number of qualifying tuples (the query's logical result size); for
+    /// deletes, the number of rows removed.
     pub result_count: u64,
 }
 
 impl QueryMetrics {
     /// Adds another query's numbers into this one (used for aggregation).
+    ///
+    /// Work counters use saturating arithmetic: a whole run's counters are
+    /// folded into one record, and clamping at the type maximum is more
+    /// useful (and safer) than wrapping for very long runs.
     pub fn accumulate(&mut self, other: &QueryMetrics) {
         self.total += other.total;
         self.wait_time += other.wait_time;
         self.crack_time += other.crack_time;
         self.aggregate_time += other.aggregate_time;
-        self.cracks_performed += other.cracks_performed;
-        self.conflicts += other.conflicts;
-        self.refinements_skipped += other.refinements_skipped;
-        self.result_count += other.result_count;
+        self.cracks_performed = self.cracks_performed.saturating_add(other.cracks_performed);
+        self.conflicts = self.conflicts.saturating_add(other.conflicts);
+        self.refinements_skipped = self
+            .refinements_skipped
+            .saturating_add(other.refinements_skipped);
+        self.inserts_applied = self.inserts_applied.saturating_add(other.inserts_applied);
+        self.deletes_applied = self.deletes_applied.saturating_add(other.deletes_applied);
+        self.result_count = self.result_count.saturating_add(other.result_count);
     }
 
     /// Merges the per-worker metrics of **one** query that was executed in
@@ -153,11 +167,10 @@ mod tests {
             total: Duration::from_millis(total_ms),
             wait_time: Duration::from_millis(wait_ms),
             crack_time: Duration::from_millis(crack_ms),
-            aggregate_time: Duration::ZERO,
             cracks_performed: 2,
             conflicts,
-            refinements_skipped: 0,
             result_count: 10,
+            ..QueryMetrics::default()
         }
     }
 
@@ -188,10 +201,54 @@ mod tests {
         assert_eq!(merged.cracks_performed, 6);
         assert_eq!(merged.conflicts, 3);
         assert_eq!(merged.result_count, 30);
-        // Degenerate cases.
-        assert_eq!(QueryMetrics::merge_parallel([]), QueryMetrics::default());
-        let single = QueryMetrics::merge_parallel([metrics(7, 1, 1, 0)]);
-        assert_eq!(single, metrics(7, 1, 1, 0));
+    }
+
+    #[test]
+    fn merge_parallel_of_nothing_is_the_default_record() {
+        // A query that fanned out to zero workers (e.g. an empty range on a
+        // range-partitioned index) merges to an all-zero record.
+        let merged = QueryMetrics::merge_parallel([]);
+        assert_eq!(merged, QueryMetrics::default());
+        assert_eq!(merged.total, Duration::ZERO);
+        assert_eq!(merged.result_count, 0);
+    }
+
+    #[test]
+    fn merge_parallel_of_one_worker_is_the_identity() {
+        // With a single worker the merge must neither lose nor double any
+        // field: the worker's record is the query's record.
+        let single = QueryMetrics::merge_parallel([metrics(7, 1, 1, 3)]);
+        assert_eq!(single, metrics(7, 1, 1, 3));
+    }
+
+    #[test]
+    fn merge_parallel_saturates_work_counters() {
+        // Counter sums clamp at the type maximum instead of wrapping.
+        let near_max = QueryMetrics {
+            cracks_performed: u32::MAX - 1,
+            conflicts: u32::MAX,
+            refinements_skipped: u32::MAX - 2,
+            inserts_applied: u32::MAX,
+            deletes_applied: u32::MAX - 1,
+            result_count: u64::MAX - 5,
+            ..QueryMetrics::default()
+        };
+        let more = QueryMetrics {
+            cracks_performed: 5,
+            conflicts: 1,
+            refinements_skipped: 7,
+            inserts_applied: 2,
+            deletes_applied: 9,
+            result_count: 100,
+            ..QueryMetrics::default()
+        };
+        let merged = QueryMetrics::merge_parallel([near_max, more]);
+        assert_eq!(merged.cracks_performed, u32::MAX);
+        assert_eq!(merged.conflicts, u32::MAX);
+        assert_eq!(merged.refinements_skipped, u32::MAX);
+        assert_eq!(merged.inserts_applied, u32::MAX);
+        assert_eq!(merged.deletes_applied, u32::MAX);
+        assert_eq!(merged.result_count, u64::MAX);
     }
 
     #[test]

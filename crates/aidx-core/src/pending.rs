@@ -1,0 +1,213 @@
+//! The pending-update side structure for concurrent adaptive indexes.
+//!
+//! Section 4 of the paper extends the latch protocols from read-only
+//! queries to workloads that *mutate* the indexed column: updates are
+//! collected in a pending side structure and reconciled with the adaptive
+//! index as queries touch the affected key ranges. [`PendingDelta`]
+//! implements that side structure for the cracker family:
+//!
+//! * **Inserts** accumulate as a `value → multiplicity` map. The cracker
+//!   array is allocated once and never grows (that fixed footprint is what
+//!   makes the piece-latch `unsafe` contract of
+//!   [`SharedCrackerArray`](crate::SharedCrackerArray) sound), so pending
+//!   inserts stay in the delta and every query folds the qualifying ones
+//!   into its answer with an `O(log n + k)` range probe.
+//! * **Deletes** are resolved against the *cracked* main structure: a
+//!   delete first refines the index at the deleted key's bounds under the
+//!   normal latch protocol (merge-on-crack — the delete pays for the
+//!   refinement exactly like a query would), learns precisely how many
+//!   main-array rows carry the key, and records that count as a
+//!   *tombstone*. Because cracking never changes the array's multiset of
+//!   values, the tombstoned count stays exact forever after.
+//!
+//! The logical content of the index is therefore always
+//! `main multiset + pending inserts − tombstones`, and since the main
+//! multiset is immutable, a query only needs one consistent snapshot of
+//! the delta (a single short mutex) to be linearizable.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Aggregate adjustments the delta contributes to one range query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaAdjust {
+    /// Pending inserted rows with values in the queried range.
+    pub insert_count: u64,
+    /// Sum of the pending inserted values in the queried range.
+    pub insert_sum: i128,
+    /// Tombstoned (logically deleted) main-array rows in the range.
+    pub tombstone_count: u64,
+    /// Sum of the tombstoned values in the range.
+    pub tombstone_sum: i128,
+}
+
+#[derive(Debug, Default)]
+struct DeltaState {
+    /// value → number of pending inserted rows with that value.
+    inserts: BTreeMap<i64, u64>,
+    /// value → number of main-array rows with that value that are
+    /// logically deleted. Never exceeds the value's multiplicity in the
+    /// main array (enforced by [`PendingDelta::tombstone_to`]).
+    tombstones: BTreeMap<i64, u64>,
+    pending_inserts: u64,
+    tombstoned_rows: u64,
+}
+
+/// Latch-protected pending inserts and tombstones for one shared index.
+#[derive(Debug, Default)]
+pub struct PendingDelta {
+    state: Mutex<DeltaState>,
+}
+
+impl PendingDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one pending inserted row with the given value.
+    pub fn insert(&self, value: i64) {
+        let mut state = self.state.lock();
+        *state.inserts.entry(value).or_insert(0) += 1;
+        state.pending_inserts += 1;
+    }
+
+    /// Applies one delete of `value` to the delta in a single atomic step:
+    /// drops every pending inserted row with the value and raises the
+    /// value's tombstone to `main_occurrences` (the exact number of
+    /// main-array rows carrying it). Returns `(pending rows removed, main
+    /// rows newly suppressed)`.
+    ///
+    /// Both effects happen under one lock acquisition so a concurrent
+    /// select's [`PendingDelta::adjust`] snapshot sees either the whole
+    /// delete or none of it — never the half-state where the pending rows
+    /// are gone but the main rows are not yet tombstoned (which no serial
+    /// order could produce). The tombstone update is idempotent: repeating
+    /// a delete suppresses nothing further, and concurrent deletes of the
+    /// same value cannot double-count because both compute the same
+    /// `main_occurrences` against the immutable main multiset.
+    pub fn apply_delete(&self, value: i64, main_occurrences: u64) -> (u64, u64) {
+        let mut state = self.state.lock();
+        let from_pending = state.inserts.remove(&value).unwrap_or(0);
+        state.pending_inserts -= from_pending;
+        let entry = state.tombstones.entry(value).or_insert(0);
+        let newly = main_occurrences.saturating_sub(*entry);
+        *entry += newly;
+        state.tombstoned_rows += newly;
+        (from_pending, newly)
+    }
+
+    /// One consistent snapshot of the delta's contribution to a query over
+    /// `[low, high)`.
+    pub fn adjust(&self, low: i64, high: i64) -> DeltaAdjust {
+        if low >= high {
+            return DeltaAdjust::default();
+        }
+        let state = self.state.lock();
+        let mut adjust = DeltaAdjust::default();
+        for (&v, &n) in state.inserts.range(low..high) {
+            adjust.insert_count += n;
+            adjust.insert_sum += v as i128 * n as i128;
+        }
+        for (&v, &n) in state.tombstones.range(low..high) {
+            adjust.tombstone_count += n;
+            adjust.tombstone_sum += v as i128 * n as i128;
+        }
+        adjust
+    }
+
+    /// One consistent snapshot of both counters — `(pending inserts,
+    /// tombstoned rows)` — under a single lock acquisition, so a logical
+    /// row count derived from them can never tear against a concurrent
+    /// [`PendingDelta::apply_delete`] (which moves both at once).
+    pub fn counters(&self) -> (u64, u64) {
+        let state = self.state.lock();
+        (state.pending_inserts, state.tombstoned_rows)
+    }
+
+    /// Number of rows currently pending insertion.
+    pub fn pending_inserts(&self) -> u64 {
+        self.counters().0
+    }
+
+    /// Number of main-array rows currently tombstoned.
+    pub fn tombstoned_rows(&self) -> u64 {
+        self.counters().1
+    }
+
+    /// True when the delta holds no pending work at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters() == (0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_delta_adjusts_nothing() {
+        let delta = PendingDelta::new();
+        assert!(delta.is_empty());
+        assert_eq!(delta.adjust(i64::MIN, i64::MAX), DeltaAdjust::default());
+        assert_eq!(delta.pending_inserts(), 0);
+        assert_eq!(delta.tombstoned_rows(), 0);
+    }
+
+    #[test]
+    fn inserts_accumulate_and_range_probe_respects_bounds() {
+        let delta = PendingDelta::new();
+        delta.insert(5);
+        delta.insert(5);
+        delta.insert(10);
+        assert_eq!(delta.pending_inserts(), 3);
+        let a = delta.adjust(5, 6);
+        assert_eq!(a.insert_count, 2);
+        assert_eq!(a.insert_sum, 10);
+        let a = delta.adjust(0, 11);
+        assert_eq!(a.insert_count, 3);
+        assert_eq!(a.insert_sum, 20);
+        // Exclusive upper bound: value 10 is outside [5, 10).
+        assert_eq!(delta.adjust(5, 10).insert_count, 2);
+        // Inverted range contributes nothing.
+        assert_eq!(delta.adjust(10, 5), DeltaAdjust::default());
+    }
+
+    #[test]
+    fn tombstones_are_idempotent_per_value() {
+        let delta = PendingDelta::new();
+        assert_eq!(delta.apply_delete(7, 3), (0, 3));
+        assert_eq!(
+            delta.apply_delete(7, 3),
+            (0, 0),
+            "repeat delete suppresses 0"
+        );
+        assert_eq!(delta.tombstoned_rows(), 3);
+        let a = delta.adjust(7, 8);
+        assert_eq!(a.tombstone_count, 3);
+        assert_eq!(a.tombstone_sum, 21);
+    }
+
+    #[test]
+    fn delete_reclaims_pending_inserts_and_tombstones_atomically() {
+        let delta = PendingDelta::new();
+        delta.insert(4);
+        delta.insert(4);
+        assert_eq!(delta.apply_delete(4, 1), (2, 1));
+        assert_eq!(delta.apply_delete(4, 1), (0, 0));
+        assert!(delta.pending_inserts() == 0);
+        let a = delta.adjust(0, 10);
+        assert_eq!(a.insert_count, 0);
+        assert_eq!(a.tombstone_count, 1);
+    }
+
+    #[test]
+    fn insert_after_delete_of_same_value_survives() {
+        let delta = PendingDelta::new();
+        delta.apply_delete(9, 1);
+        delta.insert(9);
+        let a = delta.adjust(9, 10);
+        assert_eq!(a.insert_count, 1);
+        assert_eq!(a.tombstone_count, 1);
+    }
+}

@@ -62,6 +62,7 @@ impl ScanBaseline {
 pub struct SortIndex {
     values: Vec<i64>,
     rowids: Vec<RowId>,
+    next_rowid: RowId,
 }
 
 impl SortIndex {
@@ -73,6 +74,7 @@ impl SortIndex {
 
     /// Builds the full index from raw values.
     pub fn build_from_values(values: Vec<i64>) -> Self {
+        let next_rowid = values.len() as RowId;
         let mut pairs: Vec<(i64, RowId)> = values
             .into_iter()
             .enumerate()
@@ -81,7 +83,32 @@ impl SortIndex {
         pairs.sort_unstable();
         let values = pairs.iter().map(|&(v, _)| v).collect();
         let rowids = pairs.iter().map(|&(_, r)| r).collect();
-        SortIndex { values, rowids }
+        SortIndex {
+            values,
+            rowids,
+            next_rowid,
+        }
+    }
+
+    /// Inserts one row with the given key at its sorted position,
+    /// returning its new row id.
+    pub fn insert(&mut self, value: i64) -> RowId {
+        let rowid = self.next_rowid;
+        self.next_rowid += 1;
+        let pos = self.values.partition_point(|&v| v <= value);
+        self.values.insert(pos, value);
+        self.rowids.insert(pos, rowid);
+        rowid
+    }
+
+    /// Deletes every row whose key equals `value`, returning how many rows
+    /// were removed.
+    pub fn delete_all(&mut self, value: i64) -> u64 {
+        let start = self.values.partition_point(|&v| v < value);
+        let end = self.values.partition_point(|&v| v <= value);
+        self.values.drain(start..end);
+        self.rowids.drain(start..end);
+        (end - start) as u64
     }
 
     /// Number of rows.
@@ -186,6 +213,23 @@ mod tests {
         assert_eq!(sorted.lookup_range(0, 0), 0..0);
         assert_eq!(sorted.lookup_range(95, 100), 10..10);
         assert_eq!(sorted.lookup_range(-10, 1), 0..1);
+    }
+
+    #[test]
+    fn sort_index_inserts_and_deletes_stay_sorted() {
+        let mut sorted = SortIndex::build_from_values(data());
+        let rid = sorted.insert(55);
+        assert_eq!(rid, 10);
+        sorted.insert(55);
+        sorted.insert(-5);
+        assert!(sorted.sorted_values().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted.count(55, 56), 2);
+        assert_eq!(sorted.delete_all(55), 2);
+        assert_eq!(sorted.delete_all(55), 0);
+        assert_eq!(sorted.delete_all(90), 1);
+        assert_eq!(sorted.len(), 10); // 10 initial + 3 − 3
+        assert_eq!(sorted.count(-10, 0), 1);
+        assert!(sorted.sorted_values().windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

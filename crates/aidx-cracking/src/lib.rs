@@ -27,6 +27,7 @@
 pub mod avl;
 pub mod baseline;
 pub mod cracker_array;
+pub mod delta;
 pub mod index;
 pub mod piece;
 pub mod stochastic;

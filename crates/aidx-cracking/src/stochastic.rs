@@ -19,7 +19,7 @@
 use crate::cracker_array::CrackerArray;
 use crate::index::CrackSelectOutcome;
 use crate::piece::{PieceLookup, PieceMap};
-use aidx_storage::Column;
+use aidx_storage::{Column, RowId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;
@@ -36,6 +36,7 @@ pub struct StochasticCracker {
     piece_threshold: usize,
     random_cracks: u64,
     bound_cracks: u64,
+    next_rowid: RowId,
 }
 
 impl StochasticCracker {
@@ -55,6 +56,7 @@ impl StochasticCracker {
     pub fn with_threshold(values: Vec<i64>, piece_threshold: usize, seed: u64) -> Self {
         let array = CrackerArray::from_values(values);
         let map = PieceMap::new(array.len());
+        let next_rowid = array.len() as RowId;
         StochasticCracker {
             array,
             map,
@@ -62,6 +64,7 @@ impl StochasticCracker {
             piece_threshold: piece_threshold.max(2),
             random_cracks: 0,
             bound_cracks: 0,
+            next_rowid,
         }
     }
 
@@ -157,6 +160,36 @@ impl StochasticCracker {
             cracks_performed: cracks as u8,
             positions_touched: touched_low + touched_high,
         }
+    }
+
+    /// Inserts one row with the given key, returning its new row id. The
+    /// row is physically merged into the piece whose key interval contains
+    /// it, with piece-boundary fixup (cracks above the value shift right).
+    pub fn insert(&mut self, value: i64) -> RowId {
+        let rowid = self.next_rowid;
+        self.next_rowid += 1;
+        let pos = self.map.apply_insert(value);
+        self.array.insert_at(pos, value, rowid);
+        rowid
+    }
+
+    /// Deletes every row whose key equals `value`, returning how many rows
+    /// were removed. Cracks at the value's bounds first so the doomed rows
+    /// are contiguous (the refinement is kept, like any other crack), then
+    /// removes the run via the shared [`crate::delta`] primitives.
+    pub fn delete(&mut self, value: i64) -> u64 {
+        if self.array.is_empty() {
+            return 0;
+        }
+        let (a, _) = self.position_for_bound(value);
+        let b = match crate::delta::next_key(value) {
+            Some(next) => self.position_for_bound(next).0,
+            None => self.array.len(),
+        };
+        if b > a {
+            crate::delta::remove_key_run(&mut self.array, &mut self.map, value, a, b);
+        }
+        (b - a) as u64
     }
 
     /// Q1 with stochastic refinement.
@@ -266,6 +299,27 @@ mod tests {
             .filter(|p| p.end <= idx.len() && p.len() <= threshold)
             .count();
         assert!(small >= 40, "expected many small pieces, got {small}");
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn inserts_and_deletes_stay_consistent_with_scan() {
+        let values = data(2000);
+        let mut idx = StochasticCracker::with_threshold(values.clone(), 64, 5);
+        idx.count(100, 1500); // refine first so fixup paths are exercised
+        idx.insert(250);
+        idx.insert(250);
+        let mut oracle = values.clone();
+        oracle.push(250);
+        oracle.push(250);
+        let expected = oracle.iter().filter(|&&v| v == 777).count() as u64;
+        assert_eq!(idx.delete(777), expected);
+        oracle.retain(|&v| v != 777);
+        for (low, high) in [(0, 2000), (200, 300), (700, 800), (249, 251)] {
+            assert_eq!(idx.count(low, high), ops::count(&oracle, low, high));
+            assert_eq!(idx.sum(low, high), ops::sum(&oracle, low, high));
+        }
+        assert_eq!(idx.len(), oracle.len());
         assert!(idx.check_invariants());
     }
 

@@ -24,6 +24,7 @@ use crate::pool::WorkerPool;
 use aidx_core::{Aggregate, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy};
 use aidx_cracking::StochasticCracker;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,7 +48,7 @@ pub enum ChunkBackend {
 
 #[derive(Debug)]
 enum Chunk {
-    Concurrent(ConcurrentCracker),
+    Concurrent(Box<ConcurrentCracker>),
     Stochastic(Mutex<StochasticCracker>),
 }
 
@@ -96,6 +97,36 @@ impl Chunk {
         }
     }
 
+    fn insert(&self, value: i64) -> QueryMetrics {
+        match self {
+            Chunk::Concurrent(cracker) => cracker.insert(value),
+            Chunk::Stochastic(cracker) => {
+                let start = Instant::now();
+                let mut metrics = QueryMetrics::default();
+                cracker.lock().insert(value);
+                metrics.inserts_applied = 1;
+                metrics.result_count = 1;
+                metrics.total = start.elapsed();
+                metrics
+            }
+        }
+    }
+
+    fn delete(&self, value: i64) -> (u64, QueryMetrics) {
+        match self {
+            Chunk::Concurrent(cracker) => cracker.delete(value),
+            Chunk::Stochastic(cracker) => {
+                let start = Instant::now();
+                let mut metrics = QueryMetrics::default();
+                let removed = cracker.lock().delete(value);
+                metrics.deletes_applied = 1;
+                metrics.result_count = removed;
+                metrics.total = start.elapsed();
+                (removed, metrics)
+            }
+        }
+    }
+
     fn crack_count(&self) -> u64 {
         match self {
             Chunk::Concurrent(c) => c.crack_count(),
@@ -119,7 +150,15 @@ impl Chunk {
 pub struct ChunkedCracker {
     chunks: Arc<Vec<Chunk>>,
     pool: WorkerPool,
-    len: usize,
+    /// Logical row count across all chunks (kept current by writes).
+    len: AtomicUsize,
+    /// Per-chunk logical sizes (kept current by writes).
+    chunk_sizes: Vec<AtomicUsize>,
+    /// The chunk inserts currently append to.
+    designated: AtomicUsize,
+    /// Once the designated chunk outgrows the mean chunk size by this many
+    /// rows, the designation moves to the currently smallest chunk.
+    rebalance_slack: usize,
 }
 
 impl ChunkedCracker {
@@ -128,8 +167,10 @@ impl ChunkedCracker {
     pub fn new(values: Vec<i64>, chunks: usize, backend: ChunkBackend) -> Self {
         let len = values.len();
         let chunk_count = chunks.clamp(1, len.max(1));
+        let rebalance_slack = (len / chunk_count / 4).max(16);
         let mut remaining = values;
         let mut built = Vec::with_capacity(chunk_count);
+        let mut chunk_sizes = Vec::with_capacity(chunk_count);
         for i in 0..chunk_count {
             // Balanced split: the first `len % chunk_count` chunks take one
             // extra row, so no chunk is ever empty (each worker always has
@@ -137,10 +178,11 @@ impl ChunkedCracker {
             let take = len / chunk_count + usize::from(i < len % chunk_count);
             let rest = remaining.split_off(take);
             let chunk_values = std::mem::replace(&mut remaining, rest);
+            chunk_sizes.push(AtomicUsize::new(chunk_values.len()));
             built.push(match backend {
-                ChunkBackend::Concurrent(protocol, policy) => Chunk::Concurrent(
+                ChunkBackend::Concurrent(protocol, policy) => Chunk::Concurrent(Box::new(
                     ConcurrentCracker::from_values(chunk_values, protocol).with_policy(policy),
-                ),
+                )),
                 ChunkBackend::Stochastic {
                     piece_threshold,
                     seed,
@@ -154,18 +196,34 @@ impl ChunkedCracker {
         ChunkedCracker {
             pool: WorkerPool::new(built.len()),
             chunks: Arc::new(built),
-            len,
+            len: AtomicUsize::new(len),
+            chunk_sizes,
+            designated: AtomicUsize::new(0),
+            rebalance_slack,
         }
     }
 
-    /// Number of indexed entries.
+    /// Number of indexed entries (kept current across inserts/deletes).
     pub fn len(&self) -> usize {
-        self.len
+        self.len.load(Ordering::Relaxed)
     }
 
     /// True if the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
+    }
+
+    /// Current logical size of every chunk (diagnostic: write balance).
+    pub fn chunk_sizes(&self) -> Vec<usize> {
+        self.chunk_sizes
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The chunk inserts currently append to (diagnostic).
+    pub fn designated_chunk(&self) -> usize {
+        self.designated.load(Ordering::Relaxed)
     }
 
     /// Number of chunks (== pool workers).
@@ -176,6 +234,62 @@ impl ChunkedCracker {
     /// Total cracks performed across all chunks.
     pub fn crack_count(&self) -> u64 {
         self.chunks.iter().map(Chunk::crack_count).sum()
+    }
+
+    /// Inserts one row with the given key. Chunks partition *positions*,
+    /// not keys, so any chunk can host any value: the insert appends to
+    /// the designated write chunk, and once that chunk outgrows the mean
+    /// chunk size by the rebalance slack, the designation moves to the
+    /// currently smallest chunk so sustained insert streams stay balanced
+    /// across cores.
+    pub fn insert(&self, value: i64) -> QueryMetrics {
+        let target = self.designated.load(Ordering::Relaxed);
+        let metrics = self.chunks[target].insert(value);
+        let new_size = self.chunk_sizes[target].fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+        let mean = total / self.chunks.len();
+        if new_size > mean + self.rebalance_slack {
+            let smallest = self
+                .chunk_sizes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.designated.store(smallest, Ordering::Relaxed);
+        }
+        metrics
+    }
+
+    /// Deletes every row whose key equals `value`. Every chunk spans the
+    /// whole key domain, so the delete fans out to all chunks and the
+    /// removal counts are summed.
+    pub fn delete(&self, value: i64) -> (u64, QueryMetrics) {
+        let start = Instant::now();
+        let (tx, rx) = channel();
+        for chunk_id in 0..self.chunks.len() {
+            let chunks = Arc::clone(&self.chunks);
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                let _ = tx.send((chunk_id, chunks[chunk_id].delete(value)));
+            });
+        }
+        drop(tx);
+
+        let mut removed = 0u64;
+        let mut parts = Vec::with_capacity(self.chunks.len());
+        for _ in 0..self.chunks.len() {
+            let (chunk_id, (chunk_removed, part_metrics)) = rx.recv().expect("chunk worker died");
+            removed += chunk_removed;
+            self.chunk_sizes[chunk_id].fetch_sub(chunk_removed as usize, Ordering::Relaxed);
+            parts.push(part_metrics);
+        }
+        self.len.fetch_sub(removed as usize, Ordering::Relaxed);
+        let mut metrics = QueryMetrics::merge_parallel(parts);
+        metrics.deletes_applied = 1;
+        metrics.result_count = removed;
+        metrics.total = start.elapsed();
+        (removed, metrics)
     }
 
     /// Q1: count of values in `[low, high)` across all chunks.
@@ -192,7 +306,7 @@ impl ChunkedCracker {
     /// Fans one query out to every chunk and merges the partial results.
     fn fan_out(&self, low: i64, high: i64, agg: Aggregate) -> (i128, QueryMetrics) {
         let start = Instant::now();
-        if low >= high || self.len == 0 {
+        if low >= high {
             let metrics = QueryMetrics {
                 total: start.elapsed(),
                 ..QueryMetrics::default()
@@ -364,6 +478,69 @@ mod tests {
             }
             assert!(idx.check_invariants(), "{backend:?}");
         }
+    }
+
+    #[test]
+    fn inserts_and_deletes_are_correct_for_every_backend() {
+        let values = shuffled(3000);
+        for backend in backends() {
+            let idx = ChunkedCracker::new(values.clone(), 4, backend);
+            idx.sum(100, 2500); // warm all chunks
+            idx.insert(700);
+            idx.insert(700);
+            idx.insert(9000);
+            let mut oracle = values.clone();
+            oracle.extend([700, 700, 9000]);
+            let expected = oracle.iter().filter(|&&v| v == 1234).count() as u64;
+            let (removed, m) = idx.delete(1234);
+            assert_eq!(removed, expected, "{backend:?}");
+            assert_eq!(m.deletes_applied, 1);
+            assert_eq!(m.result_count, expected);
+            oracle.retain(|&v| v != 1234);
+            // Deleting a value that exists multiple times via inserts.
+            assert_eq!(idx.delete(700).0, 3, "{backend:?}");
+            oracle.retain(|&v| v != 700);
+            for (low, high) in [(0, 3000), (500, 800), (1200, 1300), (8000, 10_000)] {
+                assert_eq!(
+                    idx.count(low, high).0,
+                    ops::count(&oracle, low, high),
+                    "{backend:?} count [{low},{high})"
+                );
+                assert_eq!(
+                    idx.sum(low, high).0,
+                    ops::sum(&oracle, low, high),
+                    "{backend:?} sum [{low},{high})"
+                );
+            }
+            assert_eq!(idx.len(), oracle.len(), "{backend:?}");
+            assert!(idx.check_invariants(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn sustained_inserts_rebalance_across_chunks() {
+        let idx = ChunkedCracker::new(
+            shuffled(400),
+            4,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        );
+        // Initial chunks hold 100 rows each; slack is max(16, 100/4) = 25.
+        // A long insert stream must rotate the designated chunk instead of
+        // piling everything onto chunk 0.
+        for i in 0..400 {
+            idx.insert(10_000 + i);
+        }
+        let sizes = idx.chunk_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 800);
+        assert_eq!(idx.len(), 800);
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(
+            max - min <= 2 * idx.rebalance_slack + 1,
+            "write stream left chunks unbalanced: {sizes:?}"
+        );
+        // The inserted rows are all queryable.
+        assert_eq!(idx.count(10_000, 10_400).0, 400);
     }
 
     #[test]

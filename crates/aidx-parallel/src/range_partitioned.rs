@@ -18,6 +18,7 @@
 use aidx_core::{Aggregate, QueryMetrics};
 use aidx_cracking::CrackerIndex;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -31,6 +32,18 @@ enum OwnerRequest {
         high: i64,
         agg: Aggregate,
         reply: Sender<(i128, QueryMetrics)>,
+    },
+    /// Insert one row with the given key into the partition's index (the
+    /// partition *owns* the key range, so no other partition is involved).
+    Insert {
+        value: i64,
+        reply: Sender<QueryMetrics>,
+    },
+    /// Delete every row whose key equals `value` and reply with how many
+    /// rows were removed.
+    Delete {
+        value: i64,
+        reply: Sender<(u64, QueryMetrics)>,
     },
     /// Run `check_invariants` on the partition index and reply.
     Check { reply: Sender<bool> },
@@ -66,6 +79,24 @@ fn owner_loop(mut index: CrackerIndex, requests: &Receiver<OwnerRequest>) {
                 // dropped mid-query; nothing useful to do with the error.
                 let _ = reply.send((value, metrics));
             }
+            OwnerRequest::Insert { value, reply } => {
+                let start = Instant::now();
+                let mut metrics = QueryMetrics::default();
+                index.insert(value);
+                metrics.inserts_applied = 1;
+                metrics.result_count = 1;
+                metrics.total = start.elapsed();
+                let _ = reply.send(metrics);
+            }
+            OwnerRequest::Delete { value, reply } => {
+                let start = Instant::now();
+                let mut metrics = QueryMetrics::default();
+                let removed = index.delete(value);
+                metrics.deletes_applied = 1;
+                metrics.result_count = removed;
+                metrics.total = start.elapsed();
+                let _ = reply.send((removed, metrics));
+            }
             OwnerRequest::Check { reply } => {
                 let _ = reply.send(index.check_invariants());
             }
@@ -80,8 +111,10 @@ pub struct RangePartitionedCracker {
     splits: Vec<i64>,
     owners: Vec<Sender<OwnerRequest>>,
     handles: Vec<JoinHandle<()>>,
-    partition_sizes: Vec<usize>,
-    len: usize,
+    /// Per-partition logical sizes (kept current by writes).
+    partition_sizes: Vec<AtomicUsize>,
+    /// Logical row count (kept current by writes).
+    len: AtomicUsize,
 }
 
 impl RangePartitionedCracker {
@@ -142,7 +175,7 @@ impl RangePartitionedCracker {
         let mut handles = Vec::with_capacity(partitions);
         let mut partition_sizes = Vec::with_capacity(partitions);
         for (p, bucket) in partition_values.into_iter().enumerate() {
-            partition_sizes.push(bucket.len());
+            partition_sizes.push(AtomicUsize::new(bucket.len()));
             let (tx, rx) = channel();
             let index = CrackerIndex::from_values(bucket);
             handles.push(
@@ -159,18 +192,18 @@ impl RangePartitionedCracker {
             owners,
             handles,
             partition_sizes,
-            len,
+            len: AtomicUsize::new(len),
         }
     }
 
-    /// Number of indexed entries.
+    /// Number of indexed entries (kept current across inserts/deletes).
     pub fn len(&self) -> usize {
-        self.len
+        self.len.load(Ordering::Relaxed)
     }
 
     /// True if the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Number of partitions (== owner threads).
@@ -178,14 +211,59 @@ impl RangePartitionedCracker {
         self.owners.len()
     }
 
-    /// Entries per partition (diagnostic: balance check).
-    pub fn partition_sizes(&self) -> &[usize] {
-        &self.partition_sizes
+    /// Entries per partition (diagnostic: balance check; kept current
+    /// across inserts/deletes).
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partition_sizes
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// The split keys between partitions (diagnostic).
     pub fn splits(&self) -> &[i64] {
         &self.splits
+    }
+
+    /// Inserts one row with the given key, routing it to the partition
+    /// that owns the key's range. Exclusive ownership means the owner
+    /// thread applies the insert latch-free, and since partitions cover
+    /// disjoint key ranges, no other partition needs to hear about it.
+    pub fn insert(&self, value: i64) -> QueryMetrics {
+        let start = Instant::now();
+        let owner = partition_of(&self.splits, value);
+        let (reply_tx, reply_rx) = channel();
+        self.owners[owner]
+            .send(OwnerRequest::Insert {
+                value,
+                reply: reply_tx,
+            })
+            .expect("partition owner exited early");
+        let mut metrics = reply_rx.recv().expect("partition owner died");
+        self.partition_sizes[owner].fetch_add(1, Ordering::Relaxed);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        metrics.total = start.elapsed();
+        metrics
+    }
+
+    /// Deletes every row whose key equals `value`. Rows with the key can
+    /// live only in the owning partition, so the delete is a single
+    /// round-trip to one owner.
+    pub fn delete(&self, value: i64) -> (u64, QueryMetrics) {
+        let start = Instant::now();
+        let owner = partition_of(&self.splits, value);
+        let (reply_tx, reply_rx) = channel();
+        self.owners[owner]
+            .send(OwnerRequest::Delete {
+                value,
+                reply: reply_tx,
+            })
+            .expect("partition owner exited early");
+        let (removed, mut metrics) = reply_rx.recv().expect("partition owner died");
+        self.partition_sizes[owner].fetch_sub(removed as usize, Ordering::Relaxed);
+        self.len.fetch_sub(removed as usize, Ordering::Relaxed);
+        metrics.total = start.elapsed();
+        (removed, metrics)
     }
 
     /// Q1: count of values in `[low, high)`.
@@ -203,7 +281,7 @@ impl RangePartitionedCracker {
     /// merges their partial answers.
     fn route(&self, low: i64, high: i64, agg: Aggregate) -> (i128, QueryMetrics) {
         let start = Instant::now();
-        if low >= high || self.len == 0 {
+        if low >= high {
             let metrics = QueryMetrics {
                 total: start.elapsed(),
                 ..QueryMetrics::default()
@@ -269,10 +347,10 @@ impl Drop for RangePartitionedCracker {
 impl fmt::Debug for RangePartitionedCracker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RangePartitionedCracker")
-            .field("len", &self.len)
+            .field("len", &self.len())
             .field("partitions", &self.owners.len())
             .field("splits", &self.splits)
-            .field("partition_sizes", &self.partition_sizes)
+            .field("partition_sizes", &self.partition_sizes())
             .finish()
     }
 }
@@ -359,7 +437,7 @@ mod tests {
         // Sampled quantiles over a uniform permutation: every partition
         // within 3x of the ideal size.
         let ideal = 10_000 / 8;
-        for &size in idx.partition_sizes() {
+        for size in idx.partition_sizes() {
             assert!(
                 size <= ideal * 3,
                 "unbalanced partition: {size} vs ideal {ideal}"
@@ -430,6 +508,65 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn inserts_route_to_the_owning_partition() {
+        let values = shuffled(4000);
+        let idx = RangePartitionedCracker::new(values.clone(), 4);
+        idx.sum(0, 4000); // warm
+        let sizes_before = idx.partition_sizes();
+        let m = idx.insert(100);
+        assert_eq!(m.inserts_applied, 1);
+        idx.insert(100);
+        idx.insert(3900);
+        let sizes_after = idx.partition_sizes();
+        // Exactly the owners of 100 and 3900 grew.
+        let owner_low = partition_of(idx.splits(), 100);
+        let owner_high = partition_of(idx.splits(), 3900);
+        assert_eq!(sizes_after[owner_low], sizes_before[owner_low] + 2);
+        assert_eq!(sizes_after[owner_high], sizes_before[owner_high] + 1);
+        assert_eq!(idx.len(), 4003);
+
+        let mut oracle = values.clone();
+        oracle.extend([100, 100, 3900]);
+        let expected = oracle.iter().filter(|&&v| v == 100).count() as u64;
+        let (removed, dm) = idx.delete(100);
+        assert_eq!(removed, expected);
+        assert_eq!(dm.deletes_applied, 1);
+        oracle.retain(|&v| v != 100);
+        for (low, high) in [(0, 4000), (50, 150), (3800, 4000)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&oracle, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&oracle, low, high));
+        }
+        assert_eq!(idx.len(), oracle.len());
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn concurrent_writers_with_disjoint_domains_converge() {
+        let n = 8000usize;
+        let values = shuffled(n);
+        let idx = Arc::new(RangePartitionedCracker::new(values.clone(), 4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(thread::spawn(move || {
+                for i in 0..40u64 {
+                    idx.insert((n as u64 + t * 40 + i) as i64);
+                    assert_eq!(idx.delete((t * 40 + i) as i64).0, 1);
+                    idx.count(0, n as i64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.count(i64::MIN, i64::MAX).0, n as u64);
+        assert_eq!(idx.count(0, 160).0, 0);
+        assert_eq!(idx.count(n as i64, (n + 160) as i64).0, 160);
+        assert_eq!(idx.len(), n);
         assert!(idx.check_invariants());
     }
 

@@ -1,137 +1,307 @@
-//! Query engines: the approaches compared by the evaluation.
+//! Adaptive engines: the approaches compared by the evaluation.
 //!
-//! Every experiment arm is something that can answer a [`QuerySpec`] and
-//! report a [`QueryMetrics`] breakdown:
+//! Every experiment arm is something that can execute an [`Operation`] —
+//! a Q1/Q2 range query, an insert, or a delete — and report a
+//! [`QueryMetrics`] breakdown:
 //!
-//! * [`ScanEngine`] — plain full scans, no index at all.
+//! * [`ScanEngine`] — plain full scans over a latched vector, no index.
 //! * [`SortEngine`] — full index built (by sorting) when the first query
-//!   arrives, binary search afterwards.
+//!   arrives, binary search afterwards; writes keep the index sorted.
 //! * [`CrackEngine`] — adaptive indexing via the concurrent cracker of
-//!   `aidx-core`, under a chosen latch protocol and refinement policy.
-//! * [`MergeEngine`] — adaptive merging over the partitioned B-tree.
+//!   `aidx-core`, under a chosen latch protocol and refinement policy;
+//!   writes flow through its pending delta (Section 4).
+//! * [`MergeEngine`] — adaptive merging over the partitioned B-tree;
+//!   inserts enter the update partition like a late run.
+//!
+//! The read-only `QueryEngine` trait of earlier revisions became
+//! [`AdaptiveEngine`]: the paper's whole point is concurrency control for
+//! indexes that *mutate under queries*, so the write path is part of the
+//! unified engine API rather than a per-engine afterthought.
 //!
 //! All engines are `Send + Sync` so the multi-client runner can drive one
 //! shared instance from many threads, exactly like concurrent clients
 //! hitting one server process.
 
-use crate::query::QuerySpec;
+use crate::query::{Operation, QuerySpec};
 use aidx_core::{
     Aggregate, ConcurrentAdaptiveMerge, ConcurrentCracker, LatchProtocol, QueryMetrics,
     RefinementPolicy,
 };
-use aidx_cracking::{ScanBaseline, SortIndex};
+use aidx_cracking::SortIndex;
 use aidx_latch::lockmgr::LockManager;
+use aidx_storage::ops;
 use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Something that can execute the experiment's queries.
-pub trait QueryEngine: Send + Sync {
+/// Result of executing one [`Operation`]: the numeric outcome (count or
+/// sum for selects, rows inserted/removed for writes) plus the per-op
+/// metrics breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct OpResult {
+    /// Select: the count (Q1) or sum (Q2). Insert: rows inserted (always
+    /// 1). Delete: rows removed.
+    pub value: i128,
+    /// The operation's timing/conflict/refinement breakdown.
+    pub metrics: QueryMetrics,
+}
+
+/// Something that can execute the experiment's operations — reads *and*
+/// writes — against one shared index.
+pub trait AdaptiveEngine: Send + Sync {
     /// Short, stable name used in reports ("scan", "sort", "crack", ...).
     fn name(&self) -> &str;
 
-    /// Executes one query, returning its numeric result (the count for Q1,
-    /// the sum for Q2) and the per-query metrics breakdown.
-    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics);
+    /// Executes one operation.
+    fn execute(&self, op: Operation) -> OpResult;
+
+    /// Convenience: executes one select, returning its numeric result (the
+    /// count for Q1, the sum for Q2) and the per-query metrics breakdown.
+    fn select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        let result = self.execute(Operation::Select(*query));
+        (result.value, result.metrics)
+    }
 }
 
-/// The plain-scan baseline engine.
+/// Dispatches one [`Operation`] onto an index exposing the common
+/// `count / sum / insert / delete` quartet (the concurrent cracker, the
+/// concurrent adaptive merge, and both parallel crackers all share it).
+/// One definition instead of four copy-pasted match blocks: adding an
+/// `Operation` variant or changing [`OpResult`] is a single edit.
+macro_rules! execute_on_index {
+    ($index:expr, $op:expr) => {{
+        match $op {
+            Operation::Select(q) => match q.aggregate {
+                Aggregate::Count => {
+                    let (c, metrics) = $index.count(q.low, q.high);
+                    OpResult {
+                        value: c as i128,
+                        metrics,
+                    }
+                }
+                Aggregate::Sum => {
+                    let (s, metrics) = $index.sum(q.low, q.high);
+                    OpResult { value: s, metrics }
+                }
+            },
+            Operation::Insert(v) => OpResult {
+                value: 1,
+                metrics: $index.insert(v),
+            },
+            Operation::Delete(v) => {
+                let (removed, metrics) = $index.delete(v);
+                OpResult {
+                    value: removed as i128,
+                    metrics,
+                }
+            }
+        }
+    }};
+}
+pub(crate) use execute_on_index;
+
+impl<T: AdaptiveEngine + ?Sized> AdaptiveEngine for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn execute(&self, op: Operation) -> OpResult {
+        (**self).execute(op)
+    }
+}
+
+impl<T: AdaptiveEngine + ?Sized> AdaptiveEngine for Arc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn execute(&self, op: Operation) -> OpResult {
+        (**self).execute(op)
+    }
+}
+
+/// The plain-scan baseline engine. A read/write latch over the backing
+/// vector stands in for the concurrency control every mutable structure
+/// needs — even "no index" must coordinate writers.
 #[derive(Debug)]
 pub struct ScanEngine {
-    scan: ScanBaseline,
+    values: RwLock<Vec<i64>>,
 }
 
 impl ScanEngine {
     /// Wraps a copy of the column values.
     pub fn new(values: Vec<i64>) -> Self {
         ScanEngine {
-            scan: ScanBaseline::from_values(values),
+            values: RwLock::new(values),
         }
     }
 }
 
-impl QueryEngine for ScanEngine {
+impl AdaptiveEngine for ScanEngine {
     fn name(&self) -> &str {
         "scan"
     }
 
-    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+    fn execute(&self, op: Operation) -> OpResult {
         let start = Instant::now();
         let mut metrics = QueryMetrics::default();
-        let result = match query.aggregate {
-            Aggregate::Count => {
-                let c = self.scan.count(query.low, query.high);
-                metrics.result_count = c;
-                c as i128
+        let value = match op {
+            Operation::Select(q) => {
+                let values = self.values.read();
+                match q.aggregate {
+                    Aggregate::Count => {
+                        let c = ops::count(&values, q.low, q.high);
+                        metrics.result_count = c;
+                        c as i128
+                    }
+                    Aggregate::Sum => {
+                        metrics.result_count = ops::count(&values, q.low, q.high);
+                        ops::sum(&values, q.low, q.high)
+                    }
+                }
             }
-            Aggregate::Sum => {
-                metrics.result_count = self.scan.count(query.low, query.high);
-                self.scan.sum(query.low, query.high)
+            Operation::Insert(v) => {
+                self.values.write().push(v);
+                metrics.inserts_applied = 1;
+                metrics.result_count = 1;
+                1
+            }
+            Operation::Delete(v) => {
+                let mut values = self.values.write();
+                let before = values.len();
+                values.retain(|&x| x != v);
+                let removed = (before - values.len()) as u64;
+                metrics.deletes_applied = 1;
+                metrics.result_count = removed;
+                removed as i128
             }
         };
         metrics.total = start.elapsed();
-        (result, metrics)
+        OpResult { value, metrics }
     }
 }
 
-/// The full-index baseline engine: the complete sort happens lazily when the
-/// first query arrives (that query pays the build cost, as in Figure 11).
+/// State of the sort-baseline engine: unsorted base values until the first
+/// query arrives, the sorted index afterwards.
+#[derive(Debug)]
+enum SortState {
+    /// No query has arrived yet; writes mutate the base values directly.
+    Unbuilt(Vec<i64>),
+    /// The index exists; writes keep it sorted.
+    Built(SortIndex),
+}
+
+/// The full-index baseline engine: the complete sort happens lazily when
+/// the first query arrives (that query pays the build cost, as in
+/// Figure 11). Writes before the build edit the base column; writes after
+/// maintain the sorted index.
 #[derive(Debug)]
 pub struct SortEngine {
-    values: Vec<i64>,
-    index: RwLock<Option<Arc<SortIndex>>>,
+    state: RwLock<SortState>,
 }
 
 impl SortEngine {
     /// Wraps the column values; the index is built on first use.
     pub fn new(values: Vec<i64>) -> Self {
         SortEngine {
-            values,
-            index: RwLock::new(None),
+            state: RwLock::new(SortState::Unbuilt(values)),
         }
-    }
-
-    fn index(&self) -> Arc<SortIndex> {
-        if let Some(idx) = self.index.read().as_ref() {
-            return Arc::clone(idx);
-        }
-        let mut guard = self.index.write();
-        if let Some(idx) = guard.as_ref() {
-            return Arc::clone(idx);
-        }
-        let built = Arc::new(SortIndex::build_from_values(self.values.clone()));
-        *guard = Some(Arc::clone(&built));
-        built
     }
 
     /// True once the full index has been built.
     pub fn is_built(&self) -> bool {
-        self.index.read().is_some()
+        matches!(*self.state.read(), SortState::Built(_))
+    }
+
+    fn ensure_built(state: &mut SortState) -> &mut SortIndex {
+        if let SortState::Unbuilt(values) = state {
+            *state = SortState::Built(SortIndex::build_from_values(std::mem::take(values)));
+        }
+        match state {
+            SortState::Built(index) => index,
+            SortState::Unbuilt(_) => unreachable!("just built"),
+        }
     }
 }
 
-impl QueryEngine for SortEngine {
+impl AdaptiveEngine for SortEngine {
     fn name(&self) -> &str {
         "sort"
     }
 
-    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+    fn execute(&self, op: Operation) -> OpResult {
         let start = Instant::now();
         let mut metrics = QueryMetrics::default();
-        let index = self.index();
-        let result = match query.aggregate {
-            Aggregate::Count => {
-                let c = index.count(query.low, query.high);
-                metrics.result_count = c;
-                c as i128
+        let value = match op {
+            Operation::Select(q) => {
+                // Fast path: answer under the read latch once built.
+                let maybe = {
+                    let state = self.state.read();
+                    match &*state {
+                        SortState::Built(index) => Some(match q.aggregate {
+                            Aggregate::Count => {
+                                let c = index.count(q.low, q.high);
+                                metrics.result_count = c;
+                                c as i128
+                            }
+                            Aggregate::Sum => {
+                                metrics.result_count = index.count(q.low, q.high);
+                                index.sum(q.low, q.high)
+                            }
+                        }),
+                        SortState::Unbuilt(_) => None,
+                    }
+                };
+                match maybe {
+                    Some(v) => v,
+                    None => {
+                        // First query: build under the write latch.
+                        let mut state = self.state.write();
+                        let index = Self::ensure_built(&mut state);
+                        match q.aggregate {
+                            Aggregate::Count => {
+                                let c = index.count(q.low, q.high);
+                                metrics.result_count = c;
+                                c as i128
+                            }
+                            Aggregate::Sum => {
+                                metrics.result_count = index.count(q.low, q.high);
+                                index.sum(q.low, q.high)
+                            }
+                        }
+                    }
+                }
             }
-            Aggregate::Sum => {
-                metrics.result_count = index.count(query.low, query.high);
-                index.sum(query.low, query.high)
+            Operation::Insert(v) => {
+                let mut state = self.state.write();
+                match &mut *state {
+                    SortState::Unbuilt(values) => values.push(v),
+                    SortState::Built(index) => {
+                        index.insert(v);
+                    }
+                }
+                metrics.inserts_applied = 1;
+                metrics.result_count = 1;
+                1
+            }
+            Operation::Delete(v) => {
+                let mut state = self.state.write();
+                let removed = match &mut *state {
+                    SortState::Unbuilt(values) => {
+                        let before = values.len();
+                        values.retain(|&x| x != v);
+                        (before - values.len()) as u64
+                    }
+                    SortState::Built(index) => index.delete_all(v),
+                };
+                metrics.deletes_applied = 1;
+                metrics.result_count = removed;
+                removed as i128
             }
         };
         metrics.total = start.elapsed();
-        (result, metrics)
+        OpResult { value, metrics }
     }
 }
 
@@ -166,19 +336,13 @@ impl CrackEngine {
     }
 }
 
-impl QueryEngine for CrackEngine {
+impl AdaptiveEngine for CrackEngine {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
-        match query.aggregate {
-            Aggregate::Count => {
-                let (c, m) = self.cracker.count(query.low, query.high);
-                (c as i128, m)
-            }
-            Aggregate::Sum => self.cracker.sum(query.low, query.high),
-        }
+    fn execute(&self, op: Operation) -> OpResult {
+        execute_on_index!(self.cracker, op)
     }
 }
 
@@ -206,62 +370,111 @@ impl MergeEngine {
     }
 }
 
-impl QueryEngine for MergeEngine {
+impl AdaptiveEngine for MergeEngine {
     fn name(&self) -> &str {
         "adaptive-merge"
     }
 
-    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
-        match query.aggregate {
-            Aggregate::Count => {
-                let (c, m) = self.merge.count(query.low, query.high);
-                (c as i128, m)
-            }
-            Aggregate::Sum => self.merge.sum(query.low, query.high),
-        }
+    fn execute(&self, op: Operation) -> OpResult {
+        execute_on_index!(self.merge, op)
     }
 }
 
-/// A reference engine used by tests: recomputes every answer with a scan and
-/// checks another engine against it.
+/// One operation whose engine result disagreed with the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The operation that disagreed.
+    pub op: Operation,
+    /// What the engine returned.
+    pub got: i128,
+    /// What the oracle expected.
+    pub expected: i128,
+}
+
+/// The verifying wrapper used by tests and the update benchmark: replays
+/// every operation against a `BTreeMap` multiset oracle and records any
+/// disagreement.
+///
+/// The oracle lock is held across the inner engine call, so under
+/// concurrent clients the oracle sees exactly the engine's linearization
+/// order — interleaved reads and writes stay comparable op by op. (This
+/// serializes the wrapped engine; use it to check correctness, not to
+/// measure scalability.)
 #[derive(Debug)]
 pub struct CheckedEngine<E> {
     inner: E,
-    reference: ScanBaseline,
-    mismatches: Mutex<Vec<QuerySpec>>,
+    oracle: Mutex<BTreeMap<i64, u64>>,
+    mismatches: Mutex<Vec<Mismatch>>,
 }
 
-impl<E: QueryEngine> CheckedEngine<E> {
-    /// Wraps `inner`, checking every result against a scan over `values`.
+impl<E: AdaptiveEngine> CheckedEngine<E> {
+    /// Wraps `inner`, checking every result against an oracle seeded with
+    /// `values`.
     pub fn new(inner: E, values: Vec<i64>) -> Self {
+        let mut oracle = BTreeMap::new();
+        for v in values {
+            *oracle.entry(v).or_insert(0u64) += 1;
+        }
         CheckedEngine {
             inner,
-            reference: ScanBaseline::from_values(values),
+            oracle: Mutex::new(oracle),
             mismatches: Mutex::new(Vec::new()),
         }
     }
 
-    /// Queries whose results disagreed with the reference scan.
-    pub fn mismatches(&self) -> Vec<QuerySpec> {
+    /// Operations whose results disagreed with the oracle.
+    pub fn mismatches(&self) -> Vec<Mismatch> {
         self.mismatches.lock().clone()
     }
 }
 
-impl<E: QueryEngine> QueryEngine for CheckedEngine<E> {
+/// Applies one operation to a `value → multiplicity` oracle multiset and
+/// returns the result a correct engine must produce. This is the single
+/// definition of the oracle semantics — [`CheckedEngine`] and the
+/// `bench_updates` harness both use it, so they can never drift apart.
+pub fn oracle_apply(oracle: &mut BTreeMap<i64, u64>, op: Operation) -> i128 {
+    match op {
+        Operation::Select(q) => {
+            if q.low >= q.high {
+                return 0;
+            }
+            match q.aggregate {
+                Aggregate::Count => oracle.range(q.low..q.high).map(|(_, &n)| n as i128).sum(),
+                Aggregate::Sum => oracle
+                    .range(q.low..q.high)
+                    .map(|(&v, &n)| v as i128 * n as i128)
+                    .sum(),
+            }
+        }
+        Operation::Insert(v) => {
+            *oracle.entry(v).or_insert(0) += 1;
+            1
+        }
+        Operation::Delete(v) => oracle.remove(&v).unwrap_or(0) as i128,
+    }
+}
+
+impl<E: AdaptiveEngine> AdaptiveEngine for CheckedEngine<E> {
     fn name(&self) -> &str {
         self.inner.name()
     }
 
-    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
-        let (result, metrics) = self.inner.execute(query);
-        let expected = match query.aggregate {
-            Aggregate::Count => self.reference.count(query.low, query.high) as i128,
-            Aggregate::Sum => self.reference.sum(query.low, query.high),
-        };
-        if result != expected {
-            self.mismatches.lock().push(*query);
+    fn execute(&self, op: Operation) -> OpResult {
+        // Hold the oracle across the engine call: the pair (engine op,
+        // oracle op) becomes one atomic step, so the oracle replays the
+        // engine's exact linearization order.
+        let mut oracle = self.oracle.lock();
+        let result = self.inner.execute(op);
+        let expected = oracle_apply(&mut oracle, op);
+        drop(oracle);
+        if result.value != expected {
+            self.mismatches.lock().push(Mismatch {
+                op,
+                got: result.value,
+                expected,
+            });
         }
-        (result, metrics)
+        result
     }
 }
 
@@ -273,7 +486,7 @@ mod tests {
         (0..n as i64).map(|i| (i * 48271) % n as i64).collect()
     }
 
-    fn engines(values: &[i64]) -> Vec<Box<dyn QueryEngine>> {
+    fn engines(values: &[i64]) -> Vec<Box<dyn AdaptiveEngine>> {
         vec![
             Box::new(ScanEngine::new(values.to_vec())),
             Box::new(SortEngine::new(values.to_vec())),
@@ -294,11 +507,40 @@ mod tests {
                 QuerySpec::sum(1999, 2000),
                 QuerySpec::count(500, 100),
             ] {
-                let (expected, _) = scan.execute(&q);
-                let (got, metrics) = engine.execute(&q);
+                let (expected, _) = scan.select(&q);
+                let (got, metrics) = engine.select(&q);
                 assert_eq!(got, expected, "{} disagrees on {q:?}", engine.name());
-                assert_eq!(metrics.result_count, scan.execute(&q).1.result_count);
+                assert_eq!(metrics.result_count, scan.select(&q).1.result_count);
             }
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_under_interleaved_writes() {
+        let values = shuffled(1000);
+        let ops = [
+            Operation::Select(QuerySpec::sum(100, 600)),
+            Operation::Insert(250),
+            Operation::Insert(250),
+            Operation::Delete(500),
+            Operation::Select(QuerySpec::count(200, 600)),
+            Operation::Insert(5000),
+            Operation::Delete(250),
+            Operation::Select(QuerySpec::sum(0, 6000)),
+            Operation::Delete(123_456), // absent key
+            Operation::Select(QuerySpec::count(0, 6000)),
+        ];
+        for engine in engines(&values) {
+            let checked = CheckedEngine::new(engine, values.clone());
+            for op in ops {
+                checked.execute(op);
+            }
+            assert_eq!(
+                checked.mismatches(),
+                vec![],
+                "{} diverged from the oracle",
+                checked.name()
+            );
         }
     }
 
@@ -322,16 +564,20 @@ mod tests {
     fn sort_engine_builds_lazily_exactly_once() {
         let engine = SortEngine::new(shuffled(1000));
         assert!(!engine.is_built());
-        engine.execute(&QuerySpec::count(10, 20));
+        engine.execute(Operation::Insert(42)); // pre-build write
+        assert!(!engine.is_built(), "writes alone do not build the index");
+        engine.select(&QuerySpec::count(10, 20));
         assert!(engine.is_built());
-        engine.execute(&QuerySpec::count(30, 40));
+        engine.select(&QuerySpec::count(30, 40));
         assert!(engine.is_built());
+        // The pre-build write is visible after the build.
+        assert_eq!(engine.select(&QuerySpec::count(42, 43)).0, 2);
     }
 
     #[test]
     fn crack_engine_exposes_its_cracker() {
         let engine = CrackEngine::new(shuffled(500), LatchProtocol::Piece);
-        engine.execute(&QuerySpec::sum(100, 400));
+        engine.select(&QuerySpec::sum(100, 400));
         assert!(engine.cracker().crack_count() >= 2);
         assert!(engine.cracker().check_invariants());
     }
@@ -339,7 +585,7 @@ mod tests {
     #[test]
     fn merge_engine_exposes_progress() {
         let engine = MergeEngine::new(shuffled(500), 100);
-        engine.execute(&QuerySpec::count(0, 500));
+        engine.select(&QuerySpec::count(0, 500));
         assert!(engine.index().is_fully_merged());
     }
 
@@ -351,8 +597,31 @@ mod tests {
             values,
         );
         for q in [QuerySpec::count(10, 200), QuerySpec::sum(50, 290)] {
-            checked.execute(&q);
+            checked.select(&q);
         }
         assert!(checked.mismatches().is_empty());
+    }
+
+    #[test]
+    fn checked_engine_detects_a_wrong_answer() {
+        /// An engine that always answers 7 (and claims nothing else).
+        struct BrokenEngine;
+        impl AdaptiveEngine for BrokenEngine {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn execute(&self, _: Operation) -> OpResult {
+                OpResult {
+                    value: 7,
+                    metrics: QueryMetrics::default(),
+                }
+            }
+        }
+        let checked = CheckedEngine::new(BrokenEngine, vec![1, 2, 3]);
+        checked.select(&QuerySpec::count(0, 10));
+        let mismatches = checked.mismatches();
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].got, 7);
+        assert_eq!(mismatches[0].expected, 3);
     }
 }

@@ -10,13 +10,14 @@
 //! whole suite runs in seconds on a laptop or CI container; every harness
 //! accepts a row-count override to reproduce the original scale.
 
-use crate::engine::{CrackEngine, MergeEngine, QueryEngine, ScanEngine, SortEngine};
+use crate::engine::{AdaptiveEngine, CrackEngine, MergeEngine, ScanEngine, SortEngine};
 use crate::generator::WorkloadGenerator;
 use crate::parallel_engine::{ParallelChunkEngine, ParallelRangeEngine};
-use crate::query::QuerySpec;
+use crate::query::{Operation, QuerySpec};
 use crate::runner::MultiClientRunner;
 use aidx_core::{Aggregate, LatchProtocol, RefinementPolicy, RunMetrics};
 use aidx_storage::generate_unique_shuffled;
+use std::str::FromStr;
 use std::sync::Arc;
 
 /// Default number of rows used by the figure harnesses (the paper uses
@@ -31,6 +32,10 @@ pub const DEFAULT_DATA_SEED: u64 = 0xA1D1;
 
 /// Seed used for query generation unless overridden.
 pub const DEFAULT_QUERY_SEED: u64 = 0xC0FFEE;
+
+/// Default run size for the adaptive-merge arm (used by
+/// [`Approach::from_str`] when no explicit size is given).
+pub const DEFAULT_RUN_SIZE: usize = 1024;
 
 /// Which approach an experiment arm uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +89,97 @@ impl Approach {
             }
         }
     }
+
+    /// Every standard experiment arm, with default knobs (worker count `0`
+    /// = one per core). The single source of truth for "all arms" sweeps —
+    /// benches, tests, and figure binaries iterate this instead of
+    /// repeating the list.
+    pub fn all() -> Vec<Approach> {
+        vec![
+            Approach::Scan,
+            Approach::Sort,
+            Approach::Crack(LatchProtocol::Column),
+            Approach::Crack(LatchProtocol::Piece),
+            Approach::CrackSkipOnContention(LatchProtocol::Piece),
+            Approach::AdaptiveMerge {
+                run_size: DEFAULT_RUN_SIZE,
+            },
+            Approach::ParallelChunk {
+                chunks: 0,
+                protocol: LatchProtocol::Piece,
+            },
+            Approach::ParallelRange { partitions: 0 },
+        ]
+    }
+}
+
+fn parse_protocol(s: &str) -> Option<LatchProtocol> {
+    match s {
+        "none" => Some(LatchProtocol::None),
+        "column" => Some(LatchProtocol::Column),
+        "piece" => Some(LatchProtocol::Piece),
+        _ => None,
+    }
+}
+
+impl FromStr for Approach {
+    type Err = String;
+
+    /// Parses the labels [`Approach::label`] produces (plus a few spelled
+    /// variants), e.g. `scan`, `crack-piece`, `crack-column-skip`,
+    /// `adaptive-merge-512`, `parallel-chunk-piece-4`, `parallel-range`
+    /// (worker count omitted = one per core).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim().to_ascii_lowercase();
+        let err = || format!("unknown approach '{s}'");
+        match s.as_str() {
+            "scan" => return Ok(Approach::Scan),
+            "sort" => return Ok(Approach::Sort),
+            "adaptive-merge" => {
+                return Ok(Approach::AdaptiveMerge {
+                    run_size: DEFAULT_RUN_SIZE,
+                })
+            }
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("adaptive-merge-") {
+            let run_size: usize = rest.parse().map_err(|_| err())?;
+            return Ok(Approach::AdaptiveMerge {
+                run_size: run_size.max(1),
+            });
+        }
+        if let Some(rest) = s.strip_prefix("crack-") {
+            let (proto, skip) = match rest.strip_suffix("-skip") {
+                Some(proto) => (proto, true),
+                None => (rest, false),
+            };
+            let protocol = parse_protocol(proto).ok_or_else(err)?;
+            return Ok(if skip {
+                Approach::CrackSkipOnContention(protocol)
+            } else {
+                Approach::Crack(protocol)
+            });
+        }
+        if let Some(rest) = s.strip_prefix("parallel-chunk-") {
+            // `<protocol>` or `<protocol>-<chunks>`.
+            let (proto, chunks) = match rest.rsplit_once('-') {
+                Some((proto, n)) if n.parse::<usize>().is_ok() => {
+                    (proto, n.parse().expect("checked"))
+                }
+                _ => (rest, 0),
+            };
+            let protocol = parse_protocol(proto).ok_or_else(err)?;
+            return Ok(Approach::ParallelChunk { chunks, protocol });
+        }
+        if s == "parallel-range" {
+            return Ok(Approach::ParallelRange { partitions: 0 });
+        }
+        if let Some(rest) = s.strip_prefix("parallel-range-") {
+            let partitions: usize = rest.parse().map_err(|_| err())?;
+            return Ok(Approach::ParallelRange { partitions });
+        }
+        Err(err())
+    }
 }
 
 /// Resolves a worker-count knob: `0` means one worker per available core.
@@ -108,6 +204,9 @@ pub struct ExperimentConfig {
     pub selectivity: f64,
     /// Q1 (count) or Q2 (sum).
     pub aggregate: Aggregate,
+    /// Fraction of operations that are writes (half inserts, half
+    /// deletes); `0.0` reproduces the paper's read-only workloads.
+    pub write_ratio: f64,
     /// The approach under test.
     pub approach: Approach,
     /// Seed for the data permutation.
@@ -126,6 +225,7 @@ impl ExperimentConfig {
             clients: 1,
             selectivity: 0.0001,
             aggregate: Aggregate::Sum,
+            write_ratio: 0.0,
             approach,
             data_seed: DEFAULT_DATA_SEED,
             query_seed: DEFAULT_QUERY_SEED,
@@ -162,26 +262,43 @@ impl ExperimentConfig {
         self
     }
 
-    /// Generates the query sequence this config describes.
-    pub fn generate_queries(&self) -> Vec<QuerySpec> {
+    /// Sets the write ratio (builder style).
+    pub fn write_ratio(mut self, write_ratio: f64) -> Self {
+        self.write_ratio = write_ratio;
+        self
+    }
+
+    fn generator(&self) -> WorkloadGenerator {
         WorkloadGenerator::new(
             self.rows as u64,
             self.selectivity,
             self.aggregate,
             self.query_seed,
         )
-        .generate(self.queries)
+    }
+
+    /// Generates the query sequence this config describes (ignores the
+    /// write ratio; see [`Self::generate_operations`] for mixed runs).
+    pub fn generate_queries(&self) -> Vec<QuerySpec> {
+        self.generator().generate(self.queries)
+    }
+
+    /// Generates the operation sequence this config describes, honouring
+    /// the write ratio.
+    pub fn generate_operations(&self) -> Vec<Operation> {
+        self.generator()
+            .generate_mixed(self.queries, self.write_ratio)
     }
 
     /// Builds the engine this config describes over freshly generated data.
-    pub fn build_engine(&self) -> Arc<dyn QueryEngine> {
+    pub fn build_engine(&self) -> Arc<dyn AdaptiveEngine> {
         let values = generate_unique_shuffled(self.rows, self.data_seed);
         self.build_engine_with(values)
     }
 
     /// Builds the engine over caller-provided data (so a sweep can reuse one
     /// generated column across arms).
-    pub fn build_engine_with(&self, values: Vec<i64>) -> Arc<dyn QueryEngine> {
+    pub fn build_engine_with(&self, values: Vec<i64>) -> Arc<dyn AdaptiveEngine> {
         match self.approach {
             Approach::Scan => Arc::new(ScanEngine::new(values)),
             Approach::Sort => Arc::new(SortEngine::new(values)),
@@ -206,7 +323,8 @@ impl ExperimentConfig {
 }
 
 /// Runs one experiment cell end to end: generate data, build the engine,
-/// generate the query sequence, replay it with the configured client count.
+/// generate the operation sequence, replay it with the configured client
+/// count.
 pub fn run_experiment(config: &ExperimentConfig) -> RunMetrics {
     let engine = config.build_engine();
     run_experiment_with_engine(config, engine)
@@ -218,10 +336,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunMetrics {
 /// explicitly want a warm index).
 pub fn run_experiment_with_engine(
     config: &ExperimentConfig,
-    engine: Arc<dyn QueryEngine>,
+    engine: Arc<dyn AdaptiveEngine>,
 ) -> RunMetrics {
-    let queries = config.generate_queries();
-    MultiClientRunner::new(config.clients).run(engine, &queries)
+    let ops = config.generate_operations();
+    MultiClientRunner::new(config.clients).run_ops(engine, &ops)
 }
 
 #[cfg(test)]
@@ -285,23 +403,90 @@ mod tests {
 
     #[test]
     fn run_experiment_produces_metrics_for_every_approach() {
-        for approach in [
-            Approach::Scan,
-            Approach::Sort,
-            Approach::Crack(LatchProtocol::Piece),
-            Approach::Crack(LatchProtocol::Column),
-            Approach::CrackSkipOnContention(LatchProtocol::Piece),
-            Approach::AdaptiveMerge { run_size: 1024 },
-            Approach::ParallelChunk {
-                chunks: 2,
-                protocol: LatchProtocol::Piece,
-            },
-            Approach::ParallelRange { partitions: 2 },
-        ] {
+        for approach in Approach::all() {
             let config = tiny(approach);
             let run = run_experiment(&config);
             assert_eq!(run.query_count(), 32, "{}", approach.label());
             assert!(run.wall_clock > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn mixed_experiments_run_for_every_approach() {
+        for approach in Approach::all() {
+            let config = tiny(approach).write_ratio(0.2);
+            let run = run_experiment(&config);
+            assert_eq!(run.query_count(), 32, "{}", approach.label());
+            let totals = run.totals();
+            assert!(
+                totals.inserts_applied + totals.deletes_applied > 0,
+                "{}: no writes executed",
+                approach.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for approach in Approach::all() {
+            let parsed: Approach = approach
+                .label()
+                .parse()
+                .unwrap_or_else(|e| panic!("label '{}' failed to parse: {e}", approach.label()));
+            assert_eq!(
+                parsed.label(),
+                approach.label(),
+                "round trip changed the arm"
+            );
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_spelled_variants_and_rejects_junk() {
+        assert_eq!("scan".parse::<Approach>().unwrap(), Approach::Scan);
+        assert_eq!(
+            " Crack-Piece ".parse::<Approach>().unwrap(),
+            Approach::Crack(LatchProtocol::Piece)
+        );
+        assert_eq!(
+            "crack-column-skip".parse::<Approach>().unwrap(),
+            Approach::CrackSkipOnContention(LatchProtocol::Column)
+        );
+        assert_eq!(
+            "adaptive-merge-512".parse::<Approach>().unwrap(),
+            Approach::AdaptiveMerge { run_size: 512 }
+        );
+        assert_eq!(
+            "parallel-chunk-piece".parse::<Approach>().unwrap(),
+            Approach::ParallelChunk {
+                chunks: 0,
+                protocol: LatchProtocol::Piece
+            }
+        );
+        assert_eq!(
+            "parallel-chunk-column-8".parse::<Approach>().unwrap(),
+            Approach::ParallelChunk {
+                chunks: 8,
+                protocol: LatchProtocol::Column
+            }
+        );
+        assert_eq!(
+            "parallel-range".parse::<Approach>().unwrap(),
+            Approach::ParallelRange { partitions: 0 }
+        );
+        assert_eq!(
+            "parallel-range-3".parse::<Approach>().unwrap(),
+            Approach::ParallelRange { partitions: 3 }
+        );
+        for junk in [
+            "",
+            "scam",
+            "crack",
+            "crack-row",
+            "parallel-chunk-4",
+            "adaptive-merge-x",
+        ] {
+            assert!(junk.parse::<Approach>().is_err(), "'{junk}' must not parse");
         }
     }
 

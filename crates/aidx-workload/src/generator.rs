@@ -6,10 +6,14 @@
 //! skewed) used by the wider test suite and the stochastic-cracking
 //! comparison.
 
-use crate::query::{selectivity_to_width, QuerySpec};
+use crate::query::{selectivity_to_width, Operation, QuerySpec};
 use aidx_core::Aggregate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Seed perturbation separating the write-decision stream from the select
+/// stream, so `generate_mixed(n, 0.0)` replays exactly `generate(n)`.
+const MIXED_SEED_SALT: u64 = 0x57A7_1C5E;
 
 /// Spatial pattern of the generated query ranges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +101,36 @@ impl WorkloadGenerator {
             })
             .collect()
     }
+
+    /// Generates `n` operations of which roughly `write_ratio` are writes
+    /// (half inserts, half deletes, keys uniform over the domain) and the
+    /// rest are the same deterministic select sequence [`Self::generate`]
+    /// produces. The write decisions come from an independent seeded
+    /// stream, so every arm replays the identical operation sequence and a
+    /// ratio of `0.0` degenerates to exactly the read-only workload.
+    pub fn generate_mixed(&self, n: usize, write_ratio: f64) -> Vec<Operation> {
+        let threshold = (write_ratio.clamp(0.0, 1.0) * 10_000.0).round() as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ MIXED_SEED_SALT);
+        self.generate(n)
+            .into_iter()
+            .map(|query| {
+                if rng.gen_range(0..10_000u64) < threshold {
+                    let key = if self.domain_size == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..self.domain_size) as i64
+                    };
+                    if rng.gen_range(0..2u64) == 0 {
+                        Operation::Insert(key)
+                    } else {
+                        Operation::Delete(key)
+                    }
+                } else {
+                    Operation::Select(query)
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +191,38 @@ mod tests {
             assert_eq!(q.width(), 1000);
             assert_eq!(q.low, 0);
         }
+    }
+
+    #[test]
+    fn mixed_workloads_hit_the_requested_write_ratio() {
+        let g = WorkloadGenerator::new(100_000, 0.001, Aggregate::Sum, 13);
+        let ops = g.generate_mixed(1000, 0.1);
+        assert_eq!(ops.len(), 1000);
+        let writes = ops.iter().filter(|op| op.is_write()).count();
+        assert!(
+            (60..=140).contains(&writes),
+            "10% of 1000 ops should be ~100 writes, got {writes}"
+        );
+        let inserts = ops
+            .iter()
+            .filter(|op| matches!(op, Operation::Insert(_)))
+            .count();
+        assert!(inserts > 0 && inserts < writes, "both write kinds appear");
+        // Deterministic per seed.
+        assert_eq!(ops, g.generate_mixed(1000, 0.1));
+        assert_ne!(
+            ops,
+            WorkloadGenerator::new(100_000, 0.001, Aggregate::Sum, 14).generate_mixed(1000, 0.1)
+        );
+    }
+
+    #[test]
+    fn zero_write_ratio_is_exactly_the_read_only_workload() {
+        let g = WorkloadGenerator::new(10_000, 0.01, Aggregate::Count, 5);
+        let selects: Vec<Operation> = g.generate(50).into_iter().map(Operation::Select).collect();
+        assert_eq!(g.generate_mixed(50, 0.0), selects);
+        // Full-write workloads are all writes.
+        assert!(g.generate_mixed(50, 1.0).iter().all(Operation::is_write));
     }
 
     #[test]

@@ -5,15 +5,19 @@
 //!
 //! * [`QuerySpec`] — the paper's Q1 (count) and Q2 (sum) range-query
 //!   templates, with selectivity expressed as a fraction of the key domain.
+//! * [`Operation`] — the read/write superset: selects plus inserts and
+//!   deletes (Section 4's update workloads).
 //! * [`WorkloadGenerator`] — deterministic random / sequential / skewed
-//!   query sequences, identical across every experiment arm.
-//! * [`QueryEngine`] and its implementations — the approaches under test:
-//!   plain scan, full sort, cracking under column or piece latches,
+//!   query sequences, identical across every experiment arm, with a
+//!   write-ratio knob for mixed read/write runs.
+//! * [`AdaptiveEngine`] and its implementations — the approaches under
+//!   test: plain scan, full sort, cracking under column or piece latches,
 //!   adaptive merging, and the multi-core parallel cracking arms of
-//!   `aidx-parallel` (chunked and range-partitioned).
-//! * [`MultiClientRunner`] — replays one query sequence with N concurrent
-//!   clients against a shared engine and reports the wall-clock time of the
-//!   last client to finish, plus per-query metric breakdowns.
+//!   `aidx-parallel` (chunked and range-partitioned). Every arm executes
+//!   reads *and* writes through the same `execute(Operation)` entry point.
+//! * [`MultiClientRunner`] — replays one operation sequence with N
+//!   concurrent clients against a shared engine and reports the wall-clock
+//!   time of the last client to finish, plus per-op metric breakdowns.
 //! * [`ExperimentConfig`] / [`run_experiment`] — one cell of a figure's
 //!   parameter sweep.
 
@@ -26,12 +30,15 @@ pub mod parallel_engine;
 pub mod query;
 pub mod runner;
 
-pub use engine::{CheckedEngine, CrackEngine, MergeEngine, QueryEngine, ScanEngine, SortEngine};
+pub use engine::{
+    oracle_apply, AdaptiveEngine, CheckedEngine, CrackEngine, MergeEngine, Mismatch, OpResult,
+    ScanEngine, SortEngine,
+};
 pub use experiment::{
     run_experiment, run_experiment_with_engine, Approach, ExperimentConfig, DEFAULT_QUERIES,
-    DEFAULT_ROWS,
+    DEFAULT_ROWS, DEFAULT_RUN_SIZE,
 };
 pub use generator::{AccessPattern, WorkloadGenerator};
 pub use parallel_engine::{ParallelChunkEngine, ParallelRangeEngine};
-pub use query::{selectivity_to_width, QuerySpec};
+pub use query::{selectivity_to_width, Operation, QuerySpec};
 pub use runner::MultiClientRunner;

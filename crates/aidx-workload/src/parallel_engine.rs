@@ -1,14 +1,17 @@
-//! Query-engine adapters for the `aidx-parallel` subsystem.
+//! Adaptive-engine adapters for the `aidx-parallel` subsystem.
 //!
 //! Wraps [`ChunkedCracker`] and [`RangePartitionedCracker`] as
-//! [`QueryEngine`]s so the parallel arms run under the exact same
+//! [`AdaptiveEngine`]s so the parallel arms run under the exact same
 //! [`crate::MultiClientRunner`] protocol as scan / sort / crack / merge:
-//! N concurrent *clients* each fan their queries out across M *workers*,
-//! exercising parallelism both between and within queries.
+//! N concurrent *clients* each fan their operations out across M
+//! *workers*, exercising parallelism both between and within operations.
+//! Writes route the way each design prescribes: chunked inserts append to
+//! the designated chunk (rebalancing when it outgrows its peers), range
+//! inserts go to the single partition owning the key.
 
-use crate::engine::QueryEngine;
-use crate::query::QuerySpec;
-use aidx_core::{Aggregate, LatchProtocol, QueryMetrics, RefinementPolicy};
+use crate::engine::{execute_on_index, AdaptiveEngine, OpResult};
+use crate::query::Operation;
+use aidx_core::{Aggregate, LatchProtocol, RefinementPolicy};
 use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 
 /// Parallel-chunked cracking as an experiment arm.
@@ -52,19 +55,13 @@ impl ParallelChunkEngine {
     }
 }
 
-impl QueryEngine for ParallelChunkEngine {
+impl AdaptiveEngine for ParallelChunkEngine {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
-        match query.aggregate {
-            Aggregate::Count => {
-                let (c, m) = self.index.count(query.low, query.high);
-                (c as i128, m)
-            }
-            Aggregate::Sum => self.index.sum(query.low, query.high),
-        }
+    fn execute(&self, op: Operation) -> OpResult {
+        execute_on_index!(self.index, op)
     }
 }
 
@@ -89,19 +86,13 @@ impl ParallelRangeEngine {
     }
 }
 
-impl QueryEngine for ParallelRangeEngine {
+impl AdaptiveEngine for ParallelRangeEngine {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn execute(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
-        match query.aggregate {
-            Aggregate::Count => {
-                let (c, m) = self.index.count(query.low, query.high);
-                (c as i128, m)
-            }
-            Aggregate::Sum => self.index.sum(query.low, query.high),
-        }
+    fn execute(&self, op: Operation) -> OpResult {
+        execute_on_index!(self.index, op)
     }
 }
 
@@ -110,6 +101,7 @@ mod tests {
     use super::*;
     use crate::engine::{CheckedEngine, ScanEngine};
     use crate::generator::WorkloadGenerator;
+    use crate::query::QuerySpec;
     use crate::runner::MultiClientRunner;
     use std::sync::Arc;
 
@@ -155,7 +147,7 @@ mod tests {
     fn parallel_engines_agree_with_scan() {
         let values = shuffled(3000);
         let scan = ScanEngine::new(values.clone());
-        let engines: Vec<Box<dyn QueryEngine>> = vec![
+        let engines: Vec<Box<dyn AdaptiveEngine>> = vec![
             Box::new(ParallelChunkEngine::new(
                 values.clone(),
                 4,
@@ -170,11 +162,41 @@ mod tests {
                 QuerySpec::sum(2999, 3000),
                 QuerySpec::count(500, 100),
             ] {
-                let (expected, em) = scan.execute(&q);
-                let (got, m) = engine.execute(&q);
+                let (expected, em) = scan.select(&q);
+                let (got, m) = engine.select(&q);
                 assert_eq!(got, expected, "{} disagrees on {q:?}", engine.name());
                 assert_eq!(m.result_count, em.result_count, "{}", engine.name());
             }
+        }
+    }
+
+    #[test]
+    fn parallel_engines_execute_interleaved_writes_correctly() {
+        let values = shuffled(2000);
+        let engines: Vec<Box<dyn AdaptiveEngine>> = vec![
+            Box::new(ParallelChunkEngine::new(
+                values.clone(),
+                3,
+                LatchProtocol::Piece,
+            )),
+            Box::new(ParallelRangeEngine::new(values.clone(), 3)),
+        ];
+        for engine in engines {
+            let name = engine.name().to_string();
+            let checked = CheckedEngine::new(engine, values.clone());
+            for op in [
+                Operation::Select(QuerySpec::sum(0, 2000)),
+                Operation::Insert(700),
+                Operation::Insert(700),
+                Operation::Delete(300),
+                Operation::Select(QuerySpec::count(200, 800)),
+                Operation::Delete(700),
+                Operation::Insert(9000),
+                Operation::Select(QuerySpec::sum(0, 10_000)),
+            ] {
+                checked.execute(op);
+            }
+            assert_eq!(checked.mismatches(), vec![], "{name} diverged");
         }
     }
 
@@ -202,10 +224,10 @@ mod tests {
     fn post_run_inspection_is_available() {
         let values = shuffled(1000);
         let chunked = ParallelChunkEngine::new(values.clone(), 2, LatchProtocol::Piece);
-        chunked.execute(&QuerySpec::sum(100, 900));
+        chunked.select(&QuerySpec::sum(100, 900));
         assert!(chunked.index().crack_count() >= 2);
         let ranged = ParallelRangeEngine::new(values, 2);
-        ranged.execute(&QuerySpec::sum(100, 900));
+        ranged.select(&QuerySpec::sum(100, 900));
         assert_eq!(ranged.index().partition_count(), 2);
         assert!(ranged.index().check_invariants());
     }

@@ -106,6 +106,34 @@ impl QuerySpec {
     }
 }
 
+/// One operation against an adaptive engine: the read/write superset of
+/// [`QuerySpec`]. Selects are the paper's Q1/Q2 range queries; inserts and
+/// deletes are the Section 4 extension, where updates must be reconciled
+/// with structures that reorganise themselves under the reader's feet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Execute a range query (Q1 count or Q2 sum).
+    Select(QuerySpec),
+    /// Insert one row with the given key.
+    Insert(i64),
+    /// Delete every row whose key equals the given value (SQL
+    /// `DELETE WHERE key = v` semantics). The operation's result is the
+    /// number of rows removed.
+    Delete(i64),
+}
+
+impl Operation {
+    /// True for selects.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Operation::Select(_))
+    }
+
+    /// True for inserts and deletes.
+    pub fn is_write(&self) -> bool {
+        !self.is_read()
+    }
+}
+
 /// Converts a selectivity fraction into a predicate range width over a key
 /// domain of `domain_size` unique keys. A selectivity of 0.0001 (0.01%) over
 /// 100 M keys is a width of 10 000 keys, as in the paper's set-up.

@@ -6,17 +6,19 @@
 //! the same time, and the reported time is "the time perceived by the last
 //! client to receive all answers for all its queries" (Section 6.2–6.3).
 //! [`MultiClientRunner`] reproduces exactly that protocol against any
-//! [`QueryEngine`].
+//! [`AdaptiveEngine`] — and generalises it to mixed read/write sequences
+//! ([`MultiClientRunner::run_ops`]), where some clients' operations are
+//! inserts or deletes mutating the index the other clients are querying.
 
-use crate::engine::QueryEngine;
-use crate::query::QuerySpec;
+use crate::engine::AdaptiveEngine;
+use crate::query::{Operation, QuerySpec};
 use aidx_core::RunMetrics;
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-/// Replays a fixed query sequence with a configurable number of concurrent
-/// clients against a shared engine.
+/// Replays a fixed operation sequence with a configurable number of
+/// concurrent clients against a shared engine.
 #[derive(Debug, Clone)]
 pub struct MultiClientRunner {
     clients: usize,
@@ -35,25 +37,33 @@ impl MultiClientRunner {
         self.clients
     }
 
-    /// Runs the query sequence to completion and collects metrics.
+    /// Runs a read-only query sequence to completion and collects metrics
+    /// (convenience wrapper over [`MultiClientRunner::run_ops`]).
+    pub fn run(&self, engine: Arc<dyn AdaptiveEngine>, queries: &[QuerySpec]) -> RunMetrics {
+        let ops: Vec<Operation> = queries.iter().map(|q| Operation::Select(*q)).collect();
+        self.run_ops(engine, &ops)
+    }
+
+    /// Runs the operation sequence to completion and collects metrics.
     ///
-    /// The sequence is split round-robin into `clients` contiguous slices
-    /// (client `i` executes queries `i, i + c, i + 2c, ...`), each client
-    /// runs its slice serially on its own thread, and the wall-clock time is
-    /// measured from the common start to the completion of the last client.
-    pub fn run(&self, engine: Arc<dyn QueryEngine>, queries: &[QuerySpec]) -> RunMetrics {
-        if queries.is_empty() {
+    /// The sequence is split round-robin into `clients` slices (client `i`
+    /// executes operations `i, i + c, i + 2c, ...`), each client runs its
+    /// slice serially on its own thread, and the wall-clock time is
+    /// measured from the common start to the completion of the last
+    /// client.
+    pub fn run_ops(&self, engine: Arc<dyn AdaptiveEngine>, ops: &[Operation]) -> RunMetrics {
+        if ops.is_empty() {
             return RunMetrics::new();
         }
         if self.clients == 1 {
-            return self.run_sequential(engine.as_ref(), queries);
+            return self.run_sequential(engine.as_ref(), ops);
         }
 
         let start = Instant::now();
         let mut handles = Vec::with_capacity(self.clients);
         for client in 0..self.clients {
             let engine = Arc::clone(&engine);
-            let slice: Vec<QuerySpec> = queries
+            let slice: Vec<Operation> = ops
                 .iter()
                 .skip(client)
                 .step_by(self.clients)
@@ -61,9 +71,9 @@ impl MultiClientRunner {
                 .collect();
             handles.push(thread::spawn(move || {
                 let mut collected = Vec::with_capacity(slice.len());
-                for q in &slice {
-                    let (_, metrics) = engine.execute(q);
-                    collected.push(metrics);
+                for op in &slice {
+                    let result = engine.execute(*op);
+                    collected.push(result.metrics);
                 }
                 collected
             }));
@@ -77,12 +87,12 @@ impl MultiClientRunner {
         run
     }
 
-    fn run_sequential(&self, engine: &dyn QueryEngine, queries: &[QuerySpec]) -> RunMetrics {
+    fn run_sequential(&self, engine: &dyn AdaptiveEngine, ops: &[Operation]) -> RunMetrics {
         let start = Instant::now();
         let mut run = RunMetrics::new();
-        for q in queries {
-            let (_, metrics) = engine.execute(q);
-            run.per_query.push(metrics);
+        for op in ops {
+            let result = engine.execute(*op);
+            run.per_query.push(result.metrics);
         }
         run.wall_clock = start.elapsed();
         run
@@ -139,6 +149,28 @@ mod tests {
                 engine.mismatches().is_empty(),
                 "{clients} clients produced wrong answers"
             );
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_execute_mixed_ops_correctly() {
+        let values = shuffled(4000);
+        let ops = WorkloadGenerator::new(4000, 0.02, Aggregate::Sum, 11).generate_mixed(64, 0.25);
+        assert!(ops.iter().any(Operation::is_write), "workload has writes");
+        for clients in [1, 4] {
+            let engine = Arc::new(CheckedEngine::new(
+                CrackEngine::new(values.clone(), LatchProtocol::Piece),
+                values.clone(),
+            ));
+            let run = MultiClientRunner::new(clients).run_ops(engine.clone(), &ops);
+            assert_eq!(run.query_count(), 64, "{clients} clients");
+            assert_eq!(
+                engine.mismatches(),
+                vec![],
+                "{clients} clients diverged from the oracle"
+            );
+            let totals = run.totals();
+            assert!(totals.inserts_applied + totals.deletes_applied > 0);
         }
     }
 

@@ -80,8 +80,8 @@ pub mod prelude {
     };
     pub use aidx_storage::{generate_unique_shuffled, Catalog, Column, Table};
     pub use aidx_workload::{
-        run_experiment, Approach, ExperimentConfig, MultiClientRunner, ParallelChunkEngine,
-        ParallelRangeEngine, QueryEngine, QuerySpec, WorkloadGenerator,
+        run_experiment, AdaptiveEngine, Approach, ExperimentConfig, MultiClientRunner, Operation,
+        ParallelChunkEngine, ParallelRangeEngine, QuerySpec, WorkloadGenerator,
     };
 }
 

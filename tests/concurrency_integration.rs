@@ -25,7 +25,7 @@ fn all_approaches_return_identical_answers_sequentially() {
     let queries = workload(n, 64, 0.01, Aggregate::Sum);
 
     let scan = ScanEngine::new(values.clone());
-    let engines: Vec<Box<dyn QueryEngine>> = vec![
+    let engines: Vec<Box<dyn AdaptiveEngine>> = vec![
         Box::new(SortEngine::new(values.clone())),
         Box::new(CrackEngine::new(values.clone(), LatchProtocol::Piece)),
         Box::new(CrackEngine::new(values.clone(), LatchProtocol::Column)),
@@ -33,9 +33,9 @@ fn all_approaches_return_identical_answers_sequentially() {
         Box::new(MergeEngine::new(values.clone(), 4096)),
     ];
     for q in &queries {
-        let (expected, _) = scan.execute(q);
+        let (expected, _) = scan.select(q);
         for engine in &engines {
-            let (got, _) = engine.execute(q);
+            let (got, _) = engine.select(q);
             assert_eq!(
                 got,
                 expected,
@@ -89,8 +89,8 @@ fn protocols_converge_to_the_same_index_state() {
     let piece = CrackEngine::new(values.clone(), LatchProtocol::Piece);
     let column = CrackEngine::new(values, LatchProtocol::Column);
     for q in &queries {
-        piece.execute(q);
-        column.execute(q);
+        piece.select(q);
+        column.select(q);
     }
     assert_eq!(
         piece.cracker().crack_count(),
