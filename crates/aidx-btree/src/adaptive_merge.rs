@@ -78,7 +78,7 @@ impl AdaptiveMergeIndex {
             }
             run_partitions.push(pid);
         }
-        let initial_runs = run_partitions.len() as u32;
+        let initial_runs = u32::try_from(run_partitions.len()).unwrap_or(u32::MAX);
         AdaptiveMergeIndex {
             tree,
             run_partitions,

@@ -163,7 +163,7 @@ impl HybridCrackSort {
             let rowids: Vec<RowId> = (0..chunk.len()).map(|i| (base + i) as RowId).collect();
             initial.push(InitialPartition::new(chunk.to_vec(), rowids));
         }
-        let initial_partitions = initial.len() as u32;
+        let initial_partitions = u32::try_from(initial.len()).unwrap_or(u32::MAX);
         HybridCrackSort {
             initial,
             final_keys: Vec::new(),

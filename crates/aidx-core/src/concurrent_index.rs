@@ -27,24 +27,56 @@
 //!   at all. Values never cross crack boundaries, so scanning piece by piece
 //!   and releasing each read latch before the next preserves correctness
 //!   while maximising concurrency.
+//!
+//! # Bounded deltas: compaction and piece shrinking
+//!
+//! Two mechanisms keep the Section 4 pending delta from growing without
+//! bound under sustained writes:
+//!
+//! * **Delta compaction**: once the delta passes a [`CompactionPolicy`]
+//!   threshold, the write that tripped it rebuilds the cracker array from
+//!   `main + pending inserts − tombstones` in one pass as an
+//!   instantly-committing system transaction. The rebuild quiesces the
+//!   index through the piece registry's gate (column-latch regime: the
+//!   exclusive column latch is also taken, making the quiesce visible to
+//!   the protocol's own latch statistics), preserves every existing crack
+//!   value — each pending insert lands inside the piece whose key interval
+//!   contains it and each boundary shifts by the net row movement below
+//!   it, the same fixup `aidx-cracking`'s delta merge applies — and then
+//!   resets the piece-latch registry, since piece start positions changed
+//!   meaning.
+//! * **Delete-aware piece shrinking**: a crack already holds the write
+//!   latch of the piece it reorganises, so before partitioning it sweeps
+//!   rows whose values the delta has tombstoned to the piece's tail, turns
+//!   that tail into a *hole* (dead slots every scan skips), and retires
+//!   the matching tombstones. Because a shrink moves rows between the main
+//!   multiset and the delta domain — the one thing the "main is
+//!   immutable, one delta snapshot suffices" argument relied on — every
+//!   query validates a *shrink epoch* (a seqlock: odd while a reclamation
+//!   is in flight) around its main-phase + delta-snapshot pair and retries
+//!   on a concurrent reclamation; deletes validate the epoch under the
+//!   delta lock before raising a tombstone computed from a possibly-stale
+//!   main count. Holes are reclaimed for good by the next compaction.
 
+use crate::compaction::CompactionPolicy;
 use crate::metrics::QueryMetrics;
 use crate::pending::PendingDelta;
-use crate::piece_registry::PieceLatchRegistry;
+use crate::piece_registry::{OperationGuard, PieceLatchRegistry};
 use crate::protocol::{Aggregate, LatchProtocol, RefinementPolicy};
 use crate::shared_array::SharedCrackerArray;
 use aidx_cracking::{Piece, PieceLookup, PieceMap};
 use aidx_latch::ordered::OrderedWaitLatch;
 use aidx_latch::stats::LatchStatsSnapshot;
 use aidx_latch::systxn::{SystemTxnManager, SystemTxnStats};
-use aidx_storage::Column;
+use aidx_storage::{Column, RowId};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Table-of-contents state guarded by the index latch (a short-held mutex):
-/// the piece map plus an auxiliary position index for piece-walk queries.
+/// the piece map plus an auxiliary position index for piece-walk queries
+/// and the hole ledger for delete-aware piece shrinking.
 #[derive(Debug)]
 struct TocState {
     map: PieceMap,
@@ -52,6 +84,13 @@ struct TocState {
     /// aggregation walk find "the end of the piece starting at position p"
     /// in O(log #cracks).
     crack_positions: BTreeMap<usize, i64>,
+    /// Piece start → dead slots at the piece's *tail*: physically
+    /// reclaimed tombstoned rows that every scan skips, awaiting the next
+    /// compaction. Holes only ever sit at a piece's tail, so the live part
+    /// of piece `[s, e)` with `h` holes is `[s, e − h)`.
+    holes: BTreeMap<usize, usize>,
+    /// Sum of all hole counts (cheap "are there any holes?" probe).
+    total_holes: usize,
 }
 
 impl TocState {
@@ -59,6 +98,8 @@ impl TocState {
         TocState {
             map: PieceMap::new(len),
             crack_positions: BTreeMap::new(),
+            holes: BTreeMap::new(),
+            total_holes: 0,
         }
     }
 
@@ -76,6 +117,44 @@ impl TocState {
             .map(|(&p, _)| p)
             .unwrap_or_else(|| self.map.array_len())
     }
+
+    /// Dead slots at the tail of the piece starting at `piece_start`.
+    fn holes_at(&self, piece_start: usize) -> usize {
+        self.holes.get(&piece_start).copied().unwrap_or(0)
+    }
+
+    /// Dead slots across all pieces starting in `[start, end)`. Valid for
+    /// any `[start, end)` that is a union of whole pieces (hole zones
+    /// never straddle piece boundaries).
+    fn holes_in(&self, start: usize, end: usize) -> usize {
+        self.holes.range(start..end).map(|(_, &h)| h).sum()
+    }
+
+    /// Records `n` freshly swept dead slots at the tail of the piece
+    /// starting at `piece_start`.
+    fn add_holes(&mut self, piece_start: usize, n: usize) {
+        if n > 0 {
+            *self.holes.entry(piece_start).or_insert(0) += n;
+            self.total_holes += n;
+        }
+    }
+
+    /// After a crack split piece `old_start` at `new_start`, the dead tail
+    /// (if any) belongs to the upper sub-piece: move its ledger entry.
+    fn rekey_holes(&mut self, old_start: usize, new_start: usize) {
+        if old_start == new_start {
+            return;
+        }
+        if let Some(h) = self.holes.remove(&old_start) {
+            *self.holes.entry(new_start).or_insert(0) += h;
+        }
+    }
+
+    /// The live (non-hole) extent of the piece starting at `start` and
+    /// physically ending at `end`.
+    fn live_end(&self, start: usize, end: usize) -> usize {
+        end - self.holes_at(start).min(end - start)
+    }
 }
 
 /// How one query bound was resolved.
@@ -88,6 +167,30 @@ enum BoundResolution {
     SkippedInPiece(Piece),
 }
 
+/// The main-array part of one query, produced by the (cracking) plan phase
+/// and consumed — possibly several times, if a concurrent reclamation
+/// forces a retry — by the aggregation phase. Positions stay valid across
+/// retries: cracks never move, and compaction (which would move them) is
+/// excluded by the operation's quiesce-gate guard.
+#[derive(Debug, Clone, Copy)]
+enum MainPlan {
+    /// Both bounds are cracks: aggregate `[start, end)` positionally.
+    Exact {
+        /// First qualifying position.
+        start: usize,
+        /// One past the last qualifying position.
+        end: usize,
+    },
+    /// Refinement was skipped for at least one bound: scan `[start, end)`
+    /// (whole pieces) filtering by the original query bounds.
+    Filtered {
+        /// Start of the first (conservatively included) piece.
+        start: usize,
+        /// End of the last (conservatively included) piece.
+        end: usize,
+    },
+}
+
 /// A cracker index shared by concurrent query threads.
 #[derive(Debug)]
 pub struct ConcurrentCracker {
@@ -97,12 +200,34 @@ pub struct ConcurrentCracker {
     column_latch: OrderedWaitLatch,
     protocol: LatchProtocol,
     policy: RefinementPolicy,
+    compaction: CompactionPolicy,
     systxn: SystemTxnManager,
     delta: PendingDelta,
+    /// Main-multiset version seqlock for piece shrinking: odd while a
+    /// physical reclamation is in flight, bumped to the next even value
+    /// when it completes. Readers snapshot an even value before their main
+    /// phase and retry if it changed by the time their delta snapshot is
+    /// taken; deletes validate it under the delta lock.
+    shrink_epoch: AtomicU64,
+    /// Serialises shrink critical sections so the epoch's odd/even parity
+    /// stays meaningful when cracks on different pieces race.
+    shrink_serial: Mutex<()>,
+    /// Lock-free mirror of the hole ledger's total (the toc mutex holds
+    /// the truth): lets the hot read paths skip the toc lock entirely in
+    /// the common hole-free state. Readers that race a shrink making it
+    /// stale are caught by the shrink-epoch validation.
+    hole_rows: AtomicU64,
+    /// Next row id handed to a compacted-in pending insert (survivor rows
+    /// keep their original ids).
+    next_rowid: AtomicU64,
     queries: AtomicU64,
     cracks: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
+    compactions: AtomicU64,
+    pending_compacted: AtomicU64,
+    tombstones_reclaimed: AtomicU64,
+    shrinks: AtomicU64,
 }
 
 impl ConcurrentCracker {
@@ -122,12 +247,21 @@ impl ConcurrentCracker {
             column_latch: OrderedWaitLatch::new(),
             protocol,
             policy: RefinementPolicy::Always,
+            compaction: CompactionPolicy::disabled(),
             systxn: SystemTxnManager::new(),
             delta: PendingDelta::new(),
+            shrink_epoch: AtomicU64::new(0),
+            shrink_serial: Mutex::new(()),
+            hole_rows: AtomicU64::new(0),
+            next_rowid: AtomicU64::new(len as u64),
             queries: AtomicU64::new(0),
             cracks: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            pending_compacted: AtomicU64::new(0),
+            tombstones_reclaimed: AtomicU64::new(0),
+            shrinks: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +269,25 @@ impl ConcurrentCracker {
     pub fn with_policy(mut self, policy: RefinementPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Sets the delta compaction policy (builder style). The default is
+    /// [`CompactionPolicy::disabled`], which reproduces the unbounded
+    /// pre-compaction delta exactly.
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
+        self.compaction = compaction;
+        self
+    }
+
+    /// Sets the delta compaction policy on an existing (exclusively owned)
+    /// index.
+    pub fn set_compaction(&mut self, compaction: CompactionPolicy) {
+        self.compaction = compaction;
+    }
+
+    /// The delta compaction policy in use.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.compaction
     }
 
     /// Number of entries in the fixed main array. Pending inserted rows and
@@ -149,11 +302,15 @@ impl ConcurrentCracker {
         self.data.is_empty()
     }
 
-    /// Logical row count: main array plus pending inserts minus tombstoned
-    /// rows (both delta counters read in one consistent snapshot).
+    /// Logical row count: live main-array rows (holes excluded) plus
+    /// pending inserts minus tombstoned rows. The delta counters are read
+    /// in one consistent snapshot; the hole count is read separately, so
+    /// the value is exact only in quiescence (like every other aggregate
+    /// accessor here).
     pub fn logical_len(&self) -> u64 {
+        let live = self.data.len() - self.toc.lock().total_holes;
         let (pending, tombstoned) = self.delta.counters();
-        self.data.len() as u64 + pending - tombstoned
+        live as u64 + pending - tombstoned
     }
 
     /// The latch protocol in use.
@@ -201,6 +358,42 @@ impl ConcurrentCracker {
         self.delta.tombstoned_rows()
     }
 
+    /// Rows currently sitting in the delta: pending inserts plus
+    /// tombstones, the quantity the [`CompactionPolicy`] bounds.
+    pub fn delta_rows(&self) -> u64 {
+        let (pending, tombstoned) = self.delta.counters();
+        pending + tombstoned
+    }
+
+    /// Delta compactions (whole-array rebuilds) performed so far.
+    pub fn compactions_performed(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Pending inserted rows physically merged into the main array by
+    /// compactions so far.
+    pub fn pending_rows_compacted(&self) -> u64 {
+        self.pending_compacted.load(Ordering::Relaxed)
+    }
+
+    /// Tombstoned rows physically reclaimed so far, by piece shrinks and
+    /// compactions together.
+    pub fn tombstones_reclaimed(&self) -> u64 {
+        self.tombstones_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Delete-aware piece shrinks performed so far (cracks that swept
+    /// tombstoned rows out of their piece).
+    pub fn piece_shrinks(&self) -> u64 {
+        self.shrinks.load(Ordering::Relaxed)
+    }
+
+    /// Dead (hole) slots currently awaiting reclamation by the next
+    /// compaction.
+    pub fn hole_count(&self) -> usize {
+        self.toc.lock().total_holes
+    }
+
     /// Merged latch statistics: piece latches plus the column latch.
     pub fn latch_stats(&self) -> LatchStatsSnapshot {
         let mut stats = self.registry.stats();
@@ -228,18 +421,22 @@ impl ConcurrentCracker {
     }
 
     /// Inserts one row with the given key. The row lands in the pending
-    /// delta (the main cracker array has a fixed footprint) and is folded
-    /// into every subsequent query's answer.
+    /// delta (the main cracker array keeps its footprint between
+    /// compactions) and is folded into every subsequent query's answer; if
+    /// the insert pushes the delta past the compaction threshold, this
+    /// write pays for the rebuild.
     pub fn insert(&self, value: i64) -> QueryMetrics {
         let start = Instant::now();
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.delta.insert(value);
-        QueryMetrics {
+        let delta_rows = self.delta.insert(value);
+        let mut metrics = QueryMetrics {
             inserts_applied: 1,
             result_count: 1,
-            total: start.elapsed(),
             ..QueryMetrics::default()
-        }
+        };
+        self.maybe_compact_with(delta_rows, &mut metrics);
+        metrics.total = start.elapsed();
+        metrics
     }
 
     /// Deletes every row whose key equals `value`, returning how many rows
@@ -257,33 +454,62 @@ impl ConcurrentCracker {
             deletes_applied: 1,
             ..QueryMetrics::default()
         };
-        // The main multiset is immutable, so this count is independent of
-        // any concurrent delta activity and safe to take before the delta
-        // step.
-        let main_occurrences = if self.data.is_empty() {
-            0
-        } else {
-            self.main_count_exact(value, value.checked_add(1), &mut metrics)
+        let (from_pending, newly) = {
+            let _op = self.enter_if_compactable();
+            if self.data.is_empty() {
+                self.delta.apply_delete(value, 0)
+            } else {
+                // The main count is exact only against a main multiset no
+                // reclamation has touched since it was taken: validate the
+                // shrink epoch under the delta lock and recount on a race
+                // (the bounds are cracks after the first pass, so a retry
+                // is a pure position lookup).
+                let (from_pending, newly) = loop {
+                    let epoch = self.stable_shrink_epoch();
+                    let occurrences =
+                        self.main_count_exact(value, value.checked_add(1), &mut metrics);
+                    let applied = self.delta.apply_delete_validated(value, occurrences, || {
+                        self.shrink_epoch.load(Ordering::Acquire) == epoch
+                    });
+                    if let Some(result) = applied {
+                        break result;
+                    }
+                };
+                if newly > 0 {
+                    // The delete's own cracks made the doomed rows
+                    // contiguous: re-latch that piece and sweep them out
+                    // right away (delete-aware piece shrinking), retiring
+                    // the tombstones this very delete raised.
+                    self.reclaim_key_piece(value, &mut metrics);
+                }
+                (from_pending, newly)
+            }
         };
-        let (from_pending, newly) = self.delta.apply_delete(value, main_occurrences);
         let removed = from_pending + newly;
         metrics.result_count = removed;
+        self.maybe_compact(&mut metrics);
         metrics.total = start.elapsed();
         (removed, metrics)
     }
 
-    /// Exact positional count of main-array rows in `[low, high)` (or
-    /// `[low, +∞)` when `high` is `None`, the `low == i64::MAX` case).
+    /// Exact positional count of *live* main-array rows in `[low, high)`
+    /// (or `[low, +∞)` when `high` is `None`, the `low == i64::MAX` case).
     /// Always refines the bounds into cracks — deletes are mandatory
     /// writes, so conflict avoidance does not apply — which makes the
-    /// count purely positional, with no data access at all.
+    /// count purely positional (minus the hole ledger), with no data
+    /// access at all.
     fn main_count_exact(&self, low: i64, high: Option<i64>, metrics: &mut QueryMetrics) -> u64 {
         let a = self.force_bound(low, metrics);
         let b = match high {
             Some(h) => self.force_bound(h, metrics),
             None => self.data.len(),
         };
-        (b - a) as u64
+        let holes = if self.hole_rows.load(Ordering::Acquire) == 0 {
+            0
+        } else {
+            self.toc.lock().holes_in(a, b)
+        };
+        (b - a - holes) as u64
     }
 
     /// Ensures a crack exists at `bound` under the active latch protocol,
@@ -328,20 +554,46 @@ impl ConcurrentCracker {
             metrics.total = start.elapsed();
             return (0, metrics);
         }
-        let main = if self.data.is_empty() {
-            0
-        } else {
-            match self.protocol {
-                LatchProtocol::Piece => self.run_piece(low, high, agg, &mut metrics),
-                LatchProtocol::Column | LatchProtocol::None => {
-                    self.run_column(low, high, agg, &mut metrics)
+        // Register with the quiesce gate for the whole operation: positions
+        // resolved by the plan phase stay valid because no compaction can
+        // rebuild the array underneath us.
+        let (main, adjust) = {
+            let _op = self.enter_if_compactable();
+            let plan = if self.data.is_empty() {
+                None
+            } else {
+                Some(match self.protocol {
+                    LatchProtocol::Piece => self.plan_piece(low, high, &mut metrics),
+                    LatchProtocol::Column | LatchProtocol::None => {
+                        self.plan_column(low, high, &mut metrics)
+                    }
+                })
+            };
+            // Fold in the pending delta: logical contents are always
+            // `live main + pending inserts − tombstones`. The main multiset
+            // changes only through epoch-stamped reclamations (piece
+            // shrinks), so a (main phase, delta snapshot) pair taken at one
+            // stable epoch is consistent; on an epoch change, re-read —
+            // bounds are already cracks, so a retry is a cheap re-scan.
+            loop {
+                let epoch = self.stable_shrink_epoch();
+                let mut attempt = QueryMetrics::default();
+                let main = match plan {
+                    Some(plan) => self.aggregate_main(plan, low, high, agg, &mut attempt),
+                    None => 0,
+                };
+                let adjust = self.delta.adjust(low, high);
+                if self.shrink_epoch.load(Ordering::Acquire) == epoch {
+                    metrics.accumulate(&attempt);
+                    break (main, adjust);
                 }
+                // A reclamation raced the read: keep the failed attempt's
+                // latch timing honest, discard its counts, and retry.
+                metrics.wait_time += attempt.wait_time;
+                metrics.aggregate_time += attempt.aggregate_time;
+                metrics.conflicts = metrics.conflicts.saturating_add(attempt.conflicts);
             }
         };
-        // Fold in the pending delta: logical contents are always
-        // `main + pending inserts − tombstones`, and the main multiset is
-        // immutable, so one consistent delta snapshot suffices.
-        let adjust = self.delta.adjust(low, high);
         let result = match agg {
             Aggregate::Count => main + adjust.insert_count as i128 - adjust.tombstone_count as i128,
             Aggregate::Sum => main + adjust.insert_sum - adjust.tombstone_sum,
@@ -354,77 +606,127 @@ impl ConcurrentCracker {
         (result, metrics)
     }
 
+    /// Waits for (and returns) an even shrink epoch: no physical
+    /// reclamation in flight. Reclamation windows are short — one piece
+    /// sweep plus two map updates — so yielding is enough.
+    fn stable_shrink_epoch(&self) -> u64 {
+        loop {
+            let epoch = self.shrink_epoch.load(Ordering::Acquire);
+            if epoch.is_multiple_of(2) {
+                return epoch;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Aggregates one query's main-array contribution according to its
+    /// plan. Safe to call repeatedly (seqlock retries): it only reads.
+    fn aggregate_main(
+        &self,
+        plan: MainPlan,
+        low: i64,
+        high: i64,
+        agg: Aggregate,
+        metrics: &mut QueryMetrics,
+    ) -> i128 {
+        let (start, end, filter) = match plan {
+            MainPlan::Exact { start, end } => (start, end, None),
+            MainPlan::Filtered { start, end } => (start, end, Some((low, high))),
+        };
+        if start >= end {
+            return 0;
+        }
+        // A fully-resolved count is purely positional: range width minus
+        // the dead slots recorded in the hole ledger, no data access — and
+        // no toc lock at all in the common hole-free state (a racing
+        // shrink that invalidates the lock-free probe is caught by the
+        // caller's epoch validation).
+        if filter.is_none() && agg == Aggregate::Count {
+            let count = if self.hole_rows.load(Ordering::Acquire) == 0 {
+                (end - start) as u64
+            } else {
+                let toc = self.toc.lock();
+                (end - start - toc.holes_in(start, end)) as u64
+            };
+            metrics.result_count += count;
+            return count as i128;
+        }
+        match self.protocol {
+            LatchProtocol::Piece => self.walk_aggregate(start, end, filter, agg, metrics),
+            LatchProtocol::Column | LatchProtocol::None => self.aggregate_column(
+                start,
+                end,
+                filter,
+                agg,
+                metrics,
+                self.protocol != LatchProtocol::None,
+            ),
+        }
+    }
+
     // ----- column-latch (and latch-free) protocol ------------------------
 
-    fn run_column(&self, low: i64, high: i64, agg: Aggregate, metrics: &mut QueryMetrics) -> i128 {
+    /// Crack-select phase under the column write latch: resolves both
+    /// bounds into cracks, or falls back to a conservative filtered plan
+    /// when conflict avoidance skips the refinement.
+    fn plan_column(&self, low: i64, high: i64, metrics: &mut QueryMetrics) -> MainPlan {
         let latched = self.protocol != LatchProtocol::None;
-
-        // Crack-select phase under the column write latch.
         let mut skipped = false;
-        let (a, b) = {
-            let guard = if latched {
-                match self.policy {
-                    RefinementPolicy::Always => {
-                        let g = self.column_latch.acquire_write(low);
-                        Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
-                        Some(g)
-                    }
-                    RefinementPolicy::SkipOnContention => {
-                        match self.column_latch.try_acquire_write() {
-                            Some(g) => Some(g),
-                            None => {
-                                skipped = true;
-                                None
-                            }
-                        }
-                    }
+        let guard = if latched {
+            match self.policy {
+                RefinementPolicy::Always => {
+                    let g = self.column_latch.acquire_write(low);
+                    Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
+                    Some(g)
                 }
-            } else {
-                None
-            };
-
-            if skipped {
-                metrics.refinements_skipped += 2;
-                self.systxn.begin(2).abandon();
-                // Fall back to a filtered scan of the conservative range.
-                let (lo_piece, hi_piece) = {
-                    let toc = self.toc.lock();
-                    (toc.map.piece_for_value(low), toc.map.piece_for_value(high))
-                };
-                drop(guard);
-                return self.aggregate_column(
-                    lo_piece.start,
-                    hi_piece.end,
-                    Some((low, high)),
-                    agg,
-                    metrics,
-                    latched,
-                );
+                RefinementPolicy::SkipOnContention => match self.column_latch.try_acquire_write() {
+                    Some(g) => Some(g),
+                    None => {
+                        skipped = true;
+                        None
+                    }
+                },
             }
-
-            let crack_start = Instant::now();
-            let (a, cracked_low) = self.crack_bound_locked(low);
-            let (b, cracked_high) = self.crack_bound_locked(high);
-            let planned = u32::from(cracked_low) + u32::from(cracked_high);
-            if planned > 0 {
-                let mut txn = self.systxn.begin(planned);
-                for _ in 0..planned {
-                    txn.complete_step();
-                }
-                txn.commit();
-                metrics.crack_time += crack_start.elapsed();
-                metrics.cracks_performed += planned;
-                self.cracks.fetch_add(planned as u64, Ordering::Relaxed);
-            }
-            drop(guard);
-            (a, b)
+        } else {
+            None
         };
 
-        self.aggregate_column(a, b, None, agg, metrics, latched)
+        if skipped {
+            metrics.refinements_skipped += 2;
+            self.systxn.begin(2).abandon();
+            // Fall back to a filtered scan of the conservative range.
+            let (lo_piece, hi_piece) = {
+                let toc = self.toc.lock();
+                (toc.map.piece_for_value(low), toc.map.piece_for_value(high))
+            };
+            return MainPlan::Filtered {
+                start: lo_piece.start,
+                end: hi_piece.end,
+            };
+        }
+
+        let crack_start = Instant::now();
+        let (a, cracked_low) = self.crack_bound_locked(low);
+        let (b, cracked_high) = self.crack_bound_locked(high);
+        let planned = u32::from(cracked_low) + u32::from(cracked_high);
+        if planned > 0 {
+            let mut txn = self.systxn.begin(planned);
+            for _ in 0..planned {
+                txn.complete_step();
+            }
+            txn.commit();
+            metrics.crack_time += crack_start.elapsed();
+            metrics.cracks_performed += planned;
+            self.cracks.fetch_add(planned as u64, Ordering::Relaxed);
+        }
+        drop(guard);
+        MainPlan::Exact { start: a, end: b }
     }
 
     /// Resolves one bound while the caller holds exclusive access to the
     /// whole column (column write latch, or single-threaded execution).
+    /// Sweeps reclaimable tombstoned rows out of the piece first — the
+    /// exclusive access is exactly the write latch piece shrinking needs.
     fn crack_bound_locked(&self, bound: i64) -> (usize, bool) {
         let piece = {
             let toc = self.toc.lock();
@@ -433,8 +735,11 @@ impl ConcurrentCracker {
                 PieceLookup::NeedsCrack(p) => p,
             }
         };
-        let pos = self.data.crack_in_two_range(piece.start, piece.end, bound);
-        self.toc.lock().add_crack(bound, pos);
+        let live_end = self.shrink_piece_locked(&piece);
+        let pos = self.data.crack_in_two_range(piece.start, live_end, bound);
+        let mut toc = self.toc.lock();
+        toc.add_crack(bound, pos);
+        toc.rekey_holes(piece.start, pos);
         (pos, true)
     }
 
@@ -447,10 +752,6 @@ impl ConcurrentCracker {
         metrics: &mut QueryMetrics,
         latched: bool,
     ) -> i128 {
-        // A fully-resolved count needs no data access at all.
-        if filter.is_none() && agg == Aggregate::Count {
-            return (end - start) as i128;
-        }
         let guard = if latched {
             let g = self.column_latch.acquire_read();
             Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
@@ -459,32 +760,80 @@ impl ConcurrentCracker {
             None
         };
         let agg_start = Instant::now();
-        let result = match (agg, filter) {
-            (Aggregate::Count, None) => (end - start) as i128,
-            (Aggregate::Count, Some((lo, hi))) => {
-                let c = self.data.count_filtered(start, end, lo, hi);
-                c as i128
-            }
-            (Aggregate::Sum, None) => {
-                metrics.result_count += (end - start) as u64;
-                self.data.sum_range(start, end)
-            }
-            (Aggregate::Sum, Some((lo, hi))) => {
-                metrics.result_count += self.data.count_filtered(start, end, lo, hi);
-                self.data.sum_filtered(start, end, lo, hi)
-            }
+        // The hole layout is frozen while we hold the column read latch
+        // (shrinks run only under the column *write* latch), so one probe
+        // decides between the single-pass scan and the hole-skipping walk.
+        // `[start, end)` is a union of whole pieces, so the range-scoped
+        // probe is exact: holes elsewhere in the array don't matter here.
+        let any_holes =
+            self.hole_rows.load(Ordering::Acquire) != 0 && self.toc.lock().holes_in(start, end) > 0;
+        let (count, acc) = if any_holes {
+            self.scan_pieces(start, end, filter, agg)
+        } else {
+            self.aggregate_range(start, end, filter, agg)
         };
         metrics.aggregate_time += agg_start.elapsed();
         drop(guard);
-        if agg == Aggregate::Count {
-            metrics.result_count += result as u64;
+        metrics.result_count += count;
+        match agg {
+            Aggregate::Count => count as i128,
+            Aggregate::Sum => acc,
         }
-        result
+    }
+
+    /// Aggregates one contiguous, hole-free live range: `(qualifying row
+    /// count, sum)`. The single definition the column scan, the piece
+    /// walk, and the hole-skipping scan all dispatch through. Caller holds
+    /// latches covering the range.
+    fn aggregate_range(
+        &self,
+        start: usize,
+        end: usize,
+        filter: Option<(i64, i64)>,
+        agg: Aggregate,
+    ) -> (u64, i128) {
+        match (agg, filter) {
+            (Aggregate::Count, None) => ((end - start) as u64, 0),
+            (Aggregate::Count, Some((lo, hi))) => (self.data.count_filtered(start, end, lo, hi), 0),
+            (Aggregate::Sum, None) => ((end - start) as u64, self.data.sum_range(start, end)),
+            (Aggregate::Sum, Some((lo, hi))) => (
+                self.data.count_filtered(start, end, lo, hi),
+                self.data.sum_filtered(start, end, lo, hi),
+            ),
+        }
+    }
+
+    /// Piece-by-piece scan of `[start, end)` (whole pieces) that skips each
+    /// piece's dead tail. Caller holds latches covering the range.
+    fn scan_pieces(
+        &self,
+        start: usize,
+        end: usize,
+        filter: Option<(i64, i64)>,
+        agg: Aggregate,
+    ) -> (u64, i128) {
+        let mut count = 0u64;
+        let mut acc = 0i128;
+        let mut pos = start;
+        while pos < end {
+            let (piece_end, live_end) = {
+                let toc = self.toc.lock();
+                let piece_end = toc.piece_end_after(pos).min(end);
+                (piece_end, toc.live_end(pos, piece_end))
+            };
+            let (c, a) = self.aggregate_range(pos, live_end, filter, agg);
+            count += c;
+            acc += a;
+            pos = piece_end;
+        }
+        (count, acc)
     }
 
     // ----- piece-latch protocol -------------------------------------------
 
-    fn run_piece(&self, low: i64, high: i64, agg: Aggregate, metrics: &mut QueryMetrics) -> i128 {
+    /// Bound-resolution phase under piece latches, producing the plan the
+    /// aggregation walk executes.
+    fn plan_piece(&self, low: i64, high: i64, metrics: &mut QueryMetrics) -> MainPlan {
         let r_low = self.resolve_bound_piece(low, metrics);
         let r_high = self.resolve_bound_piece(high, metrics);
 
@@ -505,11 +854,7 @@ impl ConcurrentCracker {
 
         match (r_low, r_high) {
             (BoundResolution::Exact(a), BoundResolution::Exact(b)) => {
-                if agg == Aggregate::Count {
-                    metrics.result_count += (b - a) as u64;
-                    return (b - a) as i128;
-                }
-                self.walk_aggregate(a, b, None, agg, metrics)
+                MainPlan::Exact { start: a, end: b }
             }
             (r_low, r_high) => {
                 let start = match r_low {
@@ -520,7 +865,7 @@ impl ConcurrentCracker {
                     BoundResolution::Exact(p) => p,
                     BoundResolution::SkippedInPiece(piece) => piece.end,
                 };
-                self.walk_aggregate(start, end, Some((low, high)), agg, metrics)
+                MainPlan::Filtered { start, end }
             }
         }
     }
@@ -584,12 +929,17 @@ impl ConcurrentCracker {
                 continue;
             }
 
-            // We hold the write latch of the piece the bound falls in: crack.
+            // We hold the write latch of the piece the bound falls in:
+            // sweep reclaimable tombstoned rows to its tail, then crack the
+            // live range.
             let crack_start = Instant::now();
-            let pos = self
-                .data
-                .crack_in_two_range(current.start, current.end, bound);
-            self.toc.lock().add_crack(bound, pos);
+            let live_end = self.shrink_piece_locked(&current);
+            let pos = self.data.crack_in_two_range(current.start, live_end, bound);
+            {
+                let mut toc = self.toc.lock();
+                toc.add_crack(bound, pos);
+                toc.rekey_holes(current.start, pos);
+            }
             metrics.crack_time += crack_start.elapsed();
             metrics.cracks_performed += 1;
             self.cracks.fetch_add(1, Ordering::Relaxed);
@@ -598,10 +948,112 @@ impl ConcurrentCracker {
         }
     }
 
+    /// Re-latches the piece whose key interval contains `value` and sweeps
+    /// its tombstoned rows out (called after a delete raised tombstones:
+    /// the delete's bound cracks left `value`'s rows contiguous in exactly
+    /// one piece, since no crack value can lie strictly between `value`
+    /// and `value + 1`).
+    fn reclaim_key_piece(&self, value: i64, metrics: &mut QueryMetrics) {
+        match self.protocol {
+            LatchProtocol::Piece => loop {
+                let piece = self.toc.lock().map.piece_for_value(value);
+                let latch = self.registry.latch_for(piece.start);
+                let guard = latch.acquire_write(value);
+                Self::note_wait(
+                    metrics,
+                    guard.outcome().wait_time(),
+                    guard.outcome().contended(),
+                );
+                // Bound re-evaluation, as for any piece-latch acquisition.
+                let current = self.toc.lock().map.piece_for_value(value);
+                if current.start != piece.start {
+                    drop(guard);
+                    continue;
+                }
+                self.shrink_piece_locked(&current);
+                drop(guard);
+                return;
+            },
+            LatchProtocol::Column => {
+                let guard = self.column_latch.acquire_write(value);
+                Self::note_wait(
+                    metrics,
+                    guard.outcome().wait_time(),
+                    guard.outcome().contended(),
+                );
+                let piece = self.toc.lock().map.piece_for_value(value);
+                self.shrink_piece_locked(&piece);
+                drop(guard);
+            }
+            LatchProtocol::None => {
+                let piece = self.toc.lock().map.piece_for_value(value);
+                self.shrink_piece_locked(&piece);
+            }
+        }
+    }
+
+    /// Delete-aware piece shrinking (the caller holds the write latch — or
+    /// exclusive column access — covering `piece`): moves every row the
+    /// delta has tombstoned out of the piece's live range into its dead
+    /// tail, retires the matching tombstones, and records the new holes.
+    /// Returns the piece's live end, whether or not anything was swept.
+    ///
+    /// The reclamation is stamped with the shrink epoch (odd while in
+    /// flight) so concurrent readers and deletes — whose main phase and
+    /// delta snapshot are taken under different locks — detect that rows
+    /// moved between the main multiset and the delta domain and retry.
+    fn shrink_piece_locked(&self, piece: &Piece) -> usize {
+        // Fast path for the read-only steady state: two lock-free probes
+        // and no mutex at all. This piece's holes cannot change under our
+        // write latch (a prior shrink of it released that same latch, so
+        // its `hole_rows` increment is visible to us), and a stale
+        // tombstone miss merely defers reclamation to a later crack.
+        let live_end = if self.hole_rows.load(Ordering::Acquire) == 0 {
+            piece.end
+        } else {
+            let toc = self.toc.lock();
+            toc.live_end(piece.start, piece.end)
+        };
+        if !self.delta.has_tombstones() {
+            return live_end;
+        }
+        let doomed = self.delta.tombstones_in(piece.low_value, piece.high_value);
+        if doomed.is_empty() {
+            return live_end;
+        }
+        // Serialise reclamations so epoch parity stays meaningful when
+        // cracks on different pieces race.
+        let _serial = self.shrink_serial.lock();
+        self.shrink_epoch.fetch_add(1, Ordering::AcqRel); // odd: in flight
+        let mut budget = doomed.clone();
+        let new_live_end = self
+            .data
+            .sweep_tombstoned(piece.start, live_end, &mut budget);
+        let moved = live_end - new_live_end;
+        if moved > 0 {
+            let consumed: BTreeMap<i64, u64> = doomed
+                .iter()
+                .map(|(&v, &n)| (v, n - budget.get(&v).copied().unwrap_or(0)))
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            let retired = self.delta.retire_tombstones(&consumed);
+            debug_assert_eq!(retired as usize, moved, "tombstones are exact");
+            self.toc.lock().add_holes(piece.start, moved);
+            // Mirror the ledger total before the epoch goes even again, so
+            // a reader whose epoch validates also saw a current mirror.
+            self.hole_rows.fetch_add(moved as u64, Ordering::Release);
+            self.shrinks.fetch_add(1, Ordering::Relaxed);
+            self.tombstones_reclaimed
+                .fetch_add(moved as u64, Ordering::Relaxed);
+        }
+        self.shrink_epoch.fetch_add(1, Ordering::AcqRel); // even: done
+        new_live_end
+    }
+
     /// Aggregates over `[start, end)` piece by piece, holding each piece's
-    /// read latch only while scanning it. `filter` carries the original
-    /// query bounds when refinement was skipped and exact filtering is
-    /// required.
+    /// read latch only while scanning it (and skipping each piece's dead
+    /// tail). `filter` carries the original query bounds when refinement
+    /// was skipped and exact filtering is required.
     fn walk_aggregate(
         &self,
         start: usize,
@@ -621,25 +1073,15 @@ impl ConcurrentCracker {
                 guard.outcome().wait_time(),
                 guard.outcome().contended(),
             );
-            let piece_end = {
+            let (piece_end, live_end) = {
                 let toc = self.toc.lock();
-                toc.piece_end_after(pos).min(end)
+                let piece_end = toc.piece_end_after(pos).min(end);
+                (piece_end, toc.live_end(pos, piece_end))
             };
             let agg_start = Instant::now();
-            match (agg, filter) {
-                (Aggregate::Count, None) => count += (piece_end - pos) as u64,
-                (Aggregate::Count, Some((lo, hi))) => {
-                    count += self.data.count_filtered(pos, piece_end, lo, hi)
-                }
-                (Aggregate::Sum, None) => {
-                    count += (piece_end - pos) as u64;
-                    acc += self.data.sum_range(pos, piece_end);
-                }
-                (Aggregate::Sum, Some((lo, hi))) => {
-                    count += self.data.count_filtered(pos, piece_end, lo, hi);
-                    acc += self.data.sum_filtered(pos, piece_end, lo, hi);
-                }
-            }
+            let (c, a) = self.aggregate_range(pos, live_end, filter, agg);
+            count += c;
+            acc += a;
             metrics.aggregate_time += agg_start.elapsed();
             drop(guard);
             pos = piece_end;
@@ -658,8 +1100,174 @@ impl ConcurrentCracker {
         }
     }
 
-    /// Verifies piece/array consistency. Only meaningful when no other
-    /// thread is using the index (tests call this after joining workers).
+    // ----- delta compaction ------------------------------------------------
+
+    /// Registers the operation with the quiesce gate — but only when a
+    /// policy-triggered compaction could actually rebuild the array
+    /// underneath it. With compaction disabled (the default) the gate is
+    /// skipped entirely, so the measured latch protocols pay no extra
+    /// shared-cache-line traffic per operation; the policy is fixed
+    /// before the index is shared (`with_compaction`/`set_compaction`
+    /// need ownership), so the decision cannot flip mid-flight.
+    fn enter_if_compactable(&self) -> Option<OperationGuard<'_>> {
+        self.compaction.is_enabled().then(|| self.registry.enter())
+    }
+
+    /// Forces a compaction now (regardless of policy): rebuilds the main
+    /// array from `live main + pending inserts − tombstones` under full
+    /// quiescence. Returns true if a rebuild happened (false when there
+    /// was nothing to reclaim). Ordinary operation goes through the policy
+    /// trigger instead; this entry point serves tests and administrative
+    /// maintenance.
+    ///
+    /// With the compaction policy *disabled*, ordinary operations do not
+    /// register with the quiesce gate (see
+    /// [`ConcurrentCracker::enter_if_compactable`]), so a forced
+    /// compaction then requires the caller to guarantee quiescence — no
+    /// concurrent operations — exactly like
+    /// [`ConcurrentCracker::check_invariants`].
+    pub fn compact(&self) -> bool {
+        let mut metrics = QueryMetrics::default();
+        self.compact_now(&mut metrics, None)
+    }
+
+    /// Policy trigger: compact if the delta outgrew the configured
+    /// threshold. Called at the end of every write, after the write's own
+    /// quiesce-gate guard (if any) is released.
+    fn maybe_compact(&self, metrics: &mut QueryMetrics) {
+        if !self.compaction.is_enabled() {
+            return;
+        }
+        self.maybe_compact_with(self.delta_rows(), metrics);
+    }
+
+    /// As [`ConcurrentCracker::maybe_compact`], with the delta row count
+    /// already in hand (inserts get it back from the delta update itself,
+    /// saving a second delta-lock acquisition per write).
+    fn maybe_compact_with(&self, delta_rows: u64, metrics: &mut QueryMetrics) {
+        if !self.compaction.is_enabled() {
+            return;
+        }
+        if !self.compaction.should_compact(delta_rows, self.data.len()) {
+            return;
+        }
+        self.compact_now(metrics, Some(self.compaction));
+    }
+
+    /// Quiesces the index and rebuilds the main array. When `recheck` is
+    /// set, the trigger condition is re-evaluated under the quiesce guard:
+    /// racing writes all observe the same overgrown delta, but only the
+    /// first one through the gate pays for the rebuild.
+    fn compact_now(&self, metrics: &mut QueryMetrics, recheck: Option<CompactionPolicy>) -> bool {
+        let start = Instant::now();
+        let quiesce = self.registry.quiesce();
+        let delta_rows = self.delta_rows();
+        if let Some(policy) = recheck {
+            if !policy.should_compact(delta_rows, self.data.len()) {
+                return false;
+            }
+        } else if delta_rows == 0 && self.toc.lock().total_holes == 0 {
+            return false;
+        }
+        // Column-latch regime: the quiesce is also expressed through the
+        // protocol's own latch, so the exclusive window shows up in the
+        // column latch statistics like any other structural change.
+        let column_guard = (self.protocol == LatchProtocol::Column)
+            .then(|| self.column_latch.acquire_write(i64::MIN));
+        // The rebuild is one instantly-committing system transaction.
+        let mut txn = self.systxn.begin(1);
+        let (merged, reclaimed) = self.rebuild_from_delta();
+        txn.complete_step();
+        txn.commit();
+        // Piece start positions changed meaning: stale piece latches must
+        // not be reused.
+        self.registry.reset_latches();
+        drop(column_guard);
+        drop(quiesce);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.pending_compacted.fetch_add(merged, Ordering::Relaxed);
+        self.tombstones_reclaimed
+            .fetch_add(reclaimed, Ordering::Relaxed);
+        metrics.compactions_performed += 1;
+        metrics.compaction_time += start.elapsed();
+        true
+    }
+
+    /// The rebuild pass (caller holds the quiesce guard): drains the
+    /// delta, then walks the pieces in position order copying live rows
+    /// (skipping dead tails), dropping each piece's tombstoned rows, and
+    /// appending each pending insert to the piece whose key interval
+    /// contains it — so every existing crack value survives, its position
+    /// shifted by the net row movement below it, exactly the boundary
+    /// fixup `PieceMap::apply_insert_batch`/`apply_delete` perform for the
+    /// single-threaded cracker's delta merge. Returns `(pending rows
+    /// merged, tombstoned rows dropped)`.
+    fn rebuild_from_delta(&self) -> (u64, u64) {
+        let drained = self.delta.drain();
+        let mut toc = self.toc.lock();
+        let pieces = toc.map.pieces();
+        let old_len = self.data.len();
+        let new_len = (old_len - toc.total_holes + drained.pending_inserts as usize)
+            .saturating_sub(drained.tombstoned_rows as usize);
+        let mut tombstones = drained.tombstones.clone();
+        let mut inserts = drained
+            .inserts
+            .iter()
+            .flat_map(|(&v, &n)| std::iter::repeat_n(v, n as usize))
+            .peekable();
+        let mut values = Vec::with_capacity(new_len);
+        let mut rowids = Vec::with_capacity(new_len);
+        let mut cracks: Vec<(i64, usize)> = Vec::with_capacity(pieces.len().saturating_sub(1));
+        for piece in &pieces {
+            let live_end = toc.live_end(piece.start, piece.end);
+            let piece_values = self.data.values_in_range(piece.start, live_end);
+            let piece_rowids = self.data.rowids_in_range(piece.start, live_end);
+            for (v, rid) in piece_values.into_iter().zip(piece_rowids) {
+                if let Some(budget) = tombstones.get_mut(&v) {
+                    if *budget > 0 {
+                        *budget -= 1;
+                        continue;
+                    }
+                }
+                values.push(v);
+                rowids.push(rid);
+            }
+            while let Some(&v) = inserts.peek() {
+                if piece.high_value.is_none_or(|hv| v < hv) {
+                    values.push(v);
+                    rowids.push(self.next_rowid.fetch_add(1, Ordering::Relaxed) as RowId);
+                    inserts.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some(high_value) = piece.high_value {
+                cracks.push((high_value, values.len()));
+            }
+        }
+        debug_assert!(
+            tombstones.values().all(|&n| n == 0),
+            "tombstone counts are exact, so every one finds its rows"
+        );
+        debug_assert!(inserts.peek().is_none(), "every pending insert placed");
+        let rebuilt_len = values.len();
+        self.data.replace(values, rowids);
+        let mut fresh = TocState::new(rebuilt_len);
+        for (value, position) in cracks {
+            fresh.add_crack(value, position);
+        }
+        *toc = fresh;
+        // The rebuild reclaimed every hole (quiesced, so no reader races
+        // the mirror reset).
+        self.hole_rows.store(0, Ordering::Release);
+        (drained.pending_inserts, drained.tombstoned_rows)
+    }
+
+    /// Verifies piece/array consistency: the piece map's structure, the
+    /// value bounds of every piece's *live* range (dead tails hold stale
+    /// values by design), and the hole ledger (each hole zone fits inside
+    /// its piece; totals agree). Only meaningful when no other thread is
+    /// using the index (tests call this after joining workers).
     pub fn check_invariants(&self) -> bool {
         let toc = self.toc.lock();
         if !toc.map.check_invariants() {
@@ -669,8 +1277,13 @@ impl ConcurrentCracker {
         if values.len() != rowids.len() {
             return false;
         }
-        for piece in toc.map.pieces() {
-            for &v in &values[piece.start..piece.end] {
+        let pieces = toc.map.pieces();
+        for piece in &pieces {
+            // Empty pieces share their start with the non-empty piece that
+            // physically owns the hole zone; clamping attributes the dead
+            // tail to the piece that can actually hold it.
+            let holes = toc.holes_at(piece.start).min(piece.len());
+            for &v in &values[piece.start..piece.end - holes] {
                 if piece.low_value.is_some_and(|lo| v < lo) {
                     return false;
                 }
@@ -679,12 +1292,35 @@ impl ConcurrentCracker {
                 }
             }
         }
-        true
+        // Ledger sanity: every entry fits inside the (unique non-empty)
+        // piece starting at its key, and the counts add up.
+        let mut holes_seen = 0usize;
+        for (&start, &h) in &toc.holes {
+            if h == 0 {
+                continue;
+            }
+            holes_seen += h;
+            if !pieces.iter().any(|p| p.start == start && p.len() >= h) {
+                return false;
+            }
+        }
+        holes_seen == toc.total_holes
     }
 
-    /// A quiescent snapshot of the cracker array (tests only).
+    /// A quiescent snapshot of the *live* cracker-array values (dead hole
+    /// tails excluded; tests only).
     pub fn snapshot_values(&self) -> Vec<i64> {
-        self.data.snapshot().0
+        let toc = self.toc.lock();
+        let values = self.data.snapshot().0;
+        if toc.total_holes == 0 {
+            return values;
+        }
+        let mut live = Vec::with_capacity(values.len() - toc.total_holes);
+        for piece in toc.map.pieces() {
+            let live_end = toc.live_end(piece.start, piece.end);
+            live.extend_from_slice(&values[piece.start..live_end]);
+        }
+        live
     }
 }
 
@@ -1043,6 +1679,257 @@ mod tests {
         );
         assert_eq!(idx.logical_len(), oracle.len() as u64);
         assert!(idx.check_invariants());
+    }
+
+    // ----- delta compaction + piece shrinking ------------------------------
+
+    #[test]
+    fn forced_compaction_merges_delta_and_preserves_cracks() {
+        for protocol in protocols() {
+            let values = shuffled(2000);
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol);
+            idx.sum(200, 1500);
+            idx.sum(600, 900);
+            let pieces_before = idx.piece_count();
+            for i in 0..50 {
+                idx.insert(3000 + i);
+            }
+            idx.delete(250);
+            idx.delete(700);
+            assert!(idx.delta_rows() > 0, "{protocol}");
+
+            assert!(idx.compact(), "{protocol}: delta present, must rebuild");
+            assert_eq!(idx.delta_rows(), 0, "{protocol}: delta drained");
+            assert_eq!(idx.hole_count(), 0, "{protocol}: holes reclaimed");
+            assert_eq!(idx.compactions_performed(), 1);
+            assert_eq!(idx.pending_rows_compacted(), 50);
+            // Crack values survive the rebuild (piece count can only have
+            // grown via the deletes' own refinement, never shrunk).
+            assert!(idx.piece_count() >= pieces_before, "{protocol}");
+
+            let mut oracle = values.clone();
+            oracle.extend(3000..3050);
+            oracle.retain(|&v| v != 250 && v != 700);
+            assert_eq!(idx.len() as u64, idx.logical_len(), "{protocol}");
+            assert_eq!(idx.logical_len(), oracle.len() as u64, "{protocol}");
+            for (low, high) in [(0, 2000), (200, 1500), (600, 900), (2900, 3100), (249, 251)] {
+                assert_eq!(
+                    idx.count(low, high).0,
+                    ops::count(&oracle, low, high),
+                    "{protocol} count [{low},{high}) after compaction"
+                );
+                assert_eq!(
+                    idx.sum(low, high).0,
+                    ops::sum(&oracle, low, high),
+                    "{protocol} sum [{low},{high}) after compaction"
+                );
+            }
+            assert!(idx.check_invariants(), "{protocol}");
+            // A second forced compaction has nothing to do.
+            assert!(!idx.compact(), "{protocol}: nothing left to reclaim");
+        }
+    }
+
+    #[test]
+    fn policy_keeps_the_delta_bounded_under_an_insert_stream() {
+        const THRESHOLD: u64 = 64;
+        for protocol in protocols() {
+            let values = shuffled(1000);
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol)
+                .with_compaction(CompactionPolicy::rows(THRESHOLD));
+            assert_eq!(idx.compaction_policy(), CompactionPolicy::rows(THRESHOLD));
+            idx.sum(100, 800);
+            let mut oracle = values.clone();
+            let mut max_delta = 0;
+            for i in 0..1000i64 {
+                let key = 10_000 + i;
+                let m = idx.insert(key);
+                oracle.push(key);
+                max_delta = max_delta.max(idx.delta_rows());
+                if i % 100 == 7 {
+                    assert_eq!(
+                        idx.count(0, 20_000).0,
+                        ops::count(&oracle, 0, 20_000),
+                        "{protocol} @ insert {i}"
+                    );
+                }
+                if m.compactions_performed > 0 {
+                    assert!(m.compaction_time > Duration::ZERO);
+                }
+            }
+            assert!(
+                idx.compactions_performed() >= 1000 / THRESHOLD - 1,
+                "{protocol}: expected regular rebuilds, got {}",
+                idx.compactions_performed()
+            );
+            assert!(
+                max_delta <= THRESHOLD,
+                "{protocol}: delta must stay bounded by the threshold, saw {max_delta}"
+            );
+            assert_eq!(
+                idx.sum(0, 20_000).0,
+                ops::sum(&oracle, 0, 20_000),
+                "{protocol}"
+            );
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn fraction_policy_scales_with_main_size() {
+        let idx = ConcurrentCracker::from_values(shuffled(100), LatchProtocol::Piece)
+            .with_compaction(CompactionPolicy::fraction(0.5));
+        for i in 0..200 {
+            idx.insert(1000 + i);
+        }
+        assert!(idx.compactions_performed() >= 1);
+        // After merging, main grew, so the absolute trigger point grows too.
+        assert!(idx.len() > 100);
+        assert_eq!(idx.count(1000, 1200).0, 200);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn cracks_shrink_pieces_with_tombstoned_rows() {
+        for protocol in protocols() {
+            let values = shuffled(2000);
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol);
+            // Tombstone some keys; the deletes' own bound cracks reclaim
+            // the doomed rows immediately (the crack holds the write
+            // latch), so tombstones retire as they are created.
+            for doomed in [100, 101, 500] {
+                assert_eq!(idx.delete(doomed).0, 1, "{protocol}");
+            }
+            assert_eq!(
+                idx.tombstoned_rows(),
+                0,
+                "{protocol}: merge-on-crack reclaimed the tombstones"
+            );
+            assert_eq!(idx.hole_count(), 3, "{protocol}");
+            assert!(idx.piece_shrinks() >= 1, "{protocol}");
+            assert_eq!(idx.tombstones_reclaimed(), 3, "{protocol}");
+
+            let mut oracle = values.clone();
+            oracle.retain(|&v| v != 100 && v != 101 && v != 500);
+            for (low, high) in [(0, 2000), (90, 110), (499, 502), (100, 101)] {
+                assert_eq!(
+                    idx.count(low, high).0,
+                    ops::count(&oracle, low, high),
+                    "{protocol} count [{low},{high}) with holes"
+                );
+                assert_eq!(
+                    idx.sum(low, high).0,
+                    ops::sum(&oracle, low, high),
+                    "{protocol} sum [{low},{high}) with holes"
+                );
+            }
+            assert_eq!(idx.logical_len(), oracle.len() as u64, "{protocol}");
+            let mut live = idx.snapshot_values();
+            live.sort_unstable();
+            let mut expected = oracle.clone();
+            expected.sort_unstable();
+            assert_eq!(live, expected, "{protocol}: holes excluded from snapshots");
+            assert!(idx.check_invariants(), "{protocol}");
+
+            // Compaction reclaims the dead slots for good.
+            assert!(idx.compact(), "{protocol}");
+            assert_eq!(idx.hole_count(), 0, "{protocol}");
+            assert_eq!(idx.len(), oracle.len(), "{protocol}");
+            assert_eq!(idx.count(0, 2000).0, ops::count(&oracle, 0, 2000));
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn shrinking_handles_duplicates_and_reinserts() {
+        let mut values = shuffled(500);
+        values.extend([42, 42, 42]); // 42 now occurs 4 times
+        let idx = ConcurrentCracker::from_values(values.clone(), LatchProtocol::Piece);
+        assert_eq!(idx.delete(42).0, 4);
+        idx.insert(42); // back as a pending insert
+        assert_eq!(idx.count(42, 43).0, 1);
+        assert_eq!(idx.sum(40, 45).0, {
+            let mut oracle = values.clone();
+            oracle.retain(|&v| v != 42);
+            oracle.push(42);
+            ops::sum(&oracle, 40, 45)
+        });
+        // The delete cracked [42, 43): its piece was swept on the spot.
+        assert_eq!(idx.tombstoned_rows(), 0);
+        assert_eq!(idx.hole_count(), 4);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn writes_into_an_empty_index_materialise_via_compaction() {
+        for protocol in protocols() {
+            let idx = ConcurrentCracker::from_values(vec![], protocol)
+                .with_compaction(CompactionPolicy::rows(4));
+            for v in [5, 1, 9, 1, 7] {
+                idx.insert(v);
+            }
+            assert!(
+                idx.compactions_performed() >= 1,
+                "{protocol}: threshold 4 must have tripped"
+            );
+            assert!(idx.len() >= 4, "{protocol}: main array materialised");
+            assert_eq!(idx.count(0, 10).0, 5, "{protocol}");
+            assert_eq!(idx.sum(0, 10).0, 23, "{protocol}");
+            assert_eq!(idx.delete(1).0, 2, "{protocol}");
+            assert_eq!(idx.logical_len(), 3, "{protocol}");
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_with_aggressive_compaction_converges() {
+        // Same disjoint-domain convergence test as above, but with the
+        // delta compacting every 32 rows and deletes shrinking pieces, so
+        // rebuilds race selects, inserts, deletes, and cracks constantly.
+        let n = 10_000usize;
+        let values = shuffled(n);
+        for protocol in [LatchProtocol::Column, LatchProtocol::Piece] {
+            let idx = Arc::new(
+                ConcurrentCracker::from_values(values.clone(), protocol)
+                    .with_compaction(CompactionPolicy::rows(32)),
+            );
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let idx = Arc::clone(&idx);
+                handles.push(thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let key = (n as u64 + t * 50 + i) as i64;
+                        idx.insert(key);
+                        let doomed = (t * 50 + i) as i64;
+                        assert_eq!(idx.delete(doomed).0, 1);
+                        idx.sum(0, n as i64 / 2);
+                        idx.count(doomed, doomed + 1);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut oracle = values.clone();
+            oracle.retain(|&v| v >= 200);
+            oracle.extend(n as i64..(n + 200) as i64);
+            assert_eq!(
+                idx.count(i64::MIN, i64::MAX).0,
+                oracle.len() as u64,
+                "{protocol}"
+            );
+            assert_eq!(
+                idx.sum(i64::MIN, i64::MAX).0,
+                oracle.iter().map(|&v| v as i128).sum::<i128>(),
+                "{protocol}"
+            );
+            assert!(
+                idx.compactions_performed() > 0,
+                "{protocol}: 400 delta rows over threshold 32 must compact"
+            );
+            assert_eq!(idx.logical_len(), oracle.len() as u64, "{protocol}");
+            assert!(idx.check_invariants(), "{protocol}");
+        }
     }
 
     trait TapSorted {

@@ -27,12 +27,18 @@
 //! * [`PendingDelta`] — the pending-update side structure (Section 4):
 //!   inserts and deletes reconciled with the cracked structure under the
 //!   same latch protocols, making every index read/write.
+//! * [`CompactionPolicy`] — the bound on the pending delta: past the
+//!   threshold the main array is rebuilt from `main + pending −
+//!   tombstones` under a quiescing system transaction, and cracks that
+//!   already hold a piece's write latch physically reclaim tombstoned rows
+//!   (delete-aware piece shrinking).
 //! * [`QueryMetrics`] / [`RunMetrics`] — the wait/refinement/conflict
 //!   breakdown the paper's evaluation reports (Figures 13–15).
 //! * [`SharedCrackerArray`] — the latch-mediated shared cracker array.
 
 #![warn(missing_docs)]
 
+pub mod compaction;
 pub mod concurrent_index;
 pub mod merge_concurrent;
 pub mod metrics;
@@ -41,10 +47,11 @@ pub mod piece_registry;
 pub mod protocol;
 pub mod shared_array;
 
+pub use compaction::CompactionPolicy;
 pub use concurrent_index::ConcurrentCracker;
 pub use merge_concurrent::ConcurrentAdaptiveMerge;
 pub use metrics::{QueryMetrics, RunMetrics};
-pub use pending::{DeltaAdjust, PendingDelta};
+pub use pending::{DeltaAdjust, DrainedDelta, PendingDelta};
 pub use piece_registry::PieceLatchRegistry;
 pub use protocol::{Aggregate, LatchProtocol, RefinementPolicy};
 pub use shared_array::SharedCrackerArray;

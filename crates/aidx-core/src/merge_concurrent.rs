@@ -152,7 +152,8 @@ impl ConcurrentAdaptiveMerge {
                 let mut index = self.index.lock();
                 let steps_before = index.stats().merge_steps;
                 let result = index.query_range(low, high);
-                let steps = (index.stats().merge_steps - steps_before) as u32;
+                let steps =
+                    u32::try_from(index.stats().merge_steps - steps_before).unwrap_or(u32::MAX);
                 drop(index);
                 metrics.crack_time += crack_start.elapsed();
                 metrics.cracks_performed += steps;

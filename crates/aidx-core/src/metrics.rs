@@ -23,8 +23,15 @@ pub struct QueryMetrics {
     pub crack_time: Duration,
     /// Time spent computing the aggregate under read latches.
     pub aggregate_time: Duration,
+    /// Time spent rebuilding the main array from `main + pending −
+    /// tombstones` (delta compaction), attributed to the write that
+    /// tripped the threshold.
+    pub compaction_time: Duration,
     /// Number of crack (partitioning) steps performed.
     pub cracks_performed: u32,
+    /// Number of delta compactions (whole-array rebuilds) this operation
+    /// triggered.
+    pub compactions_performed: u32,
     /// Number of latch acquisitions that had to wait (conflicts).
     pub conflicts: u32,
     /// Number of optional refinements skipped because of contention
@@ -51,7 +58,11 @@ impl QueryMetrics {
         self.wait_time += other.wait_time;
         self.crack_time += other.crack_time;
         self.aggregate_time += other.aggregate_time;
+        self.compaction_time += other.compaction_time;
         self.cracks_performed = self.cracks_performed.saturating_add(other.cracks_performed);
+        self.compactions_performed = self
+            .compactions_performed
+            .saturating_add(other.compactions_performed);
         self.conflicts = self.conflicts.saturating_add(other.conflicts);
         self.refinements_skipped = self
             .refinements_skipped
@@ -128,7 +139,9 @@ impl RunMetrics {
         if self.per_query.is_empty() {
             return Duration::ZERO;
         }
-        self.totals().total / self.per_query.len() as u32
+        // Duration division takes a u32; clamp rather than truncate for
+        // (hypothetical) >4G-query runs.
+        self.totals().total / u32::try_from(self.per_query.len()).unwrap_or(u32::MAX)
     }
 
     /// Running average of per-query time after each query (Figure 11b).
@@ -137,7 +150,7 @@ impl RunMetrics {
         let mut acc = Duration::ZERO;
         for (i, q) in self.per_query.iter().enumerate() {
             acc += q.total;
-            out.push(acc / (i as u32 + 1));
+            out.push(acc / u32::try_from(i + 1).unwrap_or(u32::MAX));
         }
         out
     }
@@ -226,6 +239,7 @@ mod tests {
         // Counter sums clamp at the type maximum instead of wrapping.
         let near_max = QueryMetrics {
             cracks_performed: u32::MAX - 1,
+            compactions_performed: u32::MAX - 3,
             conflicts: u32::MAX,
             refinements_skipped: u32::MAX - 2,
             inserts_applied: u32::MAX,
@@ -235,6 +249,7 @@ mod tests {
         };
         let more = QueryMetrics {
             cracks_performed: 5,
+            compactions_performed: 8,
             conflicts: 1,
             refinements_skipped: 7,
             inserts_applied: 2,
@@ -244,11 +259,28 @@ mod tests {
         };
         let merged = QueryMetrics::merge_parallel([near_max, more]);
         assert_eq!(merged.cracks_performed, u32::MAX);
+        assert_eq!(merged.compactions_performed, u32::MAX);
         assert_eq!(merged.conflicts, u32::MAX);
         assert_eq!(merged.refinements_skipped, u32::MAX);
         assert_eq!(merged.inserts_applied, u32::MAX);
         assert_eq!(merged.deletes_applied, u32::MAX);
         assert_eq!(merged.result_count, u64::MAX);
+    }
+
+    #[test]
+    fn accumulate_folds_compaction_fields() {
+        let mut a = QueryMetrics {
+            compaction_time: Duration::from_millis(5),
+            compactions_performed: 1,
+            ..QueryMetrics::default()
+        };
+        a.accumulate(&QueryMetrics {
+            compaction_time: Duration::from_millis(7),
+            compactions_performed: 2,
+            ..QueryMetrics::default()
+        });
+        assert_eq!(a.compaction_time, Duration::from_millis(12));
+        assert_eq!(a.compactions_performed, 3);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Aggregate adjustments the delta contributes to one range query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,10 +54,37 @@ struct DeltaState {
     tombstoned_rows: u64,
 }
 
+/// Everything a [`PendingDelta`] held, taken in one atomic step by a
+/// compaction (see [`PendingDelta::drain`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DrainedDelta {
+    /// value → number of pending inserted rows with that value.
+    pub inserts: BTreeMap<i64, u64>,
+    /// value → number of main-array rows with that value to suppress.
+    pub tombstones: BTreeMap<i64, u64>,
+    /// Total pending inserted rows (sum of `inserts` counts).
+    pub pending_inserts: u64,
+    /// Total tombstoned rows (sum of `tombstones` counts).
+    pub tombstoned_rows: u64,
+}
+
+impl DrainedDelta {
+    /// True when the drained delta held no pending work at all.
+    pub fn is_empty(&self) -> bool {
+        self.pending_inserts == 0 && self.tombstoned_rows == 0
+    }
+}
+
 /// Latch-protected pending inserts and tombstones for one shared index.
 #[derive(Debug, Default)]
 pub struct PendingDelta {
     state: Mutex<DeltaState>,
+    /// Lock-free mirror of `tombstoned_rows` (always updated while the
+    /// state lock is held): lets the crack hot path skip the delta lock
+    /// entirely when there is nothing to shrink, which is the steady state
+    /// of read-only workloads. A stale read only makes a shrink
+    /// opportunistic — it can never corrupt the exact counts inside.
+    tombstoned_hint: AtomicU64,
 }
 
 impl PendingDelta {
@@ -65,11 +93,15 @@ impl PendingDelta {
         Self::default()
     }
 
-    /// Records one pending inserted row with the given value.
-    pub fn insert(&self, value: i64) {
+    /// Records one pending inserted row with the given value, returning
+    /// the delta's total row count (pending inserts plus tombstones)
+    /// after the insert — the caller's compaction trigger can use it
+    /// without a second lock acquisition.
+    pub fn insert(&self, value: i64) -> u64 {
         let mut state = self.state.lock();
         *state.inserts.entry(value).or_insert(0) += 1;
         state.pending_inserts += 1;
+        state.pending_inserts + state.tombstoned_rows
     }
 
     /// Applies one delete of `value` to the delta in a single atomic step:
@@ -87,14 +119,107 @@ impl PendingDelta {
     /// same value cannot double-count because both compute the same
     /// `main_occurrences` against the immutable main multiset.
     pub fn apply_delete(&self, value: i64, main_occurrences: u64) -> (u64, u64) {
+        self.apply_delete_validated(value, main_occurrences, || true)
+            .expect("validation closure always passes")
+    }
+
+    /// As [`PendingDelta::apply_delete`], but the delete only applies if
+    /// `validate` returns true *while the delta lock is held*; otherwise
+    /// nothing changes and `None` is returned.
+    ///
+    /// This is the hook for the piece-shrinking seqlock: a physical
+    /// reclamation (which moves rows between the main multiset and the
+    /// delta domain) bumps the index's shrink epoch before touching the
+    /// delta, so a delete whose `main_occurrences` was computed against a
+    /// since-reclaimed main state validates the epoch under this lock and
+    /// retries instead of raising a stale tombstone count.
+    pub fn apply_delete_validated(
+        &self,
+        value: i64,
+        main_occurrences: u64,
+        validate: impl FnOnce() -> bool,
+    ) -> Option<(u64, u64)> {
         let mut state = self.state.lock();
+        if !validate() {
+            return None;
+        }
         let from_pending = state.inserts.remove(&value).unwrap_or(0);
         state.pending_inserts -= from_pending;
         let entry = state.tombstones.entry(value).or_insert(0);
         let newly = main_occurrences.saturating_sub(*entry);
         *entry += newly;
         state.tombstoned_rows += newly;
-        (from_pending, newly)
+        self.tombstoned_hint
+            .store(state.tombstoned_rows, Ordering::Release);
+        Some((from_pending, newly))
+    }
+
+    /// Takes the delta's entire contents in one atomic step, leaving it
+    /// empty. Compaction calls this while holding the index's quiesce
+    /// gate, folds the result into the rebuilt main array, and any insert
+    /// that lands after the drain simply waits for the next compaction.
+    pub fn drain(&self) -> DrainedDelta {
+        let mut state = self.state.lock();
+        let drained = DrainedDelta {
+            inserts: std::mem::take(&mut state.inserts),
+            tombstones: std::mem::take(&mut state.tombstones),
+            pending_inserts: state.pending_inserts,
+            tombstoned_rows: state.tombstoned_rows,
+        };
+        state.pending_inserts = 0;
+        state.tombstoned_rows = 0;
+        self.tombstoned_hint.store(0, Ordering::Release);
+        drained
+    }
+
+    /// Snapshot of the tombstones whose values fall inside a piece's key
+    /// interval (`low = None` means unbounded below, `high = None`
+    /// unbounded above — matching [`aidx_cracking::Piece`] bounds). Used
+    /// by delete-aware piece shrinking to find the rows a crack can
+    /// physically reclaim while it already holds the piece's write latch.
+    pub fn tombstones_in(&self, low: Option<i64>, high: Option<i64>) -> BTreeMap<i64, u64> {
+        let state = self.state.lock();
+        let range: Box<dyn Iterator<Item = (&i64, &u64)>> = match (low, high) {
+            (None, None) => Box::new(state.tombstones.range(..)),
+            (Some(lo), None) => Box::new(state.tombstones.range(lo..)),
+            (None, Some(hi)) => Box::new(state.tombstones.range(..hi)),
+            (Some(lo), Some(hi)) => Box::new(state.tombstones.range(lo..hi)),
+        };
+        range.map(|(&v, &n)| (v, n)).collect()
+    }
+
+    /// Retires tombstones whose rows were physically removed from the
+    /// main array: for every `(value, removed)` pair the value's tombstone
+    /// drops by `removed` (never below zero). Returns the total number of
+    /// tombstoned rows retired.
+    pub fn retire_tombstones(&self, reclaimed: &BTreeMap<i64, u64>) -> u64 {
+        let mut state = self.state.lock();
+        let mut retired = 0u64;
+        for (&value, &removed) in reclaimed {
+            if removed == 0 {
+                continue;
+            }
+            if let Some(entry) = state.tombstones.get_mut(&value) {
+                let drop = removed.min(*entry);
+                *entry -= drop;
+                retired += drop;
+                if *entry == 0 {
+                    state.tombstones.remove(&value);
+                }
+            }
+        }
+        state.tombstoned_rows -= retired;
+        self.tombstoned_hint
+            .store(state.tombstoned_rows, Ordering::Release);
+        retired
+    }
+
+    /// Lock-free probe: could any tombstoned rows exist right now? A
+    /// `false` may be momentarily stale against a concurrent delete (its
+    /// caller treats reclamation as opportunistic); a `true` only sends
+    /// the caller to the exact, locked snapshot.
+    pub fn has_tombstones(&self) -> bool {
+        self.tombstoned_hint.load(Ordering::Acquire) != 0
     }
 
     /// One consistent snapshot of the delta's contribution to a query over
@@ -199,6 +324,65 @@ mod tests {
         let a = delta.adjust(0, 10);
         assert_eq!(a.insert_count, 0);
         assert_eq!(a.tombstone_count, 1);
+    }
+
+    #[test]
+    fn drain_takes_everything_atomically() {
+        let delta = PendingDelta::new();
+        delta.insert(1);
+        delta.insert(1);
+        delta.insert(9);
+        delta.apply_delete(5, 2);
+        let drained = delta.drain();
+        assert!(!drained.is_empty());
+        assert_eq!(drained.pending_inserts, 3);
+        assert_eq!(drained.tombstoned_rows, 2);
+        assert_eq!(drained.inserts.get(&1), Some(&2));
+        assert_eq!(drained.inserts.get(&9), Some(&1));
+        assert_eq!(drained.tombstones.get(&5), Some(&2));
+        assert!(delta.is_empty(), "the delta is empty after a drain");
+        assert!(delta.drain().is_empty());
+    }
+
+    #[test]
+    fn tombstones_in_respects_piece_bounds() {
+        let delta = PendingDelta::new();
+        delta.apply_delete(5, 1);
+        delta.apply_delete(10, 2);
+        delta.apply_delete(20, 3);
+        assert_eq!(delta.tombstones_in(None, None).len(), 3);
+        let mid = delta.tombstones_in(Some(10), Some(20));
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid.get(&10), Some(&2));
+        assert_eq!(delta.tombstones_in(Some(6), None).len(), 2);
+        assert_eq!(delta.tombstones_in(None, Some(10)).len(), 1);
+    }
+
+    #[test]
+    fn retire_tombstones_drops_reclaimed_rows() {
+        let delta = PendingDelta::new();
+        delta.apply_delete(7, 3);
+        delta.apply_delete(8, 1);
+        let mut reclaimed = BTreeMap::new();
+        reclaimed.insert(7, 2u64);
+        reclaimed.insert(99, 5u64); // never tombstoned: ignored
+        assert_eq!(delta.retire_tombstones(&reclaimed), 2);
+        assert_eq!(delta.tombstoned_rows(), 2);
+        assert_eq!(delta.adjust(7, 8).tombstone_count, 1);
+        // Retiring more than remains clamps at zero.
+        reclaimed.insert(7, 10u64);
+        assert_eq!(delta.retire_tombstones(&reclaimed), 1);
+        assert_eq!(delta.adjust(7, 8).tombstone_count, 0);
+    }
+
+    #[test]
+    fn apply_delete_validated_refuses_on_failed_validation() {
+        let delta = PendingDelta::new();
+        delta.insert(3);
+        assert_eq!(delta.apply_delete_validated(3, 1, || false), None);
+        assert_eq!(delta.pending_inserts(), 1, "nothing changed");
+        assert_eq!(delta.apply_delete_validated(3, 1, || true), Some((1, 1)));
+        assert_eq!(delta.pending_inserts(), 0);
     }
 
     #[test]

@@ -4,19 +4,39 @@
 //! array. The registry creates latches lazily the first time a piece is
 //! contended-for and shares a single statistics block across all of them so
 //! the harness can report column-wide conflict counts.
+//!
+//! The registry also owns the index's **quiesce gate**: every operation
+//! that touches the shared cracker array enters the registry in shared
+//! mode ([`PieceLatchRegistry::enter`]) for its whole duration, and a
+//! compaction system transaction quiesces the index by acquiring the gate
+//! exclusively ([`PieceLatchRegistry::quiesce`]) — once granted, no query,
+//! write, or crack is in flight and none can start, so the cracker array
+//! can be rebuilt wholesale. Piece latches stay the *fine-grained*
+//! coordination within an operation; the gate only coordinates operations
+//! with whole-index rebuilds, which are rare.
 
 use aidx_latch::ordered::OrderedWaitLatch;
 use aidx_latch::stats::{LatchStats, LatchStatsSnapshot};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Lazily-populated map from piece start position to its latch.
+/// Lazily-populated map from piece start position to its latch, plus the
+/// index-wide quiesce gate.
 #[derive(Debug)]
 pub struct PieceLatchRegistry {
     latches: Mutex<HashMap<usize, Arc<OrderedWaitLatch>>>,
     stats: Arc<LatchStats>,
+    gate: RwLock<()>,
 }
+
+/// Shared-mode guard proving an operation is registered with the quiesce
+/// gate; while any of these is live, no compaction can rebuild the array.
+pub type OperationGuard<'a> = RwLockReadGuard<'a, ()>;
+
+/// Exclusive-mode guard proving the index is quiesced: no operation is in
+/// flight and none can start until the guard drops.
+pub type QuiesceGuard<'a> = RwLockWriteGuard<'a, ()>;
 
 impl Default for PieceLatchRegistry {
     fn default() -> Self {
@@ -30,7 +50,31 @@ impl PieceLatchRegistry {
         PieceLatchRegistry {
             latches: Mutex::new(HashMap::new()),
             stats: Arc::new(LatchStats::new()),
+            gate: RwLock::new(()),
         }
+    }
+
+    /// Registers one operation (query, write, or forced refinement) with
+    /// the quiesce gate. Hold the returned guard for the operation's whole
+    /// duration; many operations share the gate concurrently.
+    pub fn enter(&self) -> OperationGuard<'_> {
+        self.gate.read()
+    }
+
+    /// Quiesces the index: blocks until every in-flight operation has
+    /// released its [`PieceLatchRegistry::enter`] guard and keeps new ones
+    /// out until the returned guard drops. Compaction's system transaction
+    /// runs entirely inside this window.
+    pub fn quiesce(&self) -> QuiesceGuard<'_> {
+        self.gate.write()
+    }
+
+    /// Forgets every piece latch. Call only while holding the quiesce
+    /// guard: after a compaction rebuild, piece start positions change
+    /// meaning, so stale latches must not be reused. Statistics are
+    /// cumulative and survive.
+    pub fn reset_latches(&self) {
+        self.latches.lock().clear();
     }
 
     /// Returns the latch guarding the piece that starts at `piece_start`,
@@ -86,6 +130,40 @@ mod tests {
         let stats = reg.stats();
         assert_eq!(stats.write_acquisitions, 1);
         assert_eq!(stats.read_acquisitions, 1);
+    }
+
+    #[test]
+    fn quiesce_excludes_operations_and_reset_clears_latches() {
+        let reg = Arc::new(PieceLatchRegistry::new());
+        reg.latch_for(0);
+        reg.latch_for(5);
+        assert_eq!(reg.latch_count(), 2);
+        {
+            let _q = reg.quiesce();
+            reg.reset_latches();
+        }
+        assert_eq!(reg.latch_count(), 0, "latches forgotten under quiesce");
+
+        // An in-flight operation blocks the quiesce until it finishes.
+        let op = reg.enter();
+        let reg2 = Arc::clone(&reg);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = thread::spawn(move || {
+            let _q = reg2.quiesce();
+            tx.send(()).unwrap();
+        });
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_millis(50))
+                .is_err(),
+            "quiesce must wait for the operation guard"
+        );
+        drop(op);
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("quiesce proceeds once operations drain");
+        handle.join().unwrap();
+        // Multiple operations share the gate.
+        let _a = reg.enter();
+        let _b = reg.enter();
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //!
 //! # Safety contract
 //!
-//! * The arrays are allocated once and never grow or shrink, so element
-//!   addresses are stable and no operation can invalidate another range's
-//!   pointers.
+//! * The arrays are allocated once and never grow or shrink *while any
+//!   other thread may access them*, so element addresses are stable and no
+//!   operation can invalidate another range's pointers. The one exception
+//!   is [`SharedCrackerArray::replace`], which swaps in a freshly built
+//!   array of a different length: its caller must hold the index's quiesce
+//!   gate in exclusive mode (no query, write, or crack in flight), which is
+//!   exactly what the compaction system transaction guarantees.
 //! * A thread may call a mutating range operation (`crack_in_two_range`,
-//!   `sort_range`) only while holding the **write** latch of the piece that
-//!   covers the range.
+//!   `sweep_tombstoned`) only while holding the **write** latch of the
+//!   piece that covers the range.
 //! * A thread may call a reading range operation (`sum_range`,
 //!   `values_in_range`, `rowids_in_range`) only while holding the **read or
 //!   write** latch of the piece(s) covering the range.
@@ -33,14 +37,19 @@
 
 use aidx_storage::{Column, RowId};
 use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A fixed-size (value, row-id) pair of arrays with interior mutability,
 /// safe to share across threads when access is mediated by piece latches.
+/// Compaction may swap the arrays wholesale under full quiescence
+/// ([`SharedCrackerArray::replace`]), so the length is an atomic rather
+/// than a plain field.
 #[derive(Debug)]
 pub struct SharedCrackerArray {
     values: UnsafeCell<Box<[i64]>>,
     rowids: UnsafeCell<Box<[RowId]>>,
-    len: usize,
+    len: AtomicUsize,
 }
 
 // SAFETY: all concurrent access goes through range-scoped methods whose
@@ -62,23 +71,99 @@ impl SharedCrackerArray {
         SharedCrackerArray {
             values: UnsafeCell::new(values.into_boxed_slice()),
             rowids: UnsafeCell::new(rowids.into_boxed_slice()),
-            len,
+            len: AtomicUsize::new(len),
         }
     }
 
-    /// Number of entries (fixed for the array's lifetime).
+    /// Number of entries (changes only across a quiesced
+    /// [`SharedCrackerArray::replace`]).
     pub fn len(&self) -> usize {
-        self.len
+        self.len.load(Ordering::Relaxed)
     }
 
     /// True if the array is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
+    }
+
+    /// Swaps in a freshly built (values, rowids) pair, replacing the whole
+    /// array contents and length in one step.
+    ///
+    /// Caller contract: **exclusive access** — no other thread may be
+    /// inside any method of this array, and none may enter until this call
+    /// returns. [`crate::ConcurrentCracker`] guarantees this by holding
+    /// the piece-registry quiesce gate in write mode for the duration of a
+    /// compaction.
+    ///
+    /// # Panics
+    /// Panics if `values` and `rowids` differ in length.
+    pub fn replace(&self, values: Vec<i64>, rowids: Vec<RowId>) {
+        assert_eq!(
+            values.len(),
+            rowids.len(),
+            "values/rowids must stay aligned"
+        );
+        let len = values.len();
+        // SAFETY: exclusive access per the caller contract; no outstanding
+        // element pointer can exist because every method that creates one
+        // returns before its caller could release the quiesce gate.
+        unsafe {
+            *self.values.get() = values.into_boxed_slice();
+            *self.rowids.get() = rowids.into_boxed_slice();
+        }
+        self.len.store(len, Ordering::Release);
+    }
+
+    /// Moves every row in `[start, end)` whose value still has budget in
+    /// `doomed` (a `value → rows to remove` map) to the *tail* of the
+    /// range, decrementing the budget as rows are consumed, and returns
+    /// the new live end: positions `[new_end, end)` hold exactly the
+    /// doomed rows, in unspecified order. Caller must hold the write
+    /// latch of the piece covering the range.
+    ///
+    /// This is the physical half of delete-aware piece shrinking: the
+    /// caller turns the tail into a hole (dead slots skipped by every
+    /// scan) and retires the matching tombstones.
+    pub fn sweep_tombstoned(
+        &self,
+        start: usize,
+        end: usize,
+        doomed: &mut BTreeMap<i64, u64>,
+    ) -> usize {
+        assert!(
+            start <= end && end <= self.len(),
+            "sweep range out of bounds"
+        );
+        let values = self.values_ptr();
+        let rowids = self.rowids_ptr();
+        let mut lo = start;
+        let mut hi = end;
+        // SAFETY: indices stay within [start, end) ⊆ [0, len); exclusive
+        // access to this range is guaranteed by the caller's write latch.
+        unsafe {
+            while lo < hi {
+                let v = *values.add(lo);
+                let budget = doomed.get_mut(&v).filter(|n| **n > 0);
+                if let Some(n) = budget {
+                    *n -= 1;
+                    hi -= 1;
+                    std::ptr::swap(values.add(lo), values.add(hi));
+                    std::ptr::swap(rowids.add(lo), rowids.add(hi));
+                    // Do not advance `lo`: the row swapped in from the tail
+                    // has not been examined yet.
+                } else {
+                    lo += 1;
+                }
+            }
+        }
+        hi
     }
 
     fn values_ptr(&self) -> *mut i64 {
-        // SAFETY: the box itself is never replaced; we only hand out element
-        // pointers within range-scoped methods.
+        // SAFETY: the box is only replaced under full quiescence
+        // (`replace`), so while any range-scoped method runs the pointer
+        // stays valid; we only hand out element pointers within those
+        // methods.
         unsafe { (*self.values.get()).as_mut_ptr() }
     }
 
@@ -90,7 +175,10 @@ impl SharedCrackerArray {
     /// returns the split position. Caller must hold the write latch of the
     /// piece covering the range.
     pub fn crack_in_two_range(&self, start: usize, end: usize, pivot: i64) -> usize {
-        assert!(start <= end && end <= self.len, "crack range out of bounds");
+        assert!(
+            start <= end && end <= self.len(),
+            "crack range out of bounds"
+        );
         let values = self.values_ptr();
         let rowids = self.rowids_ptr();
         let mut lo = start;
@@ -114,7 +202,7 @@ impl SharedCrackerArray {
     /// Sum of the values in `[start, end)`. Caller must hold read or write
     /// latches covering the range.
     pub fn sum_range(&self, start: usize, end: usize) -> i128 {
-        assert!(start <= end && end <= self.len, "sum range out of bounds");
+        assert!(start <= end && end <= self.len(), "sum range out of bounds");
         let values = self.values_ptr();
         let mut acc: i128 = 0;
         // SAFETY: bounds checked above; shared access guaranteed by latches.
@@ -130,7 +218,10 @@ impl SharedCrackerArray {
     /// Used when a query skipped refinement and must filter a boundary piece
     /// under a read latch.
     pub fn count_filtered(&self, start: usize, end: usize, low: i64, high: i64) -> u64 {
-        assert!(start <= end && end <= self.len, "count range out of bounds");
+        assert!(
+            start <= end && end <= self.len(),
+            "count range out of bounds"
+        );
         let values = self.values_ptr();
         let mut n = 0u64;
         // SAFETY: bounds checked above; shared access guaranteed by latches.
@@ -147,7 +238,7 @@ impl SharedCrackerArray {
 
     /// Sum of values in `[start, end)` that satisfy `low <= v < high`.
     pub fn sum_filtered(&self, start: usize, end: usize, low: i64, high: i64) -> i128 {
-        assert!(start <= end && end <= self.len, "sum range out of bounds");
+        assert!(start <= end && end <= self.len(), "sum range out of bounds");
         let values = self.values_ptr();
         let mut acc: i128 = 0;
         // SAFETY: bounds checked above; shared access guaranteed by latches.
@@ -165,7 +256,10 @@ impl SharedCrackerArray {
     /// Copies the values in `[start, end)` out of the array. Caller must
     /// hold read or write latches covering the range.
     pub fn values_in_range(&self, start: usize, end: usize) -> Vec<i64> {
-        assert!(start <= end && end <= self.len, "read range out of bounds");
+        assert!(
+            start <= end && end <= self.len(),
+            "read range out of bounds"
+        );
         let values = self.values_ptr();
         let mut out = Vec::with_capacity(end - start);
         // SAFETY: bounds checked above; shared access guaranteed by latches.
@@ -179,7 +273,10 @@ impl SharedCrackerArray {
 
     /// Copies the row ids in `[start, end)` out of the array.
     pub fn rowids_in_range(&self, start: usize, end: usize) -> Vec<RowId> {
-        assert!(start <= end && end <= self.len, "read range out of bounds");
+        assert!(
+            start <= end && end <= self.len(),
+            "read range out of bounds"
+        );
         let rowids = self.rowids_ptr();
         let mut out = Vec::with_capacity(end - start);
         // SAFETY: bounds checked above; shared access guaranteed by latches.
@@ -195,8 +292,8 @@ impl SharedCrackerArray {
     /// the caller can guarantee quiescence (tests, invariant checks).
     pub fn snapshot(&self) -> (Vec<i64>, Vec<RowId>) {
         (
-            self.values_in_range(0, self.len),
-            self.rowids_in_range(0, self.len),
+            self.values_in_range(0, self.len()),
+            self.rowids_in_range(0, self.len()),
         )
     }
 }
@@ -263,6 +360,54 @@ mod tests {
         let mut expected = values;
         expected.sort_unstable();
         assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn replace_swaps_contents_and_length() {
+        let arr = SharedCrackerArray::from_values(vec![1, 2, 3]);
+        arr.replace(vec![9, 8, 7, 6], vec![3, 2, 1, 0]);
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr.snapshot().0, vec![9, 8, 7, 6]);
+        assert_eq!(arr.snapshot().1, vec![3, 2, 1, 0]);
+        arr.replace(vec![], vec![]);
+        assert!(arr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn replace_rejects_misaligned_inputs() {
+        let arr = SharedCrackerArray::from_values(vec![1]);
+        arr.replace(vec![1, 2], vec![0]);
+    }
+
+    #[test]
+    fn sweep_tombstoned_moves_doomed_rows_to_the_tail() {
+        let arr = SharedCrackerArray::from_values(vec![5, 7, 5, 3, 7, 5]);
+        let mut doomed = BTreeMap::from([(5i64, 2u64), (3, 1)]);
+        let live_end = arr.sweep_tombstoned(0, 6, &mut doomed);
+        assert_eq!(live_end, 3);
+        let (values, rowids) = arr.snapshot();
+        let mut live: Vec<i64> = values[..live_end].to_vec();
+        live.sort_unstable();
+        assert_eq!(live, vec![5, 7, 7], "one 5 survives (budget was 2 of 3)");
+        let mut dead: Vec<i64> = values[live_end..].to_vec();
+        dead.sort_unstable();
+        assert_eq!(dead, vec![3, 5, 5]);
+        assert_eq!(doomed.values().sum::<u64>(), 0, "budget fully consumed");
+        // (value, rowid) pairs stay together through the swaps.
+        let original = [5, 7, 5, 3, 7, 5];
+        for (i, &rid) in rowids.iter().enumerate() {
+            assert_eq!(values[i], original[rid as usize]);
+        }
+    }
+
+    #[test]
+    fn sweep_with_no_budget_is_a_no_op() {
+        let arr = SharedCrackerArray::from_values(vec![1, 2, 3]);
+        let mut doomed = BTreeMap::from([(9i64, 4u64)]);
+        assert_eq!(arr.sweep_tombstoned(0, 3, &mut doomed), 3);
+        assert_eq!(doomed.get(&9), Some(&4), "absent values keep their budget");
+        assert_eq!(arr.snapshot().0, vec![1, 2, 3]);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Property tests for the concurrent cracker's write path: random
+//! interleavings of selects, inserts, and deletes against a `BTreeMap`
+//! multiset oracle, with an aggressive compaction threshold so rebuilds
+//! (and delete-aware piece shrinks) fire constantly mid-sequence. The
+//! piece/array/hole invariants must hold after every compaction.
+
+use aidx_core::{CompactionPolicy, ConcurrentCracker, LatchProtocol};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn oracle_from(values: &[i64]) -> BTreeMap<i64, u64> {
+    let mut oracle = BTreeMap::new();
+    for &v in values {
+        *oracle.entry(v).or_insert(0u64) += 1;
+    }
+    oracle
+}
+
+fn oracle_count(oracle: &BTreeMap<i64, u64>, low: i64, high: i64) -> u64 {
+    if low >= high {
+        return 0;
+    }
+    oracle.range(low..high).map(|(_, &n)| n).sum()
+}
+
+fn oracle_sum(oracle: &BTreeMap<i64, u64>, low: i64, high: i64) -> i128 {
+    if low >= high {
+        return 0;
+    }
+    oracle
+        .range(low..high)
+        .map(|(&v, &n)| v as i128 * n as i128)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mixed_ops_across_compaction_events_match_the_oracle(
+        values in prop::collection::vec(-200i64..200, 0..200),
+        ops in prop::collection::vec((0u8..4, -250i64..250, -250i64..250), 1..60),
+        threshold in 1u64..12,
+    ) {
+        for protocol in [
+            LatchProtocol::None,
+            LatchProtocol::Column,
+            LatchProtocol::Piece,
+        ] {
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol)
+                .with_compaction(CompactionPolicy::rows(threshold));
+            let mut oracle = oracle_from(&values);
+            let mut compactions_seen = 0;
+            for &(kind, a, b) in &ops {
+                match kind {
+                    0 => {
+                        let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                        prop_assert_eq!(
+                            idx.count(low, high).0,
+                            oracle_count(&oracle, low, high),
+                            "{} count [{},{})", protocol, low, high
+                        );
+                    }
+                    1 => {
+                        let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                        prop_assert_eq!(
+                            idx.sum(low, high).0,
+                            oracle_sum(&oracle, low, high),
+                            "{} sum [{},{})", protocol, low, high
+                        );
+                    }
+                    2 => {
+                        idx.insert(a);
+                        *oracle.entry(a).or_insert(0) += 1;
+                    }
+                    _ => {
+                        let removed = idx.delete(a).0;
+                        let expected = oracle.remove(&a).unwrap_or(0);
+                        prop_assert_eq!(removed, expected, "{} delete {}", protocol, a);
+                    }
+                }
+                // The policy bounds the delta after every single op: a
+                // write that reaches the threshold compacts on the spot.
+                prop_assert!(
+                    idx.delta_rows() < threshold,
+                    "{}: delta {} outgrew threshold {}",
+                    protocol, idx.delta_rows(), threshold
+                );
+                // Invariants must hold right after every compaction event.
+                let now = idx.compactions_performed();
+                if now > compactions_seen {
+                    compactions_seen = now;
+                    prop_assert!(
+                        idx.check_invariants(),
+                        "{}: invariants broken after compaction #{}",
+                        protocol, now
+                    );
+                }
+            }
+            prop_assert!(idx.check_invariants(), "{protocol}");
+            let total: u64 = oracle.values().sum();
+            prop_assert_eq!(idx.logical_len(), total, "{}", protocol);
+            prop_assert_eq!(idx.count(i64::MIN, i64::MAX).0, total, "{}", protocol);
+        }
+    }
+
+    #[test]
+    fn delete_heavy_sequences_shrink_and_stay_consistent(
+        values in prop::collection::vec(-100i64..100, 1..150),
+        doomed in prop::collection::vec(-120i64..120, 1..40),
+    ) {
+        // Deletes only (no compaction): every removal is reconciled by
+        // delete-aware piece shrinking, so tombstones never accumulate
+        // and the hole ledger stays exact.
+        let idx = ConcurrentCracker::from_values(values.clone(), LatchProtocol::Piece);
+        let mut oracle = oracle_from(&values);
+        for &v in &doomed {
+            let removed = idx.delete(v).0;
+            let expected = oracle.remove(&v).unwrap_or(0);
+            prop_assert_eq!(removed, expected, "delete {}", v);
+            prop_assert_eq!(idx.tombstoned_rows(), 0, "shrink retires tombstones");
+            prop_assert!(idx.check_invariants());
+        }
+        let total: u64 = oracle.values().sum();
+        prop_assert_eq!(idx.count(i64::MIN, i64::MAX).0, total);
+        prop_assert_eq!(idx.logical_len(), total);
+        // Compaction reclaims every hole the shrinks left behind.
+        idx.compact();
+        prop_assert_eq!(idx.hole_count(), 0);
+        prop_assert_eq!(idx.len() as u64, total);
+        prop_assert!(idx.check_invariants());
+    }
+}

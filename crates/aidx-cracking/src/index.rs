@@ -42,13 +42,19 @@ impl CrackSelectOutcome {
 }
 
 /// A cracker index over one column: auxiliary array + table of contents,
-/// plus a pending-insert delta merged into the pieces on the next crack.
+/// plus a pending-insert delta merged into the pieces on the next crack —
+/// or eagerly, once it outgrows the compaction threshold, so a long
+/// insert stream between queries cannot grow the delta without bound.
 #[derive(Debug, Clone)]
 pub struct CrackerIndex {
     array: CrackerArray,
     map: PieceMap,
     /// Inserted rows not yet physically merged into the array.
     pending: Vec<(i64, RowId)>,
+    /// Once the pending delta holds this many rows, the insert that
+    /// tripped the bound merges the whole batch (0 = merge only on the
+    /// next crack, the pre-compaction behaviour).
+    compaction_threshold: usize,
     /// Next row id to hand out for an inserted row.
     next_rowid: RowId,
     total_cracks: u64,
@@ -72,11 +78,30 @@ impl CrackerIndex {
             array,
             map,
             pending: Vec::new(),
+            compaction_threshold: 0,
             next_rowid,
             total_cracks: 0,
             queries: 0,
             delta_merges: 0,
         }
+    }
+
+    /// Sets the pending-delta compaction threshold (builder style):
+    /// inserts past the threshold merge the whole batch eagerly instead of
+    /// waiting for the next crack. `0` disables eager merging.
+    pub fn with_compaction_threshold(mut self, threshold: usize) -> Self {
+        self.compaction_threshold = threshold;
+        self
+    }
+
+    /// Sets the pending-delta compaction threshold on an existing index.
+    pub fn set_compaction_threshold(&mut self, threshold: usize) {
+        self.compaction_threshold = threshold;
+    }
+
+    /// The pending-delta compaction threshold (0 = merge only on crack).
+    pub fn compaction_threshold(&self) -> usize {
+        self.compaction_threshold
     }
 
     /// Number of entries in the index (merged plus pending).
@@ -123,11 +148,16 @@ impl CrackerIndex {
     /// Inserts one row with the given key, returning its new row id. The
     /// row is buffered in the pending delta and physically merged into the
     /// cracked array — with piece-boundary fixup — when the next query (or
-    /// delete) cracks the index.
+    /// delete) cracks the index, or immediately once the delta outgrows
+    /// the compaction threshold (the tripping insert pays for the batch
+    /// merge, amortising it to `O(n / threshold)` per insert).
     pub fn insert(&mut self, value: i64) -> RowId {
         let rowid = self.next_rowid;
         self.next_rowid += 1;
         self.pending.push((value, rowid));
+        if self.compaction_threshold > 0 && self.pending.len() >= self.compaction_threshold {
+            self.merge_pending();
+        }
         rowid
     }
 
@@ -483,6 +513,37 @@ mod tests {
         assert_eq!(idx.delete(i64::MIN), 1);
         assert!(idx.is_empty());
         assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn compaction_threshold_bounds_the_pending_delta() {
+        let values = sample_values();
+        let mut idx = CrackerIndex::from_values(values.clone()).with_compaction_threshold(8);
+        assert_eq!(idx.compaction_threshold(), 8);
+        idx.crack_select(4, 9);
+        let mut oracle = values.clone();
+        for i in 0..100 {
+            let key = 100 + i;
+            idx.insert(key);
+            oracle.push(key);
+            assert!(
+                idx.pending_len() < 8,
+                "delta must stay bounded by the threshold, saw {}",
+                idx.pending_len()
+            );
+        }
+        assert!(idx.delta_merges() >= 100 / 8, "eager merges happened");
+        assert_eq!(idx.count(0, 300), oracle.len() as u64);
+        assert_eq!(idx.sum(100, 200), ops::sum(&oracle, 100, 200));
+        assert!(idx.check_invariants());
+
+        // Threshold 0 keeps the lazy merge-on-crack behaviour.
+        let mut lazy = CrackerIndex::from_values(values);
+        lazy.crack_select(4, 9);
+        for i in 0..100 {
+            lazy.insert(100 + i);
+        }
+        assert_eq!(lazy.pending_len(), 100, "no eager merge without threshold");
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! exclusive latch, composing workload-robustness with parallelism.
 
 use crate::pool::WorkerPool;
-use aidx_core::{Aggregate, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy};
+use aidx_core::{
+    Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy,
+};
 use aidx_cracking::StochasticCracker;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -88,8 +90,12 @@ impl Chunk {
                     Aggregate::Count => range.len() as i128,
                     Aggregate::Sum => guard.array().sum_range(range.start, range.end),
                 };
+                // Saturate instead of truncating: a `u64 as u32` here would
+                // silently wrap on long runs, violating the
+                // saturating-counter policy of `QueryMetrics::accumulate`.
                 metrics.cracks_performed =
-                    (guard.bound_cracks() + guard.random_cracks() - cracks_before) as u32;
+                    u32::try_from(guard.bound_cracks() + guard.random_cracks() - cracks_before)
+                        .unwrap_or(u32::MAX);
                 drop(guard);
                 metrics.total = start.elapsed();
                 (result, metrics)
@@ -134,6 +140,21 @@ impl Chunk {
                 let guard = c.lock();
                 guard.bound_cracks() + guard.random_cracks()
             }
+        }
+    }
+
+    fn delta_rows(&self) -> u64 {
+        match self {
+            Chunk::Concurrent(c) => c.delta_rows(),
+            // Stochastic chunks merge writes immediately: no delta.
+            Chunk::Stochastic(_) => 0,
+        }
+    }
+
+    fn compactions_performed(&self) -> u64 {
+        match self {
+            Chunk::Concurrent(c) => c.compactions_performed(),
+            Chunk::Stochastic(_) => 0,
         }
     }
 
@@ -234,6 +255,51 @@ impl ChunkedCracker {
     /// Total cracks performed across all chunks.
     pub fn crack_count(&self) -> u64 {
         self.chunks.iter().map(Chunk::crack_count).sum()
+    }
+
+    /// Sets the per-chunk delta compaction policy (builder style): each
+    /// concurrent chunk compacts independently once *its* delta outgrows
+    /// the threshold, so reclamation work spreads across cores with the
+    /// writes. Stochastic chunks merge writes immediately and ignore the
+    /// policy. Must be called before the index is shared.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.set_compaction(policy);
+        self
+    }
+
+    /// As [`ChunkedCracker::with_compaction`], on an exclusively owned
+    /// index.
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        // `&mut self` proves no new chunk references can be created, but a
+        // pool worker that just replied to an earlier query may not have
+        // dropped its transient `Arc` clone yet — wait that benign race
+        // out (bounded: a clone that survives this long is a bug, and a
+        // clear panic beats a silent hang).
+        let mut patience = 1_000_000u32;
+        while Arc::strong_count(&self.chunks) > 1 {
+            patience -= 1;
+            assert!(patience > 0, "a long-lived chunk reference exists; set the compaction policy before sharing the index");
+            std::thread::yield_now();
+        }
+        let chunks = Arc::get_mut(&mut self.chunks)
+            .expect("&mut self: no new chunk references can appear once workers drain");
+        for chunk in chunks.iter_mut() {
+            if let Chunk::Concurrent(cracker) = chunk {
+                cracker.set_compaction(policy);
+            }
+        }
+    }
+
+    /// Rows currently in the chunks' pending deltas (pending inserts plus
+    /// tombstones, summed across chunks) — the quantity the compaction
+    /// policy bounds per chunk.
+    pub fn delta_rows(&self) -> u64 {
+        self.chunks.iter().map(Chunk::delta_rows).sum()
+    }
+
+    /// Delta compactions performed across all chunks.
+    pub fn compactions_performed(&self) -> u64 {
+        self.chunks.iter().map(Chunk::compactions_performed).sum()
     }
 
     /// Inserts one row with the given key. Chunks partition *positions*,
@@ -541,6 +607,139 @@ mod tests {
         );
         // The inserted rows are all queryable.
         assert_eq!(idx.count(10_000, 10_400).0, 400);
+    }
+
+    #[test]
+    fn concurrent_inserts_racing_the_designation_handoff_never_lose_rows() {
+        // The designated-chunk handoff is a Relaxed load/store: several
+        // writers may read the same designation, or a stale one, while
+        // another moves it. That is benign by design — chunks partition
+        // positions, not keys — but it must never lose a row, and the
+        // designation must still migrate off an oversized chunk.
+        let idx = Arc::new(ChunkedCracker::new(
+            shuffled(400),
+            4,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        ));
+        let writers = 8u64;
+        let per_writer = 250u64;
+        let mut handles = Vec::new();
+        for t in 0..writers {
+            let idx = Arc::clone(&idx);
+            handles.push(thread::spawn(move || {
+                for i in 0..per_writer {
+                    // Distinct keys per writer: conservation is checkable
+                    // exactly regardless of interleaving.
+                    idx.insert((10_000 + t * per_writer + i) as i64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let inserted = (writers * per_writer) as usize;
+        let sizes = idx.chunk_sizes();
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            400 + inserted,
+            "size accounting lost rows: {sizes:?}"
+        );
+        assert_eq!(idx.len(), 400 + inserted);
+        // Every inserted row is queryable exactly once.
+        assert_eq!(
+            idx.count(10_000, 10_000 + inserted as i64).0,
+            inserted as u64
+        );
+        assert_eq!(idx.count(i64::MIN, i64::MAX).0, (400 + inserted) as u64);
+        // The handoff kept rotating: no chunk kept the designation for the
+        // whole stream (each started at 100 rows; a stuck designation
+        // would leave three chunks at exactly 100).
+        assert!(
+            sizes.iter().all(|&s| s > 100),
+            "designation never moved: {sizes:?}"
+        );
+        // Relaxed racing admits overshoot of about one in-flight insert
+        // per writer past the slack before the handoff lands.
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(
+            max - min <= 2 * idx.rebalance_slack + writers as usize + 1,
+            "write stream left chunks unbalanced: {sizes:?}"
+        );
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn concurrent_inserts_with_per_chunk_compaction_conserve_rows() {
+        // Same race, with every chunk compacting aggressively: rebuilds
+        // must not drop pending rows that land mid-compaction.
+        let idx = Arc::new(
+            ChunkedCracker::new(
+                shuffled(200),
+                3,
+                ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+            )
+            .with_compaction(CompactionPolicy::rows(8)),
+        );
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    idx.insert((5000 + t * 100 + i) as i64);
+                    if i % 10 == 3 {
+                        idx.count(5000, 6000);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.count(5000, 5600).0, 600);
+        assert_eq!(idx.len(), 800);
+        assert!(idx.compactions_performed() > 0, "threshold 8 must trip");
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn per_chunk_compaction_bounds_each_chunks_delta() {
+        let values = shuffled(2000);
+        let idx = ChunkedCracker::new(
+            values.clone(),
+            4,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        )
+        .with_compaction(CompactionPolicy::rows(32));
+        idx.sum(100, 1500); // warm the chunk indexes
+        let mut oracle = values.clone();
+        let mut max_delta = 0;
+        for i in 0..1000 {
+            let key = 10_000 + i;
+            idx.insert(key);
+            oracle.push(key);
+            max_delta = max_delta.max(idx.delta_rows());
+        }
+        // The designation rotates across chunks as they fill, so each of
+        // the 4 chunks can hold up to one threshold of pending rows; the
+        // total stays bounded by chunks × threshold instead of growing
+        // with the insert stream.
+        assert!(
+            max_delta <= 4 * 32,
+            "per-chunk compaction must bound the delta, saw {max_delta}"
+        );
+        // ~1000/32 rebuilds minus up to one sub-threshold residue per
+        // chunk that never trips.
+        assert!(
+            idx.compactions_performed() >= (1000 - 4 * 32) / 32,
+            "expected regular per-chunk rebuilds, got {}",
+            idx.compactions_performed()
+        );
+        for (low, high) in [(0, 2000), (10_000, 11_000), (500, 10_500)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&oracle, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&oracle, low, high));
+        }
+        assert!(idx.check_invariants());
     }
 
     #[test]

@@ -47,6 +47,8 @@ enum OwnerRequest {
     },
     /// Run `check_invariants` on the partition index and reply.
     Check { reply: Sender<bool> },
+    /// Reply with `(pending delta rows, delta merges performed)`.
+    DeltaStats { reply: Sender<(usize, u64)> },
 }
 
 /// One partition owner: a worker thread with exclusive, latch-free access
@@ -100,6 +102,9 @@ fn owner_loop(mut index: CrackerIndex, requests: &Receiver<OwnerRequest>) {
             OwnerRequest::Check { reply } => {
                 let _ = reply.send(index.check_invariants());
             }
+            OwnerRequest::DeltaStats { reply } => {
+                let _ = reply.send((index.pending_len(), index.delta_merges()));
+            }
         }
     }
 }
@@ -124,6 +129,19 @@ impl RangePartitionedCracker {
     /// a stripe of the input and scatters values into per-partition
     /// buckets, which are then concatenated per partition.
     pub fn new(values: Vec<i64>, partitions: usize) -> Self {
+        Self::with_compaction_threshold(values, partitions, 0)
+    }
+
+    /// As [`RangePartitionedCracker::new`], but every partition's cracker
+    /// index eagerly merges its pending-insert delta once it reaches
+    /// `compaction_threshold` rows (0 = merge only on the next crack).
+    /// Each owner thread compacts only its own partition, so the merge
+    /// work spreads across cores with the write stream.
+    pub fn with_compaction_threshold(
+        values: Vec<i64>,
+        partitions: usize,
+        compaction_threshold: usize,
+    ) -> Self {
         let len = values.len();
         let partitions = partitions.clamp(1, len.max(1));
         let splits = choose_splits(&values, partitions);
@@ -177,7 +195,8 @@ impl RangePartitionedCracker {
         for (p, bucket) in partition_values.into_iter().enumerate() {
             partition_sizes.push(AtomicUsize::new(bucket.len()));
             let (tx, rx) = channel();
-            let index = CrackerIndex::from_values(bucket);
+            let index =
+                CrackerIndex::from_values(bucket).with_compaction_threshold(compaction_threshold);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("aidx-partition-{p}"))
@@ -317,6 +336,28 @@ impl RangePartitionedCracker {
         let mut metrics = QueryMetrics::merge_parallel(parts);
         metrics.total = start.elapsed();
         (value, metrics)
+    }
+
+    /// Sums `(pending delta rows, delta merges performed)` across all
+    /// partition owners.
+    pub fn delta_stats(&self) -> (u64, u64) {
+        let (reply_tx, reply_rx) = channel();
+        for owner in &self.owners {
+            owner
+                .send(OwnerRequest::DeltaStats {
+                    reply: reply_tx.clone(),
+                })
+                .expect("partition owner exited early");
+        }
+        drop(reply_tx);
+        let mut pending = 0u64;
+        let mut merges = 0u64;
+        for _ in 0..self.owners.len() {
+            let (p, m) = reply_rx.recv().expect("partition owner died");
+            pending += p as u64;
+            merges += m;
+        }
+        (pending, merges)
     }
 
     /// Verifies every partition's piece/array consistency.
@@ -567,6 +608,36 @@ mod tests {
         assert_eq!(idx.count(0, 160).0, 0);
         assert_eq!(idx.count(n as i64, (n + 160) as i64).0, 160);
         assert_eq!(idx.len(), n);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn per_partition_compaction_bounds_each_partitions_delta() {
+        let values = shuffled(4000);
+        let idx = RangePartitionedCracker::with_compaction_threshold(values.clone(), 4, 16);
+        idx.sum(0, 4000); // warm: every partition cracks
+        let mut oracle = values.clone();
+        let mut max_pending = 0;
+        for i in 0..800 {
+            let key = i * 5; // spread inserts across all partitions
+            idx.insert(key);
+            oracle.push(key);
+            let (pending, _) = idx.delta_stats();
+            max_pending = max_pending.max(pending);
+        }
+        // Each partition merges once its own delta reaches 16, so the
+        // total across 4 partitions stays under 4 × 16.
+        assert!(
+            max_pending < 4 * 16,
+            "per-partition compaction must bound the delta, saw {max_pending}"
+        );
+        let (_, merges) = idx.delta_stats();
+        assert!(merges >= 800 / 64, "eager merges happened: {merges}");
+        for (low, high) in [(0, 4000), (100, 300), (3000, 4000)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&oracle, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&oracle, low, high));
+        }
+        assert_eq!(idx.len(), oracle.len());
         assert!(idx.check_invariants());
     }
 

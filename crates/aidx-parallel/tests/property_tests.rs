@@ -1,0 +1,123 @@
+//! Property tests for the parallel crackers' write paths: random op
+//! interleavings against a `BTreeMap` multiset oracle with aggressive
+//! per-chunk / per-partition compaction, so rebuilds fire mid-sequence on
+//! whichever worker owns the write.
+
+use aidx_core::{CompactionPolicy, LatchProtocol, RefinementPolicy};
+use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn oracle_from(values: &[i64]) -> BTreeMap<i64, u64> {
+    let mut oracle = BTreeMap::new();
+    for &v in values {
+        *oracle.entry(v).or_insert(0u64) += 1;
+    }
+    oracle
+}
+
+fn oracle_count(oracle: &BTreeMap<i64, u64>, low: i64, high: i64) -> u64 {
+    if low >= high {
+        return 0;
+    }
+    oracle.range(low..high).map(|(_, &n)| n).sum()
+}
+
+fn oracle_sum(oracle: &BTreeMap<i64, u64>, low: i64, high: i64) -> i128 {
+    if low >= high {
+        return 0;
+    }
+    oracle
+        .range(low..high)
+        .map(|(&v, &n)| v as i128 * n as i128)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chunked_mixed_ops_across_compactions_match_the_oracle(
+        values in prop::collection::vec(-150i64..150, 0..150),
+        ops in prop::collection::vec((0u8..4, -200i64..200, -200i64..200), 1..40),
+        chunks in 1usize..5,
+    ) {
+        let idx = ChunkedCracker::new(
+            values.clone(),
+            chunks,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        )
+        .with_compaction(CompactionPolicy::rows(4));
+        let mut oracle = oracle_from(&values);
+        let mut compactions_seen = 0;
+        for &(kind, a, b) in &ops {
+            match kind {
+                0 => {
+                    let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                    prop_assert_eq!(idx.count(low, high).0, oracle_count(&oracle, low, high));
+                }
+                1 => {
+                    let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                    prop_assert_eq!(idx.sum(low, high).0, oracle_sum(&oracle, low, high));
+                }
+                2 => {
+                    idx.insert(a);
+                    *oracle.entry(a).or_insert(0) += 1;
+                }
+                _ => {
+                    let removed = idx.delete(a).0;
+                    let expected = oracle.remove(&a).unwrap_or(0);
+                    prop_assert_eq!(removed, expected, "delete {}", a);
+                }
+            }
+            let now = idx.compactions_performed();
+            if now > compactions_seen {
+                compactions_seen = now;
+                prop_assert!(
+                    idx.check_invariants(),
+                    "invariants broken after chunk compaction #{}",
+                    now
+                );
+            }
+        }
+        let total: u64 = oracle.values().sum();
+        prop_assert_eq!(idx.count(i64::MIN, i64::MAX).0, total);
+        prop_assert_eq!(idx.len() as u64, total);
+        prop_assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn range_partitioned_mixed_ops_with_eager_merges_match_the_oracle(
+        values in prop::collection::vec(-150i64..150, 0..150),
+        ops in prop::collection::vec((0u8..4, -200i64..200, -200i64..200), 1..40),
+        partitions in 1usize..5,
+    ) {
+        let idx = RangePartitionedCracker::with_compaction_threshold(values.clone(), partitions, 3);
+        let mut oracle = oracle_from(&values);
+        for &(kind, a, b) in &ops {
+            match kind {
+                0 => {
+                    let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                    prop_assert_eq!(idx.count(low, high).0, oracle_count(&oracle, low, high));
+                }
+                1 => {
+                    let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                    prop_assert_eq!(idx.sum(low, high).0, oracle_sum(&oracle, low, high));
+                }
+                2 => {
+                    idx.insert(a);
+                    *oracle.entry(a).or_insert(0) += 1;
+                }
+                _ => {
+                    let removed = idx.delete(a).0;
+                    let expected = oracle.remove(&a).unwrap_or(0);
+                    prop_assert_eq!(removed, expected, "delete {}", a);
+                }
+            }
+            prop_assert!(idx.check_invariants());
+        }
+        let total: u64 = oracle.values().sum();
+        prop_assert_eq!(idx.count(i64::MIN, i64::MAX).0, total);
+        prop_assert_eq!(idx.len() as u64, total);
+    }
+}

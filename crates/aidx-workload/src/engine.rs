@@ -24,8 +24,8 @@
 
 use crate::query::{Operation, QuerySpec};
 use aidx_core::{
-    Aggregate, ConcurrentAdaptiveMerge, ConcurrentCracker, LatchProtocol, QueryMetrics,
-    RefinementPolicy,
+    Aggregate, CompactionPolicy, ConcurrentAdaptiveMerge, ConcurrentCracker, LatchProtocol,
+    QueryMetrics, RefinementPolicy,
 };
 use aidx_cracking::SortIndex;
 use aidx_latch::lockmgr::LockManager;
@@ -328,6 +328,14 @@ impl CrackEngine {
             cracker: ConcurrentCracker::from_values(values, protocol).with_policy(policy),
             name: format!("crack-{protocol}"),
         }
+    }
+
+    /// Sets the delta compaction policy (builder style): long write
+    /// streams rebuild the cracker's main array once the pending delta
+    /// outgrows the threshold instead of degrading every select.
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
+        self.cracker.set_compaction(compaction);
+        self
     }
 
     /// The underlying concurrent cracker (for post-run inspection).

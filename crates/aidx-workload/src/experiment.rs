@@ -15,7 +15,7 @@ use crate::generator::WorkloadGenerator;
 use crate::parallel_engine::{ParallelChunkEngine, ParallelRangeEngine};
 use crate::query::{Operation, QuerySpec};
 use crate::runner::MultiClientRunner;
-use aidx_core::{Aggregate, LatchProtocol, RefinementPolicy, RunMetrics};
+use aidx_core::{Aggregate, CompactionPolicy, LatchProtocol, RefinementPolicy, RunMetrics};
 use aidx_storage::generate_unique_shuffled;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -207,6 +207,13 @@ pub struct ExperimentConfig {
     /// Fraction of operations that are writes (half inserts, half
     /// deletes); `0.0` reproduces the paper's read-only workloads.
     pub write_ratio: f64,
+    /// Delta compaction threshold in rows: adaptive arms rebuild their
+    /// main structure once the pending delta reaches this many rows
+    /// (per chunk for `ParallelChunk`, per partition for `ParallelRange`).
+    /// `0` disables compaction, reproducing the unbounded pre-compaction
+    /// delta. Arms without a pending delta (scan, sort, adaptive-merge)
+    /// ignore the knob.
+    pub compaction_threshold: u64,
     /// The approach under test.
     pub approach: Approach,
     /// Seed for the data permutation.
@@ -226,6 +233,7 @@ impl ExperimentConfig {
             selectivity: 0.0001,
             aggregate: Aggregate::Sum,
             write_ratio: 0.0,
+            compaction_threshold: 0,
             approach,
             data_seed: DEFAULT_DATA_SEED,
             query_seed: DEFAULT_QUERY_SEED,
@@ -268,6 +276,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the delta compaction threshold (builder style; 0 disables).
+    pub fn compaction_threshold(mut self, compaction_threshold: u64) -> Self {
+        self.compaction_threshold = compaction_threshold;
+        self
+    }
+
     fn generator(&self) -> WorkloadGenerator {
         WorkloadGenerator::new(
             self.rows as u64,
@@ -299,25 +313,33 @@ impl ExperimentConfig {
     /// Builds the engine over caller-provided data (so a sweep can reuse one
     /// generated column across arms).
     pub fn build_engine_with(&self, values: Vec<i64>) -> Arc<dyn AdaptiveEngine> {
+        let compaction = if self.compaction_threshold > 0 {
+            CompactionPolicy::rows(self.compaction_threshold)
+        } else {
+            CompactionPolicy::disabled()
+        };
         match self.approach {
             Approach::Scan => Arc::new(ScanEngine::new(values)),
             Approach::Sort => Arc::new(SortEngine::new(values)),
-            Approach::Crack(protocol) => Arc::new(CrackEngine::new(values, protocol)),
-            Approach::CrackSkipOnContention(protocol) => Arc::new(CrackEngine::with_policy(
-                values,
-                protocol,
-                RefinementPolicy::SkipOnContention,
-            )),
+            Approach::Crack(protocol) => {
+                Arc::new(CrackEngine::new(values, protocol).with_compaction(compaction))
+            }
+            Approach::CrackSkipOnContention(protocol) => Arc::new(
+                CrackEngine::with_policy(values, protocol, RefinementPolicy::SkipOnContention)
+                    .with_compaction(compaction),
+            ),
             Approach::AdaptiveMerge { run_size } => Arc::new(MergeEngine::new(values, run_size)),
-            Approach::ParallelChunk { chunks, protocol } => Arc::new(ParallelChunkEngine::new(
-                values,
-                effective_workers(chunks),
-                protocol,
-            )),
-            Approach::ParallelRange { partitions } => Arc::new(ParallelRangeEngine::new(
-                values,
-                effective_workers(partitions),
-            )),
+            Approach::ParallelChunk { chunks, protocol } => Arc::new(
+                ParallelChunkEngine::new(values, effective_workers(chunks), protocol)
+                    .with_compaction(compaction),
+            ),
+            Approach::ParallelRange { partitions } => {
+                Arc::new(ParallelRangeEngine::with_compaction_threshold(
+                    values,
+                    effective_workers(partitions),
+                    self.compaction_threshold as usize,
+                ))
+            }
         }
     }
 }
@@ -421,6 +443,60 @@ mod tests {
             assert!(
                 totals.inserts_applied + totals.deletes_applied > 0,
                 "{}: no writes executed",
+                approach.label()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_experiments_run_with_compaction_on_every_approach() {
+        // An aggressive threshold forces rebuilds mid-run on every arm
+        // that has a delta; arms without one must simply ignore the knob.
+        for approach in Approach::all() {
+            let config = tiny(approach).write_ratio(0.5).compaction_threshold(16);
+            assert_eq!(config.compaction_threshold, 16);
+            let run = run_experiment(&config);
+            assert_eq!(run.query_count(), 32, "{}", approach.label());
+            let totals = run.totals();
+            assert!(
+                totals.inserts_applied + totals.deletes_applied > 0,
+                "{}: no writes executed",
+                approach.label()
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_runs_stay_oracle_correct_under_concurrency() {
+        use crate::engine::CheckedEngine;
+        use crate::runner::MultiClientRunner;
+        use aidx_storage::generate_unique_shuffled;
+
+        for approach in [
+            Approach::Crack(LatchProtocol::Piece),
+            Approach::Crack(LatchProtocol::Column),
+            Approach::ParallelChunk {
+                chunks: 3,
+                protocol: LatchProtocol::Piece,
+            },
+            Approach::ParallelRange { partitions: 3 },
+        ] {
+            let config = tiny(approach)
+                .queries(64)
+                .clients(4)
+                .write_ratio(0.5)
+                .compaction_threshold(8);
+            let values = generate_unique_shuffled(config.rows, config.data_seed);
+            let engine = Arc::new(CheckedEngine::new(
+                config.build_engine_with(values.clone()),
+                values,
+            ));
+            let ops = config.generate_operations();
+            MultiClientRunner::new(config.clients).run_ops(engine.clone(), &ops);
+            assert_eq!(
+                engine.mismatches(),
+                vec![],
+                "{} diverged from the oracle with compaction every 8 rows",
                 approach.label()
             );
         }

@@ -11,7 +11,7 @@
 
 use crate::engine::{execute_on_index, AdaptiveEngine, OpResult};
 use crate::query::Operation;
-use aidx_core::{Aggregate, LatchProtocol, RefinementPolicy};
+use aidx_core::{Aggregate, CompactionPolicy, LatchProtocol, RefinementPolicy};
 use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 
 /// Parallel-chunked cracking as an experiment arm.
@@ -30,6 +30,13 @@ impl ParallelChunkEngine {
             chunks,
             ChunkBackend::Concurrent(protocol, RefinementPolicy::Always),
         )
+    }
+
+    /// Sets the per-chunk delta compaction policy (builder style; must be
+    /// applied before the engine is shared).
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
+        self.index.set_compaction(compaction);
+        self
     }
 
     /// Builds the engine with an explicit per-chunk backend.
@@ -75,7 +82,22 @@ pub struct ParallelRangeEngine {
 impl ParallelRangeEngine {
     /// Builds the engine with `partitions` latch-free partitions.
     pub fn new(values: Vec<i64>, partitions: usize) -> Self {
-        let index = RangePartitionedCracker::new(values, partitions);
+        Self::with_compaction_threshold(values, partitions, 0)
+    }
+
+    /// As [`ParallelRangeEngine::new`], with every partition eagerly
+    /// merging its pending delta at `compaction_threshold` rows (0 =
+    /// merge only on crack).
+    pub fn with_compaction_threshold(
+        values: Vec<i64>,
+        partitions: usize,
+        compaction_threshold: usize,
+    ) -> Self {
+        let index = RangePartitionedCracker::with_compaction_threshold(
+            values,
+            partitions,
+            compaction_threshold,
+        );
         let name = format!("parallel-range-{}", index.partition_count());
         ParallelRangeEngine { index, name }
     }
