@@ -16,11 +16,36 @@
 //! per-partition parallel crackers, the workload harness) threads the same
 //! knob.
 
+/// *How* a triggered compaction reconciles the delta with the main array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// Quiesce the whole index (piece-registry gate exclusive) and rebuild
+    /// the main array in one pass — the PR 3 system transaction. Readers
+    /// and writers all stall for the rebuild's duration.
+    #[default]
+    Quiesce,
+    /// Walk the piece registry one piece write latch at a time, merging
+    /// each piece's epoch-visible pending inserts into its tombstone holes
+    /// and advancing a per-piece `compacted_through` watermark. Readers
+    /// never block on the walk; the exclusive gate is taken only for the
+    /// final fixup (the quiescing rebuild), and only when a whole lap over
+    /// the pieces could not bring the delta back under the threshold
+    /// (e.g. an insert-only stream with no holes to fill).
+    Incremental {
+        /// Pieces merged per walk step (clamped to at least 1). Bounds the
+        /// single-write stall: a triggered write pays for at most this many
+        /// piece merges before the trigger is re-evaluated.
+        pieces_per_step: usize,
+    },
+}
+
 /// When to rebuild the main array from `main + pending − tombstones`.
 ///
 /// Both thresholds are optional; whichever trips first triggers a
 /// compaction, and [`CompactionPolicy::disabled`] (the default) never
-/// triggers, reproducing the pre-compaction behaviour exactly.
+/// triggers, reproducing the pre-compaction behaviour exactly. The
+/// [`CompactionMode`] decides whether the triggered reconciliation
+/// quiesces the column or walks it piece by piece.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CompactionPolicy {
     /// Compact once the delta holds at least this many rows (pending
@@ -30,6 +55,8 @@ pub struct CompactionPolicy {
     /// array's row count (an empty main array compacts on any delta row,
     /// since every query is then answered entirely from the delta).
     pub max_delta_fraction: Option<f64>,
+    /// How the triggered compaction runs (quiescing rebuild by default).
+    pub mode: CompactionMode,
 }
 
 impl CompactionPolicy {
@@ -39,6 +66,7 @@ impl CompactionPolicy {
         CompactionPolicy {
             max_delta_rows: None,
             max_delta_fraction: None,
+            mode: CompactionMode::Quiesce,
         }
     }
 
@@ -50,6 +78,7 @@ impl CompactionPolicy {
         CompactionPolicy {
             max_delta_rows: if rows == 0 { None } else { Some(rows) },
             max_delta_fraction: None,
+            mode: CompactionMode::Quiesce,
         }
     }
 
@@ -65,7 +94,21 @@ impl CompactionPolicy {
             } else {
                 Some(fraction)
             },
+            mode: CompactionMode::Quiesce,
         }
+    }
+
+    /// Switches the policy to incremental (piece-at-a-time) compaction
+    /// with the given walk-step budget (builder style; 0 is clamped to 1).
+    pub const fn incremental(mut self, pieces_per_step: usize) -> Self {
+        self.mode = CompactionMode::Incremental {
+            pieces_per_step: if pieces_per_step == 0 {
+                1
+            } else {
+                pieces_per_step
+            },
+        };
+        self
     }
 
     /// True if at least one threshold is configured.
@@ -147,9 +190,25 @@ mod tests {
         let p = CompactionPolicy {
             max_delta_rows: Some(1000),
             max_delta_fraction: Some(0.5),
+            mode: CompactionMode::Quiesce,
         };
         assert!(p.should_compact(1000, 1_000_000), "row bound trips");
         assert!(p.should_compact(50, 100), "fraction bound trips");
         assert!(!p.should_compact(49, 100));
+    }
+
+    #[test]
+    fn incremental_builder_sets_the_mode_and_clamps_the_step() {
+        let p = CompactionPolicy::rows(100);
+        assert_eq!(p.mode, CompactionMode::Quiesce);
+        let p = p.incremental(4);
+        assert_eq!(p.mode, CompactionMode::Incremental { pieces_per_step: 4 });
+        assert!(p.is_enabled(), "thresholds survive the mode switch");
+        assert!(p.should_compact(100, 1_000_000));
+        assert_eq!(
+            CompactionPolicy::rows(1).incremental(0).mode,
+            CompactionMode::Incremental { pieces_per_step: 1 },
+            "zero step budget is clamped"
+        );
     }
 }

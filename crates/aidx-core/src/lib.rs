@@ -47,8 +47,8 @@ pub mod piece_registry;
 pub mod protocol;
 pub mod shared_array;
 
-pub use compaction::CompactionPolicy;
-pub use concurrent_index::ConcurrentCracker;
+pub use compaction::{CompactionMode, CompactionPolicy};
+pub use concurrent_index::{ConcurrentCracker, Snapshot};
 pub use merge_concurrent::ConcurrentAdaptiveMerge;
 pub use metrics::{QueryMetrics, RunMetrics};
 pub use pending::{DeltaAdjust, DrainedDelta, PendingDelta};

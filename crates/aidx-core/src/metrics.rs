@@ -32,6 +32,17 @@ pub struct QueryMetrics {
     /// Number of delta compactions (whole-array rebuilds) this operation
     /// triggered.
     pub compactions_performed: u32,
+    /// Number of incremental compaction steps (single-piece delta merges
+    /// under that piece's write latch) this operation performed.
+    pub compaction_steps: u32,
+    /// Number of times this operation's snapshot validation (the
+    /// shrink-epoch seqlock around its main-phase + delta-snapshot pair)
+    /// failed and the read was retried.
+    pub snapshot_retries: u32,
+    /// Rows physically reclaimed or merged in place by this operation's
+    /// incremental compaction steps (tombstoned rows swept into holes plus
+    /// pending inserts placed into holes).
+    pub rows_reclaimed: u64,
     /// Number of latch acquisitions that had to wait (conflicts).
     pub conflicts: u32,
     /// Number of optional refinements skipped because of contention
@@ -63,6 +74,9 @@ impl QueryMetrics {
         self.compactions_performed = self
             .compactions_performed
             .saturating_add(other.compactions_performed);
+        self.compaction_steps = self.compaction_steps.saturating_add(other.compaction_steps);
+        self.snapshot_retries = self.snapshot_retries.saturating_add(other.snapshot_retries);
+        self.rows_reclaimed = self.rows_reclaimed.saturating_add(other.rows_reclaimed);
         self.conflicts = self.conflicts.saturating_add(other.conflicts);
         self.refinements_skipped = self
             .refinements_skipped
@@ -240,6 +254,9 @@ mod tests {
         let near_max = QueryMetrics {
             cracks_performed: u32::MAX - 1,
             compactions_performed: u32::MAX - 3,
+            compaction_steps: u32::MAX - 2,
+            snapshot_retries: u32::MAX - 1,
+            rows_reclaimed: u64::MAX - 3,
             conflicts: u32::MAX,
             refinements_skipped: u32::MAX - 2,
             inserts_applied: u32::MAX,
@@ -250,6 +267,9 @@ mod tests {
         let more = QueryMetrics {
             cracks_performed: 5,
             compactions_performed: 8,
+            compaction_steps: 9,
+            snapshot_retries: 4,
+            rows_reclaimed: 50,
             conflicts: 1,
             refinements_skipped: 7,
             inserts_applied: 2,
@@ -260,6 +280,9 @@ mod tests {
         let merged = QueryMetrics::merge_parallel([near_max, more]);
         assert_eq!(merged.cracks_performed, u32::MAX);
         assert_eq!(merged.compactions_performed, u32::MAX);
+        assert_eq!(merged.compaction_steps, u32::MAX);
+        assert_eq!(merged.snapshot_retries, u32::MAX);
+        assert_eq!(merged.rows_reclaimed, u64::MAX);
         assert_eq!(merged.conflicts, u32::MAX);
         assert_eq!(merged.refinements_skipped, u32::MAX);
         assert_eq!(merged.inserts_applied, u32::MAX);

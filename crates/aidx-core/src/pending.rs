@@ -20,10 +20,38 @@
 //!   *tombstone*. Because cracking never changes the array's multiset of
 //!   values, the tombstoned count stays exact forever after.
 //!
+//! # Epoch stamps and snapshot reads
+//!
+//! Every write is stamped with a monotonically increasing **column
+//! epoch**. A reader that wants a frozen view registers a snapshot at the
+//! current epoch `e` and asks the delta for the adjustment *as of* `e`
+//! ([`PendingDelta::adjust_at`]): stamps with epoch `> e` are invisible.
+//! Because the main array is reconciled physically over time (piece
+//! shrinking reclaims tombstoned rows, incremental compaction merges
+//! pending inserts into holes, full compaction rebuilds the array), the
+//! delta also keeps a **compensation ledger**: whenever stamped rows move
+//! between the delta domain and the main array, the moved stamps land in
+//! the ledger — tombstone stamps positively (the row is physically gone
+//! but was logically alive before its delete epoch), insert stamps negated
+//! (the row is physically in main but logically absent before its insert
+//! epoch). A snapshot at epoch `e` folds ledger entries with epoch `> e`
+//! on top of `main@now`, which restores exactly `main@e + delta≤e`:
+//!
+//! ```text
+//! answer(e) = main@now + stamps(≤ e) + compensation(> e)
+//! ```
+//!
+//! Current-epoch readers skip both stamp histories and the ledger
+//! entirely (net counters answer them), so the read-only fast path is
+//! unchanged. Ledger entries and stamp histories are garbage-collected as
+//! snapshots retire: with no live snapshot the ledger is empty and every
+//! cell holds at most one stamp.
+//!
 //! The logical content of the index is therefore always
 //! `main multiset + pending inserts − tombstones`, and since the main
-//! multiset is immutable, a query only needs one consistent snapshot of
-//! the delta (a single short mutex) to be linearizable.
+//! multiset changes only through epoch-guarded reclamations, a query needs
+//! one consistent snapshot of the delta (a single short mutex) plus the
+//! shrink-epoch validation to be linearizable.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -42,16 +70,185 @@ pub struct DeltaAdjust {
     pub tombstone_sum: i128,
 }
 
+/// One epoch-stamped adjustment to a value's multiplicity. Insert stamps
+/// are signed (a delete negates the pending rows it found); tombstone
+/// stamps are always positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Stamp {
+    epoch: u64,
+    count: i64,
+}
+
+/// Per-value stamped multiplicity: the net *current* count plus the epoch
+/// history that lets snapshots reconstruct earlier prefixes. With no live
+/// snapshot the history is collapsed to a single stamp.
+#[derive(Debug, Default)]
+struct StampCell {
+    /// Current visible count (sum of all stamps; never negative).
+    net: u64,
+    /// Epoch history, ascending by epoch (epochs are assigned under the
+    /// delta lock, so append order is epoch order).
+    stamps: Vec<Stamp>,
+}
+
+impl StampCell {
+    /// Sum of the stamps visible at snapshot epoch `epoch` (may be
+    /// negative mid-history; the caller's main-array term compensates).
+    fn prefix(&self, epoch: u64) -> i128 {
+        self.stamps
+            .iter()
+            .take_while(|s| s.epoch <= epoch)
+            .map(|s| s.count as i128)
+            .sum()
+    }
+
+    /// Collapses the whole history into one stamp at `epoch` (correct
+    /// whenever no live snapshot predates `epoch`).
+    fn collapse(&mut self, epoch: u64) {
+        self.stamps.clear();
+        if self.net > 0 {
+            self.stamps.push(Stamp {
+                epoch,
+                count: self.net as i64,
+            });
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct DeltaState {
-    /// value → number of pending inserted rows with that value.
-    inserts: BTreeMap<i64, u64>,
-    /// value → number of main-array rows with that value that are
-    /// logically deleted. Never exceeds the value's multiplicity in the
-    /// main array (enforced by [`PendingDelta::tombstone_to`]).
-    tombstones: BTreeMap<i64, u64>,
+    /// Epoch of the most recent stamped write (0 = nothing written yet).
+    epoch: u64,
+    /// value → stamped pending-insert multiplicity.
+    inserts: BTreeMap<i64, StampCell>,
+    /// value → stamped tombstone multiplicity. The net never exceeds the
+    /// value's multiplicity in the main array (enforced by the delete
+    /// path), and all stamps are positive.
+    tombstones: BTreeMap<i64, StampCell>,
+    /// The compensation ledger: stamps whose rows were physically
+    /// reconciled with the main array. Positive entries are retired
+    /// tombstones (ghost rows a pre-delete snapshot must still count),
+    /// negative entries are merged-in inserts (rows a pre-insert snapshot
+    /// must not count). An entry at epoch `t` affects only snapshots with
+    /// epoch `< t`.
+    compensation: BTreeMap<i64, Vec<Stamp>>,
+    /// Net current pending inserted rows (sum of insert-cell nets).
     pending_inserts: u64,
+    /// Net current tombstoned rows (sum of tombstone-cell nets).
     tombstoned_rows: u64,
+    /// snapshot epoch → number of live snapshot handles registered at it.
+    live_snapshots: BTreeMap<u64, usize>,
+}
+
+impl DeltaState {
+    /// Smallest live snapshot epoch, if any snapshot is registered.
+    fn min_live_snapshot(&self) -> Option<u64> {
+        self.live_snapshots.keys().next().copied()
+    }
+
+    /// True when at least one snapshot handle is live (cells must keep
+    /// their stamp histories and reconciliations must write the ledger).
+    fn snapshots_live(&self) -> bool {
+        !self.live_snapshots.is_empty()
+    }
+
+    /// Garbage-collects history no live snapshot can observe: ledger
+    /// entries at epochs `<=` the oldest live snapshot, stamp prefixes the
+    /// oldest live snapshot already sees in full, and empty cells.
+    fn gc(&mut self) {
+        match self.min_live_snapshot() {
+            None => {
+                self.compensation.clear();
+                let epoch = self.epoch;
+                self.inserts.retain(|_, cell| {
+                    cell.collapse(epoch);
+                    cell.net > 0
+                });
+                self.tombstones.retain(|_, cell| {
+                    cell.collapse(epoch);
+                    cell.net > 0
+                });
+            }
+            Some(min_live) => {
+                self.compensation.retain(|_, stamps| {
+                    stamps.retain(|s| s.epoch > min_live);
+                    !stamps.is_empty()
+                });
+                for cells in [&mut self.inserts, &mut self.tombstones] {
+                    cells.retain(|_, cell| {
+                        // Merge the prefix every live snapshot sees in full
+                        // into one stamp (at the prefix's own last epoch).
+                        let split = cell
+                            .stamps
+                            .iter()
+                            .take_while(|s| s.epoch <= min_live)
+                            .count();
+                        if split > 1 {
+                            let merged: i128 =
+                                cell.stamps[..split].iter().map(|s| s.count as i128).sum();
+                            let epoch = cell.stamps[split - 1].epoch;
+                            cell.stamps.drain(..split - 1);
+                            cell.stamps[0] = Stamp {
+                                epoch,
+                                count: merged as i64,
+                            };
+                            if cell.stamps[0].count == 0 {
+                                cell.stamps.remove(0);
+                            }
+                        }
+                        cell.net > 0 || !cell.stamps.is_empty()
+                    });
+                }
+            }
+        }
+    }
+
+    /// Moves `mass` rows of stamp weight out of `cell` (oldest positive
+    /// stamps first) and records each moved piece in the compensation
+    /// ledger for `value` with the given `sign` — `+1` for retired
+    /// tombstones, `-1` for merged-in inserts. Skipped entirely when no
+    /// snapshot is live (`record` false).
+    fn reconcile_mass(
+        compensation: &mut BTreeMap<i64, Vec<Stamp>>,
+        cell: &mut StampCell,
+        value: i64,
+        mut mass: u64,
+        sign: i64,
+        record: bool,
+    ) {
+        let mut idx = 0;
+        while mass > 0 && idx < cell.stamps.len() {
+            if cell.stamps[idx].count <= 0 {
+                idx += 1;
+                continue;
+            }
+            let take = (cell.stamps[idx].count as u64).min(mass);
+            cell.stamps[idx].count -= take as i64;
+            mass -= take;
+            if record {
+                let entry = compensation.entry(value).or_default();
+                // Ledger entries for one value arrive in epoch order too
+                // (mass moves oldest-first), but a later reconciliation
+                // may move an older stamp than a previous one recorded —
+                // keep the vec sorted by epoch for deterministic folds.
+                let stamp = Stamp {
+                    epoch: cell.stamps[idx].epoch,
+                    count: sign * take as i64,
+                };
+                match entry.iter().rposition(|s| s.epoch <= stamp.epoch) {
+                    Some(p) if entry[p].epoch == stamp.epoch => entry[p].count += stamp.count,
+                    Some(p) => entry.insert(p + 1, stamp),
+                    None => entry.insert(0, stamp),
+                }
+            }
+            if cell.stamps[idx].count == 0 {
+                cell.stamps.remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+        debug_assert_eq!(mass, 0, "stamp mass covers every reconciled row");
+    }
 }
 
 /// Everything a [`PendingDelta`] held, taken in one atomic step by a
@@ -75,7 +272,8 @@ impl DrainedDelta {
     }
 }
 
-/// Latch-protected pending inserts and tombstones for one shared index.
+/// Latch-protected pending inserts and tombstones for one shared index,
+/// epoch-stamped so snapshot readers can reconstruct earlier states.
 #[derive(Debug, Default)]
 pub struct PendingDelta {
     state: Mutex<DeltaState>,
@@ -93,13 +291,58 @@ impl PendingDelta {
         Self::default()
     }
 
+    /// The epoch of the most recent stamped write (the epoch a snapshot
+    /// registered *now* would read at).
+    pub fn current_epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Registers a snapshot at the current epoch and returns that epoch.
+    /// While registered, reconciliations keep enough history for
+    /// [`PendingDelta::adjust_at`] at the epoch to stay answerable; every
+    /// registration must be paired with a
+    /// [`PendingDelta::release_snapshot`].
+    pub fn register_snapshot(&self) -> u64 {
+        let mut state = self.state.lock();
+        let epoch = state.epoch;
+        *state.live_snapshots.entry(epoch).or_insert(0) += 1;
+        epoch
+    }
+
+    /// Releases one snapshot registration at `epoch` and garbage-collects
+    /// whatever history no remaining snapshot can observe.
+    pub fn release_snapshot(&self, epoch: u64) {
+        let mut state = self.state.lock();
+        match state.live_snapshots.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                state.live_snapshots.remove(&epoch);
+            }
+            None => debug_assert!(false, "released an unregistered snapshot epoch"),
+        }
+        state.gc();
+    }
+
+    /// Number of live snapshot registrations (diagnostics/tests).
+    pub fn live_snapshots(&self) -> usize {
+        self.state.lock().live_snapshots.values().sum()
+    }
+
     /// Records one pending inserted row with the given value, returning
     /// the delta's total row count (pending inserts plus tombstones)
     /// after the insert — the caller's compaction trigger can use it
     /// without a second lock acquisition.
     pub fn insert(&self, value: i64) -> u64 {
         let mut state = self.state.lock();
-        *state.inserts.entry(value).or_insert(0) += 1;
+        state.epoch += 1;
+        let epoch = state.epoch;
+        let snapshots_live = state.snapshots_live();
+        let cell = state.inserts.entry(value).or_default();
+        cell.net += 1;
+        cell.stamps.push(Stamp { epoch, count: 1 });
+        if !snapshots_live {
+            cell.collapse(epoch);
+        }
         state.pending_inserts += 1;
         state.pending_inserts + state.tombstoned_rows
     }
@@ -110,14 +353,14 @@ impl PendingDelta {
     /// main-array rows carrying it). Returns `(pending rows removed, main
     /// rows newly suppressed)`.
     ///
-    /// Both effects happen under one lock acquisition so a concurrent
-    /// select's [`PendingDelta::adjust`] snapshot sees either the whole
-    /// delete or none of it — never the half-state where the pending rows
-    /// are gone but the main rows are not yet tombstoned (which no serial
-    /// order could produce). The tombstone update is idempotent: repeating
-    /// a delete suppresses nothing further, and concurrent deletes of the
-    /// same value cannot double-count because both compute the same
-    /// `main_occurrences` against the immutable main multiset.
+    /// Both effects happen under one lock acquisition (and one epoch
+    /// stamp) so a concurrent select's delta snapshot sees either the
+    /// whole delete or none of it — never the half-state where the pending
+    /// rows are gone but the main rows are not yet tombstoned (which no
+    /// serial order could produce). The tombstone update is idempotent:
+    /// repeating a delete suppresses nothing further, and concurrent
+    /// deletes of the same value cannot double-count because both compute
+    /// the same `main_occurrences` against the same main multiset.
     pub fn apply_delete(&self, value: i64, main_occurrences: u64) -> (u64, u64) {
         self.apply_delete_validated(value, main_occurrences, || true)
             .expect("validation closure always passes")
@@ -143,31 +386,112 @@ impl PendingDelta {
         if !validate() {
             return None;
         }
-        let from_pending = state.inserts.remove(&value).unwrap_or(0);
+        state.epoch += 1;
+        let epoch = state.epoch;
+        let snapshots_live = state.snapshots_live();
+
+        // Negate the value's visible pending inserts at this epoch.
+        let mut from_pending = 0;
+        if let Some(cell) = state.inserts.get_mut(&value) {
+            from_pending = cell.net;
+            if from_pending > 0 {
+                cell.stamps.push(Stamp {
+                    epoch,
+                    count: -(from_pending as i64),
+                });
+                cell.net = 0;
+            }
+            if !snapshots_live {
+                cell.collapse(epoch);
+            }
+            if cell.net == 0 && cell.stamps.is_empty() {
+                state.inserts.remove(&value);
+            }
+        }
         state.pending_inserts -= from_pending;
-        let entry = state.tombstones.entry(value).or_insert(0);
-        let newly = main_occurrences.saturating_sub(*entry);
-        *entry += newly;
+
+        // Raise the tombstone to exactly the main multiplicity.
+        let cell = state.tombstones.entry(value).or_default();
+        let newly = main_occurrences.saturating_sub(cell.net);
+        if newly > 0 {
+            cell.net += newly;
+            cell.stamps.push(Stamp {
+                epoch,
+                count: newly as i64,
+            });
+            if !snapshots_live {
+                cell.collapse(epoch);
+            }
+        } else if cell.net == 0 && cell.stamps.is_empty() {
+            state.tombstones.remove(&value);
+        }
         state.tombstoned_rows += newly;
         self.tombstoned_hint
             .store(state.tombstoned_rows, Ordering::Release);
         Some((from_pending, newly))
     }
 
-    /// Takes the delta's entire contents in one atomic step, leaving it
-    /// empty. Compaction calls this while holding the index's quiesce
-    /// gate, folds the result into the rebuilt main array, and any insert
-    /// that lands after the drain simply waits for the next compaction.
+    /// Takes the delta's entire *current* contents in one atomic step,
+    /// leaving it logically empty. Compaction calls this while holding the
+    /// index's quiesce gate, folds the result into the rebuilt main array,
+    /// and any insert that lands after the drain simply waits for the next
+    /// compaction. If snapshots are live, every drained stamp moves into
+    /// the compensation ledger (inserts negated, tombstones positive) so
+    /// pre-drain snapshots stay answerable against the rebuilt array.
     pub fn drain(&self) -> DrainedDelta {
         let mut state = self.state.lock();
-        let drained = DrainedDelta {
-            inserts: std::mem::take(&mut state.inserts),
-            tombstones: std::mem::take(&mut state.tombstones),
+        let record = state.snapshots_live();
+        let inserts = std::mem::take(&mut state.inserts);
+        let tombstones = std::mem::take(&mut state.tombstones);
+        let mut drained = DrainedDelta {
             pending_inserts: state.pending_inserts,
             tombstoned_rows: state.tombstoned_rows,
+            ..DrainedDelta::default()
         };
+        for (value, mut cell) in inserts {
+            if cell.net > 0 {
+                drained.inserts.insert(value, cell.net);
+            }
+            if record {
+                let net = cell.net;
+                DeltaState::reconcile_mass(
+                    &mut state.compensation,
+                    &mut cell,
+                    value,
+                    net,
+                    -1,
+                    true,
+                );
+                // Residual stamp history (negated pending rows a delete
+                // already consumed) still matters to old snapshots: move
+                // it wholesale, negated.
+                let entry = state.compensation.entry(value).or_default();
+                for stamp in cell.stamps {
+                    if stamp.count != 0 {
+                        entry.push(Stamp {
+                            epoch: stamp.epoch,
+                            count: -stamp.count,
+                        });
+                    }
+                }
+                entry.sort_by_key(|s| s.epoch);
+                if entry.is_empty() {
+                    state.compensation.remove(&value);
+                }
+            }
+        }
+        for (value, mut cell) in tombstones {
+            if cell.net > 0 {
+                drained.tombstones.insert(value, cell.net);
+            }
+            if record {
+                let net = cell.net;
+                DeltaState::reconcile_mass(&mut state.compensation, &mut cell, value, net, 1, true);
+            }
+        }
         state.pending_inserts = 0;
         state.tombstoned_rows = 0;
+        state.gc();
         self.tombstoned_hint.store(0, Ordering::Release);
         drained
     }
@@ -179,39 +503,91 @@ impl PendingDelta {
     /// physically reclaim while it already holds the piece's write latch.
     pub fn tombstones_in(&self, low: Option<i64>, high: Option<i64>) -> BTreeMap<i64, u64> {
         let state = self.state.lock();
-        let range: Box<dyn Iterator<Item = (&i64, &u64)>> = match (low, high) {
-            (None, None) => Box::new(state.tombstones.range(..)),
-            (Some(lo), None) => Box::new(state.tombstones.range(lo..)),
-            (None, Some(hi)) => Box::new(state.tombstones.range(..hi)),
-            (Some(lo), Some(hi)) => Box::new(state.tombstones.range(lo..hi)),
-        };
-        range.map(|(&v, &n)| (v, n)).collect()
+        range_iter(&state.tombstones, low, high)
+            .filter(|(_, cell)| cell.net > 0)
+            .map(|(&v, cell)| (v, cell.net))
+            .collect()
     }
 
     /// Retires tombstones whose rows were physically removed from the
     /// main array: for every `(value, removed)` pair the value's tombstone
     /// drops by `removed` (never below zero). Returns the total number of
-    /// tombstoned rows retired.
+    /// tombstoned rows retired. The retired stamps move into the
+    /// compensation ledger (positively) while snapshots are live, so a
+    /// snapshot that predates the delete still counts the physically
+    /// removed rows.
     pub fn retire_tombstones(&self, reclaimed: &BTreeMap<i64, u64>) -> u64 {
         let mut state = self.state.lock();
+        let record = state.snapshots_live();
         let mut retired = 0u64;
         for (&value, &removed) in reclaimed {
             if removed == 0 {
                 continue;
             }
-            if let Some(entry) = state.tombstones.get_mut(&value) {
-                let drop = removed.min(*entry);
-                *entry -= drop;
+            let Some(mut cell) = state.tombstones.remove(&value) else {
+                continue;
+            };
+            let drop = removed.min(cell.net);
+            if drop > 0 {
+                DeltaState::reconcile_mass(
+                    &mut state.compensation,
+                    &mut cell,
+                    value,
+                    drop,
+                    1,
+                    record,
+                );
+                cell.net -= drop;
                 retired += drop;
-                if *entry == 0 {
-                    state.tombstones.remove(&value);
-                }
+            }
+            if cell.net > 0 || (record && !cell.stamps.is_empty()) {
+                state.tombstones.insert(value, cell);
             }
         }
         state.tombstoned_rows -= retired;
         self.tombstoned_hint
             .store(state.tombstoned_rows, Ordering::Release);
         retired
+    }
+
+    /// Takes up to `max_rows` currently-pending inserted rows whose values
+    /// fall in the piece key interval `[low, high)` (bounds as in
+    /// [`PendingDelta::tombstones_in`]) out of the delta, for physical
+    /// placement into that piece's holes by incremental compaction.
+    /// Returns the taken values with multiplicity. The taken stamps move
+    /// into the compensation ledger negated while snapshots are live, so a
+    /// snapshot that predates an insert does not double-count its row once
+    /// it sits in the main array.
+    pub fn take_inserts_in(&self, low: Option<i64>, high: Option<i64>, max_rows: u64) -> Vec<i64> {
+        if max_rows == 0 {
+            return Vec::new();
+        }
+        let mut state = self.state.lock();
+        let record = state.snapshots_live();
+        let mut budget = max_rows;
+        let mut taken = Vec::new();
+        let candidates: Vec<i64> = range_iter(&state.inserts, low, high)
+            .filter(|(_, cell)| cell.net > 0)
+            .map(|(&v, _)| v)
+            .collect();
+        for value in candidates {
+            if budget == 0 {
+                break;
+            }
+            let Some(mut cell) = state.inserts.remove(&value) else {
+                continue;
+            };
+            let take = cell.net.min(budget);
+            DeltaState::reconcile_mass(&mut state.compensation, &mut cell, value, take, -1, record);
+            cell.net -= take;
+            budget -= take;
+            state.pending_inserts -= take;
+            taken.extend(std::iter::repeat_n(value, take as usize));
+            if cell.net > 0 || (record && !cell.stamps.is_empty()) {
+                state.inserts.insert(value, cell);
+            }
+        }
+        taken
     }
 
     /// Lock-free probe: could any tombstoned rows exist right now? A
@@ -222,21 +598,78 @@ impl PendingDelta {
         self.tombstoned_hint.load(Ordering::Acquire) != 0
     }
 
-    /// One consistent snapshot of the delta's contribution to a query over
-    /// `[low, high)`.
+    /// Current delta rows (pending inserts plus tombstones) whose values
+    /// fall inside the piece key interval `[low, high)` (bounds as in
+    /// [`PendingDelta::tombstones_in`]). The incremental compactor uses
+    /// this to decide whether a piece is fully reconciled before
+    /// advancing its watermark.
+    pub fn rows_in(&self, low: Option<i64>, high: Option<i64>) -> u64 {
+        let state = self.state.lock();
+        let pending: u64 = range_iter(&state.inserts, low, high)
+            .map(|(_, cell)| cell.net)
+            .sum();
+        let tombstoned: u64 = range_iter(&state.tombstones, low, high)
+            .map(|(_, cell)| cell.net)
+            .sum();
+        pending + tombstoned
+    }
+
+    /// One consistent snapshot of the delta's *current* contribution to a
+    /// query over `[low, high)`.
     pub fn adjust(&self, low: i64, high: i64) -> DeltaAdjust {
         if low >= high {
             return DeltaAdjust::default();
         }
         let state = self.state.lock();
         let mut adjust = DeltaAdjust::default();
-        for (&v, &n) in state.inserts.range(low..high) {
-            adjust.insert_count += n;
-            adjust.insert_sum += v as i128 * n as i128;
+        for (&v, cell) in state.inserts.range(low..high) {
+            adjust.insert_count += cell.net;
+            adjust.insert_sum += v as i128 * cell.net as i128;
         }
-        for (&v, &n) in state.tombstones.range(low..high) {
-            adjust.tombstone_count += n;
-            adjust.tombstone_sum += v as i128 * n as i128;
+        for (&v, cell) in state.tombstones.range(low..high) {
+            adjust.tombstone_count += cell.net;
+            adjust.tombstone_sum += v as i128 * cell.net as i128;
+        }
+        adjust
+    }
+
+    /// One consistent snapshot of the delta's contribution to a query over
+    /// `[low, high)` *as of* snapshot epoch `epoch`: stamps newer than the
+    /// epoch are invisible, and compensation-ledger entries newer than the
+    /// epoch are folded back in (restoring rows the physical array has
+    /// since reconciled). The per-value net adjustment is signed; positive
+    /// nets land on the insert side of the returned [`DeltaAdjust`] and
+    /// negative nets on the tombstone side, so callers combine it exactly
+    /// like a current-epoch adjustment.
+    pub fn adjust_at(&self, low: i64, high: i64, epoch: u64) -> DeltaAdjust {
+        if low >= high {
+            return DeltaAdjust::default();
+        }
+        let state = self.state.lock();
+        let mut adjust = DeltaAdjust::default();
+        let mut per_value: BTreeMap<i64, i128> = BTreeMap::new();
+        for (&v, cell) in state.inserts.range(low..high) {
+            *per_value.entry(v).or_insert(0) += cell.prefix(epoch);
+        }
+        for (&v, cell) in state.tombstones.range(low..high) {
+            *per_value.entry(v).or_insert(0) -= cell.prefix(epoch);
+        }
+        for (&v, stamps) in state.compensation.range(low..high) {
+            let late: i128 = stamps
+                .iter()
+                .filter(|s| s.epoch > epoch)
+                .map(|s| s.count as i128)
+                .sum();
+            *per_value.entry(v).or_insert(0) += late;
+        }
+        for (v, net) in per_value {
+            if net >= 0 {
+                adjust.insert_count += net as u64;
+                adjust.insert_sum += v as i128 * net;
+            } else {
+                adjust.tombstone_count += (-net) as u64;
+                adjust.tombstone_sum += v as i128 * -net;
+            }
         }
         adjust
     }
@@ -266,6 +699,20 @@ impl PendingDelta {
     }
 }
 
+/// Range iterator over a stamped-cell map with optional piece bounds.
+fn range_iter<'a, T>(
+    map: &'a BTreeMap<i64, T>,
+    low: Option<i64>,
+    high: Option<i64>,
+) -> Box<dyn Iterator<Item = (&'a i64, &'a T)> + 'a> {
+    match (low, high) {
+        (None, None) => Box::new(map.range(..)),
+        (Some(lo), None) => Box::new(map.range(lo..)),
+        (None, Some(hi)) => Box::new(map.range(..hi)),
+        (Some(lo), Some(hi)) => Box::new(map.range(lo..hi)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +724,7 @@ mod tests {
         assert_eq!(delta.adjust(i64::MIN, i64::MAX), DeltaAdjust::default());
         assert_eq!(delta.pending_inserts(), 0);
         assert_eq!(delta.tombstoned_rows(), 0);
+        assert_eq!(delta.current_epoch(), 0);
     }
 
     #[test]
@@ -393,5 +841,187 @@ mod tests {
         let a = delta.adjust(9, 10);
         assert_eq!(a.insert_count, 1);
         assert_eq!(a.tombstone_count, 1);
+    }
+
+    // ----- epochs, snapshots, and the compensation ledger ------------------
+
+    #[test]
+    fn epochs_advance_with_every_write() {
+        let delta = PendingDelta::new();
+        assert_eq!(delta.current_epoch(), 0);
+        delta.insert(5);
+        assert_eq!(delta.current_epoch(), 1);
+        delta.apply_delete(5, 0);
+        assert_eq!(delta.current_epoch(), 2);
+        delta.insert(6);
+        assert_eq!(delta.current_epoch(), 3);
+    }
+
+    #[test]
+    fn snapshot_sees_only_writes_at_or_before_its_epoch() {
+        let delta = PendingDelta::new();
+        delta.insert(5);
+        let epoch = delta.register_snapshot();
+        delta.insert(5);
+        delta.insert(7);
+        // Current view: three pending rows.
+        assert_eq!(delta.adjust(0, 10).insert_count, 3);
+        // Snapshot view: only the pre-snapshot insert.
+        let at = delta.adjust_at(0, 10, epoch);
+        assert_eq!(at.insert_count, 1);
+        assert_eq!(at.insert_sum, 5);
+        delta.release_snapshot(epoch);
+        assert_eq!(delta.live_snapshots(), 0);
+    }
+
+    #[test]
+    fn snapshot_ignores_later_deletes_of_earlier_inserts() {
+        let delta = PendingDelta::new();
+        delta.insert(4);
+        delta.insert(4);
+        let epoch = delta.register_snapshot();
+        delta.apply_delete(4, 1); // negates the pending rows + tombstones main
+        assert_eq!(delta.adjust(0, 10).insert_count, 0);
+        assert_eq!(delta.adjust(0, 10).tombstone_count, 1);
+        // The snapshot still sees both pending rows and no tombstone.
+        let at = delta.adjust_at(0, 10, epoch);
+        assert_eq!(at.insert_count, 2);
+        assert_eq!(at.tombstone_count, 0);
+        delta.release_snapshot(epoch);
+    }
+
+    #[test]
+    fn retired_tombstones_compensate_older_snapshots() {
+        let delta = PendingDelta::new();
+        let before = delta.register_snapshot();
+        delta.apply_delete(7, 2);
+        let after = delta.register_snapshot();
+        // Physically reclaim both rows (as a piece shrink would).
+        let mut reclaimed = BTreeMap::new();
+        reclaimed.insert(7, 2u64);
+        assert_eq!(delta.retire_tombstones(&reclaimed), 2);
+        assert_eq!(delta.tombstoned_rows(), 0);
+        // The pre-delete snapshot must count the two removed rows as
+        // ghosts; the post-delete snapshot must not.
+        let at = delta.adjust_at(0, 10, before);
+        assert_eq!(at.insert_count, 2, "ghost rows restored");
+        assert_eq!(at.insert_sum, 14);
+        let at = delta.adjust_at(0, 10, after);
+        assert_eq!(at.insert_count, 0);
+        assert_eq!(at.tombstone_count, 0);
+        delta.release_snapshot(before);
+        delta.release_snapshot(after);
+    }
+
+    #[test]
+    fn taken_inserts_compensate_older_snapshots() {
+        let delta = PendingDelta::new();
+        let before = delta.register_snapshot();
+        delta.insert(5);
+        delta.insert(5);
+        delta.insert(9);
+        // Incremental compaction moves the value-5 rows into main.
+        let taken = delta.take_inserts_in(Some(0), Some(6), 10);
+        assert_eq!(taken, vec![5, 5]);
+        assert_eq!(delta.pending_inserts(), 1);
+        // Current view: one pending row (9). A pre-insert snapshot must
+        // subtract the two physically placed rows it never saw.
+        assert_eq!(delta.adjust(0, 10).insert_count, 1);
+        let at = delta.adjust_at(0, 10, before);
+        assert_eq!(at.insert_count, 0);
+        assert_eq!(at.tombstone_count, 2, "merged rows suppressed");
+        assert_eq!(at.tombstone_sum, 10);
+        delta.release_snapshot(before);
+    }
+
+    #[test]
+    fn take_inserts_respects_bounds_and_budget() {
+        let delta = PendingDelta::new();
+        for v in [1, 3, 3, 5, 8] {
+            delta.insert(v);
+        }
+        assert_eq!(delta.take_inserts_in(Some(2), Some(6), 2), vec![3, 3]);
+        assert_eq!(delta.take_inserts_in(Some(2), Some(6), 10), vec![5]);
+        assert_eq!(delta.take_inserts_in(None, Some(2), 10), vec![1]);
+        assert_eq!(delta.take_inserts_in(Some(6), None, 0), Vec::<i64>::new());
+        assert_eq!(delta.pending_inserts(), 1, "8 remains");
+    }
+
+    #[test]
+    fn drain_keeps_pre_drain_snapshots_answerable() {
+        let delta = PendingDelta::new();
+        delta.insert(5);
+        let epoch = delta.register_snapshot();
+        delta.insert(5);
+        delta.apply_delete(7, 1);
+        // Full compaction drains everything into the main array.
+        let drained = delta.drain();
+        assert_eq!(drained.pending_inserts, 2);
+        assert_eq!(drained.tombstoned_rows, 1);
+        assert!(delta.is_empty());
+        // After the rebuild, main holds both 5s and no 7. The snapshot
+        // (epoch between the two inserts, before the delete) must net:
+        // one 5 fewer than main, one 7 more.
+        let at = delta.adjust_at(0, 10, epoch);
+        assert_eq!(at.insert_count, 1, "the ghost 7");
+        assert_eq!(at.insert_sum, 7);
+        assert_eq!(at.tombstone_count, 1, "the unseen second 5");
+        assert_eq!(at.tombstone_sum, 5);
+        delta.release_snapshot(epoch);
+    }
+
+    #[test]
+    fn history_is_collapsed_without_live_snapshots() {
+        let delta = PendingDelta::new();
+        for _ in 0..100 {
+            delta.insert(5);
+        }
+        {
+            let state = delta.state.lock();
+            let cell = state.inserts.get(&5).unwrap();
+            assert_eq!(cell.net, 100);
+            assert_eq!(cell.stamps.len(), 1, "no snapshots: one stamp suffices");
+            assert!(state.compensation.is_empty());
+        }
+        // With a snapshot live, history accumulates; releasing it GCs.
+        let epoch = delta.register_snapshot();
+        for _ in 0..10 {
+            delta.insert(5);
+        }
+        assert!(delta.state.lock().inserts.get(&5).unwrap().stamps.len() > 1);
+        delta.release_snapshot(epoch);
+        assert_eq!(delta.state.lock().inserts.get(&5).unwrap().stamps.len(), 1);
+    }
+
+    #[test]
+    fn release_gc_respects_the_oldest_live_snapshot() {
+        let delta = PendingDelta::new();
+        delta.insert(5);
+        let old = delta.register_snapshot();
+        delta.insert(5);
+        let young = delta.register_snapshot();
+        delta.insert(5);
+        delta.release_snapshot(young);
+        // The old snapshot still distinguishes write 1 from writes 2-3.
+        assert_eq!(delta.adjust_at(0, 10, old).insert_count, 1);
+        assert_eq!(delta.adjust(0, 10).insert_count, 3);
+        delta.release_snapshot(old);
+        assert_eq!(delta.adjust(0, 10).insert_count, 3);
+    }
+
+    #[test]
+    fn stacked_snapshots_at_the_same_epoch_refcount() {
+        let delta = PendingDelta::new();
+        delta.insert(1);
+        let a = delta.register_snapshot();
+        let b = delta.register_snapshot();
+        assert_eq!(a, b);
+        assert_eq!(delta.live_snapshots(), 2);
+        delta.release_snapshot(a);
+        assert_eq!(delta.live_snapshots(), 1);
+        delta.insert(1);
+        assert_eq!(delta.adjust_at(0, 10, b).insert_count, 1);
+        delta.release_snapshot(b);
+        assert_eq!(delta.live_snapshots(), 0);
     }
 }

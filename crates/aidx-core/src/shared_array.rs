@@ -159,6 +159,32 @@ impl SharedCrackerArray {
         hi
     }
 
+    /// Writes `values`/`rowids` (equal lengths) into the slots
+    /// `[pos, pos + values.len())`, overwriting whatever was there. Caller
+    /// must hold the write latch of the piece covering the range.
+    ///
+    /// This is the physical half of incremental hole-filling: the target
+    /// slots are a piece's dead tail (reclaimed tombstone holes), and the
+    /// written rows are pending inserts whose keys belong to that piece,
+    /// so every piece bound invariant survives the write.
+    pub fn write_rows(&self, pos: usize, values: &[i64], rowids: &[RowId]) {
+        assert_eq!(values.len(), rowids.len(), "values/rowids must align");
+        assert!(
+            pos + values.len() <= self.len(),
+            "write range out of bounds"
+        );
+        let dst_values = self.values_ptr();
+        let dst_rowids = self.rowids_ptr();
+        // SAFETY: bounds checked above; exclusive access to the range is
+        // guaranteed by the caller's write latch.
+        unsafe {
+            for (i, (&v, &r)) in values.iter().zip(rowids).enumerate() {
+                *dst_values.add(pos + i) = v;
+                *dst_rowids.add(pos + i) = r;
+            }
+        }
+    }
+
     fn values_ptr(&self) -> *mut i64 {
         // SAFETY: the box is only replaced under full quiescence
         // (`replace`), so while any range-scoped method runs the pointer
@@ -408,6 +434,22 @@ mod tests {
         assert_eq!(arr.sweep_tombstoned(0, 3, &mut doomed), 3);
         assert_eq!(doomed.get(&9), Some(&4), "absent values keep their budget");
         assert_eq!(arr.snapshot().0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn write_rows_overwrites_the_target_slots() {
+        let arr = SharedCrackerArray::from_values(vec![1, 2, 3, 4, 5]);
+        arr.write_rows(2, &[9, 8], &[10, 11]);
+        assert_eq!(arr.snapshot().0, vec![1, 2, 9, 8, 5]);
+        assert_eq!(arr.snapshot().1, vec![0, 1, 10, 11, 4]);
+        arr.write_rows(5, &[], &[]); // empty write at the end is fine
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_rows_rejects_out_of_bounds() {
+        let arr = SharedCrackerArray::from_values(vec![1, 2, 3]);
+        arr.write_rows(2, &[7, 7], &[5, 6]);
     }
 
     #[test]

@@ -8,6 +8,10 @@ use aidx_core::{CompactionPolicy, ConcurrentCracker, LatchProtocol};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
+fn apply_oracle_delete(oracle: &mut BTreeMap<i64, u64>, v: i64) -> u64 {
+    oracle.remove(&v).unwrap_or(0)
+}
+
 fn oracle_from(values: &[i64]) -> BTreeMap<i64, u64> {
     let mut oracle = BTreeMap::new();
     for &v in values {
@@ -129,5 +133,94 @@ proptest! {
         prop_assert_eq!(idx.hole_count(), 0);
         prop_assert_eq!(idx.len() as u64, total);
         prop_assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn pinned_snapshots_match_the_oracle_at_their_epoch(
+        values in prop::collection::vec(-150i64..150, 0..150),
+        pre_ops in prop::collection::vec((0u8..3, -200i64..200), 0..20),
+        post_ops in prop::collection::vec((0u8..3, -200i64..200), 1..40),
+        queries in prop::collection::vec((-250i64..250, -250i64..250), 1..8),
+        step_budget in 1usize..6,
+    ) {
+        // A long scan pins a snapshot, then inserts/deletes and multiple
+        // incremental compaction steps race past it; every read through
+        // the snapshot must equal the oracle frozen at the snapshot epoch,
+        // while the live view tracks the evolving oracle.
+        for protocol in [
+            LatchProtocol::None,
+            LatchProtocol::Column,
+            LatchProtocol::Piece,
+        ] {
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol)
+                .with_compaction(CompactionPolicy::rows(8).incremental(step_budget));
+            let mut oracle = oracle_from(&values);
+            idx.sum(i64::MIN, i64::MAX);
+            let apply = |idx: &ConcurrentCracker, oracle: &mut BTreeMap<i64, u64>,
+                         kind: u8, v: i64| -> (u64, u64) {
+                match kind {
+                    0 | 1 => {
+                        idx.insert(v);
+                        *oracle.entry(v).or_insert(0) += 1;
+                        (1, 1)
+                    }
+                    _ => (idx.delete(v).0, apply_oracle_delete(oracle, v)),
+                }
+            };
+            for &(kind, v) in &pre_ops {
+                let (got, expected) = apply(&idx, &mut oracle, kind, v);
+                prop_assert_eq!(got, expected, "{} pre-op", protocol);
+            }
+            let frozen = oracle.clone();
+            let snap = idx.snapshot();
+            // Interleave post-snapshot writes with explicit incremental
+            // steps (at least 3) and re-validate the pinned view between
+            // arms.
+            let mut steps = 0;
+            for (i, &(kind, v)) in post_ops.iter().enumerate() {
+                let (got, expected) = apply(&idx, &mut oracle, kind, v);
+                prop_assert_eq!(got, expected, "{} post-op", protocol);
+                if i % 2 == 0 || steps < 3 {
+                    idx.compact_step(step_budget);
+                    steps += 1;
+                }
+                for &(a, b) in &queries {
+                    let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                    prop_assert_eq!(
+                        snap.count(low, high).0,
+                        oracle_count(&frozen, low, high),
+                        "{} pinned count [{},{}) after {} steps", protocol, low, high, steps
+                    );
+                    prop_assert_eq!(
+                        snap.sum(low, high).0,
+                        oracle_sum(&frozen, low, high),
+                        "{} pinned sum [{},{}) after {} steps", protocol, low, high, steps
+                    );
+                    prop_assert_eq!(
+                        idx.count(low, high).0,
+                        oracle_count(&oracle, low, high),
+                        "{} live count [{},{})", protocol, low, high
+                    );
+                }
+            }
+            // Guarantee the acceptance shape even for short op sequences:
+            // the snapshot stays pinned across at least 3 steps.
+            while steps < 3 {
+                idx.compact_step(step_budget);
+                steps += 1;
+            }
+            for &(a, b) in &queries {
+                let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert_eq!(
+                    snap.count(low, high).0,
+                    oracle_count(&frozen, low, high),
+                    "{} final pinned count [{},{})", protocol, low, high
+                );
+            }
+            drop(snap);
+            let total: u64 = oracle.values().sum();
+            prop_assert_eq!(idx.logical_len(), total, "{}", protocol);
+            prop_assert!(idx.check_invariants(), "{}", protocol);
+        }
     }
 }

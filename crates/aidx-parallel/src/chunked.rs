@@ -25,7 +25,7 @@ use aidx_core::{
     Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy,
 };
 use aidx_cracking::StochasticCracker;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
@@ -55,6 +55,28 @@ enum Chunk {
 }
 
 impl Chunk {
+    /// Answers `agg` over `[low, high)` in this chunk — at the given
+    /// chunk-local snapshot epoch if one is supplied (concurrent chunks
+    /// only; the caller guarantees stochastic chunks never get an epoch).
+    fn query_at(
+        &self,
+        low: i64,
+        high: i64,
+        agg: Aggregate,
+        epoch: Option<u64>,
+    ) -> (i128, QueryMetrics) {
+        if let (Chunk::Concurrent(cracker), Some(epoch)) = (self, epoch) {
+            return match agg {
+                Aggregate::Count => {
+                    let (c, m) = cracker.count_at(low, high, epoch);
+                    (c as i128, m)
+                }
+                Aggregate::Sum => cracker.sum_at(low, high, epoch),
+            };
+        }
+        self.query(low, high, agg)
+    }
+
     fn query(&self, low: i64, high: i64, agg: Aggregate) -> (i128, QueryMetrics) {
         match self {
             Chunk::Concurrent(cracker) => match agg {
@@ -180,6 +202,14 @@ pub struct ChunkedCracker {
     /// Once the designated chunk outgrows the mean chunk size by this many
     /// rows, the designation moves to the currently smallest chunk.
     rebalance_slack: usize,
+    /// Snapshot-vs-delete fence. A delete is the one operation that
+    /// mutates *several* chunks for one logical op (it fans out to every
+    /// chunk), so a snapshot registering per-chunk epochs mid-fan-out
+    /// would capture a torn half-delete no serial order produced. Deletes
+    /// hold this shared for their whole fan-out; snapshot opens hold it
+    /// exclusive while registering. Inserts touch one chunk and need no
+    /// fence.
+    snapshot_fence: RwLock<()>,
 }
 
 impl ChunkedCracker {
@@ -221,6 +251,7 @@ impl ChunkedCracker {
             chunk_sizes,
             designated: AtomicUsize::new(0),
             rebalance_slack,
+            snapshot_fence: RwLock::new(()),
         }
     }
 
@@ -332,6 +363,9 @@ impl ChunkedCracker {
     /// removal counts are summed.
     pub fn delete(&self, value: i64) -> (u64, QueryMetrics) {
         let start = Instant::now();
+        // Shared fence: a concurrent snapshot open (exclusive) either sees
+        // the whole multi-chunk delete or none of it.
+        let _fence = self.snapshot_fence.read();
         let (tx, rx) = channel();
         for chunk_id in 0..self.chunks.len() {
             let chunks = Arc::clone(&self.chunks);
@@ -358,19 +392,55 @@ impl ChunkedCracker {
         (removed, metrics)
     }
 
+    /// Opens a snapshot across every chunk: one chunk-local epoch per
+    /// chunk, registered in chunk order. Reads through the handle are
+    /// frozen at those epochs while writers, per-chunk compactions
+    /// (incremental or quiescing), and other queries race on. Returns
+    /// `None` when any chunk runs the stochastic backend (which merges
+    /// writes physically and keeps no epoch history).
+    pub fn snapshot(&self) -> Option<ChunkedSnapshot<'_>> {
+        // Exclusive fence: no multi-chunk delete is mid-fan-out while the
+        // per-chunk epochs are registered, so the cut cannot tear a
+        // single logical op. (Inserts touch exactly one chunk; their
+        // epoch bump is atomic with respect to that chunk's registration.)
+        let _fence = self.snapshot_fence.write();
+        let mut epochs = Vec::with_capacity(self.chunks.len());
+        for chunk in self.chunks.iter() {
+            match chunk {
+                Chunk::Concurrent(cracker) => epochs.push(cracker.register_snapshot_epoch()),
+                Chunk::Stochastic(_) => {
+                    for (chunk, &epoch) in self.chunks.iter().zip(&epochs) {
+                        if let Chunk::Concurrent(cracker) = chunk {
+                            cracker.release_snapshot_epoch(epoch);
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(ChunkedSnapshot { idx: self, epochs })
+    }
+
     /// Q1: count of values in `[low, high)` across all chunks.
     pub fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
-        let (value, metrics) = self.fan_out(low, high, Aggregate::Count);
+        let (value, metrics) = self.fan_out(low, high, Aggregate::Count, None);
         (value as u64, metrics)
     }
 
     /// Q2: sum of values in `[low, high)` across all chunks.
     pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
-        self.fan_out(low, high, Aggregate::Sum)
+        self.fan_out(low, high, Aggregate::Sum, None)
     }
 
-    /// Fans one query out to every chunk and merges the partial results.
-    fn fan_out(&self, low: i64, high: i64, agg: Aggregate) -> (i128, QueryMetrics) {
+    /// Fans one query out to every chunk and merges the partial results,
+    /// optionally pinned at per-chunk snapshot epochs.
+    fn fan_out(
+        &self,
+        low: i64,
+        high: i64,
+        agg: Aggregate,
+        epochs: Option<&[u64]>,
+    ) -> (i128, QueryMetrics) {
         let start = Instant::now();
         if low >= high {
             let metrics = QueryMetrics {
@@ -384,11 +454,12 @@ impl ChunkedCracker {
         for chunk_id in 0..self.chunks.len() {
             let chunks = Arc::clone(&self.chunks);
             let tx = tx.clone();
+            let epoch = epochs.map(|e| e[chunk_id]);
             self.pool.execute(move || {
                 // A send error means the query thread gave up (it never
                 // does: it blocks on all replies); ignore rather than panic
                 // a pool worker.
-                let _ = tx.send(chunks[chunk_id].query(low, high, agg));
+                let _ = tx.send(chunks[chunk_id].query_at(low, high, agg, epoch));
             });
         }
         drop(tx);
@@ -408,6 +479,47 @@ impl ChunkedCracker {
     /// Verifies every chunk's piece/array consistency (quiescent only).
     pub fn check_invariants(&self) -> bool {
         self.chunks.iter().all(Chunk::check_invariants)
+    }
+}
+
+/// A snapshot pinned across every chunk of a [`ChunkedCracker`]: reads
+/// fan out like ordinary queries but each chunk answers at the epoch
+/// registered when the snapshot was opened. Dropping the handle releases
+/// every chunk's registration.
+#[derive(Debug)]
+pub struct ChunkedSnapshot<'a> {
+    idx: &'a ChunkedCracker,
+    epochs: Vec<u64>,
+}
+
+impl ChunkedSnapshot<'_> {
+    /// The per-chunk epochs this snapshot reads at (diagnostics).
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// Q1 at the snapshot: count of values in `[low, high)`.
+    pub fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
+        let (value, metrics) = self
+            .idx
+            .fan_out(low, high, Aggregate::Count, Some(&self.epochs));
+        (value as u64, metrics)
+    }
+
+    /// Q2 at the snapshot: sum of values in `[low, high)`.
+    pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
+        self.idx
+            .fan_out(low, high, Aggregate::Sum, Some(&self.epochs))
+    }
+}
+
+impl Drop for ChunkedSnapshot<'_> {
+    fn drop(&mut self) {
+        for (chunk, &epoch) in self.idx.chunks.iter().zip(&self.epochs) {
+            if let Chunk::Concurrent(cracker) = chunk {
+                cracker.release_snapshot_epoch(epoch);
+            }
+        }
     }
 }
 
@@ -740,6 +852,60 @@ mod tests {
             assert_eq!(idx.sum(low, high).0, ops::sum(&oracle, low, high));
         }
         assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn snapshot_pins_all_chunks_across_writes_and_compaction() {
+        let values = shuffled(3000);
+        let idx = ChunkedCracker::new(
+            values.clone(),
+            3,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        )
+        .with_compaction(CompactionPolicy::rows(8).incremental(4));
+        idx.sum(0, 3000);
+        let snap = idx.snapshot().expect("concurrent chunks support snapshots");
+        assert_eq!(snap.epochs().len(), 3);
+        // Churn across the designated-chunk rotation; the per-chunk
+        // incremental policy merges piece by piece while the snapshot is
+        // pinned.
+        for i in 0..120 {
+            let key = (i * 7) % 3000;
+            assert_eq!(idx.delete(key).0, 1);
+            idx.insert(key);
+        }
+        for (low, high) in [(0, 3000), (100, 200), (2500, 3000)] {
+            assert_eq!(
+                snap.count(low, high).0,
+                ops::count(&values, low, high),
+                "pinned count [{low},{high})"
+            );
+            assert_eq!(
+                snap.sum(low, high).0,
+                ops::sum(&values, low, high),
+                "pinned sum [{low},{high})"
+            );
+        }
+        assert_eq!(idx.count(0, 3000).0, 3000, "live view converged");
+        drop(snap);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn stochastic_chunks_do_not_offer_snapshots() {
+        let idx = ChunkedCracker::new(
+            shuffled(500),
+            2,
+            ChunkBackend::Stochastic {
+                piece_threshold: 64,
+                seed: 9,
+            },
+        );
+        assert!(idx.snapshot().is_none());
+        // And a mixed... all-stochastic bail must not leak registrations
+        // on the concurrent chunks it visited first (all chunks share one
+        // backend today, so this just checks the None path is clean).
+        assert_eq!(idx.count(0, 500).0, 500);
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod chunked;
 pub mod pool;
 pub mod range_partitioned;
 
-pub use chunked::{ChunkBackend, ChunkedCracker};
+pub use chunked::{ChunkBackend, ChunkedCracker, ChunkedSnapshot};
 pub use pool::{available_cores, WorkerPool};
-pub use range_partitioned::RangePartitionedCracker;
+pub use range_partitioned::{RangePartitionedCracker, RangeSnapshot, RoutingStats};

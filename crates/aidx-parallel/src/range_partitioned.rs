@@ -2,35 +2,53 @@
 //!
 //! A one-time parallel range partition splits the column into `partitions`
 //! disjoint key ranges; each range is owned by a dedicated worker thread
-//! that cracks a private [`CrackerIndex`] **latch-free** — exclusive
-//! ownership replaces the paper's latch protocols entirely, the logical
-//! end point of "pieces as an adaptive latching granularity": partition
-//! boundaries are cracks chosen up front, and within a partition there is
-//! never a second writer. A router maps a query's `[low, high)` range to
-//! the partitions it overlaps, sends each owner a request over its
-//! channel, and sums the partial answers; partitions outside the query
-//! range are never touched (in contrast to chunked cracking, where every
-//! chunk participates in every query).
+//! that cracks a private index **latch-free** — exclusive ownership
+//! replaces the paper's latch protocols entirely, the logical end point of
+//! "pieces as an adaptive latching granularity": partition boundaries are
+//! cracks chosen up front, and within a partition there is never a second
+//! writer. A router maps a query's `[low, high)` range to the partitions
+//! it overlaps, sends each owner a request over its channel, and sums the
+//! partial answers; partitions outside the query range are never touched
+//! (in contrast to chunked cracking, where every chunk participates in
+//! every query).
+//!
+//! Each owner runs a [`ConcurrentCracker`] under
+//! [`LatchProtocol::None`] — the same engine core as the serial and
+//! chunked arms, so every write-path capability (pending delta, quiescing
+//! *and* incremental compaction, epoch-stamped snapshot reads) threads
+//! through unchanged. A [`RangeSnapshot`] registers one epoch per
+//! partition; because every write is routed to exactly one owner, the
+//! per-partition epochs form a consistent cut for any client that opens
+//! the snapshot between its own operations.
+//!
+//! Owners drain their request channel in **batches**: one blocking
+//! receive wakes the owner, which then processes every request already
+//! queued before blocking again. Under heavy client counts this coalesces
+//! many in-flight operations per channel round-trip (one park/unpark per
+//! batch instead of per op); [`RangePartitionedCracker::routing_stats`]
+//! exposes the ops/batches ratio so the coalescing is observable.
 //!
 //! Partition boundaries come from a deterministic sample of the data, so
 //! skewed key distributions still yield balanced partitions.
 
-use aidx_core::{Aggregate, QueryMetrics};
-use aidx_cracking::CrackerIndex;
+use aidx_core::{Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// A request routed to one partition owner.
 enum OwnerRequest {
     /// Answer `agg` over `[low, high)` within the partition, cracking as a
-    /// side effect, and reply with `(partial value, metrics)`.
+    /// side effect — at the partition-local snapshot `epoch` if one is
+    /// given — and reply with `(partial value, metrics)`.
     Query {
         low: i64,
         high: i64,
         agg: Aggregate,
+        epoch: Option<u64>,
         reply: Sender<(i128, QueryMetrics)>,
     },
     /// Insert one row with the given key into the partition's index (the
@@ -45,66 +63,112 @@ enum OwnerRequest {
         value: i64,
         reply: Sender<(u64, QueryMetrics)>,
     },
+    /// Register a snapshot at the partition's current epoch and reply
+    /// with it.
+    SnapshotOpen { reply: Sender<u64> },
+    /// Release a snapshot registration (fire-and-forget).
+    SnapshotClose { epoch: u64 },
     /// Run `check_invariants` on the partition index and reply.
     Check { reply: Sender<bool> },
-    /// Reply with `(pending delta rows, delta merges performed)`.
-    DeltaStats { reply: Sender<(usize, u64)> },
+    /// Reply with `(delta rows, compactions + incremental steps)`.
+    DeltaStats { reply: Sender<(u64, u64)> },
+}
+
+/// Shared per-column routing counters (owners write, the router reads).
+#[derive(Debug, Default)]
+struct RoutingCounters {
+    /// Requests processed across all owners.
+    ops: AtomicU64,
+    /// Blocking-receive wakeups across all owners (each wakeup drains
+    /// every request already queued).
+    batches: AtomicU64,
+}
+
+/// Snapshot of the owner channels' coalescing behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Requests processed across all partition owners.
+    pub ops: u64,
+    /// Owner wakeups (batches) across all partition owners. `ops >
+    /// batches` means at least one wakeup drained several queued requests
+    /// in one round-trip.
+    pub batches: u64,
+}
+
+impl RoutingStats {
+    /// Mean requests handled per owner wakeup.
+    pub fn ops_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.batches as f64
+    }
+}
+
+fn handle_request(index: &ConcurrentCracker, request: OwnerRequest) {
+    match request {
+        OwnerRequest::Query {
+            low,
+            high,
+            agg,
+            epoch,
+            reply,
+        } => {
+            let result = match (agg, epoch) {
+                (Aggregate::Count, None) => {
+                    let (c, m) = index.count(low, high);
+                    (c as i128, m)
+                }
+                (Aggregate::Sum, None) => index.sum(low, high),
+                (Aggregate::Count, Some(epoch)) => {
+                    let (c, m) = index.count_at(low, high, epoch);
+                    (c as i128, m)
+                }
+                (Aggregate::Sum, Some(epoch)) => index.sum_at(low, high, epoch),
+            };
+            // The router may have given up only if the whole index was
+            // dropped mid-query; nothing useful to do with the error.
+            let _ = reply.send(result);
+        }
+        OwnerRequest::Insert { value, reply } => {
+            let _ = reply.send(index.insert(value));
+        }
+        OwnerRequest::Delete { value, reply } => {
+            let _ = reply.send(index.delete(value));
+        }
+        OwnerRequest::SnapshotOpen { reply } => {
+            let _ = reply.send(index.register_snapshot_epoch());
+        }
+        OwnerRequest::SnapshotClose { epoch } => {
+            index.release_snapshot_epoch(epoch);
+        }
+        OwnerRequest::Check { reply } => {
+            let _ = reply.send(index.check_invariants());
+        }
+        OwnerRequest::DeltaStats { reply } => {
+            let _ = reply.send((
+                index.delta_rows(),
+                index.compactions_performed() + index.compaction_steps_performed(),
+            ));
+        }
+    }
 }
 
 /// One partition owner: a worker thread with exclusive, latch-free access
-/// to the partition's cracker index.
-fn owner_loop(mut index: CrackerIndex, requests: &Receiver<OwnerRequest>) {
-    while let Ok(request) = requests.recv() {
-        match request {
-            OwnerRequest::Query {
-                low,
-                high,
-                agg,
-                reply,
-            } => {
-                let start = Instant::now();
-                let mut metrics = QueryMetrics::default();
-                // One crack-select resolves both bounds; the aggregate then
-                // reads the qualifying range directly (counts are purely
-                // positional, sums scan the range once).
-                let outcome = index.crack_select(low, high);
-                metrics.result_count = outcome.range.len() as u64;
-                metrics.cracks_performed = u32::from(outcome.cracks_performed);
-                let value = match agg {
-                    Aggregate::Count => outcome.range.len() as i128,
-                    Aggregate::Sum => index
-                        .array()
-                        .sum_range(outcome.range.start, outcome.range.end),
-                };
-                metrics.total = start.elapsed();
-                // The router may have given up only if the whole index was
-                // dropped mid-query; nothing useful to do with the error.
-                let _ = reply.send((value, metrics));
-            }
-            OwnerRequest::Insert { value, reply } => {
-                let start = Instant::now();
-                let mut metrics = QueryMetrics::default();
-                index.insert(value);
-                metrics.inserts_applied = 1;
-                metrics.result_count = 1;
-                metrics.total = start.elapsed();
-                let _ = reply.send(metrics);
-            }
-            OwnerRequest::Delete { value, reply } => {
-                let start = Instant::now();
-                let mut metrics = QueryMetrics::default();
-                let removed = index.delete(value);
-                metrics.deletes_applied = 1;
-                metrics.result_count = removed;
-                metrics.total = start.elapsed();
-                let _ = reply.send((removed, metrics));
-            }
-            OwnerRequest::Check { reply } => {
-                let _ = reply.send(index.check_invariants());
-            }
-            OwnerRequest::DeltaStats { reply } => {
-                let _ = reply.send((index.pending_len(), index.delta_merges()));
-            }
+/// to the partition's cracker index. Each blocking receive drains every
+/// request already queued (batch routing) before parking again.
+fn owner_loop(
+    index: ConcurrentCracker,
+    requests: &Receiver<OwnerRequest>,
+    counters: &RoutingCounters,
+) {
+    while let Ok(first) = requests.recv() {
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters.ops.fetch_add(1, Ordering::Relaxed);
+        handle_request(&index, first);
+        while let Ok(next) = requests.try_recv() {
+            counters.ops.fetch_add(1, Ordering::Relaxed);
+            handle_request(&index, next);
         }
     }
 }
@@ -116,6 +180,7 @@ pub struct RangePartitionedCracker {
     splits: Vec<i64>,
     owners: Vec<Sender<OwnerRequest>>,
     handles: Vec<JoinHandle<()>>,
+    counters: Arc<RoutingCounters>,
     /// Per-partition logical sizes (kept current by writes).
     partition_sizes: Vec<AtomicUsize>,
     /// Logical row count (kept current by writes).
@@ -123,24 +188,55 @@ pub struct RangePartitionedCracker {
 }
 
 impl RangePartitionedCracker {
+    /// The per-partition compaction policy used when the caller does not
+    /// pick one: delta bounded at 10% of the partition's main array,
+    /// merged incrementally. Exclusive ownership made the pre-PR 4 owner
+    /// index merge its pending buffer on the next crack; an unbounded
+    /// default delta would silently re-introduce the linear select
+    /// degradation PR 3 removed, so the default keeps the delta bounded.
+    fn default_partition_policy() -> CompactionPolicy {
+        CompactionPolicy::fraction(0.1).incremental(8)
+    }
+
     /// Range-partitions `values` into `partitions` (clamped to
     /// `1..=len.max(1)`) and spawns one owner thread per partition. The
     /// partition pass itself runs in parallel: every builder thread scans
     /// a stripe of the input and scatters values into per-partition
-    /// buckets, which are then concatenated per partition.
+    /// buckets, which are then concatenated per partition. Each
+    /// partition's delta is bounded by the default incremental policy;
+    /// use [`RangePartitionedCracker::with_compaction`] to tune or
+    /// disable it.
     pub fn new(values: Vec<i64>, partitions: usize) -> Self {
-        Self::with_compaction_threshold(values, partitions, 0)
+        Self::with_compaction(values, partitions, Self::default_partition_policy())
     }
 
-    /// As [`RangePartitionedCracker::new`], but every partition's cracker
-    /// index eagerly merges its pending-insert delta once it reaches
-    /// `compaction_threshold` rows (0 = merge only on the next crack).
-    /// Each owner thread compacts only its own partition, so the merge
-    /// work spreads across cores with the write stream.
+    /// As [`RangePartitionedCracker::new`], but every partition compacts
+    /// its pending delta once it reaches `compaction_threshold` rows
+    /// (0 = the default bounded incremental policy, mirroring the
+    /// pre-PR 4 owner index's merge-on-next-crack behaviour). Each owner
+    /// thread compacts only its own partition, so the reclamation work
+    /// spreads across cores with the write stream.
     pub fn with_compaction_threshold(
         values: Vec<i64>,
         partitions: usize,
         compaction_threshold: usize,
+    ) -> Self {
+        let policy = if compaction_threshold == 0 {
+            Self::default_partition_policy()
+        } else {
+            CompactionPolicy::rows(compaction_threshold as u64)
+        };
+        Self::with_compaction(values, partitions, policy)
+    }
+
+    /// As [`RangePartitionedCracker::new`] with an explicit per-partition
+    /// compaction policy — including [`aidx_core::CompactionMode`]
+    /// `Incremental`, which merges each partition's delta one piece write
+    /// latch at a time instead of quiescing the partition.
+    pub fn with_compaction(
+        values: Vec<i64>,
+        partitions: usize,
+        compaction: CompactionPolicy,
     ) -> Self {
         let len = values.len();
         let partitions = partitions.clamp(1, len.max(1));
@@ -189,18 +285,20 @@ impl RangePartitionedCracker {
             }
         });
 
+        let counters = Arc::new(RoutingCounters::default());
         let mut owners = Vec::with_capacity(partitions);
         let mut handles = Vec::with_capacity(partitions);
         let mut partition_sizes = Vec::with_capacity(partitions);
         for (p, bucket) in partition_values.into_iter().enumerate() {
             partition_sizes.push(AtomicUsize::new(bucket.len()));
             let (tx, rx) = channel();
-            let index =
-                CrackerIndex::from_values(bucket).with_compaction_threshold(compaction_threshold);
+            let index = ConcurrentCracker::from_values(bucket, LatchProtocol::None)
+                .with_compaction(compaction);
+            let counters = Arc::clone(&counters);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("aidx-partition-{p}"))
-                    .spawn(move || owner_loop(index, &rx))
+                    .spawn(move || owner_loop(index, &rx, &counters))
                     .expect("failed to spawn partition owner"),
             );
             owners.push(tx);
@@ -210,6 +308,7 @@ impl RangePartitionedCracker {
             splits,
             owners,
             handles,
+            counters,
             partition_sizes,
             len: AtomicUsize::new(len),
         }
@@ -242,6 +341,17 @@ impl RangePartitionedCracker {
     /// The split keys between partitions (diagnostic).
     pub fn splits(&self) -> &[i64] {
         &self.splits
+    }
+
+    /// Owner-channel coalescing counters: total requests processed and
+    /// total owner wakeups across all partitions. Under heavy client
+    /// counts `ops` outruns `batches` — each wakeup drained several
+    /// queued requests in one round-trip.
+    pub fn routing_stats(&self) -> RoutingStats {
+        RoutingStats {
+            ops: self.counters.ops.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
     }
 
     /// Inserts one row with the given key, routing it to the partition
@@ -287,18 +397,42 @@ impl RangePartitionedCracker {
 
     /// Q1: count of values in `[low, high)`.
     pub fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
-        let (value, metrics) = self.route(low, high, Aggregate::Count);
+        let (value, metrics) = self.route(low, high, Aggregate::Count, None);
         (value as u64, metrics)
     }
 
     /// Q2: sum of values in `[low, high)`.
     pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
-        self.route(low, high, Aggregate::Sum)
+        self.route(low, high, Aggregate::Sum, None)
+    }
+
+    /// Opens a snapshot across every partition: one epoch per owner,
+    /// registered in partition order. Because every write touches exactly
+    /// one partition, the per-partition epochs form a consistent cut for
+    /// the opening client; reads through the handle are frozen there
+    /// while writers and per-partition compactions race on.
+    pub fn snapshot(&self) -> RangeSnapshot<'_> {
+        let mut epochs = Vec::with_capacity(self.owners.len());
+        for owner in &self.owners {
+            let (reply_tx, reply_rx) = channel();
+            owner
+                .send(OwnerRequest::SnapshotOpen { reply: reply_tx })
+                .expect("partition owner exited early");
+            epochs.push(reply_rx.recv().expect("partition owner died"));
+        }
+        RangeSnapshot { idx: self, epochs }
     }
 
     /// Routes one query to the owners of the partitions it overlaps and
-    /// merges their partial answers.
-    fn route(&self, low: i64, high: i64, agg: Aggregate) -> (i128, QueryMetrics) {
+    /// merges their partial answers, optionally pinned at per-partition
+    /// snapshot epochs.
+    fn route(
+        &self,
+        low: i64,
+        high: i64,
+        agg: Aggregate,
+        epochs: Option<&[u64]>,
+    ) -> (i128, QueryMetrics) {
         let start = Instant::now();
         if low >= high {
             let metrics = QueryMetrics {
@@ -314,12 +448,13 @@ impl RangePartitionedCracker {
         let last = partition_of(&self.splits, high - 1);
 
         let (reply_tx, reply_rx) = channel();
-        for owner in &self.owners[first..=last] {
+        for (p, owner) in self.owners.iter().enumerate().take(last + 1).skip(first) {
             owner
                 .send(OwnerRequest::Query {
                     low,
                     high,
                     agg,
+                    epoch: epochs.map(|e| e[p]),
                     reply: reply_tx.clone(),
                 })
                 .expect("partition owner exited early");
@@ -338,7 +473,7 @@ impl RangePartitionedCracker {
         (value, metrics)
     }
 
-    /// Sums `(pending delta rows, delta merges performed)` across all
+    /// Sums `(delta rows, compactions + incremental steps)` across all
     /// partition owners.
     pub fn delta_stats(&self) -> (u64, u64) {
         let (reply_tx, reply_rx) = channel();
@@ -354,7 +489,7 @@ impl RangePartitionedCracker {
         let mut merges = 0u64;
         for _ in 0..self.owners.len() {
             let (p, m) = reply_rx.recv().expect("partition owner died");
-            pending += p as u64;
+            pending += p;
             merges += m;
         }
         (pending, merges)
@@ -393,6 +528,47 @@ impl fmt::Debug for RangePartitionedCracker {
             .field("splits", &self.splits)
             .field("partition_sizes", &self.partition_sizes())
             .finish()
+    }
+}
+
+/// A snapshot pinned across every partition of a
+/// [`RangePartitionedCracker`]: reads route like ordinary queries but each
+/// owner answers at the epoch registered when the snapshot was opened.
+/// Dropping the handle releases every partition's registration.
+#[derive(Debug)]
+pub struct RangeSnapshot<'a> {
+    idx: &'a RangePartitionedCracker,
+    epochs: Vec<u64>,
+}
+
+impl RangeSnapshot<'_> {
+    /// The per-partition epochs this snapshot reads at (diagnostics).
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// Q1 at the snapshot: count of values in `[low, high)`.
+    pub fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
+        let (value, metrics) = self
+            .idx
+            .route(low, high, Aggregate::Count, Some(&self.epochs));
+        (value as u64, metrics)
+    }
+
+    /// Q2 at the snapshot: sum of values in `[low, high)`.
+    pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
+        self.idx
+            .route(low, high, Aggregate::Sum, Some(&self.epochs))
+    }
+}
+
+impl Drop for RangeSnapshot<'_> {
+    fn drop(&mut self) {
+        for (owner, &epoch) in self.idx.owners.iter().zip(&self.epochs) {
+            // The owner can only be gone if the whole index is tearing
+            // down, which releases everything anyway.
+            let _ = owner.send(OwnerRequest::SnapshotClose { epoch });
+        }
     }
 }
 
@@ -442,7 +618,6 @@ fn stripe_slices(values: &[i64], n: usize) -> Vec<&[i64]> {
 mod tests {
     use super::*;
     use aidx_storage::ops;
-    use std::sync::Arc;
     use std::thread;
 
     fn shuffled(n: usize) -> Vec<i64> {
@@ -625,7 +800,7 @@ mod tests {
             let (pending, _) = idx.delta_stats();
             max_pending = max_pending.max(pending);
         }
-        // Each partition merges once its own delta reaches 16, so the
+        // Each partition compacts once its own delta reaches 16, so the
         // total across 4 partitions stays under 4 × 16.
         assert!(
             max_pending < 4 * 16,
@@ -638,6 +813,153 @@ mod tests {
             assert_eq!(idx.sum(low, high).0, ops::sum(&oracle, low, high));
         }
         assert_eq!(idx.len(), oracle.len());
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn incremental_compaction_threads_through_partitions() {
+        let values = shuffled(4000);
+        let idx = RangePartitionedCracker::with_compaction(
+            values.clone(),
+            4,
+            CompactionPolicy::rows(16).incremental(4),
+        );
+        idx.sum(0, 4000); // warm: every partition cracks
+        let mut oracle = values.clone();
+        let mut max_pending = 0;
+        // Churn: delete + re-insert spread across partitions, so the
+        // per-partition walks merge in place.
+        for i in 0..600 {
+            let key = (i * 5) % 4000;
+            let removed = idx.delete(key).0;
+            let expected = oracle.iter().filter(|&&v| v == key).count() as u64;
+            assert_eq!(removed, expected, "delete {key}");
+            oracle.retain(|&v| v != key);
+            idx.insert(key);
+            oracle.push(key);
+            let (pending, _) = idx.delta_stats();
+            max_pending = max_pending.max(pending);
+        }
+        assert!(
+            max_pending < 4 * 16,
+            "incremental per-partition compaction must bound the delta, saw {max_pending}"
+        );
+        let (_, merges) = idx.delta_stats();
+        assert!(merges > 0, "incremental steps ran: {merges}");
+        for (low, high) in [(0, 4000), (100, 300), (3000, 4000)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&oracle, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&oracle, low, high));
+        }
+        assert_eq!(idx.len(), oracle.len());
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn snapshot_pins_every_partition() {
+        let values = shuffled(4000);
+        let idx = RangePartitionedCracker::new(values.clone(), 4);
+        idx.sum(0, 4000);
+        let snap = idx.snapshot();
+        assert_eq!(snap.epochs().len(), 4);
+        // Writes to several partitions after the snapshot are invisible
+        // through it.
+        for key in [10, 1010, 2010, 3010] {
+            assert_eq!(idx.delete(key).0, 1);
+            idx.insert(key);
+            idx.insert(key);
+        }
+        for (low, high) in [(0, 4000), (0, 50), (1000, 1050), (3000, 3050)] {
+            assert_eq!(
+                snap.count(low, high).0,
+                ops::count(&values, low, high),
+                "pinned count [{low},{high})"
+            );
+            assert_eq!(
+                snap.sum(low, high).0,
+                ops::sum(&values, low, high),
+                "pinned sum [{low},{high})"
+            );
+        }
+        // The live view sees the churn (each key net +1).
+        assert_eq!(idx.count(0, 4000).0, 4004);
+        drop(snap);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn snapshot_survives_incremental_compaction_steps() {
+        let values = shuffled(3000);
+        let idx = RangePartitionedCracker::with_compaction(
+            values.clone(),
+            3,
+            CompactionPolicy::rows(8).incremental(4),
+        );
+        idx.sum(0, 3000);
+        let snap = idx.snapshot();
+        // Churn enough rows that every partition's threshold trips
+        // several times — at least 3 incremental steps per partition.
+        for i in 0..300 {
+            let key = (i * 7) % 3000;
+            idx.delete(key);
+            idx.insert(key);
+        }
+        let (_, merges) = idx.delta_stats();
+        assert!(merges >= 3, "steps ran while the snapshot was pinned");
+        for (low, high) in [(0, 3000), (100, 200), (2500, 3000)] {
+            assert_eq!(
+                snap.count(low, high).0,
+                ops::count(&values, low, high),
+                "pinned count [{low},{high}) across steps"
+            );
+            assert_eq!(
+                snap.sum(low, high).0,
+                ops::sum(&values, low, high),
+                "pinned sum [{low},{high}) across steps"
+            );
+        }
+        drop(snap);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn batch_routing_coalesces_under_many_clients() {
+        // 16 clients hammer queries that all overlap every partition: the
+        // owners' drain loop must process several queued requests per
+        // wakeup at least some of the time.
+        let n = 30_000usize;
+        let values = shuffled(n);
+        let idx = Arc::new(RangePartitionedCracker::new(values.clone(), 2));
+        let values = Arc::new(values);
+        let mut handles = Vec::new();
+        for t in 0..16u64 {
+            let idx = Arc::clone(&idx);
+            let values = Arc::clone(&values);
+            handles.push(thread::spawn(move || {
+                let mut seed = t * 6151 + 3;
+                for _ in 0..50 {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = (seed >> 17) as i64 % n as i64;
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let b = (seed >> 17) as i64 % n as i64;
+                    let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                    let (c, _) = idx.count(low, high);
+                    assert_eq!(c, ops::count(&values, low, high), "[{low},{high})");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = idx.routing_stats();
+        assert!(
+            stats.ops >= 16 * 50,
+            "every routed request was processed: {stats:?}"
+        );
+        assert!(
+            stats.ops > stats.batches,
+            "16 clients against 2 owners must coalesce at least once: {stats:?}"
+        );
+        assert!(stats.ops_per_batch() > 1.0, "{stats:?}");
         assert!(idx.check_invariants());
     }
 

@@ -120,4 +120,87 @@ proptest! {
         prop_assert_eq!(idx.count(i64::MIN, i64::MAX).0, total);
         prop_assert_eq!(idx.len() as u64, total);
     }
+
+    #[test]
+    fn pinned_snapshots_match_the_oracle_for_both_parallel_arms(
+        values in prop::collection::vec(-150i64..150, 0..120),
+        pre_ops in prop::collection::vec((0u8..2, -200i64..200), 0..15),
+        post_ops in prop::collection::vec((0u8..2, -200i64..200), 3..30),
+        queries in prop::collection::vec((-250i64..250, -250i64..250), 1..6),
+        workers in 1usize..4,
+    ) {
+        // Long scans pin a snapshot on each parallel arm, then writes and
+        // aggressive incremental per-worker compaction race past it; every
+        // pinned read must equal the oracle frozen at snapshot time, for
+        // the chunked and the range-partitioned arm alike.
+        let policy = CompactionPolicy::rows(4).incremental(2);
+        let chunked = ChunkedCracker::new(
+            values.clone(),
+            workers,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        )
+        .with_compaction(policy);
+        let ranged = RangePartitionedCracker::with_compaction(values.clone(), workers, policy);
+        let mut oracle = oracle_from(&values);
+        let apply = |kind: u8, v: i64, oracle: &mut BTreeMap<i64, u64>| {
+            if kind == 0 {
+                chunked.insert(v);
+                ranged.insert(v);
+                *oracle.entry(v).or_insert(0) += 1;
+            } else {
+                let a = chunked.delete(v).0;
+                let b = ranged.delete(v).0;
+                let expected = oracle.remove(&v).unwrap_or(0);
+                assert_eq!(a, expected, "chunked delete {v}");
+                assert_eq!(b, expected, "ranged delete {v}");
+            }
+        };
+        for &(kind, v) in &pre_ops {
+            apply(kind, v, &mut oracle);
+        }
+        let frozen = oracle.clone();
+        let chunk_snap = chunked.snapshot().expect("concurrent chunks");
+        let range_snap = ranged.snapshot();
+        for &(kind, v) in &post_ops {
+            apply(kind, v, &mut oracle);
+            for &(a, b) in &queries {
+                let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert_eq!(
+                    chunk_snap.count(low, high).0,
+                    oracle_count(&frozen, low, high),
+                    "chunked pinned count [{},{})", low, high
+                );
+                prop_assert_eq!(
+                    range_snap.sum(low, high).0,
+                    oracle_sum(&frozen, low, high),
+                    "ranged pinned sum [{},{})", low, high
+                );
+                prop_assert_eq!(
+                    chunked.count(low, high).0,
+                    oracle_count(&oracle, low, high),
+                    "chunked live count [{},{})", low, high
+                );
+                prop_assert_eq!(
+                    ranged.count(low, high).0,
+                    oracle_count(&oracle, low, high),
+                    "ranged live count [{},{})", low, high
+                );
+            }
+        }
+        prop_assert_eq!(
+            chunk_snap.sum(i64::MIN, i64::MAX).0,
+            oracle_sum(&frozen, i64::MIN, i64::MAX)
+        );
+        prop_assert_eq!(
+            range_snap.count(i64::MIN, i64::MAX).0,
+            oracle_count(&frozen, i64::MIN, i64::MAX)
+        );
+        drop(chunk_snap);
+        drop(range_snap);
+        let total: u64 = oracle.values().sum();
+        prop_assert_eq!(chunked.count(i64::MIN, i64::MAX).0, total);
+        prop_assert_eq!(ranged.count(i64::MIN, i64::MAX).0, total);
+        prop_assert!(chunked.check_invariants());
+        prop_assert!(ranged.check_invariants());
+    }
 }

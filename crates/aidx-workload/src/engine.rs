@@ -62,6 +62,17 @@ pub trait AdaptiveEngine: Send + Sync {
         let result = self.execute(Operation::Select(*query));
         (result.value, result.metrics)
     }
+
+    /// Executes one select through an epoch-stamped snapshot: the engine
+    /// opens a snapshot at the current column epoch, answers the query
+    /// frozen there (ignoring every concurrent write, piece shrink, and
+    /// compaction step), and releases it. Engines without snapshot
+    /// machinery (scan, sort, adaptive-merge, stochastic chunks) answer at
+    /// the latest state, which is what a single serialized read observes
+    /// anyway.
+    fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        self.select(query)
+    }
 }
 
 /// Dispatches one [`Operation`] onto an index exposing the common
@@ -109,6 +120,10 @@ impl<T: AdaptiveEngine + ?Sized> AdaptiveEngine for Box<T> {
     fn execute(&self, op: Operation) -> OpResult {
         (**self).execute(op)
     }
+
+    fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        (**self).snapshot_select(query)
+    }
 }
 
 impl<T: AdaptiveEngine + ?Sized> AdaptiveEngine for Arc<T> {
@@ -118,6 +133,10 @@ impl<T: AdaptiveEngine + ?Sized> AdaptiveEngine for Arc<T> {
 
     fn execute(&self, op: Operation) -> OpResult {
         (**self).execute(op)
+    }
+
+    fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        (**self).snapshot_select(query)
     }
 }
 
@@ -352,6 +371,17 @@ impl AdaptiveEngine for CrackEngine {
     fn execute(&self, op: Operation) -> OpResult {
         execute_on_index!(self.cracker, op)
     }
+
+    fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        let snapshot = self.cracker.snapshot();
+        match query.aggregate {
+            Aggregate::Count => {
+                let (c, m) = snapshot.count(query.low, query.high);
+                (c as i128, m)
+            }
+            Aggregate::Sum => snapshot.sum(query.low, query.high),
+        }
+    }
 }
 
 /// Adaptive merging over a partitioned B-tree under concurrency control.
@@ -413,6 +443,7 @@ pub struct CheckedEngine<E> {
     inner: E,
     oracle: Mutex<BTreeMap<i64, u64>>,
     mismatches: Mutex<Vec<Mismatch>>,
+    snapshot_scans: bool,
 }
 
 impl<E: AdaptiveEngine> CheckedEngine<E> {
@@ -427,7 +458,17 @@ impl<E: AdaptiveEngine> CheckedEngine<E> {
             inner,
             oracle: Mutex::new(oracle),
             mismatches: Mutex::new(Vec::new()),
+            snapshot_scans: false,
         }
+    }
+
+    /// Routes every checked select through the engine's snapshot path
+    /// (builder style): the select opens a snapshot at the current epoch,
+    /// answers there, and must still match the oracle — which replays the
+    /// same linearization, so snapshot-at-now and latest must agree.
+    pub fn with_snapshot_scans(mut self, snapshot_scans: bool) -> Self {
+        self.snapshot_scans = snapshot_scans;
+        self
     }
 
     /// Operations whose results disagreed with the oracle.
@@ -472,7 +513,13 @@ impl<E: AdaptiveEngine> AdaptiveEngine for CheckedEngine<E> {
         // oracle op) becomes one atomic step, so the oracle replays the
         // engine's exact linearization order.
         let mut oracle = self.oracle.lock();
-        let result = self.inner.execute(op);
+        let result = match (op, self.snapshot_scans) {
+            (Operation::Select(q), true) => {
+                let (value, metrics) = self.inner.snapshot_select(&q);
+                OpResult { value, metrics }
+            }
+            _ => self.inner.execute(op),
+        };
         let expected = oracle_apply(&mut oracle, op);
         drop(oracle);
         if result.value != expected {
@@ -483,6 +530,58 @@ impl<E: AdaptiveEngine> AdaptiveEngine for CheckedEngine<E> {
             });
         }
         result
+    }
+
+    fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        let mut oracle = self.oracle.lock();
+        let (value, metrics) = self.inner.snapshot_select(query);
+        // Selects never mutate the oracle, so the locked map is passed
+        // straight through (no clone).
+        let expected = oracle_apply(&mut oracle, Operation::Select(*query));
+        drop(oracle);
+        if value != expected {
+            self.mismatches.lock().push(Mismatch {
+                op: Operation::Select(*query),
+                got: value,
+                expected,
+            });
+        }
+        (value, metrics)
+    }
+}
+
+/// Engine adapter that routes every select through the inner engine's
+/// snapshot path ([`AdaptiveEngine::snapshot_select`]) while writes pass
+/// through untouched — the `snapshot_scans` experiment knob.
+#[derive(Debug)]
+pub struct SnapshotScanEngine<E> {
+    inner: E,
+}
+
+impl<E: AdaptiveEngine> SnapshotScanEngine<E> {
+    /// Wraps `inner`.
+    pub fn new(inner: E) -> Self {
+        SnapshotScanEngine { inner }
+    }
+}
+
+impl<E: AdaptiveEngine> AdaptiveEngine for SnapshotScanEngine<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute(&self, op: Operation) -> OpResult {
+        match op {
+            Operation::Select(q) => {
+                let (value, metrics) = self.inner.snapshot_select(&q);
+                OpResult { value, metrics }
+            }
+            _ => self.inner.execute(op),
+        }
+    }
+
+    fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        self.inner.snapshot_select(query)
     }
 }
 
@@ -608,6 +707,76 @@ mod tests {
             checked.select(&q);
         }
         assert!(checked.mismatches().is_empty());
+    }
+
+    #[test]
+    fn snapshot_selects_agree_with_plain_selects_when_serialized() {
+        // With no concurrent writers, a snapshot-at-now select and a plain
+        // select must be indistinguishable, for every engine (engines
+        // without snapshot machinery fall back to plain selects).
+        let values = shuffled(1500);
+        for engine in engines(&values) {
+            for q in [
+                QuerySpec::count(100, 700),
+                QuerySpec::sum(0, 1500),
+                QuerySpec::count(500, 100),
+            ] {
+                assert_eq!(
+                    engine.snapshot_select(&q).0,
+                    engine.select(&q).0,
+                    "{} snapshot select diverged on {q:?}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crack_engine_snapshot_select_releases_its_registration() {
+        let engine = CrackEngine::new(shuffled(800), LatchProtocol::Piece);
+        engine.snapshot_select(&QuerySpec::sum(100, 700));
+        assert_eq!(
+            engine.cracker().live_snapshots(),
+            0,
+            "the per-select snapshot is transient"
+        );
+    }
+
+    #[test]
+    fn checked_engine_verifies_the_snapshot_path() {
+        let values = shuffled(1000);
+        let checked = CheckedEngine::new(
+            CrackEngine::new(values.clone(), LatchProtocol::Piece)
+                .with_compaction(CompactionPolicy::rows(8).incremental(2)),
+            values,
+        )
+        .with_snapshot_scans(true);
+        for op in [
+            Operation::Select(QuerySpec::sum(100, 600)),
+            Operation::Insert(250),
+            Operation::Delete(500),
+            Operation::Select(QuerySpec::count(200, 600)),
+            Operation::Delete(250),
+            Operation::Select(QuerySpec::sum(0, 6000)),
+        ] {
+            checked.execute(op);
+        }
+        checked.snapshot_select(&QuerySpec::count(0, 1000));
+        assert_eq!(checked.mismatches(), vec![], "snapshot scans diverged");
+    }
+
+    #[test]
+    fn snapshot_scan_engine_routes_selects_through_snapshots() {
+        let values = shuffled(600);
+        let engine =
+            SnapshotScanEngine::new(CrackEngine::new(values.clone(), LatchProtocol::Piece));
+        assert_eq!(engine.name(), "crack-piece");
+        let q = QuerySpec::count(50, 400);
+        let expected = ScanEngine::new(values).select(&q).0;
+        assert_eq!(engine.execute(Operation::Select(q)).value, expected);
+        assert_eq!(engine.snapshot_select(&q).0, expected);
+        assert_eq!(engine.execute(Operation::Insert(60)).value, 1);
+        assert_eq!(engine.execute(Operation::Select(q)).value, expected + 1);
     }
 
     #[test]

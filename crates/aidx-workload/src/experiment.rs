@@ -211,9 +211,22 @@ pub struct ExperimentConfig {
     /// main structure once the pending delta reaches this many rows
     /// (per chunk for `ParallelChunk`, per partition for `ParallelRange`).
     /// `0` disables compaction, reproducing the unbounded pre-compaction
-    /// delta. Arms without a pending delta (scan, sort, adaptive-merge)
-    /// ignore the knob.
+    /// delta — except for `ParallelRange`, whose partition owners have
+    /// always bounded their deltas (merge-on-next-crack historically,
+    /// the bounded incremental default now). Arms without a pending
+    /// delta (scan, sort, adaptive-merge) ignore the knob.
     pub compaction_threshold: u64,
+    /// Pieces per incremental compaction walk step: `> 0` switches the
+    /// triggered compaction from the quiescing whole-array rebuild to the
+    /// piece-at-a-time walk (readers never block; the exclusive gate is
+    /// only the no-holes fallback). `0` keeps the quiescing rebuild.
+    /// Meaningless unless `compaction_threshold > 0`.
+    pub incremental_pieces: usize,
+    /// Route every select through the engine's epoch-stamped snapshot
+    /// path: each select opens a snapshot at the current column epoch,
+    /// answers frozen there, and releases it. Arms without snapshot
+    /// machinery answer at the latest state, unchanged.
+    pub snapshot_scans: bool,
     /// The approach under test.
     pub approach: Approach,
     /// Seed for the data permutation.
@@ -234,6 +247,8 @@ impl ExperimentConfig {
             aggregate: Aggregate::Sum,
             write_ratio: 0.0,
             compaction_threshold: 0,
+            incremental_pieces: 0,
+            snapshot_scans: false,
             approach,
             data_seed: DEFAULT_DATA_SEED,
             query_seed: DEFAULT_QUERY_SEED,
@@ -282,6 +297,33 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the incremental compaction step budget (builder style; 0 =
+    /// quiescing rebuilds).
+    pub fn incremental_pieces(mut self, incremental_pieces: usize) -> Self {
+        self.incremental_pieces = incremental_pieces;
+        self
+    }
+
+    /// Routes selects through the snapshot path (builder style).
+    pub fn snapshot_scans(mut self, snapshot_scans: bool) -> Self {
+        self.snapshot_scans = snapshot_scans;
+        self
+    }
+
+    /// The compaction policy the threshold + incremental knobs describe.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        let policy = if self.compaction_threshold > 0 {
+            CompactionPolicy::rows(self.compaction_threshold)
+        } else {
+            CompactionPolicy::disabled()
+        };
+        if self.incremental_pieces > 0 {
+            policy.incremental(self.incremental_pieces)
+        } else {
+            policy
+        }
+    }
+
     fn generator(&self) -> WorkloadGenerator {
         WorkloadGenerator::new(
             self.rows as u64,
@@ -313,11 +355,7 @@ impl ExperimentConfig {
     /// Builds the engine over caller-provided data (so a sweep can reuse one
     /// generated column across arms).
     pub fn build_engine_with(&self, values: Vec<i64>) -> Arc<dyn AdaptiveEngine> {
-        let compaction = if self.compaction_threshold > 0 {
-            CompactionPolicy::rows(self.compaction_threshold)
-        } else {
-            CompactionPolicy::disabled()
-        };
+        let compaction = self.compaction_policy();
         match self.approach {
             Approach::Scan => Arc::new(ScanEngine::new(values)),
             Approach::Sort => Arc::new(SortEngine::new(values)),
@@ -334,11 +372,21 @@ impl ExperimentConfig {
                     .with_compaction(compaction),
             ),
             Approach::ParallelRange { partitions } => {
-                Arc::new(ParallelRangeEngine::with_compaction_threshold(
-                    values,
-                    effective_workers(partitions),
-                    self.compaction_threshold as usize,
-                ))
+                // Threshold 0 keeps the range arm's bounded per-partition
+                // default (the pre-PR 4 owners merged pending rows on the
+                // next crack; "disabled" would regress them to unbounded
+                // delta growth, unlike the serial/chunked arms where
+                // disabled reproduces the historical behaviour).
+                let engine = if compaction.is_enabled() {
+                    ParallelRangeEngine::with_compaction(
+                        values,
+                        effective_workers(partitions),
+                        compaction,
+                    )
+                } else {
+                    ParallelRangeEngine::new(values, effective_workers(partitions))
+                };
+                Arc::new(engine)
             }
         }
     }
@@ -361,6 +409,11 @@ pub fn run_experiment_with_engine(
     engine: Arc<dyn AdaptiveEngine>,
 ) -> RunMetrics {
     let ops = config.generate_operations();
+    let engine: Arc<dyn AdaptiveEngine> = if config.snapshot_scans {
+        Arc::new(crate::engine::SnapshotScanEngine::new(engine))
+    } else {
+        engine
+    };
     MultiClientRunner::new(config.clients).run_ops(engine, &ops)
 }
 
@@ -499,6 +552,65 @@ mod tests {
                 "{} diverged from the oracle with compaction every 8 rows",
                 approach.label()
             );
+        }
+    }
+
+    #[test]
+    fn snapshot_scan_runs_stay_oracle_correct_under_concurrency() {
+        use crate::engine::CheckedEngine;
+        use crate::runner::MultiClientRunner;
+        use aidx_storage::generate_unique_shuffled;
+
+        // Every select runs through the engine's snapshot path while
+        // writers churn and incremental compaction merges piece by piece;
+        // the serialized oracle must still agree op for op.
+        for approach in [
+            Approach::Crack(LatchProtocol::Piece),
+            Approach::Crack(LatchProtocol::Column),
+            Approach::ParallelChunk {
+                chunks: 3,
+                protocol: LatchProtocol::Piece,
+            },
+            Approach::ParallelRange { partitions: 3 },
+        ] {
+            let config = tiny(approach)
+                .queries(64)
+                .clients(4)
+                .write_ratio(0.5)
+                .compaction_threshold(8)
+                .incremental_pieces(4)
+                .snapshot_scans(true);
+            assert!(config.snapshot_scans);
+            assert_eq!(
+                config.compaction_policy(),
+                aidx_core::CompactionPolicy::rows(8).incremental(4)
+            );
+            let values = generate_unique_shuffled(config.rows, config.data_seed);
+            let engine = Arc::new(
+                CheckedEngine::new(config.build_engine_with(values.clone()), values)
+                    .with_snapshot_scans(true),
+            );
+            let ops = config.generate_operations();
+            MultiClientRunner::new(config.clients).run_ops(engine.clone(), &ops);
+            assert_eq!(
+                engine.mismatches(),
+                vec![],
+                "{} snapshot scans diverged from the oracle",
+                approach.label()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_scans_knob_threads_through_run_experiment() {
+        for approach in Approach::all() {
+            let config = tiny(approach)
+                .write_ratio(0.3)
+                .compaction_threshold(16)
+                .incremental_pieces(2)
+                .snapshot_scans(true);
+            let run = run_experiment(&config);
+            assert_eq!(run.query_count(), 32, "{}", approach.label());
         }
     }
 

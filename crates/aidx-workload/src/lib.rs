@@ -32,7 +32,7 @@ pub mod runner;
 
 pub use engine::{
     oracle_apply, AdaptiveEngine, CheckedEngine, CrackEngine, MergeEngine, Mismatch, OpResult,
-    ScanEngine, SortEngine,
+    ScanEngine, SnapshotScanEngine, SortEngine,
 };
 pub use experiment::{
     run_experiment, run_experiment_with_engine, Approach, ExperimentConfig, DEFAULT_QUERIES,

@@ -10,8 +10,8 @@
 //! inserts go to the single partition owning the key.
 
 use crate::engine::{execute_on_index, AdaptiveEngine, OpResult};
-use crate::query::Operation;
-use aidx_core::{Aggregate, CompactionPolicy, LatchProtocol, RefinementPolicy};
+use crate::query::{Operation, QuerySpec};
+use aidx_core::{Aggregate, CompactionPolicy, LatchProtocol, QueryMetrics, RefinementPolicy};
 use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 
 /// Parallel-chunked cracking as an experiment arm.
@@ -70,6 +70,21 @@ impl AdaptiveEngine for ParallelChunkEngine {
     fn execute(&self, op: Operation) -> OpResult {
         execute_on_index!(self.index, op)
     }
+
+    fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        // Stochastic chunks keep no epoch history; they answer latest,
+        // exactly as the trait default prescribes.
+        match self.index.snapshot() {
+            Some(snapshot) => match query.aggregate {
+                Aggregate::Count => {
+                    let (c, m) = snapshot.count(query.low, query.high);
+                    (c as i128, m)
+                }
+                Aggregate::Sum => snapshot.sum(query.low, query.high),
+            },
+            None => self.select(query),
+        }
+    }
 }
 
 /// Range-partitioned latch-free cracking as an experiment arm.
@@ -93,11 +108,27 @@ impl ParallelRangeEngine {
         partitions: usize,
         compaction_threshold: usize,
     ) -> Self {
+        // Route through the index constructor so threshold 0 keeps its
+        // "bounded default policy" meaning instead of decaying to
+        // rows(0) == disabled (which would reintroduce unbounded
+        // per-partition delta growth for default-configured engines).
         let index = RangePartitionedCracker::with_compaction_threshold(
             values,
             partitions,
             compaction_threshold,
         );
+        let name = format!("parallel-range-{}", index.partition_count());
+        ParallelRangeEngine { index, name }
+    }
+
+    /// As [`ParallelRangeEngine::new`] with an explicit per-partition
+    /// compaction policy (thresholds and quiescing/incremental mode).
+    pub fn with_compaction(
+        values: Vec<i64>,
+        partitions: usize,
+        compaction: CompactionPolicy,
+    ) -> Self {
+        let index = RangePartitionedCracker::with_compaction(values, partitions, compaction);
         let name = format!("parallel-range-{}", index.partition_count());
         ParallelRangeEngine { index, name }
     }
@@ -115,6 +146,17 @@ impl AdaptiveEngine for ParallelRangeEngine {
 
     fn execute(&self, op: Operation) -> OpResult {
         execute_on_index!(self.index, op)
+    }
+
+    fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
+        let snapshot = self.index.snapshot();
+        match query.aggregate {
+            Aggregate::Count => {
+                let (c, m) = snapshot.count(query.low, query.high);
+                (c as i128, m)
+            }
+            Aggregate::Sum => snapshot.sum(query.low, query.high),
+        }
     }
 }
 
@@ -240,6 +282,27 @@ mod tests {
         let run = MultiClientRunner::new(4).run(engine.clone(), &queries);
         assert_eq!(run.query_count(), 48);
         assert!(engine.mismatches().is_empty());
+    }
+
+    #[test]
+    fn default_range_engine_keeps_the_delta_bounded() {
+        // Regression guard: the default-constructed range engine must not
+        // accumulate an unbounded per-partition delta under a sustained
+        // insert stream (its owners historically merged pending rows on
+        // the next crack; the bounded incremental default preserves that).
+        let engine = ParallelRangeEngine::new(shuffled(2000), 2);
+        engine.select(&QuerySpec::sum(0, 2000));
+        for i in 0..2000 {
+            engine.execute(Operation::Insert(10_000 + i));
+        }
+        let (pending, merges) = engine.index().delta_stats();
+        assert!(
+            pending < 2000,
+            "default policy must bound the delta, saw {pending}"
+        );
+        assert!(merges > 0, "reconciliation actually ran");
+        assert_eq!(engine.select(&QuerySpec::count(10_000, 12_000)).0, 2000);
+        assert!(engine.index().check_invariants());
     }
 
     #[test]
