@@ -70,7 +70,7 @@ use aidx_latch::stats::LatchStatsSnapshot;
 use aidx_latch::systxn::{SystemTxnManager, SystemTxnStats};
 use aidx_storage::{Column, RowId};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -310,6 +310,12 @@ impl Snapshot<'_> {
     pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
         self.idx.sum_at(low, high, self.epoch)
     }
+
+    /// Row ids of the rows with values in `[low, high)` as of the
+    /// snapshot epoch (sorted ascending).
+    pub fn rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
+        self.idx.select_rowids_at(low, high, self.epoch)
+    }
 }
 
 impl Drop for Snapshot<'_> {
@@ -337,9 +343,22 @@ impl ConcurrentCracker {
         Self::from_values(column.values().to_vec(), protocol)
     }
 
-    /// Builds a concurrent cracker from raw values.
+    /// Builds a concurrent cracker from raw values (row ids positional).
     pub fn from_values(values: Vec<i64>, protocol: LatchProtocol) -> Self {
-        let data = SharedCrackerArray::from_values(values);
+        let rowids: Vec<RowId> = (0..values.len() as RowId).collect();
+        Self::from_rows(values, rowids, protocol)
+    }
+
+    /// Builds a concurrent cracker from explicit, aligned `(value, rowid)`
+    /// vectors — the table-engine path, where one row-id space spans every
+    /// indexed column of a table. Self-assigned row ids (plain
+    /// [`ConcurrentCracker::insert`]) continue above the largest given id.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_rows(values: Vec<i64>, rowids: Vec<RowId>, protocol: LatchProtocol) -> Self {
+        let next_rowid = rowids.iter().max().map(|&r| r as u64 + 1).unwrap_or(0);
+        let data = SharedCrackerArray::from_rows(values, rowids);
         let len = data.len();
         ConcurrentCracker {
             data,
@@ -357,7 +376,7 @@ impl ConcurrentCracker {
             walk_cursor: AtomicUsize::new(0),
             compacted_floor: AtomicU64::new(0),
             hole_rows: AtomicU64::new(0),
-            next_rowid: AtomicU64::new(len as u64),
+            next_rowid: AtomicU64::new(next_rowid),
             queries: AtomicU64::new(0),
             cracks: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -600,15 +619,46 @@ impl ConcurrentCracker {
         self.run_query(low, high, Aggregate::Sum, Some(epoch))
     }
 
-    /// Inserts one row with the given key. The row lands in the pending
-    /// delta (the main cracker array keeps its footprint between
-    /// compactions) and is folded into every subsequent query's answer; if
-    /// the insert pushes the delta past the compaction threshold, this
-    /// write pays for the rebuild.
+    /// Row ids of every live row whose value falls in `[low, high)`,
+    /// sorted ascending, refining the index as a side effect exactly like
+    /// a count/sum query. This is the rowid-set read a table engine
+    /// intersects across columns for multi-column conjunctive selections:
+    /// physical reorganisation (cracks, shrinks, compaction steps, full
+    /// rebuilds) never changes the answer, because every row carries its
+    /// id through every swap.
+    pub fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
+        self.run_rowid_query(low, high, None)
+    }
+
+    /// As [`ConcurrentCracker::select_rowids`], frozen at snapshot `epoch`
+    /// (which must be registered): rows inserted or physically placed
+    /// after the epoch are invisible, rows deleted or reclaimed after it
+    /// are restored (ghosts).
+    pub fn select_rowids_at(&self, low: i64, high: i64, epoch: u64) -> (Vec<RowId>, QueryMetrics) {
+        self.run_rowid_query(low, high, Some(epoch))
+    }
+
+    /// Inserts one row with the given key, self-assigning a fresh row id.
+    /// The row lands in the pending delta (the main cracker array keeps
+    /// its footprint between compactions) and is folded into every
+    /// subsequent query's answer; if the insert pushes the delta past the
+    /// compaction threshold, this write pays for the rebuild.
     pub fn insert(&self, value: i64) -> QueryMetrics {
+        let rowid = self.next_rowid.fetch_add(1, Ordering::Relaxed) as RowId;
+        self.insert_row(value, rowid)
+    }
+
+    /// Inserts one row with the given key and an externally assigned row
+    /// id — the table-engine path, where one tuple's row id must be the
+    /// same in every column's cracker. The caller owns row-id uniqueness.
+    pub fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics {
         let start = Instant::now();
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        let delta_rows = self.delta.insert(value);
+        // Self-assigned ids must never collide with externally assigned
+        // ones, so the counter always stays past the largest id seen.
+        self.next_rowid
+            .fetch_max(rowid as u64 + 1, Ordering::Relaxed);
+        let delta_rows = self.delta.insert_row(value, rowid);
         let mut metrics = QueryMetrics {
             inserts_applied: 1,
             result_count: 1,
@@ -623,10 +673,10 @@ impl ConcurrentCracker {
     /// were removed. The index is first refined at the key's bounds under
     /// the normal latch protocol (merge-on-crack: the delete performs —
     /// and pays for — exactly the cracks a query for `[value, value + 1)`
-    /// would), which pins down the key's main-array multiplicity; then the
-    /// delta drops the key's pending inserts and raises its tombstone in
-    /// one atomic step, so concurrent selects see the whole delete or none
-    /// of it.
+    /// would), which pins down exactly *which* main-array rows carry the
+    /// key; then the delta drops the key's pending inserts and tombstones
+    /// those rows in one atomic step, so concurrent selects see the whole
+    /// delete or none of it.
     pub fn delete(&self, value: i64) -> (u64, QueryMetrics) {
         let start = Instant::now();
         self.deletes.fetch_add(1, Ordering::Relaxed);
@@ -637,23 +687,23 @@ impl ConcurrentCracker {
         let (from_pending, newly) = {
             let _op = self.enter_if_compactable();
             if self.data.is_empty() {
-                self.delta.apply_delete(value, 0)
+                self.delta.apply_delete(value, &[])
             } else {
-                // The main count is exact only against a main multiset no
-                // reclamation has touched since it was taken: validate the
-                // shrink epoch under the delta lock and recount on a race
-                // (the bounds are cracks after the first pass, so a retry
-                // is a pure position lookup). Retries are bounded the same
-                // way as reads: past the cap, pause reclamations and the
-                // count can no longer go stale.
+                // The collected row set is exact only against a main
+                // multiset no reclamation has touched since it was taken:
+                // validate the shrink epoch under the delta lock and
+                // recollect on a race (the bounds are cracks after the
+                // first pass, so a retry re-reads one small piece).
+                // Retries are bounded the same way as reads: past the
+                // cap, pause reclamations and the set can no longer go
+                // stale.
                 let mut failures = 0u32;
                 let (from_pending, newly) = loop {
                     let paused =
                         (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
                     let epoch = self.stable_shrink_epoch();
-                    let occurrences =
-                        self.main_count_exact(value, value.checked_add(1), &mut metrics);
-                    let applied = self.delta.apply_delete_validated(value, occurrences, || {
+                    let doomed = self.main_rows_exact(value, &mut metrics);
+                    let applied = self.delta.apply_delete_validated(value, &doomed, || {
                         paused.is_some() || self.shrink_epoch.load(Ordering::Acquire) == epoch
                     });
                     if let Some(result) = applied {
@@ -679,24 +729,72 @@ impl ConcurrentCracker {
         (removed, metrics)
     }
 
-    /// Exact positional count of *live* main-array rows in `[low, high)`
-    /// (or `[low, +∞)` when `high` is `None`, the `low == i64::MAX` case).
-    /// Always refines the bounds into cracks — deletes are mandatory
-    /// writes, so conflict avoidance does not apply — which makes the
-    /// count purely positional (minus the hole ledger), with no data
-    /// access at all.
-    fn main_count_exact(&self, low: i64, high: Option<i64>, metrics: &mut QueryMetrics) -> u64 {
-        let a = self.force_bound(low, metrics);
-        let b = match high {
-            Some(h) => self.force_bound(h, metrics),
+    /// Deletes one specific row `(value, rowid)` — the positional delete a
+    /// table engine issues against every column of a doomed tuple, so
+    /// exactly that tuple dies even when other tuples share the value.
+    /// Refines the index at the key's bounds like
+    /// [`ConcurrentCracker::delete`], decides under the shrink-epoch
+    /// seqlock whether the row currently lives in the main array or the
+    /// pending delta, and applies the removal atomically under the delta
+    /// latch. Returns `(rows removed — 0 or 1, metrics)`.
+    pub fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics) {
+        let start = Instant::now();
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        let mut metrics = QueryMetrics {
+            deletes_applied: 1,
+            ..QueryMetrics::default()
+        };
+        let removed = {
+            let _op = self.enter_if_compactable();
+            if self.data.is_empty() {
+                self.delta
+                    .apply_delete_row_validated(value, rowid, false, || true)
+                    .expect("validation closure always passes")
+            } else {
+                let mut failures = 0u32;
+                let (removed, in_main) = loop {
+                    let paused =
+                        (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
+                    let epoch = self.stable_shrink_epoch();
+                    let in_main = self.main_rows_exact(value, &mut metrics).contains(&rowid);
+                    let applied =
+                        self.delta
+                            .apply_delete_row_validated(value, rowid, in_main, || {
+                                paused.is_some()
+                                    || self.shrink_epoch.load(Ordering::Acquire) == epoch
+                            });
+                    if let Some(removed) = applied {
+                        break (removed, in_main);
+                    }
+                    failures += 1;
+                    metrics.snapshot_retries = metrics.snapshot_retries.saturating_add(1);
+                };
+                if removed > 0 && in_main {
+                    self.reclaim_key_piece(value, &mut metrics);
+                }
+                removed
+            }
+        };
+        metrics.result_count = removed;
+        self.maybe_compact(&mut metrics);
+        metrics.total = start.elapsed();
+        (removed, metrics)
+    }
+
+    /// The exact set of *live* main-array rows carrying `value`: refines
+    /// both bounds into cracks (deletes are mandatory writes, so conflict
+    /// avoidance does not apply), then reads the doomed rows' ids under
+    /// the protocol's read latches, skipping dead hole tails.
+    fn main_rows_exact(&self, value: i64, metrics: &mut QueryMetrics) -> Vec<RowId> {
+        let a = self.force_bound(value, metrics);
+        let b = match value.checked_add(1) {
+            Some(next) => self.force_bound(next, metrics),
             None => self.data.len(),
         };
-        let holes = if self.hole_rows.load(Ordering::Acquire) == 0 {
-            0
-        } else {
-            self.toc.lock().holes_in(a, b)
-        };
-        (b - a - holes) as u64
+        self.collect_pairs(a, b, None, metrics)
+            .into_iter()
+            .map(|(_, rowid)| rowid)
+            .collect()
     }
 
     /// Ensures a crack exists at `bound` under the active latch protocol,
@@ -814,6 +912,154 @@ impl ConcurrentCracker {
             }
         };
         (result, metrics)
+    }
+
+    /// The rowid twin of [`ConcurrentCracker::run_query`]: same plan phase
+    /// (both bounds refined, or a conservative filtered range under
+    /// conflict avoidance), same shrink-epoch seqlock around the
+    /// (main read, delta view) pair, but the main phase *collects* the
+    /// qualifying `(value, rowid)` pairs under the protocol's read latches
+    /// and the delta contributes a [`crate::pending::RowidView`] instead
+    /// of count adjustments.
+    fn run_rowid_query(&self, low: i64, high: i64, at: Option<u64>) -> (Vec<RowId>, QueryMetrics) {
+        let start = Instant::now();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let mut metrics = QueryMetrics::default();
+        if low >= high {
+            metrics.total = start.elapsed();
+            return (Vec::new(), metrics);
+        }
+        let rows = {
+            let _op = self.enter_if_compactable();
+            let plan = if self.data.is_empty() {
+                None
+            } else {
+                Some(match self.protocol {
+                    LatchProtocol::Piece => self.plan_piece(low, high, &mut metrics),
+                    LatchProtocol::Column | LatchProtocol::None => {
+                        self.plan_column(low, high, &mut metrics)
+                    }
+                })
+            };
+            let mut failures = 0u32;
+            loop {
+                let paused = (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
+                let epoch = self.stable_shrink_epoch();
+                let mut attempt = QueryMetrics::default();
+                let pairs = match plan {
+                    Some(MainPlan::Exact { start, end }) => {
+                        self.collect_pairs(start, end, None, &mut attempt)
+                    }
+                    Some(MainPlan::Filtered { start, end }) => {
+                        self.collect_pairs(start, end, Some((low, high)), &mut attempt)
+                    }
+                    None => Vec::new(),
+                };
+                let view = match at {
+                    Some(snapshot_epoch) => self.delta.rowid_view_at(low, high, snapshot_epoch),
+                    None => self.delta.rowid_view(low, high),
+                };
+                if paused.is_some() || self.shrink_epoch.load(Ordering::Acquire) == epoch {
+                    metrics.accumulate(&attempt);
+                    let mut rows: Vec<RowId> = pairs
+                        .into_iter()
+                        .filter(|(_, rowid)| !view.hidden.contains(rowid))
+                        .map(|(_, rowid)| rowid)
+                        .collect();
+                    rows.extend(view.extra);
+                    rows.sort_unstable();
+                    break rows;
+                }
+                // A reclamation raced the read: keep the failed attempt's
+                // latch timing honest, discard its rows, and retry.
+                failures += 1;
+                metrics.snapshot_retries = metrics.snapshot_retries.saturating_add(1);
+                metrics.wait_time += attempt.wait_time;
+                metrics.aggregate_time += attempt.aggregate_time;
+                metrics.conflicts = metrics.conflicts.saturating_add(attempt.conflicts);
+            }
+        };
+        metrics.result_count = rows.len() as u64;
+        metrics.total = start.elapsed();
+        (rows, metrics)
+    }
+
+    /// Collects the live `(value, rowid)` pairs of `[start, end)` (a
+    /// union of whole pieces), holding the latches the active protocol
+    /// prescribes — piece read latches one piece at a time, or the column
+    /// read latch — and skipping each piece's dead hole tail. `filter`
+    /// carries the original query bounds when refinement was skipped and
+    /// exact filtering is required.
+    fn collect_pairs(
+        &self,
+        start: usize,
+        end: usize,
+        filter: Option<(i64, i64)>,
+        metrics: &mut QueryMetrics,
+    ) -> Vec<(i64, RowId)> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        match self.protocol {
+            LatchProtocol::Piece => {
+                let mut pos = start;
+                while pos < end {
+                    let latch = self.registry.latch_for(pos);
+                    let guard = latch.acquire_read();
+                    Self::note_wait(
+                        metrics,
+                        guard.outcome().wait_time(),
+                        guard.outcome().contended(),
+                    );
+                    let (piece_end, live_end) = {
+                        let toc = self.toc.lock();
+                        let piece_end = toc.piece_end_after(pos).min(end);
+                        (piece_end, toc.live_end(pos, piece_end))
+                    };
+                    let agg_start = Instant::now();
+                    out.extend(self.read_pairs(pos, live_end, filter));
+                    metrics.aggregate_time += agg_start.elapsed();
+                    drop(guard);
+                    pos = piece_end;
+                }
+            }
+            LatchProtocol::Column | LatchProtocol::None => {
+                let guard = (self.protocol == LatchProtocol::Column).then(|| {
+                    let g = self.column_latch.acquire_read();
+                    Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
+                    g
+                });
+                let agg_start = Instant::now();
+                let mut pos = start;
+                while pos < end {
+                    let (piece_end, live_end) = {
+                        let toc = self.toc.lock();
+                        let piece_end = toc.piece_end_after(pos).min(end);
+                        (piece_end, toc.live_end(pos, piece_end))
+                    };
+                    out.extend(self.read_pairs(pos, live_end, filter));
+                    pos = piece_end;
+                }
+                metrics.aggregate_time += agg_start.elapsed();
+                drop(guard);
+            }
+        }
+        out
+    }
+
+    /// One piece's live pairs, optionally filtered by the original query
+    /// bounds. Caller holds latches covering the range.
+    fn read_pairs(
+        &self,
+        start: usize,
+        live_end: usize,
+        filter: Option<(i64, i64)>,
+    ) -> Vec<(i64, RowId)> {
+        match filter {
+            None => self.data.pairs_in_range(start, live_end),
+            Some((low, high)) => self.data.pairs_filtered(start, live_end, low, high),
+        }
     }
 
     /// Enters the bounded-retry fallback: while the returned guard lives,
@@ -1244,7 +1490,9 @@ impl ConcurrentCracker {
         if !self.delta.has_tombstones() {
             return (live_end, 0);
         }
-        let doomed = self.delta.tombstones_in(piece.low_value, piece.high_value);
+        let doomed = self
+            .delta
+            .tombstone_rows_in(piece.low_value, piece.high_value);
         if doomed.is_empty() {
             return (live_end, 0);
         }
@@ -1256,18 +1504,11 @@ impl ConcurrentCracker {
             return (live_end, 0);
         }
         self.shrink_epoch.fetch_add(1, Ordering::AcqRel); // odd: in flight
-        let mut budget = doomed.clone();
-        let new_live_end = self
-            .data
-            .sweep_tombstoned(piece.start, live_end, &mut budget);
-        let moved = live_end - new_live_end;
+        let doomed_ids: HashSet<RowId> = doomed.values().flatten().copied().collect();
+        let (new_live_end, removed) = self.data.sweep_rowids(piece.start, live_end, &doomed_ids);
+        let moved = removed.len();
         if moved > 0 {
-            let consumed: BTreeMap<i64, u64> = doomed
-                .iter()
-                .map(|(&v, &n)| (v, n - budget.get(&v).copied().unwrap_or(0)))
-                .filter(|&(_, n)| n > 0)
-                .collect();
-            let retired = self.delta.retire_tombstones(&consumed);
+            let retired = self.delta.retire_tombstones(&removed);
             debug_assert_eq!(retired as usize, moved, "tombstones are exact");
             self.toc.lock().add_holes(piece.start, moved);
             // Mirror the ledger total before the epoch goes even again, so
@@ -1447,6 +1688,7 @@ impl ConcurrentCracker {
         }
         let start = Instant::now();
         let _op = self.registry.enter();
+        self.steer_walk_cursor();
         let mut covered = 0usize;
         for _ in 0..max_pieces.max(1) {
             let cursor = self.walk_cursor.load(Ordering::Relaxed) % len;
@@ -1460,6 +1702,55 @@ impl ConcurrentCracker {
         metrics.compaction_steps = metrics.compaction_steps.saturating_add(1);
         metrics.compaction_time += start.elapsed();
         covered
+    }
+
+    /// Watermark-driven walk scheduling: points the walk cursor at the
+    /// piece with the densest pending delta (pending rows plus tombstones
+    /// per live position), breaking ties toward the stalest
+    /// `compacted_through` watermark, so the pieces with the most
+    /// reconciliation work per latch acquisition merge first. Leaves the
+    /// cursor where the round-robin walk parked it when no piece has any
+    /// delta rows (hole-only reclamation keeps the lap order).
+    ///
+    /// Cost: the delta's distinct values are grouped into pieces in one
+    /// pass — `O(delta · log pieces)` against the *bounded* delta, so
+    /// steering stays cheap no matter how finely cracked the column is.
+    fn steer_walk_cursor(&self) {
+        let counts = self.delta.value_counts();
+        if counts.is_empty() {
+            return;
+        }
+        let toc = self.toc.lock();
+        if toc.map.piece_count() <= 1 {
+            return;
+        }
+        let floor = self.compacted_floor.load(Ordering::Acquire);
+        // piece start → (delta rows, piece span).
+        let mut per_piece: BTreeMap<usize, (u64, usize)> = BTreeMap::new();
+        for (value, rows) in counts {
+            let piece = toc.map.piece_for_value(value);
+            let entry = per_piece.entry(piece.start).or_insert((0, piece.len()));
+            entry.0 += rows;
+        }
+        let mut best: Option<(usize, f64, u64)> = None; // (start, density, watermark)
+        for (&start, &(rows, span)) in &per_piece {
+            if span == 0 {
+                continue;
+            }
+            let density = rows as f64 / span as f64;
+            let watermark = toc.compacted_through.get(&start).copied().unwrap_or(floor);
+            let better = match best {
+                None => true,
+                Some((_, d, w)) => density > d || (density == d && watermark < w),
+            };
+            if better {
+                best = Some((start, density, watermark));
+            }
+        }
+        drop(toc);
+        if let Some((start, _, _)) = best {
+            self.walk_cursor.store(start, Ordering::Relaxed);
+        }
     }
 
     /// Merges the delta of the piece containing position `cursor` in
@@ -1541,15 +1832,15 @@ impl ConcurrentCracker {
             let _serial = self.shrink_serial.lock();
             if self.reclaim_pause.load(Ordering::Acquire) == 0 {
                 self.shrink_epoch.fetch_add(1, Ordering::AcqRel); // odd: in flight
-                let values =
+                let rows =
                     self.delta
                         .take_inserts_in(piece.low_value, piece.high_value, holes as u64);
-                if !values.is_empty() {
-                    merged = values.len();
-                    let rowids: Vec<RowId> = values
-                        .iter()
-                        .map(|_| self.next_rowid.fetch_add(1, Ordering::Relaxed) as RowId)
-                        .collect();
+                if !rows.is_empty() {
+                    merged = rows.len();
+                    // Every row keeps the id its insert assigned: physical
+                    // placement never renames a tuple.
+                    let values: Vec<i64> = rows.iter().map(|&(v, _)| v).collect();
+                    let rowids: Vec<RowId> = rows.iter().map(|&(_, r)| r).collect();
                     self.data.write_rows(live_end, &values, &rowids);
                     {
                         let mut toc = self.toc.lock();
@@ -1645,33 +1936,23 @@ impl ConcurrentCracker {
         let old_len = self.data.len();
         let new_len = (old_len - toc.total_holes + drained.pending_inserts as usize)
             .saturating_sub(drained.tombstoned_rows as usize);
-        let mut tombstones = drained.tombstones.clone();
-        let mut inserts = drained
-            .inserts
-            .iter()
-            .flat_map(|(&v, &n)| std::iter::repeat_n(v, n as usize))
-            .peekable();
+        let mut inserts = drained.inserts.iter().copied().peekable();
         let mut values = Vec::with_capacity(new_len);
         let mut rowids = Vec::with_capacity(new_len);
         let mut cracks: Vec<(i64, usize)> = Vec::with_capacity(pieces.len().saturating_sub(1));
         for piece in &pieces {
             let live_end = toc.live_end(piece.start, piece.end);
-            let piece_values = self.data.values_in_range(piece.start, live_end);
-            let piece_rowids = self.data.rowids_in_range(piece.start, live_end);
-            for (v, rid) in piece_values.into_iter().zip(piece_rowids) {
-                if let Some(budget) = tombstones.get_mut(&v) {
-                    if *budget > 0 {
-                        *budget -= 1;
-                        continue;
-                    }
+            for (v, rid) in self.data.pairs_in_range(piece.start, live_end) {
+                if drained.doomed.contains(&rid) {
+                    continue;
                 }
                 values.push(v);
                 rowids.push(rid);
             }
-            while let Some(&v) = inserts.peek() {
+            while let Some(&(v, rid)) = inserts.peek() {
                 if piece.high_value.is_none_or(|hv| v < hv) {
                     values.push(v);
-                    rowids.push(self.next_rowid.fetch_add(1, Ordering::Relaxed) as RowId);
+                    rowids.push(rid);
                     inserts.next();
                 } else {
                     break;
@@ -1681,11 +1962,12 @@ impl ConcurrentCracker {
                 cracks.push((high_value, values.len()));
             }
         }
-        debug_assert!(
-            tombstones.values().all(|&n| n == 0),
-            "tombstone counts are exact, so every one finds its rows"
-        );
         debug_assert!(inserts.peek().is_none(), "every pending insert placed");
+        debug_assert_eq!(
+            values.len(),
+            new_len,
+            "tombstoned row ids are exact, so every one finds its row"
+        );
         let rebuilt_len = values.len();
         self.data.replace(values, rowids);
         let mut fresh = TocState::new(rebuilt_len);
@@ -2723,6 +3005,232 @@ mod tests {
             assert_eq!(idx.live_snapshots(), 0, "{protocol}");
             assert!(idx.check_invariants(), "{protocol}");
         }
+    }
+
+    // ----- rowid-preserving reads and positional deletes -------------------
+
+    /// Oracle for rowid reads: the rowids of `rows` whose value is in
+    /// `[low, high)`, sorted.
+    fn rowid_oracle(rows: &[(i64, RowId)], low: i64, high: i64) -> Vec<RowId> {
+        let mut out: Vec<RowId> = rows
+            .iter()
+            .filter(|&&(v, _)| v >= low && v < high)
+            .map(|&(_, r)| r)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn select_rowids_matches_the_oracle_for_all_protocols() {
+        let values = shuffled(3000);
+        let rows: Vec<(i64, RowId)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as RowId))
+            .collect();
+        for protocol in protocols() {
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol);
+            for (low, high) in [(10, 2500), (100, 200), (0, 3000), (2999, 3000), (50, 40)] {
+                let (got, m) = idx.select_rowids(low, high);
+                let expected = rowid_oracle(&rows, low, high);
+                assert_eq!(got, expected, "{protocol} rowids [{low},{high})");
+                assert_eq!(m.result_count, expected.len() as u64);
+            }
+            // Rowid reads refine the index like any other query.
+            assert!(idx.crack_count() >= 2, "{protocol}");
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn rowids_survive_cracks_writes_shrinks_and_compaction_steps() {
+        // The rowid-stability pin: whatever physical reorganisation runs —
+        // cracks, delete-aware shrinks, incremental steps, full rebuilds —
+        // the (value → rowid set) mapping answers exactly like a frozen
+        // oracle.
+        for protocol in protocols() {
+            let values = shuffled(2000);
+            let mut rows: Vec<(i64, RowId)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as RowId))
+                .collect();
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol)
+                .with_compaction(CompactionPolicy::rows(16).incremental(2));
+            idx.sum(100, 1500); // crack
+                                // Inserts get fresh self-assigned ids continuing after the
+                                // base rows.
+            idx.insert(2500);
+            rows.push((2500, 2000));
+            idx.insert(2500);
+            rows.push((2500, 2001));
+            // Value-wide delete kills exactly the rows carrying the value.
+            assert_eq!(idx.delete(700).0, 1);
+            rows.retain(|&(v, _)| v != 700);
+            // Churn enough to trip incremental steps and a rebuild.
+            for i in 0..40 {
+                idx.insert(3000 + i);
+                rows.push((3000 + i, 2002 + i as RowId));
+            }
+            idx.compact_step(4);
+            assert!(idx.compact(), "forced rebuild");
+            for (low, high) in [(0, 2000), (600, 800), (2400, 3100), (0, 4000)] {
+                assert_eq!(
+                    idx.select_rowids(low, high).0,
+                    rowid_oracle(&rows, low, high),
+                    "{protocol} rowids [{low},{high}) after reorganisation"
+                );
+            }
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn delete_row_removes_exactly_one_tuple_among_duplicates() {
+        for protocol in protocols() {
+            // Three rows share value 42: rowids 1, 3, 4.
+            let values = vec![7, 42, 9, 42, 42, 13];
+            let idx = ConcurrentCracker::from_values(values, protocol);
+            let (removed, m) = idx.delete_row(42, 3);
+            assert_eq!(removed, 1, "{protocol}");
+            assert_eq!(m.deletes_applied, 1);
+            assert_eq!(
+                idx.select_rowids(42, 43).0,
+                vec![1, 4],
+                "{protocol}: rows 1 and 4 survive"
+            );
+            assert_eq!(idx.count(42, 43).0, 2, "{protocol}");
+            // Repeating the positional delete removes nothing further.
+            assert_eq!(idx.delete_row(42, 3).0, 0, "{protocol}");
+            // Deleting a (value, rowid) pair that does not exist is a no-op
+            // (wrong value for the rowid, or absent rowid).
+            assert_eq!(idx.delete_row(13, 3).0, 0, "{protocol}");
+            assert_eq!(idx.delete_row(42, 99).0, 0, "{protocol}");
+            assert_eq!(idx.logical_len(), 5, "{protocol}");
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn delete_row_reaches_pending_rows_too() {
+        let idx = ConcurrentCracker::from_values(shuffled(200), LatchProtocol::Piece);
+        idx.insert_row(42, 7000);
+        idx.insert_row(42, 7001);
+        assert_eq!(idx.delete_row(42, 7000).0, 1, "pending row dies");
+        let (rowids, _) = idx.select_rowids(42, 43);
+        assert!(rowids.contains(&7001));
+        assert!(!rowids.contains(&7000));
+        // And the empty-main path: a fresh empty index with pending rows.
+        let empty = ConcurrentCracker::from_values(vec![], LatchProtocol::Piece);
+        empty.insert_row(5, 1);
+        assert_eq!(empty.delete_row(5, 1).0, 1);
+        assert_eq!(empty.logical_len(), 0);
+    }
+
+    #[test]
+    fn external_rowids_thread_through_every_reconciliation_path() {
+        // A table engine assigns rowids; the cracker must carry them
+        // through pending → hole-fill placement and pending → rebuild.
+        let idx = ConcurrentCracker::from_rows(
+            vec![10, 30, 20, 40],
+            vec![100, 101, 102, 103],
+            LatchProtocol::Piece,
+        )
+        .with_compaction(CompactionPolicy::rows(64).incremental(2));
+        idx.sum(15, 35); // crack
+        assert_eq!(idx.delete(20).0, 1, "row 102 dies");
+        idx.insert_row(25, 500);
+        idx.insert_row(12, 501);
+        // Incremental step places the pending rows into the delete's hole
+        // (budget permitting); a full rebuild merges the rest.
+        idx.compact_step(8);
+        idx.compact();
+        assert_eq!(idx.select_rowids(0, 100).0, vec![100, 101, 103, 500, 501]);
+        assert_eq!(idx.select_rowids(12, 26).0, vec![500, 501]);
+        // Self-assigned ids continue above the externally assigned ones.
+        idx.insert(60);
+        let (rowids, _) = idx.select_rowids(60, 61);
+        assert_eq!(rowids, vec![502], "next_rowid seeds past the max given id");
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn snapshot_rowid_reads_are_frozen_at_their_epoch() {
+        for protocol in protocols() {
+            let values = shuffled(1000);
+            let rows: Vec<(i64, RowId)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as RowId))
+                .collect();
+            let idx = ConcurrentCracker::from_values(values.clone(), protocol)
+                .with_compaction(CompactionPolicy::rows(8).incremental(2));
+            idx.sum(0, 1000);
+            let snap = idx.snapshot();
+            // Post-snapshot churn: delete seeded rows, insert new ones,
+            // force physical reconciliation under the pinned snapshot.
+            for key in [100, 200, 300] {
+                assert_eq!(idx.delete(key).0, 1);
+                idx.insert_row(key, 5000 + key as RowId);
+            }
+            idx.compact_step(8);
+            for (low, high) in [(0, 1000), (90, 310), (150, 250)] {
+                assert_eq!(
+                    snap.rowids(low, high).0,
+                    rowid_oracle(&rows, low, high),
+                    "{protocol} pinned rowids [{low},{high})"
+                );
+            }
+            // The live view sees the replacement rows.
+            let (live, _) = idx.select_rowids(100, 101);
+            assert_eq!(live, vec![5100], "{protocol}");
+            drop(snap);
+            assert_eq!(idx.live_snapshots(), 0, "{protocol}");
+            assert!(idx.check_invariants(), "{protocol}");
+        }
+    }
+
+    // ----- watermark-driven walk scheduling --------------------------------
+
+    #[test]
+    fn incremental_walk_reconciles_the_densest_piece_first() {
+        // Two hot keys occur six times each. Deleting a key cracks out
+        // its own piece (key interval [v, v+1), six dead slots); pending
+        // re-inserts of the key then give that piece a measurable delta
+        // density. Key 2500 gets six pending rows (density 1.0), key 100
+        // one (density 1/6): a single walk step must reconcile the dense
+        // piece and leave the sparse piece's delta untouched, even though
+        // the round-robin cursor starts at position 0 (the sparse side).
+        let mut values = shuffled(2000);
+        values.extend(std::iter::repeat_n(100, 5)); // 100 now occurs 6x
+        values.extend(std::iter::repeat_n(2500, 6));
+        let idx = ConcurrentCracker::from_values(values, LatchProtocol::Piece);
+        assert_eq!(idx.delete(100).0, 6, "six dead slots in [100, 101)");
+        assert_eq!(idx.delete(2500).0, 6, "six dead slots in [2500, 2501)");
+        idx.insert(100);
+        for _ in 0..6 {
+            idx.insert(2500);
+        }
+        assert_eq!(idx.delta.rows_in(Some(100), Some(101)), 1);
+        assert_eq!(idx.delta.rows_in(Some(2500), Some(2501)), 6);
+        idx.compact_step(1);
+        assert_eq!(
+            idx.delta.rows_in(Some(2500), Some(2501)),
+            0,
+            "densest piece reconciled first"
+        );
+        assert_eq!(
+            idx.delta.rows_in(Some(100), Some(101)),
+            1,
+            "sparse piece untouched by the first step"
+        );
+        // The next step picks the remaining (now densest) piece.
+        idx.compact_step(1);
+        assert_eq!(idx.delta.rows_in(Some(100), Some(101)), 0);
+        assert_eq!(idx.count(100, 101).0, 1);
+        assert_eq!(idx.count(2500, 2501).0, 6);
+        assert!(idx.check_invariants());
     }
 
     trait TapSorted {

@@ -51,7 +51,7 @@ pub use compaction::{CompactionMode, CompactionPolicy};
 pub use concurrent_index::{ConcurrentCracker, Snapshot};
 pub use merge_concurrent::ConcurrentAdaptiveMerge;
 pub use metrics::{QueryMetrics, RunMetrics};
-pub use pending::{DeltaAdjust, DrainedDelta, PendingDelta};
+pub use pending::{DeltaAdjust, DrainedDelta, PendingDelta, RowidView};
 pub use piece_registry::PieceLatchRegistry;
 pub use protocol::{Aggregate, LatchProtocol, RefinementPolicy};
 pub use shared_array::SharedCrackerArray;

@@ -37,7 +37,7 @@
 
 use aidx_storage::{Column, RowId};
 use std::cell::UnsafeCell;
-use std::collections::BTreeMap;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A fixed-size (value, row-id) pair of arrays with interior mutability,
@@ -66,8 +66,23 @@ impl SharedCrackerArray {
 
     /// Builds the shared array from raw values; row ids are positional.
     pub fn from_values(values: Vec<i64>) -> Self {
+        let rowids: Vec<RowId> = (0..values.len() as RowId).collect();
+        Self::from_rows(values, rowids)
+    }
+
+    /// Builds the shared array from explicit, aligned (values, rowids)
+    /// vectors — the table-engine path, where row ids identify tuples
+    /// across several columns' crackers.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_rows(values: Vec<i64>, rowids: Vec<RowId>) -> Self {
+        assert_eq!(
+            values.len(),
+            rowids.len(),
+            "values/rowids must stay aligned"
+        );
         let len = values.len();
-        let rowids: Vec<RowId> = (0..len as RowId).collect();
         SharedCrackerArray {
             values: UnsafeCell::new(values.into_boxed_slice()),
             rowids: UnsafeCell::new(rowids.into_boxed_slice()),
@@ -114,38 +129,40 @@ impl SharedCrackerArray {
         self.len.store(len, Ordering::Release);
     }
 
-    /// Moves every row in `[start, end)` whose value still has budget in
-    /// `doomed` (a `value → rows to remove` map) to the *tail* of the
-    /// range, decrementing the budget as rows are consumed, and returns
-    /// the new live end: positions `[new_end, end)` hold exactly the
-    /// doomed rows, in unspecified order. Caller must hold the write
+    /// Moves every row in `[start, end)` whose *row id* is in `doomed` to
+    /// the *tail* of the range and returns `(new live end, removed
+    /// (value, rowid) pairs)`: positions `[new_end, end)` hold exactly
+    /// the doomed rows, in unspecified order. Caller must hold the write
     /// latch of the piece covering the range.
     ///
     /// This is the physical half of delete-aware piece shrinking: the
     /// caller turns the tail into a hole (dead slots skipped by every
-    /// scan) and retires the matching tombstones.
-    pub fn sweep_tombstoned(
+    /// scan) and retires exactly the returned tombstones. Targeting row
+    /// ids rather than values means a sweep can never reclaim a
+    /// same-valued row inserted after the delete — tuple identity
+    /// survives the reorganisation.
+    pub fn sweep_rowids(
         &self,
         start: usize,
         end: usize,
-        doomed: &mut BTreeMap<i64, u64>,
-    ) -> usize {
+        doomed: &HashSet<RowId>,
+    ) -> (usize, Vec<(i64, RowId)>) {
         assert!(
             start <= end && end <= self.len(),
             "sweep range out of bounds"
         );
         let values = self.values_ptr();
         let rowids = self.rowids_ptr();
+        let mut removed = Vec::new();
         let mut lo = start;
         let mut hi = end;
         // SAFETY: indices stay within [start, end) ⊆ [0, len); exclusive
         // access to this range is guaranteed by the caller's write latch.
         unsafe {
             while lo < hi {
-                let v = *values.add(lo);
-                let budget = doomed.get_mut(&v).filter(|n| **n > 0);
-                if let Some(n) = budget {
-                    *n -= 1;
+                let rid = *rowids.add(lo);
+                if doomed.contains(&rid) {
+                    removed.push((*values.add(lo), rid));
                     hi -= 1;
                     std::ptr::swap(values.add(lo), values.add(hi));
                     std::ptr::swap(rowids.add(lo), rowids.add(hi));
@@ -156,7 +173,7 @@ impl SharedCrackerArray {
                 }
             }
         }
-        hi
+        (hi, removed)
     }
 
     /// Writes `values`/`rowids` (equal lengths) into the slots
@@ -297,6 +314,54 @@ impl SharedCrackerArray {
         out
     }
 
+    /// Copies the `(value, rowid)` pairs in `[start, end)` out of the
+    /// array. Caller must hold read or write latches covering the range.
+    pub fn pairs_in_range(&self, start: usize, end: usize) -> Vec<(i64, RowId)> {
+        assert!(
+            start <= end && end <= self.len(),
+            "read range out of bounds"
+        );
+        let values = self.values_ptr();
+        let rowids = self.rowids_ptr();
+        let mut out = Vec::with_capacity(end - start);
+        // SAFETY: bounds checked above; shared access guaranteed by latches.
+        unsafe {
+            for i in start..end {
+                out.push((*values.add(i), *rowids.add(i)));
+            }
+        }
+        out
+    }
+
+    /// Copies the `(value, rowid)` pairs in `[start, end)` whose value
+    /// satisfies `low <= v < high`. Used when a query skipped refinement
+    /// and must filter a boundary piece under a read latch.
+    pub fn pairs_filtered(
+        &self,
+        start: usize,
+        end: usize,
+        low: i64,
+        high: i64,
+    ) -> Vec<(i64, RowId)> {
+        assert!(
+            start <= end && end <= self.len(),
+            "read range out of bounds"
+        );
+        let values = self.values_ptr();
+        let rowids = self.rowids_ptr();
+        let mut out = Vec::new();
+        // SAFETY: bounds checked above; shared access guaranteed by latches.
+        unsafe {
+            for i in start..end {
+                let v = *values.add(i);
+                if v >= low && v < high {
+                    out.push((v, *rowids.add(i)));
+                }
+            }
+        }
+        out
+    }
+
     /// Copies the row ids in `[start, end)` out of the array.
     pub fn rowids_in_range(&self, start: usize, end: usize) -> Vec<RowId> {
         assert!(
@@ -407,19 +472,20 @@ mod tests {
     }
 
     #[test]
-    fn sweep_tombstoned_moves_doomed_rows_to_the_tail() {
+    fn sweep_rowids_moves_exactly_the_doomed_rows_to_the_tail() {
+        // Positional rowids: value 5 sits at rows 0, 2, 5; value 3 at 3.
         let arr = SharedCrackerArray::from_values(vec![5, 7, 5, 3, 7, 5]);
-        let mut doomed = BTreeMap::from([(5i64, 2u64), (3, 1)]);
-        let live_end = arr.sweep_tombstoned(0, 6, &mut doomed);
+        let doomed = HashSet::from([0, 2, 3]);
+        let (live_end, removed) = arr.sweep_rowids(0, 6, &doomed);
         assert_eq!(live_end, 3);
+        let mut removed_sorted = removed.clone();
+        removed_sorted.sort_unstable();
+        assert_eq!(removed_sorted, vec![(3, 3), (5, 0), (5, 2)]);
         let (values, rowids) = arr.snapshot();
         let mut live: Vec<i64> = values[..live_end].to_vec();
         live.sort_unstable();
-        assert_eq!(live, vec![5, 7, 7], "one 5 survives (budget was 2 of 3)");
-        let mut dead: Vec<i64> = values[live_end..].to_vec();
-        dead.sort_unstable();
-        assert_eq!(dead, vec![3, 5, 5]);
-        assert_eq!(doomed.values().sum::<u64>(), 0, "budget fully consumed");
+        assert_eq!(live, vec![5, 7, 7], "row 5 (value 5) survives by rowid");
+        assert!(rowids[..live_end].contains(&5), "the surviving 5 is row 5");
         // (value, rowid) pairs stay together through the swaps.
         let original = [5, 7, 5, 3, 7, 5];
         for (i, &rid) in rowids.iter().enumerate() {
@@ -428,12 +494,20 @@ mod tests {
     }
 
     #[test]
-    fn sweep_with_no_budget_is_a_no_op() {
+    fn sweep_with_absent_rowids_is_a_no_op() {
         let arr = SharedCrackerArray::from_values(vec![1, 2, 3]);
-        let mut doomed = BTreeMap::from([(9i64, 4u64)]);
-        assert_eq!(arr.sweep_tombstoned(0, 3, &mut doomed), 3);
-        assert_eq!(doomed.get(&9), Some(&4), "absent values keep their budget");
+        let doomed = HashSet::from([9, 10]);
+        let (live_end, removed) = arr.sweep_rowids(0, 3, &doomed);
+        assert_eq!(live_end, 3);
+        assert!(removed.is_empty());
         assert_eq!(arr.snapshot().0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_rows_keeps_explicit_rowids() {
+        let arr = SharedCrackerArray::from_rows(vec![4, 6], vec![17, 3]);
+        assert_eq!(arr.pairs_in_range(0, 2), vec![(4, 17), (6, 3)]);
+        assert_eq!(arr.pairs_filtered(0, 2, 5, 10), vec![(6, 3)]);
     }
 
     #[test]

@@ -25,8 +25,9 @@ use aidx_core::{
     Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy,
 };
 use aidx_cracking::StochasticCracker;
+use aidx_storage::RowId;
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -125,10 +126,13 @@ impl Chunk {
         }
     }
 
-    fn insert(&self, value: i64) -> QueryMetrics {
+    fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics {
         match self {
-            Chunk::Concurrent(cracker) => cracker.insert(value),
+            Chunk::Concurrent(cracker) => cracker.insert_row(value, rowid),
             Chunk::Stochastic(cracker) => {
+                // Stochastic chunks keep no row identity; the id is spent
+                // (never reused) so the concurrent chunks' id space stays
+                // collision-free either way.
                 let start = Instant::now();
                 let mut metrics = QueryMetrics::default();
                 cracker.lock().insert(value);
@@ -137,6 +141,32 @@ impl Chunk {
                 metrics.total = start.elapsed();
                 metrics
             }
+        }
+    }
+
+    /// Rowid read over this chunk, optionally at a chunk-local snapshot
+    /// epoch. `None` for stochastic chunks (no row identity).
+    fn select_rowids_at(
+        &self,
+        low: i64,
+        high: i64,
+        epoch: Option<u64>,
+    ) -> Option<(Vec<RowId>, QueryMetrics)> {
+        match self {
+            Chunk::Concurrent(cracker) => Some(match epoch {
+                Some(epoch) => cracker.select_rowids_at(low, high, epoch),
+                None => cracker.select_rowids(low, high),
+            }),
+            Chunk::Stochastic(_) => None,
+        }
+    }
+
+    /// Positional delete of one `(value, rowid)` pair. Stochastic chunks
+    /// hold no row identity, so the pair cannot live there.
+    fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics) {
+        match self {
+            Chunk::Concurrent(cracker) => cracker.delete_row(value, rowid),
+            Chunk::Stochastic(_) => (0, QueryMetrics::default()),
         }
     }
 
@@ -210,16 +240,43 @@ pub struct ChunkedCracker {
     /// exclusive while registering. Inserts touch one chunk and need no
     /// fence.
     snapshot_fence: RwLock<()>,
+    /// Next self-assigned row id. Chunks share one id space (rowids are
+    /// tuple identity across the whole column), so the index — not the
+    /// chunk — assigns ids for plain inserts.
+    next_rowid: AtomicU64,
 }
 
 impl ChunkedCracker {
     /// Splits `values` into `chunks` contiguous chunks (clamped to
-    /// `1..=len.max(1)`) and spawns one pool worker per chunk.
+    /// `1..=len.max(1)`) and spawns one pool worker per chunk. Row ids
+    /// are positional over the *whole* column (chunks share one id
+    /// space), so rowid reads across chunks never collide.
     pub fn new(values: Vec<i64>, chunks: usize, backend: ChunkBackend) -> Self {
+        let rowids: Vec<RowId> = (0..values.len() as RowId).collect();
+        Self::from_rows(values, rowids, chunks, backend)
+    }
+
+    /// As [`ChunkedCracker::new`] with explicit, aligned row ids — the
+    /// table-engine path, where one tuple's id is shared by every indexed
+    /// column. Stochastic chunks keep no row identity and simply drop the
+    /// ids (rowid reads then return `None`, like
+    /// [`ChunkedCracker::snapshot`] does for them).
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_rows(
+        values: Vec<i64>,
+        rowids: Vec<RowId>,
+        chunks: usize,
+        backend: ChunkBackend,
+    ) -> Self {
+        assert_eq!(values.len(), rowids.len(), "misaligned rowid column");
         let len = values.len();
+        let next_rowid = rowids.iter().max().map(|&r| r as u64 + 1).unwrap_or(0);
         let chunk_count = chunks.clamp(1, len.max(1));
         let rebalance_slack = (len / chunk_count / 4).max(16);
         let mut remaining = values;
+        let mut remaining_ids = rowids;
         let mut built = Vec::with_capacity(chunk_count);
         let mut chunk_sizes = Vec::with_capacity(chunk_count);
         for i in 0..chunk_count {
@@ -229,10 +286,13 @@ impl ChunkedCracker {
             let take = len / chunk_count + usize::from(i < len % chunk_count);
             let rest = remaining.split_off(take);
             let chunk_values = std::mem::replace(&mut remaining, rest);
+            let rest_ids = remaining_ids.split_off(take);
+            let chunk_ids = std::mem::replace(&mut remaining_ids, rest_ids);
             chunk_sizes.push(AtomicUsize::new(chunk_values.len()));
             built.push(match backend {
                 ChunkBackend::Concurrent(protocol, policy) => Chunk::Concurrent(Box::new(
-                    ConcurrentCracker::from_values(chunk_values, protocol).with_policy(policy),
+                    ConcurrentCracker::from_rows(chunk_values, chunk_ids, protocol)
+                        .with_policy(policy),
                 )),
                 ChunkBackend::Stochastic {
                     piece_threshold,
@@ -252,6 +312,7 @@ impl ChunkedCracker {
             designated: AtomicUsize::new(0),
             rebalance_slack,
             snapshot_fence: RwLock::new(()),
+            next_rowid: AtomicU64::new(next_rowid),
         }
     }
 
@@ -340,8 +401,18 @@ impl ChunkedCracker {
     /// currently smallest chunk so sustained insert streams stay balanced
     /// across cores.
     pub fn insert(&self, value: i64) -> QueryMetrics {
+        let rowid = self.next_rowid.fetch_add(1, Ordering::Relaxed) as RowId;
+        self.insert_row(value, rowid)
+    }
+
+    /// As [`ChunkedCracker::insert`] with an externally assigned row id
+    /// (the table-engine path). Routing is identical: the row appends to
+    /// the designated write chunk.
+    pub fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics {
+        self.next_rowid
+            .fetch_max(rowid as u64 + 1, Ordering::Relaxed);
         let target = self.designated.load(Ordering::Relaxed);
-        let metrics = self.chunks[target].insert(value);
+        let metrics = self.chunks[target].insert_row(value, rowid);
         let new_size = self.chunk_sizes[target].fetch_add(1, Ordering::Relaxed) + 1;
         let total = self.len.fetch_add(1, Ordering::Relaxed) + 1;
         let mean = total / self.chunks.len();
@@ -432,6 +503,99 @@ impl ChunkedCracker {
         self.fan_out(low, high, Aggregate::Sum, None)
     }
 
+    /// Row ids of every live row with a value in `[low, high)`, unioned
+    /// across all chunks (sorted ascending; chunks share one id space).
+    /// Returns `None` when any chunk runs the stochastic backend, which
+    /// keeps no row identity.
+    pub fn select_rowids(&self, low: i64, high: i64) -> Option<(Vec<RowId>, QueryMetrics)> {
+        self.fan_out_rowids(low, high, None)
+    }
+
+    /// Deletes one specific row `(value, rowid)`. Chunks partition
+    /// positions, not keys, so the pair may live in any chunk: the probe
+    /// fans out and exactly one chunk (at most) removes it. Returns how
+    /// many rows were removed (0 or 1).
+    pub fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics) {
+        let start = Instant::now();
+        // Shared fence, like `delete`: the fan-out is one logical op.
+        let _fence = self.snapshot_fence.read();
+        let (tx, rx) = channel();
+        for chunk_id in 0..self.chunks.len() {
+            let chunks = Arc::clone(&self.chunks);
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                let _ = tx.send((chunk_id, chunks[chunk_id].delete_row(value, rowid)));
+            });
+        }
+        drop(tx);
+        let mut removed = 0u64;
+        let mut parts = Vec::with_capacity(self.chunks.len());
+        for _ in 0..self.chunks.len() {
+            let (chunk_id, (chunk_removed, part_metrics)) = rx.recv().expect("chunk worker died");
+            removed += chunk_removed;
+            self.chunk_sizes[chunk_id].fetch_sub(chunk_removed as usize, Ordering::Relaxed);
+            parts.push(part_metrics);
+        }
+        debug_assert!(removed <= 1, "a rowid lives in at most one chunk");
+        self.len.fetch_sub(removed as usize, Ordering::Relaxed);
+        let mut metrics = QueryMetrics::merge_parallel(parts);
+        metrics.deletes_applied = 1;
+        metrics.result_count = removed;
+        metrics.total = start.elapsed();
+        (removed, metrics)
+    }
+
+    /// Fans one rowid read out to every chunk and unions the results,
+    /// optionally pinned at per-chunk snapshot epochs. `None` if any
+    /// chunk is stochastic.
+    fn fan_out_rowids(
+        &self,
+        low: i64,
+        high: i64,
+        epochs: Option<&[u64]>,
+    ) -> Option<(Vec<RowId>, QueryMetrics)> {
+        let start = Instant::now();
+        if self
+            .chunks
+            .iter()
+            .any(|c| matches!(c, Chunk::Stochastic(_)))
+        {
+            return None;
+        }
+        if low >= high {
+            let metrics = QueryMetrics {
+                total: start.elapsed(),
+                ..QueryMetrics::default()
+            };
+            return Some((Vec::new(), metrics));
+        }
+        let (tx, rx) = channel();
+        for chunk_id in 0..self.chunks.len() {
+            let chunks = Arc::clone(&self.chunks);
+            let tx = tx.clone();
+            let epoch = epochs.map(|e| e[chunk_id]);
+            self.pool.execute(move || {
+                let result = chunks[chunk_id]
+                    .select_rowids_at(low, high, epoch)
+                    .expect("all chunks checked concurrent above");
+                let _ = tx.send(result);
+            });
+        }
+        drop(tx);
+        let mut rows = Vec::new();
+        let mut parts = Vec::with_capacity(self.chunks.len());
+        for _ in 0..self.chunks.len() {
+            let (partial, part_metrics) = rx.recv().expect("chunk worker died");
+            rows.extend(partial);
+            parts.push(part_metrics);
+        }
+        rows.sort_unstable();
+        let mut metrics = QueryMetrics::merge_parallel(parts);
+        metrics.result_count = rows.len() as u64;
+        metrics.total = start.elapsed();
+        Some((rows, metrics))
+    }
+
     /// Fans one query out to every chunk and merges the partial results,
     /// optionally pinned at per-chunk snapshot epochs.
     fn fan_out(
@@ -510,6 +674,15 @@ impl ChunkedSnapshot<'_> {
     pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
         self.idx
             .fan_out(low, high, Aggregate::Sum, Some(&self.epochs))
+    }
+
+    /// Row ids of the rows with values in `[low, high)` as of the
+    /// snapshot (sorted ascending). Snapshots only exist over concurrent
+    /// chunks, so the read cannot fail.
+    pub fn rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
+        self.idx
+            .fan_out_rowids(low, high, Some(&self.epochs))
+            .expect("snapshots only exist over concurrent chunks")
     }
 }
 
@@ -889,6 +1062,83 @@ mod tests {
         assert_eq!(idx.count(0, 3000).0, 3000, "live view converged");
         drop(snap);
         assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn rowid_reads_union_chunks_and_survive_writes() {
+        let values = shuffled(2000);
+        let idx = ChunkedCracker::new(
+            values.clone(),
+            4,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        );
+        // Row ids are positional over the whole column.
+        let oracle = |low: i64, high: i64| -> Vec<RowId> {
+            let mut out: Vec<RowId> = values
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v >= low && v < high)
+                .map(|(i, _)| i as RowId)
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        for (low, high) in [(0, 2000), (100, 300), (1999, 2000)] {
+            let (rows, m) = idx.select_rowids(low, high).expect("concurrent chunks");
+            assert_eq!(rows, oracle(low, high), "[{low},{high})");
+            assert_eq!(m.result_count, rows.len() as u64);
+        }
+        // Table-path writes: external ids round-trip, positional deletes
+        // kill exactly one row among duplicates.
+        idx.insert_row(500, 9000);
+        let (rows, _) = idx.select_rowids(500, 501).unwrap();
+        assert!(rows.contains(&9000));
+        assert_eq!(rows.len(), 2, "seeded 500 plus the inserted row");
+        let seeded = *rows.iter().find(|&&r| r != 9000).unwrap();
+        assert_eq!(idx.delete_row(500, seeded).0, 1);
+        assert_eq!(idx.select_rowids(500, 501).unwrap().0, vec![9000]);
+        assert_eq!(idx.len(), 2000);
+        // Plain inserts self-assign past the external id.
+        idx.insert(777);
+        let (rows, _) = idx.select_rowids(777, 778).unwrap();
+        assert!(rows.contains(&9001));
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn chunked_snapshot_rowid_reads_are_frozen() {
+        let values = shuffled(1200);
+        let idx = ChunkedCracker::new(
+            values.clone(),
+            3,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        );
+        idx.sum(0, 1200);
+        let before = idx.select_rowids(100, 200).unwrap().0;
+        let snap = idx.snapshot().expect("concurrent chunks");
+        for key in [100, 150, 199] {
+            assert_eq!(idx.delete(key).0, 1);
+            idx.insert(key);
+        }
+        assert_eq!(snap.rowids(100, 200).0, before, "pinned rowid view");
+        drop(snap);
+        let after = idx.select_rowids(100, 200).unwrap().0;
+        assert_eq!(after.len(), before.len());
+        assert_ne!(after, before, "replacement rows have fresh ids");
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn stochastic_chunks_do_not_offer_rowid_reads() {
+        let idx = ChunkedCracker::new(
+            shuffled(300),
+            2,
+            ChunkBackend::Stochastic {
+                piece_threshold: 64,
+                seed: 5,
+            },
+        );
+        assert!(idx.select_rowids(0, 300).is_none());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! skewed key distributions still yield balanced partitions.
 
 use aidx_core::{Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics};
+use aidx_storage::RowId;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -51,10 +52,11 @@ enum OwnerRequest {
         epoch: Option<u64>,
         reply: Sender<(i128, QueryMetrics)>,
     },
-    /// Insert one row with the given key into the partition's index (the
+    /// Insert one row `(value, rowid)` into the partition's index (the
     /// partition *owns* the key range, so no other partition is involved).
     Insert {
         value: i64,
+        rowid: RowId,
         reply: Sender<QueryMetrics>,
     },
     /// Delete every row whose key equals `value` and reply with how many
@@ -62,6 +64,21 @@ enum OwnerRequest {
     Delete {
         value: i64,
         reply: Sender<(u64, QueryMetrics)>,
+    },
+    /// Delete one specific row `(value, rowid)` and reply with how many
+    /// rows were removed (0 or 1).
+    DeleteRow {
+        value: i64,
+        rowid: RowId,
+        reply: Sender<(u64, QueryMetrics)>,
+    },
+    /// Reply with the row ids of the partition's rows in `[low, high)` —
+    /// at the partition-local snapshot `epoch` if one is given.
+    SelectRowids {
+        low: i64,
+        high: i64,
+        epoch: Option<u64>,
+        reply: Sender<(Vec<RowId>, QueryMetrics)>,
     },
     /// Register a snapshot at the partition's current epoch and reply
     /// with it.
@@ -130,11 +147,34 @@ fn handle_request(index: &ConcurrentCracker, request: OwnerRequest) {
             // dropped mid-query; nothing useful to do with the error.
             let _ = reply.send(result);
         }
-        OwnerRequest::Insert { value, reply } => {
-            let _ = reply.send(index.insert(value));
+        OwnerRequest::Insert {
+            value,
+            rowid,
+            reply,
+        } => {
+            let _ = reply.send(index.insert_row(value, rowid));
         }
         OwnerRequest::Delete { value, reply } => {
             let _ = reply.send(index.delete(value));
+        }
+        OwnerRequest::DeleteRow {
+            value,
+            rowid,
+            reply,
+        } => {
+            let _ = reply.send(index.delete_row(value, rowid));
+        }
+        OwnerRequest::SelectRowids {
+            low,
+            high,
+            epoch,
+            reply,
+        } => {
+            let result = match epoch {
+                Some(epoch) => index.select_rowids_at(low, high, epoch),
+                None => index.select_rowids(low, high),
+            };
+            let _ = reply.send(result);
         }
         OwnerRequest::SnapshotOpen { reply } => {
             let _ = reply.send(index.register_snapshot_epoch());
@@ -185,6 +225,10 @@ pub struct RangePartitionedCracker {
     partition_sizes: Vec<AtomicUsize>,
     /// Logical row count (kept current by writes).
     len: AtomicUsize,
+    /// Next self-assigned row id: partitions share one id space (rowids
+    /// are tuple identity across the whole column), so the router — not
+    /// the owner — assigns ids for plain inserts.
+    next_rowid: AtomicU64,
 }
 
 impl RangePartitionedCracker {
@@ -238,22 +282,41 @@ impl RangePartitionedCracker {
         partitions: usize,
         compaction: CompactionPolicy,
     ) -> Self {
+        let rowids: Vec<RowId> = (0..values.len() as RowId).collect();
+        Self::from_rows(values, rowids, partitions, compaction)
+    }
+
+    /// As [`RangePartitionedCracker::with_compaction`] with explicit,
+    /// aligned row ids — the table-engine path, where one tuple's id is
+    /// shared by every indexed column's cracker.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_rows(
+        values: Vec<i64>,
+        rowids: Vec<RowId>,
+        partitions: usize,
+        compaction: CompactionPolicy,
+    ) -> Self {
+        assert_eq!(values.len(), rowids.len(), "misaligned rowid column");
         let len = values.len();
+        let next_rowid = rowids.iter().max().map(|&r| r as u64 + 1).unwrap_or(0);
         let partitions = partitions.clamp(1, len.max(1));
         let splits = choose_splits(&values, partitions);
+        let rows: Vec<(i64, RowId)> = values.into_iter().zip(rowids).collect();
 
         // Parallel scatter: stripe the input across `partitions` builder
         // threads; each produces one bucket vector per partition.
-        let stripes: Vec<&[i64]> = stripe_slices(&values, partitions);
-        let scattered: Vec<Vec<Vec<i64>>> = std::thread::scope(|scope| {
+        let stripes: Vec<&[(i64, RowId)]> = stripe_slices(&rows, partitions);
+        let scattered: Vec<Vec<Vec<(i64, RowId)>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = stripes
                 .into_iter()
                 .map(|stripe| {
                     let splits = &splits;
                     scope.spawn(move || {
-                        let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); partitions];
-                        for &v in stripe {
-                            buckets[partition_of(splits, v)].push(v);
+                        let mut buckets: Vec<Vec<(i64, RowId)>> = vec![Vec::new(); partitions];
+                        for &(v, rid) in stripe {
+                            buckets[partition_of(splits, v)].push((v, rid));
                         }
                         buckets
                     })
@@ -264,10 +327,10 @@ impl RangePartitionedCracker {
 
         // Parallel gather + owner spawn: concatenate each partition's
         // buckets and hand the result to its dedicated owner thread.
-        let mut partition_values: Vec<Vec<i64>> = vec![Vec::new(); partitions];
+        let mut partition_rows: Vec<Vec<(i64, RowId)>> = vec![Vec::new(); partitions];
         std::thread::scope(|scope| {
             let mut gather: Vec<_> = Vec::with_capacity(partitions);
-            let mut rest: &mut [Vec<i64>] = &mut partition_values;
+            let mut rest: &mut [Vec<(i64, RowId)>] = &mut partition_rows;
             let scattered = &scattered;
             for p in 0..partitions {
                 let (head, tail) = rest.split_first_mut().unwrap();
@@ -289,11 +352,13 @@ impl RangePartitionedCracker {
         let mut owners = Vec::with_capacity(partitions);
         let mut handles = Vec::with_capacity(partitions);
         let mut partition_sizes = Vec::with_capacity(partitions);
-        for (p, bucket) in partition_values.into_iter().enumerate() {
+        for (p, bucket) in partition_rows.into_iter().enumerate() {
             partition_sizes.push(AtomicUsize::new(bucket.len()));
             let (tx, rx) = channel();
-            let index = ConcurrentCracker::from_values(bucket, LatchProtocol::None)
-                .with_compaction(compaction);
+            let (bucket_values, bucket_ids): (Vec<i64>, Vec<RowId>) = bucket.into_iter().unzip();
+            let index =
+                ConcurrentCracker::from_rows(bucket_values, bucket_ids, LatchProtocol::None)
+                    .with_compaction(compaction);
             let counters = Arc::clone(&counters);
             handles.push(
                 std::thread::Builder::new()
@@ -311,6 +376,7 @@ impl RangePartitionedCracker {
             counters,
             partition_sizes,
             len: AtomicUsize::new(len),
+            next_rowid: AtomicU64::new(next_rowid),
         }
     }
 
@@ -359,12 +425,23 @@ impl RangePartitionedCracker {
     /// thread applies the insert latch-free, and since partitions cover
     /// disjoint key ranges, no other partition needs to hear about it.
     pub fn insert(&self, value: i64) -> QueryMetrics {
+        let rowid = self.next_rowid.fetch_add(1, Ordering::Relaxed) as RowId;
+        self.insert_row(value, rowid)
+    }
+
+    /// As [`RangePartitionedCracker::insert`] with an externally assigned
+    /// row id (the table-engine path). Routing is identical: the single
+    /// owner of the key's range applies the insert latch-free.
+    pub fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics {
         let start = Instant::now();
+        self.next_rowid
+            .fetch_max(rowid as u64 + 1, Ordering::Relaxed);
         let owner = partition_of(&self.splits, value);
         let (reply_tx, reply_rx) = channel();
         self.owners[owner]
             .send(OwnerRequest::Insert {
                 value,
+                rowid,
                 reply: reply_tx,
             })
             .expect("partition owner exited early");
@@ -373,6 +450,27 @@ impl RangePartitionedCracker {
         self.len.fetch_add(1, Ordering::Relaxed);
         metrics.total = start.elapsed();
         metrics
+    }
+
+    /// Deletes one specific row `(value, rowid)` — a single round-trip to
+    /// the partition owning the key's range, like any other write.
+    /// Returns how many rows were removed (0 or 1).
+    pub fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics) {
+        let start = Instant::now();
+        let owner = partition_of(&self.splits, value);
+        let (reply_tx, reply_rx) = channel();
+        self.owners[owner]
+            .send(OwnerRequest::DeleteRow {
+                value,
+                rowid,
+                reply: reply_tx,
+            })
+            .expect("partition owner exited early");
+        let (removed, mut metrics) = reply_rx.recv().expect("partition owner died");
+        self.partition_sizes[owner].fetch_sub(removed as usize, Ordering::Relaxed);
+        self.len.fetch_sub(removed as usize, Ordering::Relaxed);
+        metrics.total = start.elapsed();
+        (removed, metrics)
     }
 
     /// Deletes every row whose key equals `value`. Rows with the key can
@@ -404,6 +502,57 @@ impl RangePartitionedCracker {
     /// Q2: sum of values in `[low, high)`.
     pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
         self.route(low, high, Aggregate::Sum, None)
+    }
+
+    /// Row ids of every live row with a value in `[low, high)` (sorted
+    /// ascending), routed to the owners of the partitions the range
+    /// overlaps — partitions outside it are never touched.
+    pub fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
+        self.route_rowids(low, high, None)
+    }
+
+    /// Routes one rowid read to the overlapping owners and unions their
+    /// answers, optionally pinned at per-partition snapshot epochs.
+    fn route_rowids(
+        &self,
+        low: i64,
+        high: i64,
+        epochs: Option<&[u64]>,
+    ) -> (Vec<RowId>, QueryMetrics) {
+        let start = Instant::now();
+        if low >= high {
+            let metrics = QueryMetrics {
+                total: start.elapsed(),
+                ..QueryMetrics::default()
+            };
+            return (Vec::new(), metrics);
+        }
+        let first = partition_of(&self.splits, low);
+        let last = partition_of(&self.splits, high - 1);
+        let (reply_tx, reply_rx) = channel();
+        for (p, owner) in self.owners.iter().enumerate().take(last + 1).skip(first) {
+            owner
+                .send(OwnerRequest::SelectRowids {
+                    low,
+                    high,
+                    epoch: epochs.map(|e| e[p]),
+                    reply: reply_tx.clone(),
+                })
+                .expect("partition owner exited early");
+        }
+        drop(reply_tx);
+        let mut rows = Vec::new();
+        let mut parts = Vec::with_capacity(last - first + 1);
+        for _ in first..=last {
+            let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
+            rows.extend(partial);
+            parts.push(part_metrics);
+        }
+        rows.sort_unstable();
+        let mut metrics = QueryMetrics::merge_parallel(parts);
+        metrics.result_count = rows.len() as u64;
+        metrics.total = start.elapsed();
+        (rows, metrics)
     }
 
     /// Opens a snapshot across every partition: one epoch per owner,
@@ -560,6 +709,12 @@ impl RangeSnapshot<'_> {
         self.idx
             .route(low, high, Aggregate::Sum, Some(&self.epochs))
     }
+
+    /// Row ids of the rows with values in `[low, high)` as of the
+    /// snapshot (sorted ascending).
+    pub fn rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
+        self.idx.route_rowids(low, high, Some(&self.epochs))
+    }
 }
 
 impl Drop for RangeSnapshot<'_> {
@@ -600,7 +755,7 @@ fn choose_splits(values: &[i64], partitions: usize) -> Vec<i64> {
 }
 
 /// Splits `values` into `n` near-equal contiguous stripes.
-fn stripe_slices(values: &[i64], n: usize) -> Vec<&[i64]> {
+fn stripe_slices<T>(values: &[T], n: usize) -> Vec<&[T]> {
     let n = n.max(1);
     let target = values.len().div_ceil(n).max(1);
     let mut out = Vec::with_capacity(n);
@@ -918,6 +1073,61 @@ mod tests {
             );
         }
         drop(snap);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn rowid_reads_route_to_overlapping_partitions() {
+        let values = shuffled(4000);
+        let idx = RangePartitionedCracker::new(values.clone(), 4);
+        let oracle = |low: i64, high: i64| -> Vec<RowId> {
+            let mut out: Vec<RowId> = values
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v >= low && v < high)
+                .map(|(i, _)| i as RowId)
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        for (low, high) in [(0, 4000), (100, 300), (3999, 4000), (300, 100)] {
+            let (rows, m) = idx.select_rowids(low, high);
+            assert_eq!(rows, oracle(low, high), "[{low},{high})");
+            assert_eq!(m.result_count, rows.len() as u64);
+        }
+        // Table-path writes route to the owning partition.
+        idx.insert_row(700, 9000);
+        let (rows, _) = idx.select_rowids(700, 701);
+        assert!(rows.contains(&9000));
+        assert_eq!(rows.len(), 2);
+        let seeded = *rows.iter().find(|&&r| r != 9000).unwrap();
+        assert_eq!(idx.delete_row(700, seeded).0, 1);
+        assert_eq!(idx.select_rowids(700, 701).0, vec![9000]);
+        assert_eq!(idx.delete_row(700, seeded).0, 0, "already gone");
+        assert_eq!(idx.len(), 4000);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn range_snapshot_rowid_reads_are_frozen() {
+        let values = shuffled(3000);
+        let idx = RangePartitionedCracker::with_compaction(
+            values.clone(),
+            3,
+            CompactionPolicy::rows(8).incremental(4),
+        );
+        idx.sum(0, 3000);
+        let before = idx.select_rowids(1000, 1100).0;
+        let snap = idx.snapshot();
+        for key in [1000, 1050, 1099] {
+            assert_eq!(idx.delete(key).0, 1);
+            idx.insert(key);
+        }
+        assert_eq!(snap.rowids(1000, 1100).0, before, "pinned rowid view");
+        drop(snap);
+        let after = idx.select_rowids(1000, 1100).0;
+        assert_eq!(after.len(), before.len());
+        assert_ne!(after, before, "replacement rows have fresh ids");
         assert!(idx.check_invariants());
     }
 

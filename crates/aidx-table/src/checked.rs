@@ -1,0 +1,119 @@
+//! The verifying table-engine wrapper: every operation replays against a
+//! `BTreeMap<RowId, tuple>` oracle, and *row-id sets* — tuple identity,
+//! not just counts — must agree. The oracle lock is held across the
+//! inner engine call, so under concurrent clients the oracle replays
+//! exactly the engine's linearization order (use it to check
+//! correctness, not to measure scalability).
+
+use crate::engine::TableEngine;
+use crate::ops::{TableOp, TableOpResult};
+use aidx_storage::RowId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// One operation whose table-engine result disagreed with the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMismatch {
+    /// The operation that disagreed.
+    pub op: TableOp,
+    /// What the engine returned (count plus rowid set).
+    pub got: (i128, Vec<RowId>),
+    /// What the oracle expected.
+    pub expected: (i128, Vec<RowId>),
+}
+
+/// A [`TableEngine`] checked op-by-op against a tuple oracle.
+#[derive(Debug)]
+pub struct CheckedTableEngine {
+    inner: TableEngine,
+    oracle: Mutex<BTreeMap<RowId, Vec<i64>>>,
+    mismatches: Mutex<Vec<TableMismatch>>,
+}
+
+impl CheckedTableEngine {
+    /// Wraps `engine`, seeding the oracle with the base tuples
+    /// (`columns` is the same column-major data the engine was built
+    /// over; row ids are positional).
+    pub fn new(engine: TableEngine, columns: &[Vec<i64>]) -> Self {
+        let rows = columns.first().map(Vec::len).unwrap_or(0);
+        let mut oracle = BTreeMap::new();
+        for rowid in 0..rows {
+            let tuple: Vec<i64> = columns.iter().map(|col| col[rowid]).collect();
+            oracle.insert(rowid as RowId, tuple);
+        }
+        CheckedTableEngine {
+            inner: engine,
+            oracle: Mutex::new(oracle),
+            mismatches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &TableEngine {
+        &self.inner
+    }
+
+    /// Operations whose results disagreed with the oracle.
+    pub fn mismatches(&self) -> Vec<TableMismatch> {
+        self.mismatches.lock().clone()
+    }
+
+    /// Executes one operation, recording any oracle disagreement.
+    pub fn execute(&self, op: &TableOp) -> TableOpResult {
+        // Hold the oracle across the engine call: the pair becomes one
+        // atomic step, so the oracle replays the engine's linearization.
+        let mut oracle = self.oracle.lock();
+        let result = self.inner.execute(op);
+        let expected = oracle_apply(&mut oracle, op, &result);
+        drop(oracle);
+        let got = (result.value, result.rowids.clone());
+        if got != expected {
+            self.mismatches.lock().push(TableMismatch {
+                op: op.clone(),
+                got,
+                expected,
+            });
+        }
+        result
+    }
+}
+
+/// Applies one table operation to the tuple oracle and returns the
+/// `(count, sorted rowid set)` a correct engine must produce. Inserts
+/// adopt the engine's assigned row id (identity is the engine's to
+/// assign; everything downstream of the assignment is checked).
+pub fn oracle_apply(
+    oracle: &mut BTreeMap<RowId, Vec<i64>>,
+    op: &TableOp,
+    result: &TableOpResult,
+) -> (i128, Vec<RowId>) {
+    match op {
+        TableOp::SelectMulti(predicates) => {
+            let rowids: Vec<RowId> = oracle
+                .iter()
+                .filter(|(_, tuple)| predicates.iter().all(|p| p.matches(tuple[p.column])))
+                .map(|(&rowid, _)| rowid)
+                .collect();
+            (rowids.len() as i128, rowids)
+        }
+        TableOp::InsertTuple(tuple) => {
+            let expected_rowids = result.rowids.clone();
+            if let Some(&rowid) = result.rowids.first() {
+                let fresh = oracle.insert(rowid, tuple.clone()).is_none();
+                debug_assert!(fresh, "engine reused row id {rowid}");
+            }
+            (1, expected_rowids)
+        }
+        TableOp::DeleteWhere { column, value } => {
+            let doomed: Vec<RowId> = oracle
+                .iter()
+                .filter(|(_, tuple)| tuple[*column] == *value)
+                .map(|(&rowid, _)| rowid)
+                .collect();
+            for rowid in &doomed {
+                oracle.remove(rowid);
+            }
+            (doomed.len() as i128, doomed)
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! The table engine: N rowid-preserving column crackers over one row-id
+//! space, a planner for conjunctive multi-column selections, and
+//! positionally aligned writes.
+//!
+//! # Planning a `SelectMulti`
+//!
+//! Predicates are ordered by estimated selectivity (ascending range
+//! width — the generated experiment data is a uniform key domain, so
+//! width *is* the estimate, and estimating never touches data). The most
+//! selective column is cracked first and yields the candidate row-id
+//! set; every further predicate either
+//!
+//! * **intersects** its own column's rowid set (cracking that column as
+//!   a side effect — the adaptive-indexing bet: later queries get ever
+//!   cheaper), or
+//! * **projects**: when the candidate set is already tiny, probing the
+//!   row store (`tuple[col]` per candidate) is cheaper than another
+//!   column read, at the cost of refining nothing.
+//!
+//! # Write atomicity
+//!
+//! A tuple write touches every column index. Writes hold the table's
+//! operation fence exclusively and selects hold it shared, so a select
+//! never observes half a tuple; *within* a column, the existing latch
+//! protocols govern exactly as in the single-column engines (concurrent
+//! selects still crack all columns in parallel under piece/column
+//! latches). Finer-grained cross-column write concurrency (per-tuple
+//! intents) is a recorded follow-on.
+
+use crate::ops::{ColumnPredicate, TableOp, TableOpResult};
+use crate::row_index::RowIndex;
+use aidx_core::{CompactionPolicy, LatchProtocol, QueryMetrics, RefinementPolicy};
+use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
+use aidx_storage::{Catalog, RowId, StorageResult, Table};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Candidate sets at or below this size switch the planner from rowid
+/// intersection to aligned row-store projection for the remaining
+/// predicates (probing a handful of tuples beats another column read).
+const PROJECTION_PROBE_MAX: usize = 64;
+
+/// Which single-column concurrency design backs every column index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableBackend {
+    /// One serial [`aidx_core::ConcurrentCracker`] per column under the
+    /// given latch protocol (concurrent clients, one shared index).
+    Serial(LatchProtocol),
+    /// One [`ChunkedCracker`] per column (per-core chunks, concurrent
+    /// chunk backends only — stochastic chunks keep no row identity).
+    Chunked {
+        /// Chunks per column (0 = one per available core).
+        chunks: usize,
+        /// Chunk-local latch protocol.
+        protocol: LatchProtocol,
+    },
+    /// One [`RangePartitionedCracker`] per column (latch-free partition
+    /// owners).
+    Range {
+        /// Partitions per column (0 = one per available core).
+        partitions: usize,
+    },
+}
+
+impl TableBackend {
+    /// Stable label used in reports, e.g. `table-serial-piece`,
+    /// `table-chunked-piece-4`, `table-range-4`.
+    pub fn label(&self) -> String {
+        match self {
+            TableBackend::Serial(protocol) => format!("table-serial-{protocol}"),
+            TableBackend::Chunked { chunks, protocol } => {
+                format!("table-chunked-{protocol}-{}", effective_workers(*chunks))
+            }
+            TableBackend::Range { partitions } => {
+                format!("table-range-{}", effective_workers(*partitions))
+            }
+        }
+    }
+
+    /// The standard table arms: serial, chunked, range-partitioned.
+    pub fn all() -> Vec<TableBackend> {
+        vec![
+            TableBackend::Serial(LatchProtocol::Piece),
+            TableBackend::Chunked {
+                chunks: 0,
+                protocol: LatchProtocol::Piece,
+            },
+            TableBackend::Range { partitions: 0 },
+        ]
+    }
+}
+
+fn parse_protocol(s: &str) -> Option<LatchProtocol> {
+    match s {
+        "none" => Some(LatchProtocol::None),
+        "column" => Some(LatchProtocol::Column),
+        "piece" => Some(LatchProtocol::Piece),
+        _ => None,
+    }
+}
+
+impl FromStr for TableBackend {
+    type Err = String;
+
+    /// Parses the labels [`TableBackend::label`] produces (worker count
+    /// omitted = one per core).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim().to_ascii_lowercase();
+        let err = || format!("unknown table backend '{s}'");
+        if let Some(proto) = s.strip_prefix("table-serial-") {
+            return Ok(TableBackend::Serial(parse_protocol(proto).ok_or_else(err)?));
+        }
+        if let Some(rest) = s.strip_prefix("table-chunked-") {
+            let (proto, chunks) = match rest.rsplit_once('-') {
+                Some((proto, n)) if n.parse::<usize>().is_ok() => {
+                    (proto, n.parse().expect("checked"))
+                }
+                _ => (rest, 0),
+            };
+            let protocol = parse_protocol(proto).ok_or_else(err)?;
+            return Ok(TableBackend::Chunked { chunks, protocol });
+        }
+        if s == "table-range" {
+            return Ok(TableBackend::Range { partitions: 0 });
+        }
+        if let Some(rest) = s.strip_prefix("table-range-") {
+            let partitions: usize = rest.parse().map_err(|_| err())?;
+            return Ok(TableBackend::Range { partitions });
+        }
+        Err(err())
+    }
+}
+
+/// Resolves a worker-count knob: `0` means one worker per available core.
+fn effective_workers(requested: usize) -> usize {
+    if requested == 0 {
+        aidx_parallel::available_cores()
+    } else {
+        requested
+    }
+}
+
+/// A table engine: one rowid-preserving cracker per column over a shared
+/// row-id space, plus a row store for tuple reconstruction.
+pub struct TableEngine {
+    name: String,
+    column_names: Vec<String>,
+    indexes: Vec<Box<dyn RowIndex>>,
+    /// Column-major seed data: `base[col][rowid]` for `rowid < base_rows`.
+    /// Kept verbatim (including later-deleted rows — dead entries are
+    /// unreachable because no select returns their row ids).
+    base: Vec<Vec<i64>>,
+    base_rows: usize,
+    /// Tuples inserted after load, keyed by their assigned row id.
+    overlay: RwLock<HashMap<RowId, Vec<i64>>>,
+    /// Next row id for inserted tuples.
+    next_rowid: AtomicU64,
+    /// Cross-column write atomicity: writes exclusive, selects shared.
+    op_fence: RwLock<()>,
+}
+
+impl TableEngine {
+    /// Builds a table engine over `(column name, values)` pairs (all the
+    /// same length), indexing every column with the given backend and
+    /// per-column compaction policy. Row ids are the tuple positions.
+    ///
+    /// Keys must be `< i64::MAX`: the engine's whole query model is
+    /// half-open ranges (like every single-column engine in the
+    /// workspace), and `i64::MAX` is the one key no `[low, high)` can
+    /// address. Enforcing the domain here keeps every later operation —
+    /// including the empty-predicate "all tuples" select — exact.
+    ///
+    /// # Panics
+    /// Panics on zero columns, misaligned column lengths, or an
+    /// `i64::MAX` key.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<(String, Vec<i64>)>,
+        backend: TableBackend,
+        compaction: CompactionPolicy,
+    ) -> Self {
+        assert!(!columns.is_empty(), "a table engine needs >= 1 column");
+        let base_rows = columns[0].1.len();
+        assert!(
+            columns.iter().all(|(_, v)| v.len() == base_rows),
+            "columns must be positionally aligned"
+        );
+        assert!(
+            columns.iter().all(|(_, v)| v.iter().all(|&x| x < i64::MAX)),
+            "table keys must be < i64::MAX (half-open range model)"
+        );
+        let mut column_names = Vec::with_capacity(columns.len());
+        let mut indexes: Vec<Box<dyn RowIndex>> = Vec::with_capacity(columns.len());
+        let mut base = Vec::with_capacity(columns.len());
+        for (col_name, values) in columns {
+            let rowids: Vec<RowId> = (0..base_rows as RowId).collect();
+            let index: Box<dyn RowIndex> = match backend {
+                TableBackend::Serial(protocol) => Box::new(
+                    aidx_core::ConcurrentCracker::from_rows(values.clone(), rowids, protocol)
+                        .with_compaction(compaction),
+                ),
+                TableBackend::Chunked { chunks, protocol } => {
+                    let mut index = ChunkedCracker::from_rows(
+                        values.clone(),
+                        rowids,
+                        effective_workers(chunks),
+                        ChunkBackend::Concurrent(protocol, RefinementPolicy::Always),
+                    );
+                    index.set_compaction(compaction);
+                    Box::new(index)
+                }
+                TableBackend::Range { partitions } => Box::new(RangePartitionedCracker::from_rows(
+                    values.clone(),
+                    rowids,
+                    effective_workers(partitions),
+                    compaction,
+                )),
+            };
+            column_names.push(col_name);
+            indexes.push(index);
+            base.push(values);
+        }
+        TableEngine {
+            name: format!("{}:{}", backend.label(), name.into()),
+            column_names,
+            indexes,
+            base,
+            base_rows,
+            overlay: RwLock::new(HashMap::new()),
+            next_rowid: AtomicU64::new(base_rows as u64),
+            op_fence: RwLock::new(()),
+        }
+    }
+
+    /// Builds a table engine over every column of a storage-layer
+    /// [`Table`] (columns in the table's sorted name order).
+    pub fn from_table(
+        table: &Table,
+        backend: TableBackend,
+        compaction: CompactionPolicy,
+    ) -> StorageResult<Self> {
+        let mut columns = Vec::with_capacity(table.column_count());
+        for name in table.column_names() {
+            columns.push((name.to_string(), table.column(name)?.values().to_vec()));
+        }
+        Ok(Self::new(table.name(), columns, backend, compaction))
+    }
+
+    /// Builds a table engine for a table registered in a [`Catalog`] —
+    /// the paper's "global data structure" discovery step: latch the
+    /// catalog briefly, find the table, build (or in a full system, find)
+    /// its cracker indexes, release.
+    pub fn from_catalog(
+        catalog: &Catalog,
+        table_name: &str,
+        backend: TableBackend,
+        compaction: CompactionPolicy,
+    ) -> StorageResult<Self> {
+        Self::from_table(&catalog.table(table_name)?.clone(), backend, compaction)
+    }
+
+    /// Engine label: backend + table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of indexed columns.
+    pub fn column_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The indexed columns' names, in column-index order.
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// The column's index (post-run inspection).
+    pub fn column_index(&self, column: usize) -> &dyn RowIndex {
+        self.indexes[column].as_ref()
+    }
+
+    /// Executes one table operation.
+    pub fn execute(&self, op: &TableOp) -> TableOpResult {
+        match op {
+            TableOp::SelectMulti(predicates) => self.select_multi(predicates),
+            TableOp::InsertTuple(tuple) => self.insert_tuple(tuple),
+            TableOp::DeleteWhere { column, value } => self.delete_where(*column, *value),
+        }
+    }
+
+    /// The full tuple of a row id, one value per column. `None` for
+    /// unknown ids. Base rows keep their columnar slot even after a
+    /// delete (their ids are never handed out by selects again), so this
+    /// resolves any base id; deleted *inserted* tuples are reclaimed from
+    /// the overlay and return `None`.
+    pub fn tuple(&self, rowid: RowId) -> Option<Vec<i64>> {
+        if (rowid as usize) < self.base_rows {
+            return Some(self.base.iter().map(|col| col[rowid as usize]).collect());
+        }
+        self.overlay.read().get(&rowid).cloned()
+    }
+
+    /// One column's value of a row id (row-store probe).
+    fn value_at(&self, column: usize, rowid: RowId) -> Option<i64> {
+        if (rowid as usize) < self.base_rows {
+            return Some(self.base[column][rowid as usize]);
+        }
+        self.overlay.read().get(&rowid).map(|t| t[column])
+    }
+
+    fn select_multi(&self, predicates: &[ColumnPredicate]) -> TableOpResult {
+        let _fence = self.op_fence.read();
+        let mut metrics = QueryMetrics::default();
+        // Order by estimated selectivity: narrowest predicate first.
+        let mut ordered: Vec<ColumnPredicate> = predicates.to_vec();
+        ordered.sort_by_key(ColumnPredicate::width);
+        let Some(driver) = ordered.first().copied() else {
+            // No predicates: every live tuple qualifies. The full-domain
+            // range is exact because keys are `< i64::MAX` by the
+            // engine's key-domain contract.
+            let (rowids, m) = self.indexes[0].select_rowids(i64::MIN, i64::MAX);
+            metrics.accumulate(&m);
+            return TableOpResult {
+                value: rowids.len() as i128,
+                rowids,
+                metrics,
+            };
+        };
+        assert!(
+            ordered.iter().all(|p| p.column < self.indexes.len()),
+            "predicate column out of range"
+        );
+        let (mut candidates, m) =
+            self.indexes[driver.column].select_rowids(driver.low, driver.high);
+        metrics.accumulate(&m);
+        for predicate in &ordered[1..] {
+            if candidates.is_empty() {
+                break;
+            }
+            if candidates.len() <= PROJECTION_PROBE_MAX {
+                // Aligned projection: probe the row store per candidate.
+                candidates.retain(|&rowid| {
+                    self.value_at(predicate.column, rowid)
+                        .is_some_and(|v| predicate.matches(v))
+                });
+            } else {
+                // Rowid-set intersection: crack the predicate's own
+                // column and intersect the two sorted id sets.
+                let (rows, m) =
+                    self.indexes[predicate.column].select_rowids(predicate.low, predicate.high);
+                metrics.accumulate(&m);
+                candidates = intersect_sorted(&candidates, &rows);
+            }
+        }
+        metrics.result_count = candidates.len() as u64;
+        TableOpResult {
+            value: candidates.len() as i128,
+            rowids: candidates,
+            metrics,
+        }
+    }
+
+    fn insert_tuple(&self, tuple: &[i64]) -> TableOpResult {
+        assert_eq!(
+            tuple.len(),
+            self.indexes.len(),
+            "tuple arity must match the column count"
+        );
+        assert!(
+            tuple.iter().all(|&v| v < i64::MAX),
+            "table keys must be < i64::MAX (half-open range model)"
+        );
+        let _fence = self.op_fence.write();
+        let rowid = self.next_rowid.fetch_add(1, Ordering::Relaxed) as RowId;
+        self.overlay.write().insert(rowid, tuple.to_vec());
+        let mut metrics = QueryMetrics::default();
+        for (column, &value) in tuple.iter().enumerate() {
+            let m = self.indexes[column].insert_row(value, rowid);
+            metrics.accumulate(&m);
+        }
+        metrics.inserts_applied = 1;
+        metrics.result_count = 1;
+        TableOpResult {
+            value: 1,
+            rowids: vec![rowid],
+            metrics,
+        }
+    }
+
+    fn delete_where(&self, column: usize, value: i64) -> TableOpResult {
+        assert!(column < self.indexes.len(), "predicate column out of range");
+        let _fence = self.op_fence.write();
+        let mut metrics = QueryMetrics::default();
+        // Find the doomed tuples through the predicate column's index.
+        // `value == i64::MAX` cannot exist in the table (the key-domain
+        // contract enforced at construction and insert), so its delete
+        // removes nothing.
+        let Some(next) = value.checked_add(1) else {
+            metrics.deletes_applied = 1;
+            return TableOpResult {
+                value: 0,
+                rowids: Vec::new(),
+                metrics,
+            };
+        };
+        let (doomed, m) = self.indexes[column].select_rowids(value, next);
+        metrics.accumulate(&m);
+        for &rowid in &doomed {
+            let tuple = self
+                .tuple(rowid)
+                .expect("selected row ids always have tuples");
+            for (col, &col_value) in tuple.iter().enumerate() {
+                let (removed, m) = self.indexes[col].delete_row(col_value, rowid);
+                metrics.accumulate(&m);
+                debug_assert_eq!(removed, 1, "live tuples are live in every column");
+            }
+        }
+        // Reclaim the doomed tuples' row-store entries (base rows keep
+        // their columnar slots; their ids are never returned by selects
+        // again, so the stale values are unreachable).
+        if !doomed.is_empty() {
+            let mut overlay = self.overlay.write();
+            for &rowid in &doomed {
+                if (rowid as usize) >= self.base_rows {
+                    overlay.remove(&rowid);
+                }
+            }
+        }
+        metrics.deletes_applied = 1;
+        metrics.result_count = doomed.len() as u64;
+        TableOpResult {
+            value: doomed.len() as i128,
+            rowids: doomed,
+            metrics,
+        }
+    }
+
+    /// Quiescent structural self-check across every column index.
+    pub fn check_invariants(&self) -> bool {
+        self.indexes.iter().all(|index| index.check_invariants())
+    }
+}
+
+impl std::fmt::Debug for TableEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableEngine")
+            .field("name", &self.name)
+            .field("columns", &self.column_names)
+            .field("base_rows", &self.base_rows)
+            .finish()
+    }
+}
+
+/// Intersection of two ascending rowid vectors.
+fn intersect_sorted(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 9]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<RowId>::new());
+        assert_eq!(intersect_sorted(&[7], &[7]), vec![7]);
+    }
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for backend in [
+            TableBackend::Serial(LatchProtocol::Piece),
+            TableBackend::Serial(LatchProtocol::Column),
+            TableBackend::Chunked {
+                chunks: 4,
+                protocol: LatchProtocol::Piece,
+            },
+            TableBackend::Range { partitions: 3 },
+        ] {
+            let parsed: TableBackend = backend.label().parse().unwrap();
+            assert_eq!(parsed.label(), backend.label());
+        }
+        assert!("table-serial-row".parse::<TableBackend>().is_err());
+        assert!("scan".parse::<TableBackend>().is_err());
+        assert_eq!(
+            "table-range".parse::<TableBackend>().unwrap(),
+            TableBackend::Range { partitions: 0 }
+        );
+    }
+}

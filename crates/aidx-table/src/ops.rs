@@ -1,0 +1,115 @@
+//! Table-level operations: the multi-column superset of the single-column
+//! `Operation` set.
+
+use aidx_core::QueryMetrics;
+use aidx_storage::RowId;
+
+/// One range predicate over one column of a table: `low <= col < high`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnPredicate {
+    /// Index of the column in the table's (sorted) column order.
+    pub column: usize,
+    /// Inclusive lower bound.
+    pub low: i64,
+    /// Exclusive upper bound.
+    pub high: i64,
+}
+
+impl ColumnPredicate {
+    /// A predicate `low <= column < high`.
+    pub fn new(column: usize, low: i64, high: i64) -> Self {
+        ColumnPredicate { column, low, high }
+    }
+
+    /// Width of the predicate range (0 for empty/inverted ranges) — the
+    /// planner's selectivity estimate.
+    pub fn width(&self) -> u64 {
+        if self.high > self.low {
+            self.high.abs_diff(self.low)
+        } else {
+            0
+        }
+    }
+
+    /// True when `value` satisfies the predicate.
+    pub fn matches(&self, value: i64) -> bool {
+        value >= self.low && value < self.high
+    }
+}
+
+/// One operation against a table engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableOp {
+    /// Conjunctive multi-column selection: count (and return the row ids
+    /// of) the tuples satisfying *every* predicate. An empty predicate
+    /// list selects every live tuple (exact, because the table engine's
+    /// key domain excludes `i64::MAX` — the one key a half-open range
+    /// cannot address).
+    SelectMulti(Vec<ColumnPredicate>),
+    /// Insert one whole tuple (one value per column, in column order).
+    InsertTuple(Vec<i64>),
+    /// Delete every tuple whose `column` value equals `value` (SQL
+    /// `DELETE WHERE col = v`), positionally across all columns.
+    DeleteWhere {
+        /// Index of the predicate column.
+        column: usize,
+        /// The key to delete.
+        value: i64,
+    },
+}
+
+impl TableOp {
+    /// True for selects.
+    pub fn is_read(&self) -> bool {
+        matches!(self, TableOp::SelectMulti(_))
+    }
+
+    /// True for inserts and deletes.
+    pub fn is_write(&self) -> bool {
+        !self.is_read()
+    }
+}
+
+/// Result of one [`TableOp`].
+#[derive(Debug, Clone)]
+pub struct TableOpResult {
+    /// Select: qualifying tuple count. Insert: 1. Delete: tuples removed.
+    pub value: i128,
+    /// Select: the qualifying row ids (sorted). Insert: the assigned row
+    /// id. Delete: the removed row ids (sorted).
+    pub rowids: Vec<RowId>,
+    /// Merged per-column metrics breakdown.
+    pub metrics: QueryMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_width_and_matching() {
+        let p = ColumnPredicate::new(1, 10, 20);
+        assert_eq!(p.width(), 10);
+        assert!(p.matches(10));
+        assert!(p.matches(19));
+        assert!(!p.matches(20));
+        assert!(!p.matches(9));
+        assert_eq!(ColumnPredicate::new(0, 5, 5).width(), 0);
+        assert_eq!(ColumnPredicate::new(0, 9, 2).width(), 0);
+        assert_eq!(
+            ColumnPredicate::new(0, i64::MIN, i64::MAX).width(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn op_read_write_classification() {
+        assert!(TableOp::SelectMulti(vec![]).is_read());
+        assert!(TableOp::InsertTuple(vec![1, 2]).is_write());
+        assert!(TableOp::DeleteWhere {
+            column: 0,
+            value: 3
+        }
+        .is_write());
+    }
+}

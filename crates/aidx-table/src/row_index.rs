@@ -1,0 +1,101 @@
+//! The rowid-carrying single-column index surface a table engine builds
+//! on: one implementation per concurrency design of the single-column
+//! stack, so "serial vs chunked vs range-partitioned" is a per-table
+//! configuration knob rather than three different engines.
+
+use aidx_core::{ConcurrentCracker, QueryMetrics};
+use aidx_parallel::{ChunkedCracker, RangePartitionedCracker};
+use aidx_storage::RowId;
+
+/// A single-column adaptive index whose reads yield *row ids* (tuple
+/// identity) and whose writes are positional: the caller owns the row-id
+/// space, so several instances over different columns of one table stay
+/// aligned through any amount of per-column physical reorganisation.
+pub trait RowIndex: Send + Sync {
+    /// Row ids of every live row whose value falls in `[low, high)`,
+    /// sorted ascending, refining the index as a side effect.
+    fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics);
+
+    /// Q1 over the column (used by tests and diagnostics; the planner
+    /// estimates selectivity from predicate widths instead, so estimating
+    /// never cracks).
+    fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics);
+
+    /// Inserts one row with an externally assigned row id.
+    fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics;
+
+    /// Deletes one specific row `(value, rowid)`; returns 0 or 1.
+    fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics);
+
+    /// Quiescent structural self-check.
+    fn check_invariants(&self) -> bool;
+}
+
+impl RowIndex for ConcurrentCracker {
+    fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
+        ConcurrentCracker::select_rowids(self, low, high)
+    }
+
+    fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
+        ConcurrentCracker::count(self, low, high)
+    }
+
+    fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics {
+        ConcurrentCracker::insert_row(self, value, rowid)
+    }
+
+    fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics) {
+        ConcurrentCracker::delete_row(self, value, rowid)
+    }
+
+    fn check_invariants(&self) -> bool {
+        ConcurrentCracker::check_invariants(self)
+    }
+}
+
+impl RowIndex for ChunkedCracker {
+    fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
+        // Table columns are always built with concurrent chunk backends
+        // (see `TableEngine`); stochastic chunks keep no row identity.
+        ChunkedCracker::select_rowids(self, low, high)
+            .expect("table columns use concurrent chunk backends")
+    }
+
+    fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
+        ChunkedCracker::count(self, low, high)
+    }
+
+    fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics {
+        ChunkedCracker::insert_row(self, value, rowid)
+    }
+
+    fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics) {
+        ChunkedCracker::delete_row(self, value, rowid)
+    }
+
+    fn check_invariants(&self) -> bool {
+        ChunkedCracker::check_invariants(self)
+    }
+}
+
+impl RowIndex for RangePartitionedCracker {
+    fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
+        RangePartitionedCracker::select_rowids(self, low, high)
+    }
+
+    fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
+        RangePartitionedCracker::count(self, low, high)
+    }
+
+    fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics {
+        RangePartitionedCracker::insert_row(self, value, rowid)
+    }
+
+    fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics) {
+        RangePartitionedCracker::delete_row(self, value, rowid)
+    }
+
+    fn check_invariants(&self) -> bool {
+        RangePartitionedCracker::check_invariants(self)
+    }
+}

@@ -15,6 +15,10 @@
 //!   adaptive merging, and the multi-core parallel cracking arms of
 //!   `aidx-parallel` (chunked and range-partitioned). Every arm executes
 //!   reads *and* writes through the same `execute(Operation)` entry point.
+//! * [`MultiColumnWorkload`] — conjunctive multi-column selections with
+//!   per-column selectivity knobs (plus tuple inserts and key deletes)
+//!   for the `aidx-table` engines, whose serial / chunked /
+//!   range-partitioned arms are re-exported here as [`TableBackend`].
 //! * [`MultiClientRunner`] — replays one operation sequence with N
 //!   concurrent clients against a shared engine and reports the wall-clock
 //!   time of the last client to finish, plus per-op metric breakdowns.
@@ -29,6 +33,7 @@ pub mod generator;
 pub mod parallel_engine;
 pub mod query;
 pub mod runner;
+pub mod table_workload;
 
 pub use engine::{
     oracle_apply, AdaptiveEngine, CheckedEngine, CrackEngine, MergeEngine, Mismatch, OpResult,
@@ -42,3 +47,11 @@ pub use generator::{AccessPattern, WorkloadGenerator};
 pub use parallel_engine::{ParallelChunkEngine, ParallelRangeEngine};
 pub use query::{selectivity_to_width, Operation, QuerySpec};
 pub use runner::MultiClientRunner;
+pub use table_workload::MultiColumnWorkload;
+
+// The table-level engine arms (serial / chunked / range table engines)
+// live in `aidx-table`; re-exported here so experiment harnesses have one
+// import surface.
+pub use aidx_table::{
+    CheckedTableEngine, ColumnPredicate, TableBackend, TableEngine, TableOp, TableOpResult,
+};

@@ -1,0 +1,196 @@
+//! Multi-column workload generation: conjunctive selections with
+//! per-column selectivity knobs, plus tuple inserts and key deletes, for
+//! the table engines of `aidx-table`.
+//!
+//! The single-column generator expresses a query's cost through one
+//! selectivity; a conjunctive selection has one *per predicate column* —
+//! the planner's whole job is exploiting the difference (crack the most
+//! selective column first, intersect the rest). The generator therefore
+//! takes a selectivity per column and emits [`TableOp::SelectMulti`]
+//! operations carrying one range predicate per configured column, in a
+//! deterministic seeded stream so every backend replays the identical
+//! sequence.
+
+use crate::query::selectivity_to_width;
+use aidx_table::{ColumnPredicate, TableOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed perturbation separating the write-decision stream from the
+/// select stream (mirrors the single-column generator's salt).
+const MIXED_SEED_SALT: u64 = 0x7AB1_E5A1;
+
+/// Generator of multi-column workloads over a table whose every column
+/// holds keys in `[0, domain_size)`.
+#[derive(Debug, Clone)]
+pub struct MultiColumnWorkload {
+    domain_size: u64,
+    /// One selectivity per *predicate column*: a generated select carries
+    /// `selectivities.len()` predicates, the i-th over column i with the
+    /// i-th selectivity.
+    selectivities: Vec<f64>,
+    /// Number of columns in the target table (predicates use the first
+    /// `selectivities.len()` of them; inserted tuples carry all).
+    columns: usize,
+    write_ratio: f64,
+    seed: u64,
+}
+
+impl MultiColumnWorkload {
+    /// Creates a generator for a `columns`-column table with the given
+    /// per-predicate-column selectivities (at most one per column).
+    ///
+    /// # Panics
+    /// Panics if more selectivities than columns are given, or no columns.
+    pub fn new(domain_size: u64, columns: usize, selectivities: Vec<f64>, seed: u64) -> Self {
+        assert!(columns > 0, "a table has at least one column");
+        assert!(
+            selectivities.len() <= columns,
+            "at most one predicate per column"
+        );
+        MultiColumnWorkload {
+            domain_size,
+            selectivities,
+            columns,
+            write_ratio: 0.0,
+            seed,
+        }
+    }
+
+    /// Sets the fraction of operations that are writes (half tuple
+    /// inserts, half key deletes; builder style).
+    pub fn with_write_ratio(mut self, write_ratio: f64) -> Self {
+        self.write_ratio = write_ratio.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Number of predicates each generated select carries.
+    pub fn predicate_count(&self) -> usize {
+        self.selectivities.len()
+    }
+
+    /// The per-column predicate widths the selectivities map to.
+    pub fn widths(&self) -> Vec<u64> {
+        self.selectivities
+            .iter()
+            .map(|&s| selectivity_to_width(s, self.domain_size).min(self.domain_size.max(1)))
+            .collect()
+    }
+
+    /// Generates `n` operations: selects with one predicate per
+    /// configured column, interleaved with tuple inserts and key deletes
+    /// at the configured write ratio. Deterministic per seed, so every
+    /// experiment arm replays the identical sequence.
+    pub fn generate(&self, n: usize) -> Vec<TableOp> {
+        let widths = self.widths();
+        let mut select_rng = StdRng::seed_from_u64(self.seed);
+        let mut write_rng = StdRng::seed_from_u64(self.seed ^ MIXED_SEED_SALT);
+        let threshold = (self.write_ratio * 10_000.0).round() as u64;
+        (0..n)
+            .map(|_| {
+                let select = {
+                    let predicates = widths
+                        .iter()
+                        .enumerate()
+                        .map(|(column, &width)| {
+                            let max_low = self.domain_size.saturating_sub(width);
+                            let low = if max_low == 0 {
+                                0
+                            } else {
+                                select_rng.gen_range(0..=max_low)
+                            };
+                            ColumnPredicate::new(column, low as i64, (low + width) as i64)
+                        })
+                        .collect();
+                    TableOp::SelectMulti(predicates)
+                };
+                if write_rng.gen_range(0..10_000u64) < threshold {
+                    let key = |rng: &mut StdRng| {
+                        if self.domain_size == 0 {
+                            0
+                        } else {
+                            rng.gen_range(0..self.domain_size) as i64
+                        }
+                    };
+                    if write_rng.gen_range(0..2u64) == 0 {
+                        let tuple = (0..self.columns).map(|_| key(&mut write_rng)).collect();
+                        TableOp::InsertTuple(tuple)
+                    } else {
+                        TableOp::DeleteWhere {
+                            column: write_rng.gen_range(0..self.columns as u64) as usize,
+                            value: key(&mut write_rng),
+                        }
+                    }
+                } else {
+                    select
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_carry_one_predicate_per_configured_column() {
+        let g = MultiColumnWorkload::new(10_000, 4, vec![0.01, 0.1, 0.5], 7);
+        assert_eq!(g.predicate_count(), 3);
+        assert_eq!(g.widths(), vec![100, 1000, 5000]);
+        for op in g.generate(50) {
+            let TableOp::SelectMulti(predicates) = op else {
+                panic!("read-only workload generated a write");
+            };
+            assert_eq!(predicates.len(), 3);
+            for (i, p) in predicates.iter().enumerate() {
+                assert_eq!(p.column, i);
+                assert_eq!(p.width(), g.widths()[i], "column {i} width");
+                assert!(p.low >= 0 && p.high <= 10_000);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = MultiColumnWorkload::new(5000, 2, vec![0.05, 0.2], 3).generate(40);
+        let b = MultiColumnWorkload::new(5000, 2, vec![0.05, 0.2], 3).generate(40);
+        let c = MultiColumnWorkload::new(5000, 2, vec![0.05, 0.2], 4).generate(40);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn write_ratio_mixes_inserts_and_deletes() {
+        let g = MultiColumnWorkload::new(1000, 3, vec![0.1], 11).with_write_ratio(0.4);
+        let ops = g.generate(500);
+        let writes = ops.iter().filter(|op| op.is_write()).count();
+        assert!((120..=280).contains(&writes), "~200 writes, got {writes}");
+        let inserts = ops
+            .iter()
+            .filter(|op| matches!(op, TableOp::InsertTuple(_)))
+            .count();
+        assert!(inserts > 0 && inserts < writes, "both write kinds appear");
+        for op in &ops {
+            if let TableOp::InsertTuple(tuple) = op {
+                assert_eq!(tuple.len(), 3, "tuples carry every column");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_write_ratio_is_read_only_and_tiny_domains_hold() {
+        let g = MultiColumnWorkload::new(1, 1, vec![0.5], 0);
+        let ops = g.generate(5);
+        assert_eq!(ops.len(), 5);
+        assert!(ops.iter().all(|op| op.is_read()));
+        let g = MultiColumnWorkload::new(0, 1, vec![0.5], 0).with_write_ratio(1.0);
+        assert!(g.generate(5).iter().all(|op| op.is_write()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one predicate per column")]
+    fn more_predicates_than_columns_is_rejected() {
+        MultiColumnWorkload::new(100, 1, vec![0.1, 0.2], 0);
+    }
+}

@@ -24,7 +24,8 @@
 //! | [`btree`] | B+-tree, partitioned B-tree, adaptive merging, hybrid crack-sort, key-range locks |
 //! | [`core`] | **the paper's contribution**: concurrent cracker with column/piece latch protocols, conflict avoidance, metrics |
 //! | [`parallel`] | multi-core parallel cracking: per-core chunks, range-partitioned latch-free workers |
-//! | [`workload`] | Q1/Q2 workload generation, multi-client runner, experiment configs |
+//! | [`table`] | table-level engine: rowid-preserving crackers per column, multi-column selections via rowid intersection |
+//! | [`workload`] | Q1/Q2 + multi-column workload generation, multi-client runner, experiment configs |
 //!
 //! ## Quick start
 //!
@@ -64,6 +65,7 @@ pub use aidx_cracking as cracking;
 pub use aidx_latch as latch;
 pub use aidx_parallel as parallel;
 pub use aidx_storage as storage;
+pub use aidx_table as table;
 pub use aidx_workload as workload;
 
 /// The most commonly used types, re-exported for convenience.
@@ -78,10 +80,14 @@ pub mod prelude {
     pub use aidx_parallel::{
         available_cores, ChunkBackend, ChunkedCracker, RangePartitionedCracker, WorkerPool,
     };
-    pub use aidx_storage::{generate_unique_shuffled, Catalog, Column, Table};
+    pub use aidx_storage::{generate_unique_shuffled, Catalog, Column, RowId, Table};
+    pub use aidx_table::{
+        CheckedTableEngine, ColumnPredicate, RowIndex, TableBackend, TableEngine, TableOp,
+    };
     pub use aidx_workload::{
-        run_experiment, AdaptiveEngine, Approach, ExperimentConfig, MultiClientRunner, Operation,
-        ParallelChunkEngine, ParallelRangeEngine, QuerySpec, WorkloadGenerator,
+        run_experiment, AdaptiveEngine, Approach, ExperimentConfig, MultiClientRunner,
+        MultiColumnWorkload, Operation, ParallelChunkEngine, ParallelRangeEngine, QuerySpec,
+        WorkloadGenerator,
     };
 }
 
