@@ -1,5 +1,5 @@
 //! Mixed read/write benchmark: the write-ratio sweep for the unified
-//! engine API.
+//! engine API, plus the tracing-overhead self-measurement.
 //!
 //! For every write ratio (0%, 1%, 10%, 50%) the same operation sequence —
 //! Q2 sum queries interleaved with single-key inserts and deletes — runs
@@ -9,16 +9,25 @@
 //! oracle replay; a mismatch aborts the bench. Timing excludes the oracle,
 //! so the printed numbers are the engines' own.
 //!
+//! The final section quantifies the observability layer's cost on the
+//! crack-piece arm: the same sequence is timed twice with tracing
+//! disabled (run-to-run noise floor) and once with tracing enabled and
+//! drained, and the bench prints both the disabled-mode throughput (the
+//! number the < 3% regression budget is judged against) and the
+//! enabled-vs-disabled delta.
+//!
 //! Environment overrides: `AIDX_ROWS` (default 1 000 000), `AIDX_QUERIES`
 //! (default 128), `AIDX_APPROACHES` (default
-//! `crack-piece,parallel-chunk-piece-4,parallel-range-4`).
+//! `crack-piece,parallel-chunk-piece-4,parallel-range-4`); `--json <path>`
+//! / `AIDX_JSON_OUT` writes the structured report.
 //!
 //! Run with `cargo bench -p aidx-bench --bench bench_updates`.
 
-use aidx_bench::{approaches_from_env, ms, print_table, scaled_params};
+use aidx_bench::{approaches_from_env, ms, scaled_params, Report};
 use aidx_core::Aggregate;
+use aidx_obs::Json;
 use aidx_storage::generate_unique_shuffled;
-use aidx_workload::{oracle_apply, ExperimentConfig, Operation};
+use aidx_workload::{oracle_apply, AdaptiveEngine, ExperimentConfig, Operation};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -35,6 +44,23 @@ fn oracle_replay(values: &[i64], ops: &[Operation]) -> Vec<i128> {
         .collect()
 }
 
+/// One timed sequential pass of `ops` over a fresh crack-piece engine;
+/// returns throughput in operations per second.
+fn timed_pass(values: &[i64], ops: &[Operation], rows: usize, op_count: usize) -> f64 {
+    let engine = ExperimentConfig::new("crack-piece".parse().unwrap())
+        .rows(rows)
+        .queries(op_count)
+        .selectivity(0.001)
+        .aggregate(Aggregate::Sum)
+        .write_ratio(0.1)
+        .build_engine_with(values.to_vec());
+    let start = Instant::now();
+    for &op in ops {
+        std::hint::black_box(engine.execute(op).value);
+    }
+    ops.len() as f64 / start.elapsed().as_secs_f64()
+}
+
 fn main() {
     let (rows, op_count) = scaled_params(1_000_000, 128);
     let approaches =
@@ -43,6 +69,10 @@ fn main() {
 
     println!("# bench_updates: rows={rows} ops={op_count}");
     println!();
+    let mut report = Report::new("bench_updates");
+    report
+        .param("rows", Json::UInt(rows as u64))
+        .param("ops", Json::UInt(op_count as u64));
 
     let values = generate_unique_shuffled(rows, 0xA1D1);
     let mut table = Vec::new();
@@ -82,10 +112,49 @@ fn main() {
         }
     }
 
-    print_table(
+    report.table(
         "mixed read/write sweep (1 client, oracle-verified)",
         &["write_ratio", "writes", "arm", "wall_clock_ms"],
         &table,
     );
-    println!("all arms returned results identical to the oracle at every write ratio");
+    report.note("all arms returned results identical to the oracle at every write ratio");
+
+    // Tracing-overhead self-measurement (crack-piece, 10% writes): two
+    // disabled passes bound the run-to-run noise, one enabled-and-drained
+    // pass bounds the cost of actually recording events.
+    aidx_obs::disable();
+    let ops = ExperimentConfig::new(aidx_workload::Approach::Scan)
+        .rows(rows)
+        .queries(op_count)
+        .selectivity(0.001)
+        .aggregate(Aggregate::Sum)
+        .write_ratio(0.1)
+        .generate_operations();
+    let disabled_a = timed_pass(&values, &ops, rows, op_count);
+    let disabled_b = timed_pass(&values, &ops, rows, op_count);
+    aidx_obs::enable();
+    let enabled = timed_pass(&values, &ops, rows, op_count);
+    let drained = aidx_obs::drain().len();
+    aidx_obs::disable();
+
+    let disabled = disabled_a.max(disabled_b);
+    let noise = (disabled_a - disabled_b).abs() / disabled * 100.0;
+    let overhead = (disabled - enabled) / disabled * 100.0;
+    println!(
+        "tracing overhead (crack-piece, {} ops): disabled {:.0} ops/s (noise {:.2}%), \
+         enabled {:.0} ops/s ({} events drained), enabled-vs-disabled {:.2}%",
+        ops.len(),
+        disabled,
+        noise,
+        enabled,
+        drained,
+        overhead,
+    );
+    report
+        .param("tracing_disabled_ops_per_s", Json::Num(disabled))
+        .param("tracing_disabled_noise_percent", Json::Num(noise))
+        .param("tracing_enabled_ops_per_s", Json::Num(enabled))
+        .param("tracing_enabled_overhead_percent", Json::Num(overhead))
+        .param("tracing_events_drained", Json::UInt(drained as u64));
+    report.finish();
 }

@@ -6,8 +6,9 @@
 //! Run: `cargo run -p aidx-bench --release --bin fig11`
 //! (`AIDX_APPROACHES=scan,crack-piece,...` overrides the arms).
 
-use aidx_bench::{approaches_from_env, ms, print_table, scaled_params, table_header};
+use aidx_bench::{approaches_from_env, ms, scaled_params, table_header, Report};
 use aidx_core::Aggregate;
+use aidx_obs::Json;
 use aidx_workload::{run_experiment, ExperimentConfig};
 
 fn main() {
@@ -15,6 +16,11 @@ fn main() {
     let queries = 10usize;
     let selectivity = 0.10;
     println!("Figure 11 — basic performance, {rows} rows, {queries} serial count queries, 10% selectivity\n");
+    let mut report = Report::new("fig11");
+    report
+        .param("rows", Json::UInt(rows as u64))
+        .param("queries", Json::UInt(queries as u64))
+        .param("selectivity", Json::Num(selectivity));
 
     let approaches = approaches_from_env(&["scan", "sort", "crack-piece"]);
     let header = table_header("query", &approaches);
@@ -39,21 +45,26 @@ fn main() {
         for (i, avg) in run.running_average().iter().enumerate() {
             running_rows[i].push(ms(*avg));
         }
+        report.breakdown(
+            &format!("latency: {}", approach.label()),
+            &run.latency_breakdown(),
+        );
     }
 
-    print_table(
+    report.table(
         "Figure 11(a): response time per query (ms)",
         &header_refs,
         &per_query_rows,
     );
-    print_table(
+    report.table(
         "Figure 11(b): running average response time (ms)",
         &header_refs,
         &running_rows,
     );
-    println!(
+    report.note(
         "Expected shape: scan is flat; sort pays a large cost at query 1 and is fast afterwards;\n\
          crack starts near the scan cost and improves with every query, overtaking scan's average\n\
-         within roughly 8 queries (paper, Section 6.1)."
+         within roughly 8 queries (paper, Section 6.1).",
     );
+    report.finish();
 }

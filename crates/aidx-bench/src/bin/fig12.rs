@@ -7,10 +7,11 @@
 //! Run: `cargo run -p aidx-bench --release --bin fig12`
 
 use aidx_bench::{
-    approaches_from_env, print_table, scaled_params, table_header, BENCH_QUERIES_DEFAULT,
+    approaches_from_env, scaled_params, table_header, Report, BENCH_QUERIES_DEFAULT,
     BENCH_ROWS_DEFAULT,
 };
 use aidx_core::Aggregate;
+use aidx_obs::Json;
 use aidx_workload::{run_experiment, ExperimentConfig};
 
 fn main() {
@@ -18,6 +19,11 @@ fn main() {
     let clients_list = [1usize, 2, 4, 8, 16, 32];
     let approaches = approaches_from_env(&["scan", "sort", "crack-piece"]);
     println!("Figure 12 — concurrency, {rows} rows, {queries} sum queries, 0.01% selectivity\n");
+    let mut report = Report::new("fig12");
+    report
+        .param("rows", Json::UInt(rows as u64))
+        .param("queries", Json::UInt(queries as u64))
+        .param("selectivity", Json::Num(0.0001));
 
     let mut total_rows = Vec::new();
     let mut throughput_rows = Vec::new();
@@ -41,19 +47,20 @@ fn main() {
 
     let header = table_header("clients", &approaches);
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    print_table(
+    report.table(
         "Figure 12(a): total time for all queries (seconds)",
         &header_refs,
         &total_rows,
     );
-    print_table(
+    report.table(
         "Figure 12(b): throughput (queries/second)",
         &header_refs,
         &throughput_rows,
     );
-    println!(
+    report.note(
         "Expected shape: all approaches scale with the number of hardware contexts and then level\n\
          out; their relative order (crack fastest, then sort, then scan) is preserved at every\n\
-         client count — adaptive indexing keeps its advantage despite turning reads into writes."
+         client count — adaptive indexing keeps its advantage despite turning reads into writes.",
     );
+    report.finish();
 }

@@ -7,8 +7,9 @@
 //!
 //! Run: `cargo run -p aidx-bench --release --bin fig13`
 
-use aidx_bench::{print_table, scaled_params, BENCH_QUERIES_DEFAULT, BENCH_ROWS_DEFAULT};
+use aidx_bench::{scaled_params, Report, BENCH_QUERIES_DEFAULT, BENCH_ROWS_DEFAULT};
 use aidx_core::Aggregate;
+use aidx_obs::Json;
 use aidx_workload::{run_experiment, Approach, ExperimentConfig};
 
 fn main() {
@@ -18,6 +19,11 @@ fn main() {
          0.01% selectivity, sequential execution\n"
     );
 
+    let mut report = Report::new("fig13");
+    report
+        .param("rows", Json::UInt(rows as u64))
+        .param("queries", Json::UInt(queries as u64))
+        .param("selectivity", Json::Num(0.0001));
     let mut rows_out = Vec::new();
     let mut enabled_secs = 0.0f64;
     let mut disabled_secs = 0.0f64;
@@ -40,18 +46,21 @@ fn main() {
             disabled_secs = secs;
         }
         rows_out.push(vec![label.to_string(), format!("{secs:.4}")]);
+        report.breakdown(&format!("latency: {label}"), &run.latency_breakdown());
     }
 
-    print_table(
+    report.table(
         "Figure 13: total time for the full query sequence (seconds)",
         &["concurrency control", "total time (s)"],
         &rows_out,
     );
     if disabled_secs > 0.0 {
         let overhead = (enabled_secs - disabled_secs) / disabled_secs * 100.0;
+        report.param("overhead_percent", Json::Num(overhead));
         println!(
             "Measured administration overhead: {overhead:.2}% \
              (paper: less than 1% over 1024 queries)."
         );
     }
+    report.finish();
 }

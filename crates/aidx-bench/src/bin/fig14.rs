@@ -9,8 +9,9 @@
 //! (set `AIDX_QUERIES`/`AIDX_ROWS` to rescale; the full paper-scale sweep is
 //! expensive).
 
-use aidx_bench::{print_table, scaled_params, BENCH_ROWS_DEFAULT};
+use aidx_bench::{scaled_params, Report, BENCH_ROWS_DEFAULT};
 use aidx_core::{Aggregate, LatchProtocol};
+use aidx_obs::Json;
 use aidx_workload::{run_experiment, Approach, ExperimentConfig};
 
 fn main() {
@@ -18,6 +19,10 @@ fn main() {
     let selectivities = [0.0001, 0.001, 0.01, 0.1, 0.5, 0.9];
     let clients_list = [1usize, 2, 4, 8, 16, 32];
     println!("Figure 14 — column vs piece latches, {rows} rows, {queries} queries per run\n");
+    let mut report = Report::new("fig14");
+    report
+        .param("rows", Json::UInt(rows as u64))
+        .param("queries", Json::UInt(queries as u64));
 
     let panels = [
         (
@@ -62,16 +67,17 @@ fn main() {
             }
             rows_out.push(row);
         }
-        print_table(
+        report.table(
             &format!("Figure 14{title}: total time (seconds)"),
             &header_refs,
             &rows_out,
         );
     }
-    println!(
+    report.note(
         "Expected shape: with column latches, total time stays roughly flat as clients are added\n\
          (no parallelism is exploited) and grows with lower selectivity for sum queries; with piece\n\
          latches, total time drops with added clients because cracking and aggregation of different\n\
-         pieces proceed in parallel — most visibly for sum queries (panels c vs d)."
+         pieces proceed in parallel — most visibly for sum queries (panels c vs d).",
     );
+    report.finish();
 }

@@ -7,9 +7,11 @@
 //!
 //! Run: `cargo run -p aidx-bench --release --bin fig15`
 
-use aidx_bench::{scaled_params, BENCH_QUERIES_DEFAULT, BENCH_ROWS_DEFAULT};
+use aidx_bench::{scaled_params, Report, BENCH_QUERIES_DEFAULT, BENCH_ROWS_DEFAULT};
 use aidx_core::{Aggregate, LatchProtocol};
+use aidx_obs::Json;
 use aidx_workload::{run_experiment, Approach, ExperimentConfig};
+use std::time::Duration;
 
 fn main() {
     let (rows, queries) = scaled_params(BENCH_ROWS_DEFAULT, BENCH_QUERIES_DEFAULT);
@@ -26,6 +28,13 @@ fn main() {
         .selectivity(0.5)
         .aggregate(Aggregate::Sum);
     let run = run_experiment(&config);
+    let mut report = Report::new("fig15");
+    report
+        .param("rows", Json::UInt(rows as u64))
+        .param("queries", Json::UInt(queries as u64))
+        .param("clients", Json::UInt(clients as u64))
+        .param("selectivity", Json::Num(0.5));
+    report.run_metrics("crack-piece, 8 clients", &run, Duration::from_millis(10));
 
     // per_query is ordered client by client; interleave them back into an
     // approximate arrival order (query i of every client happened in the
@@ -69,9 +78,10 @@ fn main() {
         early,
         late,
     );
-    println!(
+    report.note(
         "Expected shape: both series start high (the first queries crack and wait on huge pieces)\n\
          and decay continuously; the wait-time curve tracks the refinement-time curve because one\n\
-         query's crack time is another query's wait time (paper, Section 6.3)."
+         query's crack time is another query's wait time (paper, Section 6.3).",
     );
+    report.finish();
 }

@@ -11,8 +11,17 @@
 //! `AIDX_QUERIES` to override the (scaled-down) defaults; set
 //! `AIDX_ROWS=100000000 AIDX_QUERIES=1024` to reproduce the paper's original
 //! scale if you have the memory and patience.
+//!
+//! Every figure binary and bench additionally accepts `--json <path>` (or
+//! the `AIDX_JSON_OUT` environment variable) to write a machine-readable
+//! [`Report`] — tables, percentile breakdowns, and structure-convergence
+//! series — alongside the human-readable text.
 
 #![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{json_out_path, Report};
 
 use aidx_workload::Approach;
 use std::time::Duration;

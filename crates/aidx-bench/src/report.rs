@@ -1,0 +1,183 @@
+//! The shared machine-readable report builder.
+//!
+//! Every figure binary and plain-`main` bench builds a [`Report`]: tables
+//! and notes are printed as before (tab-separated text on stdout) *and*
+//! recorded, together with percentile breakdowns and structure-sample
+//! series, into one JSON document. When the process was given
+//! `--json <path>` (or `--json=<path>`, or the `AIDX_JSON_OUT`
+//! environment variable — the CI spelling), [`Report::finish`] writes the
+//! document there; otherwise the run is text-only, exactly as before.
+
+use crate::print_table;
+use aidx_core::{LatencyBreakdown, RunMetrics};
+use aidx_obs::{Json, StructureSampler};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Resolves the JSON output destination: a `--json <path>` /
+/// `--json=<path>` command-line flag wins, then the `AIDX_JSON_OUT`
+/// environment variable; `None` means text-only.
+pub fn json_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--json=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var_os("AIDX_JSON_OUT").map(PathBuf::from)
+}
+
+/// A structured run report: named parameters plus an ordered list of
+/// sections (tables, percentile breakdowns, structure-sample series,
+/// free-form notes), rendered to JSON at the end of the run.
+#[derive(Debug)]
+pub struct Report {
+    name: String,
+    params: Vec<(String, Json)>,
+    sections: Vec<Json>,
+}
+
+impl Report {
+    /// Starts a report named after its bench/figure binary.
+    pub fn new(name: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            params: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Records one run parameter (rows, queries, selectivity, ...).
+    pub fn param(&mut self, key: &str, value: Json) -> &mut Self {
+        self.params.push((key.to_string(), value));
+        self
+    }
+
+    /// Records an arbitrary section. `kind` is a stable machine-readable
+    /// tag ("table", "breakdown", "structure_samples", ...), `title` the
+    /// human label.
+    pub fn section(&mut self, kind: &str, title: &str, data: Json) -> &mut Self {
+        self.sections.push(Json::obj(vec![
+            ("kind", Json::str(kind)),
+            ("title", Json::str(title)),
+            ("data", data),
+        ]));
+        self
+    }
+
+    /// Prints a tab-separated table (exactly like the pre-report bins did)
+    /// and records it as a `table` section.
+    pub fn table(&mut self, title: &str, header: &[&str], rows: &[Vec<String>]) -> &mut Self {
+        print_table(title, header, rows);
+        let data = Json::obj(vec![
+            (
+                "header",
+                Json::Arr(header.iter().map(|h| Json::str(*h)).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| Json::Arr(r.iter().map(Json::str).collect()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.section("table", title, data)
+    }
+
+    /// Prints a free-form note (the bins' "expected shape" epilogues) and
+    /// records it as a `note` section.
+    pub fn note(&mut self, text: &str) -> &mut Self {
+        println!("{text}");
+        self.section("note", text, Json::str(text))
+    }
+
+    /// Records a per-component percentile latency breakdown (Figure 13/15
+    /// material: wait / crack / aggregate / compaction / total).
+    pub fn breakdown(&mut self, title: &str, breakdown: &LatencyBreakdown) -> &mut Self {
+        self.section("breakdown", title, breakdown.to_json())
+    }
+
+    /// Records a structure-convergence curve (piece counts, delta
+    /// pressure, partition load over the query sequence).
+    pub fn structure_samples(&mut self, title: &str, sampler: &StructureSampler) -> &mut Self {
+        self.section("structure_samples", title, sampler.to_json())
+    }
+
+    /// Records a whole run's percentile breakdown plus its windowed
+    /// throughput series under one title.
+    pub fn run_metrics(&mut self, title: &str, run: &RunMetrics, window: Duration) -> &mut Self {
+        self.breakdown(title, &run.latency_breakdown());
+        let windows = run.throughput_windows_json(window);
+        self.section("throughput_windows", title, windows)
+    }
+
+    /// The whole report as one JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("report", Json::str(&self.name)),
+            ("params", Json::Obj(self.params.clone())),
+            ("sections", Json::Arr(self.sections.clone())),
+        ])
+    }
+
+    /// Writes the report to the `--json` / `AIDX_JSON_OUT` destination if
+    /// one was given. Call once, at the end of `main`.
+    pub fn finish(&self) {
+        if let Some(path) = json_out_path() {
+            let text = self.to_json().render();
+            std::fs::write(&path, text + "\n")
+                .unwrap_or_else(|e| panic!("cannot write JSON report to {}: {e}", path.display()));
+            println!("wrote JSON report to {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let mut report = Report::new("unit");
+        report
+            .param("rows", Json::UInt(100))
+            .table("t", &["a", "b"], &[vec!["1".into(), "2".into()]])
+            .breakdown("lat", &LatencyBreakdown::new());
+        let parsed = Json::parse(&report.to_json().render()).expect("report JSON parses");
+        assert_eq!(parsed.get("report").and_then(Json::as_str), Some("unit"));
+        let sections = parsed.get("sections").and_then(Json::as_arr).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(
+            sections[0].get("kind").and_then(Json::as_str),
+            Some("table")
+        );
+        assert_eq!(
+            sections[1].get("kind").and_then(Json::as_str),
+            Some("breakdown")
+        );
+    }
+
+    #[test]
+    fn structure_samples_and_windows_sections_are_tagged() {
+        let mut report = Report::new("unit");
+        report.structure_samples("conv", &StructureSampler::new(8));
+        report.run_metrics("run", &RunMetrics::new(), Duration::from_millis(10));
+        let json = report.to_json();
+        let kinds: Vec<&str> = json
+            .get("sections")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|s| s.get("kind").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            kinds,
+            ["structure_samples", "breakdown", "throughput_windows"]
+        );
+    }
+}

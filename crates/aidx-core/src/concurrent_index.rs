@@ -68,6 +68,7 @@ use aidx_cracking::{Piece, PieceLookup, PieceMap};
 use aidx_latch::ordered::OrderedWaitLatch;
 use aidx_latch::stats::LatchStatsSnapshot;
 use aidx_latch::systxn::{SystemTxnManager, SystemTxnStats};
+use aidx_obs::{emit, LatchMode, StructureProbe, TraceEvent};
 use aidx_storage::{Column, RowId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashSet};
@@ -551,6 +552,45 @@ impl ConcurrentCracker {
         stats
     }
 
+    /// Per-piece latch statistics for every live piece latch, sorted by
+    /// piece start position. Latches retired by compaction rebuilds are
+    /// folded into [`ConcurrentCracker::latch_stats`] but carry no
+    /// position here.
+    pub fn latch_stats_by_piece(&self) -> Vec<(usize, LatchStatsSnapshot)> {
+        self.registry.stats_by_piece()
+    }
+
+    /// The column latch's own statistics (None-protocol indexes report
+    /// zeroes: the latch exists but is never taken).
+    pub fn column_latch_stats(&self) -> LatchStatsSnapshot {
+        self.column_latch.stats()
+    }
+
+    /// Current size of every piece, in positions (dead hole tails
+    /// included), in position order.
+    pub fn piece_sizes(&self) -> Vec<u64> {
+        let toc = self.toc.lock();
+        toc.map.pieces().iter().map(|p| p.len() as u64).collect()
+    }
+
+    /// One observation of the index's physical structure, for convergence
+    /// introspection. Counters are read individually (exact in
+    /// quiescence, like every aggregate accessor here).
+    pub fn structure_probe(&self) -> StructureProbe {
+        let (pending, tombstoned) = self.delta.counters();
+        StructureProbe {
+            rows: self.logical_len(),
+            piece_sizes: self.piece_sizes(),
+            hole_rows: self.hole_count() as u64,
+            pending_inserts: pending,
+            tombstoned_rows: tombstoned,
+            live_snapshots: self.live_snapshots() as u64,
+            compactions: self.compactions_performed(),
+            compaction_steps: self.compaction_steps_performed(),
+            partition_load: Vec::new(),
+        }
+    }
+
     /// System-transaction statistics (refinements committed / abandoned /
     /// early-terminated).
     pub fn systxn_stats(&self) -> SystemTxnStats {
@@ -711,6 +751,7 @@ impl ConcurrentCracker {
                     }
                     failures += 1;
                     metrics.snapshot_retries = metrics.snapshot_retries.saturating_add(1);
+                    emit(TraceEvent::SnapshotRetry { attempt: failures });
                 };
                 if newly > 0 {
                     // The delete's own cracks made the doomed rows
@@ -768,6 +809,7 @@ impl ConcurrentCracker {
                     }
                     failures += 1;
                     metrics.snapshot_retries = metrics.snapshot_retries.saturating_add(1);
+                    emit(TraceEvent::SnapshotRetry { attempt: failures });
                 };
                 if removed > 0 && in_main {
                     self.reclaim_key_piece(value, &mut metrics);
@@ -812,7 +854,13 @@ impl ConcurrentCracker {
             LatchProtocol::Column | LatchProtocol::None => {
                 let guard = (self.protocol != LatchProtocol::None).then(|| {
                     let g = self.column_latch.acquire_write(bound);
-                    Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
+                    Self::note_wait(
+                        metrics,
+                        TraceEvent::COLUMN_LATCH,
+                        LatchMode::Write,
+                        g.outcome().wait_time(),
+                        g.outcome().contended(),
+                    );
                     g
                 });
                 let crack_start = Instant::now();
@@ -895,6 +943,7 @@ impl ConcurrentCracker {
                 // latch timing honest, discard its counts, and retry.
                 failures += 1;
                 metrics.snapshot_retries = metrics.snapshot_retries.saturating_add(1);
+                emit(TraceEvent::SnapshotRetry { attempt: failures });
                 metrics.wait_time += attempt.wait_time;
                 metrics.aggregate_time += attempt.aggregate_time;
                 metrics.conflicts = metrics.conflicts.saturating_add(attempt.conflicts);
@@ -974,6 +1023,7 @@ impl ConcurrentCracker {
                 // latch timing honest, discard its rows, and retry.
                 failures += 1;
                 metrics.snapshot_retries = metrics.snapshot_retries.saturating_add(1);
+                emit(TraceEvent::SnapshotRetry { attempt: failures });
                 metrics.wait_time += attempt.wait_time;
                 metrics.aggregate_time += attempt.aggregate_time;
                 metrics.conflicts = metrics.conflicts.saturating_add(attempt.conflicts);
@@ -1009,6 +1059,8 @@ impl ConcurrentCracker {
                     let guard = latch.acquire_read();
                     Self::note_wait(
                         metrics,
+                        pos as u64,
+                        LatchMode::Read,
                         guard.outcome().wait_time(),
                         guard.outcome().contended(),
                     );
@@ -1027,7 +1079,13 @@ impl ConcurrentCracker {
             LatchProtocol::Column | LatchProtocol::None => {
                 let guard = (self.protocol == LatchProtocol::Column).then(|| {
                     let g = self.column_latch.acquire_read();
-                    Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
+                    Self::note_wait(
+                        metrics,
+                        TraceEvent::COLUMN_LATCH,
+                        LatchMode::Read,
+                        g.outcome().wait_time(),
+                        g.outcome().contended(),
+                    );
                     g
                 });
                 let agg_start = Instant::now();
@@ -1146,7 +1204,13 @@ impl ConcurrentCracker {
             match self.policy {
                 RefinementPolicy::Always => {
                     let g = self.column_latch.acquire_write(low);
-                    Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
+                    Self::note_wait(
+                        metrics,
+                        TraceEvent::COLUMN_LATCH,
+                        LatchMode::Write,
+                        g.outcome().wait_time(),
+                        g.outcome().contended(),
+                    );
                     Some(g)
                 }
                 RefinementPolicy::SkipOnContention => match self.column_latch.try_acquire_write() {
@@ -1205,11 +1269,22 @@ impl ConcurrentCracker {
                 PieceLookup::NeedsCrack(p) => p,
             }
         };
+        // Timestamps only when tracing is live: the untraced hot path pays
+        // nothing beyond the `enabled` load.
+        let traced = aidx_obs::enabled().then(Instant::now);
         let (live_end, _) = self.shrink_piece_locked(&piece);
         let pos = self.data.crack_in_two_range(piece.start, live_end, bound);
         let mut toc = self.toc.lock();
         toc.add_crack(bound, pos);
         toc.on_piece_split(piece.start, pos);
+        drop(toc);
+        if let Some(t0) = traced {
+            emit(TraceEvent::Crack {
+                piece: piece.start as u64,
+                pivot: bound,
+                ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
         (pos, true)
     }
 
@@ -1224,7 +1299,13 @@ impl ConcurrentCracker {
     ) -> i128 {
         let guard = if latched {
             let g = self.column_latch.acquire_read();
-            Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
+            Self::note_wait(
+                metrics,
+                TraceEvent::COLUMN_LATCH,
+                LatchMode::Read,
+                g.outcome().wait_time(),
+                g.outcome().contended(),
+            );
             Some(g)
         } else {
             None
@@ -1368,7 +1449,13 @@ impl ConcurrentCracker {
             let guard = match policy {
                 RefinementPolicy::Always => {
                     let g = latch.acquire_write(bound);
-                    Self::note_wait(metrics, g.outcome().wait_time(), g.outcome().contended());
+                    Self::note_wait(
+                        metrics,
+                        piece.start as u64,
+                        LatchMode::Write,
+                        g.outcome().wait_time(),
+                        g.outcome().contended(),
+                    );
                     g
                 }
                 RefinementPolicy::SkipOnContention => match latch.try_acquire_write() {
@@ -1410,9 +1497,15 @@ impl ConcurrentCracker {
                 toc.add_crack(bound, pos);
                 toc.on_piece_split(current.start, pos);
             }
-            metrics.crack_time += crack_start.elapsed();
+            let cracked_in = crack_start.elapsed();
+            metrics.crack_time += cracked_in;
             metrics.cracks_performed += 1;
             self.cracks.fetch_add(1, Ordering::Relaxed);
+            emit(TraceEvent::Crack {
+                piece: current.start as u64,
+                pivot: bound,
+                ns: u64::try_from(cracked_in.as_nanos()).unwrap_or(u64::MAX),
+            });
             drop(guard);
             return BoundResolution::Exact(pos);
         }
@@ -1431,6 +1524,8 @@ impl ConcurrentCracker {
                 let guard = latch.acquire_write(value);
                 Self::note_wait(
                     metrics,
+                    piece.start as u64,
+                    LatchMode::Write,
                     guard.outcome().wait_time(),
                     guard.outcome().contended(),
                 );
@@ -1448,6 +1543,8 @@ impl ConcurrentCracker {
                 let guard = self.column_latch.acquire_write(value);
                 Self::note_wait(
                     metrics,
+                    TraceEvent::COLUMN_LATCH,
+                    LatchMode::Write,
                     guard.outcome().wait_time(),
                     guard.outcome().contended(),
                 );
@@ -1542,6 +1639,8 @@ impl ConcurrentCracker {
             let guard = latch.acquire_read();
             Self::note_wait(
                 metrics,
+                pos as u64,
+                LatchMode::Read,
                 guard.outcome().wait_time(),
                 guard.outcome().contended(),
             );
@@ -1565,10 +1664,25 @@ impl ConcurrentCracker {
         }
     }
 
-    fn note_wait(metrics: &mut QueryMetrics, waited: Duration, contended: bool) {
+    /// Records one latch acquisition's wait into the metrics and, for
+    /// contended acquisitions, emits a piece-attributed trace event
+    /// (`piece` is the piece start position, or
+    /// [`TraceEvent::COLUMN_LATCH`] for the column latch).
+    fn note_wait(
+        metrics: &mut QueryMetrics,
+        piece: u64,
+        mode: LatchMode,
+        waited: Duration,
+        contended: bool,
+    ) {
         if contended {
             metrics.conflicts += 1;
             metrics.wait_time += waited;
+            emit(TraceEvent::LatchWait {
+                piece,
+                mode,
+                ns: u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX),
+            });
         }
     }
 
@@ -1689,6 +1803,8 @@ impl ConcurrentCracker {
         let start = Instant::now();
         let _op = self.registry.enter();
         self.steer_walk_cursor();
+        let step_start = self.walk_cursor.load(Ordering::Relaxed) % len;
+        let reclaimed_before = metrics.rows_reclaimed;
         let mut covered = 0usize;
         for _ in 0..max_pieces.max(1) {
             let cursor = self.walk_cursor.load(Ordering::Relaxed) % len;
@@ -1700,7 +1816,13 @@ impl ConcurrentCracker {
         }
         self.incremental_steps.fetch_add(1, Ordering::Relaxed);
         metrics.compaction_steps = metrics.compaction_steps.saturating_add(1);
-        metrics.compaction_time += start.elapsed();
+        let step_time = start.elapsed();
+        metrics.compaction_time += step_time;
+        emit(TraceEvent::CompactionStep {
+            piece: step_start as u64,
+            rows: metrics.rows_reclaimed.saturating_sub(reclaimed_before),
+            ns: u64::try_from(step_time.as_nanos()).unwrap_or(u64::MAX),
+        });
         covered
     }
 
@@ -1765,6 +1887,8 @@ impl ConcurrentCracker {
                 let guard = latch.acquire_write(piece.low_value.unwrap_or(i64::MIN));
                 Self::note_wait(
                     metrics,
+                    piece.start as u64,
+                    LatchMode::Write,
                     guard.outcome().wait_time(),
                     guard.outcome().contended(),
                 );
@@ -1787,6 +1911,8 @@ impl ConcurrentCracker {
                 let guard = self.column_latch.acquire_write(i64::MIN);
                 Self::note_wait(
                     metrics,
+                    TraceEvent::COLUMN_LATCH,
+                    LatchMode::Write,
                     guard.outcome().wait_time(),
                     guard.outcome().contended(),
                 );
@@ -1825,6 +1951,7 @@ impl ConcurrentCracker {
         // writes may also be; a lagging watermark is fine, a leading one
         // is not).
         let through = self.delta.current_epoch();
+        let traced = aidx_obs::enabled().then(Instant::now);
         let (live_end, swept) = self.shrink_piece_locked(piece);
         let mut merged = 0usize;
         let holes = piece.end - live_end;
@@ -1874,6 +2001,15 @@ impl ConcurrentCracker {
         metrics.rows_reclaimed = metrics
             .rows_reclaimed
             .saturating_add(swept as u64 + merged as u64);
+        if let Some(t0) = traced {
+            if swept + merged > 0 {
+                emit(TraceEvent::DeltaMerge {
+                    rows: (swept + merged) as u64,
+                    ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    rebuild: false,
+                });
+            }
+        }
     }
 
     /// Quiesces the index and rebuilds the main array. When `recheck` is
@@ -1916,7 +2052,13 @@ impl ConcurrentCracker {
         self.tombstones_reclaimed
             .fetch_add(reclaimed, Ordering::Relaxed);
         metrics.compactions_performed += 1;
-        metrics.compaction_time += start.elapsed();
+        let rebuild_time = start.elapsed();
+        metrics.compaction_time += rebuild_time;
+        emit(TraceEvent::DeltaMerge {
+            rows: merged.saturating_add(reclaimed),
+            ns: u64::try_from(rebuild_time.as_nanos()).unwrap_or(u64::MAX),
+            rebuild: true,
+        });
         true
     }
 
@@ -2257,6 +2399,28 @@ mod tests {
         assert_eq!(m3.cracks_performed, 2);
         let (_, m_repeat) = idx.sum(2200, 2800);
         assert_eq!(m_repeat.cracks_performed, 0);
+    }
+
+    #[test]
+    fn structure_probe_reflects_cracks_and_delta() {
+        let idx = ConcurrentCracker::from_values((0..100).rev().collect(), LatchProtocol::Piece);
+        let probe0 = idx.structure_probe();
+        assert_eq!(probe0.piece_count(), 1);
+        assert_eq!(probe0.rows, 100);
+        idx.count(10, 40);
+        idx.insert(1000);
+        idx.delete(5);
+        let probe = idx.structure_probe();
+        assert_eq!(probe.piece_count(), idx.piece_count());
+        assert!(probe.piece_count() >= 3);
+        assert_eq!(probe.piece_sizes.iter().sum::<u64>(), 100);
+        assert_eq!(probe.pending_inserts, 1);
+        assert_eq!(probe.rows, 100);
+        let stats = probe.summarize();
+        assert_eq!(stats.rows, 100);
+        assert!(stats.piece_size.max <= 100);
+        // Per-piece latch attribution exists for the touched pieces.
+        assert!(!idx.latch_stats_by_piece().is_empty());
     }
 
     #[test]

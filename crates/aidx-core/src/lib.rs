@@ -50,7 +50,7 @@ pub mod shared_array;
 pub use compaction::{CompactionMode, CompactionPolicy};
 pub use concurrent_index::{ConcurrentCracker, Snapshot};
 pub use merge_concurrent::ConcurrentAdaptiveMerge;
-pub use metrics::{QueryMetrics, RunMetrics};
+pub use metrics::{Completion, LatencyBreakdown, QueryMetrics, RunMetrics, WindowThroughput};
 pub use pending::{DeltaAdjust, DrainedDelta, PendingDelta, RowidView};
 pub use piece_registry::PieceLatchRegistry;
 pub use protocol::{Aggregate, LatchProtocol, RefinementPolicy};

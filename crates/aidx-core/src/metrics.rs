@@ -6,8 +6,12 @@
 //! conflicts occurred, and how much administration overhead concurrency
 //! control added (Figure 13). Every query executed through `aidx-core`
 //! returns a [`QueryMetrics`] carrying exactly those numbers, and
-//! [`RunMetrics`] aggregates them across a workload.
+//! [`RunMetrics`] aggregates them across a workload — including percentile
+//! latency breakdowns ([`LatencyBreakdown`]) and time-windowed per-client
+//! throughput, because means hide exactly the tail behaviour (latch
+//! convoys, snapshot retries) the evaluation is about.
 
+use aidx_obs::{Json, LatencyHistogram};
 use std::time::Duration;
 
 /// Timing and conflict breakdown of one executed query.
@@ -109,6 +113,79 @@ impl QueryMetrics {
     }
 }
 
+/// Percentile histograms of every timing component of [`QueryMetrics`],
+/// built per run. Each histogram is mergeable across clients/partitions.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyBreakdown {
+    /// End-to-end per-operation latency.
+    pub total: LatencyHistogram,
+    /// Latch wait time per operation.
+    pub wait: LatencyHistogram,
+    /// Index-refinement (crack) time per operation.
+    pub crack: LatencyHistogram,
+    /// Aggregate-computation time per operation.
+    pub aggregate: LatencyHistogram,
+    /// Compaction time per operation.
+    pub compaction: LatencyHistogram,
+}
+
+impl LatencyBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one operation's timing components.
+    pub fn record(&mut self, q: &QueryMetrics) {
+        self.total.record_duration(q.total);
+        self.wait.record_duration(q.wait_time);
+        self.crack.record_duration(q.crack_time);
+        self.aggregate.record_duration(q.aggregate_time);
+        self.compaction.record_duration(q.compaction_time);
+    }
+
+    /// Folds another breakdown into this one (bucket-wise, lossless).
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        self.total.merge(&other.total);
+        self.wait.merge(&other.wait);
+        self.crack.merge(&other.crack);
+        self.aggregate.merge(&other.aggregate);
+        self.compaction.merge(&other.compaction);
+    }
+
+    /// Encodes each component's percentile summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total", self.total.to_json()),
+            ("wait", self.wait.to_json()),
+            ("crack", self.crack.to_json()),
+            ("aggregate", self.aggregate.to_json()),
+            ("compaction", self.compaction.to_json()),
+        ])
+    }
+}
+
+/// One operation completion: which client finished it and when (offset
+/// from the run start). The raw material of windowed throughput series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Client (thread) index within the run.
+    pub client: u32,
+    /// Completion instant, as an offset from the run start.
+    pub at: Duration,
+}
+
+/// Throughput of one time window of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowThroughput {
+    /// Window start, as an offset from the run start.
+    pub start: Duration,
+    /// Operations completed in the window, per client index.
+    pub per_client: Vec<u64>,
+    /// Operations completed in the window, across all clients.
+    pub total: u64,
+}
+
 /// Aggregated metrics of a whole query sequence (one experiment run).
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
@@ -118,6 +195,9 @@ pub struct RunMetrics {
     /// Wall-clock time of the whole run (as perceived by the last client to
     /// finish, which is what the paper plots).
     pub wall_clock: Duration,
+    /// Per-operation completion stamps (client, offset from run start),
+    /// when the runner recorded them; empty for runners that don't.
+    pub completions: Vec<Completion>,
 }
 
 impl RunMetrics {
@@ -182,6 +262,74 @@ impl RunMetrics {
     /// Total time spent refining (cracking) across the run.
     pub fn total_crack_time(&self) -> Duration {
         self.per_query.iter().map(|q| q.crack_time).sum()
+    }
+
+    /// Builds the percentile latency breakdown of the run's operations.
+    pub fn latency_breakdown(&self) -> LatencyBreakdown {
+        let mut b = LatencyBreakdown::new();
+        for q in &self.per_query {
+            b.record(q);
+        }
+        b
+    }
+
+    /// Buckets the recorded completion stamps into fixed windows, yielding
+    /// a per-client (and total) throughput series. Returns an empty series
+    /// when no completions were recorded. The window is clamped to at
+    /// least one microsecond.
+    pub fn throughput_windows(&self, window: Duration) -> Vec<WindowThroughput> {
+        if self.completions.is_empty() {
+            return Vec::new();
+        }
+        let window = window.max(Duration::from_micros(1));
+        let clients = self
+            .completions
+            .iter()
+            .map(|c| c.client as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let last = self
+            .completions
+            .iter()
+            .map(|c| c.at)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let windows = (last.as_nanos() / window.as_nanos()) as usize + 1;
+        let mut out: Vec<WindowThroughput> = (0..windows)
+            .map(|i| WindowThroughput {
+                start: window * u32::try_from(i).unwrap_or(u32::MAX),
+                per_client: vec![0; clients],
+                total: 0,
+            })
+            .collect();
+        for c in &self.completions {
+            let w = ((c.at.as_nanos() / window.as_nanos()) as usize).min(windows - 1);
+            out[w].per_client[c.client as usize] += 1;
+            out[w].total += 1;
+        }
+        out
+    }
+
+    /// Encodes a throughput series as a JSON array of window objects.
+    pub fn throughput_windows_json(&self, window: Duration) -> Json {
+        Json::Arr(
+            self.throughput_windows(window)
+                .iter()
+                .map(|w| {
+                    Json::obj(vec![
+                        (
+                            "start_ns",
+                            Json::UInt(u64::try_from(w.start.as_nanos()).unwrap_or(u64::MAX)),
+                        ),
+                        ("total", Json::UInt(w.total)),
+                        (
+                            "per_client",
+                            Json::Arr(w.per_client.iter().map(|&n| Json::UInt(n)).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
     }
 }
 
@@ -349,5 +497,54 @@ mod tests {
         assert_eq!(run.throughput_qps(), 0.0);
         assert_eq!(run.mean_query_time(), Duration::ZERO);
         assert!(run.running_average().is_empty());
+        assert!(run.latency_breakdown().total.is_empty());
+        assert!(run.throughput_windows(Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn latency_breakdown_bounds_the_recorded_latencies() {
+        let mut run = RunMetrics::new();
+        run.per_query.push(metrics(10, 1, 2, 0));
+        run.per_query.push(metrics(30, 3, 4, 0));
+        let b = run.latency_breakdown();
+        assert_eq!(b.total.count(), 2);
+        assert_eq!(b.total.min(), Duration::from_millis(10).as_nanos() as u64);
+        assert!(b.total.p99() >= Duration::from_millis(30).as_nanos() as u64);
+        assert_eq!(b.wait.min(), Duration::from_millis(1).as_nanos() as u64);
+        // Merging two breakdowns equals recording into one.
+        let mut half_a = LatencyBreakdown::new();
+        half_a.record(&run.per_query[0]);
+        let mut half_b = LatencyBreakdown::new();
+        half_b.record(&run.per_query[1]);
+        half_a.merge(&half_b);
+        assert_eq!(half_a.total.p99(), b.total.p99());
+        let json = b.to_json();
+        assert!(json.get("wait").unwrap().get("p99_ns").is_some());
+    }
+
+    #[test]
+    fn throughput_windows_bucket_completions_per_client() {
+        let mut run = RunMetrics::new();
+        for (client, ms) in [(0, 1), (1, 2), (0, 12), (0, 13), (1, 25)] {
+            run.completions.push(Completion {
+                client,
+                at: Duration::from_millis(ms),
+            });
+        }
+        let windows = run.throughput_windows(Duration::from_millis(10));
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].total, 2);
+        assert_eq!(windows[0].per_client, vec![1, 1]);
+        assert_eq!(windows[1].total, 2);
+        assert_eq!(windows[1].per_client, vec![2, 0]);
+        assert_eq!(windows[2].total, 1);
+        assert_eq!(windows[2].per_client, vec![0, 1]);
+        assert_eq!(windows[1].start, Duration::from_millis(10));
+        let json = run.throughput_windows_json(Duration::from_millis(10));
+        assert_eq!(json.as_arr().unwrap().len(), 3);
+        assert_eq!(
+            json.as_arr().unwrap()[1].get("total").unwrap().as_u64(),
+            Some(2)
+        );
     }
 }

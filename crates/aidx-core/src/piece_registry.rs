@@ -2,8 +2,11 @@
 //!
 //! Pieces are identified by their (stable) start position in the cracker
 //! array. The registry creates latches lazily the first time a piece is
-//! contended-for and shares a single statistics block across all of them so
-//! the harness can report column-wide conflict counts.
+//! contended-for. Each latch gets its **own** statistics block, so reports
+//! can attribute conflicts and wait time to individual pieces (the hot
+//! piece under a skewed workload is exactly what Figure 15's wait-time
+//! decay hides in aggregate); the column-wide view is the merge of all
+//! per-piece blocks plus the counts retired by past compaction rebuilds.
 //!
 //! The registry also owns the index's **quiesce gate**: every operation
 //! that touches the shared cracker array enters the registry in shared
@@ -25,9 +28,18 @@ use std::sync::Arc;
 /// index-wide quiesce gate.
 #[derive(Debug)]
 pub struct PieceLatchRegistry {
-    latches: Mutex<HashMap<usize, Arc<OrderedWaitLatch>>>,
-    stats: Arc<LatchStats>,
+    latches: Mutex<HashMap<usize, PieceEntry>>,
+    /// Counts from latches forgotten by [`PieceLatchRegistry::reset_latches`]:
+    /// piece positions change meaning across rebuilds, but column-wide
+    /// totals must stay cumulative.
+    retired: Mutex<LatchStatsSnapshot>,
     gate: RwLock<()>,
+}
+
+#[derive(Debug)]
+struct PieceEntry {
+    latch: Arc<OrderedWaitLatch>,
+    stats: Arc<LatchStats>,
 }
 
 /// Shared-mode guard proving an operation is registered with the quiesce
@@ -49,7 +61,7 @@ impl PieceLatchRegistry {
     pub fn new() -> Self {
         PieceLatchRegistry {
             latches: Mutex::new(HashMap::new()),
-            stats: Arc::new(LatchStats::new()),
+            retired: Mutex::new(LatchStatsSnapshot::default()),
             gate: RwLock::new(()),
         }
     }
@@ -71,20 +83,33 @@ impl PieceLatchRegistry {
 
     /// Forgets every piece latch. Call only while holding the quiesce
     /// guard: after a compaction rebuild, piece start positions change
-    /// meaning, so stale latches must not be reused. Statistics are
-    /// cumulative and survive.
+    /// meaning, so stale latches must not be reused. Their counts are
+    /// folded into the retired total first, so column-wide statistics stay
+    /// cumulative.
     pub fn reset_latches(&self) {
-        self.latches.lock().clear();
+        let mut latches = self.latches.lock();
+        let mut retired = self.retired.lock();
+        for entry in latches.values() {
+            retired.merge(&entry.stats.snapshot());
+        }
+        latches.clear();
     }
 
     /// Returns the latch guarding the piece that starts at `piece_start`,
-    /// creating it on first use.
+    /// creating it (with its own statistics block) on first use.
     pub fn latch_for(&self, piece_start: usize) -> Arc<OrderedWaitLatch> {
         let mut guard = self.latches.lock();
         Arc::clone(
-            guard
+            &guard
                 .entry(piece_start)
-                .or_insert_with(|| Arc::new(OrderedWaitLatch::with_stats(Arc::clone(&self.stats)))),
+                .or_insert_with(|| {
+                    let stats = Arc::new(LatchStats::new());
+                    PieceEntry {
+                        latch: Arc::new(OrderedWaitLatch::with_stats(Arc::clone(&stats))),
+                        stats,
+                    }
+                })
+                .latch,
         )
     }
 
@@ -93,9 +118,28 @@ impl PieceLatchRegistry {
         self.latches.lock().len()
     }
 
-    /// Merged statistics across all piece latches.
+    /// Merged statistics across all piece latches, including latches
+    /// retired by past compaction rebuilds.
     pub fn stats(&self) -> LatchStatsSnapshot {
-        self.stats.snapshot()
+        let mut total = *self.retired.lock();
+        for entry in self.latches.lock().values() {
+            total.merge(&entry.stats.snapshot());
+        }
+        total
+    }
+
+    /// Per-piece statistics for every *live* latch, sorted by piece start
+    /// position. Latches retired by compaction rebuilds are excluded (their
+    /// positions no longer mean anything) but remain in [`Self::stats`].
+    pub fn stats_by_piece(&self) -> Vec<(usize, LatchStatsSnapshot)> {
+        let mut out: Vec<(usize, LatchStatsSnapshot)> = self
+            .latches
+            .lock()
+            .iter()
+            .map(|(&start, entry)| (start, entry.stats.snapshot()))
+            .collect();
+        out.sort_unstable_by_key(|&(start, _)| start);
+        out
     }
 }
 
@@ -117,7 +161,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_are_shared_across_piece_latches() {
+    fn stats_merge_across_piece_latches_with_attribution() {
         let reg = PieceLatchRegistry::new();
         {
             let latch = reg.latch_for(0);
@@ -130,6 +174,35 @@ mod tests {
         let stats = reg.stats();
         assert_eq!(stats.write_acquisitions, 1);
         assert_eq!(stats.read_acquisitions, 1);
+        // Each piece keeps its own counts.
+        let by_piece = reg.stats_by_piece();
+        assert_eq!(by_piece.len(), 2);
+        assert_eq!(by_piece[0].0, 0);
+        assert_eq!(by_piece[0].1.write_acquisitions, 1);
+        assert_eq!(by_piece[0].1.read_acquisitions, 0);
+        assert_eq!(by_piece[1].0, 7);
+        assert_eq!(by_piece[1].1.read_acquisitions, 1);
+    }
+
+    #[test]
+    fn reset_latches_retires_counts_into_the_cumulative_total() {
+        let reg = PieceLatchRegistry::new();
+        {
+            let latch = reg.latch_for(3);
+            let _g = latch.acquire_write(1);
+        }
+        {
+            let _q = reg.quiesce();
+            reg.reset_latches();
+        }
+        assert!(reg.stats_by_piece().is_empty(), "live attribution cleared");
+        assert_eq!(reg.stats().write_acquisitions, 1, "totals survive resets");
+        {
+            let latch = reg.latch_for(3);
+            let _g = latch.acquire_write(2);
+        }
+        assert_eq!(reg.stats().write_acquisitions, 2);
+        assert_eq!(reg.stats_by_piece()[0].1.write_acquisitions, 1);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Log-bucketed latency histograms.
+//!
+//! The evaluation needs *percentile* latencies (p50/p90/p99/p99.9), not
+//! means: a mean hides exactly the latch-wait tail the paper's Figure 15
+//! plots and the roadmap's p99 service targets gate on. A
+//! [`LatencyHistogram`] records nanosecond values into logarithmic buckets
+//! — 32 linear sub-buckets per power of two, so every bucket's width is at
+//! most ~3.2% of its value — in constant time and constant (16 KiB)
+//! memory. Histograms merge losslessly (bucket-wise), so per-thread or
+//! per-partition histograms can be combined after a run, and all counters
+//! saturate instead of wrapping.
+
+use crate::json::Json;
+use std::time::Duration;
+
+/// Sub-buckets per power of two; relative bucket width is `1/SUB`.
+const SUB: u64 = 32;
+const SUB_BITS: u32 = 5; // log2(SUB)
+/// Bucket count: values `< SUB` get exact buckets, then one group of `SUB`
+/// buckets per remaining octave of the u64 range.
+const BUCKETS: usize = (SUB as usize) + ((64 - SUB_BITS as usize) * SUB as usize);
+
+/// A mergeable, saturating, log-bucketed histogram of nanosecond values.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Maps a value to its bucket index.
+fn bucket_of(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros(); // >= SUB_BITS
+    let octave = msb - SUB_BITS; // 0-based octave group past the exact range
+    let sub = (value >> (msb - SUB_BITS)) - SUB; // top SUB_BITS+1 bits, offset
+    (SUB as usize) + (octave as usize) * (SUB as usize) + sub as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_low(index: usize) -> u64 {
+    if index < SUB as usize {
+        return index as u64;
+    }
+    let group = (index - SUB as usize) / SUB as usize;
+    let sub = ((index - SUB as usize) % SUB as usize) as u64;
+    (SUB + sub) << group
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB as usize {
+        return index as u64;
+    }
+    if index + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_low(index + 1) - 1
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one nanosecond value.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] = self.counts[bucket_of(ns)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(ns as u128);
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Records a duration (saturating at `u64::MAX` nanoseconds).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram's buckets into this one (bucket-wise,
+    /// lossless, saturating). Merging is commutative and associative.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.saturating_add(b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// The `[low, high]` bounds of the bucket holding the `q`-quantile
+    /// value, `q` in `[0, 1]`. Every recorded value at that rank lies
+    /// within the returned bounds. Returns `(0, 0)` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile value, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return (bucket_low(i).max(self.min()), bucket_high(i).min(self.max));
+            }
+        }
+        (self.min(), self.max)
+    }
+
+    /// Upper bound of the `q`-quantile bucket — the conservative "p99 is
+    /// at most this" number reports should quote.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile upper bound.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Summarises the histogram as a JSON object (all values in
+    /// nanoseconds).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::UInt(self.count)),
+            ("min_ns", Json::UInt(self.min())),
+            ("p50_ns", Json::UInt(self.p50())),
+            ("p90_ns", Json::UInt(self.p90())),
+            ("p99_ns", Json::UInt(self.p99())),
+            ("p999_ns", Json::UInt(self.p999())),
+            ("max_ns", Json::UInt(self.max())),
+            ("mean_ns", Json::Num(self.mean())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_bounds(0.5), (0, 0));
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_value_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(12_345);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 12_345);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let (low, high) = h.quantile_bounds(q);
+            assert!(
+                low <= 12_345 && 12_345 <= high,
+                "q={q}: 12345 outside [{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        // Every value maps to exactly one bucket whose bounds contain it,
+        // and bucket bounds tile without gaps or overlaps.
+        for v in (0u64..4096).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(
+                bucket_low(b) <= v && v <= bucket_high(b),
+                "value {v} outside bucket {b}: [{}, {}]",
+                bucket_low(b),
+                bucket_high(b)
+            );
+        }
+        for b in 1..BUCKETS {
+            assert_eq!(
+                bucket_high(b - 1).saturating_add(1),
+                bucket_low(b),
+                "gap between buckets {} and {b}",
+                b - 1
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_width_stays_within_relative_precision() {
+        for b in SUB as usize..BUCKETS - 1 {
+            let low = bucket_low(b);
+            let width = bucket_high(b) - low + 1;
+            assert!(
+                width as f64 <= low as f64 / SUB as f64 + 1.0,
+                "bucket {b} too wide: [{low}, {}]",
+                bucket_high(b)
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_bound_the_exact_answer() {
+        let mut h = LatencyHistogram::new();
+        let mut values: Vec<u64> = (0..1000).map(|i| i * i % 77_777).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let (low, high) = h.quantile_bounds(q);
+            assert!(
+                low <= exact && exact <= high,
+                "q={q}: exact {exact} outside [{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_at_bucket_and_counter_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Saturating counter arithmetic: merging a saturated histogram
+        // clamps instead of wrapping.
+        let mut a = LatencyHistogram::new();
+        a.record(5);
+        a.count = u64::MAX;
+        a.counts[bucket_of(5)] = u64::MAX;
+        let mut b = LatencyHistogram::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.counts[bucket_of(5)], u64::MAX);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 7919 % 100_000;
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+            all.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+        assert_eq!(left.counts, all.counts);
+    }
+
+    #[test]
+    fn json_summary_has_the_expected_keys() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        h.record(200);
+        let json = h.to_json();
+        assert_eq!(json.get("count").unwrap().as_u64(), Some(2));
+        assert!(json.get("p99_ns").unwrap().as_u64().unwrap() >= 200);
+        assert!(json.get("mean_ns").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Index-structure introspection: piece layout, delta pressure, and
+//! routing load, sampled over a run to expose *convergence*.
+//!
+//! Adaptive indexing's defining claim is that structure emerges as a side
+//! effect of queries: piece counts grow, piece sizes shrink toward the
+//! query grain, and (after PR 3/4) the pending delta and hole counts stay
+//! bounded. A [`StructureProbe`] is one raw observation of that state —
+//! cheap to take, mergeable across partitions/columns — and a
+//! [`StructureStats`] is its human/JSON summary. A [`StructureSampler`]
+//! takes probes on a query-count cadence so a run yields a convergence
+//! *curve*, not just a final snapshot.
+
+use crate::hist::LatencyHistogram;
+use crate::json::Json;
+
+/// Summary of a size distribution (e.g. piece sizes).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Dist {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Median (bucket upper bound; 0 when empty).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound; 0 when empty).
+    pub p90: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Mean (0.0 when empty).
+    pub mean: f64,
+}
+
+impl Dist {
+    /// Summarises a set of values.
+    pub fn of(values: &[u64]) -> Dist {
+        if values.is_empty() {
+            return Dist::default();
+        }
+        let mut h = LatencyHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        Dist {
+            count: h.count(),
+            min: h.min(),
+            p50: h.p50(),
+            p90: h.p90(),
+            max: h.max(),
+            mean: h.mean(),
+        }
+    }
+
+    /// Encodes the distribution as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::UInt(self.count)),
+            ("min", Json::UInt(self.min)),
+            ("p50", Json::UInt(self.p50)),
+            ("p90", Json::UInt(self.p90)),
+            ("max", Json::UInt(self.max)),
+            ("mean", Json::Num(self.mean)),
+        ])
+    }
+}
+
+/// One raw observation of an index's physical structure.
+///
+/// Probes are *mergeable*: a partitioned or multi-column engine takes one
+/// probe per shard and folds them together, so "piece count" means total
+/// pieces across the whole engine and the piece-size distribution spans
+/// every shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructureProbe {
+    /// Live (visible) rows in the main array(s).
+    pub rows: u64,
+    /// Size of every piece, in rows (one entry per piece).
+    pub piece_sizes: Vec<u64>,
+    /// Rows occupied by tombstoned holes awaiting compaction.
+    pub hole_rows: u64,
+    /// Rows buffered in pending-delta inserts.
+    pub pending_inserts: u64,
+    /// Tombstoned (logically deleted, not yet reclaimed) rows.
+    pub tombstoned_rows: u64,
+    /// Snapshot handles currently pinning state.
+    pub live_snapshots: u64,
+    /// Full compactions performed so far.
+    pub compactions: u64,
+    /// Incremental compaction steps performed so far.
+    pub compaction_steps: u64,
+    /// Per-partition routed-operation counts (empty for unpartitioned
+    /// engines).
+    pub partition_load: Vec<u64>,
+}
+
+impl StructureProbe {
+    /// Number of pieces observed.
+    pub fn piece_count(&self) -> usize {
+        self.piece_sizes.len()
+    }
+
+    /// Folds another shard's probe into this one. Counters add; the
+    /// piece-size and partition-load lists concatenate.
+    pub fn merge(&mut self, other: &StructureProbe) {
+        self.rows = self.rows.saturating_add(other.rows);
+        self.piece_sizes.extend_from_slice(&other.piece_sizes);
+        self.hole_rows = self.hole_rows.saturating_add(other.hole_rows);
+        self.pending_inserts = self.pending_inserts.saturating_add(other.pending_inserts);
+        self.tombstoned_rows = self.tombstoned_rows.saturating_add(other.tombstoned_rows);
+        self.live_snapshots = self.live_snapshots.saturating_add(other.live_snapshots);
+        self.compactions = self.compactions.saturating_add(other.compactions);
+        self.compaction_steps = self.compaction_steps.saturating_add(other.compaction_steps);
+        self.partition_load.extend_from_slice(&other.partition_load);
+    }
+
+    /// Summarises the probe.
+    pub fn summarize(&self) -> StructureStats {
+        StructureStats {
+            rows: self.rows,
+            piece_count: self.piece_sizes.len() as u64,
+            piece_size: Dist::of(&self.piece_sizes),
+            hole_rows: self.hole_rows,
+            pending_inserts: self.pending_inserts,
+            tombstoned_rows: self.tombstoned_rows,
+            live_snapshots: self.live_snapshots,
+            compactions: self.compactions,
+            compaction_steps: self.compaction_steps,
+            partition_load: Dist::of(&self.partition_load),
+            partitions: self.partition_load.len() as u64,
+        }
+    }
+}
+
+/// Summarised structure state — what reports print and JSON carries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StructureStats {
+    /// Live rows.
+    pub rows: u64,
+    /// Total pieces.
+    pub piece_count: u64,
+    /// Distribution of piece sizes (rows).
+    pub piece_size: Dist,
+    /// Rows occupied by tombstoned holes awaiting compaction.
+    pub hole_rows: u64,
+    /// Rows buffered in pending-delta inserts.
+    pub pending_inserts: u64,
+    /// Tombstoned, not-yet-reclaimed rows.
+    pub tombstoned_rows: u64,
+    /// Snapshot handles currently pinning state.
+    pub live_snapshots: u64,
+    /// Full compactions so far.
+    pub compactions: u64,
+    /// Incremental compaction steps so far.
+    pub compaction_steps: u64,
+    /// Distribution of per-partition routed-op load.
+    pub partition_load: Dist,
+    /// Number of partitions (0 for unpartitioned engines).
+    pub partitions: u64,
+}
+
+impl StructureStats {
+    /// Rows still awaiting physical reconciliation (delta + holes).
+    pub fn delta_rows(&self) -> u64 {
+        self.pending_inserts
+            .saturating_add(self.tombstoned_rows)
+            .saturating_add(self.hole_rows)
+    }
+
+    /// Encodes the stats as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rows", Json::UInt(self.rows)),
+            ("piece_count", Json::UInt(self.piece_count)),
+            ("piece_size", self.piece_size.to_json()),
+            ("hole_rows", Json::UInt(self.hole_rows)),
+            ("pending_inserts", Json::UInt(self.pending_inserts)),
+            ("tombstoned_rows", Json::UInt(self.tombstoned_rows)),
+            ("delta_rows", Json::UInt(self.delta_rows())),
+            ("live_snapshots", Json::UInt(self.live_snapshots)),
+            ("compactions", Json::UInt(self.compactions)),
+            ("compaction_steps", Json::UInt(self.compaction_steps)),
+            ("partitions", Json::UInt(self.partitions)),
+            ("partition_load", self.partition_load.to_json()),
+        ])
+    }
+}
+
+/// One point on a convergence curve: the structure after `query_index`
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructureSample {
+    /// How many operations had completed when the sample was taken.
+    pub query_index: u64,
+    /// The structure at that point.
+    pub stats: StructureStats,
+}
+
+impl StructureSample {
+    /// Encodes the sample as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("query_index", Json::UInt(self.query_index)),
+            ("structure", self.stats.to_json()),
+        ])
+    }
+}
+
+/// Samples structure on a query-count cadence, accumulating a convergence
+/// curve.
+#[derive(Debug, Clone)]
+pub struct StructureSampler {
+    cadence: u64,
+    next_at: u64,
+    samples: Vec<StructureSample>,
+}
+
+impl StructureSampler {
+    /// Creates a sampler that fires every `cadence` operations (clamped to
+    /// at least 1).
+    pub fn new(cadence: u64) -> Self {
+        let cadence = cadence.max(1);
+        StructureSampler {
+            cadence,
+            next_at: cadence,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The sampling cadence, in operations.
+    pub fn cadence(&self) -> u64 {
+        self.cadence
+    }
+
+    /// Called after each operation with the running operation count; when
+    /// the cadence boundary is crossed, `probe` is invoked and its result
+    /// recorded. Returns true if a sample was taken.
+    pub fn maybe_sample(
+        &mut self,
+        completed_ops: u64,
+        probe: impl FnOnce() -> StructureStats,
+    ) -> bool {
+        if completed_ops < self.next_at {
+            return false;
+        }
+        self.samples.push(StructureSample {
+            query_index: completed_ops,
+            stats: probe(),
+        });
+        // Skip boundaries already passed (batched completions).
+        while self.next_at <= completed_ops {
+            self.next_at += self.cadence;
+        }
+        true
+    }
+
+    /// Records a final sample regardless of cadence (end of run).
+    pub fn sample_now(&mut self, completed_ops: u64, stats: StructureStats) {
+        self.samples.push(StructureSample {
+            query_index: completed_ops,
+            stats,
+        });
+    }
+
+    /// The accumulated convergence curve.
+    pub fn samples(&self) -> &[StructureSample] {
+        &self.samples
+    }
+
+    /// Encodes the curve as a JSON array.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.samples.iter().map(StructureSample::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_of_empty_and_singleton() {
+        assert_eq!(Dist::of(&[]), Dist::default());
+        let d = Dist::of(&[42]);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.min, 42);
+        assert_eq!(d.max, 42);
+        assert!(d.p50 >= 42);
+    }
+
+    #[test]
+    fn probe_merge_concatenates_and_adds() {
+        let mut a = StructureProbe {
+            rows: 100,
+            piece_sizes: vec![60, 40],
+            hole_rows: 3,
+            pending_inserts: 5,
+            tombstoned_rows: 2,
+            live_snapshots: 1,
+            compactions: 1,
+            compaction_steps: 4,
+            partition_load: vec![10],
+        };
+        let b = StructureProbe {
+            rows: 50,
+            piece_sizes: vec![50],
+            hole_rows: 1,
+            pending_inserts: 0,
+            tombstoned_rows: 1,
+            live_snapshots: 0,
+            compactions: 0,
+            compaction_steps: 2,
+            partition_load: vec![20],
+        };
+        a.merge(&b);
+        assert_eq!(a.rows, 150);
+        assert_eq!(a.piece_count(), 3);
+        assert_eq!(a.partition_load, vec![10, 20]);
+        let s = a.summarize();
+        assert_eq!(s.piece_count, 3);
+        assert_eq!(s.piece_size.max, 60);
+        assert_eq!(s.delta_rows(), 5 + 3 + 4);
+        assert_eq!(s.partitions, 2);
+        let json = s.to_json();
+        assert_eq!(json.get("piece_count").unwrap().as_u64(), Some(3));
+        assert_eq!(json.get("delta_rows").unwrap().as_u64(), Some(12));
+    }
+
+    #[test]
+    fn sampler_fires_on_cadence_boundaries() {
+        let mut s = StructureSampler::new(10);
+        let mk = || StructureStats::default();
+        assert!(!s.maybe_sample(5, mk));
+        assert!(s.maybe_sample(10, mk));
+        assert!(!s.maybe_sample(11, mk));
+        // Batched completions skip boundaries but sample once.
+        assert!(s.maybe_sample(45, mk));
+        assert!(!s.maybe_sample(49, mk));
+        assert!(s.maybe_sample(50, mk));
+        assert_eq!(s.samples().len(), 3);
+        assert_eq!(
+            s.samples()
+                .iter()
+                .map(|x| x.query_index)
+                .collect::<Vec<_>>(),
+            vec![10, 45, 50]
+        );
+        let json = s.to_json();
+        assert_eq!(json.as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sampler_cadence_clamped_to_one() {
+        let mut s = StructureSampler::new(0);
+        assert_eq!(s.cadence(), 1);
+        assert!(s.maybe_sample(1, StructureStats::default));
+        assert!(s.maybe_sample(2, StructureStats::default));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the latency histogram: merge order must not matter,
+//! and reported percentile bounds must always contain the exact answer.
+
+use aidx_obs::LatencyHistogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Merging per-shard histograms in any order yields the same summary
+    /// as recording every value into one histogram.
+    #[test]
+    fn merge_is_order_insensitive(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000_000, 0..50),
+            1..6,
+        ),
+        seed in 0usize..1000,
+    ) {
+        let all: Vec<u64> = shards.iter().flatten().copied().collect();
+        let reference = hist_of(&all);
+
+        // Merge in shard order...
+        let mut forward = LatencyHistogram::new();
+        for shard in &shards {
+            forward.merge(&hist_of(shard));
+        }
+        // ...and in a seed-scrambled order.
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        order.rotate_left(seed % shards.len());
+        order.reverse();
+        let mut scrambled = LatencyHistogram::new();
+        for &i in &order {
+            scrambled.merge(&hist_of(&shards[i]));
+        }
+
+        for h in [&forward, &scrambled] {
+            prop_assert_eq!(h.count(), reference.count());
+            prop_assert_eq!(h.min(), reference.min());
+            prop_assert_eq!(h.max(), reference.max());
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                prop_assert_eq!(h.quantile_bounds(q), reference.quantile_bounds(q));
+            }
+        }
+    }
+
+    /// For every quantile, the exact order-statistic of the recorded
+    /// values lies within the reported `[low, high]` bucket bounds, and
+    /// the conservative `quantile()` upper bound never understates it.
+    #[test]
+    fn recorded_values_fall_within_percentile_bounds(
+        values in prop::collection::vec(0u64..u64::MAX / 2, 1..200),
+        q_mille in prop::collection::vec(0u32..1001, 1..8),
+    ) {
+        let h = hist_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        for q in q_mille.iter().map(|&m| f64::from(m) / 1000.0) {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let (low, high) = h.quantile_bounds(q);
+            prop_assert!(
+                low <= exact && exact <= high,
+                "q={}: exact {} outside [{}, {}]", q, exact, low, high
+            );
+            prop_assert!(h.quantile(q) >= exact);
+            // Bounds are clamped by the observed extremes.
+            prop_assert!(low >= h.min() && high <= h.max());
+        }
+    }
+}

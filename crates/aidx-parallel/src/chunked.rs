@@ -25,6 +25,7 @@ use aidx_core::{
     Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy,
 };
 use aidx_cracking::StochasticCracker;
+use aidx_obs::StructureProbe;
 use aidx_storage::RowId;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -214,6 +215,27 @@ impl Chunk {
         match self {
             Chunk::Concurrent(c) => c.check_invariants(),
             Chunk::Stochastic(c) => c.lock().check_invariants(),
+        }
+    }
+
+    /// Raw structure observation for this chunk. Stochastic chunks merge
+    /// writes physically, so only rows and piece layout are meaningful.
+    fn structure_probe(&self) -> StructureProbe {
+        match self {
+            Chunk::Concurrent(c) => c.structure_probe(),
+            Chunk::Stochastic(c) => {
+                let guard = c.lock();
+                StructureProbe {
+                    rows: guard.len() as u64,
+                    piece_sizes: guard
+                        .piece_map()
+                        .pieces()
+                        .iter()
+                        .map(|p| p.len() as u64)
+                        .collect(),
+                    ..StructureProbe::default()
+                }
+            }
         }
     }
 }
@@ -638,6 +660,18 @@ impl ChunkedCracker {
         let mut metrics = QueryMetrics::merge_parallel(parts);
         metrics.total = start.elapsed();
         (value, metrics)
+    }
+
+    /// One merged structure probe across every chunk: total pieces, the
+    /// piece-size distribution spanning all chunks, and the summed delta
+    /// pressure. A diagnostic, not a snapshot — chunks are probed one
+    /// after another while queries race on.
+    pub fn structure_probe(&self) -> StructureProbe {
+        let mut probe = StructureProbe::default();
+        for chunk in self.chunks.iter() {
+            probe.merge(&chunk.structure_probe());
+        }
+        probe
     }
 
     /// Verifies every chunk's piece/array consistency (quiescent only).
@@ -1156,6 +1190,39 @@ mod tests {
         // on the concurrent chunks it visited first (all chunks share one
         // backend today, so this just checks the None path is clean).
         assert_eq!(idx.count(0, 500).0, 500);
+    }
+
+    #[test]
+    fn structure_probe_merges_across_chunks() {
+        let values = shuffled(4000);
+        let idx = ChunkedCracker::new(
+            values.clone(),
+            4,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        );
+        let fresh = idx.structure_probe();
+        assert_eq!(fresh.rows, 4000);
+        // One piece per chunk before any query cracks anything.
+        assert_eq!(fresh.piece_count(), 4);
+        idx.sum(500, 3500);
+        let warmed = idx.structure_probe();
+        assert_eq!(warmed.rows, 4000);
+        // Every chunk cracked at both bounds: 3 pieces per chunk.
+        assert_eq!(warmed.piece_count(), 12);
+        assert_eq!(warmed.piece_sizes.iter().sum::<u64>(), 4000);
+        // Stochastic chunks report rows and pieces too.
+        let idx = ChunkedCracker::new(
+            values,
+            2,
+            ChunkBackend::Stochastic {
+                piece_threshold: 64,
+                seed: 11,
+            },
+        );
+        idx.count(1000, 3000);
+        let probe = idx.structure_probe();
+        assert_eq!(probe.rows, 4000);
+        assert!(probe.piece_count() > 2);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! skewed key distributions still yield balanced partitions.
 
 use aidx_core::{Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics};
+use aidx_obs::{emit, StructureProbe, TraceEvent};
 use aidx_storage::RowId;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -89,16 +90,31 @@ enum OwnerRequest {
     Check { reply: Sender<bool> },
     /// Reply with `(delta rows, compactions + incremental steps)`.
     DeltaStats { reply: Sender<(u64, u64)> },
+    /// Reply with the partition index's raw structure probe.
+    Structure { reply: Sender<StructureProbe> },
 }
 
 /// Shared per-column routing counters (owners write, the router reads).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RoutingCounters {
     /// Requests processed across all owners.
     ops: AtomicU64,
     /// Blocking-receive wakeups across all owners (each wakeup drains
     /// every request already queued).
     batches: AtomicU64,
+    /// Requests processed per partition — the routing-load skew a
+    /// structure probe reports as `partition_load`.
+    partition_ops: Vec<AtomicU64>,
+}
+
+impl RoutingCounters {
+    fn new(partitions: usize) -> Self {
+        RoutingCounters {
+            ops: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            partition_ops: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
 }
 
 /// Snapshot of the owner channels' coalescing behaviour.
@@ -191,6 +207,9 @@ fn handle_request(index: &ConcurrentCracker, request: OwnerRequest) {
                 index.compactions_performed() + index.compaction_steps_performed(),
             ));
         }
+        OwnerRequest::Structure { reply } => {
+            let _ = reply.send(index.structure_probe());
+        }
     }
 }
 
@@ -201,15 +220,24 @@ fn owner_loop(
     index: ConcurrentCracker,
     requests: &Receiver<OwnerRequest>,
     counters: &RoutingCounters,
+    partition: usize,
 ) {
     while let Ok(first) = requests.recv() {
         counters.batches.fetch_add(1, Ordering::Relaxed);
         counters.ops.fetch_add(1, Ordering::Relaxed);
+        counters.partition_ops[partition].fetch_add(1, Ordering::Relaxed);
+        let mut depth = 1u32;
         handle_request(&index, first);
         while let Ok(next) = requests.try_recv() {
             counters.ops.fetch_add(1, Ordering::Relaxed);
+            counters.partition_ops[partition].fetch_add(1, Ordering::Relaxed);
+            depth = depth.saturating_add(1);
             handle_request(&index, next);
         }
+        emit(TraceEvent::OwnerBatch {
+            partition: partition as u32,
+            depth,
+        });
     }
 }
 
@@ -348,7 +376,7 @@ impl RangePartitionedCracker {
             }
         });
 
-        let counters = Arc::new(RoutingCounters::default());
+        let counters = Arc::new(RoutingCounters::new(partitions));
         let mut owners = Vec::with_capacity(partitions);
         let mut handles = Vec::with_capacity(partitions);
         let mut partition_sizes = Vec::with_capacity(partitions);
@@ -363,7 +391,7 @@ impl RangePartitionedCracker {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("aidx-partition-{p}"))
-                    .spawn(move || owner_loop(index, &rx, &counters))
+                    .spawn(move || owner_loop(index, &rx, &counters, p))
                     .expect("failed to spawn partition owner"),
             );
             owners.push(tx);
@@ -642,6 +670,39 @@ impl RangePartitionedCracker {
             merges += m;
         }
         (pending, merges)
+    }
+
+    /// Requests processed per partition since construction — the routed
+    /// load skew a balanced partitioning is supposed to avoid.
+    pub fn partition_load(&self) -> Vec<u64> {
+        self.counters
+            .partition_ops
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// One merged structure probe across every partition: piece layout
+    /// and delta pressure summed over the owners, plus the per-partition
+    /// routed-op load. Each owner answers from its own thread, so the
+    /// probe is consistent per partition (not across partitions — it is
+    /// a diagnostic, not a snapshot).
+    pub fn structure_probe(&self) -> StructureProbe {
+        let (reply_tx, reply_rx) = channel();
+        for owner in &self.owners {
+            owner
+                .send(OwnerRequest::Structure {
+                    reply: reply_tx.clone(),
+                })
+                .expect("partition owner exited early");
+        }
+        drop(reply_tx);
+        let mut probe = StructureProbe::default();
+        for _ in 0..self.owners.len() {
+            probe.merge(&reply_rx.recv().expect("partition owner died"));
+        }
+        probe.partition_load = self.partition_load();
+        probe
     }
 
     /// Verifies every partition's piece/array consistency.
@@ -1171,6 +1232,36 @@ mod tests {
         );
         assert!(stats.ops_per_batch() > 1.0, "{stats:?}");
         assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn structure_probe_merges_partitions_and_reports_routed_load() {
+        let values = shuffled(4000);
+        let idx = RangePartitionedCracker::new(values, 4);
+        // Narrow queries against the low end: the routed load skews to
+        // partition 0.
+        for i in 0..20 {
+            idx.count(i, i + 5);
+        }
+        idx.sum(0, 4000); // cracks every partition
+        let probe = idx.structure_probe();
+        assert_eq!(probe.rows, 4000);
+        assert_eq!(probe.partition_load.len(), 4);
+        assert!(probe.piece_count() >= 4, "every partition cracked");
+        assert_eq!(probe.piece_sizes.iter().sum::<u64>(), 4000);
+        let load = &probe.partition_load;
+        assert!(
+            load[0] > load[1] && load[0] > load[2] && load[0] > load[3],
+            "low-end queries must skew the routed load: {load:?}"
+        );
+        assert_eq!(
+            load.iter().sum::<u64>(),
+            idx.routing_stats().ops,
+            "per-partition loads account for every routed request"
+        );
+        let stats = probe.summarize();
+        assert_eq!(stats.partitions, 4);
+        assert!(stats.partition_load.max >= 20);
     }
 
     #[test]

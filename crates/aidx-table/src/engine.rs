@@ -30,6 +30,7 @@
 use crate::ops::{ColumnPredicate, TableOp, TableOpResult};
 use crate::row_index::RowIndex;
 use aidx_core::{CompactionPolicy, LatchProtocol, QueryMetrics, RefinementPolicy};
+use aidx_obs::{StructureProbe, StructureStats};
 use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 use aidx_storage::{Catalog, RowId, StorageResult, Table};
 use parking_lot::RwLock;
@@ -435,6 +436,27 @@ impl TableEngine {
             rowids: doomed,
             metrics,
         }
+    }
+
+    /// One merged structure probe across every column index: "piece
+    /// count" means total pieces over all columns, delta pressure is
+    /// summed, and partitioned backends contribute their routed load.
+    pub fn structure_probe(&self) -> StructureProbe {
+        let mut probe = StructureProbe::default();
+        for index in &self.indexes {
+            probe.merge(&index.structure_probe());
+        }
+        probe
+    }
+
+    /// Per-column structure summaries, in column order — which columns
+    /// the workload actually refined, and how far each has converged.
+    pub fn column_structure_stats(&self) -> Vec<(String, StructureStats)> {
+        self.column_names
+            .iter()
+            .zip(&self.indexes)
+            .map(|(name, index)| (name.clone(), index.structure_probe().summarize()))
+            .collect()
     }
 
     /// Quiescent structural self-check across every column index.

@@ -4,6 +4,7 @@
 //! configuration knob rather than three different engines.
 
 use aidx_core::{ConcurrentCracker, QueryMetrics};
+use aidx_obs::StructureProbe;
 use aidx_parallel::{ChunkedCracker, RangePartitionedCracker};
 use aidx_storage::RowId;
 
@@ -29,6 +30,10 @@ pub trait RowIndex: Send + Sync {
 
     /// Quiescent structural self-check.
     fn check_invariants(&self) -> bool;
+
+    /// Raw structure observation: piece layout, delta pressure, routed
+    /// load (partitioned backends only).
+    fn structure_probe(&self) -> StructureProbe;
 }
 
 impl RowIndex for ConcurrentCracker {
@@ -50,6 +55,10 @@ impl RowIndex for ConcurrentCracker {
 
     fn check_invariants(&self) -> bool {
         ConcurrentCracker::check_invariants(self)
+    }
+
+    fn structure_probe(&self) -> StructureProbe {
+        ConcurrentCracker::structure_probe(self)
     }
 }
 
@@ -76,6 +85,10 @@ impl RowIndex for ChunkedCracker {
     fn check_invariants(&self) -> bool {
         ChunkedCracker::check_invariants(self)
     }
+
+    fn structure_probe(&self) -> StructureProbe {
+        ChunkedCracker::structure_probe(self)
+    }
 }
 
 impl RowIndex for RangePartitionedCracker {
@@ -97,5 +110,9 @@ impl RowIndex for RangePartitionedCracker {
 
     fn check_invariants(&self) -> bool {
         RangePartitionedCracker::check_invariants(self)
+    }
+
+    fn structure_probe(&self) -> StructureProbe {
+        RangePartitionedCracker::structure_probe(self)
     }
 }

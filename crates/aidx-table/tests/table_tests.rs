@@ -208,7 +208,7 @@ fn selects_intersect_through_compaction_and_piece_shrinking() {
     // Aggressive per-column compaction (incremental mode) while tuples
     // churn: rowid intersection must stay exact throughout.
     let n = 2000;
-    let columns = vec![column_data(n, 0), column_data(n, 1)];
+    let columns = [column_data(n, 0), column_data(n, 1)];
     for backend in backends() {
         let engine = TableEngine::new(
             "r",
@@ -395,5 +395,56 @@ fn concurrent_clients_share_one_table_engine() {
             h.join().unwrap();
         }
         assert!(engine.check_invariants());
+    }
+}
+
+#[test]
+fn structure_probes_span_every_column_and_backend() {
+    let n = 3000;
+    let columns = [column_data(n, 0), column_data(n, 1)];
+    for backend in backends() {
+        let engine = TableEngine::new(
+            "r",
+            vec![
+                ("a".into(), columns[0].clone()),
+                ("b".into(), columns[1].clone()),
+            ],
+            backend,
+            CompactionPolicy::disabled(),
+        );
+        engine.execute(&TableOp::SelectMulti(vec![
+            ColumnPredicate::new(0, 500, 1500),
+            ColumnPredicate::new(1, 1000, 2500),
+        ]));
+        let probe = engine.structure_probe();
+        assert_eq!(
+            probe.rows,
+            2 * n as u64,
+            "{}: rows sum over columns",
+            engine.name()
+        );
+        assert_eq!(probe.piece_sizes.iter().sum::<u64>(), 2 * n as u64);
+        assert!(
+            probe.piece_count() >= 2,
+            "{}: the select cracked something",
+            engine.name()
+        );
+        let per_column = engine.column_structure_stats();
+        assert_eq!(per_column.len(), 2);
+        assert_eq!(per_column[0].0, "a");
+        assert_eq!(per_column[1].0, "b");
+        for (name, stats) in &per_column {
+            assert_eq!(stats.rows, n as u64, "{}: column {name}", engine.name());
+        }
+        assert_eq!(
+            per_column.iter().map(|(_, s)| s.piece_count).sum::<u64>() as usize,
+            probe.piece_count(),
+            "{}: merged probe is the union of the columns",
+            engine.name()
+        );
+        // Writes show up in the delta pressure, pinned snapshots aside.
+        engine.execute(&TableOp::InsertTuple(vec![10, 20]));
+        let after = engine.structure_probe();
+        assert_eq!(after.rows, 2 * n as u64 + 2);
     }
 }

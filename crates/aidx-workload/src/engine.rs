@@ -29,6 +29,8 @@ use aidx_core::{
 };
 use aidx_cracking::SortIndex;
 use aidx_latch::lockmgr::LockManager;
+use aidx_latch::LatchStatsSnapshot;
+use aidx_obs::{StructureStats, TraceEvent};
 use aidx_storage::ops;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -72,6 +74,21 @@ pub trait AdaptiveEngine: Send + Sync {
     /// anyway.
     fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
         self.select(query)
+    }
+
+    /// Structure summary of the underlying adaptive index — piece layout,
+    /// delta pressure, routed load — or `None` for engines with no
+    /// adaptive structure to observe (scan, sort, adaptive-merge).
+    fn structure_stats(&self) -> Option<StructureStats> {
+        None
+    }
+
+    /// Per-latch-object wait/conflict attribution, keyed by piece start
+    /// position ([`TraceEvent::COLUMN_LATCH`] stands for the column-level
+    /// latch). Empty for engines whose concurrency control is not
+    /// piece-granular.
+    fn latch_attribution(&self) -> Vec<(u64, LatchStatsSnapshot)> {
+        Vec::new()
     }
 }
 
@@ -124,6 +141,14 @@ impl<T: AdaptiveEngine + ?Sized> AdaptiveEngine for Box<T> {
     fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
         (**self).snapshot_select(query)
     }
+
+    fn structure_stats(&self) -> Option<StructureStats> {
+        (**self).structure_stats()
+    }
+
+    fn latch_attribution(&self) -> Vec<(u64, LatchStatsSnapshot)> {
+        (**self).latch_attribution()
+    }
 }
 
 impl<T: AdaptiveEngine + ?Sized> AdaptiveEngine for Arc<T> {
@@ -137,6 +162,14 @@ impl<T: AdaptiveEngine + ?Sized> AdaptiveEngine for Arc<T> {
 
     fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
         (**self).snapshot_select(query)
+    }
+
+    fn structure_stats(&self) -> Option<StructureStats> {
+        (**self).structure_stats()
+    }
+
+    fn latch_attribution(&self) -> Vec<(u64, LatchStatsSnapshot)> {
+        (**self).latch_attribution()
     }
 }
 
@@ -382,6 +415,21 @@ impl AdaptiveEngine for CrackEngine {
             Aggregate::Sum => snapshot.sum(query.low, query.high),
         }
     }
+
+    fn structure_stats(&self) -> Option<StructureStats> {
+        Some(self.cracker.structure_probe().summarize())
+    }
+
+    fn latch_attribution(&self) -> Vec<(u64, LatchStatsSnapshot)> {
+        let mut stats: Vec<(u64, LatchStatsSnapshot)> = self
+            .cracker
+            .latch_stats_by_piece()
+            .into_iter()
+            .map(|(start, snap)| (start as u64, snap))
+            .collect();
+        stats.push((TraceEvent::COLUMN_LATCH, self.cracker.column_latch_stats()));
+        stats
+    }
 }
 
 /// Adaptive merging over a partitioned B-tree under concurrency control.
@@ -548,6 +596,14 @@ impl<E: AdaptiveEngine> AdaptiveEngine for CheckedEngine<E> {
         }
         (value, metrics)
     }
+
+    fn structure_stats(&self) -> Option<StructureStats> {
+        self.inner.structure_stats()
+    }
+
+    fn latch_attribution(&self) -> Vec<(u64, LatchStatsSnapshot)> {
+        self.inner.latch_attribution()
+    }
 }
 
 /// Engine adapter that routes every select through the inner engine's
@@ -582,6 +638,14 @@ impl<E: AdaptiveEngine> AdaptiveEngine for SnapshotScanEngine<E> {
 
     fn snapshot_select(&self, query: &QuerySpec) -> (i128, QueryMetrics) {
         self.inner.snapshot_select(query)
+    }
+
+    fn structure_stats(&self) -> Option<StructureStats> {
+        self.inner.structure_stats()
+    }
+
+    fn latch_attribution(&self) -> Vec<(u64, LatchStatsSnapshot)> {
+        self.inner.latch_attribution()
     }
 }
 
@@ -777,6 +841,42 @@ mod tests {
         assert_eq!(engine.snapshot_select(&q).0, expected);
         assert_eq!(engine.execute(Operation::Insert(60)).value, 1);
         assert_eq!(engine.execute(Operation::Select(q)).value, expected + 1);
+    }
+
+    #[test]
+    fn crack_engine_reports_structure_and_latch_attribution() {
+        let values = shuffled(1000);
+        let engine = CrackEngine::new(values.clone(), LatchProtocol::Piece);
+        for q in [QuerySpec::count(100, 400), QuerySpec::sum(500, 900)] {
+            engine.select(&q);
+        }
+        let stats = engine.structure_stats().expect("cracker has structure");
+        assert_eq!(stats.rows, 1000);
+        assert!(stats.piece_count >= 3, "two selects crack >= 3 pieces");
+
+        let latches = engine.latch_attribution();
+        assert!(
+            latches.iter().any(|(k, _)| *k == TraceEvent::COLUMN_LATCH),
+            "column latch entry present"
+        );
+        let acquisitions: u64 = latches
+            .iter()
+            .map(|(_, s)| s.read_acquisitions + s.write_acquisitions)
+            .sum();
+        assert!(acquisitions > 0, "selects acquire latches");
+
+        // Attribution and structure survive the wrappers unchanged.
+        let boxed: Box<dyn AdaptiveEngine> = Box::new(engine);
+        assert_eq!(boxed.structure_stats().unwrap().rows, 1000);
+        assert_eq!(boxed.latch_attribution().len(), latches.len());
+        let checked = CheckedEngine::new(boxed, values);
+        assert_eq!(checked.structure_stats().unwrap().rows, 1000);
+        assert!(!checked.latch_attribution().is_empty());
+
+        // Baseline engines expose neither.
+        let scan = ScanEngine::new(shuffled(10));
+        assert!(scan.structure_stats().is_none());
+        assert!(scan.latch_attribution().is_empty());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::engine::{execute_on_index, AdaptiveEngine, OpResult};
 use crate::query::{Operation, QuerySpec};
 use aidx_core::{Aggregate, CompactionPolicy, LatchProtocol, QueryMetrics, RefinementPolicy};
+use aidx_obs::StructureStats;
 use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 
 /// Parallel-chunked cracking as an experiment arm.
@@ -85,6 +86,10 @@ impl AdaptiveEngine for ParallelChunkEngine {
             None => self.select(query),
         }
     }
+
+    fn structure_stats(&self) -> Option<StructureStats> {
+        Some(self.index.structure_probe().summarize())
+    }
 }
 
 /// Range-partitioned latch-free cracking as an experiment arm.
@@ -157,6 +162,10 @@ impl AdaptiveEngine for ParallelRangeEngine {
             }
             Aggregate::Sum => snapshot.sum(query.low, query.high),
         }
+    }
+
+    fn structure_stats(&self) -> Option<StructureStats> {
+        Some(self.index.structure_probe().summarize())
     }
 }
 
@@ -315,5 +324,23 @@ mod tests {
         ranged.select(&QuerySpec::sum(100, 900));
         assert_eq!(ranged.index().partition_count(), 2);
         assert!(ranged.index().check_invariants());
+    }
+
+    #[test]
+    fn parallel_engines_report_structure_stats() {
+        let values = shuffled(2000);
+        let chunked = ParallelChunkEngine::new(values.clone(), 4, LatchProtocol::Piece);
+        chunked.select(&QuerySpec::sum(100, 1900));
+        let stats = chunked.structure_stats().expect("chunked has structure");
+        assert_eq!(stats.rows, 2000);
+        assert!(stats.piece_count >= 4, "one piece per chunk at minimum");
+
+        let ranged = ParallelRangeEngine::new(values, 4);
+        ranged.select(&QuerySpec::sum(100, 1900));
+        let stats = ranged.structure_stats().expect("range has structure");
+        assert_eq!(stats.rows, 2000);
+        assert_eq!(stats.partitions, 4);
+        assert_eq!(stats.partition_load.count, 4);
+        assert!(stats.partition_load.max > 0, "routed ops counted");
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::engine::AdaptiveEngine;
 use crate::query::{Operation, QuerySpec};
-use aidx_core::RunMetrics;
+use aidx_core::{Completion, RunMetrics};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -71,17 +71,26 @@ impl MultiClientRunner {
                 .collect();
             handles.push(thread::spawn(move || {
                 let mut collected = Vec::with_capacity(slice.len());
+                let mut completions = Vec::with_capacity(slice.len());
                 for op in &slice {
                     let result = engine.execute(*op);
                     collected.push(result.metrics);
+                    // Stamped against the common start, so per-client
+                    // completion series from different threads share one
+                    // time axis.
+                    completions.push(Completion {
+                        client: client as u32,
+                        at: start.elapsed(),
+                    });
                 }
-                collected
+                (collected, completions)
             }));
         }
         let mut run = RunMetrics::new();
         for handle in handles {
-            run.per_query
-                .extend(handle.join().expect("client thread panicked"));
+            let (metrics, completions) = handle.join().expect("client thread panicked");
+            run.per_query.extend(metrics);
+            run.completions.extend(completions);
         }
         run.wall_clock = start.elapsed();
         run
@@ -93,6 +102,10 @@ impl MultiClientRunner {
         for op in ops {
             let result = engine.execute(*op);
             run.per_query.push(result.metrics);
+            run.completions.push(Completion {
+                client: 0,
+                at: start.elapsed(),
+            });
         }
         run.wall_clock = start.elapsed();
         run
@@ -171,6 +184,26 @@ mod tests {
             );
             let totals = run.totals();
             assert!(totals.inserts_applied + totals.deletes_applied > 0);
+        }
+    }
+
+    #[test]
+    fn completions_are_stamped_per_client_and_feed_throughput_windows() {
+        let values = shuffled(2000);
+        let queries = WorkloadGenerator::new(2000, 0.03, Aggregate::Count, 7).generate(40);
+        for clients in [1usize, 4] {
+            let run = MultiClientRunner::new(clients)
+                .run(Arc::new(ScanEngine::new(values.clone())), &queries);
+            assert_eq!(run.completions.len(), 40, "{clients} clients");
+            let max_client = run.completions.iter().map(|c| c.client).max().unwrap();
+            assert_eq!(max_client as usize, clients - 1, "{clients} clients");
+            assert!(run.completions.iter().all(|c| c.at <= run.wall_clock));
+            let windows = run.throughput_windows(std::time::Duration::from_micros(50));
+            let total: u64 = windows
+                .iter()
+                .map(|w| w.per_client.iter().sum::<u64>())
+                .sum();
+            assert_eq!(total, 40, "every completion lands in a window");
         }
     }
 

@@ -12,7 +12,59 @@
 //! compare orders of magnitude offline; use the real Criterion for
 //! publishable numbers.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Completed measurements, collected so [`write_json_if_requested`] can
+/// emit a machine-readable summary at process exit.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// Writes every measurement taken so far as a JSON document to the path
+/// given by a `--json <path>` / `--json=<path>` argument or the
+/// `AIDX_JSON_OUT` environment variable; does nothing when neither is
+/// set. Called automatically by [`criterion_main!`].
+pub fn write_json_if_requested() {
+    let path = {
+        let mut args = std::env::args().skip(1);
+        let mut found = None;
+        while let Some(arg) = args.next() {
+            if arg == "--json" {
+                found = args.next();
+                break;
+            }
+            if let Some(p) = arg.strip_prefix("--json=") {
+                found = Some(p.to_string());
+                break;
+            }
+        }
+        found.or_else(|| std::env::var("AIDX_JSON_OUT").ok())
+    };
+    let Some(path) = path else { return };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\"benchmarks\":[");
+    for (i, (name, mean_ms, iters)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Bench names are ASCII identifiers; escape the JSON-significant
+        // characters anyway so a stray quote cannot corrupt the document.
+        let mut escaped = String::with_capacity(name.len());
+        for c in name.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+                c => escaped.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{escaped}\",\"mean_ms\":{mean_ms},\"iterations\":{iters}}}"
+        ));
+    }
+    out.push_str("]}\n");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote JSON bench summary to {path}");
+}
 
 /// Re-export of [`std::hint::black_box`].
 pub fn black_box<T>(x: T) -> T {
@@ -168,6 +220,10 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
         mean * 1e3,
         bencher.iterations
     );
+    RESULTS
+        .lock()
+        .unwrap()
+        .push((name.to_string(), mean * 1e3, bencher.iterations));
 }
 
 /// Declares a function that runs the listed benchmark targets.
@@ -187,6 +243,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_if_requested();
         }
     };
 }
