@@ -63,6 +63,7 @@ use crate::metrics::QueryMetrics;
 use crate::pending::PendingDelta;
 use crate::piece_registry::{OperationGuard, PieceLatchRegistry};
 use crate::protocol::{Aggregate, LatchProtocol, RefinementPolicy};
+use crate::rowid_set::RowIdSet;
 use crate::shared_array::SharedCrackerArray;
 use aidx_cracking::{Piece, PieceLookup, PieceMap};
 use aidx_latch::ordered::OrderedWaitLatch;
@@ -316,6 +317,12 @@ impl Snapshot<'_> {
     /// snapshot epoch (sorted ascending).
     pub fn rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
         self.idx.select_rowids_at(low, high, self.epoch)
+    }
+
+    /// As [`Snapshot::rowids`], but materialised as a compressed
+    /// [`RowIdSet`] built from per-piece sorted runs.
+    pub fn rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
+        self.idx.select_rowid_set_at(low, high, self.epoch)
     }
 }
 
@@ -588,6 +595,10 @@ impl ConcurrentCracker {
             compactions: self.compactions_performed(),
             compaction_steps: self.compaction_steps_performed(),
             partition_load: Vec::new(),
+            // Candidate-set accounting is per-query (QueryMetrics) and
+            // engine-level (TableEngine); a single column reports none.
+            candidate_set_bytes: 0,
+            blocks_skipped: 0,
         }
     }
 
@@ -676,6 +687,23 @@ impl ConcurrentCracker {
     /// are restored (ghosts).
     pub fn select_rowids_at(&self, low: i64, high: i64, epoch: u64) -> (Vec<RowId>, QueryMetrics) {
         self.run_rowid_query(low, high, Some(epoch))
+    }
+
+    /// As [`ConcurrentCracker::select_rowids`], but materialised as a
+    /// block-compressed [`RowIdSet`]: each piece the read visits yields one
+    /// sorted run, and the runs (pieces are position-disjoint, so the runs
+    /// are rowid-disjoint) are k-way merged straight into the delta
+    /// encoder — no flat `Vec<RowId>` of the whole candidate set exists at
+    /// any point. `metrics.candidate_set_bytes` records the compressed
+    /// footprint.
+    pub fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
+        self.run_rowid_set_query(low, high, None)
+    }
+
+    /// As [`ConcurrentCracker::select_rowid_set`], frozen at snapshot
+    /// `epoch` (which must be registered).
+    pub fn select_rowid_set_at(&self, low: i64, high: i64, epoch: u64) -> (RowIdSet, QueryMetrics) {
+        self.run_rowid_set_query(low, high, Some(epoch))
     }
 
     /// Inserts one row with the given key, self-assigning a fresh row id.
@@ -1034,6 +1062,92 @@ impl ConcurrentCracker {
         (rows, metrics)
     }
 
+    /// The compressed-set twin of [`ConcurrentCracker::run_rowid_query`]:
+    /// same plan phase and shrink-epoch seqlock, but each visited piece
+    /// contributes one *sorted run* of row ids (minus the delta view's
+    /// hidden rows), the delta's extra rows form one more run, and
+    /// [`RowIdSet::from_runs`] k-way merges the runs straight into the
+    /// block-delta encoder.
+    fn run_rowid_set_query(
+        &self,
+        low: i64,
+        high: i64,
+        at: Option<u64>,
+    ) -> (RowIdSet, QueryMetrics) {
+        let start = Instant::now();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let mut metrics = QueryMetrics::default();
+        if low >= high {
+            metrics.total = start.elapsed();
+            return (RowIdSet::default(), metrics);
+        }
+        let set = {
+            let _op = self.enter_if_compactable();
+            let plan = if self.data.is_empty() {
+                None
+            } else {
+                Some(match self.protocol {
+                    LatchProtocol::Piece => self.plan_piece(low, high, &mut metrics),
+                    LatchProtocol::Column | LatchProtocol::None => {
+                        self.plan_column(low, high, &mut metrics)
+                    }
+                })
+            };
+            let mut failures = 0u32;
+            loop {
+                let paused = (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
+                let epoch = self.stable_shrink_epoch();
+                let mut attempt = QueryMetrics::default();
+                let mut runs: Vec<Vec<RowId>> = Vec::new();
+                {
+                    let sink = |pairs: Vec<(i64, RowId)>| {
+                        runs.push(pairs.into_iter().map(|(_, rowid)| rowid).collect())
+                    };
+                    match plan {
+                        Some(MainPlan::Exact { start, end }) => {
+                            self.collect_piece_runs(start, end, None, &mut attempt, sink)
+                        }
+                        Some(MainPlan::Filtered { start, end }) => self.collect_piece_runs(
+                            start,
+                            end,
+                            Some((low, high)),
+                            &mut attempt,
+                            sink,
+                        ),
+                        None => {}
+                    }
+                }
+                let view = match at {
+                    Some(snapshot_epoch) => self.delta.rowid_view_at(low, high, snapshot_epoch),
+                    None => self.delta.rowid_view(low, high),
+                };
+                if paused.is_some() || self.shrink_epoch.load(Ordering::Acquire) == epoch {
+                    metrics.accumulate(&attempt);
+                    for run in &mut runs {
+                        if !view.hidden.is_empty() {
+                            run.retain(|rowid| !view.hidden.contains(rowid));
+                        }
+                        run.sort_unstable();
+                    }
+                    let mut extra = view.extra;
+                    extra.sort_unstable();
+                    runs.push(extra);
+                    break RowIdSet::from_runs(runs);
+                }
+                failures += 1;
+                metrics.snapshot_retries = metrics.snapshot_retries.saturating_add(1);
+                emit(TraceEvent::SnapshotRetry { attempt: failures });
+                metrics.wait_time += attempt.wait_time;
+                metrics.aggregate_time += attempt.aggregate_time;
+                metrics.conflicts = metrics.conflicts.saturating_add(attempt.conflicts);
+            }
+        };
+        metrics.result_count = set.len() as u64;
+        metrics.candidate_set_bytes = set.heap_bytes() as u64;
+        metrics.total = start.elapsed();
+        (set, metrics)
+    }
+
     /// Collects the live `(value, rowid)` pairs of `[start, end)` (a
     /// union of whole pieces), holding the latches the active protocol
     /// prescribes — piece read latches one piece at a time, or the column
@@ -1048,8 +1162,24 @@ impl ConcurrentCracker {
         metrics: &mut QueryMetrics,
     ) -> Vec<(i64, RowId)> {
         let mut out = Vec::new();
+        self.collect_piece_runs(start, end, filter, metrics, |pairs| out.extend(pairs));
+        out
+    }
+
+    /// The piece walk under [`ConcurrentCracker::collect_pairs`], with the
+    /// destination abstracted: `sink` receives each visited piece's live
+    /// pairs as one batch, so callers can either flatten them (the legacy
+    /// pair vector) or keep per-piece runs (the compressed-set encoder).
+    fn collect_piece_runs(
+        &self,
+        start: usize,
+        end: usize,
+        filter: Option<(i64, i64)>,
+        metrics: &mut QueryMetrics,
+        mut sink: impl FnMut(Vec<(i64, RowId)>),
+    ) {
         if start >= end {
-            return out;
+            return;
         }
         match self.protocol {
             LatchProtocol::Piece => {
@@ -1070,7 +1200,7 @@ impl ConcurrentCracker {
                         (piece_end, toc.live_end(pos, piece_end))
                     };
                     let agg_start = Instant::now();
-                    out.extend(self.read_pairs(pos, live_end, filter));
+                    sink(self.read_pairs(pos, live_end, filter));
                     metrics.aggregate_time += agg_start.elapsed();
                     drop(guard);
                     pos = piece_end;
@@ -1096,14 +1226,13 @@ impl ConcurrentCracker {
                         let piece_end = toc.piece_end_after(pos).min(end);
                         (piece_end, toc.live_end(pos, piece_end))
                     };
-                    out.extend(self.read_pairs(pos, live_end, filter));
+                    sink(self.read_pairs(pos, live_end, filter));
                     pos = piece_end;
                 }
                 metrics.aggregate_time += agg_start.elapsed();
                 drop(guard);
             }
         }
-        out
     }
 
     /// One piece's live pairs, optionally filtered by the original query

@@ -32,6 +32,9 @@
 //!   tombstones` under a quiescing system transaction, and cracks that
 //!   already hold a piece's write latch physically reclaim tombstoned rows
 //!   (delete-aware piece shrinking).
+//! * [`RowIdSet`] / [`SeekingIterator`] — posting-list-grade candidate
+//!   row-id sets: block delta compression and galloping (seek-based)
+//!   intersection for the multi-predicate read path.
 //! * [`QueryMetrics`] / [`RunMetrics`] — the wait/refinement/conflict
 //!   breakdown the paper's evaluation reports (Figures 13–15).
 //! * [`SharedCrackerArray`] — the latch-mediated shared cracker array.
@@ -45,6 +48,7 @@ pub mod metrics;
 pub mod pending;
 pub mod piece_registry;
 pub mod protocol;
+pub mod rowid_set;
 pub mod shared_array;
 
 pub use compaction::{CompactionMode, CompactionPolicy};
@@ -54,4 +58,8 @@ pub use metrics::{Completion, LatencyBreakdown, QueryMetrics, RunMetrics, Window
 pub use pending::{DeltaAdjust, DrainedDelta, PendingDelta, RowidView};
 pub use piece_registry::PieceLatchRegistry;
 pub use protocol::{Aggregate, LatchProtocol, RefinementPolicy};
+pub use rowid_set::{
+    intersect_iters_gallop, intersect_iters_linear, intersect_sets, IntersectStats,
+    IntersectStrategy, RowIdSet, RowIdSetBuilder, RowIdSetIter, SeekingIterator, SliceIter,
+};
 pub use shared_array::SharedCrackerArray;

@@ -60,6 +60,12 @@ pub struct QueryMetrics {
     /// Number of qualifying tuples (the query's logical result size); for
     /// deletes, the number of rows removed.
     pub result_count: u64,
+    /// Compressed bytes of the candidate row-id set(s) this operation
+    /// materialised (0 for operations that never built one).
+    pub candidate_set_bytes: u64,
+    /// Whole compressed blocks bypassed by galloping seeks during
+    /// candidate-set intersection.
+    pub blocks_skipped: u64,
 }
 
 impl QueryMetrics {
@@ -88,6 +94,10 @@ impl QueryMetrics {
         self.inserts_applied = self.inserts_applied.saturating_add(other.inserts_applied);
         self.deletes_applied = self.deletes_applied.saturating_add(other.deletes_applied);
         self.result_count = self.result_count.saturating_add(other.result_count);
+        self.candidate_set_bytes = self
+            .candidate_set_bytes
+            .saturating_add(other.candidate_set_bytes);
+        self.blocks_skipped = self.blocks_skipped.saturating_add(other.blocks_skipped);
     }
 
     /// Merges the per-worker metrics of **one** query that was executed in
@@ -410,6 +420,8 @@ mod tests {
             inserts_applied: u32::MAX,
             deletes_applied: u32::MAX - 1,
             result_count: u64::MAX - 5,
+            candidate_set_bytes: u64::MAX - 2,
+            blocks_skipped: u64::MAX - 4,
             ..QueryMetrics::default()
         };
         let more = QueryMetrics {
@@ -423,6 +435,8 @@ mod tests {
             inserts_applied: 2,
             deletes_applied: 9,
             result_count: 100,
+            candidate_set_bytes: 7,
+            blocks_skipped: 6,
             ..QueryMetrics::default()
         };
         let merged = QueryMetrics::merge_parallel([near_max, more]);
@@ -436,6 +450,8 @@ mod tests {
         assert_eq!(merged.inserts_applied, u32::MAX);
         assert_eq!(merged.deletes_applied, u32::MAX);
         assert_eq!(merged.result_count, u64::MAX);
+        assert_eq!(merged.candidate_set_bytes, u64::MAX);
+        assert_eq!(merged.blocks_skipped, u64::MAX);
     }
 
     #[test]

@@ -90,6 +90,11 @@ pub struct StructureProbe {
     /// Per-partition routed-operation counts (empty for unpartitioned
     /// engines).
     pub partition_load: Vec<u64>,
+    /// Cumulative compressed candidate-set bytes produced by selects
+    /// (0 for engines that do not build candidate sets).
+    pub candidate_set_bytes: u64,
+    /// Cumulative compressed blocks bypassed by galloping intersections.
+    pub blocks_skipped: u64,
 }
 
 impl StructureProbe {
@@ -110,6 +115,10 @@ impl StructureProbe {
         self.compactions = self.compactions.saturating_add(other.compactions);
         self.compaction_steps = self.compaction_steps.saturating_add(other.compaction_steps);
         self.partition_load.extend_from_slice(&other.partition_load);
+        self.candidate_set_bytes = self
+            .candidate_set_bytes
+            .saturating_add(other.candidate_set_bytes);
+        self.blocks_skipped = self.blocks_skipped.saturating_add(other.blocks_skipped);
     }
 
     /// Summarises the probe.
@@ -126,6 +135,8 @@ impl StructureProbe {
             compaction_steps: self.compaction_steps,
             partition_load: Dist::of(&self.partition_load),
             partitions: self.partition_load.len() as u64,
+            candidate_set_bytes: self.candidate_set_bytes,
+            blocks_skipped: self.blocks_skipped,
         }
     }
 }
@@ -155,6 +166,10 @@ pub struct StructureStats {
     pub partition_load: Dist,
     /// Number of partitions (0 for unpartitioned engines).
     pub partitions: u64,
+    /// Cumulative compressed candidate-set bytes produced by selects.
+    pub candidate_set_bytes: u64,
+    /// Cumulative compressed blocks bypassed by galloping intersections.
+    pub blocks_skipped: u64,
 }
 
 impl StructureStats {
@@ -180,6 +195,8 @@ impl StructureStats {
             ("compaction_steps", Json::UInt(self.compaction_steps)),
             ("partitions", Json::UInt(self.partitions)),
             ("partition_load", self.partition_load.to_json()),
+            ("candidate_set_bytes", Json::UInt(self.candidate_set_bytes)),
+            ("blocks_skipped", Json::UInt(self.blocks_skipped)),
         ])
     }
 }
@@ -297,6 +314,8 @@ mod tests {
             compactions: 1,
             compaction_steps: 4,
             partition_load: vec![10],
+            candidate_set_bytes: 1000,
+            blocks_skipped: 7,
         };
         let b = StructureProbe {
             rows: 50,
@@ -308,11 +327,15 @@ mod tests {
             compactions: 0,
             compaction_steps: 2,
             partition_load: vec![20],
+            candidate_set_bytes: 24,
+            blocks_skipped: 3,
         };
         a.merge(&b);
         assert_eq!(a.rows, 150);
         assert_eq!(a.piece_count(), 3);
         assert_eq!(a.partition_load, vec![10, 20]);
+        assert_eq!(a.candidate_set_bytes, 1024);
+        assert_eq!(a.blocks_skipped, 10);
         let s = a.summarize();
         assert_eq!(s.piece_count, 3);
         assert_eq!(s.piece_size.max, 60);
@@ -321,6 +344,11 @@ mod tests {
         let json = s.to_json();
         assert_eq!(json.get("piece_count").unwrap().as_u64(), Some(3));
         assert_eq!(json.get("delta_rows").unwrap().as_u64(), Some(12));
+        assert_eq!(
+            json.get("candidate_set_bytes").unwrap().as_u64(),
+            Some(1024)
+        );
+        assert_eq!(json.get("blocks_skipped").unwrap().as_u64(), Some(10));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use crate::pool::WorkerPool;
 use aidx_core::{
     Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy,
+    RowIdSet,
 };
 use aidx_cracking::StochasticCracker;
 use aidx_obs::StructureProbe;
@@ -157,6 +158,24 @@ impl Chunk {
             Chunk::Concurrent(cracker) => Some(match epoch {
                 Some(epoch) => cracker.select_rowids_at(low, high, epoch),
                 None => cracker.select_rowids(low, high),
+            }),
+            Chunk::Stochastic(_) => None,
+        }
+    }
+
+    /// Compressed rowid-set read over this chunk, optionally at a
+    /// chunk-local snapshot epoch. `None` for stochastic chunks (no row
+    /// identity).
+    fn select_rowid_set_at(
+        &self,
+        low: i64,
+        high: i64,
+        epoch: Option<u64>,
+    ) -> Option<(RowIdSet, QueryMetrics)> {
+        match self {
+            Chunk::Concurrent(cracker) => Some(match epoch {
+                Some(epoch) => cracker.select_rowid_set_at(low, high, epoch),
+                None => cracker.select_rowid_set(low, high),
             }),
             Chunk::Stochastic(_) => None,
         }
@@ -533,6 +552,15 @@ impl ChunkedCracker {
         self.fan_out_rowids(low, high, None)
     }
 
+    /// As [`ChunkedCracker::select_rowids`], but each chunk builds a
+    /// block-compressed [`RowIdSet`] from its own per-piece sorted runs
+    /// and the per-chunk sets (chunks partition positions, so the sets
+    /// are rowid-disjoint) are k-way merged without decoding to a flat
+    /// vector. `None` when any chunk runs the stochastic backend.
+    pub fn select_rowid_set(&self, low: i64, high: i64) -> Option<(RowIdSet, QueryMetrics)> {
+        self.fan_out_rowid_set(low, high, None)
+    }
+
     /// Deletes one specific row `(value, rowid)`. Chunks partition
     /// positions, not keys, so the pair may live in any chunk: the probe
     /// fans out and exactly one chunk (at most) removes it. Returns how
@@ -616,6 +644,60 @@ impl ChunkedCracker {
         metrics.result_count = rows.len() as u64;
         metrics.total = start.elapsed();
         Some((rows, metrics))
+    }
+
+    /// Fans one compressed-set read out to every chunk and merges the
+    /// per-chunk sets, optionally pinned at per-chunk snapshot epochs.
+    /// `None` if any chunk is stochastic.
+    fn fan_out_rowid_set(
+        &self,
+        low: i64,
+        high: i64,
+        epochs: Option<&[u64]>,
+    ) -> Option<(RowIdSet, QueryMetrics)> {
+        let start = Instant::now();
+        if self
+            .chunks
+            .iter()
+            .any(|c| matches!(c, Chunk::Stochastic(_)))
+        {
+            return None;
+        }
+        if low >= high {
+            let metrics = QueryMetrics {
+                total: start.elapsed(),
+                ..QueryMetrics::default()
+            };
+            return Some((RowIdSet::default(), metrics));
+        }
+        let (tx, rx) = channel();
+        for chunk_id in 0..self.chunks.len() {
+            let chunks = Arc::clone(&self.chunks);
+            let tx = tx.clone();
+            let epoch = epochs.map(|e| e[chunk_id]);
+            self.pool.execute(move || {
+                let result = chunks[chunk_id]
+                    .select_rowid_set_at(low, high, epoch)
+                    .expect("all chunks checked concurrent above");
+                let _ = tx.send(result);
+            });
+        }
+        drop(tx);
+        let mut sets = Vec::with_capacity(self.chunks.len());
+        let mut parts = Vec::with_capacity(self.chunks.len());
+        for _ in 0..self.chunks.len() {
+            let (partial, part_metrics) = rx.recv().expect("chunk worker died");
+            sets.push(partial);
+            parts.push(part_metrics);
+        }
+        let merged = RowIdSet::merge_sets(&sets);
+        let mut metrics = QueryMetrics::merge_parallel(parts);
+        metrics.result_count = merged.len() as u64;
+        // Report the footprint of the set the caller actually receives,
+        // not the sum of the transient per-chunk parts.
+        metrics.candidate_set_bytes = merged.heap_bytes() as u64;
+        metrics.total = start.elapsed();
+        Some((merged, metrics))
     }
 
     /// Fans one query out to every chunk and merges the partial results,
@@ -716,6 +798,14 @@ impl ChunkedSnapshot<'_> {
     pub fn rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
         self.idx
             .fan_out_rowids(low, high, Some(&self.epochs))
+            .expect("snapshots only exist over concurrent chunks")
+    }
+
+    /// As [`ChunkedSnapshot::rowids`], materialised as a compressed
+    /// [`RowIdSet`] merged across the chunks' pinned epochs.
+    pub fn rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
+        self.idx
+            .fan_out_rowid_set(low, high, Some(&self.epochs))
             .expect("snapshots only exist over concurrent chunks")
     }
 }
@@ -1160,6 +1250,44 @@ mod tests {
         assert_eq!(after.len(), before.len());
         assert_ne!(after, before, "replacement rows have fresh ids");
         assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn compressed_set_reads_match_flat_rowid_reads() {
+        let values = shuffled(3000);
+        let idx = ChunkedCracker::new(
+            values,
+            4,
+            ChunkBackend::Concurrent(LatchProtocol::Piece, RefinementPolicy::Always),
+        );
+        idx.insert_row(950, 9000);
+        for (low, high) in [(0, 3000), (900, 1100), (2999, 3000), (5, 5)] {
+            let (flat, _) = idx.select_rowids(low, high).expect("concurrent chunks");
+            let (set, m) = idx.select_rowid_set(low, high).expect("concurrent chunks");
+            assert_eq!(set.to_vec(), flat, "[{low},{high})");
+            assert_eq!(m.result_count, flat.len() as u64);
+            assert_eq!(m.candidate_set_bytes, set.heap_bytes() as u64);
+        }
+        // Snapshot set reads stay frozen like the flat path.
+        let snap = idx.snapshot().expect("concurrent chunks");
+        let before = snap.rowid_set(100, 200).0;
+        assert_eq!(idx.delete(150).0, 1);
+        idx.insert(150);
+        assert_eq!(snap.rowid_set(100, 200).0, before, "pinned set view");
+        assert_eq!(snap.rowids(100, 200).0, before.to_vec());
+    }
+
+    #[test]
+    fn stochastic_chunks_do_not_offer_compressed_set_reads() {
+        let idx = ChunkedCracker::new(
+            shuffled(300),
+            2,
+            ChunkBackend::Stochastic {
+                piece_threshold: 64,
+                seed: 5,
+            },
+        );
+        assert!(idx.select_rowid_set(0, 300).is_none());
     }
 
     #[test]

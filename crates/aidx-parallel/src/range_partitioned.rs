@@ -31,7 +31,9 @@
 //! Partition boundaries come from a deterministic sample of the data, so
 //! skewed key distributions still yield balanced partitions.
 
-use aidx_core::{Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics};
+use aidx_core::{
+    Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RowIdSet,
+};
 use aidx_obs::{emit, StructureProbe, TraceEvent};
 use aidx_storage::RowId;
 use std::fmt;
@@ -80,6 +82,16 @@ enum OwnerRequest {
         high: i64,
         epoch: Option<u64>,
         reply: Sender<(Vec<RowId>, QueryMetrics)>,
+    },
+    /// Reply with a block-compressed [`RowIdSet`] of the partition's rows
+    /// in `[low, high)` — at the partition-local snapshot `epoch` if one
+    /// is given. The owner builds the set from its own per-piece sorted
+    /// runs; the router merges the per-partition sets without decoding.
+    SelectRowidSet {
+        low: i64,
+        high: i64,
+        epoch: Option<u64>,
+        reply: Sender<(RowIdSet, QueryMetrics)>,
     },
     /// Register a snapshot at the partition's current epoch and reply
     /// with it.
@@ -189,6 +201,18 @@ fn handle_request(index: &ConcurrentCracker, request: OwnerRequest) {
             let result = match epoch {
                 Some(epoch) => index.select_rowids_at(low, high, epoch),
                 None => index.select_rowids(low, high),
+            };
+            let _ = reply.send(result);
+        }
+        OwnerRequest::SelectRowidSet {
+            low,
+            high,
+            epoch,
+            reply,
+        } => {
+            let result = match epoch {
+                Some(epoch) => index.select_rowid_set_at(low, high, epoch),
+                None => index.select_rowid_set(low, high),
             };
             let _ = reply.send(result);
         }
@@ -539,6 +563,15 @@ impl RangePartitionedCracker {
         self.route_rowids(low, high, None)
     }
 
+    /// As [`RangePartitionedCracker::select_rowids`], but each
+    /// overlapping owner builds a block-compressed [`RowIdSet`] from its
+    /// own per-piece sorted runs and the router k-way merges the
+    /// per-partition sets (partitions are key-disjoint, hence
+    /// rowid-disjoint) without decoding them to flat vectors.
+    pub fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
+        self.route_rowid_set(low, high, None)
+    }
+
     /// Routes one rowid read to the overlapping owners and unions their
     /// answers, optionally pinned at per-partition snapshot epochs.
     fn route_rowids(
@@ -581,6 +614,54 @@ impl RangePartitionedCracker {
         metrics.result_count = rows.len() as u64;
         metrics.total = start.elapsed();
         (rows, metrics)
+    }
+
+    /// Routes one compressed-set read to the overlapping owners and
+    /// merges their sets, optionally pinned at per-partition snapshot
+    /// epochs.
+    fn route_rowid_set(
+        &self,
+        low: i64,
+        high: i64,
+        epochs: Option<&[u64]>,
+    ) -> (RowIdSet, QueryMetrics) {
+        let start = Instant::now();
+        if low >= high {
+            let metrics = QueryMetrics {
+                total: start.elapsed(),
+                ..QueryMetrics::default()
+            };
+            return (RowIdSet::default(), metrics);
+        }
+        let first = partition_of(&self.splits, low);
+        let last = partition_of(&self.splits, high - 1);
+        let (reply_tx, reply_rx) = channel();
+        for (p, owner) in self.owners.iter().enumerate().take(last + 1).skip(first) {
+            owner
+                .send(OwnerRequest::SelectRowidSet {
+                    low,
+                    high,
+                    epoch: epochs.map(|e| e[p]),
+                    reply: reply_tx.clone(),
+                })
+                .expect("partition owner exited early");
+        }
+        drop(reply_tx);
+        let mut sets = Vec::with_capacity(last - first + 1);
+        let mut parts = Vec::with_capacity(last - first + 1);
+        for _ in first..=last {
+            let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
+            sets.push(partial);
+            parts.push(part_metrics);
+        }
+        let merged = RowIdSet::merge_sets(&sets);
+        let mut metrics = QueryMetrics::merge_parallel(parts);
+        metrics.result_count = merged.len() as u64;
+        // Report the footprint of the set the caller actually receives,
+        // not the sum of the transient per-partition parts.
+        metrics.candidate_set_bytes = merged.heap_bytes() as u64;
+        metrics.total = start.elapsed();
+        (merged, metrics)
     }
 
     /// Opens a snapshot across every partition: one epoch per owner,
@@ -775,6 +856,12 @@ impl RangeSnapshot<'_> {
     /// snapshot (sorted ascending).
     pub fn rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
         self.idx.route_rowids(low, high, Some(&self.epochs))
+    }
+
+    /// As [`RangeSnapshot::rowids`], materialised as a compressed
+    /// [`RowIdSet`] merged across the partitions' pinned epochs.
+    pub fn rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
+        self.idx.route_rowid_set(low, high, Some(&self.epochs))
     }
 }
 
@@ -1189,6 +1276,29 @@ mod tests {
         let after = idx.select_rowids(1000, 1100).0;
         assert_eq!(after.len(), before.len());
         assert_ne!(after, before, "replacement rows have fresh ids");
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn compressed_set_reads_match_flat_rowid_reads() {
+        let values = shuffled(4000);
+        let idx = RangePartitionedCracker::new(values, 4);
+        idx.insert_row(700, 9000);
+        for (low, high) in [(0, 4000), (600, 800), (3999, 4000), (300, 100)] {
+            let (flat, _) = idx.select_rowids(low, high);
+            let (set, m) = idx.select_rowid_set(low, high);
+            assert_eq!(set.to_vec(), flat, "[{low},{high})");
+            assert_eq!(m.result_count, flat.len() as u64);
+            assert_eq!(m.candidate_set_bytes, set.heap_bytes() as u64);
+        }
+        // Snapshot set reads stay frozen like the flat path.
+        let snap = idx.snapshot();
+        let before = snap.rowid_set(1000, 1100).0;
+        assert_eq!(idx.delete(1050).0, 1);
+        idx.insert(1050);
+        assert_eq!(snap.rowid_set(1000, 1100).0, before, "pinned set view");
+        assert_eq!(snap.rowids(1000, 1100).0, before.to_vec());
+        drop(snap);
         assert!(idx.check_invariants());
     }
 

@@ -6,7 +6,7 @@
 //! correctness, not to measure scalability).
 
 use crate::engine::TableEngine;
-use crate::ops::{TableOp, TableOpResult};
+use crate::ops::{ColumnPredicate, TableOp, TableOpResult};
 use aidx_storage::RowId;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -64,6 +64,15 @@ impl CheckedTableEngine {
         // atomic step, so the oracle replays the engine's linearization.
         let mut oracle = self.oracle.lock();
         let result = self.inner.execute(op);
+        if let TableOp::SelectMulti(predicates) = op {
+            // Lockstep comparison against the oracle's filtered
+            // iterator: the expected rowid vector is materialised only
+            // on an actual disagreement (selects dominate checked runs,
+            // and their answers can span millions of ids).
+            if select_agrees(&oracle, predicates, &result) {
+                return result;
+            }
+        }
         let expected = oracle_apply(&mut oracle, op, &result);
         drop(oracle);
         let got = (result.value, result.rowids.clone());
@@ -76,6 +85,21 @@ impl CheckedTableEngine {
         }
         result
     }
+}
+
+/// Streaming rowid-for-rowid check of a select against the oracle's
+/// qualifying-tuple iterator (both sides ascend by row id).
+fn select_agrees(
+    oracle: &BTreeMap<RowId, Vec<i64>>,
+    predicates: &[ColumnPredicate],
+    result: &TableOpResult,
+) -> bool {
+    result.value == result.rowids.len() as i128
+        && oracle
+            .iter()
+            .filter(|(_, tuple)| predicates.iter().all(|p| p.matches(tuple[p.column])))
+            .map(|(&rowid, _)| rowid)
+            .eq(result.rowids.iter().copied())
 }
 
 /// Applies one table operation to the tuple oracle and returns the

@@ -7,15 +7,23 @@
 //! Predicates are ordered by estimated selectivity (ascending range
 //! width — the generated experiment data is a uniform key domain, so
 //! width *is* the estimate, and estimating never touches data). The most
-//! selective column is cracked first and yields the candidate row-id
-//! set; every further predicate either
+//! selective column is cracked first and yields the candidate set — a
+//! block-compressed [`RowIdSet`] that stays compressed through the whole
+//! plan; every further predicate either
 //!
 //! * **intersects** its own column's rowid set (cracking that column as
 //!   a side effect — the adaptive-indexing bet: later queries get ever
-//!   cheaper), or
-//! * **projects**: when the candidate set is already tiny, probing the
-//!   row store (`tuple[col]` per candidate) is cheaper than another
-//!   column read, at the cost of refining nothing.
+//!   cheaper). The intersection is adaptive: when one side is much
+//!   smaller it gallops — leapfrog seeks that skip whole compressed
+//!   blocks of the larger side — and falls back to linear merge when
+//!   the sides are comparable; or
+//! * **projects**: probes the row store (`tuple[col]` per candidate)
+//!   instead, at the cost of refining nothing. The switch is cost-based,
+//!   not a fixed cutoff: the engine keeps a per-column EMA of measured
+//!   set-read latency and an EMA of per-tuple probe latency, and
+//!   projects when `candidates × probe_ns < select_ns(column)`. An
+//!   unmeasured column always intersects once — that both bootstraps
+//!   its cost estimate and cracks it.
 //!
 //! # Write atomicity
 //!
@@ -29,7 +37,10 @@
 
 use crate::ops::{ColumnPredicate, TableOp, TableOpResult};
 use crate::row_index::RowIndex;
-use aidx_core::{CompactionPolicy, LatchProtocol, QueryMetrics, RefinementPolicy};
+use aidx_core::{
+    intersect_sets, CompactionPolicy, IntersectStrategy, LatchProtocol, QueryMetrics,
+    RefinementPolicy, RowIdSet, RowIdSetBuilder, SeekingIterator,
+};
 use aidx_obs::{StructureProbe, StructureStats};
 use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 use aidx_storage::{Catalog, RowId, StorageResult, Table};
@@ -37,11 +48,27 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
-/// Candidate sets at or below this size switch the planner from rowid
-/// intersection to aligned row-store projection for the remaining
-/// predicates (probing a handful of tuples beats another column read).
-const PROJECTION_PROBE_MAX: usize = 64;
+/// Starting estimate for one aligned row-store probe, in nanoseconds,
+/// used until the first projection pass measures the real figure (a
+/// hash-overlay lookup plus a column access lands in this ballpark on
+/// current hardware; being wrong only delays the first projection).
+const PROBE_NS_SEED: u64 = 200;
+
+/// Folds one latency sample into an EMA cell. `0` means unmeasured
+/// (first sample is adopted verbatim); thereafter `(3·old + sample)/4`.
+/// The racy load/store is deliberate: the cell steers a heuristic, and a
+/// lost update costs one slightly staler estimate, nothing more.
+fn ema_update(cell: &AtomicU64, sample_ns: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        sample_ns
+    } else {
+        (old.saturating_mul(3).saturating_add(sample_ns)) / 4
+    };
+    cell.store(new.max(1), Ordering::Relaxed);
+}
 
 /// Which single-column concurrency design backs every column index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +187,15 @@ pub struct TableEngine {
     next_rowid: AtomicU64,
     /// Cross-column write atomicity: writes exclusive, selects shared.
     op_fence: RwLock<()>,
+    /// Measured cost of a compressed set read per column, EMA in ns
+    /// (0 = unmeasured). Drives the projection-vs-intersection switch.
+    column_select_ns: Vec<AtomicU64>,
+    /// Measured cost of one row-store probe, EMA in ns.
+    probe_ns: AtomicU64,
+    /// Cumulative compressed candidate-set bytes over all selects.
+    candidate_set_bytes_total: AtomicU64,
+    /// Cumulative compressed blocks bypassed by galloping intersections.
+    blocks_skipped_total: AtomicU64,
 }
 
 impl TableEngine {
@@ -223,6 +259,7 @@ impl TableEngine {
             indexes.push(index);
             base.push(values);
         }
+        let columns = indexes.len();
         TableEngine {
             name: format!("{}:{}", backend.label(), name.into()),
             column_names,
@@ -232,6 +269,10 @@ impl TableEngine {
             overlay: RwLock::new(HashMap::new()),
             next_rowid: AtomicU64::new(base_rows as u64),
             op_fence: RwLock::new(()),
+            column_select_ns: (0..columns).map(|_| AtomicU64::new(0)).collect(),
+            probe_ns: AtomicU64::new(PROBE_NS_SEED),
+            candidate_set_bytes_total: AtomicU64::new(0),
+            blocks_skipped_total: AtomicU64::new(0),
         }
     }
 
@@ -320,7 +361,9 @@ impl TableEngine {
         let Some(driver) = ordered.first().copied() else {
             // No predicates: every live tuple qualifies. The full-domain
             // range is exact because keys are `< i64::MAX` by the
-            // engine's key-domain contract.
+            // engine's key-domain contract. Flat read: a full scan's
+            // result is the answer itself, not a candidate set worth
+            // compressing.
             let (rowids, m) = self.indexes[0].select_rowids(i64::MIN, i64::MAX);
             metrics.accumulate(&m);
             return TableOpResult {
@@ -333,34 +376,92 @@ impl TableEngine {
             ordered.iter().all(|p| p.column < self.indexes.len()),
             "predicate column out of range"
         );
-        let (mut candidates, m) =
-            self.indexes[driver.column].select_rowids(driver.low, driver.high);
-        metrics.accumulate(&m);
+        let mut candidates =
+            self.timed_column_read(driver.column, driver.low, driver.high, &mut metrics);
         for predicate in &ordered[1..] {
             if candidates.is_empty() {
                 break;
             }
-            if candidates.len() <= PROJECTION_PROBE_MAX {
-                // Aligned projection: probe the row store per candidate.
-                candidates.retain(|&rowid| {
-                    self.value_at(predicate.column, rowid)
-                        .is_some_and(|v| predicate.matches(v))
-                });
+            if self.prefer_projection(predicate.column, candidates.len()) {
+                candidates = self.project_filter(&candidates, predicate);
             } else {
                 // Rowid-set intersection: crack the predicate's own
-                // column and intersect the two sorted id sets.
-                let (rows, m) =
-                    self.indexes[predicate.column].select_rowids(predicate.low, predicate.high);
-                metrics.accumulate(&m);
-                candidates = intersect_sorted(&candidates, &rows);
+                // column and intersect the two compressed sets, galloping
+                // from the smaller side when the skew warrants it.
+                let rows = self.timed_column_read(
+                    predicate.column,
+                    predicate.low,
+                    predicate.high,
+                    &mut metrics,
+                );
+                let (merged, stats) =
+                    intersect_sets(&candidates, &rows, IntersectStrategy::Adaptive);
+                metrics.blocks_skipped =
+                    metrics.blocks_skipped.saturating_add(stats.blocks_skipped);
+                self.blocks_skipped_total
+                    .fetch_add(stats.blocks_skipped, Ordering::Relaxed);
+                candidates = merged;
             }
         }
         metrics.result_count = candidates.len() as u64;
+        self.candidate_set_bytes_total
+            .fetch_add(metrics.candidate_set_bytes, Ordering::Relaxed);
         TableOpResult {
             value: candidates.len() as i128,
-            rowids: candidates,
+            rowids: candidates.to_vec(),
             metrics,
         }
+    }
+
+    /// One compressed column read, timed into the column's read-cost EMA
+    /// (the projection-vs-intersection switch consults it).
+    fn timed_column_read(
+        &self,
+        column: usize,
+        low: i64,
+        high: i64,
+        metrics: &mut QueryMetrics,
+    ) -> RowIdSet {
+        let start = Instant::now();
+        let (set, m) = self.indexes[column].select_rowid_set(low, high);
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        metrics.accumulate(&m);
+        ema_update(&self.column_select_ns[column], elapsed.max(1));
+        set
+    }
+
+    /// True when probing the row store per candidate is estimated cheaper
+    /// than reading the predicate column. An unmeasured column always
+    /// intersects: that bootstraps its cost estimate and cracks it.
+    fn prefer_projection(&self, column: usize, candidate_len: usize) -> bool {
+        let select_ns = self.column_select_ns[column].load(Ordering::Relaxed);
+        if select_ns == 0 {
+            return false;
+        }
+        let probe_ns = self.probe_ns.load(Ordering::Relaxed).max(1);
+        (candidate_len as u64).saturating_mul(probe_ns) < select_ns
+    }
+
+    /// Aligned projection: probes the row store for every candidate and
+    /// re-encodes the survivors (candidates arrive ascending, so the
+    /// builder streams). Feeds the per-probe cost EMA.
+    fn project_filter(&self, candidates: &RowIdSet, predicate: &ColumnPredicate) -> RowIdSet {
+        let start = Instant::now();
+        let mut survivors = RowIdSetBuilder::new();
+        let mut it = candidates.iter();
+        while let Some(rowid) = it.next() {
+            if self
+                .value_at(predicate.column, rowid)
+                .is_some_and(|v| predicate.matches(v))
+            {
+                survivors.push(rowid);
+            }
+        }
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(per_probe) = elapsed.checked_div(candidates.len() as u64) {
+            ema_update(&self.probe_ns, per_probe.max(1));
+        }
+        survivors.finish()
     }
 
     fn insert_tuple(&self, tuple: &[i64]) -> TableOpResult {
@@ -441,11 +542,16 @@ impl TableEngine {
     /// One merged structure probe across every column index: "piece
     /// count" means total pieces over all columns, delta pressure is
     /// summed, and partitioned backends contribute their routed load.
+    /// The candidate-set counters are engine-level (column indexes
+    /// report 0 for them): cumulative compressed footprint and
+    /// galloping block skips over every select so far.
     pub fn structure_probe(&self) -> StructureProbe {
         let mut probe = StructureProbe::default();
         for index in &self.indexes {
             probe.merge(&index.structure_probe());
         }
+        probe.candidate_set_bytes = self.candidate_set_bytes_total.load(Ordering::Relaxed);
+        probe.blocks_skipped = self.blocks_skipped_total.load(Ordering::Relaxed);
         probe
     }
 
@@ -475,34 +581,9 @@ impl std::fmt::Debug for TableEngine {
     }
 }
 
-/// Intersection of two ascending rowid vectors.
-fn intersect_sorted(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn intersect_sorted_basics() {
-        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 9]), vec![3, 5]);
-        assert_eq!(intersect_sorted(&[], &[1]), Vec::<RowId>::new());
-        assert_eq!(intersect_sorted(&[7], &[7]), vec![7]);
-    }
 
     #[test]
     fn backend_labels_round_trip() {

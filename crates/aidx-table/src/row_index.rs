@@ -3,7 +3,7 @@
 //! stack, so "serial vs chunked vs range-partitioned" is a per-table
 //! configuration knob rather than three different engines.
 
-use aidx_core::{ConcurrentCracker, QueryMetrics};
+use aidx_core::{ConcurrentCracker, QueryMetrics, RowIdSet};
 use aidx_obs::StructureProbe;
 use aidx_parallel::{ChunkedCracker, RangePartitionedCracker};
 use aidx_storage::RowId;
@@ -16,6 +16,11 @@ pub trait RowIndex: Send + Sync {
     /// Row ids of every live row whose value falls in `[low, high)`,
     /// sorted ascending, refining the index as a side effect.
     fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics);
+
+    /// Same read, but as a block-compressed [`RowIdSet`] — the planner's
+    /// working representation for multi-predicate intersection (galloping
+    /// seeks skip whole blocks of the larger side).
+    fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics);
 
     /// Q1 over the column (used by tests and diagnostics; the planner
     /// estimates selectivity from predicate widths instead, so estimating
@@ -39,6 +44,10 @@ pub trait RowIndex: Send + Sync {
 impl RowIndex for ConcurrentCracker {
     fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
         ConcurrentCracker::select_rowids(self, low, high)
+    }
+
+    fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
+        ConcurrentCracker::select_rowid_set(self, low, high)
     }
 
     fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
@@ -70,6 +79,11 @@ impl RowIndex for ChunkedCracker {
             .expect("table columns use concurrent chunk backends")
     }
 
+    fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
+        ChunkedCracker::select_rowid_set(self, low, high)
+            .expect("table columns use concurrent chunk backends")
+    }
+
     fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
         ChunkedCracker::count(self, low, high)
     }
@@ -94,6 +108,10 @@ impl RowIndex for ChunkedCracker {
 impl RowIndex for RangePartitionedCracker {
     fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
         RangePartitionedCracker::select_rowids(self, low, high)
+    }
+
+    fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
+        RangePartitionedCracker::select_rowid_set(self, low, high)
     }
 
     fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
