@@ -1,0 +1,160 @@
+//! DFS schedule exploration with optional bounded preemption.
+//!
+//! The explorer repeatedly runs a freshly-built scenario under a schedule
+//! prefix. Each run records its decision points (eligible threads, chosen
+//! thread); the next prefix is derived by taking the *deepest* decision that
+//! still has an untried alternative and bumping it — a classic depth-first
+//! walk of the schedule tree. Exploration stops at the first failing
+//! schedule, when the tree is exhausted, or at the schedule cap.
+
+use crate::sched::{self, Failure, RunConfig};
+
+/// A small concurrent scenario: thread bodies plus an optional single-threaded
+/// finale check that runs after every schedule (oracle comparison).
+///
+/// The builder is consumed per run, so the explorer takes a scenario
+/// *factory* and rebuilds fresh state for every schedule.
+#[derive(Default)]
+pub struct Scenario {
+    threads: Vec<Box<dyn FnOnce() + Send>>,
+    finale: Option<Box<dyn FnOnce()>>,
+}
+
+impl Scenario {
+    /// Creates an empty scenario.
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// Adds a virtual thread.
+    pub fn thread(mut self, body: impl FnOnce() + Send + 'static) -> Self {
+        self.threads.push(Box::new(body));
+        self
+    }
+
+    /// Sets the finale check, run single-threaded after the schedule
+    /// completes. Panic here fails the schedule with kind `finale-panic`.
+    pub fn finale(mut self, check: impl FnOnce() + 'static) -> Self {
+        self.finale = Some(Box::new(check));
+        self
+    }
+}
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Hard cap on schedules explored (the tree may be larger).
+    pub max_schedules: usize,
+    /// Per-run decision cap; exceeding it fails the run (livelock guard).
+    pub max_steps: usize,
+    /// `Some(k)`: prune schedules needing more than `k` preemptions
+    /// (choosing another thread while the previous one could continue).
+    /// `None`: full DFS.
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_schedules: 50_000,
+            max_steps: 20_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+/// What an exploration did and found.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// True if the schedule tree was fully enumerated (within the bound).
+    pub exhausted: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+impl ExploreReport {
+    /// Panics with the failure diagnostic and reproducing schedule if any
+    /// schedule failed.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "schedule {} of exploration failed [{}]\n{}\nreproducing schedule (thread ids): {:?}",
+                self.schedules, f.kind, f.message, f.trace
+            );
+        }
+    }
+
+    /// Asserts that exploration found a failure of the given kind (for
+    /// seeded-bug tests) and returns it.
+    pub fn expect_failure(&self, kind: &str) -> &Failure {
+        match &self.failure {
+            Some(f) if f.kind == kind => f,
+            Some(f) => panic!(
+                "expected failure kind {kind:?} but exploration found [{}]\n{}",
+                f.kind, f.message
+            ),
+            None => panic!(
+                "expected failure kind {kind:?} but all {} schedules passed",
+                self.schedules
+            ),
+        }
+    }
+}
+
+/// Explores schedules of the scenario produced by `factory` until failure,
+/// exhaustion, or the schedule cap.
+pub fn explore(cfg: ExploreConfig, mut factory: impl FnMut() -> Scenario) -> ExploreReport {
+    let run_cfg = RunConfig {
+        preemption_bound: cfg.preemption_bound,
+        max_steps: cfg.max_steps,
+    };
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut report = ExploreReport {
+        schedules: 0,
+        exhausted: false,
+        failure: None,
+    };
+    loop {
+        let scenario = factory();
+        let outcome =
+            sched::run_scenario(prefix.clone(), run_cfg, scenario.threads, scenario.finale);
+        report.schedules += 1;
+        if outcome.failure.is_some() {
+            report.failure = outcome.failure;
+            return report;
+        }
+        // Deepest decision with an untried alternative → next DFS prefix.
+        let mut next: Option<Vec<usize>> = None;
+        for i in (0..outcome.decisions.len()).rev() {
+            let d = &outcome.decisions[i];
+            let chosen_idx = d
+                .allowed
+                .iter()
+                .position(|&t| t == d.chosen)
+                .expect("chosen thread is in its allowed set");
+            if chosen_idx + 1 < d.allowed.len() {
+                let mut p: Vec<usize> = outcome.decisions[..i].iter().map(|d| d.chosen).collect();
+                p.push(d.allowed[chosen_idx + 1]);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            None => {
+                report.exhausted = true;
+                return report;
+            }
+            Some(_) if report.schedules >= cfg.max_schedules => {
+                return report;
+            }
+            Some(p) => prefix = p,
+        }
+    }
+}
+
+/// [`explore`] with default limits.
+pub fn explore_default(factory: impl FnMut() -> Scenario) -> ExploreReport {
+    explore(ExploreConfig::default(), factory)
+}

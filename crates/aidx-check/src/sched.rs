@@ -1,0 +1,800 @@
+//! Virtual-thread scheduler: the `Sched` controller behind the mini-loom.
+//!
+//! A *run* executes one scenario under one schedule. Every virtual thread is
+//! a real OS thread, but exactly one is runnable at a time: each checked
+//! operation (lock, unlock, atomic access, yield) ends in a *decision point*
+//! where the scheduler picks which thread performs the next effect. Decisions
+//! are recorded so the explorer can systematically revisit the last decision
+//! with alternatives (DFS over the schedule tree), optionally pruned by a
+//! preemption bound.
+//!
+//! Blocking is modelled, not real: a thread that cannot acquire a resource is
+//! marked `Blocked` in the scheduler state and parks on the scheduler condvar
+//! until an unlock/notify makes it runnable *and* a decision selects it.
+//! When no thread is runnable the run has deadlocked; the scheduler records a
+//! waits-for diagnostic built from the per-thread acquisition stacks and
+//! aborts the run. Timed condvar waits are modelled as last-resort wakeups:
+//! the timeout fires only when nothing else can run, which keeps timeout
+//! paths explorable without spurious schedules where a timeout preempts a
+//! perfectly runnable peer.
+//!
+//! The model explores *schedules* under sequential consistency; it does not
+//! model weak-memory reorderings (there is no shim-friendly way to do that
+//! offline). Ordering audits are aidx-lint's and miri's job instead.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Global resource-id allocator. Ids are assigned lazily, the first time a
+/// checked primitive participates in a run, and stay attached to the object
+/// for its lifetime; per-run scheduler state is keyed by these ids.
+static NEXT_RESOURCE_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Sentinel panic payload used to unwind virtual threads when a run aborts.
+/// Caught (and swallowed) by the per-thread wrapper in [`run_scenario`].
+pub(crate) struct SchedAbort;
+
+const NO_THREAD: usize = usize::MAX;
+
+/// How a resource is held, for acquisition-stack diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Exclusive,
+    Shared,
+}
+
+/// One entry in a thread's acquisition stack.
+#[derive(Clone, Debug)]
+struct Held {
+    rid: usize,
+    mode: Mode,
+    order: Option<(u8, &'static str)>,
+}
+
+/// Why a thread is blocked.
+#[derive(Clone, Debug)]
+enum Block {
+    MutexLock(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    CondWait { cv: usize, timed: bool },
+}
+
+#[derive(Clone, Debug)]
+enum TState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+enum Resource {
+    Mutex {
+        holder: Option<usize>,
+    },
+    Rw {
+        readers: Vec<usize>,
+        writer: Option<usize>,
+    },
+    Cond,
+}
+
+/// One scheduling decision: which threads were eligible, which was chosen.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    pub(crate) allowed: Vec<usize>,
+    pub(crate) chosen: usize,
+}
+
+/// A failed run: what went wrong and the schedule (chosen-thread sequence)
+/// that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Failure class: `"deadlock"`, `"latch-order"`, `"panic"`,
+    /// `"finale-panic"` or `"step-limit"`.
+    pub kind: &'static str,
+    /// Human-readable diagnostic (includes acquisition traces where known).
+    pub message: String,
+    /// The schedule that reproduces the failure: thread ids in decision order.
+    pub trace: Vec<usize>,
+}
+
+/// Per-run scheduler knobs (set by the explorer).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RunConfig {
+    pub(crate) preemption_bound: Option<usize>,
+    pub(crate) max_steps: usize,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    held: Vec<Vec<Held>>,
+    woke_timeout: Vec<bool>,
+    current: usize,
+    resources: HashMap<usize, Resource>,
+    decisions: Vec<Decision>,
+    prefix: Vec<usize>,
+    preemptions: usize,
+    abort: bool,
+    failure: Option<Failure>,
+}
+
+impl SchedState {
+    fn new(nthreads: usize, prefix: Vec<usize>) -> Self {
+        SchedState {
+            threads: vec![TState::Runnable; nthreads],
+            held: vec![Vec::new(); nthreads],
+            woke_timeout: vec![false; nthreads],
+            current: NO_THREAD,
+            resources: HashMap::new(),
+            decisions: Vec::new(),
+            prefix,
+            preemptions: 0,
+            abort: false,
+            failure: None,
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| matches!(t, TState::Finished))
+    }
+}
+
+pub(crate) struct Shared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    cfg: RunConfig,
+}
+
+/// Per-thread handle into the active run (stored in TLS while a virtual
+/// thread executes its body).
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with the current virtual-thread context, if this OS thread is a
+/// virtual thread of an active run.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().cloned())
+        .map(|ctx| f(&ctx))
+}
+
+/// True when the calling thread is a virtual thread under the model checker.
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+type StateGuard<'a> = MutexGuard<'a, SchedState>;
+
+fn lock_state(shared: &Shared) -> StateGuard<'_> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Ctx {
+    fn ensure_resource(
+        &self,
+        st: &mut SchedState,
+        id_cell: &AtomicUsize,
+        mk: fn() -> Resource,
+    ) -> usize {
+        let mut id = id_cell.load(Ordering::Relaxed);
+        if id == 0 {
+            let fresh = NEXT_RESOURCE_ID.fetch_add(1, Ordering::Relaxed);
+            id = match id_cell.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => fresh,
+                Err(existing) => existing,
+            };
+        }
+        st.resources.entry(id).or_insert_with(mk);
+        id
+    }
+
+    /// Parks until a decision makes this thread current. Panics with
+    /// [`SchedAbort`] if the run aborts while parked.
+    fn wait_turn<'a>(&self, mut st: StateGuard<'a>) -> StateGuard<'a> {
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(SchedAbort);
+            }
+            if st.current == self.tid {
+                return st;
+            }
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Asserts the configured acquisition order before granting `rid` to the
+    /// current thread. On violation records a failure with the full
+    /// acquisition trace and aborts the run.
+    fn check_order(&self, st: &mut SchedState, rid: usize, order: Option<(u8, &'static str)>) {
+        let Some((level, label)) = order else { return };
+        let worst = st.held[self.tid]
+            .iter()
+            .filter_map(|h| h.order)
+            .max_by_key(|&(l, _)| l);
+        if let Some((held_level, held_label)) = worst {
+            if level < held_level {
+                let mut msg = format!(
+                    "latch-order inversion on thread {}: acquiring level {} ({label}, resource #{rid}) \
+                     while holding level {} ({held_label})\nacquisition stack:\n",
+                    self.tid, level, held_level
+                );
+                for h in &st.held[self.tid] {
+                    let (l, n) = h.order.unwrap_or((0, "untagged"));
+                    let _ = writeln!(msg, "  - level {l} {n} (resource #{}, {:?})", h.rid, h.mode);
+                }
+                fail(&self.shared, st, "latch-order", msg);
+                panic::panic_any(SchedAbort);
+            }
+        }
+    }
+
+    /// Inner mutex acquisition: loops block/retry until granted, then makes a
+    /// scheduling decision.
+    fn acquire_mutex_inner<'a>(
+        &self,
+        mut st: StateGuard<'a>,
+        rid: usize,
+        order: Option<(u8, &'static str)>,
+    ) -> StateGuard<'a> {
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(SchedAbort);
+            }
+            let free = match st.resources.get(&rid) {
+                Some(Resource::Mutex { holder }) => holder.is_none(),
+                _ => true,
+            };
+            if free {
+                self.check_order(&mut st, rid, order);
+                if let Some(Resource::Mutex { holder }) = st.resources.get_mut(&rid) {
+                    *holder = Some(self.tid);
+                }
+                st.held[self.tid].push(Held {
+                    rid,
+                    mode: Mode::Exclusive,
+                    order,
+                });
+                schedule_next(&self.shared, &mut st);
+                return self.wait_turn(st);
+            }
+            st.threads[self.tid] = TState::Blocked(Block::MutexLock(rid));
+            schedule_next(&self.shared, &mut st);
+            st = self.wait_turn(st);
+        }
+    }
+
+    pub(crate) fn mutex_lock(&self, id_cell: &AtomicUsize, order: Option<(u8, &'static str)>) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = lock_state(&self.shared);
+        let rid = self.ensure_resource(&mut st, id_cell, || Resource::Mutex { holder: None });
+        let _st = self.acquire_mutex_inner(st, rid, order);
+    }
+
+    pub(crate) fn mutex_try_lock(
+        &self,
+        id_cell: &AtomicUsize,
+        order: Option<(u8, &'static str)>,
+    ) -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        let mut st = lock_state(&self.shared);
+        if st.abort {
+            drop(st);
+            panic::panic_any(SchedAbort);
+        }
+        let rid = self.ensure_resource(&mut st, id_cell, || Resource::Mutex { holder: None });
+        let free = match st.resources.get(&rid) {
+            Some(Resource::Mutex { holder }) => holder.is_none(),
+            _ => true,
+        };
+        if free {
+            self.check_order(&mut st, rid, order);
+            if let Some(Resource::Mutex { holder }) = st.resources.get_mut(&rid) {
+                *holder = Some(self.tid);
+            }
+            st.held[self.tid].push(Held {
+                rid,
+                mode: Mode::Exclusive,
+                order,
+            });
+        }
+        schedule_next(&self.shared, &mut st);
+        let _st = self.wait_turn(st);
+        free
+    }
+
+    pub(crate) fn mutex_unlock(&self, id_cell: &AtomicUsize) {
+        let mut st = lock_state(&self.shared);
+        let rid = id_cell.load(Ordering::Relaxed);
+        release_mutex(&mut st, rid, self.tid);
+        if st.abort || std::thread::panicking() {
+            return;
+        }
+        schedule_next(&self.shared, &mut st);
+        let _st = self.wait_turn(st);
+    }
+
+    pub(crate) fn rw_lock(
+        &self,
+        id_cell: &AtomicUsize,
+        write: bool,
+        order: Option<(u8, &'static str)>,
+    ) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = lock_state(&self.shared);
+        let rid = self.ensure_resource(&mut st, id_cell, || Resource::Rw {
+            readers: Vec::new(),
+            writer: None,
+        });
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(SchedAbort);
+            }
+            let grantable = match st.resources.get(&rid) {
+                Some(Resource::Rw { readers, writer }) => {
+                    writer.is_none() && (!write || readers.is_empty())
+                }
+                _ => true,
+            };
+            if grantable {
+                self.check_order(&mut st, rid, order);
+                if let Some(Resource::Rw { readers, writer }) = st.resources.get_mut(&rid) {
+                    if write {
+                        *writer = Some(self.tid);
+                    } else {
+                        readers.push(self.tid);
+                    }
+                }
+                st.held[self.tid].push(Held {
+                    rid,
+                    mode: if write { Mode::Exclusive } else { Mode::Shared },
+                    order,
+                });
+                schedule_next(&self.shared, &mut st);
+                let _st = self.wait_turn(st);
+                return;
+            }
+            st.threads[self.tid] = TState::Blocked(if write {
+                Block::RwWrite(rid)
+            } else {
+                Block::RwRead(rid)
+            });
+            schedule_next(&self.shared, &mut st);
+            st = self.wait_turn(st);
+        }
+    }
+
+    pub(crate) fn rw_try_lock(
+        &self,
+        id_cell: &AtomicUsize,
+        write: bool,
+        order: Option<(u8, &'static str)>,
+    ) -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        let mut st = lock_state(&self.shared);
+        if st.abort {
+            drop(st);
+            panic::panic_any(SchedAbort);
+        }
+        let rid = self.ensure_resource(&mut st, id_cell, || Resource::Rw {
+            readers: Vec::new(),
+            writer: None,
+        });
+        let grantable = match st.resources.get(&rid) {
+            Some(Resource::Rw { readers, writer }) => {
+                writer.is_none() && (!write || readers.is_empty())
+            }
+            _ => true,
+        };
+        if grantable {
+            self.check_order(&mut st, rid, order);
+            if let Some(Resource::Rw { readers, writer }) = st.resources.get_mut(&rid) {
+                if write {
+                    *writer = Some(self.tid);
+                } else {
+                    readers.push(self.tid);
+                }
+            }
+            st.held[self.tid].push(Held {
+                rid,
+                mode: if write { Mode::Exclusive } else { Mode::Shared },
+                order,
+            });
+        }
+        schedule_next(&self.shared, &mut st);
+        let _st = self.wait_turn(st);
+        grantable
+    }
+
+    pub(crate) fn rw_unlock(&self, id_cell: &AtomicUsize, write: bool) {
+        let mut st = lock_state(&self.shared);
+        let rid = id_cell.load(Ordering::Relaxed);
+        release_rw(&mut st, rid, self.tid, write);
+        if st.abort || std::thread::panicking() {
+            return;
+        }
+        schedule_next(&self.shared, &mut st);
+        let _st = self.wait_turn(st);
+    }
+
+    /// Condvar wait: atomically releases the paired mutex, parks on the
+    /// condvar, and re-acquires the mutex before returning. Returns whether
+    /// the wakeup was the modelled timeout (timed waits only).
+    pub(crate) fn cond_wait(
+        &self,
+        cv_cell: &AtomicUsize,
+        mutex_cell: &AtomicUsize,
+        mutex_order: Option<(u8, &'static str)>,
+        timed: bool,
+    ) -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        let mut st = lock_state(&self.shared);
+        if st.abort {
+            drop(st);
+            panic::panic_any(SchedAbort);
+        }
+        let cv_rid = self.ensure_resource(&mut st, cv_cell, || Resource::Cond);
+        let mutex_rid = mutex_cell.load(Ordering::Relaxed);
+        release_mutex(&mut st, mutex_rid, self.tid);
+        st.threads[self.tid] = TState::Blocked(Block::CondWait { cv: cv_rid, timed });
+        schedule_next(&self.shared, &mut st);
+        let mut st = self.wait_turn(st);
+        let tid = self.tid;
+        let timed_out = std::mem::replace(&mut st.woke_timeout[tid], false);
+        let _st = self.acquire_mutex_inner(st, mutex_rid, mutex_order);
+        timed_out
+    }
+
+    pub(crate) fn cond_notify(&self, cv_cell: &AtomicUsize, all: bool) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = lock_state(&self.shared);
+        if st.abort {
+            drop(st);
+            panic::panic_any(SchedAbort);
+        }
+        let cv_rid = self.ensure_resource(&mut st, cv_cell, || Resource::Cond);
+        let mut woken = 0usize;
+        for t in 0..st.threads.len() {
+            if let TState::Blocked(Block::CondWait { cv, .. }) = &st.threads[t] {
+                if *cv == cv_rid {
+                    st.threads[t] = TState::Runnable;
+                    woken += 1;
+                    if !all && woken == 1 {
+                        break;
+                    }
+                }
+            }
+        }
+        schedule_next(&self.shared, &mut st);
+        let _st = self.wait_turn(st);
+    }
+
+    /// A plain yield point (used after every checked atomic effect).
+    pub(crate) fn yield_point(&self) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = lock_state(&self.shared);
+        if st.abort {
+            drop(st);
+            panic::panic_any(SchedAbort);
+        }
+        schedule_next(&self.shared, &mut st);
+        let _st = self.wait_turn(st);
+    }
+}
+
+fn release_mutex(st: &mut SchedState, rid: usize, tid: usize) {
+    if let Some(Resource::Mutex { holder }) = st.resources.get_mut(&rid) {
+        if *holder == Some(tid) {
+            *holder = None;
+        }
+    }
+    if let Some(pos) = st.held[tid].iter().rposition(|h| h.rid == rid) {
+        st.held[tid].remove(pos);
+    }
+    wake_blocked_on(st, rid);
+}
+
+fn release_rw(st: &mut SchedState, rid: usize, tid: usize, write: bool) {
+    if let Some(Resource::Rw { readers, writer }) = st.resources.get_mut(&rid) {
+        if write {
+            if *writer == Some(tid) {
+                *writer = None;
+            }
+        } else if let Some(pos) = readers.iter().rposition(|&r| r == tid) {
+            readers.remove(pos);
+        }
+    }
+    if let Some(pos) = st.held[tid].iter().rposition(|h| h.rid == rid) {
+        st.held[tid].remove(pos);
+    }
+    wake_blocked_on(st, rid);
+}
+
+/// Wakes every thread blocked on `rid`; they re-contend when scheduled, so
+/// the explorer enumerates all grant orders.
+fn wake_blocked_on(st: &mut SchedState, rid: usize) {
+    for t in 0..st.threads.len() {
+        let wake = match &st.threads[t] {
+            TState::Blocked(Block::MutexLock(r))
+            | TState::Blocked(Block::RwRead(r))
+            | TState::Blocked(Block::RwWrite(r)) => *r == rid,
+            _ => false,
+        };
+        if wake {
+            st.threads[t] = TState::Runnable;
+        }
+    }
+}
+
+fn fail(shared: &Shared, st: &mut SchedState, kind: &'static str, message: String) {
+    if st.failure.is_none() {
+        st.failure = Some(Failure {
+            kind,
+            message,
+            trace: st.decisions.iter().map(|d| d.chosen).collect(),
+        });
+    }
+    st.abort = true;
+    shared.cv.notify_all();
+}
+
+/// Builds the waits-for diagnostic shown when no thread can run.
+fn deadlock_diagnostic(st: &SchedState) -> String {
+    let mut msg = String::from("deadlock: no virtual thread is runnable\n");
+    for (t, state) in st.threads.iter().enumerate() {
+        let TState::Blocked(block) = state else {
+            continue;
+        };
+        let (what, rid) = match block {
+            Block::MutexLock(r) => ("mutex", *r),
+            Block::RwRead(r) => ("rwlatch(read)", *r),
+            Block::RwWrite(r) => ("rwlatch(write)", *r),
+            Block::CondWait { cv, timed } => {
+                let _ = writeln!(
+                    msg,
+                    "  thread {t}: waiting on condvar #{cv} (timed: {timed}), holds {:?}",
+                    held_summary(st, t)
+                );
+                continue;
+            }
+        };
+        let holders: Vec<usize> = match st.resources.get(&rid) {
+            Some(Resource::Mutex { holder }) => holder.iter().copied().collect(),
+            Some(Resource::Rw { readers, writer }) => readers
+                .iter()
+                .copied()
+                .chain(writer.iter().copied())
+                .collect(),
+            _ => Vec::new(),
+        };
+        let _ = writeln!(
+            msg,
+            "  thread {t}: waits-for {what} #{rid} held by {holders:?}; holds {:?}",
+            held_summary(st, t)
+        );
+    }
+    msg
+}
+
+fn held_summary(st: &SchedState, tid: usize) -> Vec<String> {
+    st.held[tid]
+        .iter()
+        .map(|h| {
+            let (l, n) = h.order.unwrap_or((0, "untagged"));
+            format!("#{} level {l} {n}", h.rid)
+        })
+        .collect()
+}
+
+/// The decision procedure: pick the next current thread (prefix-guided, else
+/// first eligible), honouring the preemption bound and modelling condvar
+/// timeouts as last-resort wakeups.
+fn schedule_next(shared: &Shared, st: &mut SchedState) {
+    if st.abort {
+        return;
+    }
+    if st.decisions.len() >= shared.cfg.max_steps {
+        fail(
+            shared,
+            st,
+            "step-limit",
+            format!(
+                "schedule exceeded {} steps (livelock?)",
+                shared.cfg.max_steps
+            ),
+        );
+        return;
+    }
+    let runnable: Vec<usize> = (0..st.threads.len())
+        .filter(|&t| matches!(st.threads[t], TState::Runnable))
+        .collect();
+    let prev = st.current;
+    let allowed = if runnable.is_empty() {
+        // Timed condvar waiters wake only when nothing else can run: which
+        // timeout fires first is itself a scheduling choice.
+        let timed: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| {
+                matches!(
+                    st.threads[t],
+                    TState::Blocked(Block::CondWait { timed: true, .. })
+                )
+            })
+            .collect();
+        if !timed.is_empty() {
+            let idx = pick_index(st, &timed);
+            let chosen = timed[idx];
+            st.woke_timeout[chosen] = true;
+            st.threads[chosen] = TState::Runnable;
+            st.decisions.push(Decision {
+                allowed: timed,
+                chosen,
+            });
+            st.current = chosen;
+            shared.cv.notify_all();
+            return;
+        }
+        if st.all_finished() {
+            st.current = NO_THREAD;
+            shared.cv.notify_all();
+            return;
+        }
+        let diag = deadlock_diagnostic(st);
+        fail(shared, st, "deadlock", diag);
+        return;
+    } else if let Some(bound) = shared.cfg.preemption_bound {
+        if runnable.contains(&prev) && st.preemptions >= bound {
+            vec![prev]
+        } else {
+            runnable
+        }
+    } else {
+        runnable
+    };
+    let idx = pick_index(st, &allowed);
+    let chosen = allowed[idx];
+    if prev != NO_THREAD && chosen != prev && allowed.contains(&prev) {
+        st.preemptions += 1;
+    }
+    st.decisions.push(Decision {
+        allowed: allowed.clone(),
+        chosen,
+    });
+    st.current = chosen;
+    shared.cv.notify_all();
+}
+
+fn pick_index(st: &SchedState, allowed: &[usize]) -> usize {
+    if st.decisions.len() < st.prefix.len() {
+        let want = st.prefix[st.decisions.len()];
+        allowed.iter().position(|&t| t == want).unwrap_or(0)
+    } else {
+        0
+    }
+}
+
+pub(crate) struct RunOutcome {
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) failure: Option<Failure>,
+}
+
+fn payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Executes one scenario under the schedule described by `prefix` (decisions
+/// beyond the prefix default to "first eligible thread").
+pub(crate) fn run_scenario(
+    prefix: Vec<usize>,
+    cfg: RunConfig,
+    threads: Vec<Box<dyn FnOnce() + Send>>,
+    finale: Option<Box<dyn FnOnce()>>,
+) -> RunOutcome {
+    let n = threads.len();
+    let shared = Arc::new(Shared {
+        state: Mutex::new(SchedState::new(n, prefix)),
+        cv: Condvar::new(),
+        cfg,
+    });
+    {
+        let mut st = lock_state(&shared);
+        schedule_next(&shared, &mut st);
+    }
+    let handles: Vec<_> = threads
+        .into_iter()
+        .enumerate()
+        .map(|(tid, body)| {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let ctx = Ctx {
+                    shared: Arc::clone(&sh),
+                    tid,
+                };
+                CTX.with(|c| *c.borrow_mut() = Some(ctx.clone()));
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let st = lock_state(&sh);
+                    drop(ctx.wait_turn(st));
+                    body();
+                }));
+                CTX.with(|c| *c.borrow_mut() = None);
+                let mut st = lock_state(&sh);
+                st.threads[tid] = TState::Finished;
+                match result {
+                    Ok(()) => {
+                        if !st.abort {
+                            schedule_next(&sh, &mut st);
+                        }
+                    }
+                    Err(p) if p.downcast_ref::<SchedAbort>().is_some() => {}
+                    Err(p) => {
+                        let msg = format!("thread {tid} panicked: {}", payload_to_string(p));
+                        fail(&sh, &mut st, "panic", msg);
+                    }
+                }
+                sh.cv.notify_all();
+            })
+        })
+        .collect();
+    {
+        let mut st = lock_state(&shared);
+        while !st.all_finished() {
+            st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = lock_state(&shared);
+    let mut outcome = RunOutcome {
+        decisions: std::mem::take(&mut st.decisions),
+        failure: st.failure.take(),
+    };
+    drop(st);
+    if outcome.failure.is_none() {
+        if let Some(f) = finale {
+            let trace: Vec<usize> = outcome.decisions.iter().map(|d| d.chosen).collect();
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                outcome.failure = Some(Failure {
+                    kind: "finale-panic",
+                    message: format!("finale check panicked: {}", payload_to_string(p)),
+                    trace,
+                });
+            }
+        }
+    }
+    outcome
+}

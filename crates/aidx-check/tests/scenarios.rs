@@ -1,0 +1,666 @@
+//! The permanent concurrency-scenario suite.
+//!
+//! Two kinds of scenario live here:
+//!
+//! * **Real-code models** — the actual `ConcurrentCracker`, posting-list
+//!   intersection, and `OrderedWaitLatch` run on virtual threads. This works
+//!   because `aidx-core` is built with the `check` feature in this crate's
+//!   test graph, so every facade lock the production code takes routes
+//!   through the scheduler. (Deletes are excluded from real-cracker
+//!   scenarios: the shrink seqlock's reader side spins on a *raw* atomic,
+//!   which the virtual scheduler cannot preempt — those protocols are
+//!   modelled by hand below instead.)
+//! * **Protocol mini-models** — hand-written reductions of the cracker's
+//!   trickiest protocols (seqlock select-vs-shrink, bounded-retry
+//!   reclaim-pause, incremental compaction vs snapshots, delete-vs-sweep
+//!   tombstone accounting, the chunked designated-chunk handoff). Each has a
+//!   correct variant that must survive *every* schedule and a deliberately
+//!   buggy "teeth" variant that the explorer must catch — proving the suite
+//!   would notice a regression in the real protocol, not just rubber-stamp
+//!   it.
+//!
+//! Three of the mini-models are ports of bugs this codebase actually had or
+//! defends against: the PR 7 galloping-intersection frontier bug, the PR 4
+//! bounded-retry reclaim-pause drain, and the PR 3 chunked designated-chunk
+//! handoff.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use aidx_check::sync::{yield_now, CheckedAtomicU64, CheckedAtomicUsize, CheckedMutex};
+use aidx_check::{explore, explore_default, ExploreConfig, Scenario};
+use aidx_core::{
+    intersect_iters_gallop, intersect_iters_linear, ConcurrentCracker, LatchProtocol, RowIdSet,
+};
+use aidx_latch::ordered::OrderedWaitLatch;
+
+fn capped(max_schedules: usize) -> ExploreConfig {
+    ExploreConfig {
+        max_schedules,
+        max_steps: 20_000,
+        preemption_bound: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real cracker under the model
+// ---------------------------------------------------------------------------
+
+/// ISSUE scenario 1 — crack-vs-crack on one column. Two crack selects with
+/// overlapping bounds run on virtual threads against the *real*
+/// `ConcurrentCracker`; every explored interleaving of their latch
+/// acquisitions must produce exact counts and leave the column intact.
+///
+/// This is also the "≥ 1000 distinct schedules" acceptance gate: the
+/// per-piece latch protocol has enough decision points that full DFS blows
+/// well past a thousand schedules before the cap.
+#[test]
+fn real_cracker_crack_vs_crack_explored() {
+    const VALUES: [i64; 8] = [9, 3, 7, 1, 8, 2, 6, 4];
+    let oracle = |lo: i64, hi: i64| VALUES.iter().filter(|&&v| v >= lo && v < hi).count() as u64;
+    let (e1, e2) = (oracle(2, 6), oracle(5, 9));
+    let report = explore(capped(1200), move || {
+        let idx = Arc::new(ConcurrentCracker::from_values(
+            VALUES.to_vec(),
+            LatchProtocol::Piece,
+        ));
+        let a = Arc::clone(&idx);
+        let b = Arc::clone(&idx);
+        Scenario::new()
+            .thread(move || {
+                let (n, _) = a.count(2, 6);
+                assert_eq!(n, e1, "crack select [2,6) returned a wrong count");
+            })
+            .thread(move || {
+                let (n, _) = b.count(5, 9);
+                assert_eq!(n, e2, "crack select [5,9) returned a wrong count");
+            })
+            .finale(move || {
+                let (n, _) = idx.count(i64::MIN, i64::MAX);
+                assert_eq!(
+                    n,
+                    VALUES.len() as u64,
+                    "rows lost or duplicated by cracking"
+                );
+                assert!(
+                    idx.piece_count() >= 2,
+                    "both selects finished without cracking"
+                );
+            })
+    });
+    report.assert_ok();
+    assert!(
+        report.schedules >= 1000,
+        "expected >= 1000 distinct schedules, explored {}",
+        report.schedules
+    );
+}
+
+/// Crack select racing an insert: the count must be atomic — it sees the
+/// delta row or it doesn't, and afterwards the row is durably there.
+#[test]
+fn real_cracker_count_vs_insert_linearises() {
+    let report = explore(capped(800), move || {
+        let idx = Arc::new(ConcurrentCracker::from_values(
+            vec![1, 2, 3, 4],
+            LatchProtocol::Piece,
+        ));
+        let a = Arc::clone(&idx);
+        let b = Arc::clone(&idx);
+        Scenario::new()
+            .thread(move || {
+                a.insert(2);
+            })
+            .thread(move || {
+                let (n, _) = b.count(0, 10);
+                assert!(
+                    n == 4 || n == 5,
+                    "count racing one insert must see 4 or 5 rows, saw {n}"
+                );
+            })
+            .finale(move || {
+                let (n, _) = idx.count(0, 10);
+                assert_eq!(n, 5, "insert lost after both operations completed");
+            })
+    });
+    report.assert_ok();
+}
+
+/// The real `OrderedWaitLatch` (bound-ordered writer queue) model-checked
+/// directly: its internal mutex/condvar waits route through the scheduler,
+/// so the explorer enumerates grant orders and verifies mutual exclusion.
+#[test]
+fn real_ordered_wait_latch_mutual_exclusion() {
+    let report = explore_default(move || {
+        let latch = Arc::new(OrderedWaitLatch::new());
+        let critical = Arc::new(CheckedAtomicUsize::new(0));
+        let mut scenario = Scenario::new();
+        for bound in [10i64, 20] {
+            let latch = Arc::clone(&latch);
+            let critical = Arc::clone(&critical);
+            scenario = scenario.thread(move || {
+                let guard = latch.acquire_write(bound);
+                let inside = critical.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(inside, 0, "two writers inside the latch at once");
+                critical.fetch_sub(1, Ordering::SeqCst);
+                guard.release();
+            });
+        }
+        scenario
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2, "both grant orders must be explored");
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock: select vs shrink (ISSUE scenario 2) + PR 4 reclaim-pause port
+// ---------------------------------------------------------------------------
+
+/// Mini-model of the shrink seqlock. Two cells whose sum is invariantly 100
+/// stand in for a piece's payload; a sweep moves 10 units between them under
+/// an odd/even epoch, serialised by `shrink_serial` — exactly the
+/// `ConcurrentCracker` discipline, with checked atomics replacing the raw
+/// ones so the scheduler can preempt at every step.
+struct SeqlockPiece {
+    epoch: CheckedAtomicU64,
+    cell_a: CheckedAtomicU64,
+    cell_b: CheckedAtomicU64,
+    shrink_serial: CheckedMutex<()>,
+}
+
+impl SeqlockPiece {
+    fn new() -> Self {
+        SeqlockPiece {
+            epoch: CheckedAtomicU64::new(0),
+            cell_a: CheckedAtomicU64::new(60),
+            cell_b: CheckedAtomicU64::new(40),
+            shrink_serial: CheckedMutex::new(()),
+        }
+    }
+
+    /// One shrink: bump to odd, mutate, bump to even — all under the serial
+    /// mutex.
+    fn sweep(&self) {
+        let _serial = self.shrink_serial.lock();
+        self.epoch.store(1, Ordering::SeqCst);
+        let a = self.cell_a.load(Ordering::SeqCst);
+        self.cell_a.store(a - 10, Ordering::SeqCst);
+        let b = self.cell_b.load(Ordering::SeqCst);
+        self.cell_b.store(b + 10, Ordering::SeqCst);
+        self.epoch.store(2, Ordering::SeqCst);
+    }
+
+    fn cells_sum(&self) -> u64 {
+        self.cell_a.load(Ordering::SeqCst) + self.cell_b.load(Ordering::SeqCst)
+    }
+
+    /// Optimistic read with bounded retries, falling back to draining the
+    /// sweep through `shrink_serial` (the PR 4 reclaim-pause shape). With
+    /// `validate` off, a mid-sweep read is returned unchecked — the seeded
+    /// bug the explorer must catch.
+    fn read_sum(&self, validate: bool) -> u64 {
+        for _ in 0..3 {
+            let before = self.epoch.load(Ordering::SeqCst);
+            if !before.is_multiple_of(2) {
+                continue; // sweep in progress; bounded retry
+            }
+            let sum = self.cells_sum();
+            if !validate || self.epoch.load(Ordering::SeqCst) == before {
+                return sum;
+            }
+        }
+        // Retry cap exceeded: pause reclamation by draining the in-flight
+        // sweep, then read non-optimistically while holding the serial lock.
+        let _serial = self.shrink_serial.lock();
+        self.cells_sum()
+    }
+}
+
+/// Correct seqlock protocol: every schedule of select-vs-shrink yields the
+/// invariant sum, including schedules that exhaust the retry budget and take
+/// the drain path.
+#[test]
+fn seqlock_select_vs_shrink_holds_on_every_schedule() {
+    let report = explore_default(move || {
+        let piece = Arc::new(SeqlockPiece::new());
+        let reader = Arc::clone(&piece);
+        let sweeper = Arc::clone(&piece);
+        Scenario::new()
+            .thread(move || {
+                let sum = reader.read_sum(true);
+                assert_eq!(sum, 100, "validated read saw a torn sweep");
+            })
+            .thread(move || sweeper.sweep())
+            .finale(move || {
+                assert_eq!(piece.cells_sum(), 100, "sweep corrupted the payload");
+                assert_eq!(piece.epoch.load(Ordering::SeqCst) % 2, 0, "epoch left odd");
+            })
+    });
+    report.assert_ok();
+    assert!(report.exhausted, "seqlock model should be fully enumerable");
+}
+
+/// Teeth: skipping the second epoch validation lets a reader that started
+/// before the sweep observe the half-updated cells. The explorer must find
+/// that interleaving.
+#[test]
+fn seqlock_unvalidated_read_is_caught() {
+    let report = explore_default(move || {
+        let piece = Arc::new(SeqlockPiece::new());
+        let reader = Arc::clone(&piece);
+        let sweeper = Arc::clone(&piece);
+        Scenario::new()
+            .thread(move || {
+                let sum = reader.read_sum(false);
+                assert_eq!(sum, 100, "unvalidated read saw a torn sweep");
+            })
+            .thread(move || sweeper.sweep())
+    });
+    let failure = report.expect_failure("panic");
+    assert!(
+        failure.message.contains("torn sweep"),
+        "failure should come from the torn-read assert, got: {}",
+        failure.message
+    );
+}
+
+/// PR 4 port — the reclaim-pause drain. A reader past its retry cap must
+/// acquire `shrink_serial` (draining the in-flight sweep) before reading
+/// unvalidated; with the drain present every schedule is consistent.
+#[test]
+fn reclaim_pause_drains_inflight_sweep() {
+    let report = explore_default(move || {
+        let piece = Arc::new(SeqlockPiece::new());
+        let reader = Arc::clone(&piece);
+        let sweeper = Arc::clone(&piece);
+        Scenario::new()
+            .thread(move || {
+                // Skip the optimistic attempts entirely: go straight to the
+                // pause path, which must drain through the serial mutex.
+                let _serial = reader.shrink_serial.lock();
+                let sum = reader.cells_sum();
+                assert_eq!(sum, 100, "drained pause read saw a torn sweep");
+            })
+            .thread(move || sweeper.sweep())
+    });
+    report.assert_ok();
+}
+
+/// Teeth for the PR 4 port: the same pause path *without* the serial drain
+/// reads mid-sweep on some schedule.
+#[test]
+fn reclaim_pause_without_drain_is_caught() {
+    let report = explore_default(move || {
+        let piece = Arc::new(SeqlockPiece::new());
+        let reader = Arc::clone(&piece);
+        let sweeper = Arc::clone(&piece);
+        Scenario::new()
+            .thread(move || {
+                // Buggy pause: no drain, no validation.
+                let sum = reader.cells_sum();
+                assert_eq!(sum, 100, "undrained pause read saw a torn sweep");
+            })
+            .thread(move || sweeper.sweep())
+    });
+    report.expect_failure("panic");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot vs incremental compaction (ISSUE scenario 3)
+// ---------------------------------------------------------------------------
+
+/// Mini-model of incremental compaction: rows migrate one at a time from the
+/// delta to the main store. A snapshot must see every row exactly once, so
+/// the two-step move has to be covered by the structure latch.
+struct CompactionModel {
+    structure: CheckedMutex<()>,
+    main: CheckedMutex<Vec<u64>>,
+    delta: CheckedMutex<Vec<u64>>,
+}
+
+impl CompactionModel {
+    fn new() -> Self {
+        CompactionModel {
+            structure: CheckedMutex::new(()),
+            main: CheckedMutex::new(vec![1, 2]),
+            delta: CheckedMutex::new(vec![3]),
+        }
+    }
+
+    /// Move one row delta → main. `guarded` is the correct protocol; without
+    /// it the row is in flight (in neither store) across a preemption point.
+    fn compact_step(&self, guarded: bool) {
+        let _g = if guarded {
+            Some(self.structure.lock())
+        } else {
+            None
+        };
+        let moved = self.delta.lock().pop();
+        yield_now();
+        if let Some(row) = moved {
+            self.main.lock().push(row);
+        }
+    }
+
+    fn snapshot_total(&self) -> usize {
+        let _g = self.structure.lock();
+        self.main.lock().len() + self.delta.lock().len()
+    }
+}
+
+#[test]
+fn snapshot_vs_incremental_compaction_sees_every_row_once() {
+    let report = explore_default(move || {
+        let model = Arc::new(CompactionModel::new());
+        let compactor = Arc::clone(&model);
+        let snapshotter = Arc::clone(&model);
+        Scenario::new()
+            .thread(move || compactor.compact_step(true))
+            .thread(move || {
+                let total = snapshotter.snapshot_total();
+                assert_eq!(total, 3, "snapshot saw a row in flight");
+            })
+            .finale(move || {
+                assert_eq!(model.delta.lock().len(), 0, "compaction step did not drain");
+                assert_eq!(model.main.lock().len(), 3, "compacted row lost");
+            })
+    });
+    report.assert_ok();
+    assert!(report.exhausted);
+}
+
+/// Teeth: an unguarded two-step move leaves the row in neither store across
+/// a preemption; some schedule's snapshot counts 2 rows.
+#[test]
+fn unguarded_compaction_step_is_caught() {
+    let report = explore_default(move || {
+        let model = Arc::new(CompactionModel::new());
+        let compactor = Arc::clone(&model);
+        let snapshotter = Arc::clone(&model);
+        Scenario::new()
+            .thread(move || compactor.compact_step(false))
+            .thread(move || {
+                let total = snapshotter.snapshot_total();
+                assert_eq!(total, 3, "snapshot saw a row in flight");
+            })
+    });
+    report.expect_failure("panic");
+}
+
+// ---------------------------------------------------------------------------
+// Delete vs sweep (ISSUE scenario 4)
+// ---------------------------------------------------------------------------
+
+/// Mini-model of tombstone accounting: deletes mark rows dead and bump the
+/// tombstone counter under the piece latch; the sweep removes dead rows and
+/// must decrement by *what it actually removed* — not by a count read before
+/// it took the latch.
+struct SweepModel {
+    rows: CheckedMutex<Vec<(u64, bool)>>,
+    tombstones: CheckedAtomicUsize,
+    shrink_serial: CheckedMutex<()>,
+}
+
+impl SweepModel {
+    fn new() -> Self {
+        SweepModel {
+            // Row 3 starts dead so the sweep always has work to do.
+            rows: CheckedMutex::new(vec![(1, false), (2, false), (3, true)]),
+            tombstones: CheckedAtomicUsize::new(1),
+            shrink_serial: CheckedMutex::new(()),
+        }
+    }
+
+    fn delete(&self, value: u64) {
+        let mut rows = self.rows.lock();
+        if let Some(row) = rows.iter_mut().find(|r| r.0 == value && !r.1) {
+            row.1 = true;
+            // Mark + count together under the piece latch.
+            self.tombstones.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn sweep(&self, stale_count: bool) {
+        let _serial = self.shrink_serial.lock();
+        if stale_count {
+            // Buggy: count read before the latch; a delete landing in
+            // between is reclaimed but never deducted.
+            let n = self.tombstones.load(Ordering::SeqCst);
+            yield_now();
+            let mut rows = self.rows.lock();
+            rows.retain(|r| !r.1);
+            self.tombstones.fetch_sub(n, Ordering::SeqCst);
+        } else {
+            let mut rows = self.rows.lock();
+            let before = rows.len();
+            rows.retain(|r| !r.1);
+            let removed = before - rows.len();
+            self.tombstones.fetch_sub(removed, Ordering::SeqCst);
+        }
+    }
+
+    fn surviving_dead(&self) -> usize {
+        self.rows.lock().iter().filter(|r| r.1).count()
+    }
+}
+
+#[test]
+fn delete_vs_sweep_keeps_tombstone_accounting_exact() {
+    let report = explore_default(move || {
+        let model = Arc::new(SweepModel::new());
+        let deleter = Arc::clone(&model);
+        let sweeper = Arc::clone(&model);
+        Scenario::new()
+            .thread(move || deleter.delete(2))
+            .thread(move || sweeper.sweep(false))
+            .finale(move || {
+                assert_eq!(
+                    model.tombstones.load(Ordering::SeqCst),
+                    model.surviving_dead(),
+                    "tombstone counter drifted from the surviving dead rows"
+                );
+            })
+    });
+    report.assert_ok();
+    assert!(report.exhausted);
+}
+
+/// Teeth: subtracting a pre-latch tombstone count lets a racing delete leave
+/// the counter permanently high.
+#[test]
+fn sweep_with_stale_tombstone_count_is_caught() {
+    let report = explore_default(move || {
+        let model = Arc::new(SweepModel::new());
+        let deleter = Arc::clone(&model);
+        let sweeper = Arc::clone(&model);
+        Scenario::new()
+            .thread(move || deleter.delete(2))
+            .thread(move || sweeper.sweep(true))
+            .finale(move || {
+                assert_eq!(
+                    model.tombstones.load(Ordering::SeqCst),
+                    model.surviving_dead(),
+                    "tombstone counter drifted from the surviving dead rows"
+                );
+            })
+    });
+    report.expect_failure("finale-panic");
+}
+
+// ---------------------------------------------------------------------------
+// PR 3 port: chunked designated-chunk handoff
+// ---------------------------------------------------------------------------
+
+/// Mini-model of the chunked index's designated-append chunk. Writers
+/// reserve a slot with `fetch_add` on the chunk's cursor; a writer that
+/// overflows the capacity CAS-bumps the designation and retries in the next
+/// chunk. The invariant: no appended row is ever lost and the designation
+/// migrates exactly once when the chunk fills.
+struct HandoffModel {
+    designated: CheckedAtomicUsize,
+    cursors: [CheckedAtomicUsize; 2],
+    slots: CheckedMutex<[[Option<u64>; 2]; 2]>,
+}
+
+const CHUNK_CAP: usize = 1;
+
+impl HandoffModel {
+    fn new() -> Self {
+        HandoffModel {
+            designated: CheckedAtomicUsize::new(0),
+            cursors: [CheckedAtomicUsize::new(0), CheckedAtomicUsize::new(0)],
+            slots: CheckedMutex::new([[None; 2]; 2]),
+        }
+    }
+
+    fn append(&self, value: u64, atomic_reserve: bool) {
+        loop {
+            let chunk = self.designated.load(Ordering::SeqCst);
+            let slot = if atomic_reserve {
+                self.cursors[chunk].fetch_add(1, Ordering::SeqCst)
+            } else {
+                // Buggy reservation: load-then-store lets two writers claim
+                // the same slot.
+                let s = self.cursors[chunk].load(Ordering::SeqCst);
+                self.cursors[chunk].store(s + 1, Ordering::SeqCst);
+                s
+            };
+            if slot < CHUNK_CAP {
+                self.slots.lock()[chunk][slot] = Some(value);
+                return;
+            }
+            // Chunk full: hand the designation off (losers observe the bump
+            // on reload) and retry.
+            let _ = self.designated.compare_exchange(
+                chunk,
+                chunk + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    fn stored(&self) -> usize {
+        self.slots
+            .lock()
+            .iter()
+            .flatten()
+            .filter(|s| s.is_some())
+            .count()
+    }
+}
+
+#[test]
+fn chunked_handoff_loses_no_rows_and_migrates_designation() {
+    let report = explore_default(move || {
+        let model = Arc::new(HandoffModel::new());
+        let w1 = Arc::clone(&model);
+        let w2 = Arc::clone(&model);
+        Scenario::new()
+            .thread(move || w1.append(101, true))
+            .thread(move || w2.append(202, true))
+            .finale(move || {
+                assert_eq!(model.stored(), 2, "a racing append was lost");
+                assert_eq!(
+                    model.designated.load(Ordering::SeqCst),
+                    1,
+                    "designation did not migrate when the chunk filled"
+                );
+            })
+    });
+    report.assert_ok();
+    assert!(report.exhausted);
+}
+
+/// Teeth: the load-then-store reservation loses a row on some schedule —
+/// the race the PR 3 handoff tests guard in the real chunked index.
+#[test]
+fn non_atomic_slot_reservation_is_caught() {
+    let report = explore_default(move || {
+        let model = Arc::new(HandoffModel::new());
+        let w1 = Arc::clone(&model);
+        let w2 = Arc::clone(&model);
+        Scenario::new()
+            .thread(move || w1.append(101, false))
+            .thread(move || w2.append(202, false))
+            .finale(move || {
+                assert_eq!(model.stored(), 2, "a racing append was lost");
+            })
+    });
+    report.expect_failure("finale-panic");
+}
+
+// ---------------------------------------------------------------------------
+// PR 7 port: galloping-intersection frontier
+// ---------------------------------------------------------------------------
+
+/// PR 7's proptest found a missed match when the leapfrog driver's seek
+/// lands *exactly* on the large side's frontier (here: small seeks to 7
+/// after large's `next_seek` already consumed its 7). Two virtual threads
+/// build the runs concurrently; the finale intersects with the real
+/// galloping and linear walkers from `aidx-core` and cross-checks them.
+#[test]
+fn gallop_frontier_regression_concurrent_build() {
+    let report = explore_default(move || {
+        let small_run = Arc::new(CheckedMutex::new(Vec::<u32>::new()));
+        let large_run = Arc::new(CheckedMutex::new(Vec::<u32>::new()));
+        let s = Arc::clone(&small_run);
+        let l = Arc::clone(&large_run);
+        Scenario::new()
+            .thread(move || {
+                for id in [0u32, 7, 20] {
+                    s.lock().push(id);
+                    yield_now();
+                }
+            })
+            .thread(move || {
+                for id in [7u32, 9, 20, 33] {
+                    l.lock().push(id);
+                    yield_now();
+                }
+            })
+            .finale(move || {
+                let small = RowIdSet::from_sorted(&small_run.lock());
+                let large = RowIdSet::from_sorted(&large_run.lock());
+                let (gallop, _) = intersect_iters_gallop(small.iter(), large.iter());
+                let linear = intersect_iters_linear(small.iter(), large.iter());
+                assert_eq!(
+                    gallop,
+                    vec![7, 20],
+                    "driver landing on the large side's frontier missed a match"
+                );
+                assert_eq!(gallop, linear, "gallop and linear walks disagree");
+            })
+    });
+    // The run-building tree is larger than the default schedule cap;
+    // exhaustiveness is not required — every explored schedule must pass.
+    report.assert_ok();
+    assert!(report.schedules >= 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded latch-order inversion (explorer side of the dual-catch criterion)
+// ---------------------------------------------------------------------------
+
+/// Order tags mirror the real hierarchy (Piece = 3, Delta = 5 in
+/// `aidx_latch::dcheck::Level`). Taking a piece latch while holding the
+/// delta lock inverts it; the explorer must fail the schedule with the full
+/// acquisition stack. The dcheck half of this criterion is
+/// `aidx-latch`'s `seeded_inversion_is_caught_with_trace`.
+#[test]
+fn seeded_latch_order_inversion_is_caught_by_explorer() {
+    let report = explore_default(move || {
+        let delta = Arc::new(CheckedMutex::ordered((), 5, "delta"));
+        let piece = Arc::new(CheckedMutex::ordered((), 3, "piece-latch"));
+        Scenario::new().thread(move || {
+            let _d = delta.lock();
+            let _p = piece.lock(); // inversion: Piece(3) while holding Delta(5)
+        })
+    });
+    let failure = report.expect_failure("latch-order");
+    assert!(
+        failure.message.contains("piece-latch") && failure.message.contains("delta"),
+        "diagnostic should name both latches, got: {}",
+        failure.message
+    );
+}

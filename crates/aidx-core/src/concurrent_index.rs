@@ -66,12 +66,13 @@ use crate::protocol::{Aggregate, LatchProtocol, RefinementPolicy};
 use crate::rowid_set::RowIdSet;
 use crate::shared_array::SharedCrackerArray;
 use aidx_cracking::{Piece, PieceLookup, PieceMap};
+use aidx_latch::dcheck;
+use aidx_latch::facade::{Mutex, MutexGuard};
 use aidx_latch::ordered::OrderedWaitLatch;
 use aidx_latch::stats::LatchStatsSnapshot;
 use aidx_latch::systxn::{SystemTxnManager, SystemTxnStats};
 use aidx_obs::{emit, LatchMode, StructureProbe, TraceEvent};
 use aidx_storage::{Column, RowId};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -253,6 +254,9 @@ pub struct ConcurrentCracker {
     /// Serialises shrink critical sections so the epoch's odd/even parity
     /// stays meaningful when cracks on different pieces race.
     shrink_serial: Mutex<()>,
+    /// Process-unique id tagging this index's latches in `dcheck`'s
+    /// witness graph (no-op unless the feature is on).
+    instance: usize,
     /// Number of readers currently in the bounded-retry fallback: while
     /// positive, physical reclamations (piece sweeps and incremental
     /// hole-fills) are deferred, so a reader that lost the seqlock race
@@ -368,11 +372,13 @@ impl ConcurrentCracker {
         let next_rowid = rowids.iter().max().map(|&r| r as u64 + 1).unwrap_or(0);
         let data = SharedCrackerArray::from_rows(values, rowids);
         let len = data.len();
-        ConcurrentCracker {
+        let instance = dcheck::instance_id();
+        let idx = ConcurrentCracker {
             data,
             toc: Mutex::new(TocState::new(len)),
             registry: PieceLatchRegistry::new(),
             column_latch: OrderedWaitLatch::new(),
+            instance,
             protocol,
             policy: RefinementPolicy::Always,
             compaction: CompactionPolicy::disabled(),
@@ -394,7 +400,10 @@ impl ConcurrentCracker {
             pending_compacted: AtomicU64::new(0),
             tombstones_reclaimed: AtomicU64::new(0),
             shrinks: AtomicU64::new(0),
-        }
+        };
+        idx.column_latch
+            .set_dcheck_tag(dcheck::Level::Column, instance, "column-latch");
+        idx
     }
 
     /// Sets the refinement policy (builder style).
@@ -440,7 +449,7 @@ impl ConcurrentCracker {
     /// the value is exact only in quiescence (like every other aggregate
     /// accessor here).
     pub fn logical_len(&self) -> u64 {
-        let live = self.data.len() - self.toc.lock().total_holes;
+        let live = self.data.len() - self.lock_toc().total_holes;
         let (pending, tombstoned) = self.delta.counters();
         live as u64 + pending - tombstoned
     }
@@ -457,7 +466,7 @@ impl ConcurrentCracker {
 
     /// Number of pieces the index currently has.
     pub fn piece_count(&self) -> usize {
-        self.toc.lock().map.piece_count()
+        self.lock_toc().map.piece_count()
     }
 
     /// Total cracks performed so far.
@@ -513,7 +522,7 @@ impl ConcurrentCracker {
     /// walk and column-wide by full rebuilds.
     pub fn compacted_through(&self) -> u64 {
         let floor = self.compacted_floor.load(Ordering::Acquire);
-        let toc = self.toc.lock();
+        let toc = self.lock_toc();
         let pieces = toc.map.piece_count();
         if toc.compacted_through.len() < pieces {
             // Some piece has never been visited since the last rebuild.
@@ -549,7 +558,7 @@ impl ConcurrentCracker {
     /// Dead (hole) slots currently awaiting reclamation by the next
     /// compaction.
     pub fn hole_count(&self) -> usize {
-        self.toc.lock().total_holes
+        self.lock_toc().total_holes
     }
 
     /// Merged latch statistics: piece latches plus the column latch.
@@ -576,7 +585,7 @@ impl ConcurrentCracker {
     /// Current size of every piece, in positions (dead hole tails
     /// included), in position order.
     pub fn piece_sizes(&self) -> Vec<u64> {
-        let toc = self.toc.lock();
+        let toc = self.lock_toc();
         toc.map.pieces().iter().map(|p| p.len() as u64).collect()
     }
 
@@ -769,10 +778,10 @@ impl ConcurrentCracker {
                 let (from_pending, newly) = loop {
                     let paused =
                         (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
-                    let epoch = self.stable_shrink_epoch();
+                    let epoch = self.seq_read_epoch();
                     let doomed = self.main_rows_exact(value, &mut metrics);
                     let applied = self.delta.apply_delete_validated(value, &doomed, || {
-                        paused.is_some() || self.shrink_epoch.load(Ordering::Acquire) == epoch
+                        self.seq_read_valid(epoch, paused.is_some())
                     });
                     if let Some(result) = applied {
                         break result;
@@ -824,13 +833,12 @@ impl ConcurrentCracker {
                 let (removed, in_main) = loop {
                     let paused =
                         (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
-                    let epoch = self.stable_shrink_epoch();
+                    let epoch = self.seq_read_epoch();
                     let in_main = self.main_rows_exact(value, &mut metrics).contains(&rowid);
                     let applied =
                         self.delta
                             .apply_delete_row_validated(value, rowid, in_main, || {
-                                paused.is_some()
-                                    || self.shrink_epoch.load(Ordering::Acquire) == epoch
+                                self.seq_read_valid(epoch, paused.is_some())
                             });
                     if let Some(removed) = applied {
                         break (removed, in_main);
@@ -953,7 +961,7 @@ impl ConcurrentCracker {
             let mut failures = 0u32;
             loop {
                 let paused = (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
-                let epoch = self.stable_shrink_epoch();
+                let epoch = self.seq_read_epoch();
                 let mut attempt = QueryMetrics::default();
                 let main = match plan {
                     Some(plan) => self.aggregate_main(plan, low, high, agg, &mut attempt),
@@ -963,7 +971,7 @@ impl ConcurrentCracker {
                     Some(snapshot_epoch) => self.delta.adjust_at(low, high, snapshot_epoch),
                     None => self.delta.adjust(low, high),
                 };
-                if paused.is_some() || self.shrink_epoch.load(Ordering::Acquire) == epoch {
+                if self.seq_read_valid(epoch, paused.is_some()) {
                     metrics.accumulate(&attempt);
                     break (main, adjust);
                 }
@@ -1021,7 +1029,7 @@ impl ConcurrentCracker {
             let mut failures = 0u32;
             loop {
                 let paused = (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
-                let epoch = self.stable_shrink_epoch();
+                let epoch = self.seq_read_epoch();
                 let mut attempt = QueryMetrics::default();
                 let pairs = match plan {
                     Some(MainPlan::Exact { start, end }) => {
@@ -1036,7 +1044,7 @@ impl ConcurrentCracker {
                     Some(snapshot_epoch) => self.delta.rowid_view_at(low, high, snapshot_epoch),
                     None => self.delta.rowid_view(low, high),
                 };
-                if paused.is_some() || self.shrink_epoch.load(Ordering::Acquire) == epoch {
+                if self.seq_read_valid(epoch, paused.is_some()) {
                     metrics.accumulate(&attempt);
                     let mut rows: Vec<RowId> = pairs
                         .into_iter()
@@ -1096,7 +1104,7 @@ impl ConcurrentCracker {
             let mut failures = 0u32;
             loop {
                 let paused = (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
-                let epoch = self.stable_shrink_epoch();
+                let epoch = self.seq_read_epoch();
                 let mut attempt = QueryMetrics::default();
                 let mut runs: Vec<Vec<RowId>> = Vec::new();
                 {
@@ -1121,7 +1129,7 @@ impl ConcurrentCracker {
                     Some(snapshot_epoch) => self.delta.rowid_view_at(low, high, snapshot_epoch),
                     None => self.delta.rowid_view(low, high),
                 };
-                if paused.is_some() || self.shrink_epoch.load(Ordering::Acquire) == epoch {
+                if self.seq_read_valid(epoch, paused.is_some()) {
                     metrics.accumulate(&attempt);
                     for run in &mut runs {
                         if !view.hidden.is_empty() {
@@ -1195,7 +1203,7 @@ impl ConcurrentCracker {
                         guard.outcome().contended(),
                     );
                     let (piece_end, live_end) = {
-                        let toc = self.toc.lock();
+                        let toc = self.lock_toc();
                         let piece_end = toc.piece_end_after(pos).min(end);
                         (piece_end, toc.live_end(pos, piece_end))
                     };
@@ -1222,7 +1230,7 @@ impl ConcurrentCracker {
                 let mut pos = start;
                 while pos < end {
                     let (piece_end, live_end) = {
-                        let toc = self.toc.lock();
+                        let toc = self.lock_toc();
                         let piece_end = toc.piece_end_after(pos).min(end);
                         (piece_end, toc.live_end(pos, piece_end))
                     };
@@ -1249,6 +1257,43 @@ impl ConcurrentCracker {
         }
     }
 
+    /// Locks the table of contents, tracked at dcheck level `Toc`
+    /// (innermost in the global latch order).
+    fn lock_toc(&self) -> dcheck::Tracked<MutexGuard<'_, TocState>> {
+        dcheck::Tracked::new(dcheck::Level::Toc, self.instance, "toc", self.toc.lock())
+    }
+
+    /// Locks the shrink-serial mutex, tracked at dcheck level
+    /// `ShrinkSerial` (above the delta lock and the TOC).
+    fn lock_shrink_serial(&self) -> dcheck::Tracked<MutexGuard<'_, ()>> {
+        dcheck::Tracked::new(
+            dcheck::Level::ShrinkSerial,
+            self.instance,
+            "shrink-serial",
+            self.shrink_serial.lock(),
+        )
+    }
+
+    /// Opens one seqlock read attempt: waits for a stable (even) shrink
+    /// epoch and registers the read with dcheck, which will insist it is
+    /// closed via [`ConcurrentCracker::seq_read_valid`] before the next
+    /// attempt begins.
+    fn seq_read_epoch(&self) -> u64 {
+        let epoch = self.stable_shrink_epoch();
+        dcheck::seq_read_begin(epoch);
+        epoch
+    }
+
+    /// Closes the seqlock read attempt opened by
+    /// [`ConcurrentCracker::seq_read_epoch`] and reports whether the pair
+    /// of (main phase, delta snapshot) taken under `epoch` is consistent:
+    /// always when reclamations were paused, otherwise iff no reclamation
+    /// bumped the epoch in between.
+    fn seq_read_valid(&self, epoch: u64, paused: bool) -> bool {
+        dcheck::seq_read_end();
+        paused || self.shrink_epoch.load(Ordering::Acquire) == epoch
+    }
+
     /// Enters the bounded-retry fallback: while the returned guard lives,
     /// no physical reclamation can start (sweeps and hole-fills defer),
     /// and any in-flight reclamation has drained, so a subsequent
@@ -1259,7 +1304,7 @@ impl ConcurrentCracker {
         self.reclaim_pause.fetch_add(1, Ordering::AcqRel);
         // Barrier: reclamations already past their pause check finish
         // here; later ones observe the pause under the same mutex.
-        drop(self.shrink_serial.lock());
+        drop(self.lock_shrink_serial());
         ReclaimPauseGuard { idx: self }
     }
 
@@ -1302,7 +1347,7 @@ impl ConcurrentCracker {
             let count = if self.hole_rows.load(Ordering::Acquire) == 0 {
                 (end - start) as u64
             } else {
-                let toc = self.toc.lock();
+                let toc = self.lock_toc();
                 (end - start - toc.holes_in(start, end)) as u64
             };
             metrics.result_count += count;
@@ -1359,7 +1404,7 @@ impl ConcurrentCracker {
             self.systxn.begin(2).abandon();
             // Fall back to a filtered scan of the conservative range.
             let (lo_piece, hi_piece) = {
-                let toc = self.toc.lock();
+                let toc = self.lock_toc();
                 (toc.map.piece_for_value(low), toc.map.piece_for_value(high))
             };
             return MainPlan::Filtered {
@@ -1392,7 +1437,7 @@ impl ConcurrentCracker {
     /// exclusive access is exactly the write latch piece shrinking needs.
     fn crack_bound_locked(&self, bound: i64) -> (usize, bool) {
         let piece = {
-            let toc = self.toc.lock();
+            let toc = self.lock_toc();
             match toc.map.lookup(bound) {
                 PieceLookup::Exact(pos) => return (pos, false),
                 PieceLookup::NeedsCrack(p) => p,
@@ -1403,7 +1448,7 @@ impl ConcurrentCracker {
         let traced = aidx_obs::enabled().then(Instant::now);
         let (live_end, _) = self.shrink_piece_locked(&piece);
         let pos = self.data.crack_in_two_range(piece.start, live_end, bound);
-        let mut toc = self.toc.lock();
+        let mut toc = self.lock_toc();
         toc.add_crack(bound, pos);
         toc.on_piece_split(piece.start, pos);
         drop(toc);
@@ -1446,7 +1491,7 @@ impl ConcurrentCracker {
         // `[start, end)` is a union of whole pieces, so the range-scoped
         // probe is exact: holes elsewhere in the array don't matter here.
         let any_holes =
-            self.hole_rows.load(Ordering::Acquire) != 0 && self.toc.lock().holes_in(start, end) > 0;
+            self.hole_rows.load(Ordering::Acquire) != 0 && self.lock_toc().holes_in(start, end) > 0;
         let (count, acc) = if any_holes {
             self.scan_pieces(start, end, filter, agg)
         } else {
@@ -1497,7 +1542,7 @@ impl ConcurrentCracker {
         let mut pos = start;
         while pos < end {
             let (piece_end, live_end) = {
-                let toc = self.toc.lock();
+                let toc = self.lock_toc();
                 let piece_end = toc.piece_end_after(pos).min(end);
                 (piece_end, toc.live_end(pos, piece_end))
             };
@@ -1567,7 +1612,7 @@ impl ConcurrentCracker {
     ) -> BoundResolution {
         loop {
             let piece = {
-                let toc = self.toc.lock();
+                let toc = self.lock_toc();
                 match toc.map.lookup(bound) {
                     PieceLookup::Exact(pos) => return BoundResolution::Exact(pos),
                     PieceLookup::NeedsCrack(p) => p,
@@ -1601,7 +1646,7 @@ impl ConcurrentCracker {
             // *now* (Figure 10); if it is a different piece, release and try
             // again against that piece's latch.
             let current = {
-                let toc = self.toc.lock();
+                let toc = self.lock_toc();
                 match toc.map.lookup(bound) {
                     PieceLookup::Exact(pos) => {
                         drop(guard);
@@ -1622,7 +1667,7 @@ impl ConcurrentCracker {
             let (live_end, _) = self.shrink_piece_locked(&current);
             let pos = self.data.crack_in_two_range(current.start, live_end, bound);
             {
-                let mut toc = self.toc.lock();
+                let mut toc = self.lock_toc();
                 toc.add_crack(bound, pos);
                 toc.on_piece_split(current.start, pos);
             }
@@ -1648,7 +1693,7 @@ impl ConcurrentCracker {
     fn reclaim_key_piece(&self, value: i64, metrics: &mut QueryMetrics) {
         match self.protocol {
             LatchProtocol::Piece => loop {
-                let piece = self.toc.lock().map.piece_for_value(value);
+                let piece = self.lock_toc().map.piece_for_value(value);
                 let latch = self.registry.latch_for(piece.start);
                 let guard = latch.acquire_write(value);
                 Self::note_wait(
@@ -1659,7 +1704,7 @@ impl ConcurrentCracker {
                     guard.outcome().contended(),
                 );
                 // Bound re-evaluation, as for any piece-latch acquisition.
-                let current = self.toc.lock().map.piece_for_value(value);
+                let current = self.lock_toc().map.piece_for_value(value);
                 if current.start != piece.start {
                     drop(guard);
                     continue;
@@ -1677,12 +1722,12 @@ impl ConcurrentCracker {
                     guard.outcome().wait_time(),
                     guard.outcome().contended(),
                 );
-                let piece = self.toc.lock().map.piece_for_value(value);
+                let piece = self.lock_toc().map.piece_for_value(value);
                 let _ = self.shrink_piece_locked(&piece);
                 drop(guard);
             }
             LatchProtocol::None => {
-                let piece = self.toc.lock().map.piece_for_value(value);
+                let piece = self.lock_toc().map.piece_for_value(value);
                 let _ = self.shrink_piece_locked(&piece);
             }
         }
@@ -1710,7 +1755,7 @@ impl ConcurrentCracker {
         let live_end = if self.hole_rows.load(Ordering::Acquire) == 0 {
             piece.end
         } else {
-            let toc = self.toc.lock();
+            let toc = self.lock_toc();
             toc.live_end(piece.start, piece.end)
         };
         if !self.delta.has_tombstones() {
@@ -1724,7 +1769,7 @@ impl ConcurrentCracker {
         }
         // Serialise reclamations so epoch parity stays meaningful when
         // cracks on different pieces race.
-        let _serial = self.shrink_serial.lock();
+        let _serial = self.lock_shrink_serial();
         if self.reclaim_pause.load(Ordering::Acquire) > 0 {
             // A reader in the bounded fallback is mid-pass: defer.
             return (live_end, 0);
@@ -1736,7 +1781,7 @@ impl ConcurrentCracker {
         if moved > 0 {
             let retired = self.delta.retire_tombstones(&removed);
             debug_assert_eq!(retired as usize, moved, "tombstones are exact");
-            self.toc.lock().add_holes(piece.start, moved);
+            self.lock_toc().add_holes(piece.start, moved);
             // Mirror the ledger total before the epoch goes even again, so
             // a reader whose epoch validates also saw a current mirror.
             self.hole_rows.fetch_add(moved as u64, Ordering::Release);
@@ -1774,7 +1819,7 @@ impl ConcurrentCracker {
                 guard.outcome().contended(),
             );
             let (piece_end, live_end) = {
-                let toc = self.toc.lock();
+                let toc = self.lock_toc();
                 let piece_end = toc.piece_end_after(pos).min(end);
                 (piece_end, toc.live_end(pos, piece_end))
             };
@@ -1971,7 +2016,7 @@ impl ConcurrentCracker {
         if counts.is_empty() {
             return;
         }
-        let toc = self.toc.lock();
+        let toc = self.lock_toc();
         if toc.map.piece_count() <= 1 {
             return;
         }
@@ -2011,7 +2056,7 @@ impl ConcurrentCracker {
     fn compact_piece_at(&self, cursor: usize, metrics: &mut QueryMetrics) -> usize {
         let piece = match self.protocol {
             LatchProtocol::Piece => loop {
-                let piece = self.toc.lock().piece_containing(cursor);
+                let piece = self.lock_toc().piece_containing(cursor);
                 let latch = self.registry.latch_for(piece.start);
                 let guard = latch.acquire_write(piece.low_value.unwrap_or(i64::MIN));
                 Self::note_wait(
@@ -2027,7 +2072,7 @@ impl ConcurrentCracker {
                 // release and latch that one instead. (A split behind the
                 // cursor keeps the start and only shrinks the end, which
                 // re-reading under the latch handles.)
-                let current = self.toc.lock().piece_containing(cursor);
+                let current = self.lock_toc().piece_containing(cursor);
                 if current.start != piece.start {
                     drop(guard);
                     continue;
@@ -2045,13 +2090,13 @@ impl ConcurrentCracker {
                     guard.outcome().wait_time(),
                     guard.outcome().contended(),
                 );
-                let piece = self.toc.lock().piece_containing(cursor);
+                let piece = self.lock_toc().piece_containing(cursor);
                 self.merge_piece_locked(&piece, metrics);
                 drop(guard);
                 piece
             }
             LatchProtocol::None => {
-                let piece = self.toc.lock().piece_containing(cursor);
+                let piece = self.lock_toc().piece_containing(cursor);
                 self.merge_piece_locked(&piece, metrics);
                 piece
             }
@@ -2085,7 +2130,7 @@ impl ConcurrentCracker {
         let mut merged = 0usize;
         let holes = piece.end - live_end;
         if holes > 0 && self.delta.pending_inserts() > 0 {
-            let _serial = self.shrink_serial.lock();
+            let _serial = self.lock_shrink_serial();
             if self.reclaim_pause.load(Ordering::Acquire) == 0 {
                 self.shrink_epoch.fetch_add(1, Ordering::AcqRel); // odd: in flight
                 let rows =
@@ -2099,7 +2144,7 @@ impl ConcurrentCracker {
                     let rowids: Vec<RowId> = rows.iter().map(|&(_, r)| r).collect();
                     self.data.write_rows(live_end, &values, &rowids);
                     {
-                        let mut toc = self.toc.lock();
+                        let mut toc = self.lock_toc();
                         let entry = toc
                             .holes
                             .get_mut(&piece.start)
@@ -2153,7 +2198,7 @@ impl ConcurrentCracker {
             if !policy.should_compact(delta_rows, self.data.len()) {
                 return false;
             }
-        } else if delta_rows == 0 && self.toc.lock().total_holes == 0 {
+        } else if delta_rows == 0 && self.lock_toc().total_holes == 0 {
             return false;
         }
         // Column-latch regime: the quiesce is also expressed through the
@@ -2202,7 +2247,7 @@ impl ConcurrentCracker {
     /// merged, tombstoned rows dropped)`.
     fn rebuild_from_delta(&self) -> (u64, u64) {
         let drained = self.delta.drain();
-        let mut toc = self.toc.lock();
+        let mut toc = self.lock_toc();
         let pieces = toc.map.pieces();
         let old_len = self.data.len();
         let new_len = (old_len - toc.total_holes + drained.pending_inserts as usize)
@@ -2258,7 +2303,7 @@ impl ConcurrentCracker {
     /// its piece; totals agree). Only meaningful when no other thread is
     /// using the index (tests call this after joining workers).
     pub fn check_invariants(&self) -> bool {
-        let toc = self.toc.lock();
+        let toc = self.lock_toc();
         if !toc.map.check_invariants() {
             return false;
         }
@@ -2299,7 +2344,7 @@ impl ConcurrentCracker {
     /// A quiescent snapshot of the *live* cracker-array values (dead hole
     /// tails excluded; tests only).
     pub fn snapshot_values(&self) -> Vec<i64> {
-        let toc = self.toc.lock();
+        let toc = self.lock_toc();
         let values = self.data.snapshot().0;
         if toc.total_holes == 0 {
             return values;

@@ -51,6 +51,11 @@ pub mod protocol;
 pub mod rowid_set;
 pub mod shared_array;
 
+/// Re-export of the workspace sync facade so downstream crates
+/// (`aidx-parallel`, `aidx-table`) can route through it without depending
+/// on `aidx-latch` directly.
+pub use aidx_latch::facade;
+
 pub use compaction::{CompactionMode, CompactionPolicy};
 pub use concurrent_index::{ConcurrentCracker, Snapshot};
 pub use merge_concurrent::ConcurrentAdaptiveMerge;

@@ -22,11 +22,11 @@
 use crate::metrics::QueryMetrics;
 use crate::protocol::RefinementPolicy;
 use aidx_btree::{AdaptiveMergeIndex, KeyRangeLockTable, MergeStats};
+use aidx_latch::facade::Mutex;
 use aidx_latch::lockmgr::{LockManager, LockMode, TxnId};
 use aidx_latch::rwlatch::RwLatch;
 use aidx_latch::systxn::{SystemTxnManager, SystemTxnStats};
 use aidx_storage::{Column, RowId};
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -81,10 +81,11 @@
 //! one consistent snapshot of the delta (a single short mutex) plus the
 //! shrink-epoch validation to be linearizable.
 
+use aidx_latch::dcheck;
+use aidx_latch::facade::{Mutex, MutexGuard};
 use aidx_storage::RowId;
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Aggregate adjustments the delta contributes to one range query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -473,6 +474,10 @@ pub struct PendingDelta {
     /// of read-only workloads. A stale read only makes a shrink
     /// opportunistic — it can never corrupt the exact counts inside.
     tombstoned_hint: AtomicU64,
+    /// Process-unique id tagging the state lock in `dcheck`'s witness
+    /// graph, assigned lazily on first lock (0 = unassigned, so the
+    /// derived `Default` stays usable).
+    instance: AtomicUsize,
 }
 
 impl PendingDelta {
@@ -481,10 +486,30 @@ impl PendingDelta {
         Self::default()
     }
 
+    /// Locks the delta state, tracked at dcheck level `Delta` (between the
+    /// shrink-serial mutex and the TOC in the global latch order).
+    fn lock_state(&self) -> dcheck::Tracked<MutexGuard<'_, DeltaState>> {
+        let mut id = self.instance.load(Ordering::Relaxed);
+        if id == 0 {
+            // `instance_id` starts at 1, so 0 is a safe "unassigned" mark;
+            // a lost race just burns one id.
+            let fresh = dcheck::instance_id();
+            id =
+                match self
+                    .instance
+                    .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => fresh,
+                    Err(winner) => winner,
+                };
+        }
+        dcheck::Tracked::new(dcheck::Level::Delta, id, "delta-state", self.state.lock())
+    }
+
     /// The epoch of the most recent stamped write (the epoch a snapshot
     /// registered *now* would read at).
     pub fn current_epoch(&self) -> u64 {
-        self.state.lock().epoch
+        self.lock_state().epoch
     }
 
     /// Registers a snapshot at the current epoch and returns that epoch.
@@ -493,7 +518,7 @@ impl PendingDelta {
     /// registration must be paired with a
     /// [`PendingDelta::release_snapshot`].
     pub fn register_snapshot(&self) -> u64 {
-        let mut state = self.state.lock();
+        let mut state = self.lock_state();
         let epoch = state.epoch;
         *state.live_snapshots.entry(epoch).or_insert(0) += 1;
         epoch
@@ -502,7 +527,7 @@ impl PendingDelta {
     /// Releases one snapshot registration at `epoch` and garbage-collects
     /// whatever history no remaining snapshot can observe.
     pub fn release_snapshot(&self, epoch: u64) {
-        let mut state = self.state.lock();
+        let mut state = self.lock_state();
         match state.live_snapshots.get_mut(&epoch) {
             Some(n) if *n > 1 => *n -= 1,
             Some(_) => {
@@ -515,7 +540,7 @@ impl PendingDelta {
 
     /// Number of live snapshot registrations (diagnostics/tests).
     pub fn live_snapshots(&self) -> usize {
-        self.state.lock().live_snapshots.values().sum()
+        self.lock_state().live_snapshots.values().sum()
     }
 
     /// Total retained history entries — count stamps, compensation
@@ -524,7 +549,7 @@ impl PendingDelta {
     /// snapshot-bounded compression this stays O(values × live snapshots)
     /// no matter how hot a key churns under a pinned snapshot.
     pub fn history_len(&self) -> usize {
-        let state = self.state.lock();
+        let state = self.lock_state();
         let stamps: usize = state
             .inserts
             .values()
@@ -547,7 +572,7 @@ impl PendingDelta {
     /// insert — the caller's compaction trigger can use it without a
     /// second lock acquisition.
     pub fn insert_row(&self, value: i64, rowid: RowId) -> u64 {
-        let mut state = self.state.lock();
+        let mut state = self.lock_state();
         state.epoch += 1;
         let epoch = state.epoch;
         let snapshots_live = state.snapshots_live();
@@ -598,7 +623,7 @@ impl PendingDelta {
         main_rowids: &[RowId],
         validate: impl FnOnce() -> bool,
     ) -> Option<(u64, u64)> {
-        let mut state = self.state.lock();
+        let mut state = self.lock_state();
         if !validate() {
             return None;
         }
@@ -637,7 +662,7 @@ impl PendingDelta {
         in_main: bool,
         validate: impl FnOnce() -> bool,
     ) -> Option<u64> {
-        let mut state = self.state.lock();
+        let mut state = self.lock_state();
         if !validate() {
             return None;
         }
@@ -753,7 +778,7 @@ impl PendingDelta {
     /// every drained row into the placed/ghost row ledgers, so pre-drain
     /// snapshots stay answerable against the rebuilt array.
     pub fn drain(&self) -> DrainedDelta {
-        let mut state = self.state.lock();
+        let mut state = self.lock_state();
         let record = state.snapshots_live();
         let inserts = std::mem::take(&mut state.inserts);
         let tombstones = std::mem::take(&mut state.tombstones);
@@ -858,7 +883,7 @@ impl PendingDelta {
         low: Option<i64>,
         high: Option<i64>,
     ) -> BTreeMap<i64, Vec<RowId>> {
-        let state = self.state.lock();
+        let state = self.lock_state();
         range_iter(&state.tomb_rows, low, high)
             .filter(|(_, rows)| !rows.is_empty())
             .map(|(&v, rows)| (v, rows.iter().map(|t| t.rowid).collect()))
@@ -873,7 +898,7 @@ impl PendingDelta {
     /// *sees* the physically removed row. Returns the number of rows
     /// retired.
     pub fn retire_tombstones(&self, removed: &[(i64, RowId)]) -> u64 {
-        let mut state = self.state.lock();
+        let mut state = self.lock_state();
         let record = state.snapshots_live();
         let mut retired = 0u64;
         // Group per value so each value's row vector is drained in one
@@ -953,7 +978,7 @@ impl PendingDelta {
         if max_rows == 0 {
             return Vec::new();
         }
-        let mut state = self.state.lock();
+        let mut state = self.lock_state();
         let record = state.snapshots_live();
         let mut budget = max_rows;
         let mut taken = Vec::new();
@@ -1028,7 +1053,7 @@ impl PendingDelta {
     /// piece — `O(delta)` work against the *bounded* delta, instead of
     /// `O(pieces)` probes against the unbounded piece count.
     pub fn value_counts(&self) -> Vec<(i64, u64)> {
-        let state = self.state.lock();
+        let state = self.lock_state();
         let mut counts: BTreeMap<i64, u64> = BTreeMap::new();
         for (&v, cell) in &state.inserts {
             if cell.net > 0 {
@@ -1049,7 +1074,7 @@ impl PendingDelta {
     /// uses this to decide whether a piece is fully reconciled before
     /// advancing its watermark.
     pub fn rows_in(&self, low: Option<i64>, high: Option<i64>) -> u64 {
-        let state = self.state.lock();
+        let state = self.lock_state();
         let pending: u64 = range_iter(&state.inserts, low, high)
             .map(|(_, cell)| cell.net)
             .sum();
@@ -1065,7 +1090,7 @@ impl PendingDelta {
         if low >= high {
             return DeltaAdjust::default();
         }
-        let state = self.state.lock();
+        let state = self.lock_state();
         let mut adjust = DeltaAdjust::default();
         for (&v, cell) in state.inserts.range(low..high) {
             adjust.insert_count += cell.net;
@@ -1090,7 +1115,7 @@ impl PendingDelta {
         if low >= high {
             return DeltaAdjust::default();
         }
-        let state = self.state.lock();
+        let state = self.lock_state();
         let mut adjust = DeltaAdjust::default();
         let mut per_value: BTreeMap<i64, i128> = BTreeMap::new();
         for (&v, cell) in state.inserts.range(low..high) {
@@ -1126,7 +1151,7 @@ impl PendingDelta {
         if low >= high {
             return RowidView::default();
         }
-        let state = self.state.lock();
+        let state = self.lock_state();
         let mut view = RowidView::default();
         for (_, rows) in state.tomb_rows.range(low..high) {
             view.hidden.extend(rows.iter().map(|t| t.rowid));
@@ -1147,7 +1172,7 @@ impl PendingDelta {
         if low >= high {
             return RowidView::default();
         }
-        let state = self.state.lock();
+        let state = self.lock_state();
         let mut view = RowidView::default();
         for (_, rows) in state.tomb_rows.range(low..high) {
             view.hidden
@@ -1179,7 +1204,7 @@ impl PendingDelta {
     /// row count derived from them can never tear against a concurrent
     /// [`PendingDelta::apply_delete`] (which moves both at once).
     pub fn counters(&self) -> (u64, u64) {
-        let state = self.state.lock();
+        let state = self.lock_state();
         (state.pending_inserts, state.tombstoned_rows)
     }
 
@@ -1202,7 +1227,7 @@ impl PendingDelta {
     /// (alive pending rows == insert nets, tomb rows == tombstone nets).
     /// Only meaningful in quiescence.
     pub fn check_ledger_invariants(&self) -> bool {
-        let state = self.state.lock();
+        let state = self.lock_state();
         let alive: u64 = state
             .pending_rows
             .values()

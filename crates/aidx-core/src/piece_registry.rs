@@ -18,9 +18,10 @@
 //! coordination within an operation; the gate only coordinates operations
 //! with whole-index rebuilds, which are rare.
 
+use aidx_latch::dcheck;
+use aidx_latch::facade::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use aidx_latch::ordered::OrderedWaitLatch;
 use aidx_latch::stats::{LatchStats, LatchStatsSnapshot};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -34,6 +35,8 @@ pub struct PieceLatchRegistry {
     /// totals must stay cumulative.
     retired: Mutex<LatchStatsSnapshot>,
     gate: RwLock<()>,
+    /// Process-unique id tagging the gate in `dcheck`'s witness graph.
+    instance: usize,
 }
 
 #[derive(Debug)]
@@ -44,11 +47,12 @@ struct PieceEntry {
 
 /// Shared-mode guard proving an operation is registered with the quiesce
 /// gate; while any of these is live, no compaction can rebuild the array.
-pub type OperationGuard<'a> = RwLockReadGuard<'a, ()>;
+/// Tracked at dcheck level `Gate` (outermost in the global latch order).
+pub type OperationGuard<'a> = dcheck::Tracked<RwLockReadGuard<'a, ()>>;
 
 /// Exclusive-mode guard proving the index is quiesced: no operation is in
 /// flight and none can start until the guard drops.
-pub type QuiesceGuard<'a> = RwLockWriteGuard<'a, ()>;
+pub type QuiesceGuard<'a> = dcheck::Tracked<RwLockWriteGuard<'a, ()>>;
 
 impl Default for PieceLatchRegistry {
     fn default() -> Self {
@@ -63,6 +67,7 @@ impl PieceLatchRegistry {
             latches: Mutex::new(HashMap::new()),
             retired: Mutex::new(LatchStatsSnapshot::default()),
             gate: RwLock::new(()),
+            instance: dcheck::instance_id(),
         }
     }
 
@@ -70,7 +75,12 @@ impl PieceLatchRegistry {
     /// the quiesce gate. Hold the returned guard for the operation's whole
     /// duration; many operations share the gate concurrently.
     pub fn enter(&self) -> OperationGuard<'_> {
-        self.gate.read()
+        dcheck::Tracked::new(
+            dcheck::Level::Gate,
+            self.instance,
+            "quiesce-gate",
+            self.gate.read(),
+        )
     }
 
     /// Quiesces the index: blocks until every in-flight operation has
@@ -78,7 +88,12 @@ impl PieceLatchRegistry {
     /// out until the returned guard drops. Compaction's system transaction
     /// runs entirely inside this window.
     pub fn quiesce(&self) -> QuiesceGuard<'_> {
-        self.gate.write()
+        dcheck::Tracked::new(
+            dcheck::Level::Gate,
+            self.instance,
+            "quiesce-gate(x)",
+            self.gate.write(),
+        )
     }
 
     /// Forgets every piece latch. Call only while holding the quiesce
@@ -104,10 +119,16 @@ impl PieceLatchRegistry {
                 .entry(piece_start)
                 .or_insert_with(|| {
                     let stats = Arc::new(LatchStats::new());
-                    PieceEntry {
-                        latch: Arc::new(OrderedWaitLatch::with_stats(Arc::clone(&stats))),
-                        stats,
-                    }
+                    let latch = Arc::new(OrderedWaitLatch::with_stats(Arc::clone(&stats)));
+                    // Fresh id per latch: positions change meaning across
+                    // rebuilds, so witness edges must never alias a retired
+                    // latch with its successor at the same position.
+                    latch.set_dcheck_tag(
+                        dcheck::Level::Piece,
+                        dcheck::instance_id(),
+                        "piece-latch",
+                    );
+                    PieceEntry { latch, stats }
                 })
                 .latch,
         )
@@ -234,9 +255,12 @@ mod tests {
         rx.recv_timeout(std::time::Duration::from_secs(5))
             .expect("quiesce proceeds once operations drain");
         handle.join().unwrap();
-        // Multiple operations share the gate.
+        // Multiple operations share the gate (one per thread: same-thread
+        // re-entry is a deadlock hazard under a waiting writer, and dcheck
+        // flags it).
         let _a = reg.enter();
-        let _b = reg.enter();
+        let reg3 = Arc::clone(&reg);
+        thread::spawn(move || drop(reg3.enter())).join().unwrap();
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub struct SharedCrackerArray {
 // callers serialise conflicting accesses with piece latches (see the module
 // documentation). The arrays themselves never reallocate.
 unsafe impl Sync for SharedCrackerArray {}
+// SAFETY: same argument as Sync — ownership transfer adds no access paths
+// beyond the latch-serialised range methods.
 unsafe impl Send for SharedCrackerArray {}
 
 impl SharedCrackerArray {
@@ -211,6 +213,9 @@ impl SharedCrackerArray {
     }
 
     fn rowids_ptr(&self) -> *mut RowId {
+        // SAFETY: mirrors `values_ptr` — the rowids box is replaced only
+        // under full quiescence, and element pointers are confined to
+        // latch-serialised range methods.
         unsafe { (*self.rowids.get()).as_mut_ptr() }
     }
 

@@ -30,16 +30,27 @@
 //!   prefix of the planned work (adaptive early termination).
 //! * [`stats::LatchStatsRegistry`] — a process-wide registry aggregating
 //!   latch statistics per named object.
+//!
+//! Two correctness-tooling layers ride on top (PR 8):
+//!
+//! * [`facade`] — the sync-primitive facade every latch-path crate imports
+//!   from; under the `check` feature it swaps `parking_lot` for
+//!   `aidx-check`'s instrumented model-checking primitives.
+//! * [`dcheck`] — a runtime latch-order / seqlock-discipline checker behind
+//!   the default-off `dcheck` feature (thread-local acquisition stacks, a
+//!   cross-thread witness graph, transaction waits-for cycle detection).
 
 #![warn(missing_docs)]
 
+pub mod dcheck;
+pub mod facade;
 pub mod lockmgr;
 pub mod ordered;
 pub mod rwlatch;
 pub mod stats;
 pub mod systxn;
 
-pub use lockmgr::{LockManager, LockMode, LockRequest, LockResource};
+pub use lockmgr::{LockManager, LockMode, LockRequest, LockResource, WaitsForEdge};
 pub use ordered::{OrderedWaitLatch, WaitOutcome};
 pub use rwlatch::{RwLatch, RwLatchReadGuard, RwLatchWriteGuard};
 pub use stats::{LatchStats, LatchStatsRegistry, LatchStatsSnapshot};

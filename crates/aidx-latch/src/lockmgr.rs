@@ -15,7 +15,7 @@
 //! compatibility matrix governs conflicts. Keys in a partitioned B-tree use
 //! the same machinery via [`LockResource::KeyRange`].
 
-use parking_lot::{Condvar, Mutex};
+use crate::facade::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
@@ -192,6 +192,40 @@ impl LockTable {
         holders.push(LockRequest { txn, mode });
     }
 
+    /// The incompatible holders blocking `txn` from locking `resource` in
+    /// `mode`, checking the resource itself and the intention modes its
+    /// ancestors would need. Returns `(conflicting resource, requested mode
+    /// there, holders)` for the first level that conflicts.
+    fn blocking_holders(
+        &self,
+        resource: &LockResource,
+        txn: TxnId,
+        mode: LockMode,
+    ) -> Option<(LockResource, LockMode, Vec<LockRequest>)> {
+        let intention = mode.ancestor_intention();
+        let levels = resource
+            .ancestors()
+            .into_iter()
+            .map(|r| (r, intention))
+            .chain(std::iter::once((resource.clone(), mode)));
+        for (level, wanted) in levels {
+            let holders: Vec<LockRequest> = self
+                .granted
+                .get(&level)
+                .map(|hs| {
+                    hs.iter()
+                        .filter(|h| h.txn != txn && !h.mode.compatible_with(wanted))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !holders.is_empty() {
+                return Some((level, wanted, holders));
+            }
+        }
+        None
+    }
+
     fn release_all(&mut self, txn: TxnId) -> usize {
         let mut released = 0;
         self.granted.retain(|_, holders| {
@@ -202,6 +236,25 @@ impl LockTable {
         });
         released
     }
+}
+
+/// One waits-for edge observed while a blocking acquisition waited: the
+/// waiting transaction, the contended resource, and the incompatible holders
+/// it was waiting behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitsForEdge {
+    /// The waiting transaction.
+    pub waiter: TxnId,
+    /// The resource it could not lock.
+    pub resource: LockResource,
+    /// The mode it requested.
+    pub mode: LockMode,
+    /// The incompatible locks it waited behind when the edge was observed.
+    pub holders: Vec<LockRequest>,
+    /// True if `dcheck`'s transaction waits-for graph already contained the
+    /// reverse path when this edge was recorded — a likely deadlock, not
+    /// just a slow holder. Always false without the `dcheck` feature.
+    pub closes_cycle: bool,
 }
 
 /// Errors returned by non-blocking lock operations.
@@ -216,7 +269,19 @@ pub enum LockError {
         mode: LockMode,
     },
     /// A blocking acquisition timed out (used as a crude deadlock safeguard).
-    Timeout,
+    /// Carries every waits-for edge the waiter observed, so a timeout is
+    /// diagnosable instead of silent.
+    Timeout {
+        /// The distinct waits-for edges observed while waiting.
+        edges: Vec<WaitsForEdge>,
+    },
+}
+
+impl LockError {
+    /// True for the timeout variant (edge payload ignored).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, LockError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for LockError {
@@ -225,7 +290,33 @@ impl fmt::Display for LockError {
             LockError::Conflict { resource, mode } => {
                 write!(f, "lock conflict on {resource:?} requesting {mode}")
             }
-            LockError::Timeout => write!(f, "lock wait timed out"),
+            LockError::Timeout { edges } => {
+                write!(f, "lock wait timed out; observed waits-for edges:")?;
+                if edges.is_empty() {
+                    write!(f, " (none)")?;
+                }
+                for e in edges {
+                    let holders: Vec<String> = e
+                        .holders
+                        .iter()
+                        .map(|h| format!("txn {} in {}", h.txn, h.mode))
+                        .collect();
+                    write!(
+                        f,
+                        "\n  txn {} waits-for {:?} in {} held by [{}]{}",
+                        e.waiter,
+                        e.resource,
+                        e.mode,
+                        holders.join(", "),
+                        if e.closes_cycle {
+                            " <- closes cycle"
+                        } else {
+                            ""
+                        }
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -274,6 +365,12 @@ impl LockManager {
     }
 
     /// Locks `resource` in `mode` for `txn`, waiting up to `timeout`.
+    ///
+    /// On timeout the error carries every distinct waits-for edge the waiter
+    /// observed while blocked, so the caller can see *who* it was waiting
+    /// behind rather than a bare "timed out". Each edge is also reported to
+    /// `dcheck`'s transaction waits-for graph (when the feature is on), and
+    /// an edge that closes a cycle there is flagged as a likely deadlock.
     pub fn lock_with_timeout(
         &self,
         txn: TxnId,
@@ -282,23 +379,53 @@ impl LockManager {
         timeout: Duration,
     ) -> Result<(), LockError> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut edges: Vec<WaitsForEdge> = Vec::new();
+        let note_edge = |edges: &mut Vec<WaitsForEdge>,
+                         level: LockResource,
+                         wanted: LockMode,
+                         holders: Vec<LockRequest>| {
+            let mut closes_cycle = false;
+            for h in &holders {
+                if crate::dcheck::note_txn_wait(txn, h.txn) {
+                    closes_cycle = true;
+                }
+            }
+            let edge = WaitsForEdge {
+                waiter: txn,
+                resource: level,
+                mode: wanted,
+                holders,
+                closes_cycle,
+            };
+            if !edges.contains(&edge) {
+                edges.push(edge);
+            }
+        };
         loop {
             match self.try_lock(txn, resource.clone(), mode) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    crate::dcheck::clear_txn_waits(txn);
+                    return Ok(());
+                }
                 Err(LockError::Conflict { .. }) => {
                     let mut table = self.table.lock();
                     // Re-check under the same critical section as the wait to
                     // avoid missing a release notification.
-                    if !table.conflicts(&resource, txn, mode) {
+                    let blocking = table.blocking_holders(&resource, txn, mode);
+                    let Some((level, wanted, holders)) = blocking else {
                         continue;
-                    }
+                    };
+                    note_edge(&mut edges, level, wanted, holders);
                     let now = std::time::Instant::now();
                     if now >= deadline {
-                        return Err(LockError::Timeout);
+                        crate::dcheck::clear_txn_waits(txn);
+                        return Err(LockError::Timeout { edges });
                     }
                     let wait = deadline - now;
                     if self.released.wait_for(&mut table, wait).timed_out() {
-                        return Err(LockError::Timeout);
+                        drop(table);
+                        crate::dcheck::clear_txn_waits(txn);
+                        return Err(LockError::Timeout { edges });
                     }
                 }
                 Err(e) => return Err(e),
@@ -502,7 +629,48 @@ mod tests {
                 Duration::from_millis(30),
             )
             .unwrap_err();
-        assert_eq!(err, LockError::Timeout);
+        let LockError::Timeout { edges } = err else {
+            panic!("expected timeout, got {err:?}");
+        };
+        // The timeout is diagnosable: it names the holder we waited behind.
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].waiter, 2);
+        assert_eq!(edges[0].resource, col("r", "a"));
+        assert_eq!(edges[0].mode, LockMode::Shared);
+        assert_eq!(
+            edges[0].holders,
+            vec![LockRequest {
+                txn: 1,
+                mode: LockMode::Exclusive
+            }]
+        );
+        let rendered = LockError::Timeout { edges }.to_string();
+        assert!(rendered.contains("waits-for"), "{rendered}");
+        assert!(rendered.contains("txn 2"), "{rendered}");
+        assert!(rendered.contains("txn 1 in X"), "{rendered}");
+    }
+
+    #[test]
+    fn timeout_via_ancestor_conflict_names_the_ancestor() {
+        let mgr = LockManager::new();
+        // Txn 1 holds the column X; txn 2 asks for a piece under it, so the
+        // conflict is on the IX it needs at the column level.
+        mgr.try_lock(1, col("r", "a"), LockMode::Exclusive).unwrap();
+        let err = mgr
+            .lock_with_timeout(
+                2,
+                piece("r", "a", 4),
+                LockMode::Shared,
+                Duration::from_millis(30),
+            )
+            .unwrap_err();
+        let LockError::Timeout { edges } = err else {
+            panic!("expected timeout, got {err:?}");
+        };
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].resource, col("r", "a"));
+        assert_eq!(edges[0].mode, LockMode::IntentionShared);
+        assert_eq!(edges[0].holders[0].txn, 1);
     }
 
     #[test]

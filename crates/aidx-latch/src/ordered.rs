@@ -16,8 +16,8 @@
 //! are compatible with each other and are admitted whenever no writer holds
 //! the latch and no writer has already been chosen to run next.
 
+use crate::facade::{Condvar, Mutex};
 use crate::stats::{LatchStats, LatchStatsSnapshot};
-use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -74,6 +74,9 @@ pub struct OrderedWaitLatch {
     state: Mutex<State>,
     condvar: Condvar,
     stats: Arc<LatchStats>,
+    /// Identity for the runtime latch-order checker (set once, optional).
+    #[cfg(feature = "dcheck")]
+    tag: std::sync::OnceLock<(crate::dcheck::Level, usize, &'static str)>,
 }
 
 /// Guard for exclusive (cracking) access to the protected piece.
@@ -101,16 +104,7 @@ impl Default for OrderedWaitLatch {
 impl OrderedWaitLatch {
     /// Creates a free latch.
     pub fn new() -> Self {
-        OrderedWaitLatch {
-            state: Mutex::new(State {
-                mode: Mode::Free,
-                next_ticket: 0,
-                write_waiters: Vec::new(),
-                chosen: None,
-            }),
-            condvar: Condvar::new(),
-            stats: Arc::new(LatchStats::new()),
-        }
+        Self::with_stats(Arc::new(LatchStats::new()))
     }
 
     /// Creates a latch that reports into a shared statistics block.
@@ -124,6 +118,33 @@ impl OrderedWaitLatch {
             }),
             condvar: Condvar::new(),
             stats,
+            #[cfg(feature = "dcheck")]
+            tag: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Tags this latch for the runtime latch-order checker. No-op unless the
+    /// `dcheck` feature is enabled; the first tag wins.
+    pub fn set_dcheck_tag(&self, level: crate::dcheck::Level, id: usize, label: &'static str) {
+        #[cfg(feature = "dcheck")]
+        let _ = self.tag.set((level, id, label));
+        #[cfg(not(feature = "dcheck"))]
+        let _ = (level, id, label);
+    }
+
+    #[inline]
+    fn dcheck_acquired(&self) {
+        #[cfg(feature = "dcheck")]
+        if let Some(&(level, id, label)) = self.tag.get() {
+            crate::dcheck::acquire(level, id, label);
+        }
+    }
+
+    #[inline]
+    fn dcheck_released(&self) {
+        #[cfg(feature = "dcheck")]
+        if let Some(&(level, id, _)) = self.tag.get() {
+            crate::dcheck::release(level, id);
         }
     }
 
@@ -136,6 +157,7 @@ impl OrderedWaitLatch {
         if state.mode == Mode::Free && state.chosen.is_none() && state.write_waiters.is_empty() {
             state.mode = Mode::Exclusive;
             self.stats.record_write(false, Duration::ZERO);
+            self.dcheck_acquired();
             return OrderedWriteGuard {
                 latch: self,
                 outcome: WaitOutcome::Immediate,
@@ -167,6 +189,7 @@ impl OrderedWaitLatch {
                 }
                 let waited = start.elapsed();
                 self.stats.record_write(true, waited);
+                self.dcheck_acquired();
                 return OrderedWriteGuard {
                     latch: self,
                     outcome: WaitOutcome::Waited(waited),
@@ -186,6 +209,7 @@ impl OrderedWaitLatch {
         if state.mode == Mode::Free && state.chosen.is_none() && state.write_waiters.is_empty() {
             state.mode = Mode::Exclusive;
             self.stats.record_write(false, Duration::ZERO);
+            self.dcheck_acquired();
             Some(OrderedWriteGuard {
                 latch: self,
                 outcome: WaitOutcome::Immediate,
@@ -210,6 +234,7 @@ impl OrderedWaitLatch {
                 Mode::Exclusive => unreachable!("admissible excludes Exclusive"),
             };
             self.stats.record_read(false, Duration::ZERO);
+            self.dcheck_acquired();
             return OrderedReadGuard {
                 latch: self,
                 outcome: WaitOutcome::Immediate,
@@ -226,6 +251,7 @@ impl OrderedWaitLatch {
                 };
                 let waited = start.elapsed();
                 self.stats.record_read(true, waited);
+                self.dcheck_acquired();
                 return OrderedReadGuard {
                     latch: self,
                     outcome: WaitOutcome::Waited(waited),
@@ -247,6 +273,7 @@ impl OrderedWaitLatch {
                 Mode::Exclusive => unreachable!(),
             };
             self.stats.record_read(false, Duration::ZERO);
+            self.dcheck_acquired();
             Some(OrderedReadGuard {
                 latch: self,
                 outcome: WaitOutcome::Immediate,
@@ -269,6 +296,7 @@ impl OrderedWaitLatch {
     }
 
     fn release_write(&self) {
+        self.dcheck_released();
         let mut state = self.state.lock();
         debug_assert_eq!(state.mode, Mode::Exclusive);
         state.mode = Mode::Free;
@@ -278,6 +306,7 @@ impl OrderedWaitLatch {
     }
 
     fn release_read(&self) {
+        self.dcheck_released();
         let mut state = self.state.lock();
         state.mode = match state.mode {
             Mode::Shared(1) => Mode::Free,

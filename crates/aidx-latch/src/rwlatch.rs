@@ -12,8 +12,8 @@
 //! that needs them (Section 5.1: a column is only touched for a brief part
 //! of the plan).
 
+use crate::facade::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use crate::stats::{LatchStats, LatchStatsSnapshot};
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

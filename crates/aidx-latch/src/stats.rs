@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use crate::facade::Mutex;
 use std::collections::BTreeMap;
 
 /// Atomic counters describing the lifetime activity of one latch.

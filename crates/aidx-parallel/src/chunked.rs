@@ -21,6 +21,7 @@
 //! exclusive latch, composing workload-robustness with parallelism.
 
 use crate::pool::WorkerPool;
+use aidx_core::facade::{Mutex, RwLock};
 use aidx_core::{
     Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy,
     RowIdSet,
@@ -28,7 +29,6 @@ use aidx_core::{
 use aidx_cracking::StochasticCracker;
 use aidx_obs::StructureProbe;
 use aidx_storage::RowId;
-use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;

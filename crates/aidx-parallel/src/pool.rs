@@ -12,9 +12,10 @@
 //! keeps all workers busy (ROADMAP lists work-stealing refinement as a
 //! follow-on).
 
+use aidx_core::facade::Mutex;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -49,10 +50,7 @@ impl WorkerPool {
     fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
         loop {
             // Hold the queue lock only while dequeuing, never while running.
-            let job = match receiver.lock() {
-                Ok(guard) => guard.recv(),
-                Err(_) => return,
-            };
+            let job = receiver.lock().recv();
             match job {
                 Ok(job) => job(),
                 Err(_) => return, // all senders dropped: pool shut down

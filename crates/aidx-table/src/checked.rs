@@ -7,8 +7,8 @@
 
 use crate::engine::TableEngine;
 use crate::ops::{ColumnPredicate, TableOp, TableOpResult};
+use aidx_core::facade::Mutex;
 use aidx_storage::RowId;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// One operation whose table-engine result disagreed with the oracle.

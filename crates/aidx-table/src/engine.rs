@@ -37,6 +37,7 @@
 
 use crate::ops::{ColumnPredicate, TableOp, TableOpResult};
 use crate::row_index::RowIndex;
+use aidx_core::facade::RwLock;
 use aidx_core::{
     intersect_sets, CompactionPolicy, IntersectStrategy, LatchProtocol, QueryMetrics,
     RefinementPolicy, RowIdSet, RowIdSetBuilder, SeekingIterator,
@@ -44,7 +45,6 @@ use aidx_core::{
 use aidx_obs::{StructureProbe, StructureStats};
 use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 use aidx_storage::{Catalog, RowId, StorageResult, Table};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};

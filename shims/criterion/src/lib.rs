@@ -40,7 +40,9 @@ pub fn write_json_if_requested() {
         found.or_else(|| std::env::var("AIDX_JSON_OUT").ok())
     };
     let Some(path) = path else { return };
-    let results = RESULTS.lock().unwrap();
+    let results = RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut out = String::from("{\"benchmarks\":[");
     for (i, (name, mean_ms, iters)) in results.iter().enumerate() {
         if i > 0 {
@@ -222,7 +224,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
     );
     RESULTS
         .lock()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .push((name.to_string(), mean * 1e3, bencher.iterations));
 }
 
