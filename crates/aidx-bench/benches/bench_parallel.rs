@@ -113,15 +113,19 @@ fn main() {
 
     println!("all parallel arms returned results identical to the scan baseline");
     if let Some(speedup) = speedup_at_4_chunks {
-        println!(
-            "parallel-chunked speedup at 4 workers: {speedup:.2}x{}",
-            if cores < 4 {
-                " (machine exposes fewer than 4 cores; expect >1.5x on 4+ cores)"
-            } else if speedup > 1.5 {
-                " (target >1.5x: met)"
-            } else {
-                " (target >1.5x: NOT met)"
-            }
-        );
+        println!("parallel-chunked speedup at 4 workers: {speedup:.2}x");
+        if cores >= 4 {
+            assert!(
+                speedup > 1.5,
+                "chunked cracking at 4 workers must beat the serial cracker by >1.5x \
+                 on a {cores}-core host, measured {speedup:.2}x"
+            );
+            println!("speedup target >1.5x: met");
+        } else {
+            println!(
+                "SKIP: >1.5x speedup assertion needs >=4 cores, this host exposes {cores}; \
+                 4 workers on {cores} core(s) only measures oversubscription overhead"
+            );
+        }
     }
 }

@@ -4,13 +4,15 @@
 
 use aidx_core::{Aggregate, CompactionPolicy, LatchProtocol};
 use aidx_obs::{Json, StructureSampler, TraceEvent};
+use aidx_parallel::AdaptiveConfig;
 use aidx_storage::generate_unique_shuffled;
 use aidx_workload::{
-    AdaptiveEngine, CrackEngine, MultiClientRunner, Operation, ParallelRangeEngine,
+    AdaptiveEngine, CrackEngine, MultiClientRunner, Operation, ParallelRangeEngine, QuerySpec,
     WorkloadGenerator,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 const ROWS: usize = 60_000;
 const OPS: usize = 512;
@@ -44,7 +46,7 @@ fn tags_in(jsonl: &[u8]) -> BTreeSet<String> {
 }
 
 #[test]
-fn traced_run_emits_all_six_event_types_as_parseable_jsonl() {
+fn traced_run_emits_every_event_type_as_parseable_jsonl() {
     let values = generate_unique_shuffled(ROWS, 11);
     aidx_obs::drain(); // clear any residue from other in-process activity
     aidx_obs::enable();
@@ -59,6 +61,40 @@ fn traced_run_emits_all_six_event_types_as_parseable_jsonl() {
     // Range-partitioned arm: owner_batch.
     let range = Arc::new(ParallelRangeEngine::new(values.clone(), 4));
     MultiClientRunner::new(4).run_ops(range, &mixed_ops(0.2, 5));
+
+    // Skew-adaptive arm: repartition (a skewed hammer makes the next
+    // manual rebalance split the hot partition) and steal (idle owners
+    // pre-crack the big untouched pieces while we wait on them).
+    let adaptive = ParallelRangeEngine::adaptive(
+        values.clone(),
+        4,
+        AdaptiveConfig {
+            check_interval: None,
+            imbalance_threshold: 1.2,
+            min_partition_rows: 64,
+            min_window_ops: 16,
+            steal: true,
+            steal_min_piece: 256,
+            steal_poll: Duration::from_millis(1),
+            ..AdaptiveConfig::default()
+        },
+    );
+    let mut rounds = 0;
+    while adaptive.index().splits_performed() == 0 {
+        rounds += 1;
+        assert!(rounds <= 60, "no split after {rounds} skewed rounds");
+        for i in 0..64i64 {
+            let low = i % 500;
+            adaptive.select(&QuerySpec::count(low, low + 50));
+        }
+        adaptive.index().try_rebalance();
+    }
+    let mut waits = 0;
+    while adaptive.index().steal_count() == 0 {
+        waits += 1;
+        assert!(waits <= 500, "idle owners never stole refinement work");
+        std::thread::sleep(Duration::from_millis(2));
+    }
     aidx_obs::drain_jsonl(&mut jsonl);
 
     // snapshot_retry needs a reclamation racing a read: churn delete-heavy

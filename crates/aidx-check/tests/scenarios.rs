@@ -22,7 +22,9 @@
 //! Three of the mini-models are ports of bugs this codebase actually had or
 //! defends against: the PR 7 galloping-intersection frontier bug, the PR 4
 //! bounded-retry reclaim-pause drain, and the PR 3 chunked designated-chunk
-//! handoff.
+//! handoff. The split-handoff model at the bottom covers the skew-adaptive
+//! router's epoch-fenced re-partitioning: a query racing a split must see
+//! exactly the old or the new routing, never a dropped key range.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -639,10 +641,188 @@ fn gallop_frontier_regression_concurrent_build() {
 }
 
 // ---------------------------------------------------------------------------
+// Skew-adaptive split handoff (the tentpole's re-partitioning protocol)
+// ---------------------------------------------------------------------------
+
+/// Mini-model of the adaptive router's split system transaction. Owner 0
+/// holds four rows; a split moves the rows at or above `BOUNDARY` to a new
+/// owner 1 and publishes a new routing generation. The real protocol's
+/// ordering — move the rows *and* install the owner's redirect in one
+/// critical section, only then swap the routing table — is the `correct`
+/// variant; the teeth variant publishes the new table first, opening a
+/// window where a query routed by the new table finds the child empty.
+struct SplitModel {
+    /// Routing generation: 0 = everything to owner 0, 1 = split routing.
+    generation: CheckedAtomicUsize,
+    /// Owner 0: its rows plus the redirect flag a split installs.
+    p0: CheckedMutex<(Vec<u64>, bool)>,
+    /// Owner 1: the split child's rows.
+    p1: CheckedMutex<Vec<u64>>,
+}
+
+const BOUNDARY: u64 = 2;
+
+impl SplitModel {
+    fn new() -> Self {
+        SplitModel {
+            generation: CheckedAtomicUsize::new(0),
+            p0: CheckedMutex::new((vec![0, 1, 2, 3], false)),
+            p1: CheckedMutex::new(Vec::new()),
+        }
+    }
+
+    /// The split system transaction. `correct` moves rows + installs the
+    /// redirect atomically before swapping the table; the buggy variant
+    /// swaps first, with the handoff still in flight across a preemption.
+    fn split(&self, correct: bool) {
+        if !correct {
+            self.generation.store(1, Ordering::SeqCst);
+            yield_now();
+        }
+        {
+            let mut owner = self.p0.lock();
+            let moved: Vec<u64> = owner.0.iter().copied().filter(|&v| v >= BOUNDARY).collect();
+            owner.0.retain(|&v| v < BOUNDARY);
+            owner.1 = true;
+            self.p1.lock().extend(moved);
+        }
+        if correct {
+            self.generation.store(1, Ordering::SeqCst);
+        }
+    }
+
+    /// A full-range count routed by whichever table generation the query
+    /// observes. Old routing sends everything to owner 0, which answers
+    /// locally and forwards the moved range through its redirect; new
+    /// routing clips the request per owner. Either way the answer must
+    /// cover every row exactly once.
+    fn count_all(&self) -> usize {
+        if self.generation.load(Ordering::SeqCst) == 0 {
+            let owner = self.p0.lock();
+            let forwarded = if owner.1 { self.p1.lock().len() } else { 0 };
+            owner.0.len() + forwarded
+        } else {
+            let low = self.p0.lock().0.iter().filter(|&&v| v < BOUNDARY).count();
+            low + self.p1.lock().len()
+        }
+    }
+}
+
+/// The split handoff is atomic under every schedule: a query racing the
+/// re-partition sees exactly the old or the new routing — four rows either
+/// way, never a dropped (or doubled) range — and the rows end up disjoint
+/// across the two owners.
+#[test]
+fn split_handoff_query_sees_old_or_new_routing() {
+    let report = explore_default(move || {
+        let model = Arc::new(SplitModel::new());
+        let splitter = Arc::clone(&model);
+        let querier = Arc::clone(&model);
+        Scenario::new()
+            .thread(move || splitter.split(true))
+            .thread(move || {
+                let n = querier.count_all();
+                assert_eq!(n, 4, "query racing the split dropped a key range");
+            })
+            .finale(move || {
+                assert_eq!(model.count_all(), 4, "rows lost by the split");
+                let owner = model.p0.lock();
+                assert!(
+                    owner.0.iter().all(|&v| v < BOUNDARY),
+                    "parent kept rows beyond the split boundary"
+                );
+                assert_eq!(model.p1.lock().len(), 2, "child missing its half");
+            })
+    });
+    report.assert_ok();
+    assert!(report.exhausted, "split model should be fully enumerable");
+}
+
+/// Teeth: publishing the new routing table before the rows and redirect
+/// move lets a new-routed query find the child empty — the dropped-range
+/// bug the epoch fence exists to prevent. The explorer must find it.
+#[test]
+fn split_published_before_handoff_is_caught() {
+    let report = explore_default(move || {
+        let model = Arc::new(SplitModel::new());
+        let splitter = Arc::clone(&model);
+        let querier = Arc::clone(&model);
+        Scenario::new()
+            .thread(move || splitter.split(false))
+            .thread(move || {
+                let n = querier.count_all();
+                assert_eq!(n, 4, "query racing the split dropped a key range");
+            })
+    });
+    let failure = report.expect_failure("panic");
+    assert!(
+        failure.message.contains("dropped a key range"),
+        "failure should come from the dropped-range assert, got: {}",
+        failure.message
+    );
+}
+
+/// The tentpole's new top-of-hierarchy latch levels (Repartition = 1,
+/// SnapshotGate = 2, Router = 3 in `aidx_latch::dcheck::Level`) run through
+/// the explorer's order tags: the gate-first rebalance takes them strictly
+/// downward, and two controllers contending on the full stack must be clean
+/// on every schedule.
+#[test]
+fn repartition_gate_router_levels_order_cleanly() {
+    let report = explore_default(move || {
+        let repartition = Arc::new(CheckedMutex::ordered((), 1, "repartition"));
+        let gate = Arc::new(CheckedMutex::ordered((), 2, "snapshot-gate"));
+        let router = Arc::new(CheckedMutex::ordered((), 3, "router"));
+        let (r2, g2, t2) = (
+            Arc::clone(&repartition),
+            Arc::clone(&gate),
+            Arc::clone(&router),
+        );
+        Scenario::new()
+            .thread(move || {
+                let _r = repartition.lock();
+                let _g = gate.lock();
+                let _t = router.lock();
+            })
+            .thread(move || {
+                let _r = r2.lock();
+                let _g = g2.lock();
+                let _t = t2.lock();
+            })
+    });
+    report.assert_ok();
+    assert!(
+        report.schedules >= 2,
+        "both controller orders must be explored"
+    );
+}
+
+/// Teeth for the new levels: a controller that grabbed the router swap
+/// latch before the repartition latch inverts the hierarchy; the order
+/// tags must fail the schedule naming both latches.
+#[test]
+fn router_before_repartition_inversion_is_caught() {
+    let report = explore_default(move || {
+        let repartition = Arc::new(CheckedMutex::ordered((), 1, "repartition"));
+        let router = Arc::new(CheckedMutex::ordered((), 3, "router"));
+        Scenario::new().thread(move || {
+            let _t = router.lock();
+            let _r = repartition.lock(); // inversion: Repartition(1) while holding Router(3)
+        })
+    });
+    let failure = report.expect_failure("latch-order");
+    assert!(
+        failure.message.contains("router") && failure.message.contains("repartition"),
+        "diagnostic should name both latches, got: {}",
+        failure.message
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Seeded latch-order inversion (explorer side of the dual-catch criterion)
 // ---------------------------------------------------------------------------
 
-/// Order tags mirror the real hierarchy (Piece = 3, Delta = 5 in
+/// Order tags mirror the real hierarchy (Piece = 6, Delta = 8 in
 /// `aidx_latch::dcheck::Level`). Taking a piece latch while holding the
 /// delta lock inverts it; the explorer must fail the schedule with the full
 /// acquisition stack. The dcheck half of this criterion is
@@ -650,11 +830,11 @@ fn gallop_frontier_regression_concurrent_build() {
 #[test]
 fn seeded_latch_order_inversion_is_caught_by_explorer() {
     let report = explore_default(move || {
-        let delta = Arc::new(CheckedMutex::ordered((), 5, "delta"));
-        let piece = Arc::new(CheckedMutex::ordered((), 3, "piece-latch"));
+        let delta = Arc::new(CheckedMutex::ordered((), 8, "delta"));
+        let piece = Arc::new(CheckedMutex::ordered((), 6, "piece-latch"));
         Scenario::new().thread(move || {
             let _d = delta.lock();
-            let _p = piece.lock(); // inversion: Piece(3) while holding Delta(5)
+            let _p = piece.lock(); // inversion: Piece(6) while holding Delta(8)
         })
     });
     let failure = report.expect_failure("latch-order");

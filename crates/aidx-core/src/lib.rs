@@ -54,6 +54,7 @@ pub mod shared_array;
 /// Re-export of the workspace sync facade so downstream crates
 /// (`aidx-parallel`, `aidx-table`) can route through it without depending
 /// on `aidx-latch` directly.
+pub use aidx_latch::dcheck;
 pub use aidx_latch::facade;
 
 pub use compaction::{CompactionMode, CompactionPolicy};

@@ -7,8 +7,9 @@
 //!    tagged latch/lock a thread holds. Acquiring a level *below* the highest
 //!    currently-held level panics with the full acquisition trace. The
 //!    enforced global order is documented in `docs/latch-order.md`:
-//!    quiesce gate (1) → column latch (2) → piece latch (3) → shrink
-//!    serial (4) → delta lock (5) → TOC mutex (6).
+//!    repartition controller (1) → snapshot gate (2) → routing table (3) →
+//!    quiesce gate (4) → column latch (5) → piece latch (6) → shrink
+//!    serial (7) → delta lock (8) → TOC mutex (9).
 //! 2. **Witness graph** — acquisitions also record held-before edges in a
 //!    process-wide graph, so *same-level* inversions that never collide on
 //!    one thread (thread A: p1 then p2; thread B: p2 then p1) are caught the
@@ -35,18 +36,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Level {
+    /// The range-router's repartition controller mutex (outermost: at most
+    /// one split/merge system transaction in flight per index).
+    Repartition = 1,
+    /// The range-router's snapshot gate: range-snapshot opens take it
+    /// shared, a repartition holds it exclusive for its whole protocol.
+    SnapshotGate = 2,
+    /// The range-router's routing-table lock: readers pin the current
+    /// table briefly, a repartition swaps it exclusively.
+    Router = 3,
     /// The piece-registry quiesce gate (entered once per operation).
-    Gate = 1,
+    Gate = 4,
     /// The column-wide `OrderedWaitLatch` (compaction rebuilds).
-    Column = 2,
+    Column = 5,
     /// A per-piece `OrderedWaitLatch`.
-    Piece = 3,
+    Piece = 6,
     /// The shrink-serial mutex serialising hole reclamation.
-    ShrinkSerial = 4,
+    ShrinkSerial = 7,
     /// The pending-delta state lock.
-    Delta = 5,
+    Delta = 8,
     /// The table-of-contents mutex (innermost).
-    Toc = 6,
+    Toc = 9,
 }
 
 static NEXT_INSTANCE: AtomicUsize = AtomicUsize::new(1);
@@ -400,6 +410,40 @@ mod tests {
         acquire(Level::Piece, b, "piece");
         release(Level::Piece, b);
         release(Level::Column, a);
+    }
+
+    #[test]
+    fn router_levels_nest_above_every_core_level() {
+        // The three router-side levels added for skew-adaptive
+        // repartitioning must sit strictly outside the core hierarchy.
+        let ids: Vec<usize> = (0..9).map(|_| instance_id()).collect();
+        let order = [
+            (Level::Repartition, "repartition"),
+            (Level::SnapshotGate, "snapshot-gate"),
+            (Level::Router, "router"),
+            (Level::Gate, "quiesce-gate"),
+            (Level::Column, "column"),
+            (Level::Piece, "piece"),
+            (Level::ShrinkSerial, "shrink-serial"),
+            (Level::Delta, "delta"),
+            (Level::Toc, "toc"),
+        ];
+        for (i, (level, label)) in order.iter().enumerate() {
+            acquire(*level, ids[i], label);
+        }
+        for (i, (level, _)) in order.iter().enumerate().rev() {
+            release(*level, ids[i]);
+        }
+        // And the inversion (core level held, router level requested) panics.
+        let (g, r) = (instance_id(), instance_id());
+        acquire(Level::Gate, g, "quiesce-gate");
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            acquire(Level::Router, r, "router");
+        }))
+        .expect_err("router-under-gate must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("latch-order inversion"), "{msg}");
+        release(Level::Gate, g);
     }
 
     #[test]

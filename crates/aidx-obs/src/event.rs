@@ -83,6 +83,30 @@ pub enum TraceEvent {
         /// Requests drained by this wakeup.
         depth: u32,
     },
+    /// One online re-partitioning system transaction: a hot partition was
+    /// split at a crack boundary, or two cold neighbours were merged.
+    Repartition {
+        /// Id of the partition that was split or merged away.
+        partition: u32,
+        /// True for a split, false for a merge.
+        split: bool,
+        /// Rows handed off to the new (or absorbing) owner.
+        rows: u64,
+        /// Nanoseconds the whole system transaction took.
+        ns: u64,
+    },
+    /// One successful refinement steal: an idle owner pre-cracked a large
+    /// uncracked piece belonging to another partition.
+    Steal {
+        /// The idle partition that did the stealing.
+        thief: u32,
+        /// The partition whose piece was refined.
+        victim: u32,
+        /// Rows in the piece that was pre-cracked.
+        rows: u64,
+        /// Nanoseconds spent refining.
+        ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -99,11 +123,13 @@ impl TraceEvent {
             TraceEvent::SnapshotRetry { .. } => "snapshot_retry",
             TraceEvent::DeltaMerge { .. } => "delta_merge",
             TraceEvent::OwnerBatch { .. } => "owner_batch",
+            TraceEvent::Repartition { .. } => "repartition",
+            TraceEvent::Steal { .. } => "steal",
         }
     }
 
-    /// All six tags, for completeness checks.
-    pub fn all_tags() -> [&'static str; 6] {
+    /// All eight tags, for completeness checks.
+    pub fn all_tags() -> [&'static str; 8] {
         [
             "latch_wait",
             "crack",
@@ -111,6 +137,8 @@ impl TraceEvent {
             "snapshot_retry",
             "delta_merge",
             "owner_batch",
+            "repartition",
+            "steal",
         ]
     }
 
@@ -156,6 +184,28 @@ impl TraceEvent {
             TraceEvent::OwnerBatch { partition, depth } => vec![
                 ("partition", Json::UInt(partition as u64)),
                 ("depth", Json::UInt(depth as u64)),
+            ],
+            TraceEvent::Repartition {
+                partition,
+                split,
+                rows,
+                ns,
+            } => vec![
+                ("partition", Json::UInt(partition as u64)),
+                ("split", Json::Bool(split)),
+                ("rows", Json::UInt(rows)),
+                ("ns", Json::UInt(ns)),
+            ],
+            TraceEvent::Steal {
+                thief,
+                victim,
+                rows,
+                ns,
+            } => vec![
+                ("thief", Json::UInt(thief as u64)),
+                ("victim", Json::UInt(victim as u64)),
+                ("rows", Json::UInt(rows)),
+                ("ns", Json::UInt(ns)),
             ],
         }
     }
@@ -220,6 +270,18 @@ mod tests {
             TraceEvent::OwnerBatch {
                 partition: 3,
                 depth: 5,
+            },
+            TraceEvent::Repartition {
+                partition: 1,
+                split: true,
+                rows: 4096,
+                ns: 20_000,
+            },
+            TraceEvent::Steal {
+                thief: 2,
+                victim: 0,
+                rows: 1024,
+                ns: 7_000,
             },
         ];
         for (event, tag) in events.into_iter().zip(TraceEvent::all_tags()) {

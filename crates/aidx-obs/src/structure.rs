@@ -121,6 +121,19 @@ impl StructureProbe {
         self.blocks_skipped = self.blocks_skipped.saturating_add(other.blocks_skipped);
     }
 
+    /// Partition-imbalance ratio: max/mean of `partition_load`. 1.0 means
+    /// perfectly balanced (and is also returned for empty or all-zero
+    /// load vectors, where imbalance is undefined).
+    pub fn partition_imbalance(&self) -> f64 {
+        let total: u64 = self.partition_load.iter().sum();
+        if self.partition_load.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let max = *self.partition_load.iter().max().unwrap() as f64;
+        let mean = total as f64 / self.partition_load.len() as f64;
+        max / mean
+    }
+
     /// Summarises the probe.
     pub fn summarize(&self) -> StructureStats {
         StructureStats {
@@ -134,6 +147,7 @@ impl StructureProbe {
             compactions: self.compactions,
             compaction_steps: self.compaction_steps,
             partition_load: Dist::of(&self.partition_load),
+            partition_imbalance: self.partition_imbalance(),
             partitions: self.partition_load.len() as u64,
             candidate_set_bytes: self.candidate_set_bytes,
             blocks_skipped: self.blocks_skipped,
@@ -164,6 +178,9 @@ pub struct StructureStats {
     pub compaction_steps: u64,
     /// Distribution of per-partition routed-op load.
     pub partition_load: Dist,
+    /// Partition-imbalance ratio: max/mean of per-partition load (1.0 =
+    /// perfectly balanced; also 1.0 for unpartitioned/idle engines).
+    pub partition_imbalance: f64,
     /// Number of partitions (0 for unpartitioned engines).
     pub partitions: u64,
     /// Cumulative compressed candidate-set bytes produced by selects.
@@ -195,6 +212,7 @@ impl StructureStats {
             ("compaction_steps", Json::UInt(self.compaction_steps)),
             ("partitions", Json::UInt(self.partitions)),
             ("partition_load", self.partition_load.to_json()),
+            ("partition_imbalance", Json::Num(self.partition_imbalance)),
             ("candidate_set_bytes", Json::UInt(self.candidate_set_bytes)),
             ("blocks_skipped", Json::UInt(self.blocks_skipped)),
         ])
@@ -349,6 +367,35 @@ mod tests {
             Some(1024)
         );
         assert_eq!(json.get("blocks_skipped").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn partition_imbalance_is_max_over_mean() {
+        let probe = StructureProbe {
+            partition_load: vec![30, 10, 10, 10],
+            ..StructureProbe::default()
+        };
+        // mean = 15, max = 30 → ratio 2.0
+        assert!((probe.partition_imbalance() - 2.0).abs() < 1e-9);
+        let stats = probe.summarize();
+        assert!((stats.partition_imbalance - 2.0).abs() < 1e-9);
+        let json = stats.to_json();
+        assert!(json.render().contains("partition_imbalance"));
+
+        // Balanced load → exactly 1.0.
+        let even = StructureProbe {
+            partition_load: vec![5, 5, 5],
+            ..StructureProbe::default()
+        };
+        assert_eq!(even.partition_imbalance(), 1.0);
+
+        // Empty and all-zero vectors are defined as balanced.
+        assert_eq!(StructureProbe::default().partition_imbalance(), 1.0);
+        let idle = StructureProbe {
+            partition_load: vec![0, 0],
+            ..StructureProbe::default()
+        };
+        assert_eq!(idle.partition_imbalance(), 1.0);
     }
 
     #[test]

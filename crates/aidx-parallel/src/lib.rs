@@ -21,7 +21,12 @@
 //!   latches altogether; a router sends each query only to the owners its
 //!   range overlaps. Best once the workload is known to spread across the
 //!   domain: narrow queries touch a single partition and different
-//!   queries proceed on different cores with zero coordination.
+//!   queries proceed on different cores with zero coordination. The
+//!   **skew-adaptive** mode ([`RangePartitionedCracker::adaptive`],
+//!   tuned by [`AdaptiveConfig`]) additionally re-partitions online —
+//!   hot partitions split at crack boundaries, cold neighbours merge —
+//!   and lets idle owners steal refinement work from loaded ones, so a
+//!   skewed or drifting workload cannot serialise on one owner.
 //!
 //! Per-query [`aidx_core::QueryMetrics`] are merged across workers with
 //! [`aidx_core::QueryMetrics::merge_parallel`] (work counters summed,
@@ -36,4 +41,6 @@ pub mod range_partitioned;
 
 pub use chunked::{ChunkBackend, ChunkedCracker, ChunkedSnapshot};
 pub use pool::{available_cores, WorkerPool};
-pub use range_partitioned::{RangePartitionedCracker, RangeSnapshot, RoutingStats};
+pub use range_partitioned::{
+    AdaptiveConfig, RangePartitionedCracker, RangeSnapshot, Rebalance, RoutingStats,
+};

@@ -9,8 +9,10 @@
 //!
 //! The pool is deliberately minimal — no work stealing, no task
 //! priorities. Chunk tasks are uniform enough that a single shared queue
-//! keeps all workers busy (ROADMAP lists work-stealing refinement as a
-//! follow-on).
+//! keeps all workers busy. (The range-partitioned design is where skew
+//! makes tasks non-uniform; *its* owners steal refinement work from
+//! loaded partitions — see `range_partitioned`. This pool only fans out
+//! uniform chunk tasks and stays queue-only.)
 
 use aidx_core::facade::Mutex;
 use std::fmt;

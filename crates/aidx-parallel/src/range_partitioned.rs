@@ -1,47 +1,67 @@
-//! Range-partitioned parallel cracking.
+//! Range-partitioned parallel cracking with skew adaptivity.
 //!
-//! A one-time parallel range partition splits the column into `partitions`
-//! disjoint key ranges; each range is owned by a dedicated worker thread
-//! that cracks a private index **latch-free** — exclusive ownership
-//! replaces the paper's latch protocols entirely, the logical end point of
-//! "pieces as an adaptive latching granularity": partition boundaries are
-//! cracks chosen up front, and within a partition there is never a second
-//! writer. A router maps a query's `[low, high)` range to the partitions
-//! it overlaps, sends each owner a request over its channel, and sums the
-//! partial answers; partitions outside the query range are never touched
-//! (in contrast to chunked cracking, where every chunk participates in
-//! every query).
+//! A parallel range partition splits the column into disjoint key ranges;
+//! each range is owned by a dedicated worker thread that cracks a private
+//! index — partition boundaries are cracks chosen up front, the logical
+//! end point of "pieces as an adaptive latching granularity". A router
+//! maps a query's `[low, high)` range to the partitions it overlaps,
+//! sends each owner a request over its channel, and sums the partial
+//! answers; partitions outside the query range are never touched.
 //!
-//! Each owner runs a [`ConcurrentCracker`] under
-//! [`LatchProtocol::None`] — the same engine core as the serial and
-//! chunked arms, so every write-path capability (pending delta, quiescing
-//! *and* incremental compaction, epoch-stamped snapshot reads) threads
-//! through unchanged. A [`RangeSnapshot`] registers one epoch per
-//! partition; because every write is routed to exactly one owner, the
-//! per-partition epochs form a consistent cut for any client that opens
-//! the snapshot between its own operations.
+//! Static partitioning is only as good as its initial sample: a workload
+//! that concentrates on one key range serialises on one owner while the
+//! others idle. The **adaptive** mode (see
+//! [`RangePartitionedCracker::adaptive`]) fixes that two ways:
+//!
+//! * **Online re-partitioning.** A monitor watches the per-partition
+//!   routed-op windows. When one partition's load exceeds
+//!   [`AdaptiveConfig::imbalance_threshold`] × the mean, the hot
+//!   partition is split at a crack boundary near its middle — an
+//!   epoch-fenced *system transaction*: the owner hands the upper pieces
+//!   (array chunk, cracks, delta already reconciled) to a new owner and
+//!   installs a redirect for requests routed by the old generation, the
+//!   router publishes a new RCU routing table, and once every in-flight
+//!   send through the old table has drained the redirect is retired.
+//!   Queries never block and never observe a dropped or doubled range.
+//!   At [`AdaptiveConfig::max_partitions`] the coldest adjacent pair is
+//!   merged first to free an owner.
+//! * **Refinement work stealing.** Idle owners (empty queue past a poll
+//!   timeout) pick the largest partition and pre-crack its biggest
+//!   uncracked piece. The side work is idempotent index refinement —
+//!   installed under the victim's piece latches ([`LatchProtocol::Piece`]
+//!   in adaptive mode), so a racing owner query simply finds smaller
+//!   pieces.
+//!
+//! In static mode each owner runs a [`ConcurrentCracker`] under
+//! [`LatchProtocol::None`] — exclusive ownership replaces latching
+//! entirely. Every write-path capability (pending delta, quiescing *and*
+//! incremental compaction, epoch-stamped snapshot reads) threads through
+//! unchanged in both modes. A [`RangeSnapshot`] registers one epoch per
+//! partition; snapshots and re-partitioning exclude each other through a
+//! snapshot gate (a repartition aborts while any snapshot is live, so
+//! pinned epoch reads never see rows move between partitions).
 //!
 //! Owners drain their request channel in **batches**: one blocking
 //! receive wakes the owner, which then processes every request already
 //! queued before blocking again. Under heavy client counts this coalesces
-//! many in-flight operations per channel round-trip (one park/unpark per
-//! batch instead of per op); [`RangePartitionedCracker::routing_stats`]
-//! exposes the ops/batches ratio so the coalescing is observable.
-//!
-//! Partition boundaries come from a deterministic sample of the data, so
-//! skewed key distributions still yield balanced partitions.
+//! many in-flight operations per channel round-trip;
+//! [`RangePartitionedCracker::routing_stats`] exposes the ops/batches
+//! ratio so the coalescing is observable.
 
 use aidx_core::{
+    dcheck,
+    facade::{Condvar, Mutex, RwLock},
     Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RowIdSet,
 };
 use aidx_obs::{emit, StructureProbe, TraceEvent};
 use aidx_storage::RowId;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A request routed to one partition owner.
 enum OwnerRequest {
@@ -104,6 +124,50 @@ enum OwnerRequest {
     DeltaStats { reply: Sender<(u64, u64)> },
     /// Reply with the partition index's raw structure probe.
     Structure { reply: Sender<StructureProbe> },
+    /// Reply with the crack boundary nearest the partition's middle — the
+    /// repartition controller's split-point discovery. `None` if the
+    /// partition has no interior crack to split at.
+    SplitKey { reply: Sender<Option<i64>> },
+    /// Split the partition at `at`: move every row `>= at` (with its
+    /// cracks) into a fresh child index, install a split redirect toward
+    /// `child` for requests still routed by the old table, and reply with
+    /// the child index for the controller to spawn an owner around.
+    SplitExtract {
+        at: i64,
+        child: Sender<OwnerRequest>,
+        reply: Sender<ConcurrentCracker>,
+    },
+    /// Merge away: extract the whole partition, hand it to `into` as an
+    /// [`OwnerRequest::Absorb`] (waiting for the ack), install a
+    /// forward-all redirect, and reply with how many rows moved.
+    MergeExtract {
+        into: Sender<OwnerRequest>,
+        boundary: i64,
+        reply: Sender<u64>,
+    },
+    /// Absorb a merged-away upper neighbour's rows; ack'd once installed.
+    Absorb {
+        values: Vec<i64>,
+        rowids: Vec<RowId>,
+        cracks: Vec<(i64, usize)>,
+        boundary: i64,
+        ack: Sender<()>,
+    },
+    /// Clear the redirect installed by a split, once the controller has
+    /// drained every request routed through the old table.
+    RetireRedirect { reply: Sender<()> },
+}
+
+/// Where a partition forwards requests while a repartition system
+/// transaction is mid-flight (installed by the owner itself, so it is
+/// ordered with the extraction in the request stream).
+enum Redirect {
+    /// This partition split at `at`: requests entirely `>= at` are
+    /// whole-forwarded, straddling reads are answered in two halves and
+    /// combined so the router still sees exactly one reply.
+    Split { at: i64, to: Sender<OwnerRequest> },
+    /// This partition merged away: everything goes to the absorber.
+    All { to: Sender<OwnerRequest> },
 }
 
 /// Shared per-column routing counters (owners write, the router reads).
@@ -114,17 +178,13 @@ struct RoutingCounters {
     /// Blocking-receive wakeups across all owners (each wakeup drains
     /// every request already queued).
     batches: AtomicU64,
-    /// Requests processed per partition — the routing-load skew a
-    /// structure probe reports as `partition_load`.
-    partition_ops: Vec<AtomicU64>,
 }
 
 impl RoutingCounters {
-    fn new(partitions: usize) -> Self {
+    fn new() -> Self {
         RoutingCounters {
             ops: AtomicU64::new(0),
             batches: AtomicU64::new(0),
-            partition_ops: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -150,137 +210,702 @@ impl RoutingStats {
     }
 }
 
-fn handle_request(index: &ConcurrentCracker, request: OwnerRequest) {
-    match request {
-        OwnerRequest::Query {
-            low,
-            high,
-            agg,
-            epoch,
-            reply,
-        } => {
-            let result = match (agg, epoch) {
-                (Aggregate::Count, None) => {
-                    let (c, m) = index.count(low, high);
-                    (c as i128, m)
-                }
-                (Aggregate::Sum, None) => index.sum(low, high),
-                (Aggregate::Count, Some(epoch)) => {
-                    let (c, m) = index.count_at(low, high, epoch);
-                    (c as i128, m)
-                }
-                (Aggregate::Sum, Some(epoch)) => index.sum_at(low, high, epoch),
-            };
-            // The router may have given up only if the whole index was
-            // dropped mid-query; nothing useful to do with the error.
-            let _ = reply.send(result);
-        }
-        OwnerRequest::Insert {
-            value,
-            rowid,
-            reply,
-        } => {
-            let _ = reply.send(index.insert_row(value, rowid));
-        }
-        OwnerRequest::Delete { value, reply } => {
-            let _ = reply.send(index.delete(value));
-        }
-        OwnerRequest::DeleteRow {
-            value,
-            rowid,
-            reply,
-        } => {
-            let _ = reply.send(index.delete_row(value, rowid));
-        }
-        OwnerRequest::SelectRowids {
-            low,
-            high,
-            epoch,
-            reply,
-        } => {
-            let result = match epoch {
-                Some(epoch) => index.select_rowids_at(low, high, epoch),
-                None => index.select_rowids(low, high),
-            };
-            let _ = reply.send(result);
-        }
-        OwnerRequest::SelectRowidSet {
-            low,
-            high,
-            epoch,
-            reply,
-        } => {
-            let result = match epoch {
-                Some(epoch) => index.select_rowid_set_at(low, high, epoch),
-                None => index.select_rowid_set(low, high),
-            };
-            let _ = reply.send(result);
-        }
-        OwnerRequest::SnapshotOpen { reply } => {
-            let _ = reply.send(index.register_snapshot_epoch());
-        }
-        OwnerRequest::SnapshotClose { epoch } => {
-            index.release_snapshot_epoch(epoch);
-        }
-        OwnerRequest::Check { reply } => {
-            let _ = reply.send(index.check_invariants());
-        }
-        OwnerRequest::DeltaStats { reply } => {
-            let _ = reply.send((
-                index.delta_rows(),
-                index.compactions_performed() + index.compaction_steps_performed(),
-            ));
-        }
-        OwnerRequest::Structure { reply } => {
-            let _ = reply.send(index.structure_probe());
+/// Tuning for the skew-adaptive mode ([`RangePartitionedCracker::adaptive`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// How often the monitor thread examines the load windows. `None`
+    /// spawns no monitor: rebalancing then only happens through explicit
+    /// [`RangePartitionedCracker::try_rebalance`] calls (deterministic
+    /// tests, external schedulers).
+    pub check_interval: Option<Duration>,
+    /// Split the hottest partition once its window load exceeds this
+    /// multiple of the mean window load (max/mean imbalance trigger).
+    pub imbalance_threshold: f64,
+    /// Never split a partition below `2 ×` this many rows (both halves
+    /// must stay worth owning).
+    pub min_partition_rows: usize,
+    /// Owner-thread budget: at this many partitions a split is preceded
+    /// by merging the coldest adjacent pair to free an owner.
+    pub max_partitions: usize,
+    /// Ignore load windows with fewer total routed ops than this — too
+    /// little traffic to judge skew.
+    pub min_window_ops: u64,
+    /// Enable refinement work stealing by idle owners.
+    pub steal: bool,
+    /// Stealers only pre-crack pieces at least this many rows big.
+    pub steal_min_piece: usize,
+    /// How long an owner's queue must stay empty before it tries to
+    /// steal.
+    pub steal_poll: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            check_interval: Some(Duration::from_millis(2)),
+            imbalance_threshold: 1.75,
+            min_partition_rows: 1024,
+            max_partitions: 32,
+            min_window_ops: 64,
+            steal: true,
+            steal_min_piece: 4096,
+            steal_poll: Duration::from_millis(1),
         }
     }
 }
 
-/// One partition owner: a worker thread with exclusive, latch-free access
-/// to the partition's cracker index. Each blocking receive drains every
-/// request already queued (batch routing) before parking again.
-fn owner_loop(
-    index: ConcurrentCracker,
-    requests: &Receiver<OwnerRequest>,
-    counters: &RoutingCounters,
-    partition: usize,
-) {
-    while let Ok(first) = requests.recv() {
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters.ops.fetch_add(1, Ordering::Relaxed);
-        counters.partition_ops[partition].fetch_add(1, Ordering::Relaxed);
+/// What one rebalance pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rebalance {
+    /// Load looked balanced, or there was too little traffic to judge.
+    Balanced,
+    /// A live snapshot pinned row positions; the pass aborted without
+    /// touching anything.
+    SnapshotPinned,
+    /// The hot partition split at a crack boundary.
+    Split {
+        /// Id of the partition that was split.
+        partition: u32,
+    },
+    /// A cold partition merged into its left neighbour to free an owner.
+    Merged {
+        /// Id of the partition that was merged away.
+        partition: u32,
+    },
+}
+
+/// One partition: routing metadata shared between the routing table and
+/// the owner thread. The `ops`/`size` ledgers are `Arc`s so they survive
+/// routing-table swaps.
+#[derive(Clone)]
+struct Partition {
+    /// Stable id (survives table swaps; new ids for split children).
+    id: u32,
+    sender: Sender<OwnerRequest>,
+    /// The owner's index — shared so stealers can refine it under its
+    /// piece latches.
+    index: Arc<ConcurrentCracker>,
+    /// Requests this partition handled locally (the load window input).
+    ops: Arc<AtomicU64>,
+    /// Live rows, maintained by the owner where writes apply — correct
+    /// across redirect windows, unlike router-side bookkeeping.
+    size: Arc<AtomicUsize>,
+}
+
+/// An immutable routing generation (RCU-style): clients pin it for the
+/// duration of their channel sends, the repartition controller swaps it
+/// and waits for the old generation's pins to drain.
+struct RoutingTable {
+    /// `splits[i]` is the inclusive lower key bound of partition `i + 1`;
+    /// partition `0` starts at `i64::MIN`. Sorted ascending.
+    splits: Vec<i64>,
+    partitions: Vec<Partition>,
+    /// In-flight sends routed through this generation.
+    pins: AtomicU64,
+}
+
+impl RoutingTable {
+    fn empty() -> Self {
+        RoutingTable {
+            splits: Vec::new(),
+            partitions: Vec::new(),
+            pins: AtomicU64::new(0),
+        }
+    }
+
+    /// Clips `[low, high)` to partition `p`'s key range. Routing clipped
+    /// requests makes redirect handling compositional: a request never
+    /// spans a boundary the receiving owner doesn't know about, so a
+    /// split redirect can never double-count rows.
+    fn clip(&self, p: usize, low: i64, high: i64) -> (i64, i64) {
+        let lo = if p == 0 {
+            low
+        } else {
+            low.max(self.splits[p - 1])
+        };
+        let hi = if p + 1 == self.partitions.len() {
+            high
+        } else {
+            high.min(self.splits[p])
+        };
+        (lo, hi)
+    }
+}
+
+/// A pinned routing generation; the pin is released on drop.
+struct TablePin(Arc<RoutingTable>);
+
+impl std::ops::Deref for TablePin {
+    type Target = RoutingTable;
+    fn deref(&self) -> &RoutingTable {
+        &self.0
+    }
+}
+
+impl Drop for TablePin {
+    fn drop(&mut self) {
+        self.0.pins.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// State shared by the router facade, the owner threads, and the monitor.
+struct Shared {
+    /// The current routing generation, swapped RCU-style by the
+    /// repartition controller (dcheck [`dcheck::Level::Router`]).
+    table: RwLock<Arc<RoutingTable>>,
+    counters: Arc<RoutingCounters>,
+    /// `Some` in adaptive mode.
+    config: Option<AdaptiveConfig>,
+    /// At most one split/merge system transaction in flight
+    /// (dcheck [`dcheck::Level::Repartition`]).
+    repartition: Mutex<()>,
+    /// Snapshot opens take this shared; a repartition takes it exclusive
+    /// and aborts while `live_snapshots > 0`
+    /// (dcheck [`dcheck::Level::SnapshotGate`]).
+    snapshot_gate: RwLock<()>,
+    live_snapshots: AtomicU64,
+    next_partition_id: AtomicU32,
+    splits_performed: AtomicU64,
+    merges_performed: AtomicU64,
+    steals: AtomicU64,
+    /// Set while `check_invariants` runs: stealers must stand down so the
+    /// per-partition consistency walk doesn't race a refinement crack.
+    steal_pause: AtomicBool,
+    steals_in_flight: AtomicU64,
+    shutdown: AtomicBool,
+    monitor_park: Mutex<()>,
+    monitor_cv: Condvar,
+    /// Per-partition-id op counts at the last rebalance window.
+    last_ops: Mutex<HashMap<u32, u64>>,
+    /// Every owner thread ever spawned (split children included); joined
+    /// at teardown. Merged-away owners exit early, so their joins are
+    /// instant.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    repartition_instance: usize,
+    snapshot_gate_instance: usize,
+    router_instance: usize,
+}
+
+impl Shared {
+    /// Pins the current routing generation. The pin is taken under the
+    /// router read lock, so a controller that swaps the table (under the
+    /// write lock) observes every pin taken against the old generation
+    /// when it starts waiting for them to drain.
+    fn pin_table(&self) -> TablePin {
+        let guard = dcheck::Tracked::new(
+            dcheck::Level::Router,
+            self.router_instance,
+            "router-table",
+            self.table.read(),
+        );
+        let table = Arc::clone(&guard);
+        table.pins.fetch_add(1, Ordering::Relaxed);
+        TablePin(table)
+    }
+
+    /// The current routing generation without a pin — for diagnostics and
+    /// paths fenced some other way (the snapshot gate).
+    fn current_table(&self) -> Arc<RoutingTable> {
+        let guard = dcheck::Tracked::new(
+            dcheck::Level::Router,
+            self.router_instance,
+            "router-table",
+            self.table.read(),
+        );
+        Arc::clone(&guard)
+    }
+
+    /// Publishes a new routing generation and returns the old one.
+    fn swap_table(&self, new: Arc<RoutingTable>) -> Arc<RoutingTable> {
+        let mut guard = dcheck::Tracked::new(
+            dcheck::Level::Router,
+            self.router_instance,
+            "router-table",
+            self.table.write(),
+        );
+        std::mem::replace(&mut *guard, new)
+    }
+
+    fn steal_params(&self) -> Option<(Duration, usize)> {
+        let config = self.config?;
+        config
+            .steal
+            .then_some((config.steal_poll, config.steal_min_piece))
+    }
+}
+
+/// Spins until every send routed through `old` has been enqueued. Pins
+/// only cover channel sends, never reply waits, so this drains fast.
+fn wait_for_pins(old: &RoutingTable) {
+    while old.pins.load(Ordering::Acquire) != 0 {
+        std::thread::yield_now();
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One owner thread's working state.
+struct OwnerCtx {
+    id: u32,
+    index: Arc<ConcurrentCracker>,
+    ops: Arc<AtomicU64>,
+    size: Arc<AtomicUsize>,
+    counters: Arc<RoutingCounters>,
+    /// Weak so owner threads don't keep the shared state (and through its
+    /// routing table, their own channels) alive after teardown begins.
+    shared: Weak<Shared>,
+    redirect: Option<Redirect>,
+    /// `(poll timeout, min piece rows)` when stealing is enabled.
+    steal: Option<(Duration, usize)>,
+}
+
+impl OwnerCtx {
+    fn note_op(&self) {
+        self.counters.ops.fetch_add(1, Ordering::Relaxed);
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn handle(&mut self, request: OwnerRequest) {
+        // Repartition control messages are system-transaction traffic,
+        // not client load: they bypass the redirect and the op counters.
+        let request = match self.control(request) {
+            Some(r) => r,
+            None => return,
+        };
+        let request = match self.forward(request) {
+            Some(r) => r,
+            None => return,
+        };
+        self.note_op();
+        self.handle_local(request);
+    }
+
+    /// Intercepts repartition control messages; returns client requests
+    /// untouched.
+    fn control(&mut self, request: OwnerRequest) -> Option<OwnerRequest> {
+        match request {
+            OwnerRequest::SplitKey { reply } => {
+                let _ = reply.send(self.index.median_crack_key());
+                None
+            }
+            OwnerRequest::SplitExtract { at, child, reply } => {
+                let (values, rowids, cracks) = self.index.split_off(at);
+                let child_index = ConcurrentCracker::from_rows_with_cracks(
+                    values,
+                    rowids,
+                    &cracks,
+                    self.index.protocol(),
+                )
+                .with_compaction(self.index.compaction_policy());
+                self.size.store(self.index.len(), Ordering::Relaxed);
+                // Installed before the reply: every later request in this
+                // queue (routed by the old table) hits the redirect.
+                self.redirect = Some(Redirect::Split { at, to: child });
+                let _ = reply.send(child_index);
+                None
+            }
+            OwnerRequest::MergeExtract {
+                into,
+                boundary,
+                reply,
+            } => {
+                let (values, rowids, cracks) = self.index.split_off(i64::MIN);
+                let moved = values.len() as u64;
+                let (ack_tx, ack_rx) = channel();
+                let _ = into.send(OwnerRequest::Absorb {
+                    values,
+                    rowids,
+                    cracks,
+                    boundary,
+                    ack: ack_tx,
+                });
+                // Block until the absorber has installed the rows: a
+                // request forwarded afterwards must find them there. The
+                // absorber never waits on this owner, so this can't
+                // deadlock.
+                let _ = ack_rx.recv();
+                self.size.store(0, Ordering::Relaxed);
+                self.redirect = Some(Redirect::All { to: into });
+                let _ = reply.send(moved);
+                None
+            }
+            OwnerRequest::Absorb {
+                values,
+                rowids,
+                cracks,
+                boundary,
+                ack,
+            } => {
+                let added = values.len();
+                self.index.absorb_upper(values, rowids, &cracks, boundary);
+                self.size.fetch_add(added, Ordering::Relaxed);
+                let _ = ack.send(());
+                None
+            }
+            OwnerRequest::RetireRedirect { reply } => {
+                self.redirect = None;
+                let _ = reply.send(());
+                None
+            }
+            other => Some(other),
+        }
+    }
+
+    /// Applies the redirect, if any: whole-forwards, splits straddling
+    /// reads, and passes locally-owned requests through.
+    fn forward(&mut self, request: OwnerRequest) -> Option<OwnerRequest> {
+        let Some(redirect) = &self.redirect else {
+            return Some(request);
+        };
+        match redirect {
+            Redirect::All { to } => {
+                let _ = to.send(request);
+                None
+            }
+            Redirect::Split { at, to } => {
+                let (at, to) = (*at, to.clone());
+                self.forward_split(at, &to, request)
+            }
+        }
+    }
+
+    fn forward_split(
+        &mut self,
+        at: i64,
+        to: &Sender<OwnerRequest>,
+        request: OwnerRequest,
+    ) -> Option<OwnerRequest> {
+        // Writes route by value, reads by range start: either side owns
+        // the request outright unless a read straddles the split key.
+        let forward_whole = match &request {
+            OwnerRequest::Insert { value, .. }
+            | OwnerRequest::Delete { value, .. }
+            | OwnerRequest::DeleteRow { value, .. } => *value >= at,
+            OwnerRequest::Query { low, .. }
+            | OwnerRequest::SelectRowids { low, .. }
+            | OwnerRequest::SelectRowidSet { low, .. } => *low >= at,
+            _ => false,
+        };
+        if forward_whole {
+            let _ = to.send(request);
+            return None;
+        }
+        match request {
+            OwnerRequest::Query {
+                low,
+                high,
+                agg,
+                epoch,
+                reply,
+            } if high > at => {
+                debug_assert!(epoch.is_none(), "no snapshots during a repartition");
+                self.note_op();
+                let (local, local_m) = self.run_query(low, at, agg, epoch);
+                let (tx, rx) = channel();
+                let _ = to.send(OwnerRequest::Query {
+                    low: at,
+                    high,
+                    agg,
+                    epoch,
+                    reply: tx,
+                });
+                if let Ok((remote, remote_m)) = rx.recv() {
+                    let merged = QueryMetrics::merge_parallel(vec![local_m, remote_m]);
+                    let _ = reply.send((local + remote, merged));
+                }
+                None
+            }
+            OwnerRequest::SelectRowids {
+                low,
+                high,
+                epoch,
+                reply,
+            } if high > at => {
+                debug_assert!(epoch.is_none(), "no snapshots during a repartition");
+                self.note_op();
+                let (mut rows, local_m) = self.run_rowids(low, at, epoch);
+                let (tx, rx) = channel();
+                let _ = to.send(OwnerRequest::SelectRowids {
+                    low: at,
+                    high,
+                    epoch,
+                    reply: tx,
+                });
+                if let Ok((remote, remote_m)) = rx.recv() {
+                    rows.extend(remote);
+                    let merged = QueryMetrics::merge_parallel(vec![local_m, remote_m]);
+                    let _ = reply.send((rows, merged));
+                }
+                None
+            }
+            OwnerRequest::SelectRowidSet {
+                low,
+                high,
+                epoch,
+                reply,
+            } if high > at => {
+                debug_assert!(epoch.is_none(), "no snapshots during a repartition");
+                self.note_op();
+                let (local, local_m) = self.run_rowid_set(low, at, epoch);
+                let (tx, rx) = channel();
+                let _ = to.send(OwnerRequest::SelectRowidSet {
+                    low: at,
+                    high,
+                    epoch,
+                    reply: tx,
+                });
+                if let Ok((remote, remote_m)) = rx.recv() {
+                    let set = RowIdSet::merge_sets(&[local, remote]);
+                    let merged = QueryMetrics::merge_parallel(vec![local_m, remote_m]);
+                    let _ = reply.send((set, merged));
+                }
+                None
+            }
+            other => Some(other),
+        }
+    }
+
+    fn run_query(
+        &self,
+        low: i64,
+        high: i64,
+        agg: Aggregate,
+        epoch: Option<u64>,
+    ) -> (i128, QueryMetrics) {
+        match (agg, epoch) {
+            (Aggregate::Count, None) => {
+                let (c, m) = self.index.count(low, high);
+                (c as i128, m)
+            }
+            (Aggregate::Sum, None) => self.index.sum(low, high),
+            (Aggregate::Count, Some(epoch)) => {
+                let (c, m) = self.index.count_at(low, high, epoch);
+                (c as i128, m)
+            }
+            (Aggregate::Sum, Some(epoch)) => self.index.sum_at(low, high, epoch),
+        }
+    }
+
+    fn run_rowids(&self, low: i64, high: i64, epoch: Option<u64>) -> (Vec<RowId>, QueryMetrics) {
+        match epoch {
+            Some(epoch) => self.index.select_rowids_at(low, high, epoch),
+            None => self.index.select_rowids(low, high),
+        }
+    }
+
+    fn run_rowid_set(&self, low: i64, high: i64, epoch: Option<u64>) -> (RowIdSet, QueryMetrics) {
+        match epoch {
+            Some(epoch) => self.index.select_rowid_set_at(low, high, epoch),
+            None => self.index.select_rowid_set(low, high),
+        }
+    }
+
+    fn handle_local(&mut self, request: OwnerRequest) {
+        match request {
+            OwnerRequest::Query {
+                low,
+                high,
+                agg,
+                epoch,
+                reply,
+            } => {
+                // The router may have given up only if the whole index
+                // was dropped mid-query; nothing useful to do then.
+                let _ = reply.send(self.run_query(low, high, agg, epoch));
+            }
+            OwnerRequest::Insert {
+                value,
+                rowid,
+                reply,
+            } => {
+                let metrics = self.index.insert_row(value, rowid);
+                self.size.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(metrics);
+            }
+            OwnerRequest::Delete { value, reply } => {
+                let (removed, metrics) = self.index.delete(value);
+                self.size.fetch_sub(removed as usize, Ordering::Relaxed);
+                let _ = reply.send((removed, metrics));
+            }
+            OwnerRequest::DeleteRow {
+                value,
+                rowid,
+                reply,
+            } => {
+                let (removed, metrics) = self.index.delete_row(value, rowid);
+                self.size.fetch_sub(removed as usize, Ordering::Relaxed);
+                let _ = reply.send((removed, metrics));
+            }
+            OwnerRequest::SelectRowids {
+                low,
+                high,
+                epoch,
+                reply,
+            } => {
+                let _ = reply.send(self.run_rowids(low, high, epoch));
+            }
+            OwnerRequest::SelectRowidSet {
+                low,
+                high,
+                epoch,
+                reply,
+            } => {
+                let _ = reply.send(self.run_rowid_set(low, high, epoch));
+            }
+            OwnerRequest::SnapshotOpen { reply } => {
+                let _ = reply.send(self.index.register_snapshot_epoch());
+            }
+            OwnerRequest::SnapshotClose { epoch } => {
+                self.index.release_snapshot_epoch(epoch);
+            }
+            OwnerRequest::Check { reply } => {
+                let _ = reply.send(self.index.check_invariants());
+            }
+            OwnerRequest::DeltaStats { reply } => {
+                let _ = reply.send((
+                    self.index.delta_rows(),
+                    self.index.compactions_performed() + self.index.compaction_steps_performed(),
+                ));
+            }
+            OwnerRequest::Structure { reply } => {
+                let _ = reply.send(self.index.structure_probe());
+            }
+            OwnerRequest::SplitKey { .. }
+            | OwnerRequest::SplitExtract { .. }
+            | OwnerRequest::MergeExtract { .. }
+            | OwnerRequest::Absorb { .. }
+            | OwnerRequest::RetireRedirect { .. } => {
+                unreachable!("control messages are intercepted before local handling")
+            }
+        }
+    }
+
+    /// Refinement work stealing: pre-crack the largest piece of the
+    /// biggest other partition. Pure index refinement under the victim's
+    /// piece latches — idempotent, and invisible to query answers.
+    fn try_steal(&self) {
+        let Some((_, min_piece)) = self.steal else {
+            return;
+        };
+        let Some(shared) = self.shared.upgrade() else {
+            return;
+        };
+        if shared.shutdown.load(Ordering::Acquire) || shared.steal_pause.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.steals_in_flight.fetch_add(1, Ordering::SeqCst);
+        // Re-check after announcing: the pauser waits for in-flight
+        // steals, so a steal that raced the pause must back out.
+        if shared.steal_pause.load(Ordering::SeqCst) {
+            shared.steals_in_flight.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let start = Instant::now();
+        {
+            let table = shared.pin_table();
+            let victim = table
+                .partitions
+                .iter()
+                .filter(|p| p.id != self.id)
+                .max_by_key(|p| p.size.load(Ordering::Relaxed));
+            if let Some(victim) = victim {
+                if let Some(rows) = victim.index.refine_largest_piece(min_piece) {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    emit(TraceEvent::Steal {
+                        thief: self.id,
+                        victim: victim.id,
+                        rows,
+                        ns: elapsed_ns(start),
+                    });
+                }
+            }
+        }
+        shared.steals_in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One partition owner: a worker thread with exclusive write access to
+/// its partition's cracker index. Each blocking receive drains every
+/// request already queued (batch routing) before parking again. With
+/// stealing enabled, a poll timeout on an empty queue becomes refinement
+/// side work on the biggest other partition.
+fn owner_loop(mut ctx: OwnerCtx, requests: Receiver<OwnerRequest>) {
+    loop {
+        let first = match ctx.steal {
+            Some((poll, _)) => match requests.recv_timeout(poll) {
+                Ok(request) => request,
+                Err(RecvTimeoutError::Timeout) => {
+                    ctx.try_steal();
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+            None => match requests.recv() {
+                Ok(request) => request,
+                Err(_) => return,
+            },
+        };
+        ctx.counters.batches.fetch_add(1, Ordering::Relaxed);
         let mut depth = 1u32;
-        handle_request(&index, first);
+        ctx.handle(first);
         while let Ok(next) = requests.try_recv() {
-            counters.ops.fetch_add(1, Ordering::Relaxed);
-            counters.partition_ops[partition].fetch_add(1, Ordering::Relaxed);
             depth = depth.saturating_add(1);
-            handle_request(&index, next);
+            ctx.handle(next);
         }
         emit(TraceEvent::OwnerBatch {
-            partition: partition as u32,
+            partition: ctx.id,
             depth,
         });
     }
 }
 
-/// A column range-partitioned across latch-free owner threads.
+fn spawn_owner(
+    shared: &Arc<Shared>,
+    id: u32,
+    index: Arc<ConcurrentCracker>,
+    size: usize,
+    sender: Sender<OwnerRequest>,
+    receiver: Receiver<OwnerRequest>,
+) -> Partition {
+    let partition = Partition {
+        id,
+        sender,
+        index: Arc::clone(&index),
+        ops: Arc::new(AtomicU64::new(0)),
+        size: Arc::new(AtomicUsize::new(size)),
+    };
+    let ctx = OwnerCtx {
+        id,
+        index,
+        ops: Arc::clone(&partition.ops),
+        size: Arc::clone(&partition.size),
+        counters: Arc::clone(&shared.counters),
+        shared: Arc::downgrade(shared),
+        redirect: None,
+        steal: shared.steal_params(),
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("aidx-partition-{id}"))
+        .spawn(move || owner_loop(ctx, receiver))
+        .expect("failed to spawn partition owner");
+    shared.handles.lock().push(handle);
+    partition
+}
+
+/// A column range-partitioned across owner threads, optionally
+/// skew-adaptive (online re-partitioning + refinement work stealing).
 pub struct RangePartitionedCracker {
-    /// `splits[i]` is the inclusive lower key bound of partition `i + 1`;
-    /// partition `0` starts at `i64::MIN`. Sorted ascending.
-    splits: Vec<i64>,
-    owners: Vec<Sender<OwnerRequest>>,
-    handles: Vec<JoinHandle<()>>,
-    counters: Arc<RoutingCounters>,
-    /// Per-partition logical sizes (kept current by writes).
-    partition_sizes: Vec<AtomicUsize>,
-    /// Logical row count (kept current by writes).
+    shared: Arc<Shared>,
+    /// Logical row count (kept current by writes, router-side: replies
+    /// arrive exactly once per write whatever the routing generation).
     len: AtomicUsize,
     /// Next self-assigned row id: partitions share one id space (rowids
     /// are tuple identity across the whole column), so the router — not
     /// the owner — assigns ids for plain inserts.
     next_rowid: AtomicU64,
+    monitor: Option<JoinHandle<()>>,
 }
 
 impl RangePartitionedCracker {
@@ -350,6 +975,56 @@ impl RangePartitionedCracker {
         partitions: usize,
         compaction: CompactionPolicy,
     ) -> Self {
+        Self::build(
+            values,
+            rowids,
+            partitions,
+            compaction,
+            LatchProtocol::None,
+            None,
+        )
+    }
+
+    /// Skew-adaptive mode: partitions split, merge and steal according to
+    /// `config`. Owners run under [`LatchProtocol::Piece`] so stealers
+    /// can refine a partition concurrently with its owner, and every
+    /// partition uses the default bounded compaction policy (an enabled
+    /// policy is what routes owner reads through the quiesce gate that
+    /// fences piece handoffs against stealers).
+    pub fn adaptive(values: Vec<i64>, partitions: usize, config: AdaptiveConfig) -> Self {
+        let rowids: Vec<RowId> = (0..values.len() as RowId).collect();
+        Self::adaptive_from_rows(values, rowids, partitions, config)
+    }
+
+    /// As [`RangePartitionedCracker::adaptive`] with explicit, aligned
+    /// row ids (the table-engine path).
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn adaptive_from_rows(
+        values: Vec<i64>,
+        rowids: Vec<RowId>,
+        partitions: usize,
+        config: AdaptiveConfig,
+    ) -> Self {
+        Self::build(
+            values,
+            rowids,
+            partitions,
+            Self::default_partition_policy(),
+            LatchProtocol::Piece,
+            Some(config),
+        )
+    }
+
+    fn build(
+        values: Vec<i64>,
+        rowids: Vec<RowId>,
+        partitions: usize,
+        compaction: CompactionPolicy,
+        protocol: LatchProtocol,
+        config: Option<AdaptiveConfig>,
+    ) -> Self {
         assert_eq!(values.len(), rowids.len(), "misaligned rowid column");
         let len = values.len();
         let next_rowid = rowids.iter().max().map(|&r| r as u64 + 1).unwrap_or(0);
@@ -377,8 +1052,7 @@ impl RangePartitionedCracker {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
 
-        // Parallel gather + owner spawn: concatenate each partition's
-        // buckets and hand the result to its dedicated owner thread.
+        // Parallel gather: concatenate each partition's buckets.
         let mut partition_rows: Vec<Vec<(i64, RowId)>> = vec![Vec::new(); partitions];
         std::thread::scope(|scope| {
             let mut gather: Vec<_> = Vec::with_capacity(partitions);
@@ -400,35 +1074,59 @@ impl RangePartitionedCracker {
             }
         });
 
-        let counters = Arc::new(RoutingCounters::new(partitions));
-        let mut owners = Vec::with_capacity(partitions);
-        let mut handles = Vec::with_capacity(partitions);
-        let mut partition_sizes = Vec::with_capacity(partitions);
+        let shared = Arc::new(Shared {
+            table: RwLock::new(Arc::new(RoutingTable::empty())),
+            counters: Arc::new(RoutingCounters::new()),
+            config,
+            repartition: Mutex::new(()),
+            snapshot_gate: RwLock::new(()),
+            live_snapshots: AtomicU64::new(0),
+            next_partition_id: AtomicU32::new(partitions as u32),
+            splits_performed: AtomicU64::new(0),
+            merges_performed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            steal_pause: AtomicBool::new(false),
+            steals_in_flight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            monitor_park: Mutex::new(()),
+            monitor_cv: Condvar::new(),
+            last_ops: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
+            repartition_instance: dcheck::instance_id(),
+            snapshot_gate_instance: dcheck::instance_id(),
+            router_instance: dcheck::instance_id(),
+        });
+
+        let mut parts = Vec::with_capacity(partitions);
         for (p, bucket) in partition_rows.into_iter().enumerate() {
-            partition_sizes.push(AtomicUsize::new(bucket.len()));
-            let (tx, rx) = channel();
+            let size = bucket.len();
             let (bucket_values, bucket_ids): (Vec<i64>, Vec<RowId>) = bucket.into_iter().unzip();
-            let index =
-                ConcurrentCracker::from_rows(bucket_values, bucket_ids, LatchProtocol::None)
-                    .with_compaction(compaction);
-            let counters = Arc::clone(&counters);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("aidx-partition-{p}"))
-                    .spawn(move || owner_loop(index, &rx, &counters, p))
-                    .expect("failed to spawn partition owner"),
+            let index = Arc::new(
+                ConcurrentCracker::from_rows(bucket_values, bucket_ids, protocol)
+                    .with_compaction(compaction),
             );
-            owners.push(tx);
+            let (tx, rx) = channel();
+            parts.push(spawn_owner(&shared, p as u32, index, size, tx, rx));
         }
+        shared.swap_table(Arc::new(RoutingTable {
+            splits,
+            partitions: parts,
+            pins: AtomicU64::new(0),
+        }));
+
+        let monitor = config.and_then(|c| c.check_interval).map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("aidx-rebalance".into())
+                .spawn(move || monitor_loop(&shared, interval))
+                .expect("failed to spawn rebalance monitor")
+        });
 
         RangePartitionedCracker {
-            splits,
-            owners,
-            handles,
-            counters,
-            partition_sizes,
+            shared,
             len: AtomicUsize::new(len),
             next_rowid: AtomicU64::new(next_rowid),
+            monitor,
         }
     }
 
@@ -442,23 +1140,61 @@ impl RangePartitionedCracker {
         self.len() == 0
     }
 
-    /// Number of partitions (== owner threads).
+    /// Number of partitions (== live owner threads).
     pub fn partition_count(&self) -> usize {
-        self.owners.len()
+        self.shared.current_table().partitions.len()
     }
 
-    /// Entries per partition (diagnostic: balance check; kept current
-    /// across inserts/deletes).
+    /// Entries per partition (diagnostic: balance check; kept current by
+    /// the owners, where writes apply).
     pub fn partition_sizes(&self) -> Vec<usize> {
-        self.partition_sizes
+        self.shared
+            .current_table()
+            .partitions
             .iter()
-            .map(|s| s.load(Ordering::Relaxed))
+            .map(|p| p.size.load(Ordering::Relaxed))
             .collect()
     }
 
-    /// The split keys between partitions (diagnostic).
-    pub fn splits(&self) -> &[i64] {
-        &self.splits
+    /// The split keys between partitions (diagnostic). Owned because the
+    /// boundaries can change under adaptive re-partitioning.
+    pub fn splits(&self) -> Vec<i64> {
+        self.shared.current_table().splits.clone()
+    }
+
+    /// Cumulative routed operations per live partition, keyed by the
+    /// partition's stable id (split children start at zero; a merge's
+    /// absorber keeps its count). Two probes bracketing a query window
+    /// give that window's per-partition load by id-matched subtraction —
+    /// the balance measure that is meaningful *after* re-partitioning,
+    /// where the all-time counters still carry pre-split history.
+    pub fn partition_loads(&self) -> Vec<(u32, u64)> {
+        self.shared
+            .current_table()
+            .partitions
+            .iter()
+            .map(|p| (p.id, p.ops.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// True if built through [`RangePartitionedCracker::adaptive`].
+    pub fn is_adaptive(&self) -> bool {
+        self.shared.config.is_some()
+    }
+
+    /// Successful refinement steals by idle owners.
+    pub fn steal_count(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Hot-partition splits performed by re-partitioning.
+    pub fn splits_performed(&self) -> u64 {
+        self.shared.splits_performed.load(Ordering::Relaxed)
+    }
+
+    /// Cold-pair merges performed by re-partitioning.
+    pub fn merges_performed(&self) -> u64 {
+        self.shared.merges_performed.load(Ordering::Relaxed)
     }
 
     /// Owner-channel coalescing counters: total requests processed and
@@ -467,38 +1203,50 @@ impl RangePartitionedCracker {
     /// queued requests in one round-trip.
     pub fn routing_stats(&self) -> RoutingStats {
         RoutingStats {
-            ops: self.counters.ops.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
+            ops: self.shared.counters.ops.load(Ordering::Relaxed),
+            batches: self.shared.counters.batches.load(Ordering::Relaxed),
         }
     }
 
+    /// Runs one rebalance pass right now (the monitor thread does the
+    /// same on its interval): reads the per-partition load window and
+    /// splits the hot partition / merges the coldest pair if the skew
+    /// warrants it. Callable with or without a monitor — passes are
+    /// serialised by the repartition latch.
+    pub fn try_rebalance(&self) -> Rebalance {
+        rebalance(&self.shared)
+    }
+
     /// Inserts one row with the given key, routing it to the partition
-    /// that owns the key's range. Exclusive ownership means the owner
-    /// thread applies the insert latch-free, and since partitions cover
-    /// disjoint key ranges, no other partition needs to hear about it.
+    /// that owns the key's range.
     pub fn insert(&self, value: i64) -> QueryMetrics {
         let rowid = self.next_rowid.fetch_add(1, Ordering::Relaxed) as RowId;
         self.insert_row(value, rowid)
     }
 
     /// As [`RangePartitionedCracker::insert`] with an externally assigned
-    /// row id (the table-engine path). Routing is identical: the single
-    /// owner of the key's range applies the insert latch-free.
+    /// row id (the table-engine path). The single owner of the key's
+    /// range applies the insert; during a re-partition the redirect
+    /// passes it on by value.
     pub fn insert_row(&self, value: i64, rowid: RowId) -> QueryMetrics {
         let start = Instant::now();
         self.next_rowid
             .fetch_max(rowid as u64 + 1, Ordering::Relaxed);
-        let owner = partition_of(&self.splits, value);
-        let (reply_tx, reply_rx) = channel();
-        self.owners[owner]
-            .send(OwnerRequest::Insert {
-                value,
-                rowid,
-                reply: reply_tx,
-            })
-            .expect("partition owner exited early");
+        let reply_rx = {
+            let table = self.shared.pin_table();
+            let p = partition_of(&table.splits, value);
+            let (reply_tx, reply_rx) = channel();
+            table.partitions[p]
+                .sender
+                .send(OwnerRequest::Insert {
+                    value,
+                    rowid,
+                    reply: reply_tx,
+                })
+                .expect("partition owner exited early");
+            reply_rx
+        };
         let mut metrics = reply_rx.recv().expect("partition owner died");
-        self.partition_sizes[owner].fetch_add(1, Ordering::Relaxed);
         self.len.fetch_add(1, Ordering::Relaxed);
         metrics.total = start.elapsed();
         metrics
@@ -509,17 +1257,21 @@ impl RangePartitionedCracker {
     /// Returns how many rows were removed (0 or 1).
     pub fn delete_row(&self, value: i64, rowid: RowId) -> (u64, QueryMetrics) {
         let start = Instant::now();
-        let owner = partition_of(&self.splits, value);
-        let (reply_tx, reply_rx) = channel();
-        self.owners[owner]
-            .send(OwnerRequest::DeleteRow {
-                value,
-                rowid,
-                reply: reply_tx,
-            })
-            .expect("partition owner exited early");
+        let reply_rx = {
+            let table = self.shared.pin_table();
+            let p = partition_of(&table.splits, value);
+            let (reply_tx, reply_rx) = channel();
+            table.partitions[p]
+                .sender
+                .send(OwnerRequest::DeleteRow {
+                    value,
+                    rowid,
+                    reply: reply_tx,
+                })
+                .expect("partition owner exited early");
+            reply_rx
+        };
         let (removed, mut metrics) = reply_rx.recv().expect("partition owner died");
-        self.partition_sizes[owner].fetch_sub(removed as usize, Ordering::Relaxed);
         self.len.fetch_sub(removed as usize, Ordering::Relaxed);
         metrics.total = start.elapsed();
         (removed, metrics)
@@ -530,16 +1282,20 @@ impl RangePartitionedCracker {
     /// round-trip to one owner.
     pub fn delete(&self, value: i64) -> (u64, QueryMetrics) {
         let start = Instant::now();
-        let owner = partition_of(&self.splits, value);
-        let (reply_tx, reply_rx) = channel();
-        self.owners[owner]
-            .send(OwnerRequest::Delete {
-                value,
-                reply: reply_tx,
-            })
-            .expect("partition owner exited early");
+        let reply_rx = {
+            let table = self.shared.pin_table();
+            let p = partition_of(&table.splits, value);
+            let (reply_tx, reply_rx) = channel();
+            table.partitions[p]
+                .sender
+                .send(OwnerRequest::Delete {
+                    value,
+                    reply: reply_tx,
+                })
+                .expect("partition owner exited early");
+            reply_rx
+        };
         let (removed, mut metrics) = reply_rx.recv().expect("partition owner died");
-        self.partition_sizes[owner].fetch_sub(removed as usize, Ordering::Relaxed);
         self.len.fetch_sub(removed as usize, Ordering::Relaxed);
         metrics.total = start.elapsed();
         (removed, metrics)
@@ -547,20 +1303,28 @@ impl RangePartitionedCracker {
 
     /// Q1: count of values in `[low, high)`.
     pub fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
-        let (value, metrics) = self.route(low, high, Aggregate::Count, None);
+        let (value, metrics) = self.route(low, high, Aggregate::Count);
         (value as u64, metrics)
     }
 
     /// Q2: sum of values in `[low, high)`.
     pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
-        self.route(low, high, Aggregate::Sum, None)
+        self.route(low, high, Aggregate::Sum)
     }
 
     /// Row ids of every live row with a value in `[low, high)` (sorted
     /// ascending), routed to the owners of the partitions the range
     /// overlaps — partitions outside it are never touched.
     pub fn select_rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
-        self.route_rowids(low, high, None)
+        let start = Instant::now();
+        if low >= high {
+            return (Vec::new(), empty_metrics(start));
+        }
+        let (reply_rx, fanout) = {
+            let table = self.shared.pin_table();
+            send_rowids(&table, low, high, None)
+        };
+        collect_rowids(reply_rx, fanout, start)
     }
 
     /// As [`RangePartitionedCracker::select_rowids`], but each
@@ -569,183 +1333,89 @@ impl RangePartitionedCracker {
     /// per-partition sets (partitions are key-disjoint, hence
     /// rowid-disjoint) without decoding them to flat vectors.
     pub fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
-        self.route_rowid_set(low, high, None)
-    }
-
-    /// Routes one rowid read to the overlapping owners and unions their
-    /// answers, optionally pinned at per-partition snapshot epochs.
-    fn route_rowids(
-        &self,
-        low: i64,
-        high: i64,
-        epochs: Option<&[u64]>,
-    ) -> (Vec<RowId>, QueryMetrics) {
         let start = Instant::now();
         if low >= high {
-            let metrics = QueryMetrics {
-                total: start.elapsed(),
-                ..QueryMetrics::default()
-            };
-            return (Vec::new(), metrics);
+            return (RowIdSet::default(), empty_metrics(start));
         }
-        let first = partition_of(&self.splits, low);
-        let last = partition_of(&self.splits, high - 1);
-        let (reply_tx, reply_rx) = channel();
-        for (p, owner) in self.owners.iter().enumerate().take(last + 1).skip(first) {
-            owner
-                .send(OwnerRequest::SelectRowids {
-                    low,
-                    high,
-                    epoch: epochs.map(|e| e[p]),
-                    reply: reply_tx.clone(),
-                })
-                .expect("partition owner exited early");
-        }
-        drop(reply_tx);
-        let mut rows = Vec::new();
-        let mut parts = Vec::with_capacity(last - first + 1);
-        for _ in first..=last {
-            let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
-            rows.extend(partial);
-            parts.push(part_metrics);
-        }
-        rows.sort_unstable();
-        let mut metrics = QueryMetrics::merge_parallel(parts);
-        metrics.result_count = rows.len() as u64;
-        metrics.total = start.elapsed();
-        (rows, metrics)
-    }
-
-    /// Routes one compressed-set read to the overlapping owners and
-    /// merges their sets, optionally pinned at per-partition snapshot
-    /// epochs.
-    fn route_rowid_set(
-        &self,
-        low: i64,
-        high: i64,
-        epochs: Option<&[u64]>,
-    ) -> (RowIdSet, QueryMetrics) {
-        let start = Instant::now();
-        if low >= high {
-            let metrics = QueryMetrics {
-                total: start.elapsed(),
-                ..QueryMetrics::default()
-            };
-            return (RowIdSet::default(), metrics);
-        }
-        let first = partition_of(&self.splits, low);
-        let last = partition_of(&self.splits, high - 1);
-        let (reply_tx, reply_rx) = channel();
-        for (p, owner) in self.owners.iter().enumerate().take(last + 1).skip(first) {
-            owner
-                .send(OwnerRequest::SelectRowidSet {
-                    low,
-                    high,
-                    epoch: epochs.map(|e| e[p]),
-                    reply: reply_tx.clone(),
-                })
-                .expect("partition owner exited early");
-        }
-        drop(reply_tx);
-        let mut sets = Vec::with_capacity(last - first + 1);
-        let mut parts = Vec::with_capacity(last - first + 1);
-        for _ in first..=last {
-            let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
-            sets.push(partial);
-            parts.push(part_metrics);
-        }
-        let merged = RowIdSet::merge_sets(&sets);
-        let mut metrics = QueryMetrics::merge_parallel(parts);
-        metrics.result_count = merged.len() as u64;
-        // Report the footprint of the set the caller actually receives,
-        // not the sum of the transient per-partition parts.
-        metrics.candidate_set_bytes = merged.heap_bytes() as u64;
-        metrics.total = start.elapsed();
-        (merged, metrics)
+        let (reply_rx, fanout) = {
+            let table = self.shared.pin_table();
+            send_rowid_set(&table, low, high, None)
+        };
+        collect_rowid_sets(reply_rx, fanout, start)
     }
 
     /// Opens a snapshot across every partition: one epoch per owner,
-    /// registered in partition order. Because every write touches exactly
-    /// one partition, the per-partition epochs form a consistent cut for
-    /// the opening client; reads through the handle are frozen there
-    /// while writers and per-partition compactions race on.
+    /// registered in partition order under the snapshot gate. Because
+    /// every write touches exactly one partition, the per-partition
+    /// epochs form a consistent cut for the opening client; reads through
+    /// the handle are frozen there while writers and per-partition
+    /// compactions race on. Re-partitioning aborts while the snapshot is
+    /// live, so the routing generation captured here stays current.
     pub fn snapshot(&self) -> RangeSnapshot<'_> {
-        let mut epochs = Vec::with_capacity(self.owners.len());
-        for owner in &self.owners {
+        let shared = &self.shared;
+        let table = {
+            let _gate = dcheck::Tracked::new(
+                dcheck::Level::SnapshotGate,
+                shared.snapshot_gate_instance,
+                "snapshot-gate",
+                shared.snapshot_gate.read(),
+            );
+            // Registered under the gate: a repartition holds it exclusive
+            // and re-checks this count, so rows can't move while any
+            // epoch below is pinned.
+            shared.live_snapshots.fetch_add(1, Ordering::SeqCst);
+            shared.current_table()
+        };
+        let mut epochs = Vec::with_capacity(table.partitions.len());
+        for part in &table.partitions {
             let (reply_tx, reply_rx) = channel();
-            owner
+            part.sender
                 .send(OwnerRequest::SnapshotOpen { reply: reply_tx })
                 .expect("partition owner exited early");
             epochs.push(reply_rx.recv().expect("partition owner died"));
         }
-        RangeSnapshot { idx: self, epochs }
+        RangeSnapshot {
+            idx: self,
+            table,
+            epochs,
+        }
     }
 
-    /// Routes one query to the owners of the partitions it overlaps and
-    /// merges their partial answers, optionally pinned at per-partition
-    /// snapshot epochs.
-    fn route(
-        &self,
-        low: i64,
-        high: i64,
-        agg: Aggregate,
-        epochs: Option<&[u64]>,
-    ) -> (i128, QueryMetrics) {
+    /// Routes one aggregate to the owners of the partitions it overlaps
+    /// (clipped per partition) and merges their partial answers.
+    fn route(&self, low: i64, high: i64, agg: Aggregate) -> (i128, QueryMetrics) {
         let start = Instant::now();
         if low >= high {
-            let metrics = QueryMetrics {
-                total: start.elapsed(),
-                ..QueryMetrics::default()
-            };
-            return (0, metrics);
+            return (0, empty_metrics(start));
         }
-
-        // Owners of [low, high): the partition holding `low` through the
-        // partition holding the last key below `high`.
-        let first = partition_of(&self.splits, low);
-        let last = partition_of(&self.splits, high - 1);
-
-        let (reply_tx, reply_rx) = channel();
-        for (p, owner) in self.owners.iter().enumerate().take(last + 1).skip(first) {
-            owner
-                .send(OwnerRequest::Query {
-                    low,
-                    high,
-                    agg,
-                    epoch: epochs.map(|e| e[p]),
-                    reply: reply_tx.clone(),
-                })
-                .expect("partition owner exited early");
-        }
-        drop(reply_tx);
-
-        let mut value: i128 = 0;
-        let mut parts = Vec::with_capacity(last - first + 1);
-        for _ in first..=last {
-            let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
-            value += partial;
-            parts.push(part_metrics);
-        }
-        let mut metrics = QueryMetrics::merge_parallel(parts);
-        metrics.total = start.elapsed();
-        (value, metrics)
+        // The pin covers only the sends: once a request is enqueued, a
+        // routing-table swap can't lose it (the redirect protocol drains
+        // the old generation before retiring).
+        let (reply_rx, fanout) = {
+            let table = self.shared.pin_table();
+            send_query(&table, low, high, agg, None)
+        };
+        collect_aggregates(reply_rx, fanout, start)
     }
 
     /// Sums `(delta rows, compactions + incremental steps)` across all
     /// partition owners.
     pub fn delta_stats(&self) -> (u64, u64) {
-        let (reply_tx, reply_rx) = channel();
-        for owner in &self.owners {
-            owner
-                .send(OwnerRequest::DeltaStats {
-                    reply: reply_tx.clone(),
-                })
-                .expect("partition owner exited early");
-        }
-        drop(reply_tx);
+        let (reply_rx, fanout) = {
+            let table = self.shared.pin_table();
+            let (reply_tx, reply_rx) = channel();
+            for part in &table.partitions {
+                part.sender
+                    .send(OwnerRequest::DeltaStats {
+                        reply: reply_tx.clone(),
+                    })
+                    .expect("partition owner exited early");
+            }
+            (reply_rx, table.partitions.len())
+        };
         let mut pending = 0u64;
         let mut merges = 0u64;
-        for _ in 0..self.owners.len() {
+        for _ in 0..fanout {
             let (p, m) = reply_rx.recv().expect("partition owner died");
             pending += p;
             merges += m;
@@ -753,59 +1423,93 @@ impl RangePartitionedCracker {
         (pending, merges)
     }
 
-    /// Requests processed per partition since construction — the routed
-    /// load skew a balanced partitioning is supposed to avoid.
+    /// Requests handled per partition since construction — the routed
+    /// load skew adaptive re-partitioning reacts to. Indexed by current
+    /// partition order.
     pub fn partition_load(&self) -> Vec<u64> {
-        self.counters
-            .partition_ops
+        self.shared
+            .current_table()
+            .partitions
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|p| p.ops.load(Ordering::Relaxed))
             .collect()
     }
 
     /// One merged structure probe across every partition: piece layout
     /// and delta pressure summed over the owners, plus the per-partition
-    /// routed-op load. Each owner answers from its own thread, so the
+    /// handled-op load. Each owner answers from its own thread, so the
     /// probe is consistent per partition (not across partitions — it is
     /// a diagnostic, not a snapshot).
     pub fn structure_probe(&self) -> StructureProbe {
-        let (reply_tx, reply_rx) = channel();
-        for owner in &self.owners {
-            owner
-                .send(OwnerRequest::Structure {
-                    reply: reply_tx.clone(),
-                })
-                .expect("partition owner exited early");
-        }
-        drop(reply_tx);
+        let (reply_rx, fanout) = {
+            let table = self.shared.pin_table();
+            let (reply_tx, reply_rx) = channel();
+            for part in &table.partitions {
+                part.sender
+                    .send(OwnerRequest::Structure {
+                        reply: reply_tx.clone(),
+                    })
+                    .expect("partition owner exited early");
+            }
+            (reply_rx, table.partitions.len())
+        };
         let mut probe = StructureProbe::default();
-        for _ in 0..self.owners.len() {
+        for _ in 0..fanout {
             probe.merge(&reply_rx.recv().expect("partition owner died"));
         }
+        // Read after the owners answered so the load includes the probe
+        // requests themselves (keeps sum(load) == routed ops).
         probe.partition_load = self.partition_load();
         probe
     }
 
-    /// Verifies every partition's piece/array consistency.
+    /// Verifies every partition's piece/array consistency. Stealers are
+    /// paused for the duration — the walk reads piece layouts that a
+    /// concurrent refinement crack would legitimately change.
     pub fn check_invariants(&self) -> bool {
-        let (reply_tx, reply_rx) = channel();
-        for owner in &self.owners {
-            owner
-                .send(OwnerRequest::Check {
-                    reply: reply_tx.clone(),
-                })
-                .expect("partition owner exited early");
+        let shared = &self.shared;
+        shared.steal_pause.store(true, Ordering::SeqCst);
+        while shared.steals_in_flight.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
         }
-        drop(reply_tx);
-        (0..self.owners.len()).all(|_| reply_rx.recv().unwrap_or(false))
+        let (reply_rx, fanout) = {
+            let table = shared.pin_table();
+            let (reply_tx, reply_rx) = channel();
+            for part in &table.partitions {
+                part.sender
+                    .send(OwnerRequest::Check {
+                        reply: reply_tx.clone(),
+                    })
+                    .expect("partition owner exited early");
+            }
+            (reply_rx, table.partitions.len())
+        };
+        let ok = (0..fanout).all(|_| reply_rx.recv().unwrap_or(false));
+        shared.steal_pause.store(false, Ordering::SeqCst);
+        ok
     }
 }
 
 impl Drop for RangePartitionedCracker {
     fn drop(&mut self) {
-        // Closing the request channels ends every owner loop.
-        self.owners.clear();
-        for handle in self.handles.drain(..) {
+        let shared = &self.shared;
+        shared.shutdown.store(true, Ordering::Release);
+        {
+            let _parked = shared.monitor_park.lock();
+            shared.monitor_cv.notify_all();
+        }
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
+        // Swapping in an empty generation drops the only long-lived
+        // senders; every owner's channel disconnects and its loop exits
+        // (stealing owners notice on their next poll timeout).
+        shared.swap_table(Arc::new(RoutingTable::empty()));
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = shared.handles.lock();
+            guard.drain(..).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -813,23 +1517,281 @@ impl Drop for RangePartitionedCracker {
 
 impl fmt::Debug for RangePartitionedCracker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let table = self.shared.current_table();
         f.debug_struct("RangePartitionedCracker")
             .field("len", &self.len())
-            .field("partitions", &self.owners.len())
-            .field("splits", &self.splits)
-            .field("partition_sizes", &self.partition_sizes())
+            .field("partitions", &table.partitions.len())
+            .field("splits", &table.splits)
+            .field("adaptive", &self.is_adaptive())
             .finish()
+    }
+}
+
+/// The monitor thread: parks on a condvar (so teardown can interrupt a
+/// long interval) and runs one rebalance pass per wakeup.
+fn monitor_loop(shared: &Arc<Shared>, interval: Duration) {
+    loop {
+        {
+            let mut parked = shared.monitor_park.lock();
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let _ = shared.monitor_cv.wait_for(&mut parked, interval);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        rebalance(shared);
+    }
+}
+
+/// What `decide` asked the controller to do.
+enum RebalanceAction {
+    /// Split the partition at this index in the current table.
+    Split(usize),
+    /// Merge the partition at index `i + 1` into the one at `i`.
+    Merge(usize),
+}
+
+/// One rebalance pass: the repartition system transaction entry point.
+/// Latch order is strictly ascending — repartition (1), snapshot gate
+/// (2), then router (3) inside `perform_*`.
+fn rebalance(shared: &Arc<Shared>) -> Rebalance {
+    let Some(config) = shared.config else {
+        return Rebalance::Balanced;
+    };
+    let _ctl = dcheck::Tracked::new(
+        dcheck::Level::Repartition,
+        shared.repartition_instance,
+        "repartition",
+        shared.repartition.lock(),
+    );
+    // Gate first: if a live snapshot forces an abort, the pass must not
+    // consume the load window (decide() resets it), or the retry after
+    // the snapshot closes would see an empty window and do nothing.
+    let _gate = dcheck::Tracked::new(
+        dcheck::Level::SnapshotGate,
+        shared.snapshot_gate_instance,
+        "snapshot-gate",
+        shared.snapshot_gate.write(),
+    );
+    if shared.live_snapshots.load(Ordering::SeqCst) != 0 {
+        return Rebalance::SnapshotPinned;
+    }
+    match decide(shared, &config) {
+        None => Rebalance::Balanced,
+        Some(RebalanceAction::Split(hot)) => perform_split(shared, hot),
+        Some(RebalanceAction::Merge(left)) => perform_merge(shared, left),
+    }
+}
+
+/// Reads (and resets) the per-partition load window and picks an action.
+fn decide(shared: &Arc<Shared>, config: &AdaptiveConfig) -> Option<RebalanceAction> {
+    let table = shared.pin_table();
+    let n = table.partitions.len();
+    let mut deltas = Vec::with_capacity(n);
+    {
+        let mut last_ops = shared.last_ops.lock();
+        for part in &table.partitions {
+            let now = part.ops.load(Ordering::Relaxed);
+            let prev = last_ops.insert(part.id, now).unwrap_or(0);
+            deltas.push(now.saturating_sub(prev));
+        }
+    }
+    let total: u64 = deltas.iter().sum();
+    if total < config.min_window_ops {
+        return None;
+    }
+    let hot = (0..n).max_by_key(|&p| deltas[p])?;
+    let mean = total as f64 / n as f64;
+    // A lone partition carrying real load is skew by definition; with
+    // more partitions the hot one must clearly outrun the mean.
+    if n > 1 && (deltas[hot] as f64) < mean * config.imbalance_threshold {
+        return None;
+    }
+    if table.partitions[hot].size.load(Ordering::Relaxed) < 2 * config.min_partition_rows {
+        return None;
+    }
+    if n >= config.max_partitions {
+        // At the owner budget: free a thread by merging the coldest
+        // adjacent pair that doesn't involve the hot partition. The next
+        // pass splits the (still hot) partition.
+        let mut best: Option<(u64, usize)> = None;
+        for i in 0..n.saturating_sub(1) {
+            if i == hot || i + 1 == hot {
+                continue;
+            }
+            let cost = deltas[i] + deltas[i + 1];
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, i));
+            }
+        }
+        return best.map(|(_, i)| RebalanceAction::Merge(i));
+    }
+    Some(RebalanceAction::Split(hot))
+}
+
+/// Splits partition `hot` at a crack boundary: extract the upper half
+/// into a new owner, publish the new routing generation, drain the old
+/// generation's pins, then retire the redirect.
+fn perform_split(shared: &Arc<Shared>, hot: usize) -> Rebalance {
+    let start = Instant::now();
+    let table = shared.pin_table();
+    if hot >= table.partitions.len() {
+        return Rebalance::Balanced;
+    }
+    let parent = table.partitions[hot].clone();
+    let lower = if hot == 0 {
+        i64::MIN
+    } else {
+        table.splits[hot - 1]
+    };
+    let upper = table.splits.get(hot).copied();
+
+    // 1. Ask the owner for a crack boundary near its middle. Splitting at
+    //    an existing crack means the handoff moves whole pieces — no data
+    //    movement beyond the memcpy of the upper chunk.
+    let (key_tx, key_rx) = channel();
+    parent
+        .sender
+        .send(OwnerRequest::SplitKey { reply: key_tx })
+        .expect("partition owner exited early");
+    let at = match key_rx.recv() {
+        Ok(Some(at)) if at > lower && upper.is_none_or(|u| at < u) => at,
+        _ => return Rebalance::Balanced, // nothing crackable to split at
+    };
+
+    // 2. Extract: the owner hands the upper half to a fresh index and
+    //    starts redirecting. From here the transaction must complete.
+    let (child_tx, child_rx) = channel();
+    let child_id = shared.next_partition_id.fetch_add(1, Ordering::Relaxed);
+    let (extract_tx, extract_rx) = channel();
+    parent
+        .sender
+        .send(OwnerRequest::SplitExtract {
+            at,
+            child: child_tx.clone(),
+            reply: extract_tx,
+        })
+        .expect("partition owner exited early");
+    let child_index = extract_rx.recv().expect("partition owner died mid-split");
+    let moved = child_index.len() as u64;
+
+    // 3. Publish the new routing generation and wait out the old one.
+    let child_size = child_index.len();
+    let child = spawn_owner(
+        shared,
+        child_id,
+        Arc::new(child_index),
+        child_size,
+        child_tx,
+        child_rx,
+    );
+    let mut splits = table.splits.clone();
+    let mut partitions = table.partitions.clone();
+    splits.insert(hot, at);
+    partitions.insert(hot + 1, child);
+    let old = shared.swap_table(Arc::new(RoutingTable {
+        splits,
+        partitions,
+        pins: AtomicU64::new(0),
+    }));
+    drop(table); // our own pin on the old generation
+    wait_for_pins(&old);
+
+    // 4. Every request routed by the old table is now in some queue ahead
+    //    of this retire message, so the redirect has nothing left to
+    //    catch.
+    let (retire_tx, retire_rx) = channel();
+    parent
+        .sender
+        .send(OwnerRequest::RetireRedirect { reply: retire_tx })
+        .expect("partition owner exited early");
+    retire_rx.recv().expect("partition owner died mid-retire");
+
+    shared.splits_performed.fetch_add(1, Ordering::Relaxed);
+    emit(TraceEvent::Repartition {
+        partition: parent.id,
+        split: true,
+        rows: moved,
+        ns: elapsed_ns(start),
+    });
+    Rebalance::Split {
+        partition: parent.id,
+    }
+}
+
+/// Merges partition `left + 1` into `left`: the victim hands its rows to
+/// the absorber and forwards everything from then on; the old routing
+/// generation keeps the victim's channel alive until its pins drain.
+fn perform_merge(shared: &Arc<Shared>, left: usize) -> Rebalance {
+    let start = Instant::now();
+    let table = shared.pin_table();
+    if left + 1 >= table.partitions.len() {
+        return Rebalance::Balanced;
+    }
+    let absorber = table.partitions[left].clone();
+    let victim = table.partitions[left + 1].clone();
+    let boundary = table.splits[left];
+
+    let (merge_tx, merge_rx) = channel();
+    victim
+        .sender
+        .send(OwnerRequest::MergeExtract {
+            into: absorber.sender.clone(),
+            boundary,
+            reply: merge_tx,
+        })
+        .expect("partition owner exited early");
+    let moved = merge_rx.recv().expect("partition owner died mid-merge");
+
+    let mut splits = table.splits.clone();
+    let mut partitions = table.partitions.clone();
+    splits.remove(left);
+    partitions.remove(left + 1);
+    let old = shared.swap_table(Arc::new(RoutingTable {
+        splits,
+        partitions,
+        pins: AtomicU64::new(0),
+    }));
+    drop(table);
+    wait_for_pins(&old);
+    // The victim's forward-all redirect is never retired: stragglers
+    // already queued keep forwarding, and once `old` (the last sender)
+    // drops here its channel disconnects and the owner thread exits.
+    drop(old);
+
+    shared.merges_performed.fetch_add(1, Ordering::Relaxed);
+    emit(TraceEvent::Repartition {
+        partition: victim.id,
+        split: false,
+        rows: moved,
+        ns: elapsed_ns(start),
+    });
+    Rebalance::Merged {
+        partition: victim.id,
     }
 }
 
 /// A snapshot pinned across every partition of a
 /// [`RangePartitionedCracker`]: reads route like ordinary queries but each
 /// owner answers at the epoch registered when the snapshot was opened.
-/// Dropping the handle releases every partition's registration.
-#[derive(Debug)]
+/// The handle captures the routing generation it was opened against —
+/// valid for its whole lifetime because re-partitioning aborts while any
+/// snapshot is live. Dropping the handle releases every partition's
+/// registration.
 pub struct RangeSnapshot<'a> {
     idx: &'a RangePartitionedCracker,
+    table: Arc<RoutingTable>,
     epochs: Vec<u64>,
+}
+
+impl fmt::Debug for RangeSnapshot<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RangeSnapshot")
+            .field("epochs", &self.epochs)
+            .finish()
+    }
 }
 
 impl RangeSnapshot<'_> {
@@ -840,44 +1802,209 @@ impl RangeSnapshot<'_> {
 
     /// Q1 at the snapshot: count of values in `[low, high)`.
     pub fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
-        let (value, metrics) = self
-            .idx
-            .route(low, high, Aggregate::Count, Some(&self.epochs));
+        let start = Instant::now();
+        if low >= high {
+            return (0, empty_metrics(start));
+        }
+        let (reply_rx, fanout) =
+            send_query(&self.table, low, high, Aggregate::Count, Some(&self.epochs));
+        let (value, metrics) = collect_aggregates(reply_rx, fanout, start);
         (value as u64, metrics)
     }
 
     /// Q2 at the snapshot: sum of values in `[low, high)`.
     pub fn sum(&self, low: i64, high: i64) -> (i128, QueryMetrics) {
-        self.idx
-            .route(low, high, Aggregate::Sum, Some(&self.epochs))
+        let start = Instant::now();
+        if low >= high {
+            return (0, empty_metrics(start));
+        }
+        let (reply_rx, fanout) =
+            send_query(&self.table, low, high, Aggregate::Sum, Some(&self.epochs));
+        collect_aggregates(reply_rx, fanout, start)
     }
 
     /// Row ids of the rows with values in `[low, high)` as of the
     /// snapshot (sorted ascending).
     pub fn rowids(&self, low: i64, high: i64) -> (Vec<RowId>, QueryMetrics) {
-        self.idx.route_rowids(low, high, Some(&self.epochs))
+        let start = Instant::now();
+        if low >= high {
+            return (Vec::new(), empty_metrics(start));
+        }
+        let (reply_rx, fanout) = send_rowids(&self.table, low, high, Some(&self.epochs));
+        collect_rowids(reply_rx, fanout, start)
     }
 
     /// As [`RangeSnapshot::rowids`], materialised as a compressed
     /// [`RowIdSet`] merged across the partitions' pinned epochs.
     pub fn rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
-        self.idx.route_rowid_set(low, high, Some(&self.epochs))
+        let start = Instant::now();
+        if low >= high {
+            return (RowIdSet::default(), empty_metrics(start));
+        }
+        let (reply_rx, fanout) = send_rowid_set(&self.table, low, high, Some(&self.epochs));
+        collect_rowid_sets(reply_rx, fanout, start)
     }
 }
 
 impl Drop for RangeSnapshot<'_> {
     fn drop(&mut self) {
-        for (owner, &epoch) in self.idx.owners.iter().zip(&self.epochs) {
+        for (part, &epoch) in self.table.partitions.iter().zip(&self.epochs) {
             // The owner can only be gone if the whole index is tearing
             // down, which releases everything anyway.
-            let _ = owner.send(OwnerRequest::SnapshotClose { epoch });
+            let _ = part.sender.send(OwnerRequest::SnapshotClose { epoch });
         }
+        self.idx
+            .shared
+            .live_snapshots
+            .fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 /// Index of the partition owning key `v`: the number of splits `<= v`.
 fn partition_of(splits: &[i64], v: i64) -> usize {
     splits.partition_point(|&s| s <= v)
+}
+
+fn empty_metrics(start: Instant) -> QueryMetrics {
+    QueryMetrics {
+        total: start.elapsed(),
+        ..QueryMetrics::default()
+    }
+}
+
+/// Fans an aggregate out to the owners of the partitions `[low, high)`
+/// overlaps, clipped per partition. Returns the shared reply channel and
+/// the fan-out count; the caller collects after releasing its table pin.
+fn send_query(
+    table: &RoutingTable,
+    low: i64,
+    high: i64,
+    agg: Aggregate,
+    epochs: Option<&[u64]>,
+) -> (Receiver<(i128, QueryMetrics)>, usize) {
+    let first = partition_of(&table.splits, low);
+    let last = partition_of(&table.splits, high - 1);
+    let (reply_tx, reply_rx) = channel();
+    for p in first..=last {
+        let (lo, hi) = table.clip(p, low, high);
+        table.partitions[p]
+            .sender
+            .send(OwnerRequest::Query {
+                low: lo,
+                high: hi,
+                agg,
+                epoch: epochs.map(|e| e[p]),
+                reply: reply_tx.clone(),
+            })
+            .expect("partition owner exited early");
+    }
+    (reply_rx, last - first + 1)
+}
+
+fn send_rowids(
+    table: &RoutingTable,
+    low: i64,
+    high: i64,
+    epochs: Option<&[u64]>,
+) -> (Receiver<(Vec<RowId>, QueryMetrics)>, usize) {
+    let first = partition_of(&table.splits, low);
+    let last = partition_of(&table.splits, high - 1);
+    let (reply_tx, reply_rx) = channel();
+    for p in first..=last {
+        let (lo, hi) = table.clip(p, low, high);
+        table.partitions[p]
+            .sender
+            .send(OwnerRequest::SelectRowids {
+                low: lo,
+                high: hi,
+                epoch: epochs.map(|e| e[p]),
+                reply: reply_tx.clone(),
+            })
+            .expect("partition owner exited early");
+    }
+    (reply_rx, last - first + 1)
+}
+
+fn send_rowid_set(
+    table: &RoutingTable,
+    low: i64,
+    high: i64,
+    epochs: Option<&[u64]>,
+) -> (Receiver<(RowIdSet, QueryMetrics)>, usize) {
+    let first = partition_of(&table.splits, low);
+    let last = partition_of(&table.splits, high - 1);
+    let (reply_tx, reply_rx) = channel();
+    for p in first..=last {
+        let (lo, hi) = table.clip(p, low, high);
+        table.partitions[p]
+            .sender
+            .send(OwnerRequest::SelectRowidSet {
+                low: lo,
+                high: hi,
+                epoch: epochs.map(|e| e[p]),
+                reply: reply_tx.clone(),
+            })
+            .expect("partition owner exited early");
+    }
+    (reply_rx, last - first + 1)
+}
+
+fn collect_aggregates(
+    reply_rx: Receiver<(i128, QueryMetrics)>,
+    fanout: usize,
+    start: Instant,
+) -> (i128, QueryMetrics) {
+    let mut value: i128 = 0;
+    let mut parts = Vec::with_capacity(fanout);
+    for _ in 0..fanout {
+        let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
+        value += partial;
+        parts.push(part_metrics);
+    }
+    let mut metrics = QueryMetrics::merge_parallel(parts);
+    metrics.total = start.elapsed();
+    (value, metrics)
+}
+
+fn collect_rowids(
+    reply_rx: Receiver<(Vec<RowId>, QueryMetrics)>,
+    fanout: usize,
+    start: Instant,
+) -> (Vec<RowId>, QueryMetrics) {
+    let mut rows = Vec::new();
+    let mut parts = Vec::with_capacity(fanout);
+    for _ in 0..fanout {
+        let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
+        rows.extend(partial);
+        parts.push(part_metrics);
+    }
+    rows.sort_unstable();
+    let mut metrics = QueryMetrics::merge_parallel(parts);
+    metrics.result_count = rows.len() as u64;
+    metrics.total = start.elapsed();
+    (rows, metrics)
+}
+
+fn collect_rowid_sets(
+    reply_rx: Receiver<(RowIdSet, QueryMetrics)>,
+    fanout: usize,
+    start: Instant,
+) -> (RowIdSet, QueryMetrics) {
+    let mut sets = Vec::with_capacity(fanout);
+    let mut parts = Vec::with_capacity(fanout);
+    for _ in 0..fanout {
+        let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
+        sets.push(partial);
+        parts.push(part_metrics);
+    }
+    let merged = RowIdSet::merge_sets(&sets);
+    let mut metrics = QueryMetrics::merge_parallel(parts);
+    metrics.result_count = merged.len() as u64;
+    // Report the footprint of the set the caller actually receives, not
+    // the sum of the transient per-partition parts.
+    metrics.candidate_set_bytes = merged.heap_bytes() as u64;
+    metrics.total = start.elapsed();
+    (merged, metrics)
 }
 
 /// Picks `partitions - 1` split keys from a deterministic sample so the
@@ -925,6 +2052,20 @@ mod tests {
 
     fn shuffled(n: usize) -> Vec<i64> {
         (0..n as i64).map(|i| (i * 48271) % n as i64).collect()
+    }
+
+    /// An adaptive config with no monitor thread and no stealing:
+    /// rebalancing only happens through explicit `try_rebalance` calls,
+    /// so tests drive every system transaction deterministically.
+    fn quiet(threshold: f64, min_rows: usize, min_window: u64) -> AdaptiveConfig {
+        AdaptiveConfig {
+            check_interval: None,
+            imbalance_threshold: threshold,
+            min_partition_rows: min_rows,
+            min_window_ops: min_window,
+            steal: false,
+            ..AdaptiveConfig::default()
+        }
     }
 
     #[test]
@@ -1042,8 +2183,8 @@ mod tests {
         idx.insert(3900);
         let sizes_after = idx.partition_sizes();
         // Exactly the owners of 100 and 3900 grew.
-        let owner_low = partition_of(idx.splits(), 100);
-        let owner_high = partition_of(idx.splits(), 3900);
+        let owner_low = partition_of(&idx.splits(), 100);
+        let owner_high = partition_of(&idx.splits(), 3900);
         assert_eq!(sizes_after[owner_low], sizes_before[owner_low] + 2);
         assert_eq!(sizes_after[owner_high], sizes_before[owner_high] + 1);
         assert_eq!(idx.len(), 4003);
@@ -1391,5 +2532,239 @@ mod tests {
         assert_eq!(partition_of(&splits, 20), 2);
         assert_eq!(partition_of(&splits, 30), 3);
         assert_eq!(partition_of(&splits, i64::MAX), 3);
+    }
+
+    #[test]
+    fn adaptive_answers_match_oracle_without_rebalance() {
+        // Thresholds high enough that no rebalance ever triggers: the
+        // adaptive arm must behave exactly like the static one.
+        let values = shuffled(6000);
+        let idx = RangePartitionedCracker::adaptive(values.clone(), 3, quiet(1e9, 6000, u64::MAX));
+        assert!(idx.is_adaptive());
+        assert!(!RangePartitionedCracker::new(vec![1, 2], 1).is_adaptive());
+        let mut oracle = values.clone();
+        for (low, high) in [(0, 6000), (100, 200), (5999, 6000), (300, 100)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&oracle, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&oracle, low, high));
+        }
+        idx.insert(42);
+        oracle.push(42);
+        assert_eq!(idx.delete(100).0, 1);
+        oracle.retain(|&v| v != 100);
+        assert_eq!(idx.count(0, 6000).0, ops::count(&oracle, 0, 6000));
+        assert_eq!(idx.len(), oracle.len());
+        assert_eq!(idx.try_rebalance(), Rebalance::Balanced);
+        assert_eq!(idx.partition_count(), 3);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn adaptive_split_occurs_under_skew_and_preserves_answers() {
+        let values = shuffled(8000);
+        let idx = RangePartitionedCracker::adaptive(values.clone(), 2, quiet(1.5, 64, 16));
+        // Hammer the low end: all load lands on partition 0.
+        for i in 0..300i64 {
+            let low = i % 1000;
+            idx.count(low, low + 50);
+        }
+        let outcome = idx.try_rebalance();
+        assert!(
+            matches!(outcome, Rebalance::Split { .. }),
+            "skewed load must split the hot partition: {outcome:?}"
+        );
+        assert_eq!(idx.partition_count(), 3);
+        assert_eq!(idx.splits_performed(), 1);
+        assert!(idx.splits().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(idx.partition_sizes().iter().sum::<usize>(), 8000);
+        let mut oracle = values.clone();
+        for (low, high) in [(0, 8000), (0, 1050), (500, 600), (7000, 8000)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&oracle, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&oracle, low, high));
+        }
+        // Writes still route correctly through the new generation.
+        idx.insert(500);
+        oracle.push(500);
+        assert_eq!(idx.delete(501).0, 1);
+        oracle.retain(|&v| v != 501);
+        assert_eq!(idx.count(0, 8000).0, ops::count(&oracle, 0, 8000));
+        assert_eq!(idx.len(), oracle.len());
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn adaptive_merge_recycles_cold_partitions_at_cap() {
+        let values = shuffled(9000);
+        let mut config = quiet(1.5, 64, 16);
+        config.max_partitions = 3;
+        let idx = RangePartitionedCracker::adaptive(values.clone(), 3, config);
+        // Hot partition 0 at the owner cap: the pass merges the coldest
+        // adjacent pair (1, 2) instead of splitting.
+        for i in 0..300i64 {
+            let low = i % 500;
+            idx.count(low, low + 20);
+        }
+        let outcome = idx.try_rebalance();
+        assert!(
+            matches!(outcome, Rebalance::Merged { .. }),
+            "at the cap the coldest pair must merge: {outcome:?}"
+        );
+        assert_eq!(idx.partition_count(), 2);
+        assert_eq!(idx.merges_performed(), 1);
+        assert_eq!(idx.partition_sizes().iter().sum::<usize>(), 9000);
+        for (low, high) in [(0, 9000), (0, 520), (4000, 8000)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&values, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&values, low, high));
+        }
+        // With a freed owner the still-hot partition can now split.
+        for i in 0..300i64 {
+            let low = i % 500;
+            idx.count(low, low + 20);
+        }
+        let outcome = idx.try_rebalance();
+        assert!(
+            matches!(outcome, Rebalance::Split { .. }),
+            "after the merge the hot partition splits: {outcome:?}"
+        );
+        assert_eq!(idx.partition_count(), 3);
+        assert_eq!(idx.count(0, 9000).0, 9000);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn queries_racing_repartition_never_drop_rows() {
+        let n = 20_000usize;
+        let values = shuffled(n);
+        let mut config = quiet(1.05, 64, 1);
+        config.max_partitions = 6;
+        let idx = Arc::new(RangePartitionedCracker::adaptive(values.clone(), 4, config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            clients.push(thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    // A full-range count sees every row exactly once,
+                    // whichever routing generation served it.
+                    let (c, _) = idx.count(i64::MIN, i64::MAX);
+                    assert_eq!(c, n as u64, "racing query dropped or doubled rows");
+                }
+            }));
+        }
+        for round in 0..40 {
+            for i in 0..200i64 {
+                let low = (round * 37 + i) % 1000;
+                idx.count(low, low + 50);
+            }
+            idx.try_rebalance();
+            if idx.splits_performed() >= 3 {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert!(
+            idx.splits_performed() >= 1,
+            "the race test must exercise at least one split"
+        );
+        for (low, high) in [(0, n as i64), (0, 1050), (500, 600)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&values, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&values, low, high));
+        }
+        assert_eq!(idx.partition_sizes().iter().sum::<usize>(), n);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn snapshot_blocks_repartition() {
+        let values = shuffled(8000);
+        let idx = RangePartitionedCracker::adaptive(values.clone(), 2, quiet(1.5, 64, 16));
+        for i in 0..300i64 {
+            let low = i % 1000;
+            idx.count(low, low + 50);
+        }
+        let snap = idx.snapshot();
+        assert_eq!(
+            idx.try_rebalance(),
+            Rebalance::SnapshotPinned,
+            "a live snapshot pins row positions"
+        );
+        assert_eq!(idx.partition_count(), 2);
+        assert_eq!(snap.count(0, 8000).0, 8000);
+        drop(snap);
+        // The aborted pass must not have consumed the load window: the
+        // retry still sees the skew and splits.
+        let outcome = idx.try_rebalance();
+        assert!(
+            matches!(outcome, Rebalance::Split { .. }),
+            "closing the snapshot unblocks the split: {outcome:?}"
+        );
+        assert_eq!(idx.partition_count(), 3);
+        assert_eq!(idx.count(0, 8000).0, 8000);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn stealing_precracks_idle_partitions() {
+        let values = shuffled(16_000);
+        let config = AdaptiveConfig {
+            check_interval: None,
+            steal: true,
+            steal_min_piece: 128,
+            steal_poll: Duration::from_millis(1),
+            ..AdaptiveConfig::default()
+        };
+        let idx = RangePartitionedCracker::adaptive(values.clone(), 4, config);
+        // No queries at all: the owners are idle, so their poll timeouts
+        // must turn into refinement steals against the big uncracked
+        // initial pieces.
+        for _ in 0..500 {
+            if idx.steal_count() > 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            idx.steal_count() > 0,
+            "idle owners must pre-crack large pieces"
+        );
+        for (low, high) in [(0, 16_000), (100, 300), (8000, 9000)] {
+            assert_eq!(idx.count(low, high).0, ops::count(&values, low, high));
+            assert_eq!(idx.sum(low, high).0, ops::sum(&values, low, high));
+        }
+        assert!(idx.check_invariants(), "stolen refinement kept invariants");
+    }
+
+    #[test]
+    fn monitor_thread_rebalances_automatically() {
+        let values = shuffled(8000);
+        let config = AdaptiveConfig {
+            check_interval: Some(Duration::from_millis(1)),
+            imbalance_threshold: 1.2,
+            min_partition_rows: 64,
+            min_window_ops: 32,
+            steal: false,
+            ..AdaptiveConfig::default()
+        };
+        let idx = RangePartitionedCracker::adaptive(values.clone(), 2, config);
+        for _ in 0..200 {
+            for i in 0..100i64 {
+                let low = i % 1000;
+                idx.count(low, low + 50);
+            }
+            if idx.splits_performed() > 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            idx.splits_performed() > 0,
+            "the monitor thread must split the hot partition on its own"
+        );
+        assert_eq!(idx.count(0, 8000).0, 8000);
+        assert_eq!(idx.partition_sizes().iter().sum::<usize>(), 8000);
+        assert!(idx.check_invariants());
     }
 }

@@ -70,6 +70,14 @@ pub enum Approach {
         /// Number of partitions (0 = one per available core).
         partitions: usize,
     },
+    /// Skew-adaptive range-partitioned cracking: partitions split and
+    /// merge online under observed load, and idle owners steal
+    /// refinement work from loaded ones (`aidx-parallel`, default
+    /// [`aidx_parallel::AdaptiveConfig`]).
+    ParallelRangeAdaptive {
+        /// Number of initial partitions (0 = one per available core).
+        partitions: usize,
+    },
 }
 
 impl Approach {
@@ -86,6 +94,9 @@ impl Approach {
             }
             Approach::ParallelRange { partitions } => {
                 format!("parallel-range-{}", effective_workers(*partitions))
+            }
+            Approach::ParallelRangeAdaptive { partitions } => {
+                format!("parallel-range-adaptive-{}", effective_workers(*partitions))
             }
         }
     }
@@ -109,6 +120,7 @@ impl Approach {
                 protocol: LatchProtocol::Piece,
             },
             Approach::ParallelRange { partitions: 0 },
+            Approach::ParallelRangeAdaptive { partitions: 0 },
         ]
     }
 }
@@ -173,6 +185,13 @@ impl FromStr for Approach {
         }
         if s == "parallel-range" {
             return Ok(Approach::ParallelRange { partitions: 0 });
+        }
+        if s == "parallel-range-adaptive" {
+            return Ok(Approach::ParallelRangeAdaptive { partitions: 0 });
+        }
+        if let Some(rest) = s.strip_prefix("parallel-range-adaptive-") {
+            let partitions: usize = rest.parse().map_err(|_| err())?;
+            return Ok(Approach::ParallelRangeAdaptive { partitions });
         }
         if let Some(rest) = s.strip_prefix("parallel-range-") {
             let partitions: usize = rest.parse().map_err(|_| err())?;
@@ -387,6 +406,16 @@ impl ExperimentConfig {
                     ParallelRangeEngine::new(values, effective_workers(partitions))
                 };
                 Arc::new(engine)
+            }
+            Approach::ParallelRangeAdaptive { partitions } => {
+                // The adaptive arm owns its compaction policy (a bounded
+                // delta is part of its steal-safety contract), so the
+                // threshold knob is ignored like the delta-free arms.
+                Arc::new(ParallelRangeEngine::adaptive(
+                    values,
+                    effective_workers(partitions),
+                    aidx_parallel::AdaptiveConfig::default(),
+                ))
             }
         }
     }
@@ -665,6 +694,14 @@ mod tests {
         assert_eq!(
             "parallel-range-3".parse::<Approach>().unwrap(),
             Approach::ParallelRange { partitions: 3 }
+        );
+        assert_eq!(
+            "parallel-range-adaptive".parse::<Approach>().unwrap(),
+            Approach::ParallelRangeAdaptive { partitions: 0 }
+        );
+        assert_eq!(
+            "parallel-range-adaptive-4".parse::<Approach>().unwrap(),
+            Approach::ParallelRangeAdaptive { partitions: 4 }
         );
         for junk in [
             "",

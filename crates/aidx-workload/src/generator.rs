@@ -16,7 +16,8 @@ use rand::{Rng, SeedableRng};
 const MIXED_SEED_SALT: u64 = 0x57A7_1C5E;
 
 /// Spatial pattern of the generated query ranges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// No `Eq`: the zipfian exponent and hotspot width are floats.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessPattern {
     /// Uniformly random range positions (the paper's workload).
     Random,
@@ -26,7 +27,28 @@ pub enum AccessPattern {
     /// Range positions concentrated in the lowest 10% of the domain
     /// (the paper's 90%-selectivity discussion notes this focusing effect).
     SkewedLow,
+    /// Zipfian range positions: the domain is carved into
+    /// [`ZIPF_BUCKETS`] equal buckets and bucket `i` is drawn with
+    /// probability proportional to `1 / (i + 1)^theta`, uniform within
+    /// the bucket. `theta` is the skew exponent (`0` = uniform, `~1` =
+    /// classic zipfian, larger = hotter head). The stationary skew the
+    /// adaptive range partitioner is built to absorb.
+    Zipfian(f64),
+    /// A hotspot covering `width` (fraction of the domain, clamped to
+    /// `(0, 1]`) whose centre sweeps the whole domain once every
+    /// `period` queries, wrapping around. Skew that *moves*: a partition
+    /// split for the current hotspot goes cold again a fraction of a
+    /// period later.
+    DriftingHotspot {
+        /// Hotspot width as a fraction of the domain.
+        width: f64,
+        /// Queries per full sweep of the domain.
+        period: usize,
+    },
 }
+
+/// Bucket count for [`AccessPattern::Zipfian`]'s rank distribution.
+pub const ZIPF_BUCKETS: usize = 256;
 
 /// Generator of query workloads over a key domain `[0, domain_size)`.
 #[derive(Debug, Clone)]
@@ -70,6 +92,10 @@ impl WorkloadGenerator {
         let width = self.range_width().min(self.domain_size.max(1));
         let mut rng = StdRng::seed_from_u64(self.seed);
         let max_low = self.domain_size.saturating_sub(width);
+        let zipf_cdf = match self.pattern {
+            AccessPattern::Zipfian(theta) => zipf_cdf(ZIPF_BUCKETS, theta),
+            _ => Vec::new(),
+        };
         (0..n)
             .map(|i| {
                 let low = match self.pattern {
@@ -90,6 +116,43 @@ impl WorkloadGenerator {
                     AccessPattern::SkewedLow => {
                         let cap = (self.domain_size / 10).max(1).min(max_low.max(1));
                         rng.gen_range(0..cap)
+                    }
+                    AccessPattern::Zipfian(_) => {
+                        // Bucket by inverted CDF, uniform within the
+                        // bucket, clamped to keep the range in-domain.
+                        // (The rand shim has no float sampling, so the
+                        // uniform comes from a 32-bit integer draw.)
+                        let u = rng.gen_range(0..=u32::MAX as u64) as f64 / (u32::MAX as f64 + 1.0);
+                        let bucket = zipf_cdf.partition_point(|&c| c < u);
+                        let span = (max_low.max(1)).div_ceil(ZIPF_BUCKETS as u64).max(1);
+                        let base = (bucket as u64 * span).min(max_low);
+                        let cap = (base + span).min(max_low.max(1));
+                        if base >= cap {
+                            base
+                        } else {
+                            rng.gen_range(base..cap)
+                        }
+                    }
+                    AccessPattern::DriftingHotspot {
+                        width: hot_width,
+                        period,
+                    } => {
+                        let hot = ((hot_width.clamp(f64::MIN_POSITIVE, 1.0)
+                            * self.domain_size as f64) as u64)
+                            .max(1);
+                        let period = period.max(1);
+                        // The hotspot's left edge sweeps [0, domain - hot]
+                        // once per period, wrapping.
+                        let phase = (i % period) as u128;
+                        let travel = self.domain_size.saturating_sub(hot) as u128;
+                        let base = (travel * phase / period as u128) as u64;
+                        let lo = base.min(max_low);
+                        let hi = base.saturating_add(hot).min(max_low.max(1));
+                        if lo >= hi {
+                            lo
+                        } else {
+                            rng.gen_range(lo..hi)
+                        }
                     }
                 };
                 let high = low + width;
@@ -131,6 +194,29 @@ impl WorkloadGenerator {
             })
             .collect()
     }
+}
+
+/// Cumulative distribution of a zipfian over `buckets` ranks:
+/// `P(rank = i) ∝ 1 / (i + 1)^theta`. Monotone non-decreasing, ends at
+/// 1.0 (the final entry is forced so float rounding can't lose the tail).
+fn zipf_cdf(buckets: usize, theta: f64) -> Vec<f64> {
+    let theta = theta.max(0.0);
+    let weights: Vec<f64> = (0..buckets.max(1))
+        .map(|i| 1.0 / ((i + 1) as f64).powf(theta))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect();
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
+    cdf
 }
 
 #[cfg(test)]
@@ -233,5 +319,86 @@ mod tests {
         let g = WorkloadGenerator::new(0, 0.5, Aggregate::Count, 0);
         let qs = g.generate(3);
         assert_eq!(qs.len(), 3);
+        for pattern in [
+            AccessPattern::Zipfian(1.0),
+            AccessPattern::DriftingHotspot {
+                width: 0.5,
+                period: 2,
+            },
+        ] {
+            let g = WorkloadGenerator::new(1, 0.5, Aggregate::Count, 0).with_pattern(pattern);
+            assert_eq!(g.generate(3).len(), 3);
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_the_head_of_the_domain() {
+        let domain = 1_000_000u64;
+        let g = WorkloadGenerator::new(domain, 0.0001, Aggregate::Count, 11)
+            .with_pattern(AccessPattern::Zipfian(1.0));
+        let queries = g.generate(4000);
+        assert_eq!(queries.len(), 4000);
+        let head = queries
+            .iter()
+            .filter(|q| (q.low as u64) < domain / 10)
+            .count();
+        let tail = queries
+            .iter()
+            .filter(|q| (q.low as u64) >= domain * 9 / 10)
+            .count();
+        // theta = 1 over 256 buckets puts ~66% of the mass in the first
+        // decile and ~2% in the last; assert the shape with slack.
+        assert!(
+            head > 4000 / 2,
+            "zipfian head must dominate: {head}/4000 in the first decile"
+        );
+        assert!(
+            head > 10 * tail.max(1),
+            "head ({head}) must dwarf tail ({tail})"
+        );
+        for q in &queries {
+            assert!(q.low >= 0 && q.high as u64 <= domain);
+        }
+        // Deterministic per seed; a flatter exponent spreads the mass.
+        assert_eq!(queries, g.generate(4000));
+        let flat = WorkloadGenerator::new(domain, 0.0001, Aggregate::Count, 11)
+            .with_pattern(AccessPattern::Zipfian(0.0))
+            .generate(4000);
+        let flat_head = flat.iter().filter(|q| (q.low as u64) < domain / 10).count();
+        assert!(
+            flat_head < head / 2,
+            "theta = 0 must be near-uniform: {flat_head} vs {head}"
+        );
+    }
+
+    #[test]
+    fn drifting_hotspot_sweeps_the_domain_each_period() {
+        let domain = 1_000_000u64;
+        let width = 0.1;
+        let period = 100usize;
+        let g = WorkloadGenerator::new(domain, 0.0001, Aggregate::Count, 17)
+            .with_pattern(AccessPattern::DriftingHotspot { width, period });
+        let queries = g.generate(200);
+        let hot = (width * domain as f64) as u64;
+        let travel = domain - hot;
+        for (i, q) in queries.iter().enumerate() {
+            // Every query lands inside the hotspot for its phase.
+            let base = travel as u128 * (i % period) as u128 / period as u128;
+            let base = base as u64;
+            assert!(
+                (q.low as u64) >= base && (q.low as u64) < base + hot,
+                "query {i} low {} outside hotspot [{base}, {})",
+                q.low,
+                base + hot
+            );
+        }
+        // The hotspot actually drifts: the mean position of the last
+        // quarter-period clearly exceeds the first quarter's...
+        let mean =
+            |qs: &[QuerySpec]| qs.iter().map(|q| q.low as f64).sum::<f64>() / qs.len() as f64;
+        assert!(mean(&queries[60..90]) > mean(&queries[0..30]) + domain as f64 * 0.2);
+        // ...and wraps back at the period boundary.
+        assert!((queries[100].low as u64) < hot + travel / period as u64);
+        assert_eq!(queries, g.generate(200), "deterministic per seed");
     }
 }

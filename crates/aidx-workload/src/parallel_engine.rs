@@ -13,7 +13,7 @@ use crate::engine::{execute_on_index, AdaptiveEngine, OpResult};
 use crate::query::{Operation, QuerySpec};
 use aidx_core::{Aggregate, CompactionPolicy, LatchProtocol, QueryMetrics, RefinementPolicy};
 use aidx_obs::StructureStats;
-use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
+use aidx_parallel::{AdaptiveConfig, ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 
 /// Parallel-chunked cracking as an experiment arm.
 #[derive(Debug)]
@@ -135,6 +135,16 @@ impl ParallelRangeEngine {
     ) -> Self {
         let index = RangePartitionedCracker::with_compaction(values, partitions, compaction);
         let name = format!("parallel-range-{}", index.partition_count());
+        ParallelRangeEngine { index, name }
+    }
+
+    /// Skew-adaptive arm: partitions split/merge online under observed
+    /// load and idle owners steal refinement work (`config` tunes the
+    /// monitor). The label reports the *initial* partition count — the
+    /// live count is workload-dependent by design.
+    pub fn adaptive(values: Vec<i64>, partitions: usize, config: AdaptiveConfig) -> Self {
+        let index = RangePartitionedCracker::adaptive(values, partitions, config);
+        let name = format!("parallel-range-adaptive-{}", index.partition_count());
         ParallelRangeEngine { index, name }
     }
 
