@@ -1,0 +1,8 @@
+use aidx_parallel::RangePartitionedCracker;
+
+#[test]
+fn duplicated_values_query_does_not_panic() {
+    let idx = RangePartitionedCracker::new(vec![7; 5000], 4);
+    let (c, _) = idx.count(0, 10);
+    assert_eq!(c, 5000);
+}
