@@ -6,6 +6,7 @@ use aidx_core::{Aggregate, CompactionPolicy, LatchProtocol};
 use aidx_obs::{Json, StructureSampler, TraceEvent};
 use aidx_parallel::AdaptiveConfig;
 use aidx_storage::generate_unique_shuffled;
+use aidx_table::{JoinStrategy, TableBackend, TableEngine};
 use aidx_workload::{
     AdaptiveEngine, CrackEngine, MultiClientRunner, Operation, ParallelRangeEngine, QuerySpec,
     WorkloadGenerator,
@@ -61,6 +62,22 @@ fn traced_run_emits_every_event_type_as_parseable_jsonl() {
     // Range-partitioned arm: owner_batch.
     let range = Arc::new(ParallelRangeEngine::new(values.clone(), 4));
     MultiClientRunner::new(4).run_ops(range, &mixed_ops(0.2, 5));
+
+    // Table-level equi-join: join.
+    let dim = TableEngine::new(
+        "dim",
+        vec![("key".into(), (0..64).collect())],
+        TableBackend::Serial(LatchProtocol::Piece),
+        CompactionPolicy::disabled(),
+    );
+    let fact = TableEngine::new(
+        "fact",
+        vec![("fk".into(), (0..512).map(|i| i % 64).collect())],
+        TableBackend::Serial(LatchProtocol::Piece),
+        CompactionPolicy::disabled(),
+    );
+    let joined = dim.execute_join(&fact, 0, 0, &[], &[], JoinStrategy::Auto);
+    assert_eq!(joined.value, 512);
 
     // Skew-adaptive arm: repartition (a skewed hammer makes the next
     // manual rebalance split the hot partition) and steal (idle owners

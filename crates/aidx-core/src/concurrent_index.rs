@@ -59,6 +59,7 @@
 //!   main count. Holes are reclaimed for good by the next compaction.
 
 use crate::compaction::{CompactionMode, CompactionPolicy};
+use crate::key_runs::KeyRuns;
 use crate::metrics::QueryMetrics;
 use crate::pending::PendingDelta;
 use crate::piece_registry::{OperationGuard, PieceLatchRegistry};
@@ -280,6 +281,9 @@ pub struct ConcurrentCracker {
     next_rowid: AtomicU64,
     queries: AtomicU64,
     cracks: AtomicU64,
+    /// Cracks that routed through the hole-aware gap partition because the
+    /// piece carried a dead tail whose first slot served as scratch.
+    hole_cracks: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
     compactions: AtomicU64,
@@ -390,6 +394,7 @@ impl ConcurrentCracker {
             walk_cursor: AtomicUsize::new(0),
             compacted_floor: AtomicU64::new(0),
             hole_rows: AtomicU64::new(0),
+            hole_cracks: AtomicU64::new(0),
             next_rowid: AtomicU64::new(next_rowid),
             queries: AtomicU64::new(0),
             cracks: AtomicU64::new(0),
@@ -561,6 +566,13 @@ impl ConcurrentCracker {
         self.lock_toc().total_holes
     }
 
+    /// Number of cracks that partitioned through the hole-aware gap walk
+    /// (the piece had a dead tail to use as scratch) rather than the
+    /// classic three-move swap loop.
+    pub fn hole_cracks_performed(&self) -> u64 {
+        self.hole_cracks.load(Ordering::Relaxed)
+    }
+
     /// Merged latch statistics: piece latches plus the column latch.
     pub fn latch_stats(&self) -> LatchStatsSnapshot {
         let mut stats = self.registry.stats();
@@ -713,6 +725,25 @@ impl ConcurrentCracker {
     /// `epoch` (which must be registered).
     pub fn select_rowid_set_at(&self, low: i64, high: i64, epoch: u64) -> (RowIdSet, QueryMetrics) {
         self.run_rowid_set_query(low, high, Some(epoch))
+    }
+
+    /// Live `(key, rowid)` pairs of `[low, high)` as lazily-merged
+    /// [`KeyRuns`]: each piece the read visits contributes one *raw* run
+    /// (its physical pair order, typically unsorted within the piece), and
+    /// no run is sorted here. Sorting is deferred to the consumer's
+    /// [`KeyRunsIter`](crate::key_runs::KeyRunsIter), which only pays for a
+    /// run when the merge frontier actually reaches its key envelope — the
+    /// substrate of the gallop equi-join, where seeks discard whole
+    /// off-frontier runs unsorted. Refines the index as a side effect
+    /// exactly like any other read.
+    pub fn select_key_runs(&self, low: i64, high: i64) -> (KeyRuns, QueryMetrics) {
+        self.run_key_runs_query(low, high, None)
+    }
+
+    /// As [`ConcurrentCracker::select_key_runs`], frozen at snapshot
+    /// `epoch` (which must be registered).
+    pub fn select_key_runs_at(&self, low: i64, high: i64, epoch: u64) -> (KeyRuns, QueryMetrics) {
+        self.run_key_runs_query(low, high, Some(epoch))
     }
 
     /// Inserts one row with the given key, self-assigning a fresh row id.
@@ -1156,6 +1187,85 @@ impl ConcurrentCracker {
         (set, metrics)
     }
 
+    /// The join-side twin of [`ConcurrentCracker::run_rowid_set_query`]:
+    /// same plan phase and shrink-epoch seqlock, but each visited piece's
+    /// `(key, rowid)` batch is kept as one raw [`KeyRuns`] run — never
+    /// sorted here — while the delta view's hidden rows are filtered out
+    /// of every run and its extra rows (pending inserts / snapshot ghosts)
+    /// form one additional, pre-sorted run.
+    fn run_key_runs_query(&self, low: i64, high: i64, at: Option<u64>) -> (KeyRuns, QueryMetrics) {
+        let start = Instant::now();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let mut metrics = QueryMetrics::default();
+        if low >= high {
+            metrics.total = start.elapsed();
+            return (KeyRuns::default(), metrics);
+        }
+        let key_runs = {
+            let _op = self.enter_if_compactable();
+            let plan = if self.data.is_empty() {
+                None
+            } else {
+                Some(match self.protocol {
+                    LatchProtocol::Piece => self.plan_piece(low, high, &mut metrics),
+                    LatchProtocol::Column | LatchProtocol::None => {
+                        self.plan_column(low, high, &mut metrics)
+                    }
+                })
+            };
+            let mut failures = 0u32;
+            loop {
+                let paused = (failures >= Self::SEQLOCK_RETRY_CAP).then(|| self.pause_reclaims());
+                let epoch = self.seq_read_epoch();
+                let mut attempt = QueryMetrics::default();
+                let mut runs: Vec<Vec<(i64, RowId)>> = Vec::new();
+                {
+                    let sink = |pairs: Vec<(i64, RowId)>| runs.push(pairs);
+                    match plan {
+                        Some(MainPlan::Exact { start, end }) => {
+                            self.collect_piece_runs(start, end, None, &mut attempt, sink)
+                        }
+                        Some(MainPlan::Filtered { start, end }) => self.collect_piece_runs(
+                            start,
+                            end,
+                            Some((low, high)),
+                            &mut attempt,
+                            sink,
+                        ),
+                        None => {}
+                    }
+                }
+                let view = match at {
+                    Some(snapshot_epoch) => self.delta.pair_view_at(low, high, snapshot_epoch),
+                    None => self.delta.pair_view(low, high),
+                };
+                if self.seq_read_valid(epoch, paused.is_some()) {
+                    metrics.accumulate(&attempt);
+                    let mut out = KeyRuns::default();
+                    for mut run in runs {
+                        if !view.hidden.is_empty() {
+                            run.retain(|(_, rowid)| !view.hidden.contains(rowid));
+                        }
+                        out.push_run(run);
+                    }
+                    let mut extra = view.extra;
+                    extra.sort_unstable();
+                    out.push_run(extra);
+                    break out;
+                }
+                failures += 1;
+                metrics.snapshot_retries = metrics.snapshot_retries.saturating_add(1);
+                emit(TraceEvent::SnapshotRetry { attempt: failures });
+                metrics.wait_time += attempt.wait_time;
+                metrics.aggregate_time += attempt.aggregate_time;
+                metrics.conflicts = metrics.conflicts.saturating_add(attempt.conflicts);
+            }
+        };
+        metrics.result_count = key_runs.total_rows() as u64;
+        metrics.total = start.elapsed();
+        (key_runs, metrics)
+    }
+
     /// Collects the live `(value, rowid)` pairs of `[start, end)` (a
     /// union of whole pieces), holding the latches the active protocol
     /// prescribes — piece read latches one piece at a time, or the column
@@ -1431,6 +1541,32 @@ impl ConcurrentCracker {
         MainPlan::Exact { start: a, end: b }
     }
 
+    /// Partitions `[start, live_end)` around `bound` under the caller's
+    /// write latch, routing through the hole-aware gap walk when the piece
+    /// carries a dead tail (`live_end < piece_end`): the first dead slot is
+    /// free scratch — its contents are reclaimed-tombstone garbage no read
+    /// path ever touches — and the gap walk writes every misplaced element
+    /// once instead of paying three moves per swap.
+    fn crack_range_hole_aware(
+        &self,
+        start: usize,
+        live_end: usize,
+        piece_end: usize,
+        bound: i64,
+    ) -> usize {
+        if live_end < piece_end {
+            let (pos, moves) = self
+                .data
+                .crack_in_two_with_hole(start, live_end, bound, live_end);
+            if moves > 0 {
+                self.hole_cracks.fetch_add(1, Ordering::Relaxed);
+            }
+            pos
+        } else {
+            self.data.crack_in_two_range(start, live_end, bound)
+        }
+    }
+
     /// Resolves one bound while the caller holds exclusive access to the
     /// whole column (column write latch, or single-threaded execution).
     /// Sweeps reclaimable tombstoned rows out of the piece first — the
@@ -1447,7 +1583,7 @@ impl ConcurrentCracker {
         // nothing beyond the `enabled` load.
         let traced = aidx_obs::enabled().then(Instant::now);
         let (live_end, _) = self.shrink_piece_locked(&piece);
-        let pos = self.data.crack_in_two_range(piece.start, live_end, bound);
+        let pos = self.crack_range_hole_aware(piece.start, live_end, piece.end, bound);
         let mut toc = self.lock_toc();
         toc.add_crack(bound, pos);
         toc.on_piece_split(piece.start, pos);
@@ -1665,7 +1801,7 @@ impl ConcurrentCracker {
             // live range.
             let crack_start = Instant::now();
             let (live_end, _) = self.shrink_piece_locked(&current);
-            let pos = self.data.crack_in_two_range(current.start, live_end, bound);
+            let pos = self.crack_range_hole_aware(current.start, live_end, current.end, bound);
             {
                 let mut toc = self.lock_toc();
                 toc.add_crack(bound, pos);

@@ -43,6 +43,7 @@
 
 pub mod compaction;
 pub mod concurrent_index;
+pub mod key_runs;
 pub mod merge_concurrent;
 pub mod metrics;
 pub mod pending;
@@ -59,9 +60,12 @@ pub use aidx_latch::facade;
 
 pub use compaction::{CompactionMode, CompactionPolicy};
 pub use concurrent_index::{ConcurrentCracker, Snapshot};
+pub use key_runs::{
+    merge_join_pairs, note_merge_join, KeyRun, KeyRuns, KeyRunsIter, MergeJoinStats,
+};
 pub use merge_concurrent::ConcurrentAdaptiveMerge;
 pub use metrics::{Completion, LatencyBreakdown, QueryMetrics, RunMetrics, WindowThroughput};
-pub use pending::{DeltaAdjust, DrainedDelta, PendingDelta, RowidView};
+pub use pending::{DeltaAdjust, DrainedDelta, PairView, PendingDelta, RowidView};
 pub use piece_registry::PieceLatchRegistry;
 pub use protocol::{Aggregate, LatchProtocol, RefinementPolicy};
 pub use rowid_set::{

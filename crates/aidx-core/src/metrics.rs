@@ -66,6 +66,13 @@ pub struct QueryMetrics {
     /// Whole compressed blocks bypassed by galloping seeks during
     /// candidate-set intersection.
     pub blocks_skipped: u64,
+    /// Output `(left rowid, right rowid)` pairs emitted by an equi-join
+    /// (0 for non-join operations).
+    pub join_pairs: u64,
+    /// `(key, rowid)` rows bypassed *unsorted* by key-run seeks during a
+    /// gallop join: whole runs whose key range fell outside the join
+    /// frontier were discarded without ever being sorted or walked.
+    pub join_rows_skipped: u64,
 }
 
 impl QueryMetrics {
@@ -98,6 +105,10 @@ impl QueryMetrics {
             .candidate_set_bytes
             .saturating_add(other.candidate_set_bytes);
         self.blocks_skipped = self.blocks_skipped.saturating_add(other.blocks_skipped);
+        self.join_pairs = self.join_pairs.saturating_add(other.join_pairs);
+        self.join_rows_skipped = self
+            .join_rows_skipped
+            .saturating_add(other.join_rows_skipped);
     }
 
     /// Merges the per-worker metrics of **one** query that was executed in
@@ -422,6 +433,8 @@ mod tests {
             result_count: u64::MAX - 5,
             candidate_set_bytes: u64::MAX - 2,
             blocks_skipped: u64::MAX - 4,
+            join_pairs: u64::MAX - 1,
+            join_rows_skipped: u64::MAX - 2,
             ..QueryMetrics::default()
         };
         let more = QueryMetrics {
@@ -437,6 +450,8 @@ mod tests {
             result_count: 100,
             candidate_set_bytes: 7,
             blocks_skipped: 6,
+            join_pairs: 4,
+            join_rows_skipped: 5,
             ..QueryMetrics::default()
         };
         let merged = QueryMetrics::merge_parallel([near_max, more]);
@@ -452,6 +467,8 @@ mod tests {
         assert_eq!(merged.result_count, u64::MAX);
         assert_eq!(merged.candidate_set_bytes, u64::MAX);
         assert_eq!(merged.blocks_skipped, u64::MAX);
+        assert_eq!(merged.join_pairs, u64::MAX);
+        assert_eq!(merged.join_rows_skipped, u64::MAX);
     }
 
     #[test]

@@ -116,6 +116,21 @@ pub struct RowidView {
     pub extra: Vec<RowId>,
 }
 
+/// The delta's contribution to one *(key, rowid)* range read — the
+/// key-carrying twin of [`RowidView`], produced for join-side key-run
+/// reads where the consumer needs the key beside every added row.
+/// Produced in one consistent snapshot of the delta state
+/// ([`PendingDelta::pair_view`] / [`PendingDelta::pair_view_at`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairView {
+    /// Row ids the main-array scan must suppress (same contents as
+    /// [`RowidView::hidden`]).
+    pub hidden: HashSet<RowId>,
+    /// `(key, rowid)` pairs the scan must add, keyed because the delta's
+    /// BTreeMaps index by value — no main-array probe needed.
+    pub extra: Vec<(i64, RowId)>,
+}
+
 /// Sentinel for "row still alive" in the row ledger.
 const ALIVE: u64 = u64::MAX;
 
@@ -1194,6 +1209,61 @@ impl PendingDelta {
                 rows.iter()
                     .filter(|g| g.born <= epoch && epoch < g.died)
                     .map(|g| g.rowid),
+            );
+        }
+        view
+    }
+
+    /// The key-carrying twin of [`PendingDelta::rowid_view`]: tombstoned
+    /// main rows to hide, alive pending rows to add *with their keys*,
+    /// for current-epoch `(key, rowid)` run reads (the join path).
+    pub fn pair_view(&self, low: i64, high: i64) -> PairView {
+        if low >= high {
+            return PairView::default();
+        }
+        let state = self.lock_state();
+        let mut view = PairView::default();
+        for (_, rows) in state.tomb_rows.range(low..high) {
+            view.hidden.extend(rows.iter().map(|t| t.rowid));
+        }
+        for (&value, rows) in state.pending_rows.range(low..high) {
+            view.extra.extend(
+                rows.iter()
+                    .filter(|r| r.died == ALIVE)
+                    .map(|r| (value, r.rowid)),
+            );
+        }
+        view
+    }
+
+    /// The key-carrying twin of [`PendingDelta::rowid_view_at`]: the
+    /// delta's `(key, rowid)` contribution as of snapshot `epoch`.
+    pub fn pair_view_at(&self, low: i64, high: i64, epoch: u64) -> PairView {
+        if low >= high {
+            return PairView::default();
+        }
+        let state = self.lock_state();
+        let mut view = PairView::default();
+        for (_, rows) in state.tomb_rows.range(low..high) {
+            view.hidden
+                .extend(rows.iter().filter(|t| t.epoch <= epoch).map(|t| t.rowid));
+        }
+        for (_, rows) in state.placed_rows.range(low..high) {
+            view.hidden
+                .extend(rows.iter().filter(|p| p.born > epoch).map(|p| p.rowid));
+        }
+        for (&value, rows) in state.pending_rows.range(low..high) {
+            view.extra.extend(
+                rows.iter()
+                    .filter(|r| r.born <= epoch && epoch < r.died)
+                    .map(|r| (value, r.rowid)),
+            );
+        }
+        for (&value, rows) in state.ghost_rows.range(low..high) {
+            view.extra.extend(
+                rows.iter()
+                    .filter(|g| g.born <= epoch && epoch < g.died)
+                    .map(|g| (value, g.rowid)),
             );
         }
         view

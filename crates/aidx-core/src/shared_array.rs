@@ -223,6 +223,19 @@ impl SharedCrackerArray {
     /// returns the split position. Caller must hold the write latch of the
     /// piece covering the range.
     pub fn crack_in_two_range(&self, start: usize, end: usize, pivot: i64) -> usize {
+        self.crack_in_two_range_counted(start, end, pivot).0
+    }
+
+    /// As [`SharedCrackerArray::crack_in_two_range`], additionally returning
+    /// the number of swaps performed; each swap costs three element moves
+    /// (the temporary), the baseline the hole-aware variant is measured
+    /// against.
+    pub fn crack_in_two_range_counted(
+        &self,
+        start: usize,
+        end: usize,
+        pivot: i64,
+    ) -> (usize, usize) {
         assert!(
             start <= end && end <= self.len(),
             "crack range out of bounds"
@@ -231,6 +244,7 @@ impl SharedCrackerArray {
         let rowids = self.rowids_ptr();
         let mut lo = start;
         let mut hi = end;
+        let mut swaps = 0usize;
         // SAFETY: indices stay within [start, end) ⊆ [0, len); exclusive
         // access to this range is guaranteed by the caller's write latch.
         unsafe {
@@ -241,10 +255,94 @@ impl SharedCrackerArray {
                     hi -= 1;
                     std::ptr::swap(values.add(lo), values.add(hi));
                     std::ptr::swap(rowids.add(lo), rowids.add(hi));
+                    swaps += 1;
                 }
             }
         }
-        lo
+        (lo, swaps)
+    }
+
+    /// Hole-aware partition of `[start, end)` around `pivot`: uses the dead
+    /// slot at `hole` (a reclaimed-tombstone position past the live range —
+    /// its contents are garbage and never read by any query) as scratch
+    /// space. Instead of three-move swaps, elements chase a moving gap, so
+    /// every misplaced element is written exactly once: evict the first
+    /// misplaced high into the hole, alternately pull the rightmost
+    /// unplaced low / leftmost unplaced high into the gap, and close the
+    /// cycle by dropping the evicted high back into the final gap — which
+    /// both scans leave exactly at the partition boundary, the first slot
+    /// of the high zone. Returns `(split, moves)`; with `m` misplaced
+    /// pairs the dense-misplacement cost is `2m + 1` moves against the
+    /// classic `3m`. The hole holds garbage again on return (untouched
+    /// when `moves == 0`). Caller must hold the write latch of the piece
+    /// covering both the range and the hole.
+    pub fn crack_in_two_with_hole(
+        &self,
+        start: usize,
+        end: usize,
+        pivot: i64,
+        hole: usize,
+    ) -> (usize, usize) {
+        assert!(
+            start <= end && end <= hole && hole < self.len(),
+            "crack range out of bounds"
+        );
+        let values = self.values_ptr();
+        let rowids = self.rowids_ptr();
+        // SAFETY: indices stay within [start, end) ∪ {hole} ⊆ [0, len);
+        // exclusive access to the range and the hole is guaranteed by the
+        // caller's write latch.
+        unsafe {
+            let mv = |dst: usize, src: usize| {
+                *values.add(dst) = *values.add(src);
+                *rowids.add(dst) = *rowids.add(src);
+            };
+            let mut lo = start;
+            let mut hi = end;
+            while lo < hi && *values.add(lo) < pivot {
+                lo += 1;
+            }
+            while lo < hi && *values.add(hi - 1) >= pivot {
+                hi -= 1;
+            }
+            if lo >= hi {
+                // Already partitioned; the hole is never written.
+                return (lo, 0);
+            }
+            mv(hole, lo);
+            let mut gap = lo;
+            let mut moves = 1usize;
+            lo += 1;
+            loop {
+                // Gap sits in the low zone: fill it with the rightmost
+                // unplaced low. Highs skipped here are already final.
+                while gap < hi && *values.add(hi - 1) >= pivot {
+                    hi -= 1;
+                }
+                if gap == hi {
+                    break;
+                }
+                hi -= 1;
+                mv(gap, hi);
+                moves += 1;
+                gap = hi;
+                // Gap sits in the high zone: fill it with the leftmost
+                // unplaced high. Lows skipped here are already final.
+                while lo < gap && *values.add(lo) < pivot {
+                    lo += 1;
+                }
+                if lo == gap {
+                    break;
+                }
+                mv(gap, lo);
+                moves += 1;
+                gap = lo;
+                lo += 1;
+            }
+            mv(gap, hole);
+            moves += 1;
+            (gap, moves)
+        }
     }
 
     /// Sum of the values in `[start, end)`. Caller must hold read or write
@@ -428,6 +526,69 @@ mod tests {
         for (i, &rid) in rowids.iter().enumerate() {
             assert_eq!(values[i], original[rid as usize]);
         }
+    }
+
+    #[test]
+    fn crack_with_hole_matches_classic_partition() {
+        // Pseudo-random data; the last slot plays the dead-tail hole. The
+        // hole's contents are garbage by contract, so only [0, n) of the
+        // result is compared.
+        let n = 257usize;
+        let data: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 101).collect();
+        for pivot in [0i64, 1, 17, 50, 100, 101] {
+            let mut with_hole = data.clone();
+            with_hole.push(-999); // the hole slot
+            let arr = SharedCrackerArray::from_values(with_hole);
+            let (split, _moves) = arr.crack_in_two_with_hole(0, n, pivot, n);
+            let classic = SharedCrackerArray::from_values(data.clone());
+            let classic_split = classic.crack_in_two_range(0, n, pivot);
+            assert_eq!(split, classic_split, "pivot {pivot}");
+            let (values, rowids) = arr.snapshot();
+            assert!(values[..split].iter().all(|&v| v < pivot));
+            assert!(values[split..n].iter().all(|&v| v >= pivot));
+            // Pairs stay together and no row is lost or duplicated.
+            for (i, &rid) in rowids[..n].iter().enumerate() {
+                assert_eq!(values[i], data[rid as usize]);
+            }
+            let mut rids: Vec<RowId> = rowids[..n].to_vec();
+            rids.sort_unstable();
+            assert_eq!(rids, (0..n as RowId).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn crack_with_hole_already_partitioned_never_touches_the_hole() {
+        let arr = SharedCrackerArray::from_values(vec![1, 2, 3, 8, 9, -7]);
+        let (split, moves) = arr.crack_in_two_with_hole(0, 5, 5, 5);
+        assert_eq!(split, 3);
+        assert_eq!(moves, 0);
+        assert_eq!(arr.snapshot().0, vec![1, 2, 3, 8, 9, -7]);
+    }
+
+    #[test]
+    fn crack_with_hole_saves_moves_on_dense_misplacement() {
+        // Dense misplacement: the first half is entirely high, the second
+        // half entirely low, so the classic partition swaps every pair
+        // (3m element moves counting the temporary) while the hole walk
+        // moves each misplaced element once (2m + 1 moves).
+        let m = 64usize;
+        let mut data: Vec<i64> = (0..m as i64).map(|i| 100 + i).collect();
+        data.extend(0..m as i64);
+        let classic = SharedCrackerArray::from_values(data.clone());
+        let (classic_split, swaps) = classic.crack_in_two_range_counted(0, 2 * m, 100);
+        assert_eq!(classic_split, m);
+        assert_eq!(swaps, m);
+        let mut with_hole = data;
+        with_hole.push(-1);
+        let arr = SharedCrackerArray::from_values(with_hole);
+        let (split, moves) = arr.crack_in_two_with_hole(0, 2 * m, 100, 2 * m);
+        assert_eq!(split, m);
+        assert_eq!(moves, 2 * m + 1);
+        assert!(
+            moves < 3 * swaps,
+            "hole walk ({moves} moves) must beat swap cost ({} moves)",
+            3 * swaps
+        );
     }
 
     #[test]

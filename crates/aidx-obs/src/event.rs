@@ -95,6 +95,21 @@ pub enum TraceEvent {
         /// Nanoseconds the whole system transaction took.
         ns: u64,
     },
+    /// One executed equi-join between two table engines: which physical
+    /// strategy ran, how many output pairs it produced, and how many
+    /// `(key, rowid)` rows the gallop merge bypassed unsorted (0 for the
+    /// other strategies).
+    Join {
+        /// Physical strategy label: `"gallop"`, `"hash"`, or
+        /// `"nested_loop"`.
+        strategy: &'static str,
+        /// `(left rowid, right rowid)` pairs emitted.
+        pairs: u64,
+        /// Rows discarded unsorted by key-run seeks (gallop only).
+        rows_skipped: u64,
+        /// Nanoseconds the join phase took (filtering excluded).
+        ns: u64,
+    },
     /// One successful refinement steal: an idle owner pre-cracked a large
     /// uncracked piece belonging to another partition.
     Steal {
@@ -124,12 +139,13 @@ impl TraceEvent {
             TraceEvent::DeltaMerge { .. } => "delta_merge",
             TraceEvent::OwnerBatch { .. } => "owner_batch",
             TraceEvent::Repartition { .. } => "repartition",
+            TraceEvent::Join { .. } => "join",
             TraceEvent::Steal { .. } => "steal",
         }
     }
 
-    /// All eight tags, for completeness checks.
-    pub fn all_tags() -> [&'static str; 8] {
+    /// All nine tags, for completeness checks.
+    pub fn all_tags() -> [&'static str; 9] {
         [
             "latch_wait",
             "crack",
@@ -138,6 +154,7 @@ impl TraceEvent {
             "delta_merge",
             "owner_batch",
             "repartition",
+            "join",
             "steal",
         ]
     }
@@ -194,6 +211,17 @@ impl TraceEvent {
                 ("partition", Json::UInt(partition as u64)),
                 ("split", Json::Bool(split)),
                 ("rows", Json::UInt(rows)),
+                ("ns", Json::UInt(ns)),
+            ],
+            TraceEvent::Join {
+                strategy,
+                pairs,
+                rows_skipped,
+                ns,
+            } => vec![
+                ("strategy", Json::str(strategy)),
+                ("pairs", Json::UInt(pairs)),
+                ("rows_skipped", Json::UInt(rows_skipped)),
                 ("ns", Json::UInt(ns)),
             ],
             TraceEvent::Steal {
@@ -276,6 +304,12 @@ mod tests {
                 split: true,
                 rows: 4096,
                 ns: 20_000,
+            },
+            TraceEvent::Join {
+                strategy: "gallop",
+                pairs: 77,
+                rows_skipped: 1200,
+                ns: 9_000,
             },
             TraceEvent::Steal {
                 thief: 2,

@@ -23,8 +23,8 @@
 use crate::pool::WorkerPool;
 use aidx_core::facade::{Mutex, RwLock};
 use aidx_core::{
-    Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RefinementPolicy,
-    RowIdSet,
+    Aggregate, CompactionPolicy, ConcurrentCracker, KeyRuns, LatchProtocol, QueryMetrics,
+    RefinementPolicy, RowIdSet,
 };
 use aidx_cracking::StochasticCracker;
 use aidx_obs::StructureProbe;
@@ -176,6 +176,24 @@ impl Chunk {
             Chunk::Concurrent(cracker) => Some(match epoch {
                 Some(epoch) => cracker.select_rowid_set_at(low, high, epoch),
                 None => cracker.select_rowid_set(low, high),
+            }),
+            Chunk::Stochastic(_) => None,
+        }
+    }
+
+    /// Lazy `(key, rowid)` run read over this chunk, optionally at a
+    /// chunk-local snapshot epoch. `None` for stochastic chunks (no row
+    /// identity).
+    fn select_key_runs_at(
+        &self,
+        low: i64,
+        high: i64,
+        epoch: Option<u64>,
+    ) -> Option<(KeyRuns, QueryMetrics)> {
+        match self {
+            Chunk::Concurrent(cracker) => Some(match epoch {
+                Some(epoch) => cracker.select_key_runs_at(low, high, epoch),
+                None => cracker.select_key_runs(low, high),
             }),
             Chunk::Stochastic(_) => None,
         }
@@ -561,6 +579,16 @@ impl ChunkedCracker {
         self.fan_out_rowid_set(low, high, None)
     }
 
+    /// Lazily-merged `(key, rowid)` runs of every live row with a value
+    /// in `[low, high)`, absorbed across all chunks (chunks partition
+    /// positions, so the runs are rowid-disjoint and each keeps its raw,
+    /// unsorted physical order — sorting stays deferred to the consuming
+    /// [`KeyRunsIter`](aidx_core::KeyRunsIter)). `None` when any chunk
+    /// runs the stochastic backend, which keeps no row identity.
+    pub fn select_key_runs(&self, low: i64, high: i64) -> Option<(KeyRuns, QueryMetrics)> {
+        self.fan_out_key_runs(low, high, None)
+    }
+
     /// Deletes one specific row `(value, rowid)`. Chunks partition
     /// positions, not keys, so the pair may live in any chunk: the probe
     /// fans out and exactly one chunk (at most) removes it. Returns how
@@ -700,6 +728,56 @@ impl ChunkedCracker {
         Some((merged, metrics))
     }
 
+    /// Fans one key-run read out to every chunk and absorbs the per-chunk
+    /// run collections, optionally pinned at per-chunk snapshot epochs.
+    /// `None` if any chunk is stochastic.
+    fn fan_out_key_runs(
+        &self,
+        low: i64,
+        high: i64,
+        epochs: Option<&[u64]>,
+    ) -> Option<(KeyRuns, QueryMetrics)> {
+        let start = Instant::now();
+        if self
+            .chunks
+            .iter()
+            .any(|c| matches!(c, Chunk::Stochastic(_)))
+        {
+            return None;
+        }
+        if low >= high {
+            let metrics = QueryMetrics {
+                total: start.elapsed(),
+                ..QueryMetrics::default()
+            };
+            return Some((KeyRuns::default(), metrics));
+        }
+        let (tx, rx) = channel();
+        for chunk_id in 0..self.chunks.len() {
+            let chunks = Arc::clone(&self.chunks);
+            let tx = tx.clone();
+            let epoch = epochs.map(|e| e[chunk_id]);
+            self.pool.execute(move || {
+                let result = chunks[chunk_id]
+                    .select_key_runs_at(low, high, epoch)
+                    .expect("all chunks checked concurrent above");
+                let _ = tx.send(result);
+            });
+        }
+        drop(tx);
+        let mut merged = KeyRuns::default();
+        let mut parts = Vec::with_capacity(self.chunks.len());
+        for _ in 0..self.chunks.len() {
+            let (partial, part_metrics) = rx.recv().expect("chunk worker died");
+            merged.absorb(partial);
+            parts.push(part_metrics);
+        }
+        let mut metrics = QueryMetrics::merge_parallel(parts);
+        metrics.result_count = merged.total_rows() as u64;
+        metrics.total = start.elapsed();
+        Some((merged, metrics))
+    }
+
     /// Fans one query out to every chunk and merges the partial results,
     /// optionally pinned at per-chunk snapshot epochs.
     fn fan_out(
@@ -806,6 +884,15 @@ impl ChunkedSnapshot<'_> {
     pub fn rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
         self.idx
             .fan_out_rowid_set(low, high, Some(&self.epochs))
+            .expect("snapshots only exist over concurrent chunks")
+    }
+
+    /// Lazily-merged `(key, rowid)` runs of the rows with values in
+    /// `[low, high)` as of the snapshot, absorbed across the chunks'
+    /// pinned epochs.
+    pub fn key_runs(&self, low: i64, high: i64) -> (KeyRuns, QueryMetrics) {
+        self.idx
+            .fan_out_key_runs(low, high, Some(&self.epochs))
             .expect("snapshots only exist over concurrent chunks")
     }
 }

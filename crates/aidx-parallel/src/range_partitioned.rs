@@ -51,7 +51,7 @@
 use aidx_core::{
     dcheck,
     facade::{Condvar, Mutex, RwLock},
-    Aggregate, CompactionPolicy, ConcurrentCracker, LatchProtocol, QueryMetrics, RowIdSet,
+    Aggregate, CompactionPolicy, ConcurrentCracker, KeyRuns, LatchProtocol, QueryMetrics, RowIdSet,
 };
 use aidx_obs::{emit, StructureProbe, TraceEvent};
 use aidx_storage::RowId;
@@ -112,6 +112,17 @@ enum OwnerRequest {
         high: i64,
         epoch: Option<u64>,
         reply: Sender<(RowIdSet, QueryMetrics)>,
+    },
+    /// Reply with the partition's `[low, high)` rows as lazily-merged
+    /// [`KeyRuns`] — at the partition-local snapshot `epoch` if one is
+    /// given. Runs stay raw (unsorted, per-piece); the router absorbs the
+    /// per-partition collections so the consuming join pays for sorting
+    /// only at runs its merge frontier actually reaches.
+    SelectKeyRuns {
+        low: i64,
+        high: i64,
+        epoch: Option<u64>,
+        reply: Sender<(KeyRuns, QueryMetrics)>,
     },
     /// Register a snapshot at the partition's current epoch and reply
     /// with it.
@@ -585,7 +596,8 @@ impl OwnerCtx {
             | OwnerRequest::DeleteRow { value, .. } => *value >= at,
             OwnerRequest::Query { low, .. }
             | OwnerRequest::SelectRowids { low, .. }
-            | OwnerRequest::SelectRowidSet { low, .. } => *low >= at,
+            | OwnerRequest::SelectRowidSet { low, .. }
+            | OwnerRequest::SelectKeyRuns { low, .. } => *low >= at,
             _ => false,
         };
         if forward_whole {
@@ -663,6 +675,29 @@ impl OwnerCtx {
                 }
                 None
             }
+            OwnerRequest::SelectKeyRuns {
+                low,
+                high,
+                epoch,
+                reply,
+            } if high > at => {
+                debug_assert!(epoch.is_none(), "no snapshots during a repartition");
+                self.note_op();
+                let (mut local, local_m) = self.run_key_runs(low, at, epoch);
+                let (tx, rx) = channel();
+                let _ = to.send(OwnerRequest::SelectKeyRuns {
+                    low: at,
+                    high,
+                    epoch,
+                    reply: tx,
+                });
+                if let Ok((remote, remote_m)) = rx.recv() {
+                    local.absorb(remote);
+                    let merged = QueryMetrics::merge_parallel(vec![local_m, remote_m]);
+                    let _ = reply.send((local, merged));
+                }
+                None
+            }
             other => Some(other),
         }
     }
@@ -699,6 +734,13 @@ impl OwnerCtx {
         match epoch {
             Some(epoch) => self.index.select_rowid_set_at(low, high, epoch),
             None => self.index.select_rowid_set(low, high),
+        }
+    }
+
+    fn run_key_runs(&self, low: i64, high: i64, epoch: Option<u64>) -> (KeyRuns, QueryMetrics) {
+        match epoch {
+            Some(epoch) => self.index.select_key_runs_at(low, high, epoch),
+            None => self.index.select_key_runs(low, high),
         }
     }
 
@@ -753,6 +795,14 @@ impl OwnerCtx {
                 reply,
             } => {
                 let _ = reply.send(self.run_rowid_set(low, high, epoch));
+            }
+            OwnerRequest::SelectKeyRuns {
+                low,
+                high,
+                epoch,
+                reply,
+            } => {
+                let _ = reply.send(self.run_key_runs(low, high, epoch));
             }
             OwnerRequest::SnapshotOpen { reply } => {
                 let _ = reply.send(self.index.register_snapshot_epoch());
@@ -1030,6 +1080,11 @@ impl RangePartitionedCracker {
         let next_rowid = rowids.iter().max().map(|&r| r as u64 + 1).unwrap_or(0);
         let partitions = partitions.clamp(1, len.max(1));
         let splits = choose_splits(&values, partitions);
+        // Heavily duplicated data collapses quantiles, so `choose_splits`
+        // may return fewer boundaries than requested; the owner count must
+        // follow, or routing would address partitions the split vector
+        // cannot clip.
+        let partitions = splits.len() + 1;
         let rows: Vec<(i64, RowId)> = values.into_iter().zip(rowids).collect();
 
         // Parallel scatter: stripe the input across `partitions` builder
@@ -1342,6 +1397,23 @@ impl RangePartitionedCracker {
             send_rowid_set(&table, low, high, None)
         };
         collect_rowid_sets(reply_rx, fanout, start)
+    }
+
+    /// Lazily-merged `(key, rowid)` runs of every live row with a value
+    /// in `[low, high)`, routed to the owners of the partitions the range
+    /// overlaps and absorbed into one [`KeyRuns`] collection. Runs keep
+    /// their raw per-piece order; the consuming join's merge iterator
+    /// sorts only the runs its frontier reaches.
+    pub fn select_key_runs(&self, low: i64, high: i64) -> (KeyRuns, QueryMetrics) {
+        let start = Instant::now();
+        if low >= high {
+            return (KeyRuns::default(), empty_metrics(start));
+        }
+        let (reply_rx, fanout) = {
+            let table = self.shared.pin_table();
+            send_key_runs(&table, low, high, None)
+        };
+        collect_key_runs(reply_rx, fanout, start)
     }
 
     /// Opens a snapshot across every partition: one epoch per owner,
@@ -1844,6 +1916,18 @@ impl RangeSnapshot<'_> {
         let (reply_rx, fanout) = send_rowid_set(&self.table, low, high, Some(&self.epochs));
         collect_rowid_sets(reply_rx, fanout, start)
     }
+
+    /// Lazily-merged `(key, rowid)` runs of the rows with values in
+    /// `[low, high)` as of the snapshot, absorbed across the partitions'
+    /// pinned epochs.
+    pub fn key_runs(&self, low: i64, high: i64) -> (KeyRuns, QueryMetrics) {
+        let start = Instant::now();
+        if low >= high {
+            return (KeyRuns::default(), empty_metrics(start));
+        }
+        let (reply_rx, fanout) = send_key_runs(&self.table, low, high, Some(&self.epochs));
+        collect_key_runs(reply_rx, fanout, start)
+    }
 }
 
 impl Drop for RangeSnapshot<'_> {
@@ -1983,6 +2067,48 @@ fn collect_rowids(
     metrics.result_count = rows.len() as u64;
     metrics.total = start.elapsed();
     (rows, metrics)
+}
+
+fn send_key_runs(
+    table: &RoutingTable,
+    low: i64,
+    high: i64,
+    epochs: Option<&[u64]>,
+) -> (Receiver<(KeyRuns, QueryMetrics)>, usize) {
+    let first = partition_of(&table.splits, low);
+    let last = partition_of(&table.splits, high - 1);
+    let (reply_tx, reply_rx) = channel();
+    for p in first..=last {
+        let (lo, hi) = table.clip(p, low, high);
+        table.partitions[p]
+            .sender
+            .send(OwnerRequest::SelectKeyRuns {
+                low: lo,
+                high: hi,
+                epoch: epochs.map(|e| e[p]),
+                reply: reply_tx.clone(),
+            })
+            .expect("partition owner exited early");
+    }
+    (reply_rx, last - first + 1)
+}
+
+fn collect_key_runs(
+    reply_rx: Receiver<(KeyRuns, QueryMetrics)>,
+    fanout: usize,
+    start: Instant,
+) -> (KeyRuns, QueryMetrics) {
+    let mut merged = KeyRuns::default();
+    let mut parts = Vec::with_capacity(fanout);
+    for _ in 0..fanout {
+        let (partial, part_metrics) = reply_rx.recv().expect("partition owner died");
+        merged.absorb(partial);
+        parts.push(part_metrics);
+    }
+    let mut metrics = QueryMetrics::merge_parallel(parts);
+    metrics.result_count = merged.total_rows() as u64;
+    metrics.total = start.elapsed();
+    (merged, metrics)
 }
 
 fn collect_rowid_sets(

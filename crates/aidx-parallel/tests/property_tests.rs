@@ -204,3 +204,14 @@ proptest! {
         prop_assert!(ranged.check_invariants());
     }
 }
+
+// An all-duplicate column collapses every quantile split to one key, so the
+// range partitioner degenerates to a single useful partition; queries must
+// still route and answer without panicking (folded in from a PR 9 review
+// scratch test).
+#[test]
+fn duplicated_values_query_does_not_panic() {
+    let idx = RangePartitionedCracker::new(vec![7; 5000], 4);
+    let (c, _) = idx.count(0, 10);
+    assert_eq!(c, 5000);
+}

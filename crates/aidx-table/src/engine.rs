@@ -35,17 +35,18 @@
 //! latches). Finer-grained cross-column write concurrency (per-tuple
 //! intents) is a recorded follow-on.
 
-use crate::ops::{ColumnPredicate, TableOp, TableOpResult};
+use crate::ops::{ColumnPredicate, JoinStrategy, TableOp, TableOpResult};
 use crate::row_index::RowIndex;
 use aidx_core::facade::RwLock;
 use aidx_core::{
-    intersect_sets, CompactionPolicy, IntersectStrategy, LatchProtocol, QueryMetrics,
-    RefinementPolicy, RowIdSet, RowIdSetBuilder, SeekingIterator,
+    intersect_sets, merge_join_pairs, note_merge_join, CompactionPolicy, IntersectStrategy,
+    KeyRuns, LatchProtocol, QueryMetrics, RefinementPolicy, RowIdSet, RowIdSetBuilder,
+    SeekingIterator,
 };
-use aidx_obs::{StructureProbe, StructureStats};
+use aidx_obs::{emit, StructureProbe, StructureStats, TraceEvent};
 use aidx_parallel::{ChunkBackend, ChunkedCracker, RangePartitionedCracker};
 use aidx_storage::{Catalog, RowId, StorageResult, Table};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -196,6 +197,19 @@ pub struct TableEngine {
     candidate_set_bytes_total: AtomicU64,
     /// Cumulative compressed blocks bypassed by galloping intersections.
     blocks_skipped_total: AtomicU64,
+    /// Measured per-row cost of a gallop join — run production plus lazy
+    /// merge, divided by the rows walked — EMA in ns (0 = unmeasured).
+    /// Self-tuning: run skipping and shrinking lazy sorts pull it down as
+    /// the join columns converge.
+    gallop_row_ns: AtomicU64,
+    /// Measured per-row cost of a hash-join build, EMA in ns.
+    hash_build_ns: AtomicU64,
+    /// Measured per-row cost of a hash-join row-store probe, EMA in ns.
+    hash_probe_ns: AtomicU64,
+    /// Joins executed per physical strategy: gallop / hash / nested-loop.
+    joins_gallop: AtomicU64,
+    joins_hash: AtomicU64,
+    joins_nested: AtomicU64,
 }
 
 impl TableEngine {
@@ -273,6 +287,12 @@ impl TableEngine {
             probe_ns: AtomicU64::new(PROBE_NS_SEED),
             candidate_set_bytes_total: AtomicU64::new(0),
             blocks_skipped_total: AtomicU64::new(0),
+            gallop_row_ns: AtomicU64::new(0),
+            hash_build_ns: AtomicU64::new(0),
+            hash_probe_ns: AtomicU64::new(0),
+            joins_gallop: AtomicU64::new(0),
+            joins_hash: AtomicU64::new(0),
+            joins_nested: AtomicU64::new(0),
         }
     }
 
@@ -329,6 +349,21 @@ impl TableEngine {
             TableOp::SelectMulti(predicates) => self.select_multi(predicates),
             TableOp::InsertTuple(tuple) => self.insert_tuple(tuple),
             TableOp::DeleteWhere { column, value } => self.delete_where(*column, *value),
+            TableOp::Join {
+                other,
+                left_col,
+                right_col,
+                filters_left,
+                filters_right,
+                strategy,
+            } => self.execute_join(
+                other,
+                *left_col,
+                *right_col,
+                filters_left,
+                filters_right,
+                *strategy,
+            ),
         }
     }
 
@@ -355,10 +390,7 @@ impl TableEngine {
     fn select_multi(&self, predicates: &[ColumnPredicate]) -> TableOpResult {
         let _fence = self.op_fence.read();
         let mut metrics = QueryMetrics::default();
-        // Order by estimated selectivity: narrowest predicate first.
-        let mut ordered: Vec<ColumnPredicate> = predicates.to_vec();
-        ordered.sort_by_key(ColumnPredicate::width);
-        let Some(driver) = ordered.first().copied() else {
+        let Some(candidates) = self.candidates_for(predicates, &mut metrics) else {
             // No predicates: every live tuple qualifies. The full-domain
             // range is exact because keys are `< i64::MAX` by the
             // engine's key-domain contract. Flat read: a full scan's
@@ -369,15 +401,41 @@ impl TableEngine {
             return TableOpResult {
                 value: rowids.len() as i128,
                 rowids,
+                pairs: Vec::new(),
                 metrics,
             };
         };
+        metrics.result_count = candidates.len() as u64;
+        self.candidate_set_bytes_total
+            .fetch_add(metrics.candidate_set_bytes, Ordering::Relaxed);
+        TableOpResult {
+            value: candidates.len() as i128,
+            rowids: candidates.to_vec(),
+            pairs: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// Plans and executes one side's conjunctive filter stack exactly
+    /// like a `SelectMulti` — most-selective predicate cracks first and
+    /// drives, the rest intersect or project — returning the compressed
+    /// candidate set. `None` means "no filters" (every live tuple; the
+    /// caller decides whether materialising that is worth it).
+    fn candidates_for(
+        &self,
+        predicates: &[ColumnPredicate],
+        metrics: &mut QueryMetrics,
+    ) -> Option<RowIdSet> {
+        // Order by estimated selectivity: narrowest predicate first.
+        let mut ordered: Vec<ColumnPredicate> = predicates.to_vec();
+        ordered.sort_by_key(ColumnPredicate::width);
+        let driver = ordered.first().copied()?;
         assert!(
             ordered.iter().all(|p| p.column < self.indexes.len()),
             "predicate column out of range"
         );
         let mut candidates =
-            self.timed_column_read(driver.column, driver.low, driver.high, &mut metrics);
+            self.timed_column_read(driver.column, driver.low, driver.high, metrics);
         for predicate in &ordered[1..] {
             if candidates.is_empty() {
                 break;
@@ -392,7 +450,7 @@ impl TableEngine {
                     predicate.column,
                     predicate.low,
                     predicate.high,
-                    &mut metrics,
+                    metrics,
                 );
                 let (merged, stats) =
                     intersect_sets(&candidates, &rows, IntersectStrategy::Adaptive);
@@ -403,14 +461,7 @@ impl TableEngine {
                 candidates = merged;
             }
         }
-        metrics.result_count = candidates.len() as u64;
-        self.candidate_set_bytes_total
-            .fetch_add(metrics.candidate_set_bytes, Ordering::Relaxed);
-        TableOpResult {
-            value: candidates.len() as i128,
-            rowids: candidates.to_vec(),
-            metrics,
-        }
+        Some(candidates)
     }
 
     /// One compressed column read, timed into the column's read-cost EMA
@@ -487,6 +538,7 @@ impl TableEngine {
         TableOpResult {
             value: 1,
             rowids: vec![rowid],
+            pairs: Vec::new(),
             metrics,
         }
     }
@@ -504,6 +556,7 @@ impl TableEngine {
             return TableOpResult {
                 value: 0,
                 rowids: Vec::new(),
+                pairs: Vec::new(),
                 metrics,
             };
         };
@@ -535,7 +588,396 @@ impl TableEngine {
         TableOpResult {
             value: doomed.len() as i128,
             rowids: doomed,
+            pairs: Vec::new(),
             metrics,
+        }
+    }
+
+    /// Executes one key/FK equi-join against `other`:
+    /// `self[left_col] == other[right_col]` over the tuples surviving
+    /// each side's conjunctive filters, returning sorted
+    /// `(left rowid, right rowid)` pairs.
+    ///
+    /// Both engines' operation fences are taken shared in address order
+    /// (self-joins take one), so a join never observes half a tuple on
+    /// either table and two concurrent joins over the same pair of
+    /// tables cannot deadlock against writers.
+    ///
+    /// `strategy` [`JoinStrategy::Auto`] picks gallop or hash from the
+    /// measured per-row cost EMAs (each unmeasured strategy gets one
+    /// bootstrap run first; nested-loop is never auto-picked).
+    pub fn execute_join(
+        &self,
+        other: &TableEngine,
+        left_col: usize,
+        right_col: usize,
+        filters_left: &[ColumnPredicate],
+        filters_right: &[ColumnPredicate],
+        strategy: JoinStrategy,
+    ) -> TableOpResult {
+        assert!(left_col < self.indexes.len(), "join column out of range");
+        assert!(
+            right_col < other.indexes.len(),
+            "join column out of range (right table)"
+        );
+        let self_addr = self as *const TableEngine as usize;
+        let other_addr = other as *const TableEngine as usize;
+        let _first;
+        let _second;
+        if self_addr == other_addr {
+            _first = self.op_fence.read();
+            _second = None;
+        } else if self_addr < other_addr {
+            _first = self.op_fence.read();
+            _second = Some(other.op_fence.read());
+        } else {
+            _first = other.op_fence.read();
+            _second = Some(self.op_fence.read());
+        }
+        let mut metrics = QueryMetrics::default();
+        let left = self.join_side(left_col, filters_left, &mut metrics);
+        let right = other.join_side(right_col, filters_right, &mut metrics);
+        // The joint key window: keys outside it cannot match. Derived
+        // from whatever filters constrain the join columns directly;
+        // gallop tightens it further from the first side's actual
+        // envelope.
+        let window = (
+            left.window.0.max(right.window.0),
+            left.window.1.min(right.window.1),
+        );
+        let filtered_empty = left.candidates.as_ref().is_some_and(RowIdSet::is_empty)
+            || right.candidates.as_ref().is_some_and(RowIdSet::is_empty);
+        if filtered_empty || window.0 >= window.1 {
+            self.candidate_set_bytes_total
+                .fetch_add(metrics.candidate_set_bytes, Ordering::Relaxed);
+            return TableOpResult {
+                value: 0,
+                rowids: Vec::new(),
+                pairs: Vec::new(),
+                metrics,
+            };
+        }
+        let chosen = match strategy {
+            JoinStrategy::Auto => self.choose_join_strategy(&left, &right, window),
+            forced => forced,
+        };
+        let counter = match chosen {
+            JoinStrategy::Gallop => &self.joins_gallop,
+            JoinStrategy::Hash => &self.joins_hash,
+            JoinStrategy::NestedLoop => &self.joins_nested,
+            JoinStrategy::Auto => unreachable!("Auto always resolves to a physical strategy"),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let (mut pairs, rows_skipped) = match chosen {
+            JoinStrategy::Gallop => self.gallop_join(
+                other,
+                left_col,
+                right_col,
+                &left,
+                &right,
+                window,
+                &mut metrics,
+            ),
+            JoinStrategy::Hash => self.hash_join(
+                other,
+                left_col,
+                right_col,
+                &left,
+                &right,
+                window,
+                &mut metrics,
+            ),
+            _ => self.nested_loop_join(other, left_col, right_col, &left, &right, &mut metrics),
+        };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Deterministic output order regardless of strategy, so every
+        // result is comparable tuple-for-tuple against the oracle.
+        pairs.sort_unstable();
+        if chosen != JoinStrategy::Gallop {
+            // The gallop path's `note_merge_join` already counted these.
+            metrics.join_pairs = metrics.join_pairs.saturating_add(pairs.len() as u64);
+        }
+        metrics.result_count = pairs.len() as u64;
+        self.candidate_set_bytes_total
+            .fetch_add(metrics.candidate_set_bytes, Ordering::Relaxed);
+        if aidx_obs::enabled() {
+            emit(TraceEvent::Join {
+                strategy: chosen.label(),
+                pairs: pairs.len() as u64,
+                rows_skipped,
+                ns,
+            });
+        }
+        TableOpResult {
+            value: pairs.len() as i128,
+            rowids: Vec::new(),
+            pairs,
+            metrics,
+        }
+    }
+
+    /// Joins executed so far per physical strategy:
+    /// `(gallop, hash, nested_loop)` — what the cost model (or a forced
+    /// strategy) actually ran.
+    pub fn join_strategy_counts(&self) -> (u64, u64, u64) {
+        (
+            self.joins_gallop.load(Ordering::Relaxed),
+            self.joins_hash.load(Ordering::Relaxed),
+            self.joins_nested.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Plans one join side: runs its filter stack, estimates its
+    /// surviving cardinality, and extracts the key window any filters on
+    /// the join column itself imply.
+    fn join_side(
+        &self,
+        col: usize,
+        filters: &[ColumnPredicate],
+        metrics: &mut QueryMetrics,
+    ) -> JoinSide {
+        let mut window = (i64::MIN, i64::MAX);
+        for p in filters.iter().filter(|p| p.column == col) {
+            window.0 = window.0.max(p.low);
+            window.1 = window.1.min(p.high);
+        }
+        let candidates = self.candidates_for(filters, metrics);
+        let est = match &candidates {
+            Some(set) => set.len() as u64,
+            None => {
+                // Unfiltered: estimate from a full-domain count, which
+                // resolves to existing piece bounds and never cracks.
+                let (n, m) = self.indexes[col].count(i64::MIN, i64::MAX);
+                metrics.accumulate(&m);
+                n
+            }
+        };
+        JoinSide {
+            candidates,
+            est,
+            window,
+        }
+    }
+
+    /// Cost-based gallop-vs-hash choice. Each strategy's per-row EMA is
+    /// multiplied by the rows it would touch: gallop walks both sides
+    /// clipped to the joint key window (that fraction is estimated from
+    /// the window widths), hash builds the smaller side and probes every
+    /// larger-side candidate through the row store. An unmeasured
+    /// strategy is picked outright — one bootstrap run measures it.
+    fn choose_join_strategy(
+        &self,
+        left: &JoinSide,
+        right: &JoinSide,
+        window: (i64, i64),
+    ) -> JoinStrategy {
+        let gallop_ns = self.gallop_row_ns.load(Ordering::Relaxed);
+        if gallop_ns == 0 {
+            return JoinStrategy::Gallop;
+        }
+        let build_ns = self.hash_build_ns.load(Ordering::Relaxed);
+        let probe_ns = self.hash_probe_ns.load(Ordering::Relaxed);
+        if build_ns == 0 || probe_ns == 0 {
+            return JoinStrategy::Hash;
+        }
+        let gallop_rows = windowed_estimate(left.est, left.window, window)
+            + windowed_estimate(right.est, right.window, window);
+        let (small, large) = if left.est <= right.est {
+            (left.est, right.est)
+        } else {
+            (right.est, left.est)
+        };
+        let cost_gallop = gallop_rows.saturating_mul(gallop_ns as u128);
+        let cost_hash = (small as u128).saturating_mul(build_ns as u128)
+            + (large as u128).saturating_mul(probe_ns as u128);
+        if cost_gallop <= cost_hash {
+            JoinStrategy::Gallop
+        } else {
+            JoinStrategy::Hash
+        }
+    }
+
+    /// One join side's `(key, rowid)` runs over `window`, restricted to
+    /// the side's filtered candidates. Cracks the join column at the
+    /// window bounds — the adaptive-indexing bet applied to joins.
+    fn keyed_runs(
+        &self,
+        col: usize,
+        side: &JoinSide,
+        window: (i64, i64),
+        metrics: &mut QueryMetrics,
+    ) -> KeyRuns {
+        if window.0 >= window.1 {
+            return KeyRuns::new();
+        }
+        let (mut runs, m) = self.indexes[col].select_key_runs(window.0, window.1);
+        metrics.accumulate(&m);
+        if let Some(cand) = &side.candidates {
+            let keep: HashSet<RowId> = cand.to_vec().into_iter().collect();
+            runs.retain_rowids(|rowid| keep.contains(&rowid));
+        }
+        runs
+    }
+
+    /// Gallop join: leapfrog merge over both sides' lazily-sorted key
+    /// runs. The estimated-smaller side is produced first; its actual
+    /// key envelope then clips the larger side's production window, so
+    /// the larger column is cracked — and walked — only inside the
+    /// overlap.
+    #[allow(clippy::too_many_arguments)]
+    fn gallop_join(
+        &self,
+        other: &TableEngine,
+        left_col: usize,
+        right_col: usize,
+        left: &JoinSide,
+        right: &JoinSide,
+        window: (i64, i64),
+        metrics: &mut QueryMetrics,
+    ) -> (Vec<(RowId, RowId)>, u64) {
+        let start = Instant::now();
+        let (left_runs, right_runs) = if left.est <= right.est {
+            let first = self.keyed_runs(left_col, left, window, metrics);
+            let second = match envelope_clip(&first, window) {
+                Some(clipped) => other.keyed_runs(right_col, right, clipped, metrics),
+                None => KeyRuns::new(),
+            };
+            (first, second)
+        } else {
+            let first = other.keyed_runs(right_col, right, window, metrics);
+            let second = match envelope_clip(&first, window) {
+                Some(clipped) => self.keyed_runs(left_col, left, clipped, metrics),
+                None => KeyRuns::new(),
+            };
+            (second, first)
+        };
+        let walked = (left_runs.total_rows() + right_runs.total_rows()) as u64;
+        let mut out = Vec::new();
+        let stats = merge_join_pairs(
+            left_runs.into_merge_iter(),
+            right_runs.into_merge_iter(),
+            &mut out,
+        );
+        note_merge_join(metrics, &stats);
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(per_row) = elapsed.checked_div(walked) {
+            ema_update(&self.gallop_row_ns, per_row.max(1));
+        }
+        (out, stats.rows_skipped)
+    }
+
+    /// Hash join: builds a `key -> rowids` table on the estimated-smaller
+    /// side (read through its index, restricted to the joint window),
+    /// then streams the larger side's candidates in rowid order through
+    /// the row store — no index read, no refinement, O(1) per probe.
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join(
+        &self,
+        other: &TableEngine,
+        left_col: usize,
+        right_col: usize,
+        left: &JoinSide,
+        right: &JoinSide,
+        window: (i64, i64),
+        metrics: &mut QueryMetrics,
+    ) -> (Vec<(RowId, RowId)>, u64) {
+        let build_left = left.est <= right.est;
+        let build_runs = if build_left {
+            self.keyed_runs(left_col, left, window, metrics)
+        } else {
+            other.keyed_runs(right_col, right, window, metrics)
+        };
+        let build_rows = build_runs.total_rows() as u64;
+        let t_build = Instant::now();
+        let mut table: HashMap<i64, Vec<RowId>> = HashMap::new();
+        for (key, rowid) in build_runs.iter_pairs() {
+            table.entry(key).or_default().push(rowid);
+        }
+        let build_ns = u64::try_from(t_build.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(per_row) = build_ns.checked_div(build_rows) {
+            ema_update(&self.hash_build_ns, per_row.max(1));
+        }
+        let (probe_engine, probe_col, probe_side) = if build_left {
+            (other, right_col, right)
+        } else {
+            (self, left_col, left)
+        };
+        let probe_rowids: Vec<RowId> = match &probe_side.candidates {
+            Some(set) => set.to_vec(),
+            None => {
+                let (rowids, m) = probe_engine.indexes[probe_col].select_rowids(i64::MIN, i64::MAX);
+                metrics.accumulate(&m);
+                rowids
+            }
+        };
+        let t_probe = Instant::now();
+        let mut out = Vec::new();
+        for &rowid in &probe_rowids {
+            let Some(value) = probe_engine.value_at(probe_col, rowid) else {
+                continue;
+            };
+            if value < window.0 || value >= window.1 {
+                continue;
+            }
+            if let Some(matches) = table.get(&value) {
+                for &built in matches {
+                    out.push(if build_left {
+                        (built, rowid)
+                    } else {
+                        (rowid, built)
+                    });
+                }
+            }
+        }
+        let probe_ns = u64::try_from(t_probe.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if !probe_rowids.is_empty() {
+            ema_update(
+                &self.hash_probe_ns,
+                (probe_ns / probe_rowids.len() as u64).max(1),
+            );
+        }
+        (out, 0)
+    }
+
+    /// Nested-loop join: every surviving left row against every surviving
+    /// right row through the row store. Quadratic on purpose — the
+    /// baseline the rowid-set strategies are verified against and
+    /// measured over; the planner never picks it.
+    fn nested_loop_join(
+        &self,
+        other: &TableEngine,
+        left_col: usize,
+        right_col: usize,
+        left: &JoinSide,
+        right: &JoinSide,
+        metrics: &mut QueryMetrics,
+    ) -> (Vec<(RowId, RowId)>, u64) {
+        let left_rowids = self.side_rowids(left_col, left, metrics);
+        let right_rowids = other.side_rowids(right_col, right, metrics);
+        let mut out = Vec::new();
+        for &l in &left_rowids {
+            let Some(lv) = self.value_at(left_col, l) else {
+                continue;
+            };
+            for &r in &right_rowids {
+                if other.value_at(right_col, r) == Some(lv) {
+                    out.push((l, r));
+                }
+            }
+        }
+        (out, 0)
+    }
+
+    /// One side's surviving rowids as a flat sorted vector.
+    fn side_rowids(&self, col: usize, side: &JoinSide, metrics: &mut QueryMetrics) -> Vec<RowId> {
+        match &side.candidates {
+            Some(set) => set.to_vec(),
+            None => {
+                let (rowids, m) = self.indexes[col].select_rowids(i64::MIN, i64::MAX);
+                metrics.accumulate(&m);
+                rowids
+            }
         }
     }
 
@@ -569,6 +1011,45 @@ impl TableEngine {
     pub fn check_invariants(&self) -> bool {
         self.indexes.iter().all(|index| index.check_invariants())
     }
+}
+
+/// One planned join side: its filtered candidate set (`None` =
+/// unfiltered), estimated surviving cardinality, and the key window its
+/// join-column filters imply.
+struct JoinSide {
+    candidates: Option<RowIdSet>,
+    est: u64,
+    window: (i64, i64),
+}
+
+/// Width of a half-open window as a `u128` (the full `i64` domain does
+/// not fit a `u64`), at least 1.
+fn window_width(window: (i64, i64)) -> u128 {
+    if window.1 <= window.0 {
+        1
+    } else {
+        ((window.1 as i128 - window.0 as i128) as u128).max(1)
+    }
+}
+
+/// Scales a side's cardinality estimate by the fraction of its own key
+/// window the joint window covers (uniform-domain assumption, like the
+/// select planner's width-as-selectivity estimate).
+fn windowed_estimate(est: u64, side_window: (i64, i64), joint: (i64, i64)) -> u128 {
+    let overlap = (joint.0.max(side_window.0), joint.1.min(side_window.1));
+    if overlap.1 <= overlap.0 {
+        return 0;
+    }
+    (est as u128).saturating_mul(window_width(overlap)) / window_width(side_window)
+}
+
+/// Tightens `window` to the produced runs' actual key envelope (`None`
+/// when the runs are empty — nothing can match). `max_key + 1` cannot
+/// overflow: table keys are `< i64::MAX` by the engine contract.
+fn envelope_clip(runs: &KeyRuns, window: (i64, i64)) -> Option<(i64, i64)> {
+    let lo = runs.min_key()?;
+    let hi = runs.max_key()?;
+    Some((lo.max(window.0), (hi + 1).min(window.1)))
 }
 
 impl std::fmt::Debug for TableEngine {

@@ -26,15 +26,22 @@
 //!   [`aidx_parallel::RangePartitionedCracker`] — every latch protocol
 //!   and compaction mode of the single-column stack composes per column.
 //! * [`TableOp`] / [`TableOpResult`] — the table-level operation set:
-//!   multi-predicate selects, whole-tuple inserts, key-predicate deletes.
+//!   multi-predicate selects, whole-tuple inserts, key-predicate
+//!   deletes, and key/FK equi-joins against another table engine.
 //! * [`TableEngine`] — the engine: planner (most-selective-first, rowid
 //!   intersection, aligned projection for tiny candidate sets), a row
 //!   store for tuple reconstruction, and positionally aligned writes
 //!   (one insert/delete per column per tuple, each under that column's
 //!   own latch protocol).
+//! * [`JoinStrategy`] — the join's physical strategies: a galloping
+//!   leapfrog merge over lazily-sorted `(key, rowid)` runs (cracks both
+//!   join columns, so repeated joins converge), a hash build/probe
+//!   through the row store, and a nested-loop oracle baseline. `Auto`
+//!   picks gallop or hash from measured per-row cost EMAs.
 //! * [`CheckedTableEngine`] — the verifying wrapper: replays every op
 //!   against a `BTreeMap<RowId, tuple>` oracle, comparing *rowid sets*
-//!   (tuple identity), not just counts.
+//!   (tuple identity), not just counts; joins are verified pair-for-pair
+//!   against a dual-oracle nested loop.
 
 #![warn(missing_docs)]
 
@@ -45,5 +52,5 @@ pub mod row_index;
 
 pub use checked::{CheckedTableEngine, TableMismatch};
 pub use engine::{TableBackend, TableEngine};
-pub use ops::{ColumnPredicate, TableOp, TableOpResult};
+pub use ops::{ColumnPredicate, JoinStrategy, TableOp, TableOpResult};
 pub use row_index::RowIndex;

@@ -3,7 +3,7 @@
 //! stack, so "serial vs chunked vs range-partitioned" is a per-table
 //! configuration knob rather than three different engines.
 
-use aidx_core::{ConcurrentCracker, QueryMetrics, RowIdSet};
+use aidx_core::{ConcurrentCracker, KeyRuns, QueryMetrics, RowIdSet};
 use aidx_obs::StructureProbe;
 use aidx_parallel::{ChunkedCracker, RangePartitionedCracker};
 use aidx_storage::RowId;
@@ -21,6 +21,11 @@ pub trait RowIndex: Send + Sync {
     /// working representation for multi-predicate intersection (galloping
     /// seeks skip whole blocks of the larger side).
     fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics);
+
+    /// The same read as raw per-piece `(key, rowid)` runs — the join
+    /// paths' lazy-merge substrate: the merge sorts (or skips) runs only
+    /// as its frontier reaches them.
+    fn select_key_runs(&self, low: i64, high: i64) -> (KeyRuns, QueryMetrics);
 
     /// Q1 over the column (used by tests and diagnostics; the planner
     /// estimates selectivity from predicate widths instead, so estimating
@@ -48,6 +53,10 @@ impl RowIndex for ConcurrentCracker {
 
     fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
         ConcurrentCracker::select_rowid_set(self, low, high)
+    }
+
+    fn select_key_runs(&self, low: i64, high: i64) -> (KeyRuns, QueryMetrics) {
+        ConcurrentCracker::select_key_runs(self, low, high)
     }
 
     fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
@@ -84,6 +93,11 @@ impl RowIndex for ChunkedCracker {
             .expect("table columns use concurrent chunk backends")
     }
 
+    fn select_key_runs(&self, low: i64, high: i64) -> (KeyRuns, QueryMetrics) {
+        ChunkedCracker::select_key_runs(self, low, high)
+            .expect("table columns use concurrent chunk backends")
+    }
+
     fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {
         ChunkedCracker::count(self, low, high)
     }
@@ -112,6 +126,10 @@ impl RowIndex for RangePartitionedCracker {
 
     fn select_rowid_set(&self, low: i64, high: i64) -> (RowIdSet, QueryMetrics) {
         RangePartitionedCracker::select_rowid_set(self, low, high)
+    }
+
+    fn select_key_runs(&self, low: i64, high: i64) -> (KeyRuns, QueryMetrics) {
+        RangePartitionedCracker::select_key_runs(self, low, high)
     }
 
     fn count(&self, low: i64, high: i64) -> (u64, QueryMetrics) {

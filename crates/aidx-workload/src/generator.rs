@@ -199,7 +199,8 @@ impl WorkloadGenerator {
 /// Cumulative distribution of a zipfian over `buckets` ranks:
 /// `P(rank = i) ∝ 1 / (i + 1)^theta`. Monotone non-decreasing, ends at
 /// 1.0 (the final entry is forced so float rounding can't lose the tail).
-fn zipf_cdf(buckets: usize, theta: f64) -> Vec<f64> {
+/// Shared with the join workload's skewed foreign-key generator.
+pub(crate) fn zipf_cdf(buckets: usize, theta: f64) -> Vec<f64> {
     let theta = theta.max(0.0);
     let weights: Vec<f64> = (0..buckets.max(1))
         .map(|i| 1.0 / ((i + 1) as f64).powf(theta))

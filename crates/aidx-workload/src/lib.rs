@@ -19,6 +19,10 @@
 //!   per-column selectivity knobs (plus tuple inserts and key deletes)
 //!   for the `aidx-table` engines, whose serial / chunked /
 //!   range-partitioned arms are re-exported here as [`TableBackend`].
+//! * [`JoinWorkload`] — a dimension/fact table pair with key/FK
+//!   structure (uniform or zipfian-skewed foreign keys, dense or strided
+//!   dimension keys) plus deterministic join-query sequences for the
+//!   equi-join benchmarks.
 //! * [`MultiClientRunner`] — replays one operation sequence with N
 //!   concurrent clients against a shared engine and reports the wall-clock
 //!   time of the last client to finish, plus per-op metric breakdowns.
@@ -30,6 +34,7 @@
 pub mod engine;
 pub mod experiment;
 pub mod generator;
+pub mod join_workload;
 pub mod parallel_engine;
 pub mod query;
 pub mod runner;
@@ -44,6 +49,9 @@ pub use experiment::{
     DEFAULT_ROWS, DEFAULT_RUN_SIZE,
 };
 pub use generator::{AccessPattern, WorkloadGenerator};
+pub use join_workload::{
+    JoinQuery, JoinWorkload, DIM_ATTR_COL, DIM_KEY_COL, FACT_FK_COL, FACT_VAL_COL,
+};
 pub use parallel_engine::{ParallelChunkEngine, ParallelRangeEngine};
 pub use query::{selectivity_to_width, Operation, QuerySpec};
 pub use runner::MultiClientRunner;
@@ -53,5 +61,6 @@ pub use table_workload::MultiColumnWorkload;
 // live in `aidx-table`; re-exported here so experiment harnesses have one
 // import surface.
 pub use aidx_table::{
-    CheckedTableEngine, ColumnPredicate, TableBackend, TableEngine, TableOp, TableOpResult,
+    CheckedTableEngine, ColumnPredicate, JoinStrategy, TableBackend, TableEngine, TableOp,
+    TableOpResult,
 };
